@@ -1,0 +1,156 @@
+"""E11 — slide 11: the OpenNebula cloud — "users can deploy own dedicated
+data-processing VMs (customized environment!) — reliable, highly flexible,
+and very fast to deploy".
+
+Measured: cold vs cached deploy latency ("very fast to deploy" is the image
+cache), deploy latency vs image size, a burst of user VMs (queueing under
+contention), and the scheduler-policy ablation.
+"""
+
+import pytest
+
+from repro.core import Facility
+from repro.cloud import VMTemplate
+from repro.simkit.units import GB, fmt_duration
+
+
+def _facility(scheduler="rank", image_cache=True, seed=21):
+    from repro.core import lsdf_2011_config
+
+    config = lsdf_2011_config()
+    config.cloud_scheduler = scheduler
+    config.cloud_image_cache = image_cache
+    return Facility(config, seed=seed)
+
+
+def _deploy_n(facility, template, n):
+    procs = [facility.cloud.deploy(template) for _ in range(n)]
+    facility.run()
+    return [p.value for p in procs]
+
+
+def test_e11_cold_vs_cached_deploy(benchmark, report):
+    def run():
+        facility = _facility()
+        template = VMTemplate("env", 4, 8 * GB, "custom-sl5", 8 * GB)
+        cold = _deploy_n(facility, template, 1)[0]
+        # Stop and redeploy onto the same (now cached) host pool.
+        stop = facility.cloud.shutdown(cold.vm_id)
+        facility.run()
+        # Force placement back onto the cached host via first-fit on a
+        # fresh controller state: simplest honest re-deploy is another VM;
+        # rank spreads, so deploy as many as hosts to guarantee a cache hit.
+        warm_vms = _deploy_n(facility, template, 60)
+        warm_hits = facility.cloud.cache_hits.value
+        warm = min(warm_vms, key=lambda vm: vm.deploy_latency)
+        return cold, warm, warm_hits
+
+    cold, warm, hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E11", "VM deploy latency: cold image vs cached",
+        [
+            ("cold deploy (8 GB image)", "image transfer dominates",
+             fmt_duration(cold.deploy_latency)),
+            ("cached redeploy", "'very fast to deploy'",
+             fmt_duration(warm.deploy_latency)),
+            ("cache hits in warm wave", ">= 1", f"{hits:.0f}"),
+        ],
+    )
+    assert hits >= 1
+    assert warm.deploy_latency < cold.deploy_latency
+
+
+def test_e11_ablation_image_cache_off(benchmark, report):
+    def run(cache):
+        facility = _facility(image_cache=cache)
+        template = VMTemplate("env", 2, 4 * GB, "img", 6 * GB)
+        vms = _deploy_n(facility, template, 20)
+        second_wave = []
+        for vm in vms:
+            facility.cloud.shutdown(vm.vm_id)
+        facility.run()
+        second_wave = _deploy_n(facility, template, 20)
+        import numpy as np
+
+        return float(np.mean([vm.deploy_latency for vm in second_wave]))
+
+    with_cache = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    without = run(False)
+    report(
+        "E11b", "ablation: per-host image cache",
+        [
+            ("2nd-wave mean deploy (cache on)", "near boot-time only",
+             fmt_duration(with_cache)),
+            ("2nd-wave mean deploy (cache off)", "re-transfers every image",
+             fmt_duration(without)),
+        ],
+    )
+    assert with_cache < without
+
+
+def test_e11_deploy_latency_vs_image_size(benchmark, report):
+    def run():
+        out = {}
+        for size_gb in (1, 4, 16):
+            facility = _facility()
+            template = VMTemplate("env", 2, 4 * GB, f"img{size_gb}",
+                                  size_gb * GB)
+            out[size_gb] = _deploy_n(facility, template, 1)[0].deploy_latency
+        return out
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E11c", "cold deploy latency vs image size",
+        [(f"{s} GB image", "linear in size past boot", fmt_duration(latencies[s]))
+         for s in sorted(latencies)],
+    )
+    assert latencies[1] < latencies[4] < latencies[16]
+
+
+def test_e11_burst_of_user_vms(benchmark, report):
+    def run():
+        facility = _facility()
+        template = VMTemplate("worker", 4, 8 * GB, "batch-img", 4 * GB)
+        vms = _deploy_n(facility, template, 100)
+        import numpy as np
+
+        lat = np.array([vm.deploy_latency for vm in vms])
+        queued = np.array([vm.queue_latency for vm in vms])
+        return lat, queued, facility
+
+    lat, queued, facility = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E11d", "burst: 100 user VMs on the 60-node pool",
+        [
+            ("all reach RUNNING", "reliable", str(len(lat))),
+            ("deploy p50 / p95", "-",
+             f"{fmt_duration(float(__import__('numpy').percentile(lat, 50)))} / "
+             f"{fmt_duration(float(__import__('numpy').percentile(lat, 95)))}"),
+            ("VMs that had to queue", "pool is finite",
+             str(int((queued > 1.0).sum()))),
+        ],
+    )
+    assert len(lat) == 100
+    assert (queued > 1.0).sum() == 0  # 60 hosts x 2 VMs capacity: no queue at 100
+
+
+def test_e11_ablation_schedulers(benchmark, report):
+    def run(policy):
+        facility = _facility(scheduler=policy)
+        template = VMTemplate("w", 4, 8 * GB, "img", 2 * GB)
+        vms = _deploy_n(facility, template, 30)
+        hosts = {vm.host for vm in vms}
+        return len(hosts)
+
+    spread = benchmark.pedantic(lambda: run("rank"), rounds=1, iterations=1)
+    packed = run("pack")
+    first_fit = run("first_fit")
+    report(
+        "E11e", "ablation: scheduler policy (30 VMs, hosts used)",
+        [
+            ("rank (spread)", "many hosts", str(spread)),
+            ("pack (consolidate)", "few hosts", str(packed)),
+            ("first-fit", "between", str(first_fit)),
+        ],
+    )
+    assert spread > packed

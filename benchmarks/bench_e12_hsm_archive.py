@@ -1,0 +1,195 @@
+"""E12 — slide 14 outlook: managed data (iRODS), tape backend, "archival
+quality" storage for the climate community.
+
+Measured on the HSM subsystem: watermark migration keeping the pool under
+its high-water mark during sustained ingest; recall-on-access latency
+(mount + seek + stream) vs disk; batched vs interleaved recall (lazy
+dismount ablation); write-through vs watermark mode (ablation).
+"""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import GB, HOUR, MB, TB, fmt_bytes, fmt_duration
+from repro.storage import (
+    DiskArray,
+    HsmConfig,
+    HsmSystem,
+    StoragePool,
+    TapeLibrary,
+)
+
+
+def _system(sim, mode="watermark", disk_capacity=200 * GB, lazy=True,
+            scan_interval=600.0, daemon=True):
+    array = DiskArray(sim, "disk", disk_capacity, bandwidth=3e9, op_overhead=0.002)
+    pool = StoragePool(sim, [array])
+    tape = TapeLibrary(sim, drives=4, drive_bw=120 * MB,
+                       cartridge_capacity=1 * TB, mount_time=45.0,
+                       dismount_time=25.0, lazy_dismount=lazy)
+    # NOTE: the periodic daemon never terminates; only start it in scenarios
+    # that run with an explicit horizon (sim.run(until=...)).
+    hsm = HsmSystem(sim, pool, tape,
+                    HsmConfig(high_water=0.80, low_water=0.60,
+                              scan_interval=scan_interval, mode=mode),
+                    start_daemon=daemon)
+    return pool, tape, hsm
+
+
+def test_e12_watermark_keeps_pool_bounded(benchmark, report):
+    def run():
+        sim = Simulator(seed=12)
+        pool, tape, hsm = _system(sim)
+        peak = {"fill": 0.0}
+
+        def ingest():
+            for i in range(400):  # 400 x 1 GB into a 200 GB pool
+                yield hsm.store(f"f{i:04d}", 1 * GB)
+                peak["fill"] = max(peak["fill"], pool.fill_fraction)
+                yield sim.timeout(60.0)
+
+        p = sim.process(ingest())
+        sim.run(until=500 * 60.0)
+        assert not p.failed, p.exception
+        return pool, tape, hsm, peak["fill"]
+
+    pool, tape, hsm, peak = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E12", "sustained ingest at 2x disk capacity (watermark HSM)",
+        [
+            ("data ingested", "2x the pool", "400 GB into 200 GB of disk"),
+            ("peak pool fill", "<= ~high water (80%)", f"{peak:.0%}"),
+            ("final pool fill", "<= low water after drains", f"{pool.fill_fraction:.0%}"),
+            ("migrated to tape", "the cold majority",
+             f"{int(hsm.migrations.value)} files, "
+             f"{fmt_bytes(tape.bytes_archived.value)}"),
+            ("tape cartridges", "-", str(tape.cartridge_count)),
+        ],
+    )
+    assert peak <= 0.86  # one scan interval of slack over high water
+    assert hsm.migrations.value > 0
+    assert tape.bytes_archived.value > 150 * GB
+
+
+def test_e12_recall_latency_vs_disk(benchmark, report):
+    def run():
+        sim = Simulator(seed=13)
+        pool, tape, hsm = _system(sim, daemon=False)
+        holder = {}
+
+        def scenario():
+            yield hsm.store("hot", 2 * GB)
+            yield hsm.store("cold", 2 * GB)
+            yield sim.timeout(10.0)
+            yield sim.process(hsm._migrate_one(pool.lookup("cold")))
+            t0 = sim.now
+            yield hsm.access("hot")
+            holder["disk"] = sim.now - t0
+            t0 = sim.now
+            yield hsm.access("cold")
+            holder["tape"] = sim.now - t0
+
+        p = sim.process(scenario())
+        sim.run()
+        assert not p.failed, p.exception
+        return holder
+
+    holder = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E12b", "access latency: disk tier vs tape recall (2 GB file)",
+        [
+            ("disk-resident access", "sub-second-ish", fmt_duration(holder["disk"])),
+            ("tape recall + stage + read", "mount+seek+stream",
+             fmt_duration(holder["tape"])),
+            ("asymmetry", ">10x", f"{holder['tape'] / holder['disk']:.0f}x"),
+        ],
+    )
+    assert holder["tape"] > 10 * holder["disk"]
+
+
+def test_e12_ablation_lazy_dismount_for_batched_recall(benchmark, report):
+    def run(lazy):
+        sim = Simulator(seed=14)
+        pool, tape, hsm = _system(sim, lazy=lazy, daemon=False)
+        holder = {}
+
+        def scenario():
+            # Archive 20 files (they land on few cartridges), then recall all.
+            for i in range(20):
+                yield hsm.store(f"f{i:02d}", 2 * GB)
+                yield sim.timeout(1.0)
+            for i in range(20):
+                yield sim.process(hsm._migrate_one(pool.lookup(f"f{i:02d}")))
+            t0 = sim.now
+            for i in range(20):
+                yield hsm.access(f"f{i:02d}")
+            holder["recall_all"] = sim.now - t0
+            holder["mounts"] = tape.mounts.value
+
+        p = sim.process(scenario())
+        sim.run()
+        assert not p.failed, p.exception
+        return holder
+
+    lazy = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    eager = run(False)
+    report(
+        "E12c", "ablation: lazy vs eager cartridge dismount (20-file recall)",
+        [
+            ("batched recall (lazy)", "few mounts",
+             f"{fmt_duration(lazy['recall_all'])}, {lazy['mounts']:.0f} mounts"),
+            ("batched recall (eager)", "remounts every file",
+             f"{fmt_duration(eager['recall_all'])}, {eager['mounts']:.0f} mounts"),
+        ],
+    )
+    assert lazy["recall_all"] < eager["recall_all"]
+    assert lazy["mounts"] < eager["mounts"]
+
+
+def test_e12_ablation_write_through_vs_watermark(benchmark, report):
+    """Write-through (the 'archival quality' mode for climate data) doubles
+    ingest work but makes migration free and guarantees a tape copy."""
+
+    def run(mode):
+        sim = Simulator(seed=15)
+        pool, tape, hsm = _system(sim, mode=mode, daemon=False)
+        holder = {}
+
+        def scenario():
+            t0 = sim.now
+            for i in range(30):
+                yield hsm.store(f"f{i:02d}", 2 * GB)
+            holder["ingest"] = sim.now - t0
+            t0 = sim.now
+            for i in range(20):
+                yield sim.process(hsm._migrate_one(pool.lookup(f"f{i:02d}")))
+            holder["migrate"] = sim.now - t0
+            holder["tape_copies"] = sum(
+                1 for i in range(30) if tape.contains(f"f{i:02d}")
+            )
+
+        p = sim.process(scenario())
+        sim.run()
+        assert not p.failed, p.exception
+        return holder
+
+    wt = benchmark.pedantic(lambda: run("write_through"), rounds=1, iterations=1)
+    wm = run("watermark")
+    report(
+        "E12d", "ablation: write-through vs watermark HSM",
+        [
+            ("ingest time (write-through)", "slower (tape copy inline)",
+             fmt_duration(wt["ingest"])),
+            ("ingest time (watermark)", "faster", fmt_duration(wm["ingest"])),
+            ("migration of 20 files (write-through)", "~free (drop replica)",
+             fmt_duration(wt["migrate"])),
+            ("migration of 20 files (watermark)", "pays the tape write",
+             fmt_duration(wm["migrate"])),
+            ("files with tape copy", "30 vs 20",
+             f"{wt['tape_copies']} vs {wm['tape_copies']}"),
+        ],
+    )
+    assert wt["ingest"] > wm["ingest"]
+    assert wt["migrate"] < wm["migrate"]
+    assert wt["tape_copies"] == 30
+    assert wm["tape_copies"] == 20

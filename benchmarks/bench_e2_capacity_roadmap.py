@@ -1,0 +1,64 @@
+"""E2 — slides 5 & 14: the storage capacity roadmap.
+
+Paper: "currently 2 PB in 2 storage systems"; "improved storage: 6 PB in
+2012"; community growth "1+ PB/year in 2012, 6 PB/year in 2014".  Shape
+checks: the paper's procurement schedule covers projected demand through
+2014, and dropping the 2012 procurement produces a shortfall exactly where
+the paper says more capacity is needed.
+"""
+
+import pytest
+
+from repro.core import CapacityPlanner, LSDF_PROCUREMENT
+from repro.simkit import units
+
+YEARS = list(range(2010, 2015))
+
+
+def test_e2_roadmap_covers_demand(benchmark, report):
+    planner = benchmark.pedantic(CapacityPlanner, rounds=1, iterations=1)
+    rows = planner.table(YEARS)
+    report(
+        "E2", "capacity roadmap vs community demand",
+        [(f"{r.year}: demand(disk)/installed",
+          {"2011": "~2 PB installed", "2012": "6 PB installed"}.get(str(r.year), "-"),
+          f"{units.fmt_bytes(r.demand_disk)} / {units.fmt_bytes(r.capacity_disk)} "
+          f"({r.utilization:.0%}, {'ok' if r.ok else 'SHORTFALL'})")
+         for r in rows]
+        + [("aggregate ingest 2012", "1+ PB/year",
+            units.fmt_bytes(planner.ingest_in(2012)) + "/yr"),
+           ("aggregate ingest 2014", "~6 PB/year (ITG alone)",
+            units.fmt_bytes(planner.ingest_in(2014)) + "/yr")],
+    )
+    assert all(r.ok for r in rows)
+    # The paper's projections fall out of the community profiles.
+    assert planner.ingest_in(2012) >= 1.0 * units.PB
+    assert planner.ingest_in(2014) >= 6.0 * units.PB
+    # Installed-capacity milestones match the slides.
+    assert planner.installed_disk(2011) == pytest.approx(2 * units.PB)
+    assert planner.installed_disk(2012) == pytest.approx(6 * units.PB)
+
+
+def test_e2_shortfall_without_2012_procurement(benchmark, report):
+    def run():
+        schedule = {y: c for y, c in LSDF_PROCUREMENT.items() if y <= 2011}
+        return CapacityPlanner(procurement=schedule)
+
+    planner = benchmark.pedantic(run, rounds=1, iterations=1)
+    shortfall = planner.first_shortfall(YEARS)
+    report(
+        "E2b", "counterfactual: 2012 procurement slips",
+        [("first shortfall year", "2012 (why they buy 6 PB)", str(shortfall))],
+    )
+    assert shortfall in (2012, 2013)
+
+
+def test_e2_archive_demand_needs_tape(benchmark, report):
+    planner = benchmark.pedantic(CapacityPlanner, rounds=1, iterations=1)
+    _disk, tape_2014 = planner.demand(2014)
+    report(
+        "E2c", "tape demand under the HSM/archival policy",
+        [("tape demand through 2014", "grows with archival communities",
+          units.fmt_bytes(tape_2014))],
+    )
+    assert tape_2014 > 1 * units.PB  # archive tier is load-bearing

@@ -1,0 +1,107 @@
+"""E6 — slide 11: "Exascale => bring computing to the data!!
+(15 days to transfer 1 PB over ideal 10Gb/s link)".
+
+Two parts:
+
+* the transfer-time table behind the slide's parenthetical: 1 PB over a
+  10 Gb/s link at several protocol efficiencies — ideal arithmetic gives
+  9.26 days; the paper's quoted 15 days corresponds to ~62% efficiency;
+* the architectural claim: processing data *where it lives* (data-local
+  MapReduce on the cluster) beats shipping it to an external compute site
+  first, with the gap widening with dataset size.
+"""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import DAY, GB, PB, TB, gbit_per_s, fmt_duration
+from repro.netsim import Network, Topology
+from repro.core import Facility
+from repro.mapreduce import JobSpec
+
+_CPU_PER_BYTE = 5e-8  # analysis compute density used on both sides
+
+
+def _transfer_days(nbytes, efficiency):
+    sim = Simulator()
+    topo = Topology()
+    topo.add_link("src", "dst", capacity=gbit_per_s(10.0))
+    net = Network(sim, topo, efficiency=efficiency)
+    ev = net.transfer("src", "dst", nbytes)
+    sim.run()
+    return ev.value.duration / DAY
+
+
+def test_e6_1pb_transfer_table(benchmark, report):
+    def run():
+        return {eff: _transfer_days(1 * PB, eff) for eff in (1.0, 0.8, 0.62, 0.5)}
+
+    days = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E6", "1 PB over a 10 Gb/s link (the slide's parenthetical)",
+        [
+            ("ideal (100% efficiency)", "'15 days' (paper)", f"{days[1.0]:.2f} days"),
+            ("80% efficiency", "-", f"{days[0.8]:.2f} days"),
+            ("62% efficiency", "~15 days", f"{days[0.62]:.2f} days"),
+            ("50% efficiency", "-", f"{days[0.5]:.2f} days"),
+        ],
+    )
+    # Ideal arithmetic: 10^15 B / 1.25e9 B/s = 9.26 days; the paper's 15
+    # days is reproduced at ~62% efficiency.
+    assert days[1.0] == pytest.approx(9.26, abs=0.02)
+    assert days[0.62] == pytest.approx(14.9, abs=0.2)
+
+
+@pytest.mark.parametrize("size,label", [(50 * GB, "50 GB"), (200 * GB, "200 GB"),
+                                        (1 * TB, "1 TB")])
+def test_e6_data_local_vs_ship_to_compute(benchmark, report, size, label):
+    """Data-local MR job vs 'ship the dataset off-site, then compute at the
+    same aggregate rate'."""
+
+    def run():
+        facility = Facility(seed=6)
+        sim = facility.sim
+
+        outcome = {}
+
+        def local_side():
+            yield facility.load_into_hdfs("/data/set", size)
+            start = sim.now
+            result = yield facility.mapreduce.submit(
+                JobSpec("local", "/data/set", map_cpu_per_byte=_CPU_PER_BYTE,
+                        map_output_ratio=0.02, reduces=8)
+            )
+            outcome["local"] = sim.now - start
+            outcome["locality"] = result.locality_fraction
+
+        def shipped_side():
+            # Ship over the WAN (10 GE to the remote site), then compute with
+            # the same parallel capacity (60 nodes x 2 slots).
+            start = sim.now
+            yield facility.net.transfer(
+                facility.names.storage[0], facility.names.internet, size
+            )
+            slots = len(facility.names.cluster) * 2
+            yield sim.timeout(size * _CPU_PER_BYTE / slots)
+            outcome["shipped"] = sim.now - start
+
+        p1 = sim.process(local_side())
+        p2 = sim.process(shipped_side())
+        sim.run()
+        assert not p1.failed and not p2.failed
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = outcome["shipped"] / outcome["local"]
+    report(
+        "E6b", f"bring-compute-to-data vs ship-to-compute ({label})",
+        [
+            ("data-local MapReduce", "wins", fmt_duration(outcome["local"])),
+            ("ship + compute", "loses", fmt_duration(outcome["shipped"])),
+            ("advantage", "grows with size", f"{speedup:.1f}x"),
+            ("node-local map fraction", "high", f"{outcome['locality']:.0%}"),
+        ],
+    )
+    # (Staging into HDFS is excluded from both sides: it is the one-time
+    # ingest cost paid either way.)  Data-local must win at these sizes.
+    assert outcome["local"] < outcome["shipped"]

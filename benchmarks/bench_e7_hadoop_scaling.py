@@ -1,0 +1,220 @@
+"""E7 — slide 11: "dedicated 60 nodes cluster, Hadoop environment + 110 TB
+Hadoop filesystem, extreme scalability on commodity hardware".
+
+Measured:
+
+* map-phase scaling of one job across 15/30/45/60 nodes (near-linear);
+* the locality machinery that makes it possible (delay scheduling vs
+  greedy; rack-aware vs random placement — DESIGN.md ablations);
+* speculative execution vs stragglers (ablation);
+* re-replication keeping the FS healthy after a node loss.
+"""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import GB, TB, fmt_duration
+from repro.hdfs import HdfsCluster
+from repro.mapreduce import JobSpec, MapReduceSim
+
+_JOB_BYTES = 60 * GB
+
+
+def _run_cluster(nodes_per_rack, racks=4, scheduler="delay", placement="rack_aware",
+                 speculation=True, straggler_prob=0.03, straggler_factor=5.0,
+                 node_speed_cv=0.10, reduces=16, seed=17):
+    sim = Simulator(seed=seed)
+    cluster = HdfsCluster.build(sim, racks=racks, nodes_per_rack=nodes_per_rack,
+                                node_capacity=2 * TB, placement=placement)
+    mr = MapReduceSim(sim, cluster, scheduler=scheduler, speculation=speculation,
+                      straggler_prob=straggler_prob,
+                      straggler_factor=straggler_factor,
+                      node_speed_cv=node_speed_cv)
+    holder = {}
+
+    def scenario():
+        # Load the input from the core switch (an off-cluster loader), so
+        # block placement is spread rather than writer-pinned.
+        yield cluster.write_file("/data/job-in", _JOB_BYTES, "core")
+        holder["result"] = yield mr.submit(
+            JobSpec("scale", "/data/job-in", map_cpu_per_byte=5e-8,
+                    map_output_ratio=0.05, reduces=reduces)
+        )
+
+    p = sim.process(scenario())
+    sim.run()
+    assert not p.failed, p.exception
+    return holder["result"]
+
+
+def test_e7_scaling_to_60_nodes(benchmark, report):
+    def run():
+        # Map-phase scaling (reduces=0), no stragglers: the clean
+        # "commodity scalability" claim.
+        return {
+            n * 4: _run_cluster(n, reduces=0, straggler_prob=0.0)
+            for n in (4, 8, 11, 15)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_nodes = min(results)
+    base = results[base_nodes].duration
+    rows = []
+    for nodes, result in sorted(results.items()):
+        speedup = base / result.duration
+        ideal = nodes / base_nodes
+        rows.append((f"{nodes} nodes",
+                     f"ideal {ideal:.2f}x",
+                     f"{fmt_duration(result.duration)} "
+                     f"({speedup:.2f}x, locality {result.locality_fraction:.0%})"))
+    report("E7", f"MapReduce scaling, {_JOB_BYTES / GB:.0f} GB job", rows)
+    durations = [results[n].duration for n in sorted(results)]
+    # Monotone speedup and at least ~60% parallel efficiency at 60 nodes.
+    assert durations == sorted(durations, reverse=True)
+    assert base / durations[-1] > 0.6 * (60 / base_nodes)
+
+
+def test_e7_ablation_delay_vs_greedy_scheduling(benchmark, report):
+    def run():
+        delay = _run_cluster(15, scheduler="delay", straggler_prob=0.0)
+        greedy = _run_cluster(15, scheduler="greedy", straggler_prob=0.0)
+        return delay, greedy
+
+    delay, greedy = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E7b", "ablation: delay scheduling vs greedy",
+        [
+            ("node-local fraction (delay)", "high", f"{delay.locality_fraction:.0%}"),
+            ("node-local fraction (greedy)", "lower", f"{greedy.locality_fraction:.0%}"),
+            ("job time delay vs greedy", "-",
+             f"{fmt_duration(delay.duration)} vs {fmt_duration(greedy.duration)}"),
+        ],
+    )
+    assert delay.locality_fraction >= greedy.locality_fraction
+
+
+def test_e7_ablation_rack_aware_vs_random_placement(benchmark, report):
+    def run():
+        rack = _run_cluster(15, placement="rack_aware", straggler_prob=0.0)
+        rand = _run_cluster(15, placement="random", straggler_prob=0.0)
+        return rack, rand
+
+    rack, rand = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E7c", "ablation: rack-aware vs random block placement",
+        [
+            ("job time (rack-aware)", "-", fmt_duration(rack.duration)),
+            ("job time (random)", "similar or worse", fmt_duration(rand.duration)),
+            ("locality rack/random", "-",
+             f"{rack.locality_fraction:.0%} / {rand.locality_fraction:.0%}"),
+        ],
+    )
+    # Random placement must not *beat* rack-aware by a meaningful margin;
+    # rack-awareness buys fault-domain diversity at ~no performance cost.
+    assert rack.duration <= rand.duration * 1.15
+
+
+def test_e7_ablation_speculation_vs_stragglers(benchmark, report):
+    def run():
+        kwargs = dict(speculation=True, straggler_prob=0.08,
+                      straggler_factor=20.0, node_speed_cv=0.0,
+                      reduces=0, seed=23)
+        on = _run_cluster(15, **kwargs)
+        off = _run_cluster(15, **{**kwargs, "speculation": False})
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E7d", "ablation: speculative execution under 8% x20 stragglers",
+        [
+            ("map phase (speculation on)", "shorter", fmt_duration(on.duration)),
+            ("map phase (speculation off)", "straggler-bound", fmt_duration(off.duration)),
+            ("speculative attempts/wins", "-",
+             f"{on.speculative_launched}/{on.speculative_wins}"),
+        ],
+    )
+    assert on.duration < off.duration
+
+
+def test_e7_rereplication_after_node_loss(benchmark, report):
+    def run():
+        sim = Simulator(seed=31)
+        cluster = HdfsCluster.build(sim, racks=4, nodes_per_rack=15,
+                                    node_capacity=2 * TB)
+        holder = {}
+
+        def scenario():
+            yield cluster.write_file("/data/set", 20 * GB, "r00h00")
+            victim = cluster.namenode.file_blocks("/data/set")[0].replicas[0]
+            lost = len([
+                b for b in cluster.namenode.file_blocks("/data/set")
+                if victim in b.replicas
+            ])
+            start = sim.now
+            yield cluster.fail_datanode(victim)
+            holder.update(lost=lost, recovery=sim.now - start)
+
+        p = sim.process(scenario())
+        sim.run()
+        assert not p.failed, p.exception
+        return holder, cluster
+
+    holder, cluster = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E7e", "datanode failure: re-replication",
+        [
+            ("replicas lost", "-", str(holder["lost"])),
+            ("recovery time", "background, bounded",
+             fmt_duration(holder["recovery"])),
+            ("under-replicated after", "0", str(len(cluster.namenode.under_replicated))),
+        ],
+    )
+    assert len(cluster.namenode.under_replicated) == 0
+
+
+def test_e7_ablation_fifo_vs_fair_multi_job(benchmark, report):
+    """Multi-tenancy ablation: a short interactive job submitted behind a
+    long batch job — FIFO head-of-line blocking vs fair sharing (the
+    scenario that motivated the Hadoop Fair Scheduler and delay
+    scheduling)."""
+
+    def run(policy):
+        sim = Simulator(seed=41)
+        cluster = HdfsCluster.build(sim, racks=2, nodes_per_rack=4,
+                                    node_capacity=2 * TB)
+        mr = MapReduceSim(sim, cluster, straggler_prob=0.0, node_speed_cv=0.0,
+                          job_policy=policy)
+        holder = {}
+
+        def scenario():
+            yield cluster.write_file("/long", 4 * GB, "core")
+            yield cluster.write_file("/short", 0.25 * GB, "core")
+            long_job = mr.submit(JobSpec("long", "/long", reduces=0,
+                                         map_cpu_per_byte=5e-8))
+            yield sim.timeout(10.0)
+            short_job = mr.submit(JobSpec("short", "/short", reduces=0,
+                                          map_cpu_per_byte=5e-8))
+            holder["short"] = yield short_job
+            holder["long"] = yield long_job
+
+        p = sim.process(scenario())
+        sim.run()
+        assert not p.failed, p.exception
+        return holder
+
+    fifo = benchmark.pedantic(lambda: run("fifo"), rounds=1, iterations=1)
+    fair = run("fair")
+    report(
+        "E7f", "ablation: FIFO vs fair sharing (short job behind batch job)",
+        [
+            ("short-job response (FIFO)", "head-of-line blocked",
+             fmt_duration(fifo["short"].duration)),
+            ("short-job response (fair)", "interleaved, much faster",
+             fmt_duration(fair["short"].duration)),
+            ("long-job time (FIFO/fair)", "fair costs the batch job little",
+             f"{fmt_duration(fifo['long'].duration)} / "
+             f"{fmt_duration(fair['long'].duration)}"),
+        ],
+    )
+    assert fair["short"].duration < fifo["short"].duration
+    assert fair["long"].duration < fifo["long"].duration * 1.5

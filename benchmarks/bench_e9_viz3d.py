@@ -1,0 +1,92 @@
+"""E9 — slide 13: "3D Biomedical data visualization — processing 1 TB
+dataset in 20 min" on the Hadoop cluster.
+
+The headline quantitative claim of the paper's DIC section.  Measured: the
+visualisation job's cost model on the canonical 60-node cluster at 1 TB
+(paper's number), plus sweeps over dataset size (linear in data) and
+cluster size (the claim's 'extreme scalability' premise).
+"""
+
+import pytest
+
+from repro.core import Facility, FacilityConfig, lsdf_2011_config
+from repro.mapreduce import MapReduceSim
+from repro.simkit.units import MINUTE, TB, fmt_duration
+from repro.workloads import viz3d_cluster_job
+
+
+def _run_viz(size, racks=4, nodes_per_rack=15, seed=9):
+    config = lsdf_2011_config()
+    config.cluster_racks = racks
+    config.nodes_per_rack = nodes_per_rack
+    facility = Facility(config, seed=seed)
+    holder = {}
+
+    def scenario():
+        yield facility.load_into_hdfs("/data/volume", size)
+        holder["result"] = yield facility.mapreduce.submit(
+            viz3d_cluster_job("/data/volume")
+        )
+
+    p = facility.sim.process(scenario())
+    facility.run()
+    assert not p.failed, p.exception
+    return holder["result"]
+
+
+def test_e9_one_tb_in_twenty_minutes(benchmark, report):
+    result = benchmark.pedantic(lambda: _run_viz(1 * TB), rounds=1, iterations=1)
+    minutes = result.duration / MINUTE
+    report(
+        "E9", "3D visualisation of 1 TB on the 60-node cluster",
+        [
+            ("job duration", "20 min", f"{minutes:.1f} min"),
+            ("map tasks", "-", f"{result.maps:,}"),
+            ("node-local maps", "high (bring compute to data)",
+             f"{result.locality_fraction:.0%}"),
+            ("shuffled", "small (projections)",
+             f"{result.bytes_shuffled / 1e9:.1f} GB"),
+        ],
+    )
+    # The paper's headline: same order, within +-40% of 20 minutes.
+    assert 12.0 <= minutes <= 28.0
+    assert result.locality_fraction > 0.8
+
+
+def test_e9_sweep_dataset_size(benchmark, report):
+    def run():
+        return {size: _run_viz(size) for size in (256e9, 512e9, 1 * TB)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    sizes = sorted(results)
+    for size in sizes:
+        rows.append((f"{size / 1e12:.2f} TB", "linear in data",
+                     fmt_duration(results[size].duration)))
+    report("E9b", "visualisation time vs dataset size", rows)
+    durations = [results[s].duration for s in sizes]
+    assert durations == sorted(durations)
+    # Rough linearity: 4x data within 2.4x-6x time (overheads at small end).
+    ratio = durations[-1] / durations[0]
+    assert 2.4 <= ratio <= 6.0
+
+
+def test_e9_sweep_cluster_size(benchmark, report):
+    def run():
+        return {
+            racks * 15: _run_viz(512e9, racks=racks)
+            for racks in (2, 4)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    small, big = results[30], results[60]
+    report(
+        "E9c", "visualisation of 0.5 TB: 30 vs 60 nodes",
+        [
+            ("30 nodes", "-", fmt_duration(small.duration)),
+            ("60 nodes", "~half the time", fmt_duration(big.duration)),
+            ("speedup", "~2x (commodity scalability)",
+             f"{small.duration / big.duration:.2f}x"),
+        ],
+    )
+    assert small.duration / big.duration > 1.5

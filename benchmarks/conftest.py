@@ -1,0 +1,38 @@
+"""Shared helpers for the experiment benches.
+
+Every bench prints a paper-vs-measured table through :func:`report`, which
+also appends to ``benchmarks/results.txt`` so the numbers survive pytest's
+output capture (EXPERIMENTS.md is written from that file).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS = pathlib.Path(__file__).parent / "results.txt"
+
+
+def pytest_configure(config):
+    # Fresh results file per session.
+    if not config.option.collectonly:
+        _RESULTS.write_text("")
+
+
+@pytest.fixture
+def report(capsys):
+    """Print (and persist) one experiment's paper-vs-measured table."""
+
+    def _report(exp_id: str, title: str, rows: list[tuple[str, str, str]]) -> None:
+        lines = [f"\n== {exp_id}: {title} ==",
+                 f"   {'quantity':40s} {'paper':>22s}   measured"]
+        for quantity, paper, measured in rows:
+            lines.append(f"   {quantity:40s} {paper:>22s}   {measured}")
+        text = "\n".join(lines)
+        with capsys.disabled():
+            print(text)
+        with _RESULTS.open("a") as fh:
+            fh.write(text + "\n")
+
+    return _report

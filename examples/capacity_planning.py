@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Capacity planning for the LSDF roadmap (slides 5 and 14).
+
+Reproduces the storage arithmetic behind "currently 2 PB", "6 PB in 2012",
+and the community growth to "1+ PB/year in 2012, 6 PB/year in 2014": per
+year, aggregate community ingest, cumulative disk and tape demand under the
+HSM archiving policy, and whether the procurement schedule keeps up.  Also
+shows what happens if the 2012 procurement slips — the planner flags the
+shortfall year.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core import CapacityPlanner, LSDF_PROCUREMENT
+from repro.simkit import units
+from repro.workloads import COMMUNITIES
+
+YEARS = range(2010, 2015)
+
+
+def main() -> None:
+    print("== communities (paper slides 5 & 14) ==")
+    for key, community in COMMUNITIES.items():
+        first = min(community.yearly_ingest) if community.yearly_ingest else "-"
+        peak = max(community.yearly_ingest.values(), default=0.0)
+        print(f"  {community.name:28s} onboard {first}  "
+              f"peak {units.fmt_bytes(peak)}/yr  "
+              f"archive {community.archive_fraction:.0%}")
+
+    print("\n== capacity table, paper procurement schedule ==")
+    planner = CapacityPlanner()
+    for row in planner.table(YEARS):
+        print(f"  {row.fmt()}")
+    print(f"  first shortfall: {planner.first_shortfall(YEARS) or 'none'}")
+
+    print("\n== what if the 6 PB (2012) procurement slips? ==")
+    slipped = dict(LSDF_PROCUREMENT)
+    slipped.pop(2012)
+    slipped.pop(2013)
+    late = CapacityPlanner(procurement=slipped)
+    for row in late.table(YEARS):
+        print(f"  {row.fmt()}")
+    print(f"  first shortfall: {late.first_shortfall(YEARS)}")
+
+    print("\n== procurement needed for 20% headroom ==")
+    for year in YEARS:
+        need = planner.required_capacity(year, headroom=0.2)
+        have = planner.installed_disk(year)
+        flag = "ok" if have >= need else "buy more"
+        print(f"  {year}: need {units.fmt_bytes(need):>10}, "
+              f"installed {units.fmt_bytes(have):>10}  [{flag}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""DNA sequencing with Hadoop tools (slide 13) — for real and at scale.
+
+Part 1 runs a *real* k-mer counting MapReduce (the first stage of de-novo
+assembly) over synthetic shotgun reads with the in-process engine — actual
+strings through the full map/combine/partition/sort/reduce data path.
+
+Part 2 runs the same job shape at facility scale on the simulated 60-node
+Hadoop cluster and reports the schedule (duration, locality, shuffle).
+
+Run:  python examples/dna_sequencing.py
+"""
+
+from collections import Counter
+
+from repro.core import Facility
+from repro.mapreduce import run_local
+from repro.simkit import RandomSource
+from repro.simkit.units import GB, fmt_bytes, fmt_duration
+from repro.workloads import (
+    dna_cluster_job,
+    generate_genome,
+    generate_reads,
+    kmer_count_job,
+    reads_to_splits,
+)
+
+
+def real_kmer_pipeline() -> None:
+    """Laptop-scale, genuinely executed."""
+    print("== part 1: real k-mer counting (in-process MapReduce) ==")
+    rng = RandomSource(2024)
+    genome = generate_genome(20_000, rng)
+    reads = generate_reads(genome, n_reads=8_000, read_length=100,
+                           error_rate=0.01, rng=rng)
+    k = 21
+    result = run_local(kmer_count_job(k), reads_to_splits(reads, 500), reducers=8)
+
+    counts = Counter(dict(result.output))
+    coverage = len(reads) * 100 / len(genome)
+    solid = sum(1 for c in counts.values() if c >= 3)
+    print(f"  reads: {len(reads)} x 100 bp (~{coverage:.0f}x coverage), k={k}")
+    print(f"  distinct k-mers: {len(counts):,} "
+          f"(solid, >=3x: {solid:,} — error k-mers are low-multiplicity)")
+    print(f"  map records in/out: {result.map_input_records:,} / "
+          f"{result.map_output_records:,}; "
+          f"shuffled after combine: {result.shuffle_records:,}")
+    top = counts.most_common(1)[0]
+    print(f"  most frequent k-mer: {top[0]} x{top[1]}")
+
+    # The "reconstruction" half of the slide: assemble contigs from the
+    # thresholded spectrum (de Bruijn graph, Contrail-style).
+    from repro.workloads import assemble
+
+    # Threshold well above the error-recurrence level (~coverage/5): we have
+    # no tip-clipping/bubble-popping, so surviving error k-mers break paths.
+    result = assemble(counts, min_multiplicity=8)
+    identity = result.longest / len(genome)
+    print(f"  reconstruction: {len(result.contigs)} contigs, "
+          f"N50={result.n50():,} bp, longest {result.longest:,} bp "
+          f"({identity:.1%} of the genome), "
+          f"{result.dropped_kmers:,} error k-mers discarded")
+
+
+def cluster_scale_run() -> None:
+    """Facility-scale, simulated on the 60-node cluster."""
+    print("\n== part 2: the same job at facility scale (simulated cluster) ==")
+    facility = Facility(seed=13)
+    dataset_bytes = 200 * GB  # a sequencing run's worth of reads
+
+    def scenario():
+        yield facility.load_into_hdfs("/data/run-042/reads", dataset_bytes)
+        result = yield facility.mapreduce.submit(
+            dna_cluster_job("/data/run-042/reads", reduces=32)
+        )
+        return result
+
+    proc = facility.sim.process(scenario())
+    facility.run()
+    result = proc.value
+    print(f"  input: {fmt_bytes(dataset_bytes)} of reads in HDFS "
+          f"({result.maps} blocks -> {result.maps} map tasks)")
+    print(f"  job time: {fmt_duration(result.duration)} "
+          f"(map phase {fmt_duration(result.map_phase_end - result.submitted)})")
+    print(f"  node-local maps: {result.locality_fraction:.0%}; "
+          f"shuffled {fmt_bytes(result.bytes_shuffled)} "
+          f"(k-mer expansion before combine)")
+    print(f"  speculative attempts: {result.speculative_launched} "
+          f"({result.speculative_wins} won)")
+
+
+def main() -> None:
+    real_kmer_pipeline()
+    cluster_scale_run()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A day in the life of the facility: failures, archive pressure, cloud.
+
+An operations-flavoured scenario exercising the resilience machinery the
+paper's infrastructure slide implies: a router failure mid-ingest (the
+redundant backbone reroutes), a datanode loss during an analysis campaign
+(HDFS re-replicates), the HSM responding to a filling pool, and a burst of
+user VMs on the cloud.
+
+Run:  python examples/facility_operations.py
+"""
+
+from repro.cloud import VMTemplate
+from repro.core import Facility, FacilityConfig
+from repro.core.config import ArraySpec
+from repro.mapreduce import JobSpec
+from repro.simkit.units import GB, HOUR, MINUTE, TB, fmt_bytes, fmt_duration
+from repro.workloads import zebrafish_microscopes
+
+
+def main() -> None:
+    # A deliberately small estate so archive pressure appears within the run.
+    config = FacilityConfig(
+        arrays=[ArraySpec("ddn", 25 * GB, 3e9), ArraySpec("ibm", 50 * GB, 5e9)],
+        cluster_racks=4,
+        nodes_per_rack=15,
+        hsm_high_water=0.70,
+        hsm_low_water=0.50,
+    )
+    facility = Facility(config, seed=99, hsm_daemon=True)
+    sim = facility.sim
+
+    # -- ingest runs all along -------------------------------------------------
+    pipeline = facility.ingest_pipeline(zebrafish_microscopes(instruments=4))
+    for scope in pipeline.microscopes:
+        scope.run(pipeline.buffer, duration=2 * HOUR)
+    for agent in pipeline.agents:
+        agent.start()
+
+    # -- scripted incidents ------------------------------------------------------
+    log: list[str] = []
+
+    def note(msg: str) -> None:
+        log.append(f"[{fmt_duration(sim.now):>9}] {msg}")
+
+    def incidents():
+        yield sim.timeout(20 * MINUTE)
+        note("router-1 FAILS — backbone fails over to router-2")
+        facility.net.fail_node("router-1")
+
+        yield sim.timeout(20 * MINUTE)
+        note("router-1 repaired")
+        facility.net.repair_node("router-1")
+
+        # An analysis campaign starts on the cluster.
+        yield facility.load_into_hdfs("/data/campaign", 20 * GB)
+        note("20 GB campaign dataset staged into HDFS")
+        job = facility.mapreduce.submit(
+            JobSpec("campaign", "/data/campaign", map_cpu_per_byte=5e-8, reduces=8)
+        )
+
+        yield sim.timeout(2 * MINUTE)
+        victim = facility.hdfs.namenode.file_blocks("/data/campaign")[0].replicas[0]
+        note(f"datanode {victim} DIES mid-job — re-replication starts")
+        rerep = facility.hdfs.fail_datanode(victim)
+
+        result = yield job
+        note(f"campaign finished in {fmt_duration(result.duration)} "
+             f"({result.locality_fraction:.0%} node-local)")
+        copies = yield rerep
+        note(f"re-replication restored {copies} blocks")
+
+        # Users bring their own VMs while all this is going on.
+        template = VMTemplate("user", 4, 8 * GB, "custom-env", 3 * GB)
+        vms = [facility.cloud.deploy(template) for _ in range(6)]
+        results = yield sim.all_of(vms)
+        latencies = sorted(vm.deploy_latency for vm in results.values())
+        note(f"6 user VMs running (deploy {fmt_duration(latencies[0])}"
+             f"..{fmt_duration(latencies[-1])})")
+
+    sim.process(incidents())
+    sim.run(until=2 * HOUR + 30 * MINUTE)
+    for agent in pipeline.agents:
+        agent.stop()
+
+    report = pipeline.report(2 * HOUR)
+    print("== incident log ==")
+    for line in log:
+        print(" ", line)
+
+    print("\n== after 2.5 simulated hours ==")
+    print(f"  frames ingested       {report.frames_ingested} "
+          f"(p95 latency {fmt_duration(report.latency_p95)}, "
+          f"{report.frames_dropped} dropped)")
+    print(f"  pool fill             {facility.pool.fill_fraction:.1%} "
+          f"(HSM migrated {int(facility.hsm.migrations.value)} files to tape, "
+          f"{facility.tape.cartridge_count} cartridges)")
+    hdfs_stats = facility.hdfs.stats()
+    print(f"  HDFS                  {hdfs_stats['files']} files, "
+          f"under-replicated={hdfs_stats['under_replicated']}")
+    print(f"  network delivered     {fmt_bytes(facility.net.bytes_delivered.value)} "
+          f"({facility.net.failed_flows} flows lost to failures)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""KATRIN onboarding: archival detector data and a reprocessing campaign.
+
+Slide 14 announces the KATRIN neutrino-mass experiment as a 2011 community.
+Its profile is the opposite of microscopy: few, large run files; 100%
+archival retention (write-through tape copies); and analysis passes that
+re-read long ranges of historical runs — the workload where tape behaviour
+(batched recalls, lazy dismount) decides usability.
+
+Run:  python examples/katrin_archive.py
+"""
+
+from repro.core import Facility, FacilityConfig
+from repro.core.config import ArraySpec
+from repro.metadata import Q
+from repro.simkit.units import GB, TB, fmt_bytes, fmt_duration
+from repro.storage import HsmConfig
+from repro.workloads import (
+    KATRIN_PROJECT,
+    KatrinConfig,
+    KatrinDaq,
+    katrin_basic_schema,
+    reprocessing_campaign,
+)
+
+N_RUNS = 40
+
+
+def main() -> None:
+    # A small disk estate forces the archive tier to matter.
+    facility = Facility(
+        FacilityConfig(arrays=[ArraySpec("ddn", 15 * GB, 3e9),
+                               ArraySpec("ibm", 15 * GB, 5e9)],
+                       cluster_racks=2, nodes_per_rack=4),
+        seed=314,
+    )
+    # KATRIN data is archival quality: write-through tape copies.
+    facility.hsm.config = HsmConfig(high_water=0.80, low_water=0.50,
+                                    scan_interval=3600.0, mode="write_through")
+    facility.metadata.register_project(KATRIN_PROJECT, katrin_basic_schema())
+    sim = facility.sim
+
+    # -- 1. take runs; each is ingested (disk + tape copy) and registered ----
+    daq = KatrinDaq(sim, KatrinConfig())
+
+    def ingest_run(run):
+        def flow():
+            yield facility.net.transfer(facility.names.daq[1],
+                                        facility.array_nodes["ibm"], run.size)
+            yield facility.hsm.store(run.run_id, run.size)
+            facility.metadata.register_dataset(
+                run.run_id, KATRIN_PROJECT,
+                f"adal://lsdf/katrin/{run.run_id}.dat",
+                run.size, f"cs-{run.run_number}", run.basic_metadata(),
+                created=sim.now,
+            )
+
+        return sim.process(flow())
+
+    proc = daq.run(ingest_run, n_runs=N_RUNS)
+    facility.run()
+    assert not proc.failed, proc.exception
+    took = sim.now
+    print(f"took {N_RUNS} runs in {fmt_duration(took)} "
+          f"({fmt_bytes(facility.hsm.pool.used + facility.tape.bytes_archived.value)} "
+          f"acquired, every run tape-protected: "
+          f"{int(facility.hsm.archive_copies.value)}/{N_RUNS})")
+
+    # -- 2. disk pressure: migrate cold runs (free — copies already on tape) --
+    migrated = sim.run(until=facility.hsm.migrate_now())
+    on_tape = [r for r in facility.pool.files() if r.tier == "tape"]
+    print(f"disk pressure: {migrated} runs dropped to tape-only "
+          f"(pool now {facility.pool.fill_fraction:.0%} full)")
+
+    # -- 3. an analysis pass re-reads a historical run range -------------------
+    campaign = [rid for rid in reprocessing_campaign(0, 19)
+                if facility.pool.contains(rid)]
+    recalled_from_tape = sum(
+        1 for rid in campaign if facility.hsm.tier_of(rid) == "tape"
+    )
+
+    def reprocess():
+        t0 = sim.now
+        for rid in campaign:
+            yield facility.hsm.access(rid)
+        return sim.now - t0
+
+    p = sim.process(reprocess())
+    facility.run()
+    assert not p.failed, p.exception
+    print(f"reprocessing campaign: {len(campaign)} runs "
+          f"({recalled_from_tape} staged back from tape) in "
+          f"{fmt_duration(p.value)}; tape mounts: {int(facility.tape.mounts.value)}")
+
+    # -- 4. metadata answers the physics questions -------------------------------
+    good = facility.metadata.query(
+        Q.project(KATRIN_PROJECT) & (Q.field("quality") == "good")
+    )
+    calib = facility.metadata.query(
+        Q.project(KATRIN_PROJECT) & (Q.field("quality") == "calibration")
+    )
+    total_events = sum(r.basic["events"] for r in good)
+    print(f"metadata: {len(good)} good runs ({total_events:,} events), "
+          f"{len(calib)} calibration runs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""ADAL in anger: one API over heterogeneous stores, with auth (slide 9).
+
+Demonstrates the unified access layer exactly as the paper motivates it:
+"not all components accessible through all methods — need a unified access
+layer".  Four very different backends (an in-memory scratch space, a real
+POSIX directory, an HSM-style tiered store, and the simulated HDFS) are
+mounted under one namespace; a token-authenticated community user works
+across them with a single client, inside ACL boundaries, with end-to-end
+checksums.
+
+Run:  python examples/unified_access.py
+"""
+
+import tempfile
+
+from repro.adal import (
+    AclAuthorizer,
+    AdalClient,
+    BackendRegistry,
+    Credentials,
+    HdfsBackend,
+    MemoryBackend,
+    PermissionDeniedError,
+    PosixBackend,
+    TieredBackend,
+    TokenAuth,
+)
+from repro.hdfs import NameNode
+from repro.simkit import RandomSource
+from repro.simkit.units import KiB
+
+
+def build_registry() -> BackendRegistry:
+    registry = BackendRegistry()
+    registry.register("scratch", MemoryBackend(capacity=64 * KiB))
+    registry.register("posix", PosixBackend(tempfile.mkdtemp(prefix="lsdf-")))
+    registry.register(
+        "hsm", TieredBackend(MemoryBackend(), MemoryBackend(), hot_capacity=8 * KiB)
+    )
+    namenode = NameNode(block_size=4 * KiB, replication=3, rng=RandomSource(1))
+    for rack in range(2):
+        for host in range(4):
+            namenode.add_datanode(f"r{rack}h{host}", f"rack{rack}", 10_000_000)
+    registry.register("hdfs", HdfsBackend(namenode, writer_node="r0h0"))
+    return registry
+
+
+def main() -> None:
+    registry = build_registry()
+    print(f"mounted stores: {registry.stores}")
+
+    # -- security context: token auth + per-community ACLs --------------------
+    auth = TokenAuth()
+    auth.register("ana", token="zebra-2011", groups=["zebrafish"])
+    acl = AclAuthorizer()
+    acl.grant("adal://scratch", "*", ["read", "write", "delete"])
+    for store in ("posix", "hsm", "hdfs"):
+        acl.grant(f"adal://{store}/zebrafish", "zebrafish", ["read", "write"])
+    client = AdalClient(registry, auth, Credentials("ana", "zebra-2011"), acl)
+
+    # -- same API everywhere ----------------------------------------------------
+    frame = bytes(range(256)) * 32  # a pretend 8 KiB microscopy frame
+    for store in ("scratch", "posix", "hsm", "hdfs"):
+        url = f"adal://{store}/zebrafish/plate1/A01.tif" if store != "scratch" \
+            else "adal://scratch/A01.tif"
+        info = client.put(url, frame)
+        verified = client.get(url, verify=True)
+        assert verified == frame
+        print(f"  {store:8s} put+verified {info.size} B  "
+              f"checksum {info.checksum[:12]}…")
+
+    # -- backend-specific behaviour under the same namespace ------------------------
+    hdfs_backend = registry.resolve("hdfs")
+    replicas = hdfs_backend.replicas_of("zebrafish/plate1/A01.tif")
+    print(f"\nHDFS placement for the frame's {len(replicas)} blocks "
+          f"(rack-aware, first block): {replicas[0]}")
+
+    tiered = registry.resolve("hsm")
+    client.put("adal://hsm/zebrafish/plate1/A02.tif", frame)  # evicts A01 to cold
+    print(f"HSM tiering: A01 is now {tiered.tier_of('zebrafish/plate1/A01.tif')}; "
+          f"reading it back...")
+    client.get("adal://hsm/zebrafish/plate1/A01.tif")
+    print(f"  -> recalled to {tiered.tier_of('zebrafish/plate1/A01.tif')} "
+          f"(recalls={tiered.recalls})")
+
+    # -- ACLs hold the community boundary ----------------------------------------------
+    try:
+        client.put("adal://posix/katrin/run1.dat", b"not yours")
+    except PermissionDeniedError as exc:
+        print(f"\nACL enforced: {exc}")
+
+    # -- copy across stores with one call -------------------------------------------------
+    client.copy("adal://posix/zebrafish/plate1/A01.tif",
+                "adal://scratch/backup-A01.tif")
+    print("cross-store copy done; audit trail:")
+    for who, op, url in client.auth.audit_log[-3:]:
+        print(f"  {who} {op:6s} {url}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — a reproduction of *The Large Scale Data Facility: Data Intensive
+Computing for Scientific Experiments* (García et al., PDSEC/IPDPS 2011).
+
+The package rebuilds the LSDF as two interlocking layers:
+
+* **real glue tooling** — the project metadata repository
+  (:mod:`repro.metadata`), the Abstract Data Access Layer
+  (:mod:`repro.adal`), the DataBrowser with tag-triggered workflow execution
+  (:mod:`repro.databrowser`), the Kepler-style workflow engine
+  (:mod:`repro.workflow`) and a real in-process MapReduce executor
+  (:mod:`repro.mapreduce.local`);
+* **a simulated facility substrate** — a deterministic discrete-event kernel
+  (:mod:`repro.simkit`) under a flow-level network simulator
+  (:mod:`repro.netsim`), disk/tape/HSM storage models (:mod:`repro.storage`),
+  an HDFS simulator (:mod:`repro.hdfs`), a Hadoop-style MapReduce scheduler
+  simulator (:mod:`repro.mapreduce.sim`) and an OpenNebula-style cloud
+  (:mod:`repro.cloud`).
+
+:mod:`repro.core` composes everything into the canonical LSDF-2011 facility;
+:mod:`repro.workloads` and :mod:`repro.ingest` generate the paper's driving
+workloads (zebrafish high-throughput microscopy, DNA sequencing, 3D
+visualisation, KATRIN/ANKA/climate community profiles).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

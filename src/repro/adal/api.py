@@ -1,0 +1,247 @@
+"""The ADAL core API: URLs, the backend ABC, the registry and the client.
+
+Every LSDF tool addresses data with ``adal://<store>/<path>`` URLs.  The
+:class:`BackendRegistry` maps store names to :class:`StorageBackend`
+instances; an :class:`AdalClient` binds a registry to an authenticated
+principal and mediates every operation (authorisation, checksumming,
+auditing) — the "low-level interface to LSDF" of slide 9.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.adal.auth import AuthContext, AclAuthorizer, AuthProvider, Credentials
+from repro.adal.errors import (
+    AdalError,
+    BackendNotFoundError,
+    ChecksumMismatchError,
+    ObjectNotFoundError,
+)
+
+SCHEME = "adal"
+
+
+def checksum_bytes(data: bytes) -> str:
+    """The facility-wide content checksum (sha256, hex)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class AdalUrl:
+    """A parsed ``adal://store/path`` URL."""
+
+    store: str
+    path: str
+
+    @classmethod
+    def parse(cls, url: str) -> "AdalUrl":
+        """Parse and normalise an ADAL URL string."""
+        prefix = f"{SCHEME}://"
+        if not url.startswith(prefix):
+            raise AdalError(f"not an ADAL URL: {url!r}")
+        rest = url[len(prefix):]
+        if "/" not in rest:
+            store, path = rest, ""
+        else:
+            store, path = rest.split("/", 1)
+        if not store:
+            raise AdalError(f"ADAL URL missing store name: {url!r}")
+        return cls(store, path.lstrip("/"))
+
+    def __str__(self) -> str:
+        return f"{SCHEME}://{self.store}/{self.path}"
+
+
+@dataclass(frozen=True)
+class ObjectInfo:
+    """Metadata of a stored object, as reported by a backend."""
+
+    url: str
+    size: int
+    checksum: str
+    created: float = 0.0
+    extra: tuple = ()
+
+    @property
+    def name(self) -> str:
+        """Last path component."""
+        return self.url.rsplit("/", 1)[-1]
+
+
+class StorageBackend:
+    """The backend extension point.
+
+    Implementations provide whole-object semantics (the facility's data is
+    write-once/read-many): ``put`` stores bytes under a path, ``get`` reads
+    them back, plus ``stat``/``listdir``/``delete``/``exists``.  Paths are
+    ``/``-separated and relative to the store root.
+    """
+
+    #: Human-readable backend kind, e.g. "posix", "hdfs-sim".
+    kind = "abstract"
+
+    def put(self, path: str, data: bytes, overwrite: bool = False) -> ObjectInfo:
+        """Store ``data`` at ``path``; raise ObjectExistsError unless
+        ``overwrite`` on an existing path."""
+        raise NotImplementedError
+
+    def get(self, path: str) -> bytes:
+        """Read the full object."""
+        raise NotImplementedError
+
+    def stat(self, path: str) -> ObjectInfo:
+        """Object metadata; raises :class:`ObjectNotFoundError`."""
+        raise NotImplementedError
+
+    def listdir(self, prefix: str = "") -> list[ObjectInfo]:
+        """All objects whose path starts with ``prefix``, sorted by path."""
+        raise NotImplementedError
+
+    def delete(self, path: str) -> None:
+        """Remove an object; raises :class:`ObjectNotFoundError`."""
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        """Whether an object exists at ``path``."""
+        try:
+            self.stat(path)
+            return True
+        except ObjectNotFoundError:
+            return False
+
+
+class BackendRegistry:
+    """Maps store names (URL authority) to backend instances."""
+
+    def __init__(self) -> None:
+        self._stores: dict[str, StorageBackend] = {}
+
+    def register(self, store: str, backend: StorageBackend) -> None:
+        """Mount a backend under a store name."""
+        if store in self._stores:
+            raise AdalError(f"store {store!r} already registered")
+        self._stores[store] = backend
+
+    def unregister(self, store: str) -> None:
+        """Unmount a store (idempotent)."""
+        self._stores.pop(store, None)
+
+    def resolve(self, store: str) -> StorageBackend:
+        """Backend for a store name; raises :class:`BackendNotFoundError`."""
+        try:
+            return self._stores[store]
+        except KeyError:
+            raise BackendNotFoundError(store) from None
+
+    @property
+    def stores(self) -> list[str]:
+        """Registered store names, sorted."""
+        return sorted(self._stores)
+
+
+class AdalClient:
+    """The unified access layer bound to an authenticated principal.
+
+    Parameters
+    ----------
+    registry:
+        Store-name to backend mapping.
+    auth_provider:
+        Authentication mechanism (default: anonymous).
+    credentials:
+        Credentials to authenticate with.
+    authorizer:
+        Optional ACL set; when given, every operation is permission-checked
+        against the full ADAL URL and recorded in the audit log.
+    """
+
+    def __init__(
+        self,
+        registry: BackendRegistry,
+        auth_provider: Optional[AuthProvider] = None,
+        credentials: Optional[Credentials] = None,
+        authorizer: Optional[AclAuthorizer] = None,
+    ):
+        from repro.adal.auth import AnonymousAuth  # avoid import cycle at module load
+
+        provider = auth_provider or AnonymousAuth()
+        principal = provider.authenticate(credentials or Credentials("anonymous"))
+        self.registry = registry
+        self.auth = AuthContext(principal=principal, authorizer=authorizer)
+
+    # -- helpers ------------------------------------------------------------
+    def _split(self, url: str) -> tuple[StorageBackend, AdalUrl]:
+        parsed = AdalUrl.parse(url)
+        return self.registry.resolve(parsed.store), parsed
+
+    # -- operations -----------------------------------------------------------
+    def put(self, url: str, data: bytes, overwrite: bool = False) -> ObjectInfo:
+        """Store an object (write permission)."""
+        backend, parsed = self._split(url)
+        self.auth.check(url, "write")
+        info = backend.put(parsed.path, data, overwrite=overwrite)
+        return ObjectInfo(url=str(parsed), size=info.size, checksum=info.checksum,
+                          created=info.created, extra=info.extra)
+
+    def get(self, url: str, verify: bool = False) -> bytes:
+        """Read an object (read permission); optionally verify its checksum."""
+        backend, parsed = self._split(url)
+        self.auth.check(url, "read")
+        data = backend.get(parsed.path)
+        if verify:
+            stored = backend.stat(parsed.path).checksum
+            actual = checksum_bytes(data)
+            if stored != actual:
+                raise ChecksumMismatchError(
+                    f"{url}: stored {stored[:12]}… != read {actual[:12]}…"
+                )
+        return data
+
+    def stat(self, url: str) -> ObjectInfo:
+        """Object metadata (read permission)."""
+        backend, parsed = self._split(url)
+        self.auth.check(url, "read")
+        info = backend.stat(parsed.path)
+        return ObjectInfo(url=str(parsed), size=info.size, checksum=info.checksum,
+                          created=info.created, extra=info.extra)
+
+    def listdir(self, url: str) -> list[ObjectInfo]:
+        """Objects under a URL prefix (read permission)."""
+        backend, parsed = self._split(url)
+        self.auth.check(url, "read")
+        out = []
+        for info in backend.listdir(parsed.path):
+            out.append(
+                ObjectInfo(
+                    url=f"{SCHEME}://{parsed.store}/{info.url}",
+                    size=info.size,
+                    checksum=info.checksum,
+                    created=info.created,
+                    extra=info.extra,
+                )
+            )
+        return out
+
+    def delete(self, url: str) -> None:
+        """Remove an object (delete permission)."""
+        backend, parsed = self._split(url)
+        self.auth.check(url, "delete")
+        backend.delete(parsed.path)
+
+    def exists(self, url: str) -> bool:
+        """Existence check (read permission)."""
+        backend, parsed = self._split(url)
+        self.auth.check(url, "read")
+        return backend.exists(parsed.path)
+
+    def copy(self, src_url: str, dst_url: str, overwrite: bool = False) -> ObjectInfo:
+        """Copy between any two stores (read on src, write on dst)."""
+        data = self.get(src_url)
+        return self.put(dst_url, data, overwrite=overwrite)
+
+    def checksum(self, url: str) -> str:
+        """Stored checksum of an object (read permission)."""
+        return self.stat(url).checksum

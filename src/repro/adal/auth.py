@@ -1,0 +1,162 @@
+"""Authentication and authorisation mechanisms for ADAL.
+
+The paper calls ADAL "extensible to support new backends, *authentication
+mechanisms*"; the extension point is :class:`AuthProvider`.  Two providers
+are bundled (anonymous and token-based), plus a path-prefix ACL authoriser
+that maps principals/groups to permissions per URL prefix — the shape of
+access control a multi-community facility needs (each experiment sees only
+its own tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.adal.errors import AuthError, PermissionDeniedError
+
+#: The permission vocabulary.
+PERMISSIONS = ("read", "write", "delete", "admin")
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """What a caller presents: a subject name and an optional secret."""
+
+    subject: str
+    token: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An authenticated identity with group memberships."""
+
+    name: str
+    groups: frozenset[str] = frozenset()
+
+    def identities(self) -> frozenset[str]:
+        """All names this principal can act as (self + groups)."""
+        return self.groups | {self.name}
+
+
+class AuthProvider:
+    """Maps :class:`Credentials` to a :class:`Principal` (or raises)."""
+
+    name = "abstract"
+
+    def authenticate(self, credentials: Credentials) -> Principal:
+        """Authenticate or raise :class:`~repro.adal.errors.AuthError`."""
+        raise NotImplementedError
+
+
+class AnonymousAuth(AuthProvider):
+    """Accepts anyone as the (group-less) principal they claim to be.
+
+    Used for open scratch areas and in tests; pair with an ACL that grants
+    ``anonymous`` little or nothing in production trees.
+    """
+
+    name = "anonymous"
+
+    def authenticate(self, credentials: Credentials) -> Principal:
+        return Principal(credentials.subject or "anonymous")
+
+
+class TokenAuth(AuthProvider):
+    """Static token table: subject -> (token, groups)."""
+
+    name = "token"
+
+    def __init__(self) -> None:
+        self._table: dict[str, tuple[str, frozenset[str]]] = {}
+
+    def register(self, subject: str, token: str, groups: Iterable[str] = ()) -> None:
+        """Install a subject's token and group memberships."""
+        if not token:
+            raise ValueError("empty tokens are not allowed")
+        self._table[subject] = (token, frozenset(groups))
+
+    def revoke(self, subject: str) -> None:
+        """Remove a subject (idempotent)."""
+        self._table.pop(subject, None)
+
+    def authenticate(self, credentials: Credentials) -> Principal:
+        entry = self._table.get(credentials.subject)
+        if entry is None:
+            raise AuthError(f"unknown subject {credentials.subject!r}")
+        token, groups = entry
+        if credentials.token != token:
+            raise AuthError(f"bad token for subject {credentials.subject!r}")
+        return Principal(credentials.subject, groups)
+
+
+@dataclass
+class AclEntry:
+    """One grant: identities -> permissions, under a URL prefix."""
+
+    prefix: str
+    identity: str  # principal or group name, or "*" for everyone
+    permissions: frozenset[str]
+
+
+def _prefix_match(prefix: str, url: str) -> bool:
+    """Component-aware prefix match: ``a/b`` covers ``a/b`` and ``a/b/c``,
+    not ``a/bc``; a trailing slash on the grant prefix is optional."""
+    prefix = prefix.rstrip("/")
+    url = url.rstrip("/")
+    return url == prefix or url.startswith(prefix + "/")
+
+
+class AclAuthorizer:
+    """Prefix-match ACLs over ADAL URLs.
+
+    Grants are additive: a principal holds a permission on a URL if *any*
+    matching entry (by identity or group, at any matching prefix) grants it.
+    ``admin`` implies everything.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[AclEntry] = []
+
+    def grant(self, prefix: str, identity: str, permissions: Iterable[str]) -> None:
+        """Add a grant under a URL prefix for a principal/group/``*``."""
+        perms = frozenset(permissions)
+        unknown = perms - set(PERMISSIONS)
+        if unknown:
+            raise ValueError(f"unknown permissions: {sorted(unknown)}")
+        self._entries.append(AclEntry(prefix, identity, perms))
+
+    def permissions(self, principal: Principal, url: str) -> frozenset[str]:
+        """All permissions the principal holds on ``url``."""
+        identities = principal.identities() | {"*"}
+        granted: set[str] = set()
+        for entry in self._entries:
+            if entry.identity in identities and _prefix_match(entry.prefix, url):
+                granted |= entry.permissions
+        if "admin" in granted:
+            granted |= set(PERMISSIONS)
+        return frozenset(granted)
+
+    def check(self, principal: Principal, url: str, permission: str) -> None:
+        """Raise :class:`PermissionDeniedError` unless permission is held."""
+        if permission not in PERMISSIONS:
+            raise ValueError(f"unknown permission {permission!r}")
+        if permission not in self.permissions(principal, url):
+            raise PermissionDeniedError(
+                f"{principal.name!r} lacks {permission!r} on {url!r}"
+            )
+
+
+@dataclass
+class AuthContext:
+    """The resolved security context attached to an :class:`AdalClient`."""
+
+    principal: Principal
+    authorizer: Optional[AclAuthorizer] = None
+    audit_log: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def check(self, url: str, permission: str) -> None:
+        """Authorise and audit one operation."""
+        if self.authorizer is not None:
+            self.authorizer.check(self.principal, url, permission)
+        self.audit_log.append((self.principal.name, permission, url))

@@ -1,0 +1,16 @@
+"""Bundled ADAL storage backends."""
+
+from repro.adal.backends.memory import MemoryBackend
+from repro.adal.backends.posix import PosixBackend
+from repro.adal.backends.tiered import TieredBackend
+from repro.adal.backends.hdfs import HdfsBackend
+from repro.adal.backends.object_store import Bucket, ObjectStoreBackend
+
+__all__ = [
+    "Bucket",
+    "HdfsBackend",
+    "MemoryBackend",
+    "ObjectStoreBackend",
+    "PosixBackend",
+    "TieredBackend",
+]

@@ -1,0 +1,88 @@
+"""ADAL backend over the simulated HDFS.
+
+Bridges the glue layer and the simulator: object bytes live in memory (so
+``get``/``put`` work synchronously for the DataBrowser and workflows), while
+each ``put`` also registers the file with the simulated
+:class:`~repro.hdfs.namenode.NameNode` — block placements, replica
+accounting and capacity are consistent with what the DES experiments see,
+and a dataset written through ADAL is immediately runnable as a MapReduce
+input.
+
+Timing note: ADAL operations are glue-level (instant); moving the bytes in
+*simulated time* is what :meth:`~repro.hdfs.cluster.HdfsCluster.write_file`
+/ ``read_file`` are for.  The two views share one namespace through this
+backend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adal.api import ObjectInfo, StorageBackend, checksum_bytes
+from repro.adal.errors import AdalError, ObjectExistsError, ObjectNotFoundError
+from repro.hdfs.namenode import HdfsError, NameNode
+
+
+class HdfsBackend(StorageBackend):
+    """Real bytes + simulated placement, one namespace."""
+
+    kind = "hdfs-sim"
+
+    def __init__(self, namenode: NameNode, writer_node: Optional[str] = None):
+        self.namenode = namenode
+        self.writer_node = writer_node
+        self._data: dict[str, tuple[bytes, ObjectInfo]] = {}
+        self._clock = 0
+
+    def _hdfs_path(self, path: str) -> str:
+        return "/" + path.lstrip("/")
+
+    def put(self, path: str, data: bytes, overwrite: bool = False) -> ObjectInfo:
+        if not path:
+            raise AdalError("empty object path")
+        hdfs_path = self._hdfs_path(path)
+        if path in self._data:
+            if not overwrite:
+                raise ObjectExistsError(path)
+            self.namenode.delete_file(hdfs_path)
+            del self._data[path]
+        try:
+            self.namenode.create_file(hdfs_path, len(data), writer=self.writer_node)
+        except HdfsError as exc:
+            raise AdalError(f"HDFS placement failed for {path!r}: {exc}") from exc
+        self._clock += 1
+        info = ObjectInfo(
+            url=path,
+            size=len(data),
+            checksum=checksum_bytes(data),
+            created=float(self._clock),
+        )
+        self._data[path] = (bytes(data), info)
+        return info
+
+    def get(self, path: str) -> bytes:
+        try:
+            return self._data[path][0]
+        except KeyError:
+            raise ObjectNotFoundError(path) from None
+
+    def stat(self, path: str) -> ObjectInfo:
+        try:
+            return self._data[path][1]
+        except KeyError:
+            raise ObjectNotFoundError(path) from None
+
+    def listdir(self, prefix: str = "") -> list[ObjectInfo]:
+        return [info for p, (_d, info) in sorted(self._data.items()) if p.startswith(prefix)]
+
+    def delete(self, path: str) -> None:
+        if path not in self._data:
+            raise ObjectNotFoundError(path)
+        self.namenode.delete_file(self._hdfs_path(path))
+        del self._data[path]
+
+    def replicas_of(self, path: str) -> list[list[str]]:
+        """Replica placement of an object's blocks (for locality-aware UIs)."""
+        if path not in self._data:
+            raise ObjectNotFoundError(path)
+        return [list(b.replicas) for b in self.namenode.file_blocks(self._hdfs_path(path))]

@@ -1,0 +1,74 @@
+"""In-memory ADAL backend.
+
+The zero-dependency store used by tests, the DataBrowser examples, and as
+the object store behind the simulated HDFS backend.  Optionally enforces a
+capacity limit, behaving like a quota'd project space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.adal.api import ObjectInfo, StorageBackend, checksum_bytes
+from repro.adal.errors import AdalError, ObjectExistsError, ObjectNotFoundError
+
+
+class MemoryBackend(StorageBackend):
+    """Objects held in a dict; whole-object put/get semantics."""
+
+    kind = "memory"
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._objects: dict[str, tuple[bytes, ObjectInfo]] = {}
+        self.capacity = capacity
+        self._used = 0
+        self._clock = itertools.count()
+
+    @property
+    def used(self) -> int:
+        """Total stored bytes."""
+        return self._used
+
+    def put(self, path: str, data: bytes, overwrite: bool = False) -> ObjectInfo:
+        if not path:
+            raise AdalError("empty object path")
+        existing = self._objects.get(path)
+        if existing is not None and not overwrite:
+            raise ObjectExistsError(path)
+        new_used = self._used + len(data) - (existing[1].size if existing else 0)
+        if self.capacity is not None and new_used > self.capacity:
+            raise AdalError(
+                f"memory backend over capacity: {new_used} > {self.capacity} bytes"
+            )
+        info = ObjectInfo(
+            url=path,
+            size=len(data),
+            checksum=checksum_bytes(data),
+            created=float(next(self._clock)),
+        )
+        self._objects[path] = (bytes(data), info)
+        self._used = new_used
+        return info
+
+    def get(self, path: str) -> bytes:
+        try:
+            return self._objects[path][0]
+        except KeyError:
+            raise ObjectNotFoundError(path) from None
+
+    def stat(self, path: str) -> ObjectInfo:
+        try:
+            return self._objects[path][1]
+        except KeyError:
+            raise ObjectNotFoundError(path) from None
+
+    def listdir(self, prefix: str = "") -> list[ObjectInfo]:
+        return [info for p, (_d, info) in sorted(self._objects.items()) if p.startswith(prefix)]
+
+    def delete(self, path: str) -> None:
+        try:
+            _data, info = self._objects.pop(path)
+        except KeyError:
+            raise ObjectNotFoundError(path) from None
+        self._used -= info.size

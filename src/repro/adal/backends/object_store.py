@@ -1,0 +1,217 @@
+"""Versioned object-store backend (slide 14: "Object Storage —
+investigate and deploy new technologies").
+
+An S3-shaped store as an ADAL backend: the first path component is the
+*bucket*, the rest the *key*.  Buckets carry per-bucket policies:
+
+* ``versioning`` — overwrites keep prior versions retrievable
+  (:meth:`ObjectStoreBackend.get_version` / :meth:`versions`), and delete
+  inserts a delete-marker rather than destroying history;
+* ``quota_bytes`` — per-bucket capacity, counting *all* retained versions;
+* per-object user metadata headers, stored at put time.
+
+Through the plain :class:`~repro.adal.api.StorageBackend` interface the
+store behaves like any other backend (latest version wins), so existing
+tools (DataBrowser, workflows, rules) work unchanged; version-aware tools
+use the extra methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.adal.api import ObjectInfo, StorageBackend, checksum_bytes
+from repro.adal.errors import AdalError, ObjectExistsError, ObjectNotFoundError
+
+
+class BucketNotFoundError(AdalError, KeyError):
+    """The path's first component names no existing bucket."""
+
+
+class QuotaExceededError(AdalError):
+    """The put would push the bucket past its quota."""
+
+
+@dataclass
+class _Version:
+    version_id: int
+    data: Optional[bytes]  # None = delete marker
+    info: Optional[ObjectInfo]
+    user_metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_delete_marker(self) -> bool:
+        return self.data is None
+
+
+@dataclass
+class Bucket:
+    """A named container with policy."""
+
+    name: str
+    versioning: bool = True
+    quota_bytes: Optional[int] = None
+    _objects: dict[str, list[_Version]] = field(default_factory=dict)
+    _version_seq: int = 0
+    _used: int = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes across all retained versions."""
+        return self._used
+
+    def _latest(self, key: str) -> Optional[_Version]:
+        versions = self._objects.get(key)
+        return versions[-1] if versions else None
+
+
+class ObjectStoreBackend(StorageBackend):
+    """Buckets + keys + versions behind the standard ADAL interface."""
+
+    kind = "object-store"
+
+    def __init__(self) -> None:
+        self._buckets: dict[str, Bucket] = {}
+        self._clock = 0
+
+    # -- bucket admin -------------------------------------------------------
+    def create_bucket(self, name: str, versioning: bool = True,
+                      quota_bytes: Optional[int] = None) -> Bucket:
+        """Create a bucket (idempotent creation is an error, like S3)."""
+        if not name or "/" in name:
+            raise AdalError(f"invalid bucket name {name!r}")
+        if name in self._buckets:
+            raise AdalError(f"bucket {name!r} already exists")
+        bucket = Bucket(name, versioning=versioning, quota_bytes=quota_bytes)
+        self._buckets[name] = bucket
+        return bucket
+
+    def bucket(self, name: str) -> Bucket:
+        """Look up a bucket."""
+        try:
+            return self._buckets[name]
+        except KeyError:
+            raise BucketNotFoundError(name) from None
+
+    @property
+    def buckets(self) -> list[str]:
+        """Bucket names, sorted."""
+        return sorted(self._buckets)
+
+    def _split(self, path: str) -> tuple[Bucket, str]:
+        if not path or "/" not in path:
+            raise AdalError(f"object-store paths are bucket/key, got {path!r}")
+        bucket_name, key = path.split("/", 1)
+        if not key:
+            raise AdalError(f"empty key in {path!r}")
+        return self.bucket(bucket_name), key
+
+    # -- StorageBackend interface ----------------------------------------------
+    def put(self, path: str, data: bytes, overwrite: bool = False,
+            user_metadata: Optional[Mapping[str, Any]] = None) -> ObjectInfo:
+        bucket, key = self._split(path)
+        latest = bucket._latest(key)
+        exists = latest is not None and not latest.is_delete_marker
+        if exists and not overwrite:
+            raise ObjectExistsError(path)
+        retained = len(data)
+        released = 0
+        if exists and not bucket.versioning:
+            released = latest.info.size  # type: ignore[union-attr]
+        if bucket.quota_bytes is not None and (
+            bucket._used + retained - released > bucket.quota_bytes
+        ):
+            raise QuotaExceededError(
+                f"bucket {bucket.name!r}: quota {bucket.quota_bytes} B exceeded"
+            )
+        self._clock += 1
+        bucket._version_seq += 1
+        info = ObjectInfo(url=path, size=len(data),
+                          checksum=checksum_bytes(data), created=float(self._clock))
+        version = _Version(bucket._version_seq, bytes(data), info,
+                           dict(user_metadata or {}))
+        history = bucket._objects.setdefault(key, [])
+        if not bucket.versioning:
+            for old in history:
+                if old.data is not None:
+                    bucket._used -= len(old.data)
+            history.clear()
+        history.append(version)
+        bucket._used += retained
+        return info
+
+    def get(self, path: str) -> bytes:
+        bucket, key = self._split(path)
+        latest = bucket._latest(key)
+        if latest is None or latest.is_delete_marker:
+            raise ObjectNotFoundError(path)
+        return latest.data  # type: ignore[return-value]
+
+    def stat(self, path: str) -> ObjectInfo:
+        bucket, key = self._split(path)
+        latest = bucket._latest(key)
+        if latest is None or latest.is_delete_marker:
+            raise ObjectNotFoundError(path)
+        return latest.info  # type: ignore[return-value]
+
+    def listdir(self, prefix: str = "") -> list[ObjectInfo]:
+        out: list[ObjectInfo] = []
+        for bucket_name in sorted(self._buckets):
+            bucket = self._buckets[bucket_name]
+            for key in sorted(bucket._objects):
+                path = f"{bucket_name}/{key}"
+                if not path.startswith(prefix):
+                    continue
+                latest = bucket._latest(key)
+                if latest is not None and not latest.is_delete_marker:
+                    out.append(latest.info)  # type: ignore[arg-type]
+        return out
+
+    def delete(self, path: str) -> None:
+        bucket, key = self._split(path)
+        latest = bucket._latest(key)
+        if latest is None or latest.is_delete_marker:
+            raise ObjectNotFoundError(path)
+        if bucket.versioning:
+            bucket._version_seq += 1
+            bucket._objects[key].append(_Version(bucket._version_seq, None, None))
+        else:
+            for old in bucket._objects.pop(key):
+                if old.data is not None:
+                    bucket._used -= len(old.data)
+
+    # -- version-aware extras -----------------------------------------------------
+    def versions(self, path: str) -> list[int]:
+        """Version ids of a key, oldest first (delete markers excluded)."""
+        bucket, key = self._split(path)
+        history = bucket._objects.get(key)
+        if not history:
+            raise ObjectNotFoundError(path)
+        return [v.version_id for v in history if not v.is_delete_marker]
+
+    def get_version(self, path: str, version_id: int) -> bytes:
+        """Fetch a specific retained version."""
+        bucket, key = self._split(path)
+        for version in bucket._objects.get(key, ()):
+            if version.version_id == version_id and not version.is_delete_marker:
+                return version.data  # type: ignore[return-value]
+        raise ObjectNotFoundError(f"{path}@v{version_id}")
+
+    def user_metadata(self, path: str) -> dict[str, Any]:
+        """User metadata headers of the latest version."""
+        bucket, key = self._split(path)
+        latest = bucket._latest(key)
+        if latest is None or latest.is_delete_marker:
+            raise ObjectNotFoundError(path)
+        return dict(latest.user_metadata)
+
+    def restore(self, path: str, version_id: int) -> ObjectInfo:
+        """Make an old version current again (copies it to the head)."""
+        data = self.get_version(path, version_id)
+        bucket, key = self._split(path)
+        metadata = next(
+            v.user_metadata for v in bucket._objects[key]
+            if v.version_id == version_id
+        )
+        return self.put(path, data, overwrite=True, user_metadata=metadata)

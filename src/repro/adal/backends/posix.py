@@ -1,0 +1,84 @@
+"""POSIX-directory ADAL backend.
+
+Stores objects as real files under a root directory — the shape of the
+LSDF's NFS/GPFS-style mounts.  Checksums are computed at put time and kept
+in a sidecar index so ``stat`` stays cheap; path traversal out of the root
+is rejected.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.adal.api import ObjectInfo, StorageBackend, checksum_bytes
+from repro.adal.errors import AdalError, ObjectExistsError, ObjectNotFoundError
+
+_INDEX_NAME = ".adal-index.json"
+
+
+class PosixBackend(StorageBackend):
+    """Objects as files under ``root``; metadata in a sidecar JSON index."""
+
+    kind = "posix"
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root).resolve()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / _INDEX_NAME
+        self._index: dict[str, dict] = {}
+        if self._index_path.exists():
+            self._index = json.loads(self._index_path.read_text())
+
+    def _resolve(self, path: str) -> Path:
+        if not path:
+            raise AdalError("empty object path")
+        candidate = (self.root / path).resolve()
+        if not candidate.is_relative_to(self.root):
+            raise AdalError(f"path escapes backend root: {path!r}")
+        return candidate
+
+    def _save_index(self) -> None:
+        self._index_path.write_text(json.dumps(self._index))
+
+    def put(self, path: str, data: bytes, overwrite: bool = False) -> ObjectInfo:
+        target = self._resolve(path)
+        if path in self._index and not overwrite:
+            raise ObjectExistsError(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(data)
+        info = {
+            "size": len(data),
+            "checksum": checksum_bytes(data),
+            "created": os.stat(target).st_mtime,
+        }
+        self._index[path] = info
+        self._save_index()
+        return ObjectInfo(url=path, size=info["size"], checksum=info["checksum"],
+                          created=info["created"])
+
+    def get(self, path: str) -> bytes:
+        target = self._resolve(path)
+        if path not in self._index or not target.exists():
+            raise ObjectNotFoundError(path)
+        return target.read_bytes()
+
+    def stat(self, path: str) -> ObjectInfo:
+        info = self._index.get(path)
+        if info is None:
+            raise ObjectNotFoundError(path)
+        return ObjectInfo(url=path, size=info["size"], checksum=info["checksum"],
+                          created=info["created"])
+
+    def listdir(self, prefix: str = "") -> list[ObjectInfo]:
+        return [self.stat(p) for p in sorted(self._index) if p.startswith(prefix)]
+
+    def delete(self, path: str) -> None:
+        target = self._resolve(path)
+        if path not in self._index:
+            raise ObjectNotFoundError(path)
+        del self._index[path]
+        if target.exists():
+            target.unlink()
+        self._save_index()

@@ -1,0 +1,119 @@
+"""Tiered (HSM-style) ADAL backend.
+
+A *real* two-tier store mirroring what the simulated
+:class:`~repro.storage.hsm.HsmSystem` models in time: a bounded hot tier in
+front of an unbounded cold tier.  When the hot tier exceeds its capacity,
+the least-recently-used objects are demoted; reading a demoted object
+transparently promotes it back (and counts as a *recall*, visible in
+:attr:`TieredBackend.recalls` — the glue-level analogue of tape staging).
+
+This gives the E5/E12 benches a real backend whose access pattern costs
+differ by tier, without any simulation machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adal.api import ObjectInfo, StorageBackend
+from repro.adal.errors import ObjectNotFoundError
+
+
+class TieredBackend(StorageBackend):
+    """LRU promotion/demotion between a hot and a cold backend."""
+
+    kind = "tiered"
+
+    def __init__(self, hot: StorageBackend, cold: StorageBackend, hot_capacity: int):
+        if hot_capacity <= 0:
+            raise ValueError("hot_capacity must be > 0")
+        self.hot = hot
+        self.cold = cold
+        self.hot_capacity = int(hot_capacity)
+        self._hot_bytes = 0
+        self._lru: dict[str, int] = {}  # path -> last-use counter (insertion = order)
+        self._tick = 0
+        self.recalls = 0
+        self.demotions = 0
+
+    # -- tier bookkeeping ---------------------------------------------------
+    def tier_of(self, path: str) -> str:
+        """``"hot"`` or ``"cold"``; raises when the object is unknown."""
+        if self.hot.exists(path):
+            return "hot"
+        if self.cold.exists(path):
+            return "cold"
+        raise ObjectNotFoundError(path)
+
+    def _touch(self, path: str) -> None:
+        self._tick += 1
+        self._lru[path] = self._tick
+
+    def _make_room(self, incoming: int) -> None:
+        while self._hot_bytes + incoming > self.hot_capacity and self._lru:
+            victim = min(self._lru, key=lambda p: self._lru[p])
+            del self._lru[victim]
+            data = self.hot.get(victim)
+            self.cold.put(victim, data, overwrite=True)
+            self.hot.delete(victim)
+            self._hot_bytes -= len(data)
+            self.demotions += 1
+
+    def _promote(self, path: str) -> bytes:
+        data = self.cold.get(path)
+        self._make_room(len(data))
+        self.hot.put(path, data, overwrite=True)
+        self.cold.delete(path)
+        self._hot_bytes += len(data)
+        self._touch(path)
+        self.recalls += 1
+        return data
+
+    # -- StorageBackend API ---------------------------------------------------
+    def put(self, path: str, data: bytes, overwrite: bool = False) -> ObjectInfo:
+        if not overwrite and (self.hot.exists(path) or self.cold.exists(path)):
+            # Delegate the error to the hot tier for a consistent exception.
+            return self.hot.put(path, data, overwrite=False)
+        if self.cold.exists(path):
+            self.cold.delete(path)
+        if self.hot.exists(path):
+            self._hot_bytes -= self.hot.stat(path).size
+        self._make_room(len(data))
+        info = self.hot.put(path, data, overwrite=True)
+        self._hot_bytes += len(data)
+        self._touch(path)
+        return info
+
+    def get(self, path: str) -> bytes:
+        if self.hot.exists(path):
+            self._touch(path)
+            return self.hot.get(path)
+        if self.cold.exists(path):
+            return self._promote(path)
+        raise ObjectNotFoundError(path)
+
+    def stat(self, path: str) -> ObjectInfo:
+        if self.hot.exists(path):
+            return self.hot.stat(path)
+        return self.cold.stat(path)  # raises ObjectNotFoundError if absent
+
+    def listdir(self, prefix: str = "") -> list[ObjectInfo]:
+        seen: dict[str, ObjectInfo] = {}
+        for info in self.hot.listdir(prefix):
+            seen[info.url] = info
+        for info in self.cold.listdir(prefix):
+            seen.setdefault(info.url, info)
+        return [seen[k] for k in sorted(seen)]
+
+    def delete(self, path: str) -> None:
+        found = False
+        if self.hot.exists(path):
+            self._hot_bytes -= self.hot.stat(path).size
+            self._lru.pop(path, None)
+            self.hot.delete(path)
+            found = True
+        if self.cold.exists(path):
+            self.cold.delete(path)
+            found = True
+        if not found:
+            raise ObjectNotFoundError(path)

@@ -1,0 +1,31 @@
+"""Exception types of the Abstract Data Access Layer."""
+
+from __future__ import annotations
+
+
+class AdalError(Exception):
+    """Base class for ADAL errors."""
+
+
+class BackendNotFoundError(AdalError, KeyError):
+    """No backend registered for the URL's store name."""
+
+
+class ObjectNotFoundError(AdalError, FileNotFoundError):
+    """The referenced object does not exist in the backend."""
+
+
+class ObjectExistsError(AdalError, FileExistsError):
+    """Write-once violation: the object already exists."""
+
+
+class AuthError(AdalError):
+    """Authentication failed (unknown principal, bad token)."""
+
+
+class PermissionDeniedError(AdalError, PermissionError):
+    """Authenticated principal lacks the required permission."""
+
+
+class ChecksumMismatchError(AdalError):
+    """Stored checksum does not match the data read back."""

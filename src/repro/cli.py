@@ -1,0 +1,197 @@
+"""Command-line console for the LSDF reproduction.
+
+Gives operators the paper's headline computations without writing code::
+
+    python -m repro.cli capacity --start 2010 --end 2014
+    python -m repro.cli transfer --petabytes 1 --gbits 10 --efficiency 0.62
+    python -m repro.cli ingest --hours 2 --rate volume
+    python -m repro.cli mapreduce --input-gb 100 --racks 4 --nodes-per-rack 15
+    python -m repro.cli viz3d --terabytes 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.simkit import Simulator, units
+from repro.simkit.units import fmt_bytes, fmt_duration, fmt_rate
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.core import CapacityPlanner
+
+    planner = CapacityPlanner()
+    print(f"LSDF capacity roadmap, {args.start}-{args.end}")
+    for row in planner.table(range(args.start, args.end + 1)):
+        print(" ", row.fmt())
+    shortfall = planner.first_shortfall(range(args.start, args.end + 1))
+    print(f"first shortfall: {shortfall or 'none'}")
+    return 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    from repro.netsim import Network, Topology
+
+    sim = Simulator()
+    topo = Topology()
+    topo.add_link("src", "dst", capacity=units.gbit_per_s(args.gbits))
+    net = Network(sim, topo, efficiency=args.efficiency)
+    nbytes = args.petabytes * units.PB
+    ev = net.transfer("src", "dst", nbytes)
+    sim.run()
+    result = ev.value
+    print(f"{fmt_bytes(nbytes)} over a {args.gbits:g} Gbit/s link "
+          f"at {args.efficiency:.0%} efficiency:")
+    print(f"  {fmt_duration(result.duration)} "
+          f"({result.duration / units.DAY:.2f} days) "
+          f"at {fmt_rate(result.mean_rate)}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.core import Facility
+    from repro.workloads import zebrafish_microscopes
+
+    facility = Facility(seed=args.seed)
+    pipeline = facility.ingest_pipeline(
+        zebrafish_microscopes(instruments=4, rate=args.rate)
+    )
+    report = pipeline.run(duration=args.hours * units.HOUR)
+    print(f"zebrafish ingest, {args.hours:g} simulated hours "
+          f"({args.rate} parameterisation):")
+    for label, value in report.rows():
+        print(f"  {label:22s} {value}")
+    print(f"  metadata records       {len(facility.metadata):,}")
+    return 0
+
+
+def _cmd_mapreduce(args: argparse.Namespace) -> int:
+    from repro.hdfs import HdfsCluster
+    from repro.mapreduce import JobSpec, MapReduceSim
+
+    sim = Simulator(seed=args.seed)
+    cluster = HdfsCluster.build(sim, racks=args.racks,
+                                nodes_per_rack=args.nodes_per_rack)
+    mr = MapReduceSim(sim, cluster)
+    holder = {}
+
+    def scenario():
+        yield cluster.write_file("/in", args.input_gb * units.GB, "core")
+        holder["result"] = yield mr.submit(
+            JobSpec("cli", "/in", map_cpu_per_byte=args.cpu_per_byte,
+                    map_output_ratio=args.output_ratio, reduces=args.reduces)
+        )
+
+    p = sim.process(scenario())
+    sim.run()
+    if p.failed:
+        print(f"error: {p.exception}", file=sys.stderr)
+        return 1
+    result = holder["result"]
+    nodes = args.racks * args.nodes_per_rack
+    print(f"MapReduce over {args.input_gb:g} GB on {nodes} nodes:")
+    print(f"  job time      {fmt_duration(result.duration)}")
+    print(f"  map tasks     {result.maps} ({result.locality_fraction:.0%} node-local)")
+    print(f"  shuffled      {fmt_bytes(result.bytes_shuffled)}")
+    print(f"  speculative   {result.speculative_launched} launched, "
+          f"{result.speculative_wins} won")
+    return 0
+
+
+def _cmd_viz3d(args: argparse.Namespace) -> int:
+    from repro.core import Facility
+    from repro.workloads import viz3d_cluster_job
+
+    facility = Facility(seed=args.seed)
+    holder = {}
+
+    def scenario():
+        yield facility.load_into_hdfs("/data/volume", args.terabytes * units.TB)
+        holder["result"] = yield facility.mapreduce.submit(
+            viz3d_cluster_job("/data/volume")
+        )
+
+    p = facility.sim.process(scenario())
+    facility.run()
+    if p.failed:
+        print(f"error: {p.exception}", file=sys.stderr)
+        return 1
+    result = holder["result"]
+    print(f"3D visualisation of {args.terabytes:g} TB on the 60-node cluster:")
+    print(f"  {fmt_duration(result.duration)} "
+          f"(paper's claim for 1 TB: 20 min)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core import Facility, FacilityReport
+    from repro.workloads import zebrafish_microscopes
+
+    facility = Facility(seed=args.seed)
+    if args.hours > 0:
+        pipeline = facility.ingest_pipeline(zebrafish_microscopes(instruments=4))
+        pipeline.run(duration=args.hours * units.HOUR)
+    print(FacilityReport(facility).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Console for the simulated Large Scale Data Facility",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("capacity", help="community demand vs procurement table")
+    p.add_argument("--start", type=int, default=2010)
+    p.add_argument("--end", type=int, default=2014)
+    p.set_defaults(fn=_cmd_capacity)
+
+    p = sub.add_parser("transfer", help="bulk-transfer time arithmetic")
+    p.add_argument("--petabytes", type=float, default=1.0)
+    p.add_argument("--gbits", type=float, default=10.0)
+    p.add_argument("--efficiency", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_transfer)
+
+    p = sub.add_parser("ingest", help="run the zebrafish ingest pipeline")
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--rate", choices=("frames", "volume"), default="frames")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_ingest)
+
+    p = sub.add_parser("mapreduce", help="run a MapReduce job on a simulated cluster")
+    p.add_argument("--input-gb", type=float, default=100.0)
+    p.add_argument("--racks", type=int, default=4)
+    p.add_argument("--nodes-per-rack", type=int, default=15)
+    p.add_argument("--reduces", type=int, default=16)
+    p.add_argument("--cpu-per-byte", type=float, default=2e-8)
+    p.add_argument("--output-ratio", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_mapreduce)
+
+    p = sub.add_parser("viz3d", help="the paper's 1 TB / 20 min claim")
+    p.add_argument("--terabytes", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_viz3d)
+
+    p = sub.add_parser("report", help="facility status report "
+                                      "(optionally after some ingest)")
+    p.add_argument("--hours", type=float, default=0.0,
+                   help="simulated hours of zebrafish ingest first")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

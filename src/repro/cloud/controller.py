@@ -1,0 +1,185 @@
+"""The cloud controller: VM lifecycle over the facility network.
+
+Deploy cost model (matching how OpenNebula actually behaves on a 10 GE
+fabric):
+
+* **queue** — wait until a host fits the template;
+* **prolog** — copy the VM image from the image store to the host over the
+  :mod:`repro.netsim` network, *unless* the host's image cache already has
+  it (the cache is why redeploys are "very fast to deploy");
+* **boot** — a fixed-plus-jitter hypervisor boot time;
+* **running** until :meth:`CloudController.shutdown`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+from repro.simkit.monitor import Counter, Tally, TimeWeighted
+from repro.netsim.network import Network
+from repro.cloud.model import Host, VirtualMachine, VMState, VMTemplate
+from repro.cloud.scheduler import SCHEDULERS, Scheduler
+
+
+class CloudError(Exception):
+    """Cloud-level failures (unknown VM, impossible template, ...)."""
+
+
+class CloudController:
+    """OpenNebula-like VM manager.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    hosts:
+        The hypervisor pool.  Host names must exist in ``net``'s topology
+        (image transfers are real network flows).
+    net:
+        Facility network.
+    image_store:
+        Topology node holding VM images.
+    scheduler:
+        Policy name from :data:`repro.cloud.scheduler.SCHEDULERS` or a
+        custom callable.
+    boot_time:
+        Mean hypervisor boot seconds (lognormal jitter, cv 0.15).
+    image_cache:
+        Enable per-host image caching (E11 ablation).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: Sequence[Host],
+        net: Network,
+        image_store: str,
+        scheduler: str | Scheduler = "rank",
+        boot_time: float = 25.0,
+        image_cache: bool = True,
+    ):
+        self.sim = sim
+        self.hosts: dict[str, Host] = {h.name: h for h in hosts}
+        if not self.hosts:
+            raise CloudError("need at least one host")
+        self.net = net
+        self.image_store = image_store
+        self.scheduler: Scheduler = (
+            SCHEDULERS[scheduler] if isinstance(scheduler, str) else scheduler
+        )
+        self.boot_time = float(boot_time)
+        self.image_cache = image_cache
+        self.rng = sim.random.spawn("cloud")
+        self._vms: dict[int, VirtualMachine] = {}
+        self._next_id = 0
+        self._pending: list[tuple[VirtualMachine, Event]] = []
+        self.deploy_latency = Tally("cloud.deploy_latency")
+        self.queue_latency = Tally("cloud.queue_latency")
+        self.prolog_transfers = Counter("cloud.prolog_bytes")
+        self.cache_hits = Counter("cloud.cache_hits")
+        self.running_vms = TimeWeighted(sim.now, 0, name="cloud.running_vms")
+
+    # -- queries -----------------------------------------------------------
+    def vm(self, vm_id: int) -> VirtualMachine:
+        """Look up a VM by id."""
+        try:
+            return self._vms[vm_id]
+        except KeyError:
+            raise CloudError(f"unknown VM {vm_id}") from None
+
+    @property
+    def vms(self) -> list[VirtualMachine]:
+        """All VMs ever submitted, id-ordered."""
+        return [self._vms[i] for i in sorted(self._vms)]
+
+    @property
+    def pending_count(self) -> int:
+        """VMs waiting for placement."""
+        return len(self._pending)
+
+    def pool_cpu_utilization(self) -> float:
+        """Allocated CPU fraction across the pool."""
+        total = sum(h.cpus for h in self.hosts.values())
+        used = sum(h.used_cpus for h in self.hosts.values())
+        return used / total if total else 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+    def deploy(self, template: VMTemplate) -> Event:
+        """Submit a VM; the process-event yields the RUNNING
+        :class:`VirtualMachine`."""
+        if not any(
+            template.cpus <= h.cpus and template.mem <= h.mem for h in self.hosts.values()
+        ):
+            raise CloudError(f"template {template.name!r} fits no host in the pool")
+        self._next_id += 1
+        vm = VirtualMachine(self._next_id, template, submitted=self.sim.now)
+        self._vms[vm.vm_id] = vm
+        placed = self.sim.event(name=f"vm{vm.vm_id}.placed")
+        self._pending.append((vm, placed))
+        self._dispatch()
+        return self.sim.process(self._lifecycle(vm, placed), name=f"vm{vm.vm_id}")
+
+    def shutdown(self, vm_id: int) -> Event:
+        """Stop a RUNNING VM, freeing its host; event fires when released."""
+        vm = self.vm(vm_id)
+        if vm.state is not VMState.RUNNING:
+            raise CloudError(f"VM {vm_id} is {vm.state.value}, not running")
+        vm.state = VMState.SHUTDOWN
+        return self.sim.process(self._shutdown(vm), name=f"vm{vm.vm_id}.stop")
+
+    def run_vm(self, template: VMTemplate, runtime: float) -> Event:
+        """Deploy, run for ``runtime`` seconds, then shut down."""
+        def run() -> Generator:
+            vm: VirtualMachine = yield self.deploy(template)
+            yield self.sim.timeout(runtime)
+            yield self.shutdown(vm.vm_id)
+            return vm
+
+        return self.sim.process(run(), name=f"runvm:{template.name}")
+
+    # -- internals ---------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Place as many pending VMs as currently fit (FIFO order)."""
+        still_waiting: list[tuple[VirtualMachine, Event]] = []
+        for vm, placed in self._pending:
+            host = self.scheduler(list(self.hosts.values()), vm.template)
+            if host is None:
+                still_waiting.append((vm, placed))
+                continue
+            host.reserve(vm)
+            vm.host = host.name
+            vm.placed = self.sim.now
+            placed.succeed(host)
+        self._pending = still_waiting
+
+    def _lifecycle(self, vm: VirtualMachine, placed: Event) -> Generator:
+        host: Host = yield placed
+        self.queue_latency.record(vm.queue_latency)
+        # PROLOG: stage the image, unless cached.
+        vm.state = VMState.PROLOG
+        if self.image_cache and vm.template.image_name in host.image_cache:
+            self.cache_hits.add(1)
+        elif vm.template.image_size > 0:
+            yield self.net.transfer(self.image_store, host.name, vm.template.image_size)
+            self.prolog_transfers.add(vm.template.image_size)
+            if self.image_cache:
+                host.image_cache.add(vm.template.image_name)
+        # BOOT.
+        vm.state = VMState.BOOT
+        yield self.sim.timeout(self.rng.lognormal_mean(self.boot_time, 0.15))
+        vm.state = VMState.RUNNING
+        vm.running = self.sim.now
+        self.deploy_latency.record(vm.deploy_latency)
+        self.running_vms.add(self.sim.now, +1)
+        return vm
+
+    def _shutdown(self, vm: VirtualMachine) -> Generator:
+        yield self.sim.timeout(2.0)  # graceful epilog
+        self.hosts[vm.host].release(vm)
+        vm.state = VMState.DONE
+        vm.stopped = self.sim.now
+        self.running_vms.add(self.sim.now, -1)
+        self._dispatch()
+        return vm

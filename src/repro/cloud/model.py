@@ -1,0 +1,110 @@
+"""Cloud data model: templates, VMs, hosts."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class VMState(enum.Enum):
+    """VM lifecycle states (OpenNebula naming)."""
+
+    PENDING = "pending"  # queued, not yet placed
+    PROLOG = "prolog"  # image being staged to the host
+    BOOT = "boot"  # hypervisor booting the VM
+    RUNNING = "running"
+    SHUTDOWN = "shutdown"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class VMTemplate:
+    """A deployable VM description.
+
+    The image is identified by name; its size drives the prolog transfer
+    time, and the name is the key of the per-host image cache.
+    """
+
+    name: str
+    cpus: int
+    mem: float  # bytes
+    image_name: str
+    image_size: float  # bytes
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1 or self.mem <= 0 or self.image_size < 0:
+            raise ValueError(f"invalid template {self.name!r}")
+
+
+@dataclass
+class VirtualMachine:
+    """A deployed (or deploying) VM instance."""
+
+    vm_id: int
+    template: VMTemplate
+    state: VMState = VMState.PENDING
+    host: Optional[str] = None
+    submitted: float = 0.0
+    placed: float = 0.0
+    running: float = 0.0
+    stopped: float = 0.0
+
+    @property
+    def deploy_latency(self) -> float:
+        """Seconds from submission to RUNNING."""
+        return self.running - self.submitted
+
+    @property
+    def queue_latency(self) -> float:
+        """Seconds spent waiting for placement."""
+        return self.placed - self.submitted
+
+
+@dataclass
+class Host:
+    """A hypervisor host with CPU and memory capacity."""
+
+    name: str
+    cpus: int
+    mem: float
+    used_cpus: int = 0
+    used_mem: float = 0.0
+    image_cache: set[str] = field(default_factory=set)
+    vms: set[int] = field(default_factory=set)
+
+    @property
+    def free_cpus(self) -> int:
+        """Unallocated CPU cores."""
+        return self.cpus - self.used_cpus
+
+    @property
+    def free_mem(self) -> float:
+        """Unallocated memory bytes."""
+        return self.mem - self.used_mem
+
+    def fits(self, template: VMTemplate) -> bool:
+        """Whether a template's resources fit on this host right now."""
+        return self.free_cpus >= template.cpus and self.free_mem >= template.mem
+
+    def reserve(self, vm: VirtualMachine) -> None:
+        """Allocate the VM's resources on this host."""
+        if not self.fits(vm.template):
+            raise ValueError(f"VM {vm.vm_id} does not fit on host {self.name}")
+        self.used_cpus += vm.template.cpus
+        self.used_mem += vm.template.mem
+        self.vms.add(vm.vm_id)
+
+    def release(self, vm: VirtualMachine) -> None:
+        """Free the VM's resources."""
+        if vm.vm_id not in self.vms:
+            raise ValueError(f"VM {vm.vm_id} is not on host {self.name}")
+        self.used_cpus -= vm.template.cpus
+        self.used_mem -= vm.template.mem
+        self.vms.discard(vm.vm_id)
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Allocated CPU fraction."""
+        return self.used_cpus / self.cpus if self.cpus else 0.0

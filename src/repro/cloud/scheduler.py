@@ -1,0 +1,52 @@
+"""VM placement policies (OpenNebula's scheduler "rank" expressions).
+
+Each policy is a pure function ``(hosts, template) -> Host | None`` over the
+hosts that currently fit the template, so policies are unit-testable without
+a simulator.  Bundled:
+
+* :func:`first_fit` — first (name-ordered) host that fits; fills hosts in a
+  fixed order.
+* :func:`rank_free_cpu` — the spread policy: most free CPUs first
+  (OpenNebula's default ``RANK = FREE_CPU``).
+* :func:`pack` — consolidation: *least* free CPUs first, keeping hosts free
+  for large VMs and letting idle hosts power down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.cloud.model import Host, VMTemplate
+
+Scheduler = Callable[[Sequence[Host], VMTemplate], Optional[Host]]
+
+
+def _fitting(hosts: Sequence[Host], template: VMTemplate) -> list[Host]:
+    return [h for h in hosts if h.fits(template)]
+
+
+def first_fit(hosts: Sequence[Host], template: VMTemplate) -> Optional[Host]:
+    """First host (by name) with room."""
+    fitting = _fitting(hosts, template)
+    return min(fitting, key=lambda h: h.name) if fitting else None
+
+
+def rank_free_cpu(hosts: Sequence[Host], template: VMTemplate) -> Optional[Host]:
+    """Spread: host with the most free CPUs (ties by name)."""
+    fitting = _fitting(hosts, template)
+    return max(fitting, key=lambda h: (h.free_cpus, h.free_mem, h.name)) if fitting else None
+
+
+def pack(hosts: Sequence[Host], template: VMTemplate) -> Optional[Host]:
+    """Consolidate: busiest host that still fits (ties by name)."""
+    fitting = _fitting(hosts, template)
+    return (
+        min(fitting, key=lambda h: (h.free_cpus, h.free_mem, h.name)) if fitting else None
+    )
+
+
+SCHEDULERS: dict[str, Scheduler] = {
+    "first_fit": first_fit,
+    "rank": rank_free_cpu,
+    "pack": pack,
+}

@@ -1,0 +1,35 @@
+"""The facility itself: configuration, composition, capacity planning.
+
+:class:`Facility` is the composition root — it builds the canonical
+LSDF-2011 deployment from a :class:`FacilityConfig`: the 10 GE backbone
+with redundant routers, the DDN+IBM storage pool and tape library with HSM,
+the racked 60-node Hadoop cluster (HDFS + MapReduce) grafted onto the same
+network, the OpenNebula-style cloud on the cluster nodes, and the *real*
+glue layer (metadata repository, ADAL, DataBrowser, trigger engine) wired
+to all of it.
+
+:class:`CapacityPlanner` reproduces the storage roadmap of slides 5/14
+(2 PB now, 6 PB in 2012, community growth to 6 PB/year) — experiment E2.
+"""
+
+from repro.core.config import ArraySpec, FacilityConfig, lsdf_2011_config
+from repro.core.capacity import LSDF_PROCUREMENT, CapacityPlanner, CapacityRow
+from repro.core.facility import Facility
+from repro.core.reporting import FacilityReport, ReportSection
+from repro.core.chaos import ChaosSchedule, Incident, router_flap, rolling_node_failures
+
+__all__ = [
+    "ArraySpec",
+    "CapacityPlanner",
+    "CapacityRow",
+    "ChaosSchedule",
+    "Facility",
+    "FacilityConfig",
+    "FacilityReport",
+    "Incident",
+    "LSDF_PROCUREMENT",
+    "ReportSection",
+    "lsdf_2011_config",
+    "rolling_node_failures",
+    "router_flap",
+]

@@ -1,0 +1,145 @@
+"""Capacity planning: the storage roadmap of slides 5 and 14 (E2).
+
+    "Estimated: 1+ PB/year in 2012, 6 PB/year in 2014" (slide 5)
+    "Improved storage, network capacity: 6 PB in 2012" (slide 14)
+
+The planner combines the community growth profiles
+(:data:`repro.workloads.communities.COMMUNITIES`) with a procurement
+schedule and answers: how much is ingested each year, what cumulative
+demand (disk + tape, with overheads) results, does the installed capacity
+cover it, and when is the next shortfall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.simkit import units
+from repro.workloads.communities import COMMUNITIES, CommunityProfile
+
+#: Installed *disk* capacity by year (cumulative), from the paper: ~1 PB at
+#: project start ramp, "currently 2 PB" (2011), "6 PB in 2012"; the outlook
+#: years extrapolate the same doubling cadence.
+LSDF_PROCUREMENT: dict[int, float] = {
+    2010: 1.0 * units.PB,
+    2011: 2.0 * units.PB,
+    2012: 6.0 * units.PB,
+    2013: 9.0 * units.PB,
+    2014: 14.0 * units.PB,
+}
+
+
+@dataclass
+class CapacityRow:
+    """One year of the capacity table."""
+
+    year: int
+    ingest: float  # bytes ingested this year
+    demand_disk: float  # cumulative bytes needed on disk
+    demand_tape: float  # cumulative bytes needed on tape
+    capacity_disk: float  # installed disk
+    ok: bool
+
+    @property
+    def utilization(self) -> float:
+        """Disk demand over installed disk."""
+        return self.demand_disk / self.capacity_disk if self.capacity_disk else float("inf")
+
+    def fmt(self) -> str:
+        """One formatted table line."""
+        flag = "ok" if self.ok else "SHORTFALL"
+        return (
+            f"{self.year}  ingest/yr={units.fmt_bytes(self.ingest):>10}  "
+            f"disk={units.fmt_bytes(self.demand_disk):>10}/{units.fmt_bytes(self.capacity_disk):>10} "
+            f"({self.utilization:5.1%})  tape={units.fmt_bytes(self.demand_tape):>10}  {flag}"
+        )
+
+
+class CapacityPlanner:
+    """Community demand vs procurement schedule.
+
+    Parameters
+    ----------
+    communities:
+        Profiles to aggregate (default: the paper's communities).
+    procurement:
+        Year -> cumulative installed disk bytes.
+    disk_overhead:
+        Multiplier on disk demand for filesystem/RAID overhead and
+        operational headroom (default 1.15).
+    archive_on_tape:
+        When True (default), each community's ``archive_fraction`` of data
+        older than one year moves to tape and stops consuming disk.
+    """
+
+    def __init__(
+        self,
+        communities: Mapping[str, CommunityProfile] | None = None,
+        procurement: Mapping[int, float] | None = None,
+        disk_overhead: float = 1.15,
+        archive_on_tape: bool = True,
+    ):
+        self.communities = dict(communities or COMMUNITIES)
+        self.procurement = dict(procurement or LSDF_PROCUREMENT)
+        self.disk_overhead = float(disk_overhead)
+        self.archive_on_tape = archive_on_tape
+
+    # -- demand ------------------------------------------------------------
+    def ingest_in(self, year: int) -> float:
+        """Total bytes ingested across communities in a year."""
+        return sum(c.ingest_in(year) for c in self.communities.values())
+
+    def demand(self, year: int) -> tuple[float, float]:
+        """(disk demand, tape demand) cumulative through a year."""
+        disk = 0.0
+        tape = 0.0
+        for community in self.communities.values():
+            for y, volume in community.yearly_ingest.items():
+                if y > year:
+                    continue
+                aged = y < year  # data older than a year is migration-eligible
+                if self.archive_on_tape and aged:
+                    tape += volume * community.archive_fraction
+                    disk += volume * (1.0 - community.archive_fraction)
+                else:
+                    disk += volume
+                    if community.archive_fraction >= 1.0:
+                        tape += volume  # archival-quality: tape copy from day one
+        return disk * self.disk_overhead, tape
+
+    def installed_disk(self, year: int) -> float:
+        """Cumulative installed disk by a year (latest schedule entry <= year)."""
+        years = [y for y in self.procurement if y <= year]
+        return self.procurement[max(years)] if years else 0.0
+
+    # -- reporting ----------------------------------------------------------
+    def table(self, years: Iterable[int]) -> list[CapacityRow]:
+        """The per-year capacity table (E2's output)."""
+        rows = []
+        for year in years:
+            disk_demand, tape_demand = self.demand(year)
+            capacity = self.installed_disk(year)
+            rows.append(
+                CapacityRow(
+                    year=year,
+                    ingest=self.ingest_in(year),
+                    demand_disk=disk_demand,
+                    demand_tape=tape_demand,
+                    capacity_disk=capacity,
+                    ok=disk_demand <= capacity,
+                )
+            )
+        return rows
+
+    def first_shortfall(self, years: Iterable[int]) -> int | None:
+        """First year demand exceeds installed disk, or None."""
+        for row in self.table(years):
+            if not row.ok:
+                return row.year
+        return None
+
+    def required_capacity(self, year: int, headroom: float = 0.2) -> float:
+        """Disk to procure through a year to keep ``headroom`` spare."""
+        disk_demand, _tape = self.demand(year)
+        return disk_demand * (1.0 + headroom)

@@ -1,0 +1,162 @@
+"""Fault-injection scenarios ("chaos") for the facility.
+
+The paper's infrastructure is sold on resilience — redundant routers,
+replicated HDFS, tape backup.  :class:`ChaosSchedule` turns that into
+testable scenarios: a declarative list of timed incidents (router/link
+flaps, datanode losses, array brown-outs) that a single driver process
+injects into a running facility, with every injection and recovery logged.
+
+Used by ``examples/facility_operations.py``-style scenarios and the
+resilience tests; compose schedules programmatically or from the bundled
+generators (:func:`router_flap`, :func:`rolling_node_failures`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.simkit.rand import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.facility import Facility
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One timed fault (and optional auto-repair)."""
+
+    at: float
+    kind: str  # "node_down" | "node_up" | "link_down" | "link_up" | "custom"
+    target: tuple  # node name, or (a, b) link endpoints
+    #: Seconds until automatic repair (None = permanent).
+    repair_after: Optional[float] = None
+    #: For kind == "custom": the callable to run.
+    action: Optional[Callable[["Facility"], None]] = None
+
+
+@dataclass
+class InjectionLog:
+    """What the chaos driver actually did."""
+
+    entries: list[tuple[float, str]] = field(default_factory=list)
+
+    def note(self, when: float, message: str) -> None:
+        """Record one action."""
+        self.entries.append((when, message))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class ChaosSchedule:
+    """A sorted set of incidents plus the driver that injects them."""
+
+    def __init__(self, incidents: list[Incident] | None = None):
+        self.incidents: list[Incident] = sorted(incidents or [], key=lambda i: i.at)
+        self.log = InjectionLog()
+
+    def add(self, incident: Incident) -> "ChaosSchedule":
+        """Insert one incident (keeps the schedule sorted)."""
+        self.incidents.append(incident)
+        self.incidents.sort(key=lambda i: i.at)
+        return self
+
+    # -- execution ----------------------------------------------------------
+    def run(self, facility: "Facility"):
+        """Start the driver process on the facility's simulator."""
+        return facility.sim.process(self._drive(facility), name="chaos")
+
+    def _drive(self, facility: "Facility") -> Generator:
+        sim = facility.sim
+        for incident in self.incidents:
+            if incident.at > sim.now:
+                yield sim.timeout(incident.at - sim.now)
+            self._inject(facility, incident)
+            if incident.repair_after is not None:
+                sim.process(
+                    self._repair_later(facility, incident), name="chaos.repair"
+                )
+        return len(self.log)
+
+    def _repair_later(self, facility: "Facility", incident: Incident) -> Generator:
+        yield facility.sim.timeout(incident.repair_after)
+        self._heal(facility, incident)
+
+    def _inject(self, facility: "Facility", incident: Incident) -> None:
+        sim = facility.sim
+        if incident.kind == "node_down":
+            (node,) = incident.target
+            if node in facility.hdfs.namenode.nodes:
+                facility.hdfs.fail_datanode(node)
+            elif facility.net.topology.has_node(node):
+                facility.net.fail_node(node)
+            self.log.note(sim.now, f"DOWN node {node}")
+        elif incident.kind == "link_down":
+            a, b = incident.target
+            facility.net.fail_link(a, b)
+            self.log.note(sim.now, f"DOWN link {a}<->{b}")
+        elif incident.kind == "custom":
+            incident.action(facility)
+            self.log.note(sim.now, f"custom action on {incident.target}")
+        else:
+            raise ValueError(f"cannot inject kind {incident.kind!r} directly")
+
+    def _heal(self, facility: "Facility", incident: Incident) -> None:
+        sim = facility.sim
+        if incident.kind == "node_down":
+            (node,) = incident.target
+            if node in facility.hdfs.namenode.nodes:
+                # An HDFS node returns empty (its data was re-replicated).
+                facility.hdfs.namenode.mark_alive(node)
+                facility.net.repair_node(node)
+            elif facility.net.topology.has_node(node):
+                facility.net.repair_node(node)
+            self.log.note(sim.now, f"UP node {node}")
+        elif incident.kind == "link_down":
+            a, b = incident.target
+            facility.net.repair_link(a, b)
+            self.log.note(sim.now, f"UP link {a}<->{b}")
+
+
+# -- schedule generators -----------------------------------------------------------
+
+def router_flap(
+    router: str = "router-1",
+    first_at: float = 600.0,
+    outage: float = 300.0,
+    flaps: int = 2,
+    gap: float = 1200.0,
+) -> ChaosSchedule:
+    """A router that repeatedly goes down and comes back."""
+    schedule = ChaosSchedule()
+    for i in range(flaps):
+        schedule.add(
+            Incident(at=first_at + i * gap, kind="node_down", target=(router,),
+                     repair_after=outage)
+        )
+    return schedule
+
+
+def rolling_node_failures(
+    nodes: list[str],
+    count: int,
+    start: float,
+    interval: float,
+    repair_after: Optional[float] = None,
+    rng: Optional[RandomSource] = None,
+) -> ChaosSchedule:
+    """``count`` datanode failures spread over time, targets drawn
+    deterministically from ``nodes``."""
+    if count > len(nodes):
+        raise ValueError("cannot fail more distinct nodes than exist")
+    rng = rng or RandomSource(1)
+    victims = list(nodes)
+    rng.shuffle(victims)
+    schedule = ChaosSchedule()
+    for i in range(count):
+        schedule.add(
+            Incident(at=start + i * interval, kind="node_down",
+                     target=(victims[i],), repair_after=repair_after)
+        )
+    return schedule

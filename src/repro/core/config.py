@@ -1,0 +1,89 @@
+"""Facility configuration.
+
+:func:`lsdf_2011_config` encodes the deployment the paper describes:
+slide 7's "currently 2 PB in 2 storage systems" (DDN 0.5 PB + IBM 1.4 PB),
+the tape library, the dedicated 10 GE backbone with redundant routers, and
+slide 11's "dedicated 60 nodes cluster ... + 110 TB Hadoop filesystem".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simkit import units
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """One disk storage system."""
+
+    name: str
+    capacity: float
+    bandwidth: float
+    op_overhead: float = 0.005
+
+
+@dataclass
+class FacilityConfig:
+    """Everything needed to build a :class:`~repro.core.facility.Facility`."""
+
+    # -- storage (slide 7) ----------------------------------------------------
+    arrays: list[ArraySpec] = field(default_factory=list)
+    tape_drives: int = 6
+    tape_drive_bw: float = 120 * units.MB
+    tape_cartridge_bytes: float = 1 * units.TB
+    tape_mount_time: float = 45.0
+    hsm_high_water: float = 0.85
+    hsm_low_water: float = 0.70
+
+    # -- network (slide 7) -------------------------------------------------------
+    daq_count: int = 4
+    trunk_gbits: float = 10.0
+    storage_gbits: float = 10.0
+    wan_gbits: float = 10.0
+    sharing: str = "maxmin"
+    network_efficiency: float = 1.0
+
+    # -- analysis cluster (slide 11) ------------------------------------------------
+    cluster_racks: int = 4
+    nodes_per_rack: int = 15
+    cluster_node_gbits: float = 1.0
+    rack_uplink_gbits: float = 10.0
+    hdfs_node_capacity: float = 2 * units.TB  # 60 x 2 TB ≈ 110 TB usable
+    hdfs_block_size: float = 64 * units.MiB
+    hdfs_replication: int = 3
+    hdfs_placement: str = "rack_aware"
+    node_disk_bw: float = 80 * units.MB
+
+    # -- MapReduce ---------------------------------------------------------------------
+    map_slots_per_node: int = 2
+    reduce_slots_per_node: int = 2
+    mr_scheduler: str = "delay"
+    mr_speculation: bool = True
+
+    # -- cloud (slide 11) -----------------------------------------------------------------
+    cloud_host_cpus: int = 8
+    cloud_host_mem: float = 24 * units.GB
+    cloud_scheduler: str = "rank"
+    cloud_boot_time: float = 25.0
+    cloud_image_cache: bool = True
+
+    @property
+    def cluster_nodes(self) -> int:
+        """Total analysis-cluster node count."""
+        return self.cluster_racks * self.nodes_per_rack
+
+    @property
+    def disk_capacity(self) -> float:
+        """Total disk-array capacity."""
+        return sum(a.capacity for a in self.arrays)
+
+
+def lsdf_2011_config() -> FacilityConfig:
+    """The canonical deployment of the paper (May 2011)."""
+    return FacilityConfig(
+        arrays=[
+            ArraySpec("ddn", capacity=0.5 * units.PB, bandwidth=3 * units.GB),
+            ArraySpec("ibm", capacity=1.4 * units.PB, bandwidth=5 * units.GB),
+        ]
+    )

@@ -1,0 +1,245 @@
+"""The composition root: one object wiring every LSDF subsystem together.
+
+A :class:`Facility` owns a single simulator and a single network topology:
+the slide-7 backbone (DAQs, redundant routers, DDN+IBM arrays, tape,
+Heidelberg WAN) with the slide-11 analysis cluster grafted on as racks
+behind the routers — so ingest flows, HDFS pipelines, MapReduce shuffles
+and cloud image stagings all contend for the same links, as they did in the
+real facility.
+
+The glue layer (metadata repository, ADAL, DataBrowser, trigger engine) is
+real and shared by the simulated subsystems.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+from repro.simkit import units
+from repro.netsim.builders import build_lsdf_backbone
+from repro.netsim.network import Network
+from repro.storage.devices import DiskArray
+from repro.storage.hsm import HsmConfig, HsmSystem
+from repro.storage.pool import StoragePool
+from repro.storage.tape import TapeLibrary
+from repro.hdfs.cluster import HdfsCluster
+from repro.hdfs.namenode import NameNode
+from repro.mapreduce.sim import MapReduceSim
+from repro.cloud.controller import CloudController
+from repro.cloud.model import Host
+from repro.metadata.store import MetadataStore
+from repro.adal.api import AdalClient, BackendRegistry
+from repro.adal.backends.memory import MemoryBackend
+from repro.databrowser.browser import DataBrowser
+from repro.databrowser.triggers import TriggerEngine
+from repro.rules.engine import RuleContext, RuleEngine
+from repro.ingest.microscope import MicroscopeConfig
+from repro.ingest.pipeline import IngestPipeline, IngestReport
+from repro.ingest.transfer import StorageSink
+from repro.workloads.zebrafish import (
+    ZEBRAFISH_PROJECT,
+    zebrafish_basic_schema,
+    zebrafish_microscopes,
+    zebrafish_processing_schemas,
+)
+from repro.core.config import FacilityConfig, lsdf_2011_config
+
+
+class Facility:
+    """The simulated LSDF plus its real glue layer.
+
+    Parameters
+    ----------
+    config:
+        Deployment description (default: the canonical 2011 facility).
+    seed:
+        Root random seed; every subsystem derives an independent stream.
+    hsm_daemon:
+        Start the periodic HSM migration daemon (off by default so
+        ``sim.run()`` with no horizon terminates).
+    """
+
+    def __init__(
+        self,
+        config: Optional[FacilityConfig] = None,
+        seed: int = 0,
+        hsm_daemon: bool = False,
+    ):
+        self.config = config or lsdf_2011_config()
+        cfg = self.config
+        self.sim = Simulator(seed=seed)
+
+        # -- network: backbone + grafted cluster racks -----------------------
+        topo, names = build_lsdf_backbone(
+            daq_count=cfg.daq_count,
+            cluster_nodes=0,
+            trunk_gbits=cfg.trunk_gbits,
+            storage_gbits=cfg.storage_gbits,
+            wan_gbits=cfg.wan_gbits,
+        )
+        self.names = names
+        node_bw = units.gbit_per_s(cfg.cluster_node_gbits)
+        uplink_bw = units.gbit_per_s(cfg.rack_uplink_gbits)
+        rack_hosts: list[list[str]] = []
+        for rack in range(cfg.cluster_racks):
+            switch = f"sw-rack-{rack:02d}"
+            near = names.routers[rack % 2]
+            far = names.routers[(rack + 1) % 2]
+            topo.add_link(switch, near, capacity=uplink_bw, latency=0.0001)
+            topo.add_link(switch, far, capacity=uplink_bw, latency=0.0002)
+            hosts = []
+            for index in range(cfg.nodes_per_rack):
+                host = f"r{rack:02d}h{index:02d}"
+                topo.add_link(host, switch, capacity=node_bw, latency=0.0002)
+                hosts.append(host)
+            rack_hosts.append(hosts)
+        names.cluster = [h for hosts in rack_hosts for h in hosts]
+        self.net = Network(
+            self.sim, topo, sharing=cfg.sharing, efficiency=cfg.network_efficiency
+        )
+
+        # -- storage estate ------------------------------------------------------
+        self.arrays = [
+            DiskArray(self.sim, spec.name, spec.capacity, spec.bandwidth, spec.op_overhead)
+            for spec in cfg.arrays
+        ]
+        self.pool = StoragePool(self.sim, self.arrays, name="lsdf-pool")
+        self.array_nodes = {
+            array.name: names.storage[i % len(names.storage)]
+            for i, array in enumerate(self.arrays)
+        }
+        self.tape = TapeLibrary(
+            self.sim,
+            drives=cfg.tape_drives,
+            drive_bw=cfg.tape_drive_bw,
+            cartridge_capacity=cfg.tape_cartridge_bytes,
+            mount_time=cfg.tape_mount_time,
+        )
+        self.hsm = HsmSystem(
+            self.sim,
+            self.pool,
+            self.tape,
+            HsmConfig(high_water=cfg.hsm_high_water, low_water=cfg.hsm_low_water),
+            start_daemon=hsm_daemon,
+        )
+
+        # -- analysis cluster: HDFS + MapReduce ----------------------------------
+        namenode = NameNode(
+            block_size=cfg.hdfs_block_size,
+            replication=cfg.hdfs_replication,
+            placement=cfg.hdfs_placement,
+            rng=self.sim.random.spawn("hdfs.namenode"),
+        )
+        for rack, hosts in enumerate(rack_hosts):
+            for host in hosts:
+                namenode.add_datanode(host, f"rack-{rack:02d}", cfg.hdfs_node_capacity)
+        self.hdfs = HdfsCluster(self.sim, self.net, namenode, disk_bw=cfg.node_disk_bw)
+        self.mapreduce = MapReduceSim(
+            self.sim,
+            self.hdfs,
+            map_slots_per_node=cfg.map_slots_per_node,
+            reduce_slots_per_node=cfg.reduce_slots_per_node,
+            scheduler=cfg.mr_scheduler,
+            speculation=cfg.mr_speculation,
+        )
+
+        # -- cloud on the same nodes ------------------------------------------------
+        self.cloud = CloudController(
+            self.sim,
+            [Host(h, cfg.cloud_host_cpus, cfg.cloud_host_mem) for h in names.cluster],
+            self.net,
+            image_store=self.array_nodes[self.arrays[-1].name],
+            scheduler=cfg.cloud_scheduler,
+            boot_time=cfg.cloud_boot_time,
+            image_cache=cfg.cloud_image_cache,
+        )
+
+        # -- glue layer ---------------------------------------------------------------
+        self.metadata = MetadataStore()
+        self.metadata.register_project(
+            ZEBRAFISH_PROJECT, zebrafish_basic_schema(), zebrafish_processing_schemas()
+        )
+        self.adal_registry = BackendRegistry()
+        self.adal_registry.register("lsdf", MemoryBackend())
+        self.adal = AdalClient(self.adal_registry)
+        self.triggers = TriggerEngine(self.metadata)
+        self.browser = DataBrowser(self.adal, self.metadata, self.triggers,
+                                   home="adal://lsdf")
+        self.rules = RuleEngine(
+            RuleContext(
+                store=self.metadata,
+                hsm=self.hsm,
+                adal=self.adal,
+                clock=lambda: self.sim.now,
+            )
+        )
+
+    # -- high-level operations -------------------------------------------------
+    def ingest_pipeline(
+        self,
+        configs: Optional[Sequence[MicroscopeConfig]] = None,
+        daq_index: int = 0,
+        register_metadata: bool = True,
+        **kwargs,
+    ) -> IngestPipeline:
+        """An ingest pipeline from a DAQ host into the storage pool."""
+        sink = StorageSink(self.pool, self.array_nodes)
+        return IngestPipeline(
+            self.sim,
+            self.net,
+            self.names.daq[daq_index],
+            sink,
+            configs or zebrafish_microscopes(),
+            store=self.metadata if register_metadata else None,
+            project=ZEBRAFISH_PROJECT,
+            **kwargs,
+        )
+
+    def simulate_microscopy_day(
+        self, duration: float = units.DAY, rate: str = "frames", **kwargs
+    ) -> IngestReport:
+        """Run the zebrafish screens for ``duration`` at the paper's rate."""
+        pipeline = self.ingest_pipeline(zebrafish_microscopes(rate=rate), **kwargs)
+        return pipeline.run(duration)
+
+    def load_into_hdfs(self, hdfs_path: str, size: float,
+                       array_name: Optional[str] = None) -> Event:
+        """Stage a dataset from the storage estate into HDFS.
+
+        Models the "copy the screen data onto the analysis cluster" step:
+        the array streams the bytes while the HDFS write pipeline fans them
+        out to replicas over the shared network.
+        """
+        array = self.arrays[0] if array_name is None else self.pool.arrays[array_name]
+
+        def run() -> Generator:
+            read = array.read(size)
+            write = self.hdfs.write_file(hdfs_path, size, self.array_nodes[array.name])
+            yield self.sim.all_of([read, write])
+            return self.hdfs.namenode.file_blocks(hdfs_path)
+
+        return self.sim.process(run(), name=f"stage:{hdfs_path}")
+
+    def transfer(self, src: str, dst: str, nbytes: float) -> Event:
+        """Raw network transfer between any two facility nodes."""
+        return self.net.transfer(src, dst, nbytes)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until)
+
+    # -- reporting -----------------------------------------------------------------
+    def stats(self) -> dict:
+        """Snapshot of the whole facility's headline numbers."""
+        return {
+            "time": self.sim.now,
+            "pool_used": self.pool.used,
+            "pool_fill": self.pool.fill_fraction,
+            "tape_cartridges": self.tape.cartridge_count,
+            "hdfs": self.hdfs.stats(),
+            "metadata": self.metadata.stats(),
+            "cloud_running_vms": self.cloud.running_vms.value,
+            "net_bytes": self.net.bytes_delivered.value,
+        }

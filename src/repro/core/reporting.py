@@ -1,0 +1,146 @@
+"""Facility status reports.
+
+Renders the operator's view of the facility — the numbers the LSDF team
+showed on slide 7 and would watch on a dashboard: storage fill per array,
+tape usage, network volume, HDFS health, cluster/cloud occupancy, metadata
+growth, ingest rates.  Pure formatting over live objects; used by the CLI
+(``python -m repro.cli report``) and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.simkit import units
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.facility import Facility
+
+
+@dataclass
+class ReportSection:
+    """One titled block of label/value rows."""
+
+    title: str
+    rows: list[tuple[str, str]] = field(default_factory=list)
+
+    def add(self, label: str, value: str) -> None:
+        """Append a row."""
+        self.rows.append((label, value))
+
+    def render(self, width: int = 30) -> str:
+        """The section as aligned text."""
+        lines = [f"-- {self.title} --"]
+        for label, value in self.rows:
+            lines.append(f"  {label:<{width}} {value}")
+        return "\n".join(lines)
+
+
+class FacilityReport:
+    """Snapshot report of a :class:`~repro.core.facility.Facility`."""
+
+    def __init__(self, facility: "Facility"):
+        self.facility = facility
+        self.sections = [
+            self._storage(),
+            self._tape(),
+            self._network(),
+            self._hdfs(),
+            self._cloud(),
+            self._metadata(),
+        ]
+
+    # -- sections -----------------------------------------------------------
+    def _storage(self) -> ReportSection:
+        facility = self.facility
+        section = ReportSection("storage estate")
+        for array in facility.arrays:
+            section.add(
+                f"{array.name} ({units.fmt_bytes(array.capacity)})",
+                f"{units.fmt_bytes(array.used)} used ({array.fill_fraction:.1%}), "
+                f"r/w {units.fmt_bytes(array.bytes_read.value)}/"
+                f"{units.fmt_bytes(array.bytes_written.value)}",
+            )
+        section.add("pool total",
+                    f"{units.fmt_bytes(facility.pool.used)} / "
+                    f"{units.fmt_bytes(facility.pool.capacity)} "
+                    f"({facility.pool.fill_fraction:.1%}), "
+                    f"{len(facility.pool)} files")
+        return section
+
+    def _tape(self) -> ReportSection:
+        tape = self.facility.tape
+        hsm = self.facility.hsm
+        section = ReportSection("tape / HSM")
+        section.add("cartridges", str(tape.cartridge_count))
+        section.add("archived",
+                    f"{units.fmt_bytes(tape.bytes_archived.value)} "
+                    f"({int(hsm.migrations.value)} migrations)")
+        section.add("recalled",
+                    f"{units.fmt_bytes(tape.bytes_recalled.value)} "
+                    f"({int(hsm.recalls.value)} recalls)")
+        section.add("mounts", f"{int(tape.mounts.value)}")
+        return section
+
+    def _network(self) -> ReportSection:
+        net = self.facility.net
+        section = ReportSection("network (10 GE backbone)")
+        section.add("delivered", units.fmt_bytes(net.bytes_delivered.value))
+        section.add("flows completed", f"{net.flow_durations.count}")
+        section.add("flows in flight", f"{net.flow_count}")
+        section.add("flows failed", f"{net.failed_flows}")
+        healthy = sum(1 for r in self.facility.names.routers
+                      if net.topology.node_is_up(r))
+        section.add("routers healthy", f"{healthy}/{len(self.facility.names.routers)}")
+        return section
+
+    def _hdfs(self) -> ReportSection:
+        stats = self.facility.hdfs.stats()
+        nn = self.facility.hdfs.namenode
+        section = ReportSection("HDFS (analysis cluster)")
+        alive = sum(1 for n in nn.nodes.values() if n.alive)
+        section.add("datanodes", f"{alive}/{len(nn.nodes)} alive")
+        section.add("files", f"{stats['files']}")
+        section.add("raw used",
+                    f"{units.fmt_bytes(nn.total_used)} / "
+                    f"{units.fmt_bytes(nn.total_capacity)}")
+        section.add("under-replicated blocks", f"{stats['under_replicated']}")
+        section.add("utilisation spread", f"{stats['utilization_spread']:.1%}")
+        return section
+
+    def _cloud(self) -> ReportSection:
+        cloud = self.facility.cloud
+        section = ReportSection("cloud (OpenNebula-style)")
+        section.add("VMs running", f"{int(cloud.running_vms.value)}")
+        section.add("VMs pending", f"{cloud.pending_count}")
+        section.add("pool CPU allocated", f"{cloud.pool_cpu_utilization():.1%}")
+        if cloud.deploy_latency.count:
+            section.add("deploy latency mean",
+                        units.fmt_duration(cloud.deploy_latency.mean))
+        section.add("image-cache hits", f"{int(cloud.cache_hits.value)}")
+        return section
+
+    def _metadata(self) -> ReportSection:
+        stats = self.facility.metadata.stats()
+        section = ReportSection("metadata repository")
+        section.add("projects", f"{stats['projects']}")
+        section.add("datasets", f"{stats['datasets']:,}")
+        section.add("processing records", f"{stats['processing_records']:,}")
+        section.add("catalogued bytes", units.fmt_bytes(stats["total_bytes"]))
+        section.add("tags in use", f"{stats['tags']}")
+        return section
+
+    # -- rendering ------------------------------------------------------------
+    def render(self) -> str:
+        """The whole report as text."""
+        header = (
+            f"== LSDF facility report @ t={units.fmt_duration(self.facility.sim.now)} =="
+        )
+        return "\n\n".join([header] + [s.render() for s in self.sections])
+
+    def as_dict(self) -> dict:
+        """Machine-readable form (section -> {label: value})."""
+        return {
+            section.title: dict(section.rows) for section in self.sections
+        }

@@ -1,0 +1,125 @@
+"""Headless DataBrowser: ADAL navigation joined with metadata.
+
+The browser holds a *current URL* (like a shell's cwd), lists objects under
+it with their linked dataset records, finds data by metadata query, and is
+the entry point for tagging — which feeds the
+:class:`~repro.databrowser.triggers.TriggerEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adal.api import AdalClient, ObjectInfo
+from repro.metadata.query import Query
+from repro.metadata.records import DatasetRecord
+from repro.metadata.store import MetadataStore
+from repro.databrowser.triggers import TriggerEngine
+
+
+@dataclass
+class Listing:
+    """One row of a DataBrowser listing: object + its dataset record."""
+
+    info: ObjectInfo
+    record: Optional[DatasetRecord]
+
+    @property
+    def registered(self) -> bool:
+        """Whether the object has metadata in the repository."""
+        return self.record is not None
+
+    @property
+    def tags(self) -> set[str]:
+        """Dataset tags (empty for unregistered objects)."""
+        return set(self.record.tags) if self.record else set()
+
+
+class DataBrowser:
+    """Explore and manage LSDF data (headless core of the GUI tool)."""
+
+    def __init__(
+        self,
+        adal: AdalClient,
+        store: MetadataStore,
+        triggers: Optional[TriggerEngine] = None,
+        home: str = "adal://",
+    ):
+        self.adal = adal
+        self.store = store
+        self.triggers = triggers
+        self._cwd = home.rstrip("/")
+
+    # -- navigation ---------------------------------------------------------
+    @property
+    def cwd(self) -> str:
+        """Current URL."""
+        return self._cwd
+
+    def cd(self, target: str) -> str:
+        """Change the current URL (absolute ``adal://`` or relative path)."""
+        if target.startswith("adal://"):
+            self._cwd = target.rstrip("/")
+        elif target == "..":
+            base, _slash, _leaf = self._cwd.rpartition("/")
+            if base.endswith(":/"):  # do not climb above adal://store
+                base = self._cwd
+            self._cwd = base
+        else:
+            self._cwd = f"{self._cwd}/{target.strip('/')}"
+        return self._cwd
+
+    def ls(self, path: str = "") -> list[Listing]:
+        """List objects under the cwd (or a subpath), joined with metadata."""
+        url = self._cwd if not path else f"{self._cwd}/{path.strip('/')}"
+        rows = []
+        for info in self.adal.listdir(url):
+            rows.append(Listing(info=info, record=self.store.by_url(info.url)))
+        return rows
+
+    def stat(self, path: str) -> Listing:
+        """Object info + dataset record for one path."""
+        url = path if path.startswith("adal://") else f"{self._cwd}/{path.strip('/')}"
+        info = self.adal.stat(url)
+        return Listing(info=info, record=self.store.by_url(url))
+
+    # -- metadata views --------------------------------------------------------
+    def find(self, query: Query) -> list[DatasetRecord]:
+        """Metadata search across the repository."""
+        return self.store.query(query)
+
+    def show(self, dataset_id: str) -> dict:
+        """Full record view (what the GUI's detail pane renders)."""
+        record = self.store.get(dataset_id)
+        return record.to_dict()
+
+    def history(self, dataset_id: str) -> list[str]:
+        """Human-readable processing history of a dataset."""
+        record = self.store.get(dataset_id)
+        return [
+            f"[{p.started:.1f}-{p.finished:.1f}] {p.name} ({p.status})"
+            for p in record.processing
+        ]
+
+    # -- tagging / triggering -----------------------------------------------------
+    def tag(self, dataset_id: str, *tags: str) -> list:
+        """Tag a dataset; fires matching trigger rules.
+
+        Returns the trigger results (traces or DES process events), one per
+        fired rule.
+        """
+        self.store.tag(dataset_id, *tags)
+        fired = []
+        if self.triggers is not None:
+            for tag in tags:
+                fired.extend(self.triggers.on_tag(dataset_id, tag))
+        return fired
+
+    def untag(self, dataset_id: str, *tags: str) -> None:
+        """Remove tags (never triggers anything)."""
+        self.store.untag(dataset_id, *tags)
+
+    def tagged(self, tag: str) -> list[DatasetRecord]:
+        """All datasets carrying a tag."""
+        return self.store.tagged(tag)

@@ -1,0 +1,159 @@
+"""Tag-triggered workflow execution — the automation loop of slide 12.
+
+A :class:`TriggerRule` binds a tag to a workflow graph plus a function that
+derives the workflow's inputs from the dataset record.  The
+:class:`TriggerEngine` watches tag applications (the
+:class:`~repro.databrowser.browser.DataBrowser` calls it) and runs matching
+rules — either immediately with a real director, or as DES processes with a
+:class:`~repro.workflow.director.SimulatedDirector` (experiment E8).  Every
+execution is recorded as provenance and logged as a :class:`TriggerEvent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.metadata.records import DatasetRecord
+from repro.metadata.store import MetadataStore
+from repro.workflow.actor import ActorError
+from repro.workflow.director import DataflowDirector, ExecutionTrace, SimulatedDirector
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.provenance import ProvenanceRecorder
+
+InputsFn = Callable[[DatasetRecord], dict[tuple[str, str], Any]]
+
+
+@dataclass
+class TriggerRule:
+    """tag -> workflow binding."""
+
+    tag: str
+    graph: WorkflowGraph
+    inputs_fn: InputsFn
+    #: Tag applied to the dataset when the workflow succeeds.
+    done_tag: Optional[str] = None
+    #: Restrict the rule to one project (None = any).
+    project: Optional[str] = None
+
+
+@dataclass
+class TriggerEvent:
+    """Audit-log entry for one trigger execution."""
+
+    dataset_id: str
+    tag: str
+    workflow: str
+    status: str  # "success" | "failed"
+    started: float
+    finished: float
+    error: Optional[str] = None
+
+
+class TriggerEngine:
+    """Executes :class:`TriggerRule`s when tags are applied.
+
+    Parameters
+    ----------
+    store:
+        The metadata repository (provenance target).
+    director:
+        A real director (default :class:`DataflowDirector`) or a
+        :class:`SimulatedDirector` for DES runs.
+    """
+
+    def __init__(
+        self,
+        store: MetadataStore,
+        director: Optional[DataflowDirector | SimulatedDirector] = None,
+    ):
+        self.store = store
+        self.director = director or DataflowDirector()
+        self.provenance = ProvenanceRecorder(store, tag_on_success=None)
+        self.rules: list[TriggerRule] = []
+        self.log: list[TriggerEvent] = []
+        #: In-flight DES processes (simulated mode only).
+        self.inflight: list = []
+
+    def register(self, rule: TriggerRule) -> None:
+        """Install a trigger rule."""
+        rule.graph.validate()
+        self.rules.append(rule)
+
+    def matching_rules(self, record: DatasetRecord, tag: str) -> list[TriggerRule]:
+        """Rules that fire for this (record, tag) pair."""
+        return [
+            r
+            for r in self.rules
+            if r.tag == tag and (r.project is None or r.project == record.project)
+        ]
+
+    # -- firing -----------------------------------------------------------
+    def on_tag(self, dataset_id: str, tag: str) -> list:
+        """Notification hook: run every matching rule.
+
+        Returns the list of :class:`ExecutionTrace` (real director) or
+        process events (simulated director).
+        """
+        record = self.store.get(dataset_id)
+        results = []
+        for rule in self.matching_rules(record, tag):
+            results.append(self._execute(rule, record, tag))
+        return results
+
+    def _execute(self, rule: TriggerRule, record: DatasetRecord, tag: str):
+        inputs = rule.inputs_fn(record)
+        if isinstance(self.director, SimulatedDirector):
+            proc = self.director.sim.process(
+                self._simulated_run(rule, record, tag, inputs),
+                name=f"trigger:{rule.graph.name}:{record.dataset_id}",
+            )
+            self.inflight.append(proc)
+            return proc
+        return self._real_run(rule, record, tag, inputs)
+
+    def _real_run(self, rule, record, tag, inputs) -> ExecutionTrace:
+        import time
+
+        start = time.monotonic()
+        try:
+            trace = self.director.run(rule.graph, inputs)
+        except ActorError as exc:
+            trace = getattr(exc, "trace", None)
+            self.log.append(
+                TriggerEvent(record.dataset_id, tag, rule.graph.name, "failed",
+                             start, time.monotonic(), error=str(exc))
+            )
+            if trace is not None:
+                self.provenance.record(record.dataset_id, rule.graph, trace)
+            return trace
+        self._finish(rule, record, tag, trace)
+        return trace
+
+    def _simulated_run(self, rule, record, tag, inputs):
+        trace = yield self.director.run(rule.graph, inputs)
+        self._finish(rule, record, tag, trace)
+        return trace
+
+    def _finish(self, rule: TriggerRule, record: DatasetRecord, tag: str,
+                trace: ExecutionTrace) -> None:
+        self.provenance.record(record.dataset_id, rule.graph, trace)
+        if rule.done_tag:
+            # Direct store tag: done_tags do not re-enter the trigger engine
+            # (prevents accidental rule loops).
+            self.store.tag(record.dataset_id, rule.done_tag)
+        self.log.append(
+            TriggerEvent(record.dataset_id, tag, rule.graph.name, trace.status,
+                         trace.started, trace.finished)
+        )
+
+    # -- reporting ----------------------------------------------------------
+    def stats(self) -> dict:
+        """Execution counters."""
+        ok = sum(1 for e in self.log if e.status == "success")
+        return {
+            "rules": len(self.rules),
+            "executions": len(self.log),
+            "succeeded": ok,
+            "failed": len(self.log) - ok,
+        }

@@ -1,0 +1,144 @@
+"""Static web views of the DataBrowser (slide 9: "will be available as a
+web GUI").
+
+Renders the browser's three screens — directory listing, dataset detail
+(with the chained processing history of slide 8), and search results — as
+self-contained HTML, and :func:`export_site` writes a browsable static site
+for a whole tree.  No server, no JavaScript dependencies: the output opens
+from disk, which is exactly what a facility hands to a community that just
+wants to *look* at its data.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.metadata.query import Query
+from repro.metadata.records import DatasetRecord
+from repro.simkit import units
+from repro.databrowser.browser import DataBrowser, Listing
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.3em; border-bottom: 2px solid #8aa; }
+table { border-collapse: collapse; margin-top: 1em; }
+th, td { border: 1px solid #ccc; padding: 4px 10px; text-align: left; }
+th { background: #eef2f2; }
+.tag { background: #dbeafe; border-radius: 8px; padding: 1px 8px;
+       margin-right: 4px; font-size: 0.85em; }
+.muted { color: #888; }
+.chain { margin-left: 1em; border-left: 3px solid #8aa; padding-left: 1em; }
+"""
+
+
+def _page(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_STYLE}</style></head>"
+        f"<body><h1>{html.escape(title)}</h1>{body}</body></html>"
+    )
+
+
+def _tags(tags: Iterable[str]) -> str:
+    return "".join(f"<span class='tag'>{html.escape(t)}</span>" for t in sorted(tags))
+
+
+def render_listing(browser: DataBrowser, path: str = "") -> str:
+    """The directory screen: objects under the cwd joined with metadata."""
+    rows = browser.ls(path)
+    body = ["<table><tr><th>object</th><th>size</th><th>dataset</th>"
+            "<th>tags</th></tr>"]
+    for row in rows:
+        dataset = (
+            f"<a href='dataset-{html.escape(row.record.dataset_id)}.html'>"
+            f"{html.escape(row.record.dataset_id)}</a>"
+            if row.registered
+            else "<span class='muted'>unregistered</span>"
+        )
+        body.append(
+            "<tr>"
+            f"<td>{html.escape(row.info.name)}</td>"
+            f"<td>{units.fmt_bytes(row.info.size)}</td>"
+            f"<td>{dataset}</td>"
+            f"<td>{_tags(row.tags)}</td>"
+            "</tr>"
+        )
+    body.append("</table>")
+    body.append(f"<p class='muted'>{len(rows)} objects</p>")
+    return _page(f"LSDF DataBrowser — {browser.cwd}{'/' + path if path else ''}",
+                 "".join(body))
+
+
+def render_dataset(record: DatasetRecord) -> str:
+    """The detail screen: basic metadata + the processing chain."""
+    body = ["<table>"]
+    body.append(f"<tr><th>URL</th><td>{html.escape(record.url)}</td></tr>")
+    body.append(f"<tr><th>project</th><td>{html.escape(record.project)}</td></tr>")
+    body.append(f"<tr><th>size</th><td>{units.fmt_bytes(record.size)}</td></tr>")
+    body.append(f"<tr><th>checksum</th><td><code>{html.escape(record.checksum)}"
+                "</code></td></tr>")
+    body.append(f"<tr><th>tags</th><td>{_tags(record.tags)}</td></tr>")
+    for key, value in record.basic.items():
+        body.append(f"<tr><th>{html.escape(str(key))}</th>"
+                    f"<td>{html.escape(str(value))}</td></tr>")
+    body.append("</table>")
+
+    if record.processing:
+        body.append("<h1>processing history</h1><div class='chain'>")
+        for step in record.processing:
+            results = ", ".join(
+                f"{html.escape(str(k))}={html.escape(str(v))}"
+                for k, v in step.results.items()
+            )
+            parent = (f" <span class='muted'>(after {html.escape(step.parent)})"
+                      "</span>" if step.parent else "")
+            body.append(
+                f"<p><b>{html.escape(step.name)}</b> [{step.status}] "
+                f"{step.started:.1f}&ndash;{step.finished:.1f}s "
+                f"&rarr; {results}{parent}</p>"
+            )
+        body.append("</div>")
+    return _page(f"dataset {record.dataset_id}", "".join(body))
+
+
+def render_search(browser: DataBrowser, query: Query, label: str = "query") -> str:
+    """The search screen: results of a metadata query."""
+    hits = browser.find(query)
+    body = ["<table><tr><th>dataset</th><th>project</th><th>size</th>"
+            "<th>tags</th><th>steps</th></tr>"]
+    for record in hits:
+        body.append(
+            "<tr>"
+            f"<td><a href='dataset-{html.escape(record.dataset_id)}.html'>"
+            f"{html.escape(record.dataset_id)}</a></td>"
+            f"<td>{html.escape(record.project)}</td>"
+            f"<td>{units.fmt_bytes(record.size)}</td>"
+            f"<td>{_tags(record.tags)}</td>"
+            f"<td>{len(record.processing)}</td>"
+            "</tr>"
+        )
+    body.append("</table>")
+    body.append(f"<p class='muted'>{len(hits)} hits for {html.escape(label)}</p>")
+    return _page(f"LSDF search — {label}", "".join(body))
+
+
+def export_site(browser: DataBrowser, out_dir: str | os.PathLike,
+                listing_path: str = "") -> list[str]:
+    """Write a browsable static site: index (listing) + one page per
+    registered dataset.  Returns the written file names."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    (out / "index.html").write_text(render_listing(browser, listing_path),
+                                    encoding="utf-8")
+    written.append("index.html")
+    for row in browser.ls(listing_path):
+        if row.record is None:
+            continue
+        name = f"dataset-{row.record.dataset_id}.html"
+        (out / name).write_text(render_dataset(row.record), encoding="utf-8")
+        written.append(name)
+    return written

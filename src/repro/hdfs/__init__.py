@@ -1,0 +1,31 @@
+"""HDFS simulator — the "110 TB Hadoop filesystem" of slide 11.
+
+Reproduces the mechanisms the paper's data-intensive computing claims rest
+on:
+
+* block-structured files with a configurable block size and replication
+  factor;
+* **rack-aware placement** (first replica on the writer, second off-rack,
+  third on the second's rack) — the property that makes "bring computing to
+  the data" possible;
+* pipelined block writes and locality-ranked reads over the
+  :mod:`repro.netsim` fluid network;
+* datanode failure detection, under-replication tracking and
+  re-replication;
+* a balancer that plans block moves from over- to under-utilised nodes.
+
+Public surface
+--------------
+:class:`NameNode`
+    Pure (non-DES) metadata: namespace, placement, failure bookkeeping.
+:class:`HdfsCluster`
+    The DES wrapper: timed writes/reads/re-replication over the network.
+:class:`Block`, :class:`DataNodeInfo`
+    Data model.
+"""
+
+from repro.hdfs.blocks import Block, DataNodeInfo
+from repro.hdfs.namenode import HdfsError, NameNode
+from repro.hdfs.cluster import HdfsCluster
+
+__all__ = ["Block", "DataNodeInfo", "HdfsCluster", "HdfsError", "NameNode"]

@@ -1,0 +1,40 @@
+"""HDFS data model: blocks and datanode descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Block:
+    """One block of a file and its replica locations."""
+
+    block_id: int
+    path: str
+    index: int
+    size: float
+    replicas: list[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Block #{self.block_id} {self.path}[{self.index}] on {self.replicas}>"
+
+
+@dataclass
+class DataNodeInfo:
+    """NameNode-side view of one datanode."""
+
+    name: str
+    rack: str
+    capacity: float
+    used: float = 0.0
+    alive: bool = True
+
+    @property
+    def free(self) -> float:
+        """Remaining block-storage bytes."""
+        return self.capacity - self.used
+
+    @property
+    def utilization(self) -> float:
+        """Used fraction in [0, 1]."""
+        return self.used / self.capacity if self.capacity > 0 else 0.0

@@ -1,0 +1,315 @@
+"""The DES side of HDFS: timed block I/O over the fluid network.
+
+:class:`HdfsCluster` couples a :class:`~repro.hdfs.namenode.NameNode` with a
+:class:`~repro.netsim.network.Network` and per-node disk servers, and turns
+namespace operations into simulated time:
+
+* **writes** pipeline each block through its replica chain
+  (client -> r1 -> r2 -> r3, as HDFS does), with the disk write at each
+  replica overlapping the network hop;
+* **reads** go to the closest replica — node-local (no network), rack-local,
+  or off-rack — exactly the locality hierarchy MapReduce scheduling exploits;
+* **failures** trigger re-replication traffic with bounded parallelism;
+* the **balancer** executes planned block moves as real transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+from repro.simkit.monitor import Counter, Tally
+from repro.simkit.rand import RandomSource
+from repro.simkit.resources import Resource
+from repro.netsim.builders import build_fat_tree
+from repro.netsim.network import Network
+from repro.netsim.topology import NoRouteError
+from repro.storage.ps import FluidServer
+from repro.hdfs.blocks import Block
+from repro.hdfs.namenode import HdfsError, NameNode
+
+#: Locality classes in preference order.
+LOCALITY_NODE = "node"
+LOCALITY_RACK = "rack"
+LOCALITY_OFF = "off"
+
+
+class HdfsCluster:
+    """A simulated HDFS deployment.
+
+    Build one directly from existing pieces, or via :meth:`build` which
+    creates the rack/core network too (the usual path for experiments).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        namenode: NameNode,
+        disk_bw: float = 80e6,
+        rereplication_streams: int = 10,
+    ):
+        self.sim = sim
+        self.net = net
+        self.namenode = namenode
+        self.disk_bw = float(disk_bw)
+        self.disks: dict[str, FluidServer] = {
+            name: FluidServer(sim, disk_bw, name=f"disk.{name}")
+            for name in namenode.nodes
+        }
+        self._rerep_slots = Resource(sim, rereplication_streams, name="hdfs.rerep")
+        self.bytes_written = Counter("hdfs.bytes_written")
+        self.bytes_read = Counter("hdfs.bytes_read")
+        self.read_locality = Counter("hdfs.local_reads")
+        self.reads_total = Counter("hdfs.reads_total")
+        self.rereplicated_blocks = Counter("hdfs.rereplicated")
+        self.write_latency = Tally("hdfs.write_latency")
+        self.read_latency = Tally("hdfs.read_latency")
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        sim: Simulator,
+        racks: int = 4,
+        nodes_per_rack: int = 15,
+        node_capacity: float = 2e12,
+        block_size: float = 64 * 2**20,
+        replication: int = 3,
+        placement: str = "rack_aware",
+        node_bw: float = 1e9 / 8,
+        rack_uplink_bw: float = 10e9 / 8,
+        disk_bw: float = 80e6,
+        sharing: str = "maxmin",
+        rng: Optional[RandomSource] = None,
+    ) -> "HdfsCluster":
+        """Create a rack/core cluster network plus namenode in one call.
+
+        Defaults approximate the paper's 60-node analysis cluster: 4 racks
+        of 15 commodity nodes with 1 GE NICs, 10 GE rack uplinks, ~2 TB of
+        local disk each (-> ~110 TB usable at replication 1, or raw for 3).
+        """
+        topo, rack_hosts = build_fat_tree(racks, nodes_per_rack, node_bw, rack_uplink_bw)
+        net = Network(sim, topo, sharing=sharing)
+        namenode = NameNode(
+            block_size=block_size,
+            replication=replication,
+            placement=placement,
+            rng=rng or sim.random.spawn("hdfs.namenode"),
+        )
+        for rack_index, hosts in enumerate(rack_hosts):
+            for host in hosts:
+                namenode.add_datanode(host, f"rack-{rack_index:02d}", node_capacity)
+        return cls(sim, net, namenode, disk_bw=disk_bw)
+
+    # -- locality helpers ------------------------------------------------------
+    def locality_of(self, node: str, reader: str) -> str:
+        """Locality class of reading ``node``'s data from ``reader``."""
+        if node == reader:
+            return LOCALITY_NODE
+        if reader in self.namenode.nodes and (
+            self.namenode.rack_of(node) == self.namenode.rack_of(reader)
+        ):
+            return LOCALITY_RACK
+        return LOCALITY_OFF
+
+    def best_replica(self, block: Block, reader: str) -> tuple[str, str]:
+        """(replica node, locality class) of the closest live replica."""
+        rank = {LOCALITY_NODE: 0, LOCALITY_RACK: 1, LOCALITY_OFF: 2}
+        live = [r for r in block.replicas if self.namenode.nodes[r].alive]
+        if not live:
+            raise HdfsError(f"block {block.block_id} has no live replica")
+        return min(
+            ((r, self.locality_of(r, reader)) for r in sorted(live)),
+            key=lambda pair: rank[pair[1]],
+        )
+
+    def block_locations(self, path: str) -> list[list[str]]:
+        """Replica nodes per block of a file (MapReduce split metadata)."""
+        return [list(b.replicas) for b in self.namenode.file_blocks(path)]
+
+    # -- writes ------------------------------------------------------------------
+    def write_file(self, path: str, size: float, client: str) -> Event:
+        """Write a file; blocks stream sequentially, replicas pipeline."""
+        return self.sim.process(self._write_file(path, size, client), name=f"hdfs.write:{path}")
+
+    def _write_file(self, path: str, size: float, client: str) -> Generator:
+        start = self.sim.now
+        blocks = self.namenode.create_file(path, size, writer=client)
+        for block in blocks:
+            if block.size > 0:
+                yield self.sim.process(self._write_block(block, client))
+        self.bytes_written.add(size)
+        self.write_latency.record(self.sim.now - start)
+        return blocks
+
+    def _write_block(self, block: Block, client: str) -> Generator:
+        """Pipeline one block through its replica chain.
+
+        Each hop (client->r1, r1->r2, ...) moves the full block; because
+        HDFS forwards packets as they arrive, the pipeline completes roughly
+        when the *slowest* hop does — modelled by running all hop transfers
+        and all replica disk writes concurrently and waiting for all.
+        """
+        events: list[Event] = []
+        chain = [client] + block.replicas
+        for src, dst in zip(chain, chain[1:]):
+            if src != dst:
+                events.append(self.net.transfer(src, dst, block.size, name=f"blk{block.block_id}"))
+        for replica in block.replicas:
+            events.append(self.disks[replica].submit(block.size))
+        if events:
+            yield self.sim.all_of(events)
+
+    # -- reads -----------------------------------------------------------------------
+    def read_file(self, path: str, reader: str) -> Event:
+        """Read a whole file from the closest replicas, block-sequential."""
+        return self.sim.process(self._read_file(path, reader), name=f"hdfs.read:{path}")
+
+    def _read_file(self, path: str, reader: str) -> Generator:
+        start = self.sim.now
+        localities = []
+        for block in self.namenode.file_blocks(path):
+            if block.size <= 0:
+                continue
+            locality = yield self.sim.process(self.read_block(block, reader))
+            localities.append(locality)
+        self.read_latency.record(self.sim.now - start)
+        return localities
+
+    def read_block(self, block: Block, reader: str):
+        """Read one block from its best replica; returns the locality class."""
+        def run() -> Generator:
+            replica, locality = self.best_replica(block, reader)
+            disk = self.disks[replica].submit(block.size)
+            if replica == reader:
+                yield disk
+            else:
+                transfer = self.net.transfer(replica, reader, block.size)
+                yield self.sim.all_of([disk, transfer])
+            self.bytes_read.add(block.size)
+            self.reads_total.add(1)
+            if locality == LOCALITY_NODE:
+                self.read_locality.add(1)
+            return locality
+
+        return run()
+
+    # -- failures / re-replication ------------------------------------------------
+    def fail_datanode(self, name: str) -> Event:
+        """Kill a datanode and start background re-replication.
+
+        Returns the process-event that completes when replication is
+        restored for every block the node held.
+        """
+        self.namenode.mark_dead(name)
+        if self.net.topology.has_node(name):
+            self.net.fail_node(name)
+        return self.sim.process(self._rereplicate_all(), name=f"hdfs.rerep:{name}")
+
+    def _rereplicate_all(self) -> Generator:
+        pending = [self.namenode.block(b) for b in sorted(self.namenode.under_replicated)]
+        procs = [self.sim.process(self._rereplicate_block(b)) for b in pending]
+        if procs:
+            yield self.sim.all_of(procs)
+        return len(procs)
+
+    def _rereplicate_block(self, block: Block) -> Generator:
+        slot = self._rerep_slots.request()
+        yield slot
+        try:
+            while len(block.replicas) < self.namenode.replication:
+                sources = [r for r in block.replicas if self.namenode.nodes[r].alive]
+                if not sources:
+                    return False  # data loss: nothing to copy from
+                target = self.namenode.replication_target(block)
+                if target is None:
+                    return False  # no space anywhere
+                source = sources[0]
+                try:
+                    transfer = self.net.transfer(source, target, block.size)
+                    disk = self.disks[target].submit(block.size)
+                    yield self.sim.all_of([transfer, disk])
+                except NoRouteError:
+                    continue  # topology changed mid-copy; retry
+                self.namenode.commit_replica(block, target)
+                self.rereplicated_blocks.add(1)
+            return True
+        finally:
+            self._rerep_slots.release(slot)
+
+    def decommission(self, name: str) -> Event:
+        """Gracefully drain a datanode: copy every block it holds to other
+        nodes *while it is still serving*, then mark it dead.
+
+        Unlike :meth:`fail_datanode`, no replica count ever drops below the
+        target — this is how nodes are retired for maintenance.  The event
+        value is the number of blocks copied.
+        """
+        return self.sim.process(self._decommission(name), name=f"hdfs.decom:{name}")
+
+    def _decommission(self, name: str) -> Generator:
+        nn = self.namenode
+        blocks = [b for b in nn._blocks_by_id.values() if name in b.replicas]
+        copied = 0
+        for block in blocks:
+            target = nn.replication_target(block)
+            if target is None or target == name:
+                continue
+            slot = self._rerep_slots.request()
+            yield slot
+            try:
+                transfer = self.net.transfer(name, target, block.size)
+                disk = self.disks[target].submit(block.size)
+                yield self.sim.all_of([transfer, disk])
+            except NoRouteError:
+                continue
+            finally:
+                self._rerep_slots.release(slot)
+            nn.commit_replica(block, target)
+            copied += 1
+        # All data is now over-replicated w.r.t. this node: retire it.
+        nn.mark_dead(name)
+        # mark_dead drops this node's replicas; blocks stay at full factor.
+        nn.under_replicated -= {
+            b.block_id
+            for b in nn._blocks_by_id.values()
+            if len(b.replicas) >= nn.replication
+        }
+        return copied
+
+    # -- balancer ---------------------------------------------------------------------
+    def run_balancer(self, threshold: float = 0.10) -> Event:
+        """Plan and execute balancer moves; event value = moves executed."""
+        return self.sim.process(self._run_balancer(threshold), name="hdfs.balancer")
+
+    def _run_balancer(self, threshold: float) -> Generator:
+        moves = self.namenode.plan_balance(threshold)
+        executed = 0
+        for block, src, dst in moves:
+            try:
+                transfer = self.net.transfer(src, dst, block.size)
+                disk = self.disks[dst].submit(block.size)
+                yield self.sim.all_of([transfer, disk])
+            except NoRouteError:
+                continue
+            self.namenode.commit_move(block, src, dst)
+            executed += 1
+        return executed
+
+    # -- reporting ----------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Headline counters for benches."""
+        total_reads = self.reads_total.value
+        return {
+            "files": len(self.namenode.files()),
+            "bytes_written": self.bytes_written.value,
+            "bytes_read": self.bytes_read.value,
+            "node_local_read_fraction": (
+                self.read_locality.value / total_reads if total_reads else float("nan")
+            ),
+            "under_replicated": len(self.namenode.under_replicated),
+            "rereplicated_blocks": self.rereplicated_blocks.value,
+            "utilization_spread": self.namenode.utilization_spread(),
+        }

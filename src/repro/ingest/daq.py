@@ -1,0 +1,106 @@
+"""The DAQ-side staging buffer.
+
+Instruments write to a bounded local buffer (the acquisition workstation's
+disk); transfer agents drain it towards the facility.  If the facility
+cannot keep up, the buffer fills and — depending on policy — the microscope
+*blocks* (a real robot pauses) or frames are *dropped* (data loss, the
+failure mode the LSDF exists to prevent).  E1 reports the buffer's
+time-averaged backlog and any drops.
+"""
+
+from __future__ import annotations
+
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+from repro.simkit.monitor import Counter, TimeWeighted
+from repro.simkit.resources import Store
+from repro.ingest.microscope import ImageDescriptor
+
+
+class DaqBuffer:
+    """Bounded byte-capacity buffer of acquired frames.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    capacity_bytes:
+        Buffer size; ``float('inf')`` for an unbounded buffer.
+    policy:
+        ``"block"`` (instrument waits, default) or ``"drop"`` (frame lost).
+    """
+
+    def __init__(self, sim: Simulator, capacity_bytes: float = float("inf"),
+                 policy: str = "block", name: str = "daq"):
+        if policy not in ("block", "drop"):
+            raise ValueError(f"unknown DAQ policy {policy!r}")
+        self.sim = sim
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.name = name
+        self._store = Store(sim, name=f"{name}.frames")
+        self._bytes = 0.0
+        self.backlog = TimeWeighted(sim.now, 0.0, name=f"{name}.backlog_bytes")
+        self.offered = Counter(f"{name}.offered")
+        self.dropped = Counter(f"{name}.dropped")
+        self._space_waiters: list[tuple[Event, float]] = []
+
+    @property
+    def backlog_bytes(self) -> float:
+        """Bytes currently buffered."""
+        return self._bytes
+
+    @property
+    def backlog_frames(self) -> int:
+        """Frames currently buffered."""
+        return self._store.size
+
+    # -- producer side --------------------------------------------------------
+    def offer(self, frame: ImageDescriptor) -> Event:
+        """Submit a frame; behaviour on a full buffer follows the policy.
+
+        Returns an event that fires when the frame is accepted (or, under
+        the drop policy, immediately — with value ``None`` for a drop).
+        """
+        self.offered.add(1)
+        if self._bytes + frame.size > self.capacity_bytes:
+            if self.policy == "drop":
+                self.dropped.add(1)
+                done = self.sim.event(name=f"{self.name}.drop")
+                done.succeed(None)
+                return done
+            waiter = self.sim.event(name=f"{self.name}.space")
+            self._space_waiters.append((waiter, float(frame.size)))
+            return self.sim.process(self._blocking_offer(waiter, frame))
+        self._accept(frame)
+        done = self.sim.event(name=f"{self.name}.accepted")
+        done.succeed(frame)
+        return done
+
+    def _blocking_offer(self, waiter: Event, frame: ImageDescriptor):
+        yield waiter
+        self._accept(frame)
+        return frame
+
+    def _accept(self, frame: ImageDescriptor) -> None:
+        self._bytes += frame.size
+        self.backlog.set(self.sim.now, self._bytes)
+        self._store.put(frame)
+
+    # -- consumer side -----------------------------------------------------------
+    def take(self) -> Event:
+        """Remove the oldest buffered frame (blocks while empty)."""
+        return self.sim.process(self._take())
+
+    def _take(self):
+        frame: ImageDescriptor = yield self._store.get()
+        self._bytes -= frame.size
+        self.backlog.set(self.sim.now, self._bytes)
+        # Wake blocked producers whose frames now fit, FIFO.
+        while self._space_waiters:
+            waiter, size = self._space_waiters[0]
+            if self._bytes + size > self.capacity_bytes:
+                break
+            self._space_waiters.pop(0)
+            waiter.succeed()
+        return frame

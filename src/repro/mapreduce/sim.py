@@ -1,0 +1,557 @@
+"""MapReduce scheduler simulator (the Hadoop JobTracker of 2011).
+
+Models the mechanisms behind the paper's "bring computing to the data"
+claims, over the simulated HDFS and fluid network:
+
+* one **map task per HDFS block**, executed in per-node task slots;
+* **locality-aware scheduling** — node-local first, then rack-local, then
+  off-rack — with optional **delay scheduling** (a node without local work
+  waits up to ``locality_delay`` seconds before accepting a non-local task,
+  letting the data-local node claim it);
+* a **shuffle** phase moving each map's output partition to every reducer
+  over the network;
+* **heterogeneous node speeds and stragglers**, and Hadoop-style
+  **speculative execution** (idle slots re-run the slowest in-flight map
+  attempts; the first finisher wins) — ablated in E7.
+
+The simulator is deliberately a *scheduler* model: task durations come from
+a byte-rate cost model (``cpu seconds per input byte``), calibrated per
+workload in :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+from repro.hdfs.blocks import Block
+from repro.hdfs.cluster import LOCALITY_NODE, LOCALITY_OFF, LOCALITY_RACK, HdfsCluster
+
+_WAIT_SLICE = 0.5  # how long an idle slot naps before re-checking the queue
+
+
+@dataclass
+class JobSpec:
+    """Cost-model description of one MapReduce job."""
+
+    name: str
+    input_path: str
+    #: CPU seconds of map compute per input byte (1e-8 = 100 MB/s/core).
+    map_cpu_per_byte: float = 1e-8
+    #: Intermediate bytes produced per input byte.
+    map_output_ratio: float = 0.1
+    reduces: int = 8
+    #: CPU seconds of reduce compute per shuffled byte.
+    reduce_cpu_per_byte: float = 1e-8
+    #: Output bytes per shuffled byte.
+    reduce_output_ratio: float = 1.0
+    #: Whether reduce output is written back to HDFS.
+    write_output: bool = True
+
+    def __post_init__(self) -> None:
+        if self.reduces < 0:
+            raise ValueError("reduces must be >= 0")
+        if self.map_cpu_per_byte < 0 or self.reduce_cpu_per_byte < 0:
+            raise ValueError("cpu costs must be >= 0")
+
+
+@dataclass
+class TaskStats:
+    """Outcome of one task attempt."""
+
+    task_id: str
+    kind: str  # "map" | "reduce"
+    node: str
+    locality: str  # map tasks: node/rack/off; reduce tasks: "-"
+    start: float
+    end: float
+    speculative: bool = False
+    won: bool = True
+
+    @property
+    def duration(self) -> float:
+        """Attempt run time in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class JobResult:
+    """Aggregate outcome of a job run."""
+
+    name: str
+    submitted: float
+    finished: float
+    maps: int
+    reduces: int
+    map_phase_end: float
+    locality_counts: dict[str, int]
+    bytes_input: float
+    bytes_shuffled: float
+    bytes_output: float
+    attempts: int
+    speculative_launched: int
+    speculative_wins: int
+    task_stats: list[TaskStats] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """End-to-end job time in seconds."""
+        return self.finished - self.submitted
+
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of map tasks that ran node-local."""
+        total = sum(self.locality_counts.values())
+        return self.locality_counts.get(LOCALITY_NODE, 0) / total if total else float("nan")
+
+
+class _MapTask:
+    """A map task: one HDFS block plus completion bookkeeping."""
+
+    __slots__ = ("task_id", "block", "done", "attempts", "first_start", "winner")
+
+    def __init__(self, task_id: str, block: Block, done: Event):
+        self.task_id = task_id
+        self.block = block
+        self.done = done
+        self.attempts = 0
+        self.first_start: Optional[float] = None
+        self.winner: Optional[TaskStats] = None
+
+
+class _JobState:
+    """Mutable run state shared by the slot workers of one job."""
+
+    def __init__(self, spec: JobSpec, tasks: list[_MapTask], sim: Simulator):
+        self.seq = 0  # submission order (FIFO policy key)
+        self.active_attempts = 0  # attempts running now (fair-share key)
+        self.spec = spec
+        self.pending: list[_MapTask] = list(tasks)
+        self.running: dict[str, _MapTask] = {}
+        self.speculated: set[str] = set()
+        self.completed: list[_MapTask] = []
+        self.total = len(tasks)
+        self.maps_done = sim.event(name=f"{spec.name}.maps_done")
+        self.locality_counts = {LOCALITY_NODE: 0, LOCALITY_RACK: 0, LOCALITY_OFF: 0}
+        self.attempts = 0
+        self.spec_launched = 0
+        self.spec_wins = 0
+        self.task_stats: list[TaskStats] = []
+        self.delay_start: dict[str, float] = {}  # node -> first miss time
+        #: Fires once `slowstart` of the maps are done (reduces may shuffle).
+        self.slowstart_reached = sim.event(name=f"{spec.name}.slowstart")
+        #: Per-reduce queues of (winner node, partition bytes) announcements.
+        self.reduce_queues: list = []
+
+    @property
+    def map_phase_over(self) -> bool:
+        return len(self.completed) >= self.total
+
+
+class MapReduceSim:
+    """The JobTracker.  One instance per cluster; jobs run via :meth:`submit`.
+
+    Parameters
+    ----------
+    sim, hdfs:
+        Simulator and the HDFS cluster to run over.
+    map_slots_per_node / reduce_slots_per_node:
+        Task slots per node (2011 Hadoop defaults: 2 each).
+    scheduler:
+        ``"delay"`` (delay scheduling, default) or ``"greedy"`` (take the
+        best available task immediately).
+    locality_delay:
+        Seconds a node waits for node-local work before going non-local.
+    speculation:
+        Enable speculative re-execution of straggling map attempts.
+    speculation_threshold:
+        An attempt is speculation-eligible once its elapsed time exceeds
+        ``threshold ×`` the mean duration of completed map tasks.
+    node_speed_cv:
+        Coefficient of variation of persistent per-node speed factors.
+    straggler_prob / straggler_factor:
+        Per-attempt probability of a transient straggler and its slowdown.
+    sort_rate:
+        Reduce-side merge-sort throughput, bytes/s.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hdfs: HdfsCluster,
+        map_slots_per_node: int = 2,
+        reduce_slots_per_node: int = 2,
+        scheduler: str = "delay",
+        locality_delay: float = 3.0,
+        speculation: bool = True,
+        speculation_threshold: float = 1.5,
+        node_speed_cv: float = 0.10,
+        straggler_prob: float = 0.03,
+        straggler_factor: float = 5.0,
+        sort_rate: float = 200e6,
+        job_policy: str = "fifo",
+        slowstart: float = 1.0,
+    ):
+        if scheduler not in ("delay", "greedy"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        if job_policy not in ("fifo", "fair"):
+            raise ValueError(f"unknown job policy {job_policy!r}")
+        if not (0.0 < slowstart <= 1.0):
+            raise ValueError("slowstart must be in (0, 1]")
+        self.sim = sim
+        self.hdfs = hdfs
+        self.map_slots_per_node = int(map_slots_per_node)
+        self.reduce_slots_per_node = int(reduce_slots_per_node)
+        self.scheduler = scheduler
+        self.locality_delay = float(locality_delay)
+        self.speculation = speculation
+        self.speculation_threshold = float(speculation_threshold)
+        self.straggler_prob = float(straggler_prob)
+        self.straggler_factor = float(straggler_factor)
+        self.sort_rate = float(sort_rate)
+        self.rng = sim.random.spawn("mapreduce")
+        # Persistent heterogeneity: per-node speed multipliers (>=0.5).
+        self.node_speed: dict[str, float] = {
+            name: max(0.5, self.rng.lognormal_mean(1.0, node_speed_cv)) if node_speed_cv > 0 else 1.0
+            for name in sorted(hdfs.namenode.nodes)
+        }
+        self.job_policy = job_policy
+        #: Fraction of maps that must finish before reduces start shuffling
+        #: (Hadoop's mapreduce.job.reduce.slowstart.completedmaps; 1.0 =
+        #: strict phase barrier, lower values overlap shuffle with maps).
+        self.slowstart = float(slowstart)
+        self._job_seq = 0
+        # Every node runs ``map_slots_per_node`` persistent slot workers
+        # shared by ALL concurrent jobs (real TaskTrackers).  Which job a
+        # free slot serves is the job policy: "fifo" strictly prefers the
+        # earliest-submitted job with work, "fair" the job with the fewest
+        # attempts currently running (the Hadoop Fair Scheduler that
+        # motivated delay scheduling).
+        self._active_states: list[_JobState] = []
+        self._workers_alive: dict[str, int] = {}
+
+    def _ensure_workers(self) -> None:
+        for info in self.hdfs.namenode.live_nodes():
+            missing = self.map_slots_per_node - self._workers_alive.get(info.name, 0)
+            for _ in range(missing):
+                self._workers_alive[info.name] = self._workers_alive.get(info.name, 0) + 1
+                self.sim.process(self._node_worker(info.name), name=f"mrslot:{info.name}")
+
+    def _job_order(self) -> list["_JobState"]:
+        candidates = [s for s in self._active_states if not s.map_phase_over]
+        if self.job_policy == "fifo":
+            return sorted(candidates, key=lambda s: s.seq)
+        return sorted(candidates, key=lambda s: (s.active_attempts, s.seq))
+
+    # -- public ---------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Event:
+        """Run a job; the returned process-event yields a :class:`JobResult`.
+
+        Concurrent submissions share the cluster's task slots under the
+        configured ``job_policy``.
+        """
+        self._job_seq += 1
+        return self.sim.process(self._run_job(spec), name=f"mr:{spec.name}")
+
+    # -- job lifecycle -----------------------------------------------------------
+    def _run_job(self, spec: JobSpec) -> Generator:
+        submitted = self.sim.now
+        blocks = [b for b in self.hdfs.namenode.file_blocks(spec.input_path) if b.size > 0]
+        tasks = [
+            _MapTask(f"{spec.name}.m{idx:05d}", block, self.sim.event())
+            for idx, block in enumerate(blocks)
+        ]
+        state = _JobState(spec, tasks, self.sim)
+        state.seq = self._job_seq
+        live = [n.name for n in self.hdfs.namenode.live_nodes()]
+        bytes_input = sum(b.size for b in blocks)
+        run_reduces = spec.reduces > 0 and bytes_input * spec.map_output_ratio > 0
+
+        # Reduces launch up-front; each blocks on the job's slowstart event,
+        # then pulls map-output announcements as they appear (shuffle overlaps
+        # the map tail when slowstart < 1).
+        from repro.simkit.resources import Store
+
+        reduce_procs = []
+        if run_reduces:
+            state.reduce_queues = [Store(self.sim) for _ in range(spec.reduces)]
+            reduce_nodes = self._assign_reduce_nodes(spec.reduces, live)
+            for index, node in enumerate(reduce_nodes):
+                reduce_procs.append(
+                    self.sim.process(
+                        self._reduce_task(state, spec, index, node),
+                        name=f"{spec.name}.r{index:04d}",
+                    )
+                )
+
+        if state.total == 0:
+            # Degenerate job (empty input): no map phase at all.
+            state.slowstart_reached.succeed()
+            state.maps_done.succeed()
+        self._active_states.append(state)
+        self._ensure_workers()
+        yield state.maps_done
+        self._active_states.remove(state)
+        map_phase_end = self.sim.now
+
+        bytes_output = 0.0
+        bytes_shuffled = 0.0
+        if reduce_procs:
+            results = yield self.sim.all_of(reduce_procs)
+            for value in results.values():
+                bytes_shuffled += value[0]
+                bytes_output += value[1]
+
+        return JobResult(
+            name=spec.name,
+            submitted=submitted,
+            finished=self.sim.now,
+            maps=state.total,
+            reduces=spec.reduces,
+            map_phase_end=map_phase_end,
+            locality_counts=dict(state.locality_counts),
+            bytes_input=bytes_input,
+            bytes_shuffled=bytes_shuffled,
+            bytes_output=bytes_output,
+            attempts=state.attempts,
+            speculative_launched=state.spec_launched,
+            speculative_wins=state.spec_wins,
+            task_stats=state.task_stats,
+        )
+
+    # -- map scheduling -------------------------------------------------------
+    def _locality(self, task: _MapTask, node: str) -> str:
+        try:
+            _replica, locality = self.hdfs.best_replica(task.block, node)
+        except Exception:
+            locality = LOCALITY_OFF
+        return locality
+
+    def _take_map(self, state: _JobState, node: str):
+        """Scheduler core: pick a task for a free slot on ``node``.
+
+        Returns a ``(_MapTask, locality, speculative)`` tuple, a float wait
+        hint (seconds), or ``None`` when the map phase has no work left for
+        this slot.
+        """
+        if state.map_phase_over:
+            return None
+        # 1. node-local pending work.
+        for i, task in enumerate(state.pending):
+            if self._locality(task, node) == LOCALITY_NODE:
+                state.delay_start.pop(node, None)
+                return state.pending.pop(i), LOCALITY_NODE, False
+        if state.pending:
+            if self.scheduler == "delay" and self.locality_delay > 0:
+                started = state.delay_start.setdefault(node, self.sim.now)
+                remaining = self.locality_delay - (self.sim.now - started)
+                if remaining > 1e-9:
+                    return min(remaining, _WAIT_SLICE)
+            # Delay expired (or greedy): rack-local preferred, else any.
+            best_i, best_rank = 0, 3
+            for i, task in enumerate(state.pending):
+                rank = {LOCALITY_NODE: 0, LOCALITY_RACK: 1, LOCALITY_OFF: 2}[
+                    self._locality(task, node)
+                ]
+                if rank < best_rank:
+                    best_i, best_rank = i, rank
+            state.delay_start.pop(node, None)
+            locality = [LOCALITY_NODE, LOCALITY_RACK, LOCALITY_OFF][best_rank]
+            return state.pending.pop(best_i), locality, False
+        # 2. no pending work: consider speculation on the straggler tail.
+        if self.speculation and state.completed:
+            mean_done = sum(
+                t.winner.duration for t in state.completed  # type: ignore[union-attr]
+            ) / len(state.completed)
+            threshold = self.speculation_threshold * mean_done
+            candidates = [
+                t
+                for t in state.running.values()
+                if t.task_id not in state.speculated
+                and t.first_start is not None
+                and (self.sim.now - t.first_start) > threshold
+            ]
+            if candidates:
+                task = min(candidates, key=lambda t: t.first_start)
+                state.speculated.add(task.task_id)
+                return task, self._locality(task, node), True
+        if state.running:
+            return _WAIT_SLICE  # wait for the tail to drain (or speculate later)
+        return None
+
+    def _node_worker(self, node: str) -> Generator:
+        """One task slot: repeatedly serve whichever job the policy picks.
+
+        Exits when the node dies or no job has map work left; a later
+        submit respawns workers via :meth:`_ensure_workers`.
+        """
+        try:
+            while True:
+                if not self.hdfs.namenode.nodes[node].alive:
+                    return
+                order = self._job_order()
+                if not order:
+                    return
+                wait_hint: Optional[float] = None
+                chosen = None
+                for state in order:
+                    picked = self._take_map(state, node)
+                    if picked is None:
+                        continue
+                    if isinstance(picked, float):
+                        wait_hint = picked if wait_hint is None else min(wait_hint, picked)
+                        continue
+                    chosen = (state, picked)
+                    break
+                if chosen is None:
+                    yield self.sim.timeout(wait_hint if wait_hint is not None else _WAIT_SLICE)
+                    continue
+                state, (task, locality, speculative) = chosen
+                yield self.sim.process(
+                    self._run_map_attempt(state, task, node, locality, speculative)
+                )
+        finally:
+            self._workers_alive[node] -= 1
+
+    def _attempt_factor(self, node: str) -> float:
+        factor = self.node_speed[node]
+        if self.straggler_prob > 0 and self.rng.uniform() < self.straggler_prob:
+            factor *= self.straggler_factor
+        return factor
+
+    def _run_map_attempt(
+        self, state: _JobState, task: _MapTask, node: str, locality: str, speculative: bool
+    ) -> Generator:
+        start = self.sim.now
+        state.attempts += 1
+        state.active_attempts += 1
+        if speculative:
+            state.spec_launched += 1
+        else:
+            task.first_start = start
+            state.running[task.task_id] = task
+        # 1. read the input block (locality decides disk-only vs network).
+        yield self.sim.process(self.hdfs.read_block(task.block, node))
+        # 2. compute.
+        cpu = task.block.size * state.spec.map_cpu_per_byte * self._attempt_factor(node)
+        if cpu > 0:
+            yield self.sim.timeout(cpu)
+        # 3. spill intermediate output to the local disk.
+        out_bytes = task.block.size * state.spec.map_output_ratio
+        if out_bytes > 0:
+            yield self.hdfs.disks[node].submit(out_bytes)
+        # 4. first finisher wins.
+        stats = TaskStats(
+            task_id=task.task_id,
+            kind="map",
+            node=node,
+            locality=locality,
+            start=start,
+            end=self.sim.now,
+            speculative=speculative,
+        )
+        if not task.done.triggered:
+            task.done.succeed(stats)
+            task.winner = stats
+            state.running.pop(task.task_id, None)
+            state.completed.append(task)
+            state.locality_counts[locality] += 1
+            if speculative:
+                state.spec_wins += 1
+            # Announce this map's output partitions to every reducer.
+            if state.reduce_queues:
+                share = task.block.size * state.spec.map_output_ratio / len(
+                    state.reduce_queues
+                )
+                for queue in state.reduce_queues:
+                    queue.put((node, share))
+            threshold = max(1, int(self.slowstart * state.total))
+            if len(state.completed) >= threshold and not state.slowstart_reached.triggered:
+                state.slowstart_reached.succeed()
+            if state.map_phase_over and not state.maps_done.triggered:
+                state.maps_done.succeed()
+        else:
+            stats.won = False
+        state.task_stats.append(stats)
+        state.active_attempts -= 1
+
+    # -- reduce side -------------------------------------------------------------
+    def _assign_reduce_nodes(self, reduces: int, live: list[str]) -> list[str]:
+        slots = {node: self.reduce_slots_per_node for node in live}
+        out: list[str] = []
+        index = 0
+        while len(out) < reduces:
+            node = live[index % len(live)]
+            if slots[node] > 0:
+                slots[node] -= 1
+                out.append(node)
+            index += 1
+            if index > reduces * len(live) + len(live):
+                # All slots exhausted: wrap around anyway (queueing ignored).
+                out.append(live[len(out) % len(live)])
+        return out
+
+    def _reduce_task(
+        self,
+        state: _JobState,
+        spec: JobSpec,
+        index: int,
+        node: str,
+    ) -> Generator:
+        # 0. wait for the slowstart threshold before shuffling anything.
+        yield state.slowstart_reached
+        start = self.sim.now
+        # 1. shuffle: consume map-output announcements as they appear,
+        #    coalescing whatever is queued into one pull round per wake-up
+        #    (bounds flow count at ~rounds x nodes instead of maps x reduces).
+        queue = state.reduce_queues[index]
+        received = 0
+        shuffled = 0.0
+        while received < state.total:
+            announcements = [(yield queue.get())]
+            while queue.size > 0:
+                announcements.append((yield queue.get()))
+            received += len(announcements)
+            per_source: dict[str, float] = {}
+            for source, size in announcements:
+                per_source[source] = per_source.get(source, 0.0) + size
+            pulls = []
+            for source, size in sorted(per_source.items()):
+                if size <= 0:
+                    continue
+                shuffled += size
+                if source != node:
+                    pulls.append(self.net_transfer(source, node, size))
+                pulls.append(self.hdfs.disks[source].submit(size))  # read spill
+            if pulls:
+                yield self.sim.all_of(pulls)
+        # 2. merge-sort.
+        if shuffled > 0:
+            yield self.sim.timeout(shuffled / self.sort_rate)
+        # 3. reduce compute.
+        cpu = shuffled * spec.reduce_cpu_per_byte * self._attempt_factor(node)
+        if cpu > 0:
+            yield self.sim.timeout(cpu)
+        # 4. write output to HDFS.
+        out_bytes = shuffled * spec.reduce_output_ratio
+        if out_bytes > 0 and spec.write_output:
+            yield self.hdfs.write_file(
+                f"/out/{spec.name}/part-r-{index:05d}-{self._job_seq}", out_bytes, node
+            )
+        state.task_stats.append(
+            TaskStats(
+                task_id=f"{spec.name}.r{index:04d}",
+                kind="reduce",
+                node=node,
+                locality="-",
+                start=start,
+                end=self.sim.now,
+            )
+        )
+        return (shuffled, out_bytes)
+
+    def net_transfer(self, src: str, dst: str, size: float) -> Event:
+        """Network transfer helper (exposed for baselines in benches)."""
+        return self.hdfs.net.transfer(src, dst, size)

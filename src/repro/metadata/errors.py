@@ -1,0 +1,23 @@
+"""Exception types of the metadata repository."""
+
+from __future__ import annotations
+
+
+class MetadataError(Exception):
+    """Base class for metadata-repository errors."""
+
+
+class SchemaError(MetadataError):
+    """A record does not conform to its project's schema."""
+
+
+class WriteOnceError(MetadataError):
+    """Attempt to modify write-once data (basic metadata, processing results)."""
+
+
+class UnknownDatasetError(MetadataError, KeyError):
+    """Referenced dataset id is not registered."""
+
+
+class UnknownProjectError(MetadataError, KeyError):
+    """Referenced project is not registered."""

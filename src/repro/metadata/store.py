@@ -1,0 +1,298 @@
+"""The metadata repository itself.
+
+A :class:`MetadataStore` holds projects (each with its own basic-metadata
+schema and optional per-step processing schemas), dataset records, tags, and
+secondary indexes.  The paper's invariants are enforced:
+
+* data and basic metadata are **write-once** (re-registration or mutation
+  raises :class:`~repro.metadata.errors.WriteOnceError`);
+* processing metadata is **append-only**, chained via parent step ids;
+* everything is queryable (``query(Q...)``) and persistent (JSONL).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.metadata.errors import (
+    MetadataError,
+    UnknownDatasetError,
+    UnknownProjectError,
+    WriteOnceError,
+)
+from repro.metadata.query import Query
+from repro.metadata.records import DatasetRecord, ProcessingRecord
+from repro.metadata.schema import Schema
+
+
+@dataclass
+class ProjectInfo:
+    """A registered project: its schemas and counters."""
+
+    name: str
+    basic_schema: Schema
+    processing_schemas: dict[str, Schema] = field(default_factory=dict)
+    dataset_count: int = 0
+
+
+class MetadataStore:
+    """In-memory metadata repository with indexes and JSONL persistence."""
+
+    def __init__(self) -> None:
+        self._projects: dict[str, ProjectInfo] = {}
+        self._datasets: dict[str, DatasetRecord] = {}
+        self._tag_index: dict[str, set[str]] = {}
+        self._project_index: dict[str, set[str]] = {}
+        # field name -> value -> set of dataset ids
+        self._field_indexes: dict[str, dict[Any, set[str]]] = {}
+        self._url_index: dict[str, str] = {}
+        self._step_seq = 0
+
+    # -- projects -----------------------------------------------------------
+    def register_project(
+        self,
+        name: str,
+        basic_schema: Schema,
+        processing_schemas: Optional[Mapping[str, Schema]] = None,
+    ) -> ProjectInfo:
+        """Register a project with its (project-dependent) schemas."""
+        if name in self._projects:
+            raise MetadataError(f"project {name!r} already registered")
+        info = ProjectInfo(name, basic_schema, dict(processing_schemas or {}))
+        self._projects[name] = info
+        self._project_index.setdefault(name, set())
+        return info
+
+    def project(self, name: str) -> ProjectInfo:
+        """Look up a project."""
+        try:
+            return self._projects[name]
+        except KeyError:
+            raise UnknownProjectError(name) from None
+
+    @property
+    def projects(self) -> list[str]:
+        """Registered project names, sorted."""
+        return sorted(self._projects)
+
+    # -- datasets -------------------------------------------------------------
+    def register_dataset(
+        self,
+        dataset_id: str,
+        project: str,
+        url: str,
+        size: int,
+        checksum: str,
+        basic: Mapping[str, Any],
+        created: float = 0.0,
+        tags: Iterable[str] = (),
+    ) -> DatasetRecord:
+        """Register a new dataset with validated, write-once basic metadata."""
+        if dataset_id in self._datasets:
+            raise WriteOnceError(f"dataset {dataset_id!r} already registered")
+        info = self.project(project)
+        validated = info.basic_schema.validate(basic)
+        record = DatasetRecord(
+            dataset_id=dataset_id,
+            project=project,
+            url=url,
+            size=int(size),
+            checksum=checksum,
+            created=float(created),
+            basic=validated,
+            tags=set(tags),
+        )
+        self._datasets[dataset_id] = record
+        info.dataset_count += 1
+        self._url_index[url] = dataset_id
+        self._project_index[project].add(dataset_id)
+        for tag in record.tags:
+            self._tag_index.setdefault(tag, set()).add(dataset_id)
+        for name, index in self._field_indexes.items():
+            value = record.basic.get(name)
+            if value is not None:
+                index.setdefault(value, set()).add(dataset_id)
+        return record
+
+    def get(self, dataset_id: str) -> DatasetRecord:
+        """Fetch a dataset record."""
+        try:
+            return self._datasets[dataset_id]
+        except KeyError:
+            raise UnknownDatasetError(dataset_id) from None
+
+    def by_url(self, url: str) -> Optional[DatasetRecord]:
+        """The dataset registered at a data URL, or None."""
+        dataset_id = self._url_index.get(url)
+        return self._datasets[dataset_id] if dataset_id is not None else None
+
+    def exists(self, dataset_id: str) -> bool:
+        """Whether a dataset id is registered."""
+        return dataset_id in self._datasets
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def datasets(self) -> Iterable[DatasetRecord]:
+        """All records (insertion order)."""
+        return self._datasets.values()
+
+    # -- processing chain -----------------------------------------------------
+    def add_processing(
+        self,
+        dataset_id: str,
+        name: str,
+        params: Mapping[str, Any],
+        results: Mapping[str, Any],
+        started: float,
+        finished: float,
+        status: str = "success",
+        parent: Optional[str] = None,
+    ) -> ProcessingRecord:
+        """Append a processing record (METADATA N) to a dataset's chain."""
+        record = self.get(dataset_id)
+        info = self.project(record.project)
+        schema = info.processing_schemas.get(name)
+        if schema is not None:
+            results = schema.validate(results)
+        if parent is not None:
+            record.step(parent)  # raises KeyError when the parent is unknown
+        self._step_seq += 1
+        step = ProcessingRecord(
+            step_id=f"step-{self._step_seq:08d}",
+            name=name,
+            params=params,
+            results=results,
+            started=started,
+            finished=finished,
+            status=status,
+            parent=parent,
+        )
+        record.processing.append(step)
+        return step
+
+    # -- tagging ------------------------------------------------------------
+    def tag(self, dataset_id: str, *tags: str) -> None:
+        """Add tags to a dataset (idempotent)."""
+        record = self.get(dataset_id)
+        for tag in tags:
+            record.tags.add(tag)
+            self._tag_index.setdefault(tag, set()).add(dataset_id)
+
+    def untag(self, dataset_id: str, *tags: str) -> None:
+        """Remove tags from a dataset (missing tags are ignored)."""
+        record = self.get(dataset_id)
+        for tag in tags:
+            record.tags.discard(tag)
+            bucket = self._tag_index.get(tag)
+            if bucket:
+                bucket.discard(dataset_id)
+
+    def tagged(self, tag: str) -> list[DatasetRecord]:
+        """All records carrying ``tag``."""
+        return [self._datasets[i] for i in sorted(self._tag_index.get(tag, ()))]
+
+    # -- indexes ---------------------------------------------------------------
+    def index_field(self, name: str) -> None:
+        """Build (and maintain) an equality index over a basic-metadata field."""
+        if name in self._field_indexes:
+            return
+        index: dict[Any, set[str]] = {}
+        for record in self._datasets.values():
+            value = record.basic.get(name)
+            if value is not None:
+                index.setdefault(value, set()).add(record.dataset_id)
+        self._field_indexes[name] = index
+
+    def _index_lookup(self, name: str, value: Any) -> Optional[set[str]]:
+        index = self._field_indexes.get(name)
+        if index is None:
+            return None
+        return set(index.get(value, ()))
+
+    # -- querying -----------------------------------------------------------------
+    def query(self, q: Query) -> list[DatasetRecord]:
+        """All records matching a :class:`~repro.metadata.query.Query`."""
+        candidates = q.candidates(self)
+        if candidates is None:
+            pool: Iterable[DatasetRecord] = self._datasets.values()
+        else:
+            pool = (self._datasets[i] for i in sorted(candidates) if i in self._datasets)
+        return [record for record in pool if q.matches(record)]
+
+    def count(self, q: Query) -> int:
+        """Number of records matching a query."""
+        return len(self.query(q))
+
+    # -- persistence -----------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist projects and datasets to a JSONL file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            header = {
+                "kind": "lsdf-metadata-store",
+                "version": 1,
+                "projects": [
+                    {
+                        "name": info.name,
+                        "basic_schema": info.basic_schema.to_dict(),
+                        "processing_schemas": {
+                            step: schema.to_dict()
+                            for step, schema in info.processing_schemas.items()
+                        },
+                    }
+                    for info in self._projects.values()
+                ],
+                "indexed_fields": sorted(self._field_indexes),
+            }
+            fh.write(json.dumps(header) + "\n")
+            for record in self._datasets.values():
+                fh.write(json.dumps(record.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "MetadataStore":
+        """Load a store previously written by :meth:`save`."""
+        store = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            header = json.loads(fh.readline())
+            if header.get("kind") != "lsdf-metadata-store":
+                raise MetadataError(f"{path}: not a metadata-store file")
+            for proj in header["projects"]:
+                store.register_project(
+                    proj["name"],
+                    Schema.from_dict(proj["basic_schema"]),
+                    {
+                        step: Schema.from_dict(sdata)
+                        for step, sdata in proj.get("processing_schemas", {}).items()
+                    },
+                )
+            for line in fh:
+                if not line.strip():
+                    continue
+                data = json.loads(line)
+                record = DatasetRecord.from_dict(data)
+                # Bypass schema re-validation: the data was validated at write
+                # time and the schema version may have moved on (additive).
+                store._datasets[record.dataset_id] = record
+                store._url_index[record.url] = record.dataset_id
+                store._projects[record.project].dataset_count += 1
+                store._project_index.setdefault(record.project, set()).add(record.dataset_id)
+                for tag in record.tags:
+                    store._tag_index.setdefault(tag, set()).add(record.dataset_id)
+            for name in header.get("indexed_fields", []):
+                store.index_field(name)
+        return store
+
+    # -- reporting ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Headline numbers for dashboards and benches."""
+        return {
+            "projects": len(self._projects),
+            "datasets": len(self._datasets),
+            "processing_records": sum(len(r.processing) for r in self._datasets.values()),
+            "tags": len(self._tag_index),
+            "indexed_fields": sorted(self._field_indexes),
+            "total_bytes": sum(r.size for r in self._datasets.values()),
+        }

@@ -1,0 +1,161 @@
+"""Topology builders.
+
+:func:`build_lsdf_backbone` reproduces the network figure on slide 7 of the
+paper: a dedicated 10 GE backbone with two redundant routers connecting the
+experiment DAQs, the two storage systems (DDN and IBM) with the tape library
+behind them, the 60-node Hadoop/cloud cluster, the login headnodes, the KIT
+campus network / internet gateway, and the access-firewalled link to the
+University of Heidelberg.
+
+Load is spread across the two routers by biasing path latencies, so under
+normal operation both carry traffic, and when one fails every route falls
+over to the survivor (exercised by experiment E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simkit import units
+from repro.netsim.topology import Topology
+
+
+@dataclass
+class LsdfNames:
+    """Well-known node names of the LSDF backbone topology."""
+
+    routers: list[str] = field(default_factory=list)
+    storage: list[str] = field(default_factory=list)
+    tape: str = "tape-library"
+    daq: list[str] = field(default_factory=list)
+    cluster: list[str] = field(default_factory=list)
+    login: str = "login-headnode"
+    heidelberg: str = "uni-heidelberg"
+    kit_lan: str = "kit-lan"
+    internet: str = "internet-gw"
+    cluster_switch: str = "sw-cluster"
+    daq_switch: str = "sw-daq"
+    storage_switch: str = "sw-storage"
+
+
+def build_lsdf_backbone(
+    daq_count: int = 4,
+    cluster_nodes: int = 60,
+    trunk_gbits: float = 10.0,
+    node_gbits: float = 1.0,
+    storage_gbits: float = 10.0,
+    wan_gbits: float = 10.0,
+) -> tuple[Topology, LsdfNames]:
+    """Build the canonical LSDF-2011 backbone.
+
+    Parameters mirror the paper's figures: 10 GE trunks, a 60-node analysis
+    cluster on commodity 1 GE NICs, 10 GE attachments for the DDN and IBM
+    storage systems, and a 10 GE WAN path to Heidelberg through the access
+    firewall.
+
+    Returns the topology plus an :class:`LsdfNames` record of node names.
+    """
+    if daq_count < 1 or cluster_nodes < 0:
+        raise ValueError("need at least one DAQ host (cluster_nodes may be 0)")
+    topo = Topology()
+    names = LsdfNames()
+    trunk = units.gbit_per_s(trunk_gbits)
+    node_bw = units.gbit_per_s(node_gbits)
+    storage_bw = units.gbit_per_s(storage_gbits)
+    wan = units.gbit_per_s(wan_gbits)
+
+    # Redundant core routers, interconnected.
+    names.routers = ["router-1", "router-2"]
+    for router in names.routers:
+        topo.add_node(router, kind="router")
+    topo.add_link("router-1", "router-2", capacity=trunk, latency=0.0001)
+
+    # Aggregation switches; each connects to both routers.  Latency biases
+    # steer half the switches through router-1 and half through router-2 so
+    # both carry load under normal operation.
+    switches = [names.storage_switch, names.cluster_switch, names.daq_switch]
+    for i, switch in enumerate(switches):
+        topo.add_node(switch, kind="switch")
+        near = names.routers[i % 2]
+        far = names.routers[(i + 1) % 2]
+        topo.add_link(switch, near, capacity=trunk, latency=0.0001)
+        topo.add_link(switch, far, capacity=trunk, latency=0.0002)
+
+    # Storage systems (slide 7: DDN 0.5 PB + IBM 1.4 PB) and the tape
+    # library behind the storage switch.
+    names.storage = ["store-ddn", "store-ibm"]
+    for store in names.storage:
+        topo.add_node(store, kind="storage")
+        topo.add_link(store, names.storage_switch, capacity=storage_bw, latency=0.0001)
+    topo.add_node(names.tape, kind="tape")
+    topo.add_link(names.tape, names.storage_switch, capacity=storage_bw / 2, latency=0.0001)
+
+    # Experiment data acquisition hosts.
+    names.daq = [f"daq-{i:02d}" for i in range(daq_count)]
+    for host in names.daq:
+        topo.add_node(host, kind="daq")
+        topo.add_link(host, names.daq_switch, capacity=storage_bw, latency=0.0002)
+
+    # Hadoop / cloud cluster on commodity 1 GE NICs.
+    names.cluster = [f"node-{i:03d}" for i in range(cluster_nodes)]
+    for host in names.cluster:
+        topo.add_node(host, kind="compute")
+        topo.add_link(host, names.cluster_switch, capacity=node_bw, latency=0.0002)
+    topo.add_node(names.login, kind="login")
+    topo.add_link(names.login, names.cluster_switch, capacity=trunk, latency=0.0001)
+
+    # External connectivity: KIT LAN / internet and the Heidelberg WAN path
+    # through the access firewall.
+    topo.add_node(names.kit_lan, kind="external")
+    topo.add_link(names.kit_lan, "router-1", capacity=trunk, latency=0.0005)
+    topo.add_link(names.kit_lan, "router-2", capacity=trunk, latency=0.0006)
+    topo.add_node(names.internet, kind="external")
+    topo.add_link(names.internet, names.kit_lan, capacity=wan, latency=0.002)
+    topo.add_node("access-firewall", kind="firewall")
+    topo.add_link("access-firewall", "router-2", capacity=wan, latency=0.0005)
+    topo.add_link("access-firewall", "router-1", capacity=wan, latency=0.0006)
+    topo.add_node(names.heidelberg, kind="external")
+    topo.add_link(names.heidelberg, "access-firewall", capacity=wan, latency=0.004)
+
+    return topo, names
+
+
+def build_star(
+    center: str, leaves: list[str], capacity: float, latency: float = 0.0005
+) -> Topology:
+    """A star topology: every leaf connected to ``center``."""
+    topo = Topology()
+    topo.add_node(center, kind="switch")
+    for leaf in leaves:
+        topo.add_link(leaf, center, capacity=capacity, latency=latency)
+    return topo
+
+
+def build_fat_tree(
+    racks: int,
+    hosts_per_rack: int,
+    host_bw: float,
+    rack_uplink_bw: float,
+    core_bw: float | None = None,
+) -> tuple[Topology, list[list[str]]]:
+    """A two-level rack/core tree, the shape of the Hadoop cluster network.
+
+    Returns the topology and the host names grouped per rack (used by the
+    HDFS simulator for rack-aware placement).
+    """
+    if racks < 1 or hosts_per_rack < 1:
+        raise ValueError("racks and hosts_per_rack must be >= 1")
+    topo = Topology()
+    topo.add_node("core", kind="switch")
+    rack_hosts: list[list[str]] = []
+    for r in range(racks):
+        rack_switch = f"rack-{r:02d}"
+        topo.add_node(rack_switch, kind="switch")
+        topo.add_link(rack_switch, "core", capacity=rack_uplink_bw, latency=0.0001)
+        hosts = []
+        for h in range(hosts_per_rack):
+            host = f"r{r:02d}h{h:02d}"
+            topo.add_link(host, rack_switch, capacity=host_bw, latency=0.0001)
+            hosts.append(host)
+        rack_hosts.append(hosts)
+    return topo, rack_hosts

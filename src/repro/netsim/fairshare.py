@@ -1,0 +1,146 @@
+"""Bandwidth-sharing models for the fluid network simulator.
+
+:func:`maxmin_rates` implements weighted max-min fairness by progressive
+filling — the standard model of what long-lived TCP flows converge to on a
+shared network, and the default for all experiments.
+
+:func:`equal_split_rates` is the ablation alternative (DESIGN.md §4): each
+link naively divides its capacity equally among crossing flows and a flow
+gets the minimum along its path.  It underestimates achievable rates because
+capacity "freed" by flows bottlenecked elsewhere is not redistributed.
+
+Both are pure functions of ``(flow -> links)`` and ``(link -> capacity)``,
+which makes them directly property-testable (see
+``tests/netsim/test_fairshare.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+_EPS = 1e-12
+
+
+def maxmin_rates(
+    flow_links: Mapping[Hashable, Sequence[Hashable]],
+    capacities: Mapping[Hashable, float],
+    weights: Mapping[Hashable, float] | None = None,
+) -> dict[Hashable, float]:
+    """Weighted max-min fair rates by progressive filling.
+
+    Parameters
+    ----------
+    flow_links:
+        Maps each flow id to the links (hashable ids) on its path.  A flow
+        with an empty path is unconstrained and gets ``float('inf')``.
+    capacities:
+        Maps each link id to its capacity (> 0).
+    weights:
+        Optional per-flow weights (> 0, default 1.0).  A flow's share of a
+        bottleneck is proportional to its weight.
+
+    Returns
+    -------
+    dict mapping each flow id to its rate.
+
+    Invariants (property-tested)
+    ----------------------------
+    * no link's total allocated rate exceeds its capacity (within epsilon);
+    * every flow is bottlenecked: it crosses at least one saturated link
+      (or is unconstrained);
+    * with equal weights, flows sharing identical paths get equal rates.
+    """
+    weights = weights or {}
+    rates: dict[Hashable, float] = {}
+    # Flows with no links are unconstrained.
+    active: dict[Hashable, tuple[Hashable, ...]] = {}
+    for fid, links in flow_links.items():
+        if len(links) == 0:
+            rates[fid] = float("inf")
+        else:
+            active[fid] = tuple(links)
+
+    remaining_cap = {lid: float(cap) for lid, cap in capacities.items()}
+    for lid, cap in remaining_cap.items():
+        if cap <= 0:
+            raise ValueError(f"link {lid!r}: capacity must be > 0")
+
+    # links -> set of active flows crossing them
+    link_flows: dict[Hashable, set[Hashable]] = {}
+    for fid, links in active.items():
+        for lid in links:
+            if lid not in remaining_cap:
+                raise KeyError(f"flow {fid!r} crosses unknown link {lid!r}")
+            link_flows.setdefault(lid, set()).add(fid)
+
+    def flow_weight(fid: Hashable) -> float:
+        w = float(weights.get(fid, 1.0))
+        if w <= 0:
+            raise ValueError(f"flow {fid!r}: weight must be > 0")
+        return w
+
+    while active:
+        # Fair share per unit weight on each loaded link.
+        bottleneck_share = None
+        for lid, fids in link_flows.items():
+            if not fids:
+                continue
+            total_w = sum(flow_weight(f) for f in fids)
+            share = remaining_cap[lid] / total_w
+            if bottleneck_share is None or share < bottleneck_share:
+                bottleneck_share = share
+        if bottleneck_share is None:
+            # All remaining flows cross only unloaded links (cannot happen,
+            # every active flow loads its links) — defensive exit.
+            for fid in active:
+                rates[fid] = float("inf")
+            break
+
+        # Find the saturated links and freeze the flows crossing them.
+        frozen: set[Hashable] = set()
+        for lid, fids in list(link_flows.items()):
+            if not fids:
+                continue
+            total_w = sum(flow_weight(f) for f in fids)
+            if remaining_cap[lid] / total_w <= bottleneck_share + _EPS:
+                frozen.update(fids)
+        for fid in frozen:
+            rate = bottleneck_share * flow_weight(fid)
+            rates[fid] = rate
+            for lid in active[fid]:
+                link_flows[lid].discard(fid)
+                remaining_cap[lid] = max(0.0, remaining_cap[lid] - rate)
+            del active[fid]
+
+    return rates
+
+
+def equal_split_rates(
+    flow_links: Mapping[Hashable, Sequence[Hashable]],
+    capacities: Mapping[Hashable, float],
+    weights: Mapping[Hashable, float] | None = None,
+) -> dict[Hashable, float]:
+    """Naive equal-split sharing (ablation baseline).
+
+    Each link offers ``capacity / n_flows`` to every crossing flow
+    (weight-proportionally when weights are given); a flow's rate is the
+    minimum offer along its path.  Never exceeds link capacities, but wastes
+    capacity relative to max-min fairness.
+    """
+    weights = weights or {}
+    link_load: dict[Hashable, float] = {}
+    for fid, links in flow_links.items():
+        w = float(weights.get(fid, 1.0))
+        for lid in links:
+            if lid not in capacities:
+                raise KeyError(f"flow {fid!r} crosses unknown link {lid!r}")
+            link_load[lid] = link_load.get(lid, 0.0) + w
+
+    rates: dict[Hashable, float] = {}
+    for fid, links in flow_links.items():
+        if len(links) == 0:
+            rates[fid] = float("inf")
+            continue
+        w = float(weights.get(fid, 1.0))
+        rates[fid] = min(capacities[lid] * w / link_load[lid] for lid in links)
+    return rates

@@ -1,0 +1,306 @@
+"""The fluid flow engine.
+
+A :class:`Network` turns ``transfer(src, dst, nbytes)`` calls into
+:class:`Flow` objects that share link bandwidth according to the configured
+sharing model (max-min fair by default).  Whenever the flow set or the
+topology changes, all rates are recomputed and the next flow completion is
+rescheduled — the classic event-driven fluid simulation.
+
+Failures: when a router/link on a flow's path fails, the flow is rerouted
+over the surviving topology (this is how the paper's redundant routers are
+exercised); if no route remains, the flow's completion event *fails* with
+:class:`NoRouteError`, which the initiating process may catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+from repro.simkit.monitor import Counter, Tally, TimeWeighted
+from repro.netsim.fairshare import equal_split_rates, maxmin_rates
+from repro.netsim.topology import Link, NoRouteError, Topology
+
+_COMPLETE_EPS_BYTES = 1e-3
+
+SHARING_MODELS: dict[str, Callable] = {
+    "maxmin": maxmin_rates,
+    "equal": equal_split_rates,
+}
+
+
+class NetworkError(Exception):
+    """Generic network-level failure."""
+
+
+@dataclass
+class TransferResult:
+    """Outcome of a completed transfer, the value of the flow's done event."""
+
+    src: str
+    dst: str
+    nbytes: float
+    started: float
+    finished: float
+    reroutes: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock (simulated) seconds from start to completion."""
+        return self.finished - self.started
+
+    @property
+    def mean_rate(self) -> float:
+        """Average achieved rate in bytes/s."""
+        return self.nbytes / self.duration if self.duration > 0 else float("inf")
+
+
+@dataclass
+class Flow:
+    """An in-flight transfer."""
+
+    fid: int
+    src: str
+    dst: str
+    nbytes: float
+    remaining: float
+    links: list[Link]
+    done: Event
+    weight: float = 1.0
+    rate: float = 0.0
+    started: float = 0.0
+    reroutes: int = 0
+    name: Optional[str] = None
+    tags: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Flow #{self.fid} {self.src}->{self.dst} "
+            f"{self.remaining:.3g}/{self.nbytes:.3g}B @{self.rate:.3g}B/s>"
+        )
+
+
+class Network:
+    """Event-driven fluid network over a :class:`Topology`.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    topology:
+        Node/link graph; may be mutated (failures) during the run, but call
+        :meth:`notify_topology_changed` afterwards so in-flight flows react.
+    sharing:
+        ``"maxmin"`` (default) or ``"equal"`` — see
+        :mod:`repro.netsim.fairshare`.
+    efficiency:
+        Fraction of nominal link capacity actually usable by payload
+        (protocol overhead, TCP dynamics).  The paper's "15 days for 1 PB
+        over an *ideal* 10 Gb/s link" corresponds to ``efficiency < 1``;
+        E6 sweeps this.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        sharing: str = "maxmin",
+        efficiency: float = 1.0,
+    ):
+        if sharing not in SHARING_MODELS:
+            raise ValueError(f"unknown sharing model {sharing!r}")
+        if not (0.0 < efficiency <= 1.0):
+            raise ValueError("efficiency must be in (0, 1]")
+        self.sim = sim
+        self.topology = topology
+        self.sharing = sharing
+        self.efficiency = efficiency
+        self._share_fn = SHARING_MODELS[sharing]
+        self._flows: dict[int, Flow] = {}
+        self._next_fid = 0
+        self._last_progress_t = sim.now
+        self._timer_gen = 0
+        self._seen_epoch = topology.epoch
+        # -- statistics
+        self.bytes_delivered = Counter("net.bytes_delivered")
+        self.flow_durations = Tally("net.flow_duration")
+        self.active_flows = TimeWeighted(sim.now, 0, name="net.active_flows")
+        self.failed_flows = 0
+
+    # -- public API --------------------------------------------------------
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        weight: float = 1.0,
+        name: Optional[str] = None,
+        **tags,
+    ) -> Event:
+        """Start a transfer; the returned event yields a :class:`TransferResult`.
+
+        The event *fails* with :class:`NoRouteError` if no healthy route
+        exists now or after a mid-transfer failure, and the initiating
+        process sees that exception when it ``yield``s the event.
+        """
+        if nbytes < 0:
+            raise ValueError("transfer size must be >= 0")
+        done = self.sim.event(name=name or f"xfer:{src}->{dst}")
+        self._next_fid += 1
+        flow = Flow(
+            fid=self._next_fid,
+            src=src,
+            dst=dst,
+            nbytes=float(nbytes),
+            remaining=float(nbytes),
+            links=[],
+            done=done,
+            weight=float(weight),
+            started=self.sim.now,
+            name=name,
+            tags=tags,
+        )
+        try:
+            flow.links = list(self.topology.route(src, dst))
+        except NoRouteError as exc:
+            self.failed_flows += 1
+            done.fail(exc)
+            return done
+        if nbytes == 0 or not flow.links:
+            # Local copy or empty payload: completes after path latency only.
+            latency = self.topology.path_latency(flow.links)
+            result = TransferResult(src, dst, nbytes, flow.started, self.sim.now + latency)
+            done.succeed(result, delay=latency)
+            self.bytes_delivered.add(nbytes)
+            self.flow_durations.record(latency)
+            return done
+        self._advance_progress()
+        self._flows[flow.fid] = flow
+        self.active_flows.set(self.sim.now, len(self._flows))
+        self._rebalance()
+        return done
+
+    def notify_topology_changed(self) -> None:
+        """React to failures/repairs done directly on the topology."""
+        self._advance_progress()
+        self._reroute_all()
+        self._rebalance()
+
+    def fail_node(self, name: str) -> None:
+        """Fail a node and immediately reroute affected flows."""
+        self.topology.fail_node(name)
+        self.notify_topology_changed()
+
+    def repair_node(self, name: str) -> None:
+        """Repair a node and rebalance."""
+        self.topology.repair_node(name)
+        self.notify_topology_changed()
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Fail a link and immediately reroute affected flows."""
+        self.topology.fail_link(a, b)
+        self.notify_topology_changed()
+
+    def repair_link(self, a: str, b: str) -> None:
+        """Repair a link and rebalance."""
+        self.topology.repair_link(a, b)
+        self.notify_topology_changed()
+
+    @property
+    def flow_count(self) -> int:
+        """Number of in-flight flows."""
+        return len(self._flows)
+
+    def current_rate(self, fid: int) -> float:
+        """Instantaneous rate of an in-flight flow (bytes/s)."""
+        return self._flows[fid].rate
+
+    # -- engine internals ------------------------------------------------------
+    def _advance_progress(self) -> None:
+        """Integrate every flow's progress from the last event to now."""
+        now = self.sim.now
+        dt = now - self._last_progress_t
+        if dt > 0:
+            for flow in self._flows.values():
+                if flow.rate > 0:
+                    flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        self._last_progress_t = now
+
+    def _reroute_all(self) -> None:
+        """Re-resolve the path of every flow after a topology change."""
+        self._seen_epoch = self.topology.epoch
+        dead: list[Flow] = []
+        for flow in self._flows.values():
+            try:
+                flow.links = list(self.topology.route(flow.src, flow.dst))
+                flow.reroutes += 1
+            except NoRouteError as exc:
+                dead.append(flow)
+                flow.tags["error"] = exc
+        for flow in dead:
+            del self._flows[flow.fid]
+            self.failed_flows += 1
+            flow.done.fail(NoRouteError(f"flow {flow.src}->{flow.dst} lost its route"))
+        if dead:
+            self.active_flows.set(self.sim.now, len(self._flows))
+
+    def _rebalance(self) -> None:
+        """Recompute all rates and schedule the next completion."""
+        if self.topology.epoch != self._seen_epoch:
+            self._reroute_all()
+        self._complete_finished()
+        if not self._flows:
+            self._timer_gen += 1  # cancel any outstanding timer
+            return
+        flow_links = {f.fid: [lk.key for lk in f.links] for f in self._flows.values()}
+        capacities = {}
+        for flow in self._flows.values():
+            for link in flow.links:
+                capacities[link.key] = link.capacity * self.efficiency
+        weights = {f.fid: f.weight for f in self._flows.values()}
+        rates = self._share_fn(flow_links, capacities, weights)
+        horizon = float("inf")
+        for flow in self._flows.values():
+            flow.rate = rates[flow.fid]
+            if flow.rate > 0:
+                horizon = min(horizon, flow.remaining / flow.rate)
+        if horizon is float("inf"):  # pragma: no cover - defensive
+            return
+        self._timer_gen += 1
+        gen = self._timer_gen
+        self.sim.call_at(self.sim.now + horizon, lambda: self._on_timer(gen))
+
+    def _on_timer(self, gen: int) -> None:
+        if gen != self._timer_gen:
+            return  # superseded by a later rebalance
+        self._advance_progress()
+        self._rebalance()
+
+    def _complete_finished(self) -> None:
+        # A flow is done when its residual is below an absolute byte epsilon
+        # OR below a microsecond of service at its current rate — the latter
+        # guards against float-precision livelock (a timer scheduled at
+        # now + sub-ulp delay would never advance the clock).
+        finished = [
+            f
+            for f in self._flows.values()
+            if f.remaining <= _COMPLETE_EPS_BYTES or f.remaining <= f.rate * 1e-6
+        ]
+        for flow in finished:
+            del self._flows[flow.fid]
+            latency = self.topology.path_latency(flow.links)
+            result = TransferResult(
+                flow.src,
+                flow.dst,
+                flow.nbytes,
+                flow.started,
+                self.sim.now + latency,
+                reroutes=flow.reroutes,
+            )
+            self.bytes_delivered.add(flow.nbytes)
+            self.flow_durations.record(result.duration)
+            flow.done.succeed(result, delay=latency)
+        if finished:
+            self.active_flows.set(self.sim.now, len(self._flows))

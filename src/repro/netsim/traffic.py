@@ -1,0 +1,108 @@
+"""Background-traffic generation for contention studies.
+
+The LSDF backbone is shared: while an experiment ingests, other communities
+move data, the cluster shuffles, users browse.  A :class:`TrafficGenerator`
+injects a Poisson stream of transfers with bounded-Pareto sizes (the
+standard heavy-tailed model of bulk data traffic) between random endpoint
+pairs, so experiments can measure how foreground flows behave *under
+realistic cross-traffic* rather than on an idle network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
+
+from repro.simkit.core import Simulator
+from repro.simkit.monitor import Counter, Tally
+from repro.simkit.rand import RandomSource
+from repro.netsim.network import Network
+from repro.netsim.topology import NoRouteError
+
+
+@dataclass
+class TrafficConfig:
+    """Shape of the background load."""
+
+    #: Mean seconds between flow arrivals (Poisson process).
+    mean_interarrival: float = 10.0
+    #: Bounded-Pareto flow sizes: shape and [lo, hi] bytes.
+    size_shape: float = 1.3
+    size_lo: float = 10e6
+    size_hi: float = 50e9
+
+    def __post_init__(self) -> None:
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be > 0")
+        if not (0 < self.size_lo <= self.size_hi):
+            raise ValueError("require 0 < size_lo <= size_hi")
+
+
+class TrafficGenerator:
+    """Poisson/bounded-Pareto background flows between endpoint pairs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        endpoints: Sequence[str],
+        config: Optional[TrafficConfig] = None,
+        rng: Optional[RandomSource] = None,
+        name: str = "bgtraffic",
+    ):
+        if len(endpoints) < 2:
+            raise ValueError("need at least two endpoints")
+        self.sim = sim
+        self.net = net
+        self.endpoints = list(endpoints)
+        self.config = config or TrafficConfig()
+        self.rng = rng or sim.random.spawn(name)
+        self.name = name
+        self.flows_started = Counter(f"{name}.flows")
+        self.bytes_offered = Counter(f"{name}.bytes")
+        self.flow_durations = Tally(f"{name}.durations")
+        self._stop = False
+
+    def start(self, duration: Optional[float] = None):
+        """Launch the generator process (optionally for a fixed duration)."""
+        return self.sim.process(self._run(duration), name=self.name)
+
+    def stop(self) -> None:
+        """Stop generating new flows (in-flight ones finish)."""
+        self._stop = True
+
+    def _pick_pair(self) -> tuple[str, str]:
+        src = self.rng.choice(self.endpoints)
+        dst = src
+        while dst == src:
+            dst = self.rng.choice(self.endpoints)
+        return src, dst
+
+    def _run(self, duration: Optional[float]) -> Generator:
+        cfg = self.config
+        t_end = self.sim.now + duration if duration is not None else float("inf")
+        while not self._stop and self.sim.now < t_end:
+            yield self.sim.timeout(self.rng.exponential(cfg.mean_interarrival))
+            if self._stop or self.sim.now >= t_end:
+                break
+            src, dst = self._pick_pair()
+            size = self.rng.pareto_bounded(cfg.size_shape, cfg.size_lo, cfg.size_hi)
+            try:
+                flow = self.net.transfer(src, dst, size, name=f"{self.name}.flow")
+            except NoRouteError:
+                continue
+            self.flows_started.add(1)
+            self.bytes_offered.add(size)
+            self.sim.process(self._track(flow))
+        return int(self.flows_started.value)
+
+    def _track(self, flow) -> Generator:
+        try:
+            result = yield flow
+        except NoRouteError:
+            return  # lost to a failure mid-flight; fine for background load
+        self.flow_durations.record(result.duration)
+
+    def offered_rate(self, elapsed: float) -> float:
+        """Mean offered load in bytes/s over ``elapsed`` seconds."""
+        return self.bytes_offered.rate(elapsed)

@@ -1,0 +1,170 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the clock and the event heap.  Events are totally
+ordered by ``(time, priority, sequence-number)`` which — together with seeded
+random streams — makes every simulation in this repository bit-for-bit
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.simkit.errors import SimkitError, StopSimulation
+from repro.simkit.events import NORMAL, AllOf, AnyOf, Event, Process, Timeout
+from repro.simkit.rand import RandomSource
+
+_INFINITY = float("inf")
+
+
+class Simulator:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator's root :class:`~repro.simkit.rand.RandomSource`.
+        Subsystems should derive substreams via :meth:`RandomSource.spawn`
+        so adding a new consumer never perturbs existing ones.
+    start:
+        Initial simulation time (seconds).
+
+    Example
+    -------
+    >>> sim = Simulator(seed=7)
+    >>> def hello():
+    ...     yield sim.timeout(3.5)
+    ...     return sim.now
+    >>> proc = sim.process(hello())
+    >>> sim.run()
+    >>> proc.value
+    3.5
+    """
+
+    def __init__(self, seed: Optional[int] = 0, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self.random = RandomSource(seed)
+        #: Arbitrary per-simulation scratch space for components to share.
+        self.context: dict[str, Any] = {}
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event creation --------------------------------------------------------
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a pending :class:`Event` owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new simulation process from a generator."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers once all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers once any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute simulation time ``when``."""
+        if when < self._now:
+            raise SimkitError(f"call_at({when}) is in the past (now={self._now})")
+        ev = self.event(name=f"call_at({when:.6g})")
+        ev.callbacks.append(lambda _ev: fn())
+        ev.succeed(delay=when - self._now)
+        return ev
+
+    # -- scheduling (kernel internal) -----------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimkitError(f"cannot schedule event in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # -- execution ---------------------------------------------------------------
+    @property
+    def queue_empty(self) -> bool:
+        """True when no future events remain."""
+        return not self._heap
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else _INFINITY
+
+    def step(self) -> None:
+        """Pop and process the single next event.
+
+        Raises the exception of a failed event that nobody *defused*
+        (i.e. no process or condition was waiting to handle it) so
+        programming errors inside processes surface instead of being
+        silently dropped.
+        """
+        if not self._heap:
+            raise SimkitError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+        if event.failed and not event.defused:
+            raise event._exception  # type: ignore[misc]
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the event queue drains;
+            a number
+                run until that simulation time (the clock is advanced to
+                exactly ``until`` even if no event falls on it);
+            an :class:`Event`
+                run until that event is processed, returning its value.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = _INFINITY
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimkitError(f"run(until={stop_time}) is in the past (now={self._now})")
+
+        try:
+            while self._heap:
+                if stop_event is not None and stop_event.processed:
+                    return stop_event._value if stop_event.ok else None
+                if self.peek() > stop_time:
+                    self._now = stop_time
+                    return None
+                self.step()
+        except StopSimulation:
+            return None
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event._value if stop_event.ok else None
+            raise SimkitError("run(until=event): queue drained before event triggered")
+        if stop_time is not _INFINITY and stop_time > self._now:
+            self._now = stop_time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6g} queued={len(self._heap)}>"

@@ -1,0 +1,32 @@
+"""Exception types used by the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimkitError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Simulator.run` early.
+
+    User code may raise it from a process to halt the whole simulation; the
+    event loop catches it and returns cleanly.
+    """
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The interrupting party may attach an arbitrary ``cause`` describing why
+    the process was interrupted (e.g. a preempting transfer, a failed node).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"

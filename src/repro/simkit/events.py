@@ -1,0 +1,331 @@
+"""Event types for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence with an attached value (or
+exception).  Events move through three states:
+
+``pending``
+    Created but not yet scheduled; nobody knows when (or if) it happens.
+``triggered``
+    ``succeed()``/``fail()`` was called; the event sits in the simulator's
+    heap with a concrete fire time.
+``processed``
+    The event loop popped it and ran its callbacks (resuming any processes
+    waiting on it).
+
+Processes (:class:`Process`) are themselves events: they trigger when their
+generator returns, carrying the generator's return value — so one process can
+``yield`` another to join on it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+from repro.simkit.errors import Interrupt, SimkitError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.core import Simulator
+
+# Scheduling priorities: lower sorts earlier among simultaneous events.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+
+class Event:
+    """A one-shot simulation event with callbacks.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`Simulator`.
+    name:
+        Optional label used in ``repr`` and traces.
+    """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_exception", "_state", "defused")
+
+    PENDING = 0
+    TRIGGERED = 1
+    PROCESSED = 2
+
+    def __init__(self, sim: "Simulator", name: Optional[str] = None):
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._state = Event.PENDING
+        #: Set by a handler to acknowledge a failure so the kernel does not
+        #: escalate an unhandled failed event to the top level.
+        self.defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._state >= Event.TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the event loop has run this event's callbacks."""
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (no exception)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def failed(self) -> bool:
+        """True if the event triggered with an exception."""
+        return self.triggered and self._exception is not None
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event failed."""
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or ``None``."""
+        return self._exception
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully after ``delay`` sim-seconds."""
+        if self._state != Event.PENDING:
+            raise SimkitError(f"{self!r} has already been triggered")
+        self._value = value
+        self._state = Event.TRIGGERED
+        self.sim._schedule(self, delay=delay, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception after ``delay`` sim-seconds."""
+        if self._state != Event.PENDING:
+            raise SimkitError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._state = Event.TRIGGERED
+        self.sim._schedule(self, delay=delay, priority=priority)
+        return self
+
+    # -- kernel hooks -------------------------------------------------------
+    def _process(self) -> None:
+        """Run callbacks.  Called exactly once, by the event loop."""
+        self._state = Event.PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = ("pending", "triggered", "processed")[self._state]
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` sim-seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, priority: int = NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"Timeout({delay:.6g})")
+        self.delay = delay
+        self._value = value
+        self._state = Event.TRIGGERED
+        sim._schedule(self, delay=delay, priority=priority)
+
+
+class Process(Event):
+    """A running simulation process, wrapping a generator.
+
+    The process is itself an event that triggers when the generator returns;
+    its value is the generator's return value.  Inside the generator,
+    ``yield <event>`` suspends until the event triggers; if the event failed,
+    its exception is thrown into the generator (which may catch it).
+
+    Other processes may call :meth:`interrupt` to throw an
+    :class:`~repro.simkit.errors.Interrupt` into the generator at the current
+    simulation time.
+    """
+
+    __slots__ = ("_gen", "_target")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._gen = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume once at the current time.
+        boot = Event(sim, name=f"init:{self.name}")
+        boot.callbacks.append(self._resume)
+        boot.succeed(priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == Event.PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process raises
+        :class:`~repro.simkit.errors.SimkitError`; a process must not
+        interrupt itself.
+        """
+        if not self.is_alive:
+            raise SimkitError(f"cannot interrupt finished process {self.name!r}")
+        if self.sim.active_process is self:
+            raise SimkitError("a process cannot interrupt itself")
+        # Detach from whatever the process was waiting on.
+        if self._target is not None and not self._target.processed:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        poke = Event(self.sim, name=f"interrupt:{self.name}")
+        poke.callbacks.append(self._resume)
+        poke.defused = True
+        poke.fail(Interrupt(cause), priority=URGENT)
+
+    # -- generator driving ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        self._target = None
+        try:
+            while True:
+                try:
+                    if event.failed and not event.defused:
+                        # Not a deliberate interrupt: mark handled and raise.
+                        event.defused = True
+                        next_event = self._gen.throw(event._exception)
+                    elif event.failed:
+                        next_event = self._gen.throw(event._exception)
+                    else:
+                        next_event = self._gen.send(event._value)
+                except StopIteration as stop:
+                    self._state = Event.PENDING  # allow succeed()
+                    self.succeed(stop.value, priority=URGENT)
+                    return
+                except BaseException as exc:
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    self._state = Event.PENDING
+                    self.fail(exc, priority=URGENT)
+                    return
+
+                if not isinstance(next_event, Event):
+                    error = SimkitError(
+                        f"process {self.name!r} yielded {next_event!r}, which is not an Event"
+                    )
+                    try:
+                        self._gen.throw(error)
+                    except StopIteration as stop:
+                        self._state = Event.PENDING
+                        self.succeed(stop.value, priority=URGENT)
+                        return
+                    except BaseException as exc2:
+                        self._state = Event.PENDING
+                        self.fail(exc2, priority=URGENT)
+                        return
+                    continue
+                if next_event.processed:
+                    # Already happened: resume immediately with its outcome.
+                    event = next_event
+                    continue
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                return
+        finally:
+            self.sim._active_process = None
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+        super().__init__(sim, name=name)
+        self.events: tuple[Event, ...] = tuple(events)
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"{name} requires Events, got {type(ev).__name__}")
+            if ev.sim is not sim:
+                raise SimkitError("cannot mix events from different simulators")
+        self._pending = sum(1 for ev in self.events if not ev.processed)
+        already_failed = next((ev for ev in self.events if ev.processed and ev.failed), None)
+        if already_failed is not None:
+            already_failed.defused = True
+            self.fail(already_failed._exception, priority=URGENT)
+            return
+        if self._ready():
+            self.succeed(self._collect(), priority=URGENT)
+        else:
+            for ev in self.events:
+                if not ev.processed:
+                    ev.callbacks.append(self._check)
+                elif ev.failed:
+                    ev.defused = True
+
+    def _ready(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _collect(self) -> Any:
+        return {ev: ev._value for ev in self.events if ev.ok}
+
+    def _check(self, event: Event) -> None:
+        self._pending -= 1
+        if self.triggered:
+            if event.failed:
+                event.defused = True
+            return
+        if event.failed:
+            event.defused = True
+            self.fail(event._exception, priority=URGENT)
+        elif self._ready():
+            self.succeed(self._collect(), priority=URGENT)
+
+
+class AllOf(_Condition):
+    """Triggers when *all* constituent events have triggered.
+
+    Value is a dict mapping each event to its value.  Fails fast if any
+    constituent fails.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, "AllOf")
+
+    def _ready(self) -> bool:
+        return self._pending == 0 and all(ev.ok for ev in self.events)
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* constituent event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        if not tuple(events := tuple(events)):
+            raise ValueError("AnyOf requires at least one event")
+        super().__init__(sim, events, "AnyOf")
+
+    def _ready(self) -> bool:
+        return any(ev.ok for ev in self.events)

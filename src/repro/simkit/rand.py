@@ -1,0 +1,88 @@
+"""Seeded, spawnable random streams.
+
+Every stochastic component in the reproduction draws from a
+:class:`RandomSource` derived from the simulator's root source via
+:meth:`RandomSource.spawn`.  Spawning uses numpy's ``SeedSequence`` child
+spawning, so each component owns an independent stream and adding a new
+consumer never perturbs the draws seen by existing ones — a prerequisite for
+run-to-run comparability of benchmark configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class RandomSource:
+    """A wrapper around ``numpy.random.Generator`` with named substreams."""
+
+    def __init__(self, seed: Optional[int] = 0, _seq: Optional[np.random.SeedSequence] = None):
+        self.seed_sequence = _seq if _seq is not None else np.random.SeedSequence(seed)
+        self.generator = np.random.Generator(np.random.PCG64(self.seed_sequence))
+        self._children: dict[str, RandomSource] = {}
+
+    def spawn(self, name: str) -> "RandomSource":
+        """Return the substream for ``name``, creating it deterministically.
+
+        The same name always maps to the same substream for a given parent,
+        regardless of the order in which names are first requested.
+        """
+        if name not in self._children:
+            # Derive the child from (parent entropy, stable hash of name) so
+            # that creation order does not matter.
+            digest = np.frombuffer(name.encode("utf-8").ljust(8, b"\0")[:8], dtype=np.uint64)
+            child_seq = np.random.SeedSequence(
+                entropy=self.seed_sequence.entropy,
+                spawn_key=self.seed_sequence.spawn_key + (int(digest[0]) % (2**63),),
+            )
+            self._children[name] = RandomSource(_seq=child_seq)
+        return self._children[name]
+
+    # -- convenience draws -------------------------------------------------
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """One uniform draw in ``[low, high)``."""
+        return float(self.generator.uniform(low, high))
+
+    def exponential(self, mean: float) -> float:
+        """One exponential draw with the given mean."""
+        return float(self.generator.exponential(mean))
+
+    def normal(self, mean: float, std: float) -> float:
+        """One normal draw."""
+        return float(self.generator.normal(mean, std))
+
+    def lognormal_mean(self, mean: float, cv: float) -> float:
+        """One lognormal draw parameterised by its *mean* and coefficient of
+        variation ``cv = std/mean`` (handy for service-time jitter)."""
+        if mean <= 0:
+            raise ValueError("lognormal mean must be positive")
+        sigma2 = np.log(1.0 + cv * cv)
+        mu = np.log(mean) - sigma2 / 2.0
+        return float(self.generator.lognormal(mu, np.sqrt(sigma2)))
+
+    def integers(self, low: int, high: int) -> int:
+        """One integer draw in ``[low, high)``."""
+        return int(self.generator.integers(low, high))
+
+    def choice(self, seq: Sequence):
+        """Choose one element of a sequence uniformly."""
+        if len(seq) == 0:
+            raise ValueError("choice from empty sequence")
+        return seq[int(self.generator.integers(0, len(seq)))]
+
+    def shuffle(self, seq: list) -> list:
+        """Shuffle a list in place and return it."""
+        self.generator.shuffle(seq)
+        return seq
+
+    def pareto_bounded(self, shape: float, lo: float, hi: float) -> float:
+        """Bounded-Pareto draw — heavy-tailed sizes clipped to ``[lo, hi]``."""
+        if not (0 < lo <= hi):
+            raise ValueError("require 0 < lo <= hi")
+        u = self.uniform(0.0, 1.0)
+        # Inverse CDF of the bounded Pareto distribution.
+        la, ha = lo**shape, hi**shape
+        x = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / shape)
+        return float(min(max(x, lo), hi))

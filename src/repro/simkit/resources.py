@@ -1,0 +1,264 @@
+"""Shared-resource primitives: :class:`Resource`, :class:`PriorityResource`,
+:class:`Store` and :class:`Container`.
+
+All follow the same request/grant protocol: ``request()``/``get()``/``put()``
+return an :class:`~repro.simkit.events.Event` that a process ``yield``s; the
+event triggers when the resource grants it.  Grants are FIFO (or priority
+order for :class:`PriorityResource`) and therefore deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.simkit.errors import SimkitError
+from repro.simkit.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.core import Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim: "Simulator", resource: "Resource"):
+        super().__init__(sim, name=f"Request({resource.name})")
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        if self.triggered:
+            raise SimkitError("cannot cancel a granted request; release() instead")
+        try:
+            self.resource._queue.remove(self)
+        except ValueError:
+            pass
+
+
+class Resource:
+    """A server pool with integer capacity and a FIFO wait queue.
+
+    Usage from a process generator::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the slot
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self._queue: list[Request] = []
+        self._users: set[Request] = set()
+        #: Peak simultaneous users observed (for reporting).
+        self.peak_in_use = 0
+        #: Total grants ever made.
+        self.total_grants = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        req = Request(self.sim, self)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        if request not in self._users:
+            raise SimkitError(f"release() of a request not holding {self.name!r}")
+        self._users.discard(request)
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._pop_next()
+            self._users.add(req)
+            self.total_grants += 1
+            self.peak_in_use = max(self.peak_in_use, len(self._users))
+            req.succeed(req)
+
+    def _pop_next(self) -> Request:
+        return self._queue.pop(0)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Resource {self.name} {self.in_use}/{self.capacity} queued={self.queue_length}>"
+
+
+class PriorityRequest(Request):
+    """Request carrying a priority (lower = more urgent) and an arrival seq."""
+
+    __slots__ = ("priority", "seq")
+
+    def __init__(self, sim: "Simulator", resource: "Resource", priority: int, seq: int):
+        super().__init__(sim, resource)
+        self.priority = priority
+        self.seq = seq
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose wait queue is ordered by priority, then FIFO."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "priority-resource"):
+        super().__init__(sim, capacity, name)
+        self._arrivals = 0
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        self._arrivals += 1
+        req = PriorityRequest(self.sim, self, priority, self._arrivals)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def _pop_next(self) -> Request:
+        best_index = min(
+            range(len(self._queue)),
+            key=lambda i: (self._queue[i].priority, self._queue[i].seq),  # type: ignore[attr-defined]
+        )
+        return self._queue.pop(best_index)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO store of Python objects.
+
+    ``put(item)`` and ``get()`` both return events.  ``get`` may take a
+    ``predicate`` to match a specific item (FilterStore behaviour).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"), name: str = "store"):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: list[Any] = []
+        self._getters: list[tuple[Event, Optional[Callable[[Any], bool]]]] = []
+        self._putters: list[tuple[Event, Any]] = []
+
+    def put(self, item: Any) -> Event:
+        """Add an item; triggers once there is room."""
+        ev = Event(self.sim, name=f"put({self.name})")
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Remove and return an item (optionally the first matching one)."""
+        ev = Event(self.sim, name=f"get({self.name})")
+        self._getters.append((ev, predicate))
+        self._settle()
+        return ev
+
+    @property
+    def size(self) -> int:
+        """Number of items currently stored."""
+        return len(self.items)
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit puts while capacity remains.
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.pop(0)
+                self.items.append(item)
+                ev.succeed(item)
+                progress = True
+            # Serve getters.
+            i = 0
+            while i < len(self._getters):
+                ev, predicate = self._getters[i]
+                index = None
+                if predicate is None:
+                    index = 0 if self.items else None
+                else:
+                    for j, candidate in enumerate(self.items):
+                        if predicate(candidate):
+                            index = j
+                            break
+                if index is None:
+                    i += 1
+                    continue
+                item = self.items.pop(index)
+                self._getters.pop(i)
+                ev.succeed(item)
+                progress = True
+
+
+class Container:
+    """A continuous level (e.g. bytes of free capacity) with blocking put/get."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "container",
+    ):
+        if init < 0 or init > capacity:
+            raise ValueError("init level must lie within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._level = float(init)
+        self._getters: list[tuple[Event, float]] = []
+        self._putters: list[tuple[Event, float]] = []
+
+    @property
+    def level(self) -> float:
+        """Current fill level."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; triggers once it fits under ``capacity``."""
+        if amount < 0:
+            raise ValueError("put amount must be >= 0")
+        ev = Event(self.sim, name=f"put({self.name})")
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; triggers once that much is available."""
+        if amount < 0:
+            raise ValueError("get amount must be >= 0")
+        if amount > self.capacity:
+            raise ValueError(f"get({amount}) exceeds container capacity {self.capacity}")
+        ev = Event(self.sim, name=f"get({self.name})")
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.pop(0)
+                    self._level += amount
+                    ev.succeed(amount)
+                    progress = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.pop(0)
+                    self._level -= amount
+                    ev.succeed(amount)
+                    progress = True

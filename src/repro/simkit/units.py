@@ -1,0 +1,81 @@
+"""Units and formatting helpers.
+
+Conventions used across the whole reproduction:
+
+* **bytes** for data sizes (decimal multiples, matching how storage vendors
+  and the paper quote capacities: 1 TB = 10^12 bytes);
+* **seconds** for time;
+* **bytes/second** for bandwidth.  Network link speeds quoted in bits/second
+  (e.g. "10 GE") are converted with :func:`gbit_per_s`.
+"""
+
+from __future__ import annotations
+
+# -- data sizes (decimal, as the paper quotes capacities) ----------------------
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+PB = 10**15
+
+# Binary multiples, for block-size style quantities.
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+TiB = 2**40
+
+# -- time ----------------------------------------------------------------------
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+YEAR = 365.0 * DAY
+
+
+def gbit_per_s(gbits: float) -> float:
+    """Convert a link speed in Gbit/s to bytes/s (decimal)."""
+    return gbits * 1e9 / 8.0
+
+
+def mbit_per_s(mbits: float) -> float:
+    """Convert a link speed in Mbit/s to bytes/s (decimal)."""
+    return mbits * 1e6 / 8.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable decimal byte count, e.g. ``fmt_bytes(2e12) == '2.00 TB'``."""
+    n = float(n)
+    for unit, suffix in ((PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "kB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Human-readable bandwidth, e.g. ``'1.25 GB/s'``."""
+    return fmt_bytes(bytes_per_s) + "/s"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``fmt_duration(90061) == '1d 1h 1m 1s'``."""
+    seconds = float(seconds)
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < 1:
+        return f"{seconds * 1000:.1f} ms"
+    if seconds < 60:
+        return f"{seconds:.1f} s"
+    parts = []
+    days, rem = divmod(seconds, DAY)
+    hours, rem = divmod(rem, HOUR)
+    minutes, secs = divmod(rem, MINUTE)
+    if days:
+        parts.append(f"{int(days)}d")
+    if hours:
+        parts.append(f"{int(hours)}h")
+    if minutes:
+        parts.append(f"{int(minutes)}m")
+    if secs >= 1 or not parts:
+        parts.append(f"{int(secs)}s")
+    return " ".join(parts)

@@ -1,0 +1,149 @@
+"""Disk-array model.
+
+A :class:`DiskArray` is the unit the paper's slide 7 counts in: "currently
+2 PB in 2 storage systems (DDN, IBM)".  The model captures what the
+facility-level experiments depend on:
+
+* an aggregate streaming bandwidth shared by all concurrent operations
+  (processor sharing, via :class:`~repro.storage.ps.FluidServer`);
+* a fixed per-operation overhead (metadata, head positioning, controller
+  latency) that penalises many-small-file workloads — the regime the
+  zebrafish screens (200 k × 4 MB images/day) live in;
+* capacity accounting with explicit allocate/free.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+from repro.simkit.monitor import Counter, Tally
+from repro.storage.ps import FluidServer
+
+
+class StorageError(Exception):
+    """Raised on capacity exhaustion or bad device operations."""
+
+
+class DiskArray:
+    """A disk storage system with shared bandwidth and capacity accounting.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    name:
+        Device name (also its node name when attached to a network).
+    capacity:
+        Usable capacity in bytes.
+    bandwidth:
+        Aggregate streaming bandwidth in bytes/s, shared across all
+        concurrent reads and writes.
+    op_overhead:
+        Fixed seconds of latency added to every operation.
+    concurrency_limit:
+        Optional cap on simultaneously-served operations.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        capacity: float,
+        bandwidth: float,
+        op_overhead: float = 0.005,
+        concurrency_limit: Optional[int] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if op_overhead < 0:
+            raise ValueError("op_overhead must be >= 0")
+        self.sim = sim
+        self.name = name
+        self.capacity = float(capacity)
+        self.bandwidth = float(bandwidth)
+        self.op_overhead = float(op_overhead)
+        self._server = FluidServer(
+            sim, bandwidth, concurrency_limit=concurrency_limit, name=f"{name}.io"
+        )
+        self._used = 0.0
+        self.bytes_read = Counter(f"{name}.bytes_read")
+        self.bytes_written = Counter(f"{name}.bytes_written")
+        self.op_latency = Tally(f"{name}.op_latency")
+
+    # -- capacity ------------------------------------------------------------
+    @property
+    def used(self) -> float:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def free(self) -> float:
+        """Bytes still allocatable."""
+        return self.capacity - self._used
+
+    @property
+    def fill_fraction(self) -> float:
+        """Used fraction of capacity in [0, 1]."""
+        return self._used / self.capacity
+
+    def allocate(self, nbytes: float) -> None:
+        """Reserve capacity; raises :class:`StorageError` when full."""
+        if nbytes < 0:
+            raise ValueError("allocate size must be >= 0")
+        if self._used + nbytes > self.capacity:
+            raise StorageError(
+                f"{self.name}: allocation of {nbytes:.3g} B exceeds free {self.free:.3g} B"
+            )
+        self._used += nbytes
+
+    def release(self, nbytes: float) -> None:
+        """Return previously allocated capacity."""
+        if nbytes < 0:
+            raise ValueError("release size must be >= 0")
+        if nbytes > self._used + 1e-6:
+            raise StorageError(f"{self.name}: release of {nbytes:.3g} B exceeds used")
+        self._used = max(0.0, self._used - nbytes)
+
+    # -- I/O ------------------------------------------------------------------
+    def write(self, nbytes: float, allocate: bool = True) -> Event:
+        """Write ``nbytes``; returned process-event fires when durable.
+
+        With ``allocate=True`` (default) the capacity is reserved up front,
+        so a full array raises immediately rather than mid-write.
+        """
+        if allocate:
+            self.allocate(nbytes)
+        proc = self.sim.process(self._io(nbytes, self.bytes_written), name=f"{self.name}.write")
+        return proc
+
+    def read(self, nbytes: float) -> Event:
+        """Read ``nbytes``; returned process-event fires when delivered."""
+        return self.sim.process(self._io(nbytes, self.bytes_read), name=f"{self.name}.read")
+
+    def delete(self, nbytes: float) -> None:
+        """Drop a stored object, freeing its capacity (instantaneous)."""
+        self.release(nbytes)
+
+    def _io(self, nbytes: float, counter: Counter) -> Generator:
+        start = self.sim.now
+        if self.op_overhead > 0:
+            yield self.sim.timeout(self.op_overhead)
+        if nbytes > 0:
+            yield self._server.submit(nbytes)
+        counter.add(nbytes)
+        latency = self.sim.now - start
+        self.op_latency.record(latency)
+        return latency
+
+    # -- reporting ----------------------------------------------------------
+    def effective_rate(self, elapsed: float) -> float:
+        """Mean total throughput (read+write) over ``elapsed`` seconds."""
+        return (self.bytes_read.value + self.bytes_written.value) / elapsed if elapsed > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<DiskArray {self.name} {self._used / self.capacity:.1%} of "
+            f"{self.capacity:.3g} B, {self.bandwidth:.3g} B/s>"
+        )

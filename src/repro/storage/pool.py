@@ -1,0 +1,164 @@
+"""Storage pools: file placement across several disk arrays.
+
+The LSDF presents "2 PB in 2 storage systems" as one facility; a
+:class:`StoragePool` provides that single namespace, choosing an array per
+file according to a :class:`PlacementPolicy` and keeping the file catalog
+(the facility-side truth that the metadata repository references).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+from repro.storage.devices import DiskArray, StorageError
+
+
+class PlacementPolicy(enum.Enum):
+    """How the pool picks an array for a new file."""
+
+    #: Most free bytes first — balances absolute free space.
+    MOST_FREE = "most_free"
+    #: Lowest fill fraction first — balances relative utilisation.
+    LEAST_FILLED = "least_filled"
+    #: Cycle through arrays regardless of fill.
+    ROUND_ROBIN = "round_robin"
+
+
+@dataclass
+class StoredFile:
+    """Catalog entry for a file stored in a pool."""
+
+    file_id: str
+    size: float
+    array: str
+    created: float
+    last_access: float
+    tier: str = "disk"  # "disk" or "tape" (managed by HSM)
+    pinned: bool = False
+    attrs: dict = field(default_factory=dict)
+
+
+class StoragePool:
+    """A single namespace over several :class:`DiskArray` devices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        arrays: Iterable[DiskArray],
+        policy: PlacementPolicy = PlacementPolicy.MOST_FREE,
+        name: str = "pool",
+    ):
+        self.sim = sim
+        self.name = name
+        self.arrays: dict[str, DiskArray] = {a.name: a for a in arrays}
+        if not self.arrays:
+            raise ValueError("pool needs at least one array")
+        self.policy = policy
+        self._files: dict[str, StoredFile] = {}
+        self._rr_index = 0
+
+    # -- capacity ---------------------------------------------------------
+    @property
+    def capacity(self) -> float:
+        """Total capacity across arrays."""
+        return sum(a.capacity for a in self.arrays.values())
+
+    @property
+    def used(self) -> float:
+        """Total allocated bytes across arrays."""
+        return sum(a.used for a in self.arrays.values())
+
+    @property
+    def free(self) -> float:
+        """Total free bytes across arrays."""
+        return self.capacity - self.used
+
+    @property
+    def fill_fraction(self) -> float:
+        """Pool-wide used fraction."""
+        return self.used / self.capacity
+
+    # -- catalog ------------------------------------------------------------
+    def lookup(self, file_id: str) -> StoredFile:
+        """Catalog record for a file (KeyError if unknown)."""
+        return self._files[file_id]
+
+    def contains(self, file_id: str) -> bool:
+        """Whether the pool knows this file id."""
+        return file_id in self._files
+
+    def files(self) -> list[StoredFile]:
+        """All catalog entries, insertion-ordered."""
+        return list(self._files.values())
+
+    def files_on_disk(self) -> list[StoredFile]:
+        """Catalog entries whose data currently lives on disk."""
+        return [f for f in self._files.values() if f.tier == "disk"]
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    # -- placement -----------------------------------------------------------
+    def _choose_array(self, nbytes: float) -> DiskArray:
+        candidates = [a for a in self.arrays.values() if a.free >= nbytes]
+        if not candidates:
+            raise StorageError(
+                f"{self.name}: no array can hold {nbytes:.3g} B (pool free {self.free:.3g} B)"
+            )
+        if self.policy is PlacementPolicy.MOST_FREE:
+            return max(candidates, key=lambda a: (a.free, a.name))
+        if self.policy is PlacementPolicy.LEAST_FILLED:
+            return min(candidates, key=lambda a: (a.fill_fraction, a.name))
+        # ROUND_ROBIN over all arrays, skipping full ones.
+        order = list(self.arrays.values())
+        for i in range(len(order)):
+            array = order[(self._rr_index + i) % len(order)]
+            if array.free >= nbytes:
+                self._rr_index = (self._rr_index + i + 1) % len(order)
+                return array
+        raise StorageError("unreachable")  # pragma: no cover
+
+    # -- I/O -------------------------------------------------------------------
+    def write(self, file_id: str, nbytes: float, **attrs) -> Event:
+        """Store a new file; the event fires when the write is durable."""
+        if file_id in self._files:
+            raise StorageError(f"duplicate file id {file_id!r}")
+        if nbytes < 0:
+            raise ValueError("size must be >= 0")
+        array = self._choose_array(nbytes)
+        record = StoredFile(
+            file_id=file_id,
+            size=float(nbytes),
+            array=array.name,
+            created=self.sim.now,
+            last_access=self.sim.now,
+            attrs=dict(attrs),
+        )
+        self._files[file_id] = record
+        return array.write(nbytes)
+
+    def read(self, file_id: str) -> Event:
+        """Read a stored file from its array (must be on the disk tier)."""
+        record = self._files[file_id]
+        if record.tier != "disk":
+            raise StorageError(f"file {file_id!r} is on tier {record.tier!r}; stage it first")
+        record.last_access = self.sim.now
+        return self.arrays[record.array].read(record.size)
+
+    def delete(self, file_id: str) -> None:
+        """Remove a file, releasing disk capacity if it held any."""
+        record = self._files.pop(file_id)
+        if record.tier == "disk":
+            self.arrays[record.array].delete(record.size)
+
+    def array_of(self, file_id: str) -> Optional[DiskArray]:
+        """The array currently holding a file's data (None when on tape)."""
+        record = self._files[file_id]
+        return self.arrays[record.array] if record.tier == "disk" else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<StoragePool {self.name} files={len(self._files)} fill={self.fill_fraction:.1%}>"

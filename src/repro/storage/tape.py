@@ -1,0 +1,218 @@
+"""Tape-library model.
+
+The LSDF uses its tape backend for archive and backup (slide 7) and plans
+"archival quality" storage for climate data (slide 14).  What distinguishes
+tape from disk for every experiment built on it is the latency/throughput
+asymmetry: mounting a cartridge takes tens of seconds (robot move + thread +
+load), positioning is linear in the on-tape offset, and only then does data
+stream at a high sequential rate.
+
+The model: a robot (serialising mounts), ``n`` drives, and an open-ended set
+of cartridges.  Archives append to the current fill cartridge; recalls look
+up the cartridge/offset, acquire a drive (preferring one that already has
+the right cartridge mounted — lazy dismount), position, and stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+from repro.simkit.monitor import Counter, Tally
+from repro.simkit.resources import Resource, Store
+from repro.storage.devices import StorageError
+
+
+@dataclass
+class TapeCartridge:
+    """A cartridge: capacity, fill level, and the files written onto it."""
+
+    cart_id: int
+    capacity: float
+    used: float = 0.0
+    files: dict[str, tuple[float, float]] = field(default_factory=dict)  # id -> (offset, size)
+
+    @property
+    def free(self) -> float:
+        """Remaining writable bytes."""
+        return self.capacity - self.used
+
+
+@dataclass
+class TapeDrive:
+    """A tape drive; remembers its mounted cartridge for lazy dismount."""
+
+    drive_id: int
+    stream_bw: float
+    mounted: Optional[TapeCartridge] = None
+    position: float = 0.0  # byte offset the head is at
+
+
+class TapeLibrary:
+    """Robot + drives + cartridges with realistic timing.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    drives:
+        Number of tape drives.
+    drive_bw:
+        Sequential streaming bandwidth per drive, bytes/s.
+    cartridge_capacity:
+        Bytes per cartridge.
+    mount_time / dismount_time:
+        Robot + load/unload seconds per (dis)mount.
+    seek_rate:
+        Bytes of tape skipped per second while positioning.
+    lazy_dismount:
+        Keep cartridges mounted until a drive is needed for another one
+        (big win for batched recalls; ablation in E12).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        drives: int = 4,
+        drive_bw: float = 120e6,
+        cartridge_capacity: float = 1e12,
+        mount_time: float = 45.0,
+        dismount_time: float = 25.0,
+        seek_rate: float = 500e6,
+        lazy_dismount: bool = True,
+        name: str = "tape",
+    ):
+        if drives < 1:
+            raise ValueError("need at least one drive")
+        self.sim = sim
+        self.name = name
+        self.drive_bw = float(drive_bw)
+        self.cartridge_capacity = float(cartridge_capacity)
+        self.mount_time = float(mount_time)
+        self.dismount_time = float(dismount_time)
+        self.seek_rate = float(seek_rate)
+        self.lazy_dismount = lazy_dismount
+        self.robot = Resource(sim, capacity=1, name=f"{name}.robot")
+        self._drive_pool = Store(sim, name=f"{name}.drives")
+        self.drives = [TapeDrive(i, self.drive_bw) for i in range(drives)]
+        for drive in self.drives:
+            self._drive_pool.items.append(drive)
+        self._cartridges: list[TapeCartridge] = []
+        self._catalog: dict[str, TapeCartridge] = {}
+        self._fill: Optional[TapeCartridge] = None
+        # -- statistics
+        self.mounts = Counter(f"{name}.mounts")
+        self.bytes_archived = Counter(f"{name}.bytes_archived")
+        self.bytes_recalled = Counter(f"{name}.bytes_recalled")
+        self.recall_latency = Tally(f"{name}.recall_latency")
+        self.archive_latency = Tally(f"{name}.archive_latency")
+
+    # -- catalog -----------------------------------------------------------
+    def contains(self, file_id: str) -> bool:
+        """Whether a file has been archived to tape."""
+        return file_id in self._catalog
+
+    def location(self, file_id: str) -> tuple[int, float, float]:
+        """(cartridge id, offset, size) of an archived file."""
+        cart = self._catalog[file_id]
+        offset, size = cart.files[file_id]
+        return cart.cart_id, offset, size
+
+    @property
+    def cartridge_count(self) -> int:
+        """Cartridges allocated so far."""
+        return len(self._cartridges)
+
+    def _fill_cartridge(self, nbytes: float) -> TapeCartridge:
+        if nbytes > self.cartridge_capacity:
+            raise StorageError(
+                f"file of {nbytes:.3g} B exceeds cartridge capacity "
+                f"{self.cartridge_capacity:.3g} B"
+            )
+        if self._fill is None or self._fill.free < nbytes:
+            self._fill = TapeCartridge(len(self._cartridges), self.cartridge_capacity)
+            self._cartridges.append(self._fill)
+        return self._fill
+
+    # -- operations ---------------------------------------------------------
+    def archive(self, file_id: str, nbytes: float) -> Event:
+        """Write a file to tape; event value is the (simulated) latency."""
+        if file_id in self._catalog:
+            raise StorageError(f"file {file_id!r} already archived")
+        if nbytes <= 0:
+            raise ValueError("archive size must be > 0")
+        cart = self._fill_cartridge(nbytes)
+        offset = cart.used
+        cart.files[file_id] = (offset, float(nbytes))
+        cart.used += nbytes
+        self._catalog[file_id] = cart
+        return self.sim.process(
+            self._run_op(cart, offset, nbytes, self.bytes_archived, self.archive_latency),
+            name=f"{self.name}.archive",
+        )
+
+    def recall(self, file_id: str) -> Event:
+        """Read a file back from tape; event value is the latency."""
+        if file_id not in self._catalog:
+            raise StorageError(f"file {file_id!r} is not on tape")
+        cart = self._catalog[file_id]
+        offset, size = cart.files[file_id]
+        return self.sim.process(
+            self._run_op(cart, offset, size, self.bytes_recalled, self.recall_latency),
+            name=f"{self.name}.recall",
+        )
+
+    def _acquire_drive(self, cart: TapeCartridge) -> Event:
+        """Get a drive, preferring one that already has ``cart`` mounted."""
+        if any(d.mounted is cart for d in self._drive_pool.items):
+            return self._drive_pool.get(lambda d: d.mounted is cart)
+        return self._drive_pool.get()
+
+    def _run_op(
+        self,
+        cart: TapeCartridge,
+        offset: float,
+        nbytes: float,
+        counter: Counter,
+        tally: Tally,
+    ) -> Generator:
+        start = self.sim.now
+        drive: TapeDrive = yield self._acquire_drive(cart)
+        try:
+            if drive.mounted is not cart:
+                # Robot swap: serialise through the single robot arm.
+                req = self.robot.request()
+                yield req
+                try:
+                    if drive.mounted is not None:
+                        yield self.sim.timeout(self.dismount_time)
+                        drive.mounted = None
+                    yield self.sim.timeout(self.mount_time)
+                    drive.mounted = cart
+                    drive.position = 0.0
+                    self.mounts.add(1)
+                finally:
+                    self.robot.release(req)
+            # Position the head, then stream.
+            seek_bytes = abs(offset - drive.position)
+            if seek_bytes > 0:
+                yield self.sim.timeout(seek_bytes / self.seek_rate)
+            yield self.sim.timeout(nbytes / drive.stream_bw)
+            drive.position = offset + nbytes
+            if not self.lazy_dismount:
+                req = self.robot.request()
+                yield req
+                try:
+                    yield self.sim.timeout(self.dismount_time)
+                    drive.mounted = None
+                    drive.position = 0.0
+                finally:
+                    self.robot.release(req)
+        finally:
+            yield self._drive_pool.put(drive)
+        latency = self.sim.now - start
+        counter.add(nbytes)
+        tally.record(latency)
+        return latency

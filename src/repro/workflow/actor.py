@@ -1,0 +1,99 @@
+"""Workflow actors: the unit of computation in the Kepler model."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+
+class ActorError(Exception):
+    """An actor fired with bad inputs or failed during execution."""
+
+
+class Actor:
+    """A computation with named input and output ports.
+
+    Subclasses implement :meth:`fire`, receiving a dict keyed by input port
+    and returning a dict keyed by output port.  ``params`` are static
+    configuration recorded into provenance.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = (),
+        params: Optional[Mapping[str, Any]] = None,
+        cost_model: Optional[Callable[[Mapping[str, Any]], float]] = None,
+    ):
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.params = dict(params or {})
+        self._cost_model = cost_model
+        if len(set(self.inputs)) != len(self.inputs):
+            raise ActorError(f"actor {name!r}: duplicate input ports")
+        if len(set(self.outputs)) != len(self.outputs):
+            raise ActorError(f"actor {name!r}: duplicate output ports")
+
+    def fire(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        """Execute the actor.  Must return a value for every output port."""
+        raise NotImplementedError
+
+    def cost(self, inputs: Mapping[str, Any]) -> float:
+        """Simulated execution time in seconds (for
+        :class:`~repro.workflow.director.SimulatedDirector`)."""
+        if self._cost_model is not None:
+            return float(self._cost_model(inputs))
+        return 0.0
+
+    def _check_fire(self, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate ports around a :meth:`fire` call (used by directors)."""
+        missing = set(self.inputs) - set(inputs)
+        if missing:
+            raise ActorError(f"actor {self.name!r}: missing inputs {sorted(missing)}")
+        try:
+            produced = self.fire({k: inputs[k] for k in self.inputs})
+        except ActorError:
+            raise
+        except Exception as exc:
+            raise ActorError(f"actor {self.name!r} failed: {exc}") from exc
+        produced = dict(produced or {})
+        absent = set(self.outputs) - set(produced)
+        if absent:
+            raise ActorError(f"actor {self.name!r}: outputs not produced: {sorted(absent)}")
+        return {k: produced[k] for k in self.outputs}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Actor {self.name} {list(self.inputs)}->{list(self.outputs)}>"
+
+
+class FunctionActor(Actor):
+    """Wrap a plain function as an actor.
+
+    The function receives the input-port values as keyword arguments and
+    returns either a dict keyed by output port, or — when there is exactly
+    one output port — the bare value.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = ("out",),
+        params: Optional[Mapping[str, Any]] = None,
+        cost_model: Optional[Callable[[Mapping[str, Any]], float]] = None,
+    ):
+        super().__init__(name, inputs, outputs, params, cost_model)
+        self.fn = fn
+
+    def fire(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        result = self.fn(**inputs, **self.params)
+        if isinstance(result, Mapping):
+            return dict(result)
+        if len(self.outputs) == 1:
+            return {self.outputs[0]: result}
+        raise ActorError(
+            f"actor {self.name!r}: function returned {type(result).__name__}, "
+            f"but {len(self.outputs)} output ports need a mapping"
+        )

@@ -1,0 +1,140 @@
+"""Pre-built actors over the facility's glue layer.
+
+The workflows that the DataBrowser triggers in production are not arbitrary
+Python — they read data through ADAL, checksum it, run analyses, write
+derived products back, and tag datasets.  This module packages those
+recurring steps as reusable actors so that example and user workflows are
+assembled, not re-implemented.
+
+All actors are pure glue (no simulation time); attach ``cost_model``s when
+running them under a :class:`~repro.workflow.director.SimulatedDirector`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.adal.api import AdalClient, checksum_bytes
+from repro.metadata.store import MetadataStore
+from repro.mapreduce.local import LocalJob, run_local
+from repro.workflow.actor import Actor, ActorError
+
+
+class AdalReadActor(Actor):
+    """Read an object through ADAL: ``url`` -> ``data`` (bytes)."""
+
+    def __init__(self, client: AdalClient, name: str = "adal-read",
+                 verify: bool = False,
+                 cost_model: Optional[Callable[[Mapping[str, Any]], float]] = None):
+        super().__init__(name, inputs=("url",), outputs=("data",),
+                         params={"verify": verify}, cost_model=cost_model)
+        self.client = client
+
+    def fire(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        return {"data": self.client.get(inputs["url"], verify=self.params["verify"])}
+
+
+class AdalWriteActor(Actor):
+    """Write a derived product through ADAL: ``url, data`` -> ``info``."""
+
+    def __init__(self, client: AdalClient, name: str = "adal-write",
+                 overwrite: bool = True,
+                 cost_model: Optional[Callable[[Mapping[str, Any]], float]] = None):
+        super().__init__(name, inputs=("url", "data"), outputs=("info",),
+                         params={"overwrite": overwrite}, cost_model=cost_model)
+        self.client = client
+
+    def fire(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        info = self.client.put(inputs["url"], inputs["data"],
+                               overwrite=self.params["overwrite"])
+        return {"info": info}
+
+
+class ChecksumActor(Actor):
+    """Verify bytes against an expected checksum: raises on mismatch."""
+
+    def __init__(self, name: str = "checksum",
+                 cost_model: Optional[Callable[[Mapping[str, Any]], float]] = None):
+        super().__init__(name, inputs=("data", "expected"), outputs=("checksum",),
+                         cost_model=cost_model)
+
+    def fire(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        actual = checksum_bytes(inputs["data"])
+        expected = inputs["expected"]
+        if expected and actual != expected:
+            raise ActorError(
+                f"checksum mismatch: expected {expected[:12]}…, got {actual[:12]}…"
+            )
+        return {"checksum": actual}
+
+
+class MetadataTagActor(Actor):
+    """Tag a dataset in the repository: ``dataset_id`` -> ``tagged``."""
+
+    def __init__(self, store: MetadataStore, tags: Sequence[str],
+                 name: str = "tag",
+                 cost_model: Optional[Callable[[Mapping[str, Any]], float]] = None):
+        super().__init__(name, inputs=("dataset_id",), outputs=("tagged",),
+                         params={"tags": list(tags)}, cost_model=cost_model)
+        self.store = store
+
+    def fire(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        self.store.tag(inputs["dataset_id"], *self.params["tags"])
+        return {"tagged": list(self.params["tags"])}
+
+
+class LocalMapReduceActor(Actor):
+    """Run a real :class:`LocalJob` inside a workflow: ``splits`` -> ``output``.
+
+    The job result's counters are exposed on the ``stats`` port so a
+    downstream actor (or provenance) can record them.
+    """
+
+    def __init__(self, job: LocalJob, reducers: int = 4,
+                 name: Optional[str] = None,
+                 cost_model: Optional[Callable[[Mapping[str, Any]], float]] = None):
+        super().__init__(name or f"mr:{job.name}", inputs=("splits",),
+                         outputs=("output", "stats"),
+                         params={"reducers": reducers, "job": job.name},
+                         cost_model=cost_model)
+        self.job = job
+        self.reducers = reducers
+
+    def fire(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        result = run_local(self.job, inputs["splits"], reducers=self.reducers)
+        stats = {
+            "map_input_records": result.map_input_records,
+            "map_output_records": result.map_output_records,
+            "shuffle_records": result.shuffle_records,
+            "reduce_output_records": result.reduce_output_records,
+        }
+        return {"output": result.output, "stats": stats}
+
+
+class RegisterProductActor(Actor):
+    """Register a derived data product as a new dataset with a processing
+    lineage pointer back to its source: ``info, source_id`` -> ``dataset_id``."""
+
+    def __init__(self, store: MetadataStore, project: str, basic_fn,
+                 name: str = "register-product",
+                 cost_model: Optional[Callable[[Mapping[str, Any]], float]] = None):
+        super().__init__(name, inputs=("info", "source_id"), outputs=("dataset_id",),
+                         params={"project": project}, cost_model=cost_model)
+        self.store = store
+        self.project = project
+        self.basic_fn = basic_fn
+
+    def fire(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        info = inputs["info"]
+        source_id = inputs["source_id"]
+        dataset_id = f"{source_id}::{self.name}"
+        self.store.register_dataset(
+            dataset_id=dataset_id,
+            project=self.project,
+            url=info.url,
+            size=info.size,
+            checksum=info.checksum,
+            basic=self.basic_fn(inputs),
+            tags={"derived"},
+        )
+        return {"dataset_id": dataset_id}

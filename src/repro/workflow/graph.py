@@ -1,0 +1,110 @@
+"""Workflow wiring: a validated DAG of actors.
+
+Connections are ``(src_actor, src_port) -> (dst_actor, dst_port)``.  Each
+input port has at most one writer; unconnected input ports must be supplied
+as workflow inputs at run time; output ports may fan out freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import networkx as nx
+
+from repro.workflow.actor import Actor, ActorError
+
+
+class PortError(ActorError):
+    """Bad wiring: unknown port, double-connected input."""
+
+
+class CycleError(ActorError):
+    """The workflow graph is not a DAG."""
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One wire between two actor ports."""
+
+    src_actor: str
+    src_port: str
+    dst_actor: str
+    dst_port: str
+
+
+class WorkflowGraph:
+    """A named DAG of actors with port-level wiring."""
+
+    def __init__(self, name: str = "workflow"):
+        self.name = name
+        self.actors: dict[str, Actor] = {}
+        self.connections: list[Connection] = []
+        self._input_writers: dict[tuple[str, str], Connection] = {}
+
+    def add(self, actor: Actor) -> Actor:
+        """Add an actor (names must be unique)."""
+        if actor.name in self.actors:
+            raise ActorError(f"duplicate actor name {actor.name!r}")
+        self.actors[actor.name] = actor
+        return actor
+
+    def connect(self, src: str, src_port: str, dst: str, dst_port: str) -> Connection:
+        """Wire an output port to an input port."""
+        if src not in self.actors:
+            raise PortError(f"unknown source actor {src!r}")
+        if dst not in self.actors:
+            raise PortError(f"unknown destination actor {dst!r}")
+        if src_port not in self.actors[src].outputs:
+            raise PortError(f"{src!r} has no output port {src_port!r}")
+        if dst_port not in self.actors[dst].inputs:
+            raise PortError(f"{dst!r} has no input port {dst_port!r}")
+        key = (dst, dst_port)
+        if key in self._input_writers:
+            raise PortError(f"input port {dst}.{dst_port} already connected")
+        conn = Connection(src, src_port, dst, dst_port)
+        self.connections.append(conn)
+        self._input_writers[key] = conn
+        return conn
+
+    # -- analysis ------------------------------------------------------------
+    def free_inputs(self) -> list[tuple[str, str]]:
+        """Input ports with no upstream writer — the workflow's inputs."""
+        out = []
+        for actor in self.actors.values():
+            for port in actor.inputs:
+                if (actor.name, port) not in self._input_writers:
+                    out.append((actor.name, port))
+        return out
+
+    def _digraph(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(self.actors)
+        for conn in self.connections:
+            g.add_edge(conn.src_actor, conn.dst_actor)
+        return g
+
+    def validate(self) -> None:
+        """Raise :class:`CycleError` unless the wiring is a DAG."""
+        g = self._digraph()
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            raise CycleError(f"workflow {self.name!r} has a cycle: {cycle}")
+
+    def topo_order(self) -> list[str]:
+        """Deterministic topological order of actor names."""
+        self.validate()
+        return list(nx.lexicographical_topological_sort(self._digraph()))
+
+    def waves(self) -> list[list[str]]:
+        """Actors grouped into dependency waves (each wave's actors are
+        mutually independent — what :class:`DataflowDirector` parallelises)."""
+        self.validate()
+        return [sorted(wave) for wave in nx.topological_generations(self._digraph())]
+
+    def upstream_of(self, actor: str, port: str) -> Connection | None:
+        """The connection feeding an input port, if any."""
+        return self._input_writers.get((actor, port))
+
+    def __len__(self) -> int:
+        return len(self.actors)

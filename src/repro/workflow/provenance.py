@@ -1,0 +1,80 @@
+"""Provenance: workflow firings recorded into the metadata repository.
+
+    "Data from finished workflows stored and tagged in DB" — slide 12.
+
+A :class:`ProvenanceRecorder` turns an :class:`ExecutionTrace` into the
+chained processing records of slide 8: each actor firing becomes one
+``METADATA N`` record on the dataset the workflow ran over, with the
+graph's wiring expressed through the records' ``parent`` links (an actor's
+parent is its last upstream actor in the trace).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.metadata.store import MetadataStore
+from repro.workflow.director import ExecutionTrace
+from repro.workflow.graph import WorkflowGraph
+
+
+def _serialisable(mapping: Mapping[str, Any]) -> dict[str, Any]:
+    """Keep only JSON-friendly values; stringify the rest."""
+    out: dict[str, Any] = {}
+    for key, value in mapping.items():
+        if isinstance(value, (str, int, float, bool, type(None))):
+            out[key] = value
+        elif isinstance(value, (list, tuple)) and all(
+            isinstance(v, (str, int, float, bool, type(None))) for v in value
+        ):
+            out[key] = list(value)
+        else:
+            out[key] = repr(value)
+    return out
+
+
+class ProvenanceRecorder:
+    """Writes workflow execution traces into a :class:`MetadataStore`."""
+
+    def __init__(self, store: MetadataStore, tag_on_success: Optional[str] = "processed"):
+        self.store = store
+        self.tag_on_success = tag_on_success
+
+    def record(
+        self,
+        dataset_id: str,
+        graph: WorkflowGraph,
+        trace: ExecutionTrace,
+    ) -> list[str]:
+        """Append the trace's firings as a chained processing history.
+
+        Returns the new step ids, in firing order.  On a fully successful
+        trace the dataset is additionally tagged (``tag_on_success``).
+        """
+        step_ids: dict[str, str] = {}  # actor name -> step_id
+        created: list[str] = []
+        for firing in trace.firings:
+            # Parent: the upstream actor whose output feeds this one (first
+            # wired input, which is the chain shape of the slide-8 figure).
+            parent_step: Optional[str] = None
+            actor = graph.actors[firing.actor]
+            for port in actor.inputs:
+                conn = graph.upstream_of(firing.actor, port)
+                if conn is not None and conn.src_actor in step_ids:
+                    parent_step = step_ids[conn.src_actor]
+                    break
+            record = self.store.add_processing(
+                dataset_id,
+                name=f"{graph.name}/{firing.actor}",
+                params=_serialisable({**actor.params, "workflow": graph.name}),
+                results=_serialisable(firing.outputs),
+                started=firing.started,
+                finished=firing.finished,
+                status="success" if firing.status == "success" else "failed",
+                parent=parent_step,
+            )
+            step_ids[firing.actor] = record.step_id
+            created.append(record.step_id)
+        if trace.status == "success" and self.tag_on_success:
+            self.store.tag(dataset_id, self.tag_on_success)
+        return created

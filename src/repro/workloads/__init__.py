@@ -1,0 +1,77 @@
+"""Workload generators and community profiles from the paper.
+
+* :mod:`repro.workloads.zebrafish` — the Institute of Toxicology and
+  Genetics' high-throughput microscopy screens (slide 5), at the paper's
+  2011 rate and the projected 2012/2014 rates.
+* :mod:`repro.workloads.dna` — DNA sequencing on Hadoop (slide 13): a real
+  synthetic-read generator plus k-mer counting jobs for both the local and
+  the simulated MapReduce engines.
+* :mod:`repro.workloads.viz3d` — the 3D biomedical visualisation job
+  ("processing 1 TB dataset in 20 min", slide 13).
+* :mod:`repro.workloads.communities` — storage-growth profiles for the
+  communities of slides 5/14 (ITG, KATRIN, ANKA, climate, geophysics),
+  feeding the capacity planner (E2).
+"""
+
+from repro.workloads.zebrafish import (
+    ZEBRAFISH_PROJECT,
+    zebrafish_basic_schema,
+    zebrafish_microscopes,
+    zebrafish_processing_schemas,
+)
+from repro.workloads.dna import (
+    dna_cluster_job,
+    generate_genome,
+    generate_reads,
+    kmer_count_job,
+    reads_to_splits,
+)
+from repro.workloads.anka import (
+    ANKA_PROJECT,
+    AnkaBeamline,
+    AnkaConfig,
+    AnkaScan,
+    anka_basic_schema,
+    tomo_reconstruction_job,
+)
+from repro.workloads.assembly import AssemblyResult, DeBruijnGraph, assemble
+from repro.workloads.viz3d import viz3d_cluster_job
+from repro.workloads.communities import COMMUNITIES, CommunityProfile
+from repro.workloads.katrin import (
+    KATRIN_PROJECT,
+    KatrinConfig,
+    KatrinDaq,
+    KatrinRun,
+    katrin_basic_schema,
+    reprocessing_campaign,
+)
+
+__all__ = [
+    "ANKA_PROJECT",
+    "AnkaBeamline",
+    "AnkaConfig",
+    "AnkaScan",
+    "AssemblyResult",
+    "COMMUNITIES",
+    "anka_basic_schema",
+    "tomo_reconstruction_job",
+    "CommunityProfile",
+    "DeBruijnGraph",
+    "assemble",
+    "KATRIN_PROJECT",
+    "KatrinConfig",
+    "KatrinDaq",
+    "KatrinRun",
+    "katrin_basic_schema",
+    "reprocessing_campaign",
+    "ZEBRAFISH_PROJECT",
+    "dna_cluster_job",
+    "generate_genome",
+    "generate_reads",
+    "kmer_count_job",
+    "reads_to_splits",
+    "viz3d_cluster_job",
+    "zebrafish_basic_schema",
+    "zebrafish_microscopes",
+    "zebrafish_processing_schemas",
+]

@@ -1,0 +1,161 @@
+"""ANKA synchrotron workload (slide 14: "ANKA synchrotron radiation
+source").
+
+Tomography beamlines have a third data shape, different from both
+microscopy and KATRIN: **bursty** — during a beamtime shift the detector
+streams projection series at line rate (a scan = thousands of projections
+in minutes, ~10 GB), then nothing until the next shift; and each scan needs
+a compute-heavy **reconstruction** (filtered back-projection) that the
+facility's cluster runs, producing a volume of comparable size.
+
+* :class:`AnkaScan` — one tomographic scan and its acquisition context;
+* :class:`AnkaBeamline` — a DES process emitting scans during shift windows
+  and staying silent between them;
+* :func:`anka_basic_schema` — the project's metadata schema;
+* :func:`tomo_reconstruction_job` — the cluster-sim cost model for the
+  reconstruction step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.simkit.core import Simulator
+from repro.simkit.rand import RandomSource
+from repro.simkit import units
+from repro.metadata.schema import FieldSpec, Schema
+from repro.mapreduce.sim import JobSpec
+
+ANKA_PROJECT = "anka"
+
+
+def anka_basic_schema() -> Schema:
+    """Basic metadata of one tomographic scan."""
+    return Schema(
+        "anka-basic",
+        [
+            FieldSpec("beamline", "str", required=True),
+            FieldSpec("sample", "str", required=True),
+            FieldSpec("projections", "int", required=True),
+            FieldSpec("pixel_um", "float", required=True, doc="voxel size"),
+            FieldSpec("energy_kev", "float", required=True),
+            FieldSpec("shift", "int", required=True, doc="beamtime shift index"),
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class AnkaScan:
+    """One acquired tomography scan."""
+
+    scan_id: str
+    beamline: str
+    sample: str
+    projections: int
+    projection_bytes: int
+    energy_kev: float
+    pixel_um: float
+    shift: int
+    acquired: float
+
+    @property
+    def size(self) -> int:
+        """Total scan bytes."""
+        return self.projections * self.projection_bytes
+
+    def basic_metadata(self) -> dict:
+        """The dict to register with :func:`anka_basic_schema`."""
+        return {
+            "beamline": self.beamline,
+            "sample": self.sample,
+            "projections": self.projections,
+            "pixel_um": self.pixel_um,
+            "energy_kev": self.energy_kev,
+            "shift": self.shift,
+        }
+
+
+@dataclass
+class AnkaConfig:
+    """Beamline acquisition parameters (TopoTomo-ish defaults)."""
+
+    beamline: str = "topo-tomo"
+    #: Shift structure: scans only happen inside these windows.
+    shift_length: float = 8 * units.HOUR
+    shift_gap: float = 16 * units.HOUR
+    #: Scan shape.
+    projections: int = 2000
+    projection_bytes: int = 5 * units.MB
+    scan_time: float = 10 * units.MINUTE
+    #: Gap between scans within a shift (sample change, alignment).
+    setup_time: float = 20 * units.MINUTE
+
+
+class AnkaBeamline:
+    """Emits :class:`AnkaScan` objects during beamtime shifts."""
+
+    def __init__(self, sim: Simulator, config: Optional[AnkaConfig] = None,
+                 rng: Optional[RandomSource] = None):
+        self.sim = sim
+        self.config = config or AnkaConfig()
+        self.rng = rng or sim.random.spawn("anka")
+        self.scans_taken = 0
+
+    def run(self, on_scan: Callable[[AnkaScan], object],
+            shifts: int = 1):
+        """Acquire for ``shifts`` beamtime shifts; ``on_scan`` may return an
+        event for ingest backpressure."""
+        return self.sim.process(self._run(on_scan, shifts), name="anka-beamline")
+
+    def _make_scan(self, shift: int) -> AnkaScan:
+        cfg = self.config
+        self.scans_taken += 1
+        return AnkaScan(
+            scan_id=f"anka-{self.scans_taken:05d}",
+            beamline=cfg.beamline,
+            sample=f"sample-{self.scans_taken:04d}",
+            projections=int(self.rng.normal(cfg.projections, cfg.projections * 0.05)),
+            projection_bytes=cfg.projection_bytes,
+            energy_kev=float(self.rng.choice([15.0, 20.0, 25.0, 30.0])),
+            pixel_um=float(self.rng.choice([0.9, 1.8, 3.6])),
+            shift=shift,
+            acquired=self.sim.now,
+        )
+
+    def _run(self, on_scan, shifts: int) -> Generator:
+        cfg = self.config
+        for shift in range(shifts):
+            shift_end = self.sim.now + cfg.shift_length
+            while True:
+                scan_cost = cfg.scan_time + self.rng.exponential(cfg.setup_time)
+                if self.sim.now + scan_cost > shift_end:
+                    break
+                yield self.sim.timeout(scan_cost)
+                outcome = on_scan(self._make_scan(shift))
+                if outcome is not None:
+                    yield outcome
+            # Off-shift silence.
+            idle = shift_end + cfg.shift_gap - self.sim.now
+            if shift < shifts - 1 and idle > 0:
+                yield self.sim.timeout(idle)
+        return self.scans_taken
+
+
+def tomo_reconstruction_job(input_path: str, name: str = "tomo-recon",
+                            reduces: int = 8) -> JobSpec:
+    """Filtered back-projection as a cluster job.
+
+    Calibration: FBP is compute-bound (~15 MB/s/core of projections in the
+    2011 era, i.e. 6.7e-8 s/B); the reconstructed volume is about the size
+    of the projection stack.
+    """
+    return JobSpec(
+        name=name,
+        input_path=input_path,
+        map_cpu_per_byte=6.7e-8,
+        map_output_ratio=0.5,
+        reduces=reduces,
+        reduce_cpu_per_byte=2e-8,
+        reduce_output_ratio=2.0,  # assembled volume from the half-size slabs
+    )

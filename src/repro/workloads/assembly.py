@@ -1,0 +1,165 @@
+"""De-novo reconstruction from reads (slide 13: "DNA sequencing and
+*reconstruction* using Hadoop tools").
+
+The Hadoop-era assemblers (Contrail, CloudBurst) build a **de Bruijn
+graph** from the MapReduce k-mer spectrum and walk its unambiguous paths
+into contigs.  This module implements that second stage on top of
+:func:`repro.workloads.dna.kmer_count_job`'s output:
+
+1. threshold the spectrum at ``min_multiplicity`` (drops error k-mers —
+   E10b shows they sit at ~1x while true k-mers sit at coverage);
+2. build the de Bruijn graph: nodes are (k-1)-mers, edges are solid k-mers;
+3. walk maximal unambiguous paths (every interior node with in-degree =
+   out-degree = 1) into contigs.
+
+At sufficient coverage on a repeat-free genome this reconstructs the
+genome in one contig — the property the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+@dataclass
+class AssemblyResult:
+    """Contigs plus assembly statistics."""
+
+    contigs: list[str] = field(default_factory=list)
+    k: int = 0
+    solid_kmers: int = 0
+    dropped_kmers: int = 0
+
+    @property
+    def total_bases(self) -> int:
+        """Sum of contig lengths."""
+        return sum(len(c) for c in self.contigs)
+
+    @property
+    def longest(self) -> int:
+        """Longest contig length (0 when empty)."""
+        return max((len(c) for c in self.contigs), default=0)
+
+    def n50(self) -> int:
+        """The standard assembly-contiguity statistic."""
+        if not self.contigs:
+            return 0
+        lengths = sorted((len(c) for c in self.contigs), reverse=True)
+        half = sum(lengths) / 2
+        acc = 0
+        for length in lengths:
+            acc += length
+            if acc >= half:
+                return length
+        return lengths[-1]  # pragma: no cover - loop always returns
+
+
+class DeBruijnGraph:
+    """A de Bruijn graph over (k-1)-mers with edge multiplicities."""
+
+    def __init__(self, k: int):
+        if k < 3:
+            raise ValueError("k must be >= 3")
+        self.k = k
+        # node -> {successor node: multiplicity}
+        self.out_edges: dict[str, dict[str, int]] = {}
+        self.in_degree: dict[str, int] = {}
+
+    def add_kmer(self, kmer: str, multiplicity: int = 1) -> None:
+        """Insert one k-mer as an edge prefix->suffix."""
+        if len(kmer) != self.k:
+            raise ValueError(f"expected a {self.k}-mer, got {len(kmer)} bases")
+        prefix, suffix = kmer[:-1], kmer[1:]
+        bucket = self.out_edges.setdefault(prefix, {})
+        bucket[suffix] = bucket.get(suffix, 0) + multiplicity
+        self.out_edges.setdefault(suffix, {})
+        self.in_degree[suffix] = self.in_degree.get(suffix, 0) + 1
+        self.in_degree.setdefault(prefix, self.in_degree.get(prefix, 0))
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of (k-1)-mer nodes."""
+        return len(self.out_edges)
+
+    def out_degree(self, node: str) -> int:
+        """Distinct successors of a node."""
+        return len(self.out_edges.get(node, ()))
+
+    def _is_path_interior(self, node: str) -> bool:
+        return self.out_degree(node) == 1 and self.in_degree.get(node, 0) == 1
+
+    def contigs(self) -> list[str]:
+        """Maximal unambiguous paths, as sequences (deterministic order)."""
+        visited_edges: set[tuple[str, str]] = set()
+        out: list[str] = []
+
+        # Path starts: nodes that are not simple path interiors.
+        starts = [n for n in sorted(self.out_edges) if not self._is_path_interior(n)]
+        for start in starts:
+            for successor in sorted(self.out_edges[start]):
+                if (start, successor) in visited_edges:
+                    continue
+                contig = start + successor[-1]
+                visited_edges.add((start, successor))
+                node = successor
+                while self._is_path_interior(node):
+                    (nxt,) = self.out_edges[node]
+                    if (node, nxt) in visited_edges:
+                        break
+                    visited_edges.add((node, nxt))
+                    contig += nxt[-1]
+                    node = nxt
+                out.append(contig)
+
+        # Remaining pure cycles (every node interior): walk each once.
+        for node in sorted(self.out_edges):
+            for successor in sorted(self.out_edges[node]):
+                if (node, successor) in visited_edges:
+                    continue
+                contig = node + successor[-1]
+                visited_edges.add((node, successor))
+                current = successor
+                while True:
+                    succs = [s for s in sorted(self.out_edges[current])
+                             if (current, s) not in visited_edges]
+                    if not succs:
+                        break
+                    nxt = succs[0]
+                    visited_edges.add((current, nxt))
+                    contig += nxt[-1]
+                    current = nxt
+                out.append(contig)
+        return out
+
+
+def assemble(
+    kmer_counts: Mapping[str, int] | Iterable[tuple[str, int]],
+    min_multiplicity: int = 3,
+) -> AssemblyResult:
+    """Assemble contigs from a k-mer spectrum.
+
+    Parameters
+    ----------
+    kmer_counts:
+        Output of the k-mer counting MapReduce: k-mer -> multiplicity.
+    min_multiplicity:
+        Spectrum threshold; k-mers below it are treated as sequencing
+        errors and dropped (choose below the coverage, above ~2).
+    """
+    items = list(kmer_counts.items()) if isinstance(kmer_counts, Mapping) \
+        else list(kmer_counts)
+    if not items:
+        return AssemblyResult()
+    k = len(items[0][0])
+    graph = DeBruijnGraph(k)
+    solid = dropped = 0
+    for kmer, count in items:
+        if count >= min_multiplicity:
+            graph.add_kmer(kmer, count)
+            solid += 1
+        else:
+            dropped += 1
+    return AssemblyResult(
+        contigs=graph.contigs(), k=k, solid_kmers=solid, dropped_kmers=dropped
+    )

@@ -1,0 +1,116 @@
+"""Community storage-growth profiles (slides 5 and 14).
+
+    "Additional communities integrated in 2011: KATRIN experiment (neutrino
+    mass), meteorology and climate research ('archival' quality),
+    geophysics."
+
+Each :class:`CommunityProfile` gives yearly ingest volumes (bytes/year),
+typical file sizes, and the fraction of data that must go to archival
+(tape-backed) storage — the inputs of the capacity planner (E2).  Volumes
+are the paper's published numbers where given (ITG/zebrafish: heading for
+1 PB/yr in 2012 and 6 PB/yr in 2014) and conservative public figures for
+the rest (KATRIN and ANKA detector rates, DWD/climate archive growth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simkit import units
+
+
+@dataclass(frozen=True)
+class CommunityProfile:
+    """A user community's storage demand."""
+
+    name: str
+    #: Year -> bytes ingested during that year.
+    yearly_ingest: dict[int, float] = field(default_factory=dict)
+    #: Typical file size (drives per-op overheads and metadata counts).
+    typical_file_bytes: float = 100 * units.MB
+    #: Fraction of each year's data that must be archived to tape.
+    archive_fraction: float = 0.5
+    #: Fraction of stored data re-read per year (reprocessing pressure).
+    reread_fraction: float = 0.3
+
+    def ingest_in(self, year: int) -> float:
+        """Bytes ingested in a year (0 before onboarding)."""
+        return self.yearly_ingest.get(year, 0.0)
+
+    def cumulative_through(self, year: int) -> float:
+        """Total bytes stored by the end of a year."""
+        return sum(v for y, v in self.yearly_ingest.items() if y <= year)
+
+
+def _itg() -> CommunityProfile:
+    # Slide 5: 2 TB/day in 2011 -> ~0.7 PB/yr; "1+ PB/year in 2012,
+    # 6 PB/year in 2014".
+    return CommunityProfile(
+        name="ITG zebrafish microscopy",
+        yearly_ingest={
+            2010: 0.1 * units.PB,
+            2011: 0.7 * units.PB,
+            2012: 1.0 * units.PB,
+            2013: 2.5 * units.PB,
+            2014: 6.0 * units.PB,
+        },
+        typical_file_bytes=4 * units.MB,
+        archive_fraction=0.8,
+        reread_fraction=0.5,
+    )
+
+
+def _katrin() -> CommunityProfile:
+    # Tritium-neutrino experiment: modest raw rate, strict retention.
+    return CommunityProfile(
+        name="KATRIN",
+        yearly_ingest={2011: 30 * units.TB, 2012: 60 * units.TB,
+                       2013: 100 * units.TB, 2014: 100 * units.TB},
+        typical_file_bytes=500 * units.MB,
+        archive_fraction=1.0,
+        reread_fraction=0.8,
+    )
+
+
+def _anka() -> CommunityProfile:
+    # Synchrotron imaging beamlines: bursty, tomography-sized files.
+    return CommunityProfile(
+        name="ANKA synchrotron",
+        yearly_ingest={2011: 100 * units.TB, 2012: 250 * units.TB,
+                       2013: 400 * units.TB, 2014: 600 * units.TB},
+        typical_file_bytes=2 * units.GB,
+        archive_fraction=0.6,
+        reread_fraction=0.4,
+    )
+
+
+def _climate() -> CommunityProfile:
+    # "Archival quality" meteorology/climate archives.
+    return CommunityProfile(
+        name="climate/meteorology",
+        yearly_ingest={2011: 50 * units.TB, 2012: 150 * units.TB,
+                       2013: 300 * units.TB, 2014: 500 * units.TB},
+        typical_file_bytes=1 * units.GB,
+        archive_fraction=1.0,
+        reread_fraction=0.1,
+    )
+
+
+def _geophysics() -> CommunityProfile:
+    return CommunityProfile(
+        name="geophysics",
+        yearly_ingest={2012: 40 * units.TB, 2013: 80 * units.TB, 2014: 120 * units.TB},
+        typical_file_bytes=200 * units.MB,
+        archive_fraction=0.7,
+        reread_fraction=0.2,
+    )
+
+
+#: The onboarding roadmap of slides 5/14.
+COMMUNITIES: dict[str, CommunityProfile] = {
+    "itg": _itg(),
+    "katrin": _katrin(),
+    "anka": _anka(),
+    "climate": _climate(),
+    "geophysics": _geophysics(),
+}

@@ -1,0 +1,37 @@
+"""3D biomedical visualisation workload (slide 13).
+
+    "3D Biomedical data visualization — processing 1 TB dataset in 20 min."
+
+The job renders/projects volumetric microscopy stacks: read-heavy maps with
+moderate CPU and a small reduction (the assembled projections).  The cost
+model is calibrated so the canonical 60-node LSDF cluster processes 1 TB in
+roughly the paper's 20 minutes (E9 verifies the shape and sweeps dataset
+size and cluster size).
+
+Calibration arithmetic: 1 TB over 120 map slots = 8.3 GB/slot; at 20 min
+per slot-stream that is ~7 MB/s/core of effective map throughput — i.e.
+``map_cpu_per_byte ≈ 1.1e-7`` once the ~80 MB/s local disk read (shared by
+two slots per node) is accounted for.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.sim import JobSpec
+
+
+def viz3d_cluster_job(
+    input_path: str,
+    name: str = "viz3d",
+    reduces: int = 16,
+    cpu_per_byte: float = 9e-8,
+) -> JobSpec:
+    """The visualisation job's cost model."""
+    return JobSpec(
+        name=name,
+        input_path=input_path,
+        map_cpu_per_byte=cpu_per_byte,
+        map_output_ratio=0.02,  # rendered projections are small
+        reduces=reduces,
+        reduce_cpu_per_byte=2e-8,
+        reduce_output_ratio=1.0,
+    )

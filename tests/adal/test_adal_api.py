@@ -1,0 +1,66 @@
+"""Tests for ADAL URLs, the registry, and checksums."""
+
+import pytest
+
+from repro.adal import AdalError, AdalUrl, BackendNotFoundError, BackendRegistry, MemoryBackend
+from repro.adal.api import checksum_bytes
+
+
+class TestAdalUrl:
+    def test_parse_basic(self):
+        url = AdalUrl.parse("adal://store/a/b/c.bin")
+        assert url.store == "store"
+        assert url.path == "a/b/c.bin"
+        assert str(url) == "adal://store/a/b/c.bin"
+
+    def test_parse_store_only(self):
+        url = AdalUrl.parse("adal://store")
+        assert url.store == "store"
+        assert url.path == ""
+
+    def test_parse_strips_leading_slashes(self):
+        assert AdalUrl.parse("adal://s//x").path == "x"
+
+    def test_wrong_scheme_rejected(self):
+        with pytest.raises(AdalError):
+            AdalUrl.parse("http://x/y")
+
+    def test_missing_store_rejected(self):
+        with pytest.raises(AdalError):
+            AdalUrl.parse("adal:///path")
+
+
+class TestRegistry:
+    def test_register_resolve(self):
+        reg = BackendRegistry()
+        backend = MemoryBackend()
+        reg.register("a", backend)
+        assert reg.resolve("a") is backend
+        assert reg.stores == ["a"]
+
+    def test_duplicate_rejected(self):
+        reg = BackendRegistry()
+        reg.register("a", MemoryBackend())
+        with pytest.raises(AdalError):
+            reg.register("a", MemoryBackend())
+
+    def test_unknown_store_raises(self):
+        with pytest.raises(BackendNotFoundError):
+            BackendRegistry().resolve("ghost")
+
+    def test_unregister_idempotent(self):
+        reg = BackendRegistry()
+        reg.register("a", MemoryBackend())
+        reg.unregister("a")
+        reg.unregister("a")
+        with pytest.raises(BackendNotFoundError):
+            reg.resolve("a")
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        assert checksum_bytes(b"abc") == checksum_bytes(b"abc")
+        assert checksum_bytes(b"abc") != checksum_bytes(b"abd")
+
+    def test_sha256_hex_length(self):
+        assert len(checksum_bytes(b"")) == 64

@@ -1,0 +1,112 @@
+"""Tests for the AdalClient: the unified, authenticated access layer."""
+
+import pytest
+
+from repro.adal import (
+    AclAuthorizer,
+    AdalClient,
+    AuthError,
+    BackendRegistry,
+    Credentials,
+    MemoryBackend,
+    ObjectNotFoundError,
+    PermissionDeniedError,
+    TokenAuth,
+)
+from repro.adal.errors import ChecksumMismatchError
+
+
+@pytest.fixture
+def registry():
+    reg = BackendRegistry()
+    reg.register("scratch", MemoryBackend())
+    reg.register("archive", MemoryBackend())
+    return reg
+
+
+@pytest.fixture
+def client(registry):
+    return AdalClient(registry)
+
+
+class TestBasicOps:
+    def test_put_get_stat(self, client):
+        info = client.put("adal://scratch/a/b", b"data")
+        assert info.url == "adal://scratch/a/b"
+        assert info.size == 4
+        assert client.get("adal://scratch/a/b") == b"data"
+        assert client.stat("adal://scratch/a/b").checksum == info.checksum
+
+    def test_exists_delete(self, client):
+        client.put("adal://scratch/x", b"1")
+        assert client.exists("adal://scratch/x")
+        client.delete("adal://scratch/x")
+        assert not client.exists("adal://scratch/x")
+
+    def test_listdir_returns_full_urls(self, client):
+        client.put("adal://scratch/d/1", b"x")
+        client.put("adal://scratch/d/2", b"x")
+        urls = [i.url for i in client.listdir("adal://scratch/d")]
+        assert urls == ["adal://scratch/d/1", "adal://scratch/d/2"]
+
+    def test_copy_across_stores(self, client):
+        client.put("adal://scratch/src", b"payload")
+        info = client.copy("adal://scratch/src", "adal://archive/dst")
+        assert info.url == "adal://archive/dst"
+        assert client.get("adal://archive/dst") == b"payload"
+
+    def test_get_missing(self, client):
+        with pytest.raises(ObjectNotFoundError):
+            client.get("adal://scratch/ghost")
+
+    def test_verified_read_detects_corruption(self, registry, client):
+        client.put("adal://scratch/f", b"good")
+        # Corrupt behind ADAL's back.
+        backend = registry.resolve("scratch")
+        backend._objects["f"] = (b"evil", backend._objects["f"][1])
+        with pytest.raises(ChecksumMismatchError):
+            client.get("adal://scratch/f", verify=True)
+
+    def test_checksum_helper(self, client):
+        info = client.put("adal://scratch/f", b"abc")
+        assert client.checksum("adal://scratch/f") == info.checksum
+
+
+class TestAuthIntegration:
+    def _secured_client(self, registry, subject="alice", token="t"):
+        auth = TokenAuth()
+        auth.register("alice", "t", groups=["lab"])
+        acl = AclAuthorizer()
+        acl.grant("adal://scratch", "*", ["read", "write", "delete"])
+        acl.grant("adal://archive/lab", "lab", ["read", "write"])
+        return AdalClient(registry, auth, Credentials(subject, token), acl)
+
+    def test_authenticated_flow(self, registry):
+        client = self._secured_client(registry)
+        client.put("adal://archive/lab/f", b"x")
+        assert client.get("adal://archive/lab/f") == b"x"
+
+    def test_denied_outside_grant(self, registry):
+        client = self._secured_client(registry)
+        with pytest.raises(PermissionDeniedError):
+            client.put("adal://archive/other/f", b"x")
+
+    def test_delete_needs_delete_permission(self, registry):
+        client = self._secured_client(registry)
+        client.put("adal://archive/lab/f", b"x")
+        with pytest.raises(PermissionDeniedError):
+            client.delete("adal://archive/lab/f")
+
+    def test_bad_credentials_fail_at_construction(self, registry):
+        auth = TokenAuth()
+        auth.register("alice", "t")
+        with pytest.raises(AuthError):
+            AdalClient(registry, auth, Credentials("alice", "wrong"))
+
+    def test_audit_log_records_operations(self, registry):
+        client = self._secured_client(registry)
+        client.put("adal://scratch/f", b"x")
+        client.get("adal://scratch/f")
+        log = client.auth.audit_log
+        assert ("alice", "write", "adal://scratch/f") in log
+        assert ("alice", "read", "adal://scratch/f") in log

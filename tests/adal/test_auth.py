@@ -1,0 +1,111 @@
+"""Tests for authentication providers and ACL authorisation."""
+
+import pytest
+
+from repro.adal import (
+    AclAuthorizer,
+    AnonymousAuth,
+    AuthError,
+    Credentials,
+    PermissionDeniedError,
+    Principal,
+    TokenAuth,
+)
+
+
+class TestAnonymousAuth:
+    def test_accepts_any_subject(self):
+        principal = AnonymousAuth().authenticate(Credentials("alice"))
+        assert principal.name == "alice"
+        assert principal.groups == frozenset()
+
+    def test_empty_subject_becomes_anonymous(self):
+        assert AnonymousAuth().authenticate(Credentials("")).name == "anonymous"
+
+
+class TestTokenAuth:
+    def test_valid_token(self):
+        auth = TokenAuth()
+        auth.register("alice", "s3cret", groups=["zf"])
+        principal = auth.authenticate(Credentials("alice", "s3cret"))
+        assert principal.name == "alice"
+        assert principal.groups == frozenset({"zf"})
+        assert principal.identities() == frozenset({"alice", "zf"})
+
+    def test_bad_token_rejected(self):
+        auth = TokenAuth()
+        auth.register("alice", "s3cret")
+        with pytest.raises(AuthError):
+            auth.authenticate(Credentials("alice", "wrong"))
+
+    def test_unknown_subject_rejected(self):
+        with pytest.raises(AuthError):
+            TokenAuth().authenticate(Credentials("ghost", "x"))
+
+    def test_empty_token_not_registrable(self):
+        with pytest.raises(ValueError):
+            TokenAuth().register("x", "")
+
+    def test_revoke(self):
+        auth = TokenAuth()
+        auth.register("alice", "t")
+        auth.revoke("alice")
+        with pytest.raises(AuthError):
+            auth.authenticate(Credentials("alice", "t"))
+        auth.revoke("alice")  # idempotent
+
+
+class TestAcl:
+    def _acl(self):
+        acl = AclAuthorizer()
+        acl.grant("adal://scratch", "*", ["read", "write", "delete"])
+        acl.grant("adal://lsdf/zf", "zf-group", ["read", "write"])
+        acl.grant("adal://lsdf", "ops", ["admin"])
+        return acl
+
+    def test_wildcard_identity(self):
+        acl = self._acl()
+        anyone = Principal("whoever")
+        assert "write" in acl.permissions(anyone, "adal://scratch/tmp/a")
+
+    def test_group_grant(self):
+        acl = self._acl()
+        member = Principal("alice", frozenset({"zf-group"}))
+        acl.check(member, "adal://lsdf/zf/plate1/x", "read")
+        with pytest.raises(PermissionDeniedError):
+            acl.check(member, "adal://lsdf/zf/plate1/x", "delete")
+
+    def test_prefix_is_component_aware(self):
+        acl = self._acl()
+        member = Principal("alice", frozenset({"zf-group"}))
+        # 'adal://lsdf/zf' must not cover 'adal://lsdf/zfish'.
+        with pytest.raises(PermissionDeniedError):
+            acl.check(member, "adal://lsdf/zfish/x", "read")
+        # ... but covers the prefix itself, with and without slash.
+        acl.check(member, "adal://lsdf/zf", "read")
+        acl.check(member, "adal://lsdf/zf/", "read")
+
+    def test_admin_implies_all(self):
+        acl = self._acl()
+        operator = Principal("root", frozenset({"ops"}))
+        for permission in ("read", "write", "delete", "admin"):
+            acl.check(operator, "adal://lsdf/anything", permission)
+
+    def test_grants_are_additive(self):
+        acl = AclAuthorizer()
+        acl.grant("adal://x", "alice", ["read"])
+        acl.grant("adal://x", "team", ["write"])
+        both = Principal("alice", frozenset({"team"}))
+        assert acl.permissions(both, "adal://x/f") >= {"read", "write"}
+
+    def test_unknown_permission_rejected(self):
+        acl = AclAuthorizer()
+        with pytest.raises(ValueError):
+            acl.grant("adal://x", "*", ["fly"])
+        with pytest.raises(ValueError):
+            acl.check(Principal("a"), "adal://x", "fly")
+
+    def test_no_grant_no_access(self):
+        acl = self._acl()
+        with pytest.raises(PermissionDeniedError):
+            acl.check(Principal("nobody"), "adal://lsdf/zf/x", "read")

@@ -1,0 +1,140 @@
+"""Model-based (stateful) testing of ADAL backends.
+
+Hypothesis drives random operation sequences against a backend and a plain
+dict model in lockstep; any divergence (content, existence, listing, or
+error behaviour) is a real bug.  The tiered backend additionally checks its
+internal invariants (hot-tier capacity, no object in both tiers).
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.adal import MemoryBackend, TieredBackend
+from repro.adal.backends.object_store import ObjectStoreBackend
+from repro.adal.errors import ObjectExistsError, ObjectNotFoundError
+
+_PATHS = st.sampled_from([f"k{i}" for i in range(6)])
+_DATA = st.binary(min_size=0, max_size=32)
+
+
+class _BackendMachine(RuleBasedStateMachine):
+    """Shared rules; subclasses provide ``self.backend`` and path mapping."""
+
+    def _make_backend(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _path(self, key: str) -> str:
+        return key
+
+    def __init__(self):
+        super().__init__()
+        self.backend = self._make_backend()
+        self.model: dict[str, bytes] = {}
+
+    @rule(key=_PATHS, data=_DATA, overwrite=st.booleans())
+    def put(self, key, data, overwrite):
+        """put mirrors the model, including write-once failures."""
+        path = self._path(key)
+        if key in self.model and not overwrite:
+            with pytest.raises(ObjectExistsError):
+                self.backend.put(path, data, overwrite=False)
+        else:
+            self.backend.put(path, data, overwrite=overwrite)
+            self.model[key] = data
+
+    @rule(key=_PATHS)
+    def get(self, key):
+        """get returns model content or raises not-found."""
+        path = self._path(key)
+        if key in self.model:
+            assert self.backend.get(path) == self.model[key]
+        else:
+            with pytest.raises(ObjectNotFoundError):
+                self.backend.get(path)
+
+    @rule(key=_PATHS)
+    def delete(self, key):
+        """delete removes from both, or raises on both."""
+        path = self._path(key)
+        if key in self.model:
+            self.backend.delete(path)
+            del self.model[key]
+        else:
+            with pytest.raises(ObjectNotFoundError):
+                self.backend.delete(path)
+
+    @rule(key=_PATHS)
+    def stat(self, key):
+        """stat sizes match the model."""
+        path = self._path(key)
+        if key in self.model:
+            assert self.backend.stat(path).size == len(self.model[key])
+        else:
+            with pytest.raises(ObjectNotFoundError):
+                self.backend.stat(path)
+
+    @invariant()
+    def listing_matches_model(self):
+        """The visible listing is exactly the model's keys."""
+        listed = {info.url for info in self.backend.listdir()}
+        expected = {self._path(k) for k in self.model}
+        assert listed == expected
+
+    @invariant()
+    def exists_matches_model(self):
+        """exists() agrees with the model for every probed key."""
+        for i in range(6):
+            key = f"k{i}"
+            assert self.backend.exists(self._path(key)) == (key in self.model)
+
+
+class MemoryMachine(_BackendMachine):
+    """Memory backend vs model."""
+
+    def _make_backend(self):
+        return MemoryBackend()
+
+
+class TieredMachine(_BackendMachine):
+    """Tiered backend vs model, plus tiering invariants."""
+
+    def _make_backend(self):
+        return TieredBackend(MemoryBackend(), MemoryBackend(), hot_capacity=64)
+
+    @invariant()
+    def hot_tier_within_capacity_when_possible(self):
+        """Hot bytes never exceed capacity (single objects may be larger
+        than the hot tier only if nothing can be evicted below them)."""
+        hot_used = self.backend.hot.used
+        largest = max((len(v) for v in self.model.values()), default=0)
+        assert hot_used <= max(self.backend.hot_capacity, largest)
+
+    @invariant()
+    def no_object_in_both_tiers(self):
+        """An object lives in exactly one tier."""
+        hot = {i.url for i in self.backend.hot.listdir()}
+        cold = {i.url for i in self.backend.cold.listdir()}
+        assert not (hot & cold)
+
+
+class ObjectStoreMachine(_BackendMachine):
+    """Versioned object store behaves like a plain store at the head."""
+
+    def _make_backend(self):
+        backend = ObjectStoreBackend()
+        backend.create_bucket("b")
+        return backend
+
+    def _path(self, key: str) -> str:
+        return f"b/{key}"
+
+
+TestMemoryMachine = MemoryMachine.TestCase
+TestTieredMachine = TieredMachine.TestCase
+TestObjectStoreMachine = ObjectStoreMachine.TestCase
+
+for case in (TestMemoryMachine, TestTieredMachine, TestObjectStoreMachine):
+    case.settings = settings(max_examples=40, stateful_step_count=30,
+                             deadline=None)

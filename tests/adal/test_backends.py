@@ -1,0 +1,198 @@
+"""Conformance tests for every bundled backend, plus backend-specific
+behaviour (tiering, HDFS placement, POSIX safety)."""
+
+import pytest
+
+from repro.adal import (
+    AdalError,
+    HdfsBackend,
+    MemoryBackend,
+    ObjectExistsError,
+    ObjectNotFoundError,
+    PosixBackend,
+    TieredBackend,
+)
+from repro.hdfs import NameNode
+from repro.simkit import RandomSource
+
+
+def _namenode():
+    nn = NameNode(block_size=64, replication=2, rng=RandomSource(0))
+    for r in range(2):
+        for h in range(3):
+            nn.add_datanode(f"r{r}h{h}", f"rack{r}", 1e6)
+    return nn
+
+
+def _backends(tmp_path):
+    return {
+        "memory": MemoryBackend(),
+        "posix": PosixBackend(tmp_path / "posix"),
+        "tiered": TieredBackend(MemoryBackend(), MemoryBackend(), hot_capacity=10_000),
+        "hdfs": HdfsBackend(_namenode()),
+    }
+
+
+@pytest.fixture(params=["memory", "posix", "tiered", "hdfs"])
+def backend(request, tmp_path):
+    return _backends(tmp_path)[request.param]
+
+
+class TestConformance:
+    """Every backend implements identical whole-object semantics."""
+
+    def test_put_get_round_trip(self, backend):
+        backend.put("a/b.bin", b"payload")
+        assert backend.get("a/b.bin") == b"payload"
+
+    def test_stat_metadata(self, backend):
+        info = backend.put("x", b"12345")
+        assert info.size == 5
+        stat = backend.stat("x")
+        assert stat.size == 5
+        assert stat.checksum == info.checksum
+        assert stat.name == "x"
+
+    def test_exists(self, backend):
+        assert not backend.exists("ghost")
+        backend.put("real", b"1")
+        assert backend.exists("real")
+
+    def test_write_once_unless_overwrite(self, backend):
+        backend.put("f", b"one")
+        with pytest.raises(ObjectExistsError):
+            backend.put("f", b"two")
+        backend.put("f", b"two", overwrite=True)
+        assert backend.get("f") == b"two"
+
+    def test_get_missing_raises(self, backend):
+        with pytest.raises(ObjectNotFoundError):
+            backend.get("ghost")
+
+    def test_stat_missing_raises(self, backend):
+        with pytest.raises(ObjectNotFoundError):
+            backend.stat("ghost")
+
+    def test_delete(self, backend):
+        backend.put("f", b"x")
+        backend.delete("f")
+        assert not backend.exists("f")
+        with pytest.raises(ObjectNotFoundError):
+            backend.delete("f")
+
+    def test_listdir_prefix_sorted(self, backend):
+        for path in ["b/2", "a/1", "a/2", "c"]:
+            backend.put(path, b"x")
+        all_paths = [i.url for i in backend.listdir()]
+        assert all_paths == sorted(all_paths)
+        assert [i.url for i in backend.listdir("a/")] == ["a/1", "a/2"]
+
+    def test_empty_path_rejected(self, backend):
+        with pytest.raises(AdalError):
+            backend.put("", b"x")
+
+
+class TestMemorySpecific:
+    def test_capacity_enforced(self):
+        backend = MemoryBackend(capacity=10)
+        backend.put("a", b"12345")
+        with pytest.raises(AdalError):
+            backend.put("b", b"123456789")
+        assert backend.used == 5
+
+    def test_overwrite_adjusts_usage(self):
+        backend = MemoryBackend(capacity=10)
+        backend.put("a", b"12345678")
+        backend.put("a", b"12", overwrite=True)
+        assert backend.used == 2
+
+
+class TestPosixSpecific:
+    def test_files_actually_on_disk(self, tmp_path):
+        backend = PosixBackend(tmp_path / "root")
+        backend.put("d/e.bin", b"bytes")
+        assert (tmp_path / "root" / "d" / "e.bin").read_bytes() == b"bytes"
+
+    def test_path_traversal_rejected(self, tmp_path):
+        backend = PosixBackend(tmp_path / "root")
+        with pytest.raises(AdalError):
+            backend.put("../escape", b"x")
+
+    def test_index_survives_reopen(self, tmp_path):
+        root = tmp_path / "root"
+        PosixBackend(root).put("f", b"persisted")
+        reopened = PosixBackend(root)
+        assert reopened.get("f") == b"persisted"
+        assert reopened.stat("f").size == 9
+
+
+class TestTieredSpecific:
+    def test_demotion_and_promotion(self):
+        backend = TieredBackend(MemoryBackend(), MemoryBackend(), hot_capacity=10)
+        backend.put("a", b"12345678")
+        backend.put("b", b"12345678")  # evicts a
+        assert backend.tier_of("a") == "cold"
+        assert backend.tier_of("b") == "hot"
+        assert backend.demotions == 1
+        assert backend.get("a") == b"12345678"  # promotes back
+        assert backend.tier_of("a") == "hot"
+        assert backend.recalls == 1
+
+    def test_lru_order(self):
+        backend = TieredBackend(MemoryBackend(), MemoryBackend(), hot_capacity=16)
+        backend.put("a", b"x" * 8)
+        backend.put("b", b"x" * 8)
+        backend.get("a")  # a is now most recent
+        backend.put("c", b"x" * 8)  # must evict b
+        assert backend.tier_of("b") == "cold"
+        assert backend.tier_of("a") == "hot"
+
+    def test_listdir_merges_tiers(self):
+        backend = TieredBackend(MemoryBackend(), MemoryBackend(), hot_capacity=8)
+        backend.put("a", b"x" * 8)
+        backend.put("b", b"x" * 8)
+        assert [i.url for i in backend.listdir()] == ["a", "b"]
+
+    def test_delete_any_tier(self):
+        backend = TieredBackend(MemoryBackend(), MemoryBackend(), hot_capacity=8)
+        backend.put("a", b"x" * 8)
+        backend.put("b", b"x" * 8)
+        backend.delete("a")  # cold
+        backend.delete("b")  # hot
+        assert not backend.exists("a") and not backend.exists("b")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TieredBackend(MemoryBackend(), MemoryBackend(), hot_capacity=0)
+
+
+class TestHdfsSpecific:
+    def test_placement_registered_with_namenode(self):
+        nn = _namenode()
+        backend = HdfsBackend(nn, writer_node="r0h0")
+        backend.put("data/f.bin", b"z" * 200)
+        assert nn.exists("/data/f.bin")
+        blocks = nn.file_blocks("/data/f.bin")
+        assert len(blocks) == 4  # 200 bytes / 64-byte blocks
+        assert blocks[0].replicas[0] == "r0h0"
+        assert backend.replicas_of("data/f.bin") == [b.replicas for b in blocks]
+
+    def test_delete_releases_namenode_space(self):
+        nn = _namenode()
+        backend = HdfsBackend(nn)
+        backend.put("f", b"z" * 100)
+        assert nn.total_used > 0
+        backend.delete("f")
+        assert nn.total_used == 0
+
+    def test_overwrite_replaces_placement(self):
+        nn = _namenode()
+        backend = HdfsBackend(nn)
+        backend.put("f", b"z" * 128)
+        backend.put("f", b"z" * 64, overwrite=True)
+        assert nn.file_size("/f") == 64
+
+    def test_replicas_of_missing_raises(self):
+        backend = HdfsBackend(_namenode())
+        with pytest.raises(ObjectNotFoundError):
+            backend.replicas_of("ghost")

@@ -1,0 +1,141 @@
+"""Tests for the versioned object-store backend (slide 14 outlook)."""
+
+import pytest
+
+from repro.adal import AdalClient, AdalError, BackendRegistry, ObjectNotFoundError
+from repro.adal.errors import ObjectExistsError
+from repro.adal.backends.object_store import (
+    BucketNotFoundError,
+    ObjectStoreBackend,
+    QuotaExceededError,
+)
+
+
+@pytest.fixture
+def store():
+    backend = ObjectStoreBackend()
+    backend.create_bucket("raw")
+    backend.create_bucket("scratch", versioning=False)
+    return backend
+
+
+class TestBuckets:
+    def test_create_and_list(self, store):
+        assert store.buckets == ["raw", "scratch"]
+
+    def test_invalid_names(self, store):
+        with pytest.raises(AdalError):
+            store.create_bucket("")
+        with pytest.raises(AdalError):
+            store.create_bucket("a/b")
+        with pytest.raises(AdalError):
+            store.create_bucket("raw")
+
+    def test_unknown_bucket(self, store):
+        with pytest.raises(BucketNotFoundError):
+            store.get("nope/key")
+
+    def test_path_shape_enforced(self, store):
+        with pytest.raises(AdalError):
+            store.put("justbucket", b"x")
+        with pytest.raises(AdalError):
+            store.put("raw/", b"x")
+
+
+class TestBasicOps:
+    def test_round_trip(self, store):
+        info = store.put("raw/run1.dat", b"payload")
+        assert info.size == 7
+        assert store.get("raw/run1.dat") == b"payload"
+        assert store.stat("raw/run1.dat").checksum == info.checksum
+
+    def test_write_once_semantics(self, store):
+        store.put("raw/a", b"1")
+        with pytest.raises(ObjectExistsError):
+            store.put("raw/a", b"2")
+        store.put("raw/a", b"2", overwrite=True)
+        assert store.get("raw/a") == b"2"
+
+    def test_listdir_latest_only(self, store):
+        store.put("raw/x", b"1")
+        store.put("raw/x", b"22", overwrite=True)
+        store.put("scratch/y", b"3")
+        urls = [i.url for i in store.listdir()]
+        assert urls == ["raw/x", "scratch/y"]
+        assert store.listdir("raw/")[0].size == 2
+
+    def test_user_metadata(self, store):
+        store.put("raw/r", b"x", user_metadata={"detector": "fpd", "run": 7})
+        assert store.user_metadata("raw/r") == {"detector": "fpd", "run": 7}
+
+
+class TestVersioning:
+    def test_overwrites_retain_history(self, store):
+        store.put("raw/k", b"v1")
+        store.put("raw/k", b"v2", overwrite=True)
+        store.put("raw/k", b"v3", overwrite=True)
+        versions = store.versions("raw/k")
+        assert len(versions) == 3
+        assert store.get("raw/k") == b"v3"
+        assert store.get_version("raw/k", versions[0]) == b"v1"
+
+    def test_delete_is_a_marker(self, store):
+        store.put("raw/k", b"v1")
+        store.delete("raw/k")
+        with pytest.raises(ObjectNotFoundError):
+            store.get("raw/k")
+        # History survives the delete.
+        assert store.versions("raw/k") == [1]
+        assert store.get_version("raw/k", 1) == b"v1"
+
+    def test_restore_old_version(self, store):
+        store.put("raw/k", b"good", user_metadata={"ok": True})
+        store.put("raw/k", b"corrupted", overwrite=True)
+        first = store.versions("raw/k")[0]
+        store.restore("raw/k", first)
+        assert store.get("raw/k") == b"good"
+        assert store.user_metadata("raw/k") == {"ok": True}
+
+    def test_unversioned_bucket_replaces(self, store):
+        store.put("scratch/k", b"v1")
+        store.put("scratch/k", b"v2", overwrite=True)
+        assert store.versions("scratch/k") == [2]
+        store.delete("scratch/k")
+        with pytest.raises(ObjectNotFoundError):
+            store.versions("scratch/k")
+
+    def test_missing_version_raises(self, store):
+        store.put("raw/k", b"x")
+        with pytest.raises(ObjectNotFoundError):
+            store.get_version("raw/k", 999)
+
+
+class TestQuota:
+    def test_quota_counts_all_versions(self):
+        backend = ObjectStoreBackend()
+        backend.create_bucket("q", quota_bytes=10)
+        backend.put("q/k", b"12345")
+        backend.put("q/k", b"1234", overwrite=True)  # total retained: 9
+        with pytest.raises(QuotaExceededError):
+            backend.put("q/k", b"12", overwrite=True)  # would be 11
+        assert backend.bucket("q").used_bytes == 9
+
+    def test_unversioned_quota_releases_old(self):
+        backend = ObjectStoreBackend()
+        backend.create_bucket("q", versioning=False, quota_bytes=10)
+        backend.put("q/k", b"123456789")
+        backend.put("q/k", b"abcdefghij", overwrite=True)  # replaces: fits
+        assert backend.bucket("q").used_bytes == 10
+
+
+class TestAdalIntegration:
+    def test_behaves_as_standard_backend(self, store):
+        registry = BackendRegistry()
+        registry.register("s3", store)
+        client = AdalClient(registry)
+        client.put("adal://s3/raw/obj.bin", b"data")
+        assert client.get("adal://s3/raw/obj.bin", verify=True) == b"data"
+        assert [i.url for i in client.listdir("adal://s3/raw")] == \
+            ["adal://s3/raw/obj.bin"]
+        client.delete("adal://s3/raw/obj.bin")
+        assert not client.exists("adal://s3/raw/obj.bin")

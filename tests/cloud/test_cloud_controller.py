@@ -1,0 +1,149 @@
+"""Tests for the cloud controller lifecycle."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import GB, gbit_per_s
+from repro.netsim import Network, build_star
+from repro.cloud import CloudController, CloudError, Host, VMTemplate
+from repro.cloud.model import VMState
+
+
+def _cloud(sim, hosts=3, cpus=4, image_cache=True, scheduler="rank"):
+    host_objs = [Host(f"h{i}", cpus=cpus, mem=16 * GB) for i in range(hosts)]
+    topo = build_star("sw", [h.name for h in host_objs] + ["store"],
+                      capacity=gbit_per_s(10))
+    net = Network(sim, topo)
+    return CloudController(sim, host_objs, net, "store",
+                           scheduler=scheduler, image_cache=image_cache)
+
+
+def _template(cpus=2, image="img", size=1 * GB):
+    return VMTemplate("t", cpus=cpus, mem=2 * GB, image_name=image, image_size=size)
+
+
+def _deploy(sim, cloud, template):
+    p = cloud.deploy(template)
+    sim.run()
+    assert not p.failed, p.exception
+    return p.value
+
+
+class TestDeploy:
+    def test_vm_reaches_running(self, sim):
+        cloud = _cloud(sim)
+        vm = _deploy(sim, cloud, _template())
+        assert vm.state is VMState.RUNNING
+        assert vm.host is not None
+        assert vm.deploy_latency > 0
+
+    def test_deploy_time_includes_image_transfer(self, sim):
+        cloud = _cloud(sim)
+        slow = _deploy(sim, cloud, _template(image="big", size=100 * GB))
+        # 100 GB over 10 GE is 80 s; boot ~25 s.
+        assert slow.deploy_latency > 80.0
+
+    def test_impossible_template_rejected_immediately(self, sim):
+        cloud = _cloud(sim, cpus=4)
+        with pytest.raises(CloudError):
+            cloud.deploy(_template(cpus=64))
+
+    def test_cache_makes_redeploy_fast(self, sim):
+        cloud = _cloud(sim, hosts=1)
+        first = _deploy(sim, cloud, _template(size=50 * GB))
+        p = cloud.deploy(_template(size=50 * GB))
+        sim.run()
+        second = p.value
+        assert cloud.cache_hits.value == 1
+        assert second.deploy_latency < first.deploy_latency / 2
+
+    def test_cache_disabled_always_transfers(self, sim):
+        cloud = _cloud(sim, hosts=1, image_cache=False)
+        _deploy(sim, cloud, _template(size=10 * GB))
+        _deploy(sim, cloud, _template(size=10 * GB))
+        assert cloud.cache_hits.value == 0
+        assert cloud.prolog_transfers.value == 20 * GB
+
+    def test_zero_size_image_skips_prolog(self, sim):
+        cloud = _cloud(sim)
+        vm = _deploy(sim, cloud, _template(size=0))
+        assert cloud.prolog_transfers.value == 0
+        assert vm.state is VMState.RUNNING
+
+
+class TestQueueing:
+    def test_pending_when_pool_full(self, sim):
+        cloud = _cloud(sim, hosts=1, cpus=4)
+        procs = [cloud.deploy(_template(cpus=4)) for _ in range(2)]
+        sim.run(until=100.0)
+        assert cloud.pending_count == 1
+        assert cloud.pool_cpu_utilization() == 1.0
+
+    def test_shutdown_unblocks_queue(self, sim):
+        cloud = _cloud(sim, hosts=1, cpus=4)
+        first = cloud.deploy(_template(cpus=4))
+        second = cloud.deploy(_template(cpus=4))
+
+        def scenario():
+            vm1 = yield first
+            yield cloud.shutdown(vm1.vm_id)
+            vm2 = yield second
+            return vm2
+
+        p = sim.process(scenario())
+        sim.run()
+        assert p.value.state is VMState.RUNNING
+        assert cloud.pending_count == 0
+
+
+class TestShutdown:
+    def test_shutdown_frees_host(self, sim):
+        cloud = _cloud(sim, hosts=1)
+        vm = _deploy(sim, cloud, _template())
+
+        def stop():
+            yield cloud.shutdown(vm.vm_id)
+
+        p = sim.process(stop())
+        sim.run()
+        assert vm.state is VMState.DONE
+        assert cloud.pool_cpu_utilization() == 0.0
+        assert vm.stopped > vm.running
+
+    def test_shutdown_non_running_rejected(self, sim):
+        cloud = _cloud(sim)
+        with pytest.raises(CloudError):
+            cloud.shutdown(999)
+
+    def test_run_vm_convenience(self, sim):
+        cloud = _cloud(sim)
+        p = cloud.run_vm(_template(), runtime=100.0)
+        sim.run()
+        vm = p.value
+        assert vm.state is VMState.DONE
+        assert vm.stopped - vm.running >= 100.0
+
+
+class TestAccounting:
+    def test_running_vms_time_weighted(self, sim):
+        cloud = _cloud(sim)
+        cloud.run_vm(_template(), runtime=50.0)
+        sim.run()
+        assert cloud.running_vms.value == 0
+        assert cloud.running_vms.max == 1
+
+    def test_deploy_latency_tally(self, sim):
+        cloud = _cloud(sim)
+        for _ in range(3):
+            _deploy(sim, cloud, _template())
+        assert cloud.deploy_latency.count == 3
+
+    def test_scheduler_spread_uses_all_hosts(self, sim):
+        cloud = _cloud(sim, hosts=3, scheduler="rank")
+        hosts = {(_deploy(sim, cloud, _template())).host for _ in range(3)}
+        assert len(hosts) == 3
+
+    def test_first_fit_fills_one_host_first(self, sim):
+        cloud = _cloud(sim, hosts=3, cpus=4, scheduler="first_fit")
+        hosts = [(_deploy(sim, cloud, _template(cpus=2))).host for _ in range(2)]
+        assert hosts[0] == hosts[1]

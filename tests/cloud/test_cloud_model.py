@@ -1,0 +1,92 @@
+"""Tests for the cloud data model and placement policies."""
+
+import pytest
+
+from repro.cloud import Host, VMTemplate, VirtualMachine, first_fit, pack, rank_free_cpu
+from repro.cloud.model import VMState
+
+
+def _template(cpus=2, mem=4.0, image_size=100.0):
+    return VMTemplate("t", cpus=cpus, mem=mem, image_name="img", image_size=image_size)
+
+
+class TestTemplate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VMTemplate("bad", cpus=0, mem=1.0, image_name="i", image_size=1.0)
+        with pytest.raises(ValueError):
+            VMTemplate("bad", cpus=1, mem=0.0, image_name="i", image_size=1.0)
+        with pytest.raises(ValueError):
+            VMTemplate("bad", cpus=1, mem=1.0, image_name="i", image_size=-1.0)
+
+
+class TestHost:
+    def test_fits_and_reserve(self):
+        host = Host("h", cpus=4, mem=8.0)
+        vm = VirtualMachine(1, _template(cpus=3, mem=6.0))
+        assert host.fits(vm.template)
+        host.reserve(vm)
+        assert host.free_cpus == 1
+        assert host.free_mem == 2.0
+        assert not host.fits(_template(cpus=2))
+        host.release(vm)
+        assert host.free_cpus == 4
+
+    def test_reserve_over_capacity_raises(self):
+        host = Host("h", cpus=1, mem=1.0)
+        vm = VirtualMachine(1, _template(cpus=2, mem=0.5))
+        with pytest.raises(ValueError):
+            host.reserve(vm)
+
+    def test_release_unknown_vm_raises(self):
+        host = Host("h", cpus=4, mem=8.0)
+        with pytest.raises(ValueError):
+            host.release(VirtualMachine(9, _template()))
+
+    def test_cpu_utilization(self):
+        host = Host("h", cpus=4, mem=8.0)
+        host.reserve(VirtualMachine(1, _template(cpus=2, mem=1.0)))
+        assert host.cpu_utilization == 0.5
+
+
+class TestVmTimes:
+    def test_latency_properties(self):
+        vm = VirtualMachine(1, _template(), submitted=10.0, placed=12.0, running=40.0)
+        assert vm.queue_latency == 2.0
+        assert vm.deploy_latency == 30.0
+
+    def test_initial_state(self):
+        assert VirtualMachine(1, _template()).state is VMState.PENDING
+
+
+class TestSchedulers:
+    def _hosts(self):
+        a = Host("a", cpus=8, mem=16.0)
+        b = Host("b", cpus=8, mem=16.0)
+        c = Host("c", cpus=8, mem=16.0)
+        b.used_cpus, b.used_mem = 4, 8.0  # half full
+        c.used_cpus, c.used_mem = 6, 12.0  # mostly full
+        return [a, b, c]
+
+    def test_first_fit_by_name(self):
+        assert first_fit(self._hosts(), _template()).name == "a"
+
+    def test_rank_spreads_to_freest(self):
+        hosts = self._hosts()
+        hosts[0].used_cpus, hosts[0].used_mem = 7, 14.0
+        assert rank_free_cpu(hosts, _template(cpus=1, mem=1.0)).name == "b"
+
+    def test_pack_consolidates_to_busiest(self):
+        assert pack(self._hosts(), _template(cpus=1, mem=1.0)).name == "c"
+
+    def test_none_when_nothing_fits(self):
+        hosts = self._hosts()
+        big = _template(cpus=16, mem=1.0)
+        assert first_fit(hosts, big) is None
+        assert rank_free_cpu(hosts, big) is None
+        assert pack(hosts, big) is None
+
+    def test_pack_respects_fit(self):
+        hosts = self._hosts()
+        # c has only 2 cpus free; ask for 3: must pick b (2nd busiest).
+        assert pack(hosts, _template(cpus=3, mem=1.0)).name == "b"

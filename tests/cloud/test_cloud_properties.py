@@ -1,0 +1,92 @@
+"""Property-based tests for cloud placement (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import Host, VMTemplate, VirtualMachine
+from repro.cloud.scheduler import SCHEDULERS
+
+
+@st.composite
+def _pool_and_requests(draw):
+    n_hosts = draw(st.integers(min_value=1, max_value=8))
+    hosts = [
+        Host(f"h{i}", cpus=draw(st.integers(min_value=2, max_value=16)),
+             mem=float(draw(st.integers(min_value=4, max_value=64))))
+        for i in range(n_hosts)
+    ]
+    n_vms = draw(st.integers(min_value=1, max_value=20))
+    templates = [
+        VMTemplate(f"t{i}", cpus=draw(st.integers(min_value=1, max_value=8)),
+                   mem=float(draw(st.integers(min_value=1, max_value=32))),
+                   image_name="img", image_size=1.0)
+        for i in range(n_vms)
+    ]
+    return hosts, templates
+
+
+@given(_pool_and_requests(), st.sampled_from(sorted(SCHEDULERS)))
+@settings(max_examples=100, deadline=None)
+def test_schedulers_never_overcommit(scenario, policy):
+    """Whatever the policy and request mix: chosen hosts always fit the VM,
+    and host accounting never goes negative or over capacity."""
+    hosts, templates = scenario
+    scheduler = SCHEDULERS[policy]
+    placed = []
+    for i, template in enumerate(templates):
+        host = scheduler(hosts, template)
+        if host is None:
+            # Policy refused: verify nothing actually fits.
+            assert all(not h.fits(template) for h in hosts)
+            continue
+        assert host.fits(template)
+        vm = VirtualMachine(i, template)
+        host.reserve(vm)
+        placed.append((host, vm))
+    for host in hosts:
+        assert 0 <= host.used_cpus <= host.cpus
+        assert -1e-9 <= host.used_mem <= host.mem + 1e-9
+    # Releasing everything restores a clean pool.
+    for host, vm in placed:
+        host.release(vm)
+    assert all(h.used_cpus == 0 and h.used_mem == 0.0 for h in hosts)
+
+
+@given(
+    n_hosts=st.integers(min_value=1, max_value=10),
+    host_cpus=st.integers(min_value=2, max_value=16),
+    vm_cpus=st.integers(min_value=1, max_value=8),
+    n_vms=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=100, deadline=None)
+def test_pack_is_optimal_on_homogeneous_pool(n_hosts, host_cpus, vm_cpus, n_vms):
+    """On a homogeneous pool with uniform VMs, pack achieves the bin-packing
+    optimum (ceil(n / per-host)) while rank touches min(n, hosts) hosts —
+    the consolidation-vs-spread trade in its purest form."""
+    import math
+
+    if vm_cpus > host_cpus:
+        vm_cpus = host_cpus  # keep every VM placeable
+    template = VMTemplate("t", cpus=vm_cpus, mem=1.0, image_name="i", image_size=0.0)
+
+    def run(policy):
+        hosts = [Host(f"h{i}", cpus=host_cpus, mem=1e9) for i in range(n_hosts)]
+        used = set()
+        placed = 0
+        for i in range(n_vms):
+            host = SCHEDULERS[policy](hosts, template)
+            if host is None:
+                break
+            host.reserve(VirtualMachine(i, template))
+            used.add(host.name)
+            placed += 1
+        return used, placed
+
+    per_host = host_cpus // vm_cpus
+    capacity = per_host * n_hosts
+    packed, packed_n = run("pack")
+    spread, spread_n = run("rank")
+    # Both policies admit exactly the same number (uniform VMs).
+    assert packed_n == spread_n == min(n_vms, capacity)
+    assert len(packed) == math.ceil(packed_n / per_host)
+    assert len(spread) == min(packed_n, n_hosts) if packed_n else len(spread) == 0

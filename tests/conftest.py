@@ -1,0 +1,11 @@
+"""Shared pytest fixtures."""
+
+import pytest
+
+from repro.simkit import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)

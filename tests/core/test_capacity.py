@@ -1,0 +1,99 @@
+"""Tests for the capacity planner (E2)."""
+
+import pytest
+
+from repro.simkit import units
+from repro.core import CapacityPlanner, LSDF_PROCUREMENT
+from repro.workloads import CommunityProfile
+
+
+def _single_community(archive_fraction=0.0):
+    return {
+        "only": CommunityProfile(
+            "only",
+            yearly_ingest={2011: 100 * units.TB, 2012: 200 * units.TB},
+            archive_fraction=archive_fraction,
+        )
+    }
+
+
+class TestDemand:
+    def test_ingest_aggregates(self):
+        planner = CapacityPlanner(_single_community())
+        assert planner.ingest_in(2011) == 100 * units.TB
+        assert planner.ingest_in(2010) == 0.0
+
+    def test_demand_without_archiving(self):
+        planner = CapacityPlanner(_single_community(), disk_overhead=1.0,
+                                  archive_on_tape=False)
+        disk, tape = planner.demand(2012)
+        assert disk == pytest.approx(300 * units.TB)
+        assert tape == 0.0
+
+    def test_archiving_moves_aged_data_to_tape(self):
+        planner = CapacityPlanner(_single_community(archive_fraction=0.8),
+                                  disk_overhead=1.0)
+        disk, tape = planner.demand(2012)
+        # 2011 data aged: 80 TB to tape, 20 TB on disk; 2012 data fresh on disk.
+        assert disk == pytest.approx(220 * units.TB)
+        assert tape == pytest.approx(80 * units.TB)
+
+    def test_overhead_multiplier(self):
+        planner = CapacityPlanner(_single_community(), disk_overhead=1.5,
+                                  archive_on_tape=False)
+        disk, _ = planner.demand(2011)
+        assert disk == pytest.approx(150 * units.TB)
+
+    def test_archival_quality_gets_tape_copy_immediately(self):
+        planner = CapacityPlanner(
+            {"arch": CommunityProfile("arch", yearly_ingest={2011: 10 * units.TB},
+                                      archive_fraction=1.0)},
+            disk_overhead=1.0,
+        )
+        _disk, tape = planner.demand(2011)
+        assert tape == pytest.approx(10 * units.TB)
+
+
+class TestProcurement:
+    def test_installed_disk_steps(self):
+        planner = CapacityPlanner(procurement={2010: 1.0, 2012: 6.0})
+        assert planner.installed_disk(2009) == 0.0
+        assert planner.installed_disk(2010) == 1.0
+        assert planner.installed_disk(2011) == 1.0
+        assert planner.installed_disk(2013) == 6.0
+
+    def test_paper_schedule_constants(self):
+        assert LSDF_PROCUREMENT[2011] == pytest.approx(2 * units.PB)  # "currently 2 PB"
+        assert LSDF_PROCUREMENT[2012] == pytest.approx(6 * units.PB)  # "6 PB in 2012"
+
+
+class TestTable:
+    def test_paper_roadmap_has_no_shortfall(self):
+        planner = CapacityPlanner()
+        years = range(2010, 2015)
+        assert planner.first_shortfall(years) is None
+        rows = planner.table(years)
+        assert len(rows) == 5
+        assert all(row.ok for row in rows)
+        assert all("ok" in row.fmt() for row in rows)
+
+    def test_without_2012_procurement_shortfall_appears(self):
+        planner = CapacityPlanner(procurement={2010: 1.0 * units.PB,
+                                               2011: 2.0 * units.PB})
+        shortfall = planner.first_shortfall(range(2010, 2015))
+        assert shortfall is not None and shortfall >= 2012
+
+    def test_utilization_and_required(self):
+        planner = CapacityPlanner(_single_community(), procurement={2011: 200 * units.TB},
+                                  disk_overhead=1.0, archive_on_tape=False)
+        row = planner.table([2011])[0]
+        assert row.utilization == pytest.approx(0.5)
+        assert planner.required_capacity(2011, headroom=0.2) == pytest.approx(
+            120 * units.TB
+        )
+
+    def test_demand_grows_with_communities(self):
+        planner = CapacityPlanner()
+        d2011, _ = planner.demand(2011)
+        d2014, _ = planner.demand(2014)
+        assert d2014 > d2011

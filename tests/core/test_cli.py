@@ -1,0 +1,54 @@
+"""Tests for the CLI console."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["transfer"])
+        assert args.petabytes == 1.0
+        assert args.gbits == 10.0
+        assert args.efficiency == 1.0
+
+
+class TestCommands:
+    def test_capacity(self, capsys):
+        assert main(["capacity", "--start", "2011", "--end", "2012"]) == 0
+        out = capsys.readouterr().out
+        assert "2011" in out and "2012" in out
+        assert "first shortfall: none" in out
+
+    def test_transfer_matches_paper_arithmetic(self, capsys):
+        assert main(["transfer", "--petabytes", "1", "--gbits", "10",
+                     "--efficiency", "0.62"]) == 0
+        out = capsys.readouterr().out
+        assert "14.93 days" in out
+
+    def test_transfer_ideal(self, capsys):
+        assert main(["transfer"]) == 0
+        assert "9.26 days" in capsys.readouterr().out
+
+    def test_ingest_short(self, capsys):
+        assert main(["ingest", "--hours", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "frames/day" in out
+        assert "metadata records" in out
+
+    def test_mapreduce_small(self, capsys):
+        assert main(["mapreduce", "--input-gb", "2", "--racks", "2",
+                     "--nodes-per-rack", "3", "--reduces", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "map tasks" in out
+        assert "node-local" in out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "LSDF facility report" in out
+        assert "metadata repository" in out

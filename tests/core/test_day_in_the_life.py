@@ -1,0 +1,167 @@
+"""The grand integration test: a compressed 'day in the life' of the LSDF.
+
+Everything at once, on one event loop: zebrafish ingest streaming in,
+background cross-traffic on the backbone, a tag-triggered analysis
+workflow, a staged MapReduce campaign, cloud VMs, HSM archive pressure,
+a router flap and a datanode loss — then a consistency audit across every
+subsystem.  If the layers interfere incorrectly (double-counted bytes,
+lost registrations, broken replication), this test is where it shows.
+"""
+
+import pytest
+
+from repro.cloud import VMTemplate
+from repro.core import ChaosSchedule, Facility, FacilityConfig, FacilityReport, Incident
+from repro.core.config import ArraySpec
+from repro.databrowser import TriggerRule
+from repro.mapreduce import JobSpec
+from repro.metadata import Q
+from repro.netsim import TrafficConfig, TrafficGenerator
+from repro.simkit.units import GB, MINUTE, TB
+from repro.workflow import FunctionActor, WorkflowGraph
+from repro.workloads import zebrafish_microscopes
+
+DURATION = 40 * MINUTE
+
+
+@pytest.fixture(scope="module")
+def day():
+    facility = Facility(
+        FacilityConfig(
+            arrays=[ArraySpec("ddn", 5 * TB, 3e9), ArraySpec("ibm", 10 * TB, 5e9)],
+            cluster_racks=3,
+            nodes_per_rack=5,
+        ),
+        seed=20110520,  # the talk's date
+    )
+    sim = facility.sim
+
+    # -- continuous ingest ---------------------------------------------------
+    pipeline = facility.ingest_pipeline(zebrafish_microscopes(instruments=2),
+                                        agents=2)
+    for scope in pipeline.microscopes:
+        scope.run(pipeline.buffer, duration=DURATION)
+    for agent in pipeline.agents:
+        agent.start()
+
+    # -- background cross-traffic ----------------------------------------------
+    traffic = TrafficGenerator(
+        sim, facility.net,
+        facility.names.daq + facility.names.storage + [facility.names.heidelberg],
+        TrafficConfig(mean_interarrival=30.0, size_lo=100e6, size_hi=5e9),
+    )
+    traffic.start(duration=DURATION)
+
+    # -- tag-triggered analysis ---------------------------------------------------
+    graph = WorkflowGraph("qc")
+    graph.add(FunctionActor("check", lambda data_url: {"ok": True},
+                            inputs=("data_url",), outputs=("ok",)))
+    facility.triggers.register(TriggerRule(
+        "qc", graph, lambda record: {("check", "data_url"): record.url},
+        done_tag="qc-passed", project="zebrafish",
+    ))
+
+    outcomes = {}
+
+    def campaign():
+        # Wait for some data, tag a cohort, stage a dataset, run a job,
+        # deploy VMs — all mid-ingest.
+        yield sim.timeout(10 * MINUTE)
+        cohort = facility.metadata.query(Q.field("channel") == 0)[:25]
+        for record in cohort:
+            facility.browser.tag(record.dataset_id, "qc")
+        outcomes["tagged"] = len(cohort)
+
+        yield facility.load_into_hdfs("/campaign/data", 3 * GB)
+        job = yield facility.mapreduce.submit(
+            JobSpec("campaign", "/campaign/data", reduces=4,
+                    map_cpu_per_byte=2e-8)
+        )
+        outcomes["job"] = job
+
+        vms = [facility.cloud.deploy(VMTemplate("u", 2, 4 * GB, "img", 2 * GB))
+               for _ in range(4)]
+        results = yield sim.all_of(vms)
+        outcomes["vms"] = list(results.values())
+
+    campaign_proc = sim.process(campaign())
+
+    # -- incidents -------------------------------------------------------------------
+    chaos = ChaosSchedule([
+        Incident(at=12 * MINUTE, kind="node_down", target=("router-2",),
+                 repair_after=5 * MINUTE),
+        Incident(at=20 * MINUTE, kind="node_down",
+                 target=(facility.names.cluster[3],)),
+    ])
+    chaos.run(facility)
+
+    sim.run(until=DURATION)
+    for agent in pipeline.agents:
+        agent.stop()
+    assert not campaign_proc.failed, campaign_proc.exception
+    report = pipeline.report(DURATION)
+    return facility, report, outcomes, chaos, traffic
+
+
+class TestIngestSurvived:
+    def test_no_frames_lost(self, day):
+        _facility, report, _outcomes, _chaos, _traffic = day
+        assert report.frames_dropped == 0
+        assert report.frames_ingested > 500
+
+    def test_every_frame_registered_and_on_disk(self, day):
+        facility, report, _outcomes, _chaos, _traffic = day
+        zebrafish = facility.metadata.query(Q.project("zebrafish"))
+        assert len(zebrafish) == report.frames_ingested
+        on_disk = sum(
+            1 for r in zebrafish if facility.pool.contains(r.dataset_id)
+        )
+        assert on_disk == report.frames_ingested
+
+
+class TestCampaignSurvived:
+    def test_workflows_fired(self, day):
+        facility, _report, outcomes, _chaos, _traffic = day
+        stats = facility.triggers.stats()
+        assert stats["executions"] == outcomes["tagged"] == 25
+        assert stats["failed"] == 0
+        assert len(facility.metadata.tagged("qc-passed")) == 25
+
+    def test_job_completed_despite_node_loss(self, day):
+        _facility, _report, outcomes, _chaos, _traffic = day
+        job = outcomes["job"]
+        assert sum(job.locality_counts.values()) == job.maps
+        assert job.duration > 0
+
+    def test_vms_running(self, day):
+        _facility, _report, outcomes, _chaos, _traffic = day
+        assert len(outcomes["vms"]) == 4
+        assert all(vm.running > 0 for vm in outcomes["vms"])
+
+
+class TestInfrastructureConsistent:
+    def test_chaos_was_injected(self, day):
+        _facility, _report, _outcomes, chaos, _traffic = day
+        assert len(chaos.log) >= 2
+
+    def test_router_back_up(self, day):
+        facility, _report, _outcomes, _chaos, _traffic = day
+        assert facility.net.topology.node_is_up("router-2")
+
+    def test_hdfs_fully_replicated(self, day):
+        facility, _report, _outcomes, _chaos, _traffic = day
+        nn = facility.hdfs.namenode
+        assert not nn.under_replicated
+        dead = [n for n in nn.nodes.values() if not n.alive]
+        assert len(dead) == 1  # exactly the chaos victim
+
+    def test_network_accounting_positive(self, day):
+        facility, _report, _outcomes, _chaos, traffic = day
+        assert traffic.flows_started.value > 10
+        assert facility.net.bytes_delivered.value > traffic.bytes_offered.value * 0.5
+
+    def test_facility_report_renders(self, day):
+        facility, _report, _outcomes, _chaos, _traffic = day
+        text = FacilityReport(facility).render()
+        assert "LSDF facility report" in text
+        assert "datanodes" in text

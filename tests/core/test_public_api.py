@@ -1,0 +1,83 @@
+"""Coverage for the README-documented public entry points."""
+
+import pytest
+
+from repro.core import Facility, FacilityConfig
+from repro.core.config import ArraySpec
+from repro.simkit.units import GB, MINUTE, TB
+
+
+def _small_config():
+    return FacilityConfig(
+        arrays=[ArraySpec("a1", 10 * TB, 2e9), ArraySpec("a2", 10 * TB, 2e9)],
+        cluster_racks=2,
+        nodes_per_rack=3,
+    )
+
+
+class TestSimulateMicroscopyDay:
+    def test_frames_mode(self):
+        facility = Facility(_small_config(), seed=4)
+        report = facility.simulate_microscopy_day(duration=5 * MINUTE)
+        assert report.frames_ingested > 0
+        assert report.frames_per_day == pytest.approx(200_000, rel=0.2)
+
+    def test_volume_mode(self):
+        facility = Facility(_small_config(), seed=4)
+        report = facility.simulate_microscopy_day(duration=5 * MINUTE,
+                                                  rate="volume")
+        assert report.bytes_per_day == pytest.approx(2e12, rel=0.2)
+
+
+class TestLoadIntoHdfs:
+    def test_named_array(self):
+        facility = Facility(_small_config(), seed=4)
+
+        def scenario():
+            blocks = yield facility.load_into_hdfs("/x", 1 * GB, array_name="a2")
+            return blocks
+
+        proc = facility.sim.process(scenario())
+        facility.run()
+        assert not proc.failed, proc.exception
+        assert len(proc.value) == 15
+        # The read came off the named array.
+        assert facility.pool.arrays["a2"].bytes_read.value == 1 * GB
+        assert facility.pool.arrays["a1"].bytes_read.value == 0
+
+    def test_transfer_helper(self):
+        facility = Facility(_small_config(), seed=4)
+        ev = facility.transfer(facility.names.daq[0], facility.names.storage[0],
+                               1 * GB)
+        facility.run()
+        assert ev.value.nbytes == 1 * GB
+
+
+class TestExports:
+    def test_core_namespace(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_workloads_namespace(self):
+        import repro.workloads as workloads
+
+        for name in workloads.__all__:
+            assert getattr(workloads, name) is not None
+
+    def test_all_package_inits_importable(self):
+        import importlib
+        import pkgutil
+
+        import repro
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            for name in getattr(module, "__all__", []):
+                assert getattr(module, name) is not None, f"{info.name}.{name}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

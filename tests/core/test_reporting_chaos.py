@@ -1,0 +1,151 @@
+"""Tests for facility reporting and the chaos (fault-injection) framework."""
+
+import pytest
+
+from repro.simkit.units import GB, MINUTE, TB
+from repro.core import (
+    ChaosSchedule,
+    Facility,
+    FacilityConfig,
+    FacilityReport,
+    Incident,
+    rolling_node_failures,
+    router_flap,
+)
+from repro.core.config import ArraySpec
+from repro.workloads import zebrafish_microscopes
+
+
+def _small_facility(seed=3):
+    return Facility(
+        FacilityConfig(
+            arrays=[ArraySpec("a1", 10 * TB, 2e9), ArraySpec("a2", 10 * TB, 2e9)],
+            cluster_racks=2,
+            nodes_per_rack=4,
+        ),
+        seed=seed,
+    )
+
+
+class TestFacilityReport:
+    def test_report_sections_present(self):
+        facility = _small_facility()
+        report = FacilityReport(facility)
+        data = report.as_dict()
+        assert {"storage estate", "tape / HSM", "network (10 GE backbone)",
+                "HDFS (analysis cluster)", "cloud (OpenNebula-style)",
+                "metadata repository"} == set(data)
+
+    def test_render_contains_live_numbers(self):
+        facility = _small_facility()
+        pipeline = facility.ingest_pipeline(zebrafish_microscopes(instruments=1),
+                                            agents=1)
+        pipeline.run(duration=5 * MINUTE)
+        text = FacilityReport(facility).render()
+        assert "LSDF facility report" in text
+        assert "routers healthy" in text
+        assert "2/2" in text  # both routers up
+        stats = facility.metadata.stats()
+        assert f"{stats['datasets']:,}" in text
+
+    def test_report_reflects_failures(self):
+        facility = _small_facility()
+        facility.net.fail_node("router-1")
+        data = FacilityReport(facility).as_dict()
+        assert data["network (10 GE backbone)"]["routers healthy"] == "1/2"
+
+
+class TestChaosSchedule:
+    def test_incidents_sorted_and_logged(self):
+        facility = _small_facility()
+        schedule = ChaosSchedule([
+            Incident(at=20.0, kind="link_down",
+                     target=("router-1", "router-2"), repair_after=5.0),
+            Incident(at=10.0, kind="node_down", target=("router-1",),
+                     repair_after=15.0),
+        ])
+        schedule.run(facility)
+        facility.run(until=60.0)
+        messages = [m for _t, m in schedule.log.entries]
+        assert messages[0].startswith("DOWN node router-1")
+        assert "UP node router-1" in " | ".join(messages)
+        assert facility.net.topology.node_is_up("router-1")
+        assert facility.net.topology.link_between("router-1", "router-2").up
+
+    def test_datanode_incident_triggers_rereplication(self):
+        facility = _small_facility()
+
+        def scenario():
+            yield facility.hdfs.write_file("/data/f", 1 * GB, "r00h00")
+
+        p = facility.sim.process(scenario())
+        facility.run()
+        assert not p.failed
+        victim = facility.hdfs.namenode.file_blocks("/data/f")[0].replicas[0]
+        schedule = ChaosSchedule([
+            Incident(at=facility.sim.now + 5.0, kind="node_down", target=(victim,)),
+        ])
+        schedule.run(facility)
+        facility.run()
+        assert not facility.hdfs.namenode.nodes[victim].alive
+        assert not facility.hdfs.namenode.under_replicated
+
+    def test_custom_incident(self):
+        facility = _small_facility()
+        hits = []
+        schedule = ChaosSchedule([
+            Incident(at=3.0, kind="custom", target=("marker",),
+                     action=lambda f: hits.append(f.sim.now)),
+        ])
+        schedule.run(facility)
+        facility.run(until=10.0)
+        assert hits == [3.0]
+
+    def test_unknown_kind_rejected(self):
+        facility = _small_facility()
+        schedule = ChaosSchedule([Incident(at=1.0, kind="node_up", target=("x",))])
+        schedule.run(facility)
+        with pytest.raises(ValueError):
+            facility.run(until=5.0)
+
+
+class TestGenerators:
+    def test_router_flap_schedule(self):
+        schedule = router_flap(first_at=100.0, outage=50.0, flaps=3, gap=200.0)
+        assert [i.at for i in schedule.incidents] == [100.0, 300.0, 500.0]
+        assert all(i.repair_after == 50.0 for i in schedule.incidents)
+
+    def test_rolling_failures_distinct_targets(self):
+        nodes = [f"n{i}" for i in range(10)]
+        schedule = rolling_node_failures(nodes, count=4, start=10.0, interval=5.0)
+        targets = [i.target[0] for i in schedule.incidents]
+        assert len(set(targets)) == 4
+        assert [i.at for i in schedule.incidents] == [10.0, 15.0, 20.0, 25.0]
+
+    def test_rolling_failures_validation(self):
+        with pytest.raises(ValueError):
+            rolling_node_failures(["a"], count=2, start=0.0, interval=1.0)
+
+    def test_survives_rolling_failures_end_to_end(self):
+        """Resilience scenario: 3 datanodes die during ingest + analysis;
+        the facility keeps every block replicated and loses no frames."""
+        facility = _small_facility(seed=9)
+
+        def load():
+            yield facility.hdfs.write_file("/data/big", 2 * GB, "r00h00")
+
+        p = facility.sim.process(load())
+        facility.run()
+        assert not p.failed
+        schedule = rolling_node_failures(
+            facility.names.cluster, count=3,
+            start=facility.sim.now + 10.0, interval=30.0,
+            rng=facility.sim.random.spawn("chaos"),
+        )
+        schedule.run(facility)
+        facility.run()
+        assert len(schedule.log) == 3
+        nn = facility.hdfs.namenode
+        assert not nn.under_replicated
+        for block in nn.file_blocks("/data/big"):
+            assert len(block.replicas) == nn.replication

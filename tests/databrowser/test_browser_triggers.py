@@ -1,0 +1,182 @@
+"""Tests for the DataBrowser and tag-triggered workflow execution."""
+
+import pytest
+
+from repro.adal import AdalClient, BackendRegistry, MemoryBackend
+from repro.metadata import FieldSpec, MetadataStore, Q, Schema
+from repro.simkit import Simulator
+from repro.workflow import FunctionActor, SimulatedDirector, WorkflowGraph
+from repro.databrowser import DataBrowser, TriggerEngine, TriggerRule
+
+
+def _graph(hits=None):
+    g = WorkflowGraph("zf-analysis")
+    g.add(FunctionActor(
+        "segment",
+        lambda data_url: (hits.append(data_url) if hits is not None else None)
+        or {"mask_url": data_url + ".mask"},
+        inputs=("data_url",),
+        outputs=("mask_url",),
+    ))
+    g.add(FunctionActor("count", lambda mask_url: {"cells": 7},
+                        inputs=("mask_url",), outputs=("cells",)))
+    g.connect("segment", "mask_url", "count", "mask_url")
+    return g
+
+
+@pytest.fixture
+def world():
+    reg = BackendRegistry()
+    reg.register("lsdf", MemoryBackend())
+    adal = AdalClient(reg)
+    store = MetadataStore()
+    store.register_project("zf", Schema("zf", [FieldSpec("plate", "int", required=True)]))
+    for i in range(6):
+        url = f"adal://lsdf/zf/plate{i % 2}/img{i}.tif"
+        adal.put(url, bytes([i]) * 10)
+        store.register_dataset(f"img-{i}", "zf", url, 10, f"c{i}", {"plate": i % 2})
+    engine = TriggerEngine(store)
+    browser = DataBrowser(adal, store, engine, home="adal://lsdf/zf")
+    return adal, store, engine, browser
+
+
+class TestNavigation:
+    def test_cwd_and_cd(self, world):
+        _adal, _store, _engine, browser = world
+        assert browser.cwd == "adal://lsdf/zf"
+        browser.cd("plate0")
+        assert browser.cwd == "adal://lsdf/zf/plate0"
+        browser.cd("..")
+        assert browser.cwd == "adal://lsdf/zf"
+        browser.cd("adal://lsdf/other")
+        assert browser.cwd == "adal://lsdf/other"
+
+    def test_cd_does_not_climb_above_store(self, world):
+        _adal, _store, _engine, browser = world
+        browser.cd("adal://lsdf")
+        browser.cd("..")
+        assert browser.cwd.startswith("adal://lsdf")
+
+    def test_ls_joins_metadata(self, world):
+        _adal, _store, _engine, browser = world
+        rows = browser.ls("plate0")
+        assert len(rows) == 3
+        assert all(r.registered for r in rows)
+        assert rows[0].record.project == "zf"
+
+    def test_ls_unregistered_object(self, world):
+        adal, _store, _engine, browser = world
+        adal.put("adal://lsdf/zf/orphan.bin", b"x")
+        rows = [r for r in browser.ls() if r.info.url.endswith("orphan.bin")]
+        assert rows and not rows[0].registered
+        assert rows[0].tags == set()
+
+    def test_stat(self, world):
+        _adal, _store, _engine, browser = world
+        listing = browser.stat("plate0/img0.tif")
+        assert listing.info.size == 10
+        assert listing.record.dataset_id == "img-0"
+
+    def test_find_and_show(self, world):
+        _adal, _store, _engine, browser = world
+        hits = browser.find(Q.field("plate") == 1)
+        assert {r.dataset_id for r in hits} == {"img-1", "img-3", "img-5"}
+        view = browser.show("img-1")
+        assert view["basic"]["plate"] == 1
+
+
+class TestTriggers:
+    def test_tag_fires_matching_rule(self, world):
+        _adal, store, engine, browser = world
+        hits = []
+        engine.register(TriggerRule("process", _graph(hits),
+                                    lambda rec: {("segment", "data_url"): rec.url},
+                                    done_tag="processed"))
+        traces = browser.tag("img-2", "process")
+        assert len(traces) == 1
+        assert traces[0].status == "success"
+        assert hits == [store.get("img-2").url]
+        record = store.get("img-2")
+        assert {"process", "processed"} <= record.tags
+        assert len(record.processing) == 2
+        assert record.processing[1].parent == record.processing[0].step_id
+
+    def test_unmatched_tag_fires_nothing(self, world):
+        _adal, _store, engine, browser = world
+        engine.register(TriggerRule("process", _graph(),
+                                    lambda rec: {("segment", "data_url"): rec.url}))
+        assert browser.tag("img-0", "unrelated") == []
+        assert engine.log == []
+
+    def test_project_scoped_rule(self, world):
+        _adal, store, engine, browser = world
+        store.register_project("other", Schema("o", [], allow_extra=True))
+        store.register_dataset("o-1", "other", "adal://lsdf/o1", 1, "c", {})
+        engine.register(TriggerRule("process", _graph(),
+                                    lambda rec: {("segment", "data_url"): rec.url},
+                                    project="zf"))
+        assert browser.tag("o-1", "process") == []
+        assert len(browser.tag("img-0", "process")) == 1
+
+    def test_failed_workflow_logged(self, world):
+        _adal, _store, engine, browser = world
+        bad = WorkflowGraph("bad")
+        bad.add(FunctionActor("boom", lambda data_url: 1 / 0, inputs=("data_url",),
+                              outputs=("out",)))
+        engine.register(TriggerRule("process", bad,
+                                    lambda rec: {("boom", "data_url"): rec.url}))
+        browser.tag("img-0", "process")
+        assert engine.stats()["failed"] == 1
+
+    def test_untag_never_triggers(self, world):
+        _adal, _store, engine, browser = world
+        engine.register(TriggerRule("process", _graph(),
+                                    lambda rec: {("segment", "data_url"): rec.url}))
+        browser.untag("img-0", "process")
+        assert engine.log == []
+
+    def test_done_tag_does_not_cascade(self, world):
+        _adal, _store, engine, browser = world
+        # Rule A: tag 'process' -> done_tag 'processed'.
+        # Rule B would fire on 'processed' if tags cascaded via the browser.
+        engine.register(TriggerRule("process", _graph(),
+                                    lambda rec: {("segment", "data_url"): rec.url},
+                                    done_tag="processed"))
+        engine.register(TriggerRule("processed", _graph(),
+                                    lambda rec: {("segment", "data_url"): rec.url}))
+        browser.tag("img-0", "process")
+        assert engine.stats()["executions"] == 1
+
+    def test_history_view(self, world):
+        _adal, _store, engine, browser = world
+        engine.register(TriggerRule("process", _graph(),
+                                    lambda rec: {("segment", "data_url"): rec.url}))
+        browser.tag("img-0", "process")
+        history = browser.history("img-0")
+        assert len(history) == 2
+        assert "segment" in history[0]
+
+
+class TestSimulatedTriggers:
+    def test_tag_trigger_in_simulated_time(self):
+        sim = Simulator(seed=1)
+        reg = BackendRegistry()
+        reg.register("lsdf", MemoryBackend())
+        adal = AdalClient(reg)
+        store = MetadataStore()
+        store.register_project("zf", Schema("zf", [], allow_extra=True))
+        store.register_dataset("d1", "zf", "adal://lsdf/d1", 1, "c", {})
+        engine = TriggerEngine(store, director=SimulatedDirector(sim))
+        browser = DataBrowser(adal, store, engine)
+
+        g = WorkflowGraph("timed")
+        g.add(FunctionActor("slow", lambda data_url: 1, inputs=("data_url",),
+                            outputs=("out",), cost_model=lambda _i: 30.0))
+        engine.register(TriggerRule("go", g, lambda rec: {("slow", "data_url"): rec.url},
+                                    done_tag="done"))
+        procs = browser.tag("d1", "go")
+        assert len(procs) == 1
+        sim.run()
+        assert sim.now == 30.0
+        assert "done" in store.get("d1").tags
+        assert engine.stats()["succeeded"] == 1

@@ -1,0 +1,87 @@
+"""Tests for the static web views of the DataBrowser."""
+
+import pytest
+
+from repro.adal import AdalClient, BackendRegistry, MemoryBackend
+from repro.metadata import FieldSpec, MetadataStore, Q, Schema
+from repro.databrowser import DataBrowser
+from repro.databrowser.webgui import export_site, render_dataset, render_listing, render_search
+
+
+@pytest.fixture
+def browser():
+    registry = BackendRegistry()
+    registry.register("lsdf", MemoryBackend())
+    adal = AdalClient(registry)
+    store = MetadataStore()
+    store.register_project("zf", Schema("zf", [FieldSpec("plate", "int",
+                                                         required=True)]))
+    for i in range(3):
+        url = f"adal://lsdf/zf/img{i}.tif"
+        adal.put(url, b"x" * (1000 + i))
+        store.register_dataset(f"img-{i}", "zf", url, 1000 + i, f"c{i}",
+                               {"plate": i}, tags={"raw"})
+    adal.put("adal://lsdf/zf/orphan.bin", b"zz")  # unregistered object
+    store.add_processing("img-1", "segment", {"alg": "otsu"}, {"cells": 7},
+                         0.0, 1.5)
+    step = store.get("img-1").processing[0]
+    store.add_processing("img-1", "count", {}, {"total": 7}, 2.0, 2.5,
+                         parent=step.step_id)
+    return DataBrowser(adal, store, home="adal://lsdf/zf")
+
+
+class TestListing:
+    def test_contains_objects_and_links(self, browser):
+        page = render_listing(browser)
+        assert "<!DOCTYPE html>" in page
+        assert "img0.tif" in page
+        assert "dataset-img-0.html" in page
+        assert "unregistered" in page  # the orphan
+        assert "4 objects" in page
+
+    def test_tags_rendered(self, browser):
+        page = render_listing(browser)
+        assert "class='tag'" in page and "raw" in page
+
+    def test_html_escaping(self, browser):
+        # A hostile object name must not inject markup.
+        browser.adal.put("adal://lsdf/zf/<script>.bin", b"1")
+        page = render_listing(browser)
+        assert "<script>" not in page
+        assert "&lt;script&gt;" in page
+
+
+class TestDatasetPage:
+    def test_basic_metadata_and_chain(self, browser):
+        record = browser.store.get("img-1")
+        page = render_dataset(record)
+        assert "plate" in page
+        assert "segment" in page and "count" in page
+        assert "cells=7" in page
+        assert "(after" in page  # parent pointer rendered
+        assert record.checksum in page
+
+    def test_dataset_without_history(self, browser):
+        page = render_dataset(browser.store.get("img-0"))
+        assert "processing history" not in page
+
+
+class TestSearchPage:
+    def test_hits_rendered(self, browser):
+        page = render_search(browser, Q.field("plate") >= 1, label="plate>=1")
+        assert "2 hits" in page
+        assert "dataset-img-1.html" in page
+        assert "dataset-img-2.html" in page
+        assert "img-0" not in page
+
+
+class TestExport:
+    def test_site_written(self, browser, tmp_path):
+        written = export_site(browser, tmp_path / "site")
+        assert "index.html" in written
+        assert "dataset-img-0.html" in written
+        assert len(written) == 4  # index + 3 datasets (orphan skipped)
+        index = (tmp_path / "site" / "index.html").read_text()
+        assert "img1.tif" in index
+        detail = (tmp_path / "site" / "dataset-img-1.html").read_text()
+        assert "segment" in detail

@@ -1,0 +1,168 @@
+"""Integration tests for the simulated HDFS cluster (DES side)."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import GB, MiB
+from repro.hdfs import HdfsCluster
+
+
+@pytest.fixture
+def cluster(sim):
+    return HdfsCluster.build(sim, racks=3, nodes_per_rack=4, node_capacity=1e12)
+
+
+def _run_proc(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    assert not p.failed, p.exception
+    return p.value
+
+
+class TestWrite:
+    def test_write_creates_blocks_and_takes_time(self, sim, cluster):
+        def scenario():
+            blocks = yield cluster.write_file("/f", 300 * MiB, "r00h00")
+            return blocks
+
+        blocks = _run_proc(sim, scenario())
+        assert len(blocks) == 5  # 300 MiB / 64 MiB
+        assert sim.now > 0.0
+        assert cluster.bytes_written.value == 300 * MiB
+
+    def test_write_pipeline_slower_than_local_disk_alone(self, sim, cluster):
+        """Replication forces network hops: a 3x replicated write is slower
+        than a bare local-disk write of the same size."""
+        def scenario():
+            t0 = sim.now
+            yield cluster.write_file("/f", 256 * MiB, "r00h00")
+            return sim.now - t0
+
+        duration = _run_proc(sim, scenario())
+        disk_only = 256 * MiB / cluster.disk_bw
+        assert duration > disk_only * 0.99
+
+
+class TestRead:
+    def test_local_read_skips_network(self, sim, cluster):
+        def scenario():
+            yield cluster.write_file("/f", 64 * MiB, "r00h00")
+            localities = yield cluster.read_file("/f", "r00h00")
+            return localities
+
+        localities = _run_proc(sim, scenario())
+        assert localities == ["node"]
+
+    def test_remote_read_reports_locality(self, sim, cluster):
+        def scenario():
+            yield cluster.write_file("/f", 64 * MiB, "r00h00")
+            block = cluster.namenode.file_blocks("/f")[0]
+            # Pick a reader holding no replica.
+            readers = [n for n in cluster.namenode.nodes if n not in block.replicas]
+            locality = yield sim.process(cluster.read_block(block, readers[0]))
+            return locality
+
+        locality = _run_proc(sim, scenario())
+        assert locality in ("rack", "off")
+
+    def test_stats_locality_fraction(self, sim, cluster):
+        def scenario():
+            yield cluster.write_file("/f", 128 * MiB, "r00h00")
+            yield cluster.read_file("/f", "r00h00")
+
+        _run_proc(sim, scenario())
+        assert cluster.stats()["node_local_read_fraction"] == 1.0
+
+
+class TestFailure:
+    def test_rereplication_restores_factor(self, sim, cluster):
+        def scenario():
+            blocks = yield cluster.write_file("/f", 320 * MiB, "r00h00")
+            victim = blocks[0].replicas[0]
+            copies = yield cluster.fail_datanode(victim)
+            return copies
+
+        copies = _run_proc(sim, scenario())
+        assert copies > 0
+        nn = cluster.namenode
+        assert not nn.under_replicated
+        for block in nn.file_blocks("/f"):
+            assert len(block.replicas) == nn.replication
+
+    def test_read_survives_replica_loss(self, sim, cluster):
+        def scenario():
+            blocks = yield cluster.write_file("/f", 64 * MiB, "r00h00")
+            victim = blocks[0].replicas[0]
+            yield cluster.fail_datanode(victim)
+            reader = next(n for n in sorted(cluster.namenode.nodes) if n != victim)
+            localities = yield cluster.read_file("/f", reader)
+            return localities
+
+        localities = _run_proc(sim, scenario())
+        assert len(localities) == 1
+
+    def test_best_replica_skips_dead_nodes(self, sim, cluster):
+        def scenario():
+            blocks = yield cluster.write_file("/f", 64 * MiB, "r00h00")
+            block = blocks[0]
+            cluster.namenode.mark_dead(block.replicas[0])
+            replica, _loc = cluster.best_replica(block, "r02h03")
+            assert cluster.namenode.nodes[replica].alive
+            yield sim.timeout(0)
+
+        _run_proc(sim, scenario())
+
+
+class TestBalancer:
+    def test_balancer_reduces_spread(self, sim):
+        cluster = HdfsCluster.build(sim, racks=2, nodes_per_rack=3,
+                                    node_capacity=1e12, replication=1)
+
+        def scenario():
+            for i in range(20):
+                yield cluster.write_file(f"/f{i}", 64 * MiB, "r00h00")
+            before = cluster.namenode.utilization_spread()
+            moved = yield cluster.run_balancer(threshold=0.0001)
+            return before, moved
+
+        before, moved = _run_proc(sim, scenario())
+        assert moved > 0
+        assert cluster.namenode.utilization_spread() < before
+
+
+class TestBlockLocations:
+    def test_block_locations_shape(self, sim, cluster):
+        def scenario():
+            yield cluster.write_file("/f", 200 * MiB, "r00h00")
+
+        _run_proc(sim, scenario())
+        locations = cluster.block_locations("/f")
+        assert len(locations) == 4
+        assert all(len(replicas) == 3 for replicas in locations)
+
+
+class TestDecommission:
+    def test_decommission_never_under_replicates(self, sim, cluster):
+        def scenario():
+            blocks = yield cluster.write_file("/f", 320 * MiB, "r00h00")
+            victim = blocks[0].replicas[0]
+            copied = yield cluster.decommission(victim)
+            return victim, copied
+
+        victim, copied = _run_proc(sim, scenario())
+        nn = cluster.namenode
+        assert copied > 0
+        assert not nn.nodes[victim].alive
+        assert not nn.under_replicated
+        for block in nn.file_blocks("/f"):
+            assert len(block.replicas) >= nn.replication
+            assert victim not in block.replicas
+
+    def test_decommission_empty_node_is_cheap(self, sim, cluster):
+        def scenario():
+            copied = yield cluster.decommission("r02h03")
+            return copied
+
+        copied = _run_proc(sim, scenario())
+        assert copied == 0
+        assert not cluster.namenode.nodes["r02h03"].alive

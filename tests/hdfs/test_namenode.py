@@ -1,0 +1,229 @@
+"""Tests for the NameNode: namespace, placement invariants, failures,
+balancer.  Placement invariants are also property-tested with hypothesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkit import RandomSource
+from repro.hdfs import HdfsError, NameNode
+
+
+def _namenode(racks=3, nodes_per_rack=4, capacity=1000.0, replication=3,
+              placement="rack_aware", block_size=100.0, seed=0):
+    nn = NameNode(block_size=block_size, replication=replication,
+                  placement=placement, rng=RandomSource(seed))
+    for r in range(racks):
+        for h in range(nodes_per_rack):
+            nn.add_datanode(f"r{r}h{h}", f"rack{r}", capacity)
+    return nn
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            NameNode(block_size=0)
+        with pytest.raises(ValueError):
+            NameNode(replication=0)
+        with pytest.raises(ValueError):
+            NameNode(placement="bogus")
+
+    def test_duplicate_datanode(self):
+        nn = _namenode()
+        with pytest.raises(HdfsError):
+            nn.add_datanode("r0h0", "rack0", 1.0)
+
+
+class TestNamespace:
+    def test_create_splits_into_blocks(self):
+        nn = _namenode()
+        blocks = nn.create_file("/f", 250.0)
+        assert [b.size for b in blocks] == [100.0, 100.0, 50.0]
+        assert nn.file_size("/f") == 250.0
+        assert nn.exists("/f")
+
+    def test_zero_size_file(self):
+        nn = _namenode()
+        blocks = nn.create_file("/empty", 0.0)
+        assert len(blocks) == 1 and blocks[0].size == 0.0
+
+    def test_duplicate_path_rejected(self):
+        nn = _namenode()
+        nn.create_file("/f", 10.0)
+        with pytest.raises(HdfsError):
+            nn.create_file("/f", 10.0)
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(HdfsError):
+            _namenode().file_blocks("/ghost")
+
+    def test_delete_releases_space(self):
+        nn = _namenode()
+        nn.create_file("/f", 500.0)
+        used = nn.total_used
+        assert used == 500.0 * 3  # replication
+        nn.delete_file("/f")
+        assert nn.total_used == 0.0
+        assert not nn.exists("/f")
+
+
+class TestPlacement:
+    def test_three_replicas_distinct_nodes(self):
+        nn = _namenode()
+        block = nn.create_file("/f", 100.0)[0]
+        assert len(block.replicas) == 3
+        assert len(set(block.replicas)) == 3
+
+    def test_rack_aware_spans_two_racks(self):
+        nn = _namenode()
+        for i in range(20):
+            block = nn.create_file(f"/f{i}", 100.0)[0]
+            racks = {nn.rack_of(r) for r in block.replicas}
+            assert len(racks) == 2  # classic HDFS: exactly 2 racks for r=3
+
+    def test_writer_local_first_replica(self):
+        nn = _namenode()
+        block = nn.create_file("/f", 100.0, writer="r1h2")[0]
+        assert block.replicas[0] == "r1h2"
+
+    def test_non_datanode_writer_ok(self):
+        nn = _namenode()
+        block = nn.create_file("/f", 100.0, writer="login-node")[0]
+        assert len(block.replicas) == 3
+
+    def test_single_rack_fallback(self):
+        nn = _namenode(racks=1, nodes_per_rack=5)
+        block = nn.create_file("/f", 100.0)[0]
+        assert len(block.replicas) == 3
+
+    def test_capacity_respected(self):
+        nn = _namenode(racks=1, nodes_per_rack=3, capacity=150.0, replication=3)
+        nn.create_file("/f", 100.0)  # uses 100 on each of the 3 nodes
+        with pytest.raises(HdfsError):
+            nn.create_file("/g", 100.0)  # only 50 free per node
+
+    def test_replication_larger_than_cluster_degrades(self):
+        nn = _namenode(racks=1, nodes_per_rack=2, replication=5)
+        block = nn.create_file("/f", 100.0)[0]
+        assert len(block.replicas) == 2  # best effort
+
+    def test_random_placement_ignores_writer(self):
+        nn = _namenode(placement="random", seed=3)
+        hits = sum(
+            nn.create_file(f"/f{i}", 100.0, writer="r0h0")[0].replicas[0] == "r0h0"
+            for i in range(20)
+        )
+        assert hits < 20  # not writer-pinned
+
+
+class TestFailures:
+    def test_mark_dead_drops_replicas(self):
+        nn = _namenode()
+        block = nn.create_file("/f", 100.0, writer="r0h0")[0]
+        lost = nn.mark_dead("r0h0")
+        assert block in lost
+        assert "r0h0" not in block.replicas
+        assert block.block_id in nn.under_replicated
+
+    def test_mark_dead_twice_is_noop(self):
+        nn = _namenode()
+        nn.create_file("/f", 100.0, writer="r0h0")
+        nn.mark_dead("r0h0")
+        assert nn.mark_dead("r0h0") == []
+
+    def test_replication_target_avoids_existing(self):
+        nn = _namenode()
+        block = nn.create_file("/f", 100.0)[0]
+        nn.mark_dead(block.replicas[0])
+        target = nn.replication_target(block)
+        assert target is not None
+        assert target not in block.replicas
+
+    def test_commit_replica_restores(self):
+        nn = _namenode()
+        block = nn.create_file("/f", 100.0)[0]
+        nn.mark_dead(block.replicas[0])
+        target = nn.replication_target(block)
+        nn.commit_replica(block, target)
+        assert len(block.replicas) == 3
+        assert block.block_id not in nn.under_replicated
+
+    def test_commit_duplicate_replica_rejected(self):
+        nn = _namenode()
+        block = nn.create_file("/f", 100.0)[0]
+        with pytest.raises(HdfsError):
+            nn.commit_replica(block, block.replicas[0])
+
+    def test_dead_nodes_never_get_new_blocks(self):
+        nn = _namenode()
+        nn.mark_dead("r0h0")
+        for i in range(10):
+            block = nn.create_file(f"/f{i}", 100.0)[0]
+            assert "r0h0" not in block.replicas
+
+
+class TestBalancer:
+    def test_plan_moves_from_hot_node(self):
+        nn = _namenode(racks=2, nodes_per_rack=3, capacity=10_000.0, replication=1)
+        # Load everything onto one node by making it the writer.
+        for i in range(40):
+            nn.create_file(f"/f{i}", 100.0, writer="r0h0")
+        assert nn.utilization_spread() > 0.3
+        moves = nn.plan_balance(threshold=0.05)
+        assert moves
+        for block, src, dst in moves:
+            nn.commit_move(block, src, dst)
+        assert nn.utilization_spread() < 0.3
+
+    def test_commit_move_validation(self):
+        nn = _namenode()
+        block = nn.create_file("/f", 100.0)[0]
+        outsider = next(
+            n for n in nn.nodes if n not in block.replicas
+        )
+        with pytest.raises(HdfsError):
+            nn.commit_move(block, outsider, block.replicas[0])
+
+    def test_balanced_cluster_plans_nothing(self):
+        nn = _namenode(replication=1, seed=9)
+        for i in range(60):
+            nn.create_file(f"/f{i}", 100.0)
+        assert nn.plan_balance(threshold=0.5) == []
+
+
+# -- property tests --------------------------------------------------------------
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    racks=st.integers(min_value=2, max_value=5),
+    nodes=st.integers(min_value=3, max_value=6),
+    sizes=st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_placement_invariants(seed, racks, nodes, sizes):
+    """For any cluster shape and file mix: replicas are on distinct nodes,
+    span >= 2 racks, and no node exceeds its capacity."""
+    nn = _namenode(racks=racks, nodes_per_rack=nodes, capacity=1e6,
+                   block_size=100.0, seed=seed)
+    for i, size in enumerate(sizes):
+        for block in nn.create_file(f"/f{i}", size):
+            if block.size == 0:
+                continue
+            assert len(block.replicas) == 3
+            assert len(set(block.replicas)) == 3
+            assert len({nn.rack_of(r) for r in block.replicas}) >= 2
+    for node in nn.nodes.values():
+        assert node.used <= node.capacity + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_accounting_conserved_through_delete(seed):
+    """used bytes return to zero after deleting everything."""
+    nn = _namenode(seed=seed)
+    for i in range(10):
+        nn.create_file(f"/f{i}", 250.0)
+    for i in range(10):
+        nn.delete_file(f"/f{i}")
+    assert nn.total_used == 0.0
+    assert not nn.under_replicated

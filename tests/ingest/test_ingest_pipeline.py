@@ -1,0 +1,147 @@
+"""Integration tests for the full ingest pipeline."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import GB, HOUR, MB, MINUTE
+from repro.netsim import Network, build_lsdf_backbone
+from repro.storage import DiskArray, StoragePool
+from repro.metadata import MetadataStore
+from repro.ingest import IngestPipeline, MicroscopeConfig, StorageSink, TransferAgent, DaqBuffer
+from repro.workloads import zebrafish_basic_schema
+
+
+def _world(seed=3):
+    sim = Simulator(seed=seed)
+    topo, names = build_lsdf_backbone()
+    net = Network(sim, topo)
+    arrays = [
+        DiskArray(sim, "ddn", 0.5e15, 3e9),
+        DiskArray(sim, "ibm", 1.4e15, 5e9),
+    ]
+    pool = StoragePool(sim, arrays)
+    sink = StorageSink(pool, {"ddn": names.storage[0], "ibm": names.storage[1]})
+    store = MetadataStore()
+    store.register_project("zebrafish", zebrafish_basic_schema())
+    return sim, net, names, pool, sink, store
+
+
+class TestStorageSink:
+    def test_unmapped_array_rejected(self):
+        sim, _net, names, pool, _sink, _store = _world()
+        with pytest.raises(ValueError):
+            StorageSink(pool, {"ddn": names.storage[0]})
+
+    def test_choose_returns_mapped_node(self):
+        _sim, _net, names, _pool, sink, _store = _world()
+        array, node = sink.choose(100 * MB)
+        assert node in names.storage
+
+
+class TestPipeline:
+    def test_short_run_registers_everything(self):
+        sim, net, names, pool, sink, store = _world()
+        configs = [MicroscopeConfig(name="s0", frames_per_day=50_000.0)]
+        pipeline = IngestPipeline(sim, net, names.daq[0], sink, configs,
+                                  store=store, agents=2)
+        report = pipeline.run(duration=30 * MINUTE)
+        assert report.frames_acquired > 0
+        assert report.frames_ingested == report.frames_acquired
+        assert len(store) == report.frames_ingested
+        assert len(pool) == report.frames_ingested
+        assert report.frames_dropped == 0
+        assert report.latency_mean > 0
+
+    def test_metadata_has_acquisition_parameters(self):
+        sim, net, names, _pool, sink, store = _world()
+        configs = [MicroscopeConfig(name="s0", frames_per_day=100_000.0)]
+        pipeline = IngestPipeline(sim, net, names.daq[0], sink, configs,
+                                  store=store, agents=2)
+        pipeline.run(duration=5 * MINUTE)
+        record = next(iter(store.datasets()))
+        for key in ("plate", "well", "channel", "wavelength", "z_plane", "timepoint"):
+            assert key in record.basic
+
+    def test_registration_optional(self):
+        sim, net, names, pool, sink, _store = _world()
+        configs = [MicroscopeConfig(name="s0", frames_per_day=50_000.0)]
+        pipeline = IngestPipeline(sim, net, names.daq[0], sink, configs,
+                                  store=None, agents=1)
+        report = pipeline.run(duration=5 * MINUTE)
+        assert report.frames_ingested > 0
+        assert len(pool) == report.frames_ingested
+
+    def test_report_rates(self):
+        sim, net, names, _pool, sink, store = _world()
+        configs = [MicroscopeConfig(name="s0", frames_per_day=48_000.0)]
+        pipeline = IngestPipeline(sim, net, names.daq[0], sink, configs,
+                                  store=store, agents=2)
+        report = pipeline.run(duration=1 * HOUR)
+        assert report.frames_per_day == pytest.approx(48_000, rel=0.15)
+        assert report.bytes_per_day == pytest.approx(48_000 * 4 * MB, rel=0.15)
+        assert len(report.rows()) == 7
+
+    def test_batching_reduces_flow_count(self):
+        """With a backlog waiting, a batching agent moves the same frames in
+        far fewer network flows."""
+        from repro.ingest.microscope import ImageDescriptor
+
+        def run(batch_size):
+            sim, net, names, _pool, sink, _store = _world()
+            buf = DaqBuffer(sim)
+            for i in range(64):  # pre-loaded backlog
+                buf.offer(ImageDescriptor(f"i{i}", 0, "A01", 0, 400, 0, 0,
+                                          4_000_000, 0.0, "m"))
+            agent = TransferAgent(sim, net, buf, names.daq[0], sink,
+                                  batch_size=batch_size)
+            agent.start()
+            sim.run(until=300.0)
+            agent.stop()
+            assert agent.ingested.value == 64
+            return net.flow_durations.count
+
+        assert run(16) <= 64 / 16 + 1
+        assert run(1) == 64
+
+    def test_deterministic_report(self):
+        def run():
+            sim, net, names, _pool, sink, store = _world(seed=77)
+            configs = [MicroscopeConfig(name="s0", frames_per_day=20_000.0)]
+            pipeline = IngestPipeline(sim, net, names.daq[0], sink, configs,
+                                      store=store, agents=2)
+            report = pipeline.run(duration=10 * MINUTE)
+            return (report.frames_ingested, round(report.latency_mean, 9))
+
+        assert run() == run()
+
+
+class TestTransferAgent:
+    def test_stop_ends_loop(self):
+        sim, net, names, _pool, sink, store = _world()
+        buf = DaqBuffer(sim)
+        agent = TransferAgent(sim, net, buf, names.daq[0], sink, store=None,
+                              batch_size=4)
+        proc = agent.start()
+
+        from repro.ingest.microscope import ImageDescriptor
+
+        def feed():
+            for i in range(8):
+                yield buf.offer(ImageDescriptor(f"i{i}", 0, "A01", 0, 400, 0, 0,
+                                                4_000_000, sim.now, "m"))
+                yield sim.timeout(1.0)
+            agent.stop()
+            # One more frame unblocks the take() so the loop can observe stop.
+            yield buf.offer(ImageDescriptor("last", 0, "A01", 0, 400, 0, 0,
+                                            4_000_000, sim.now, "m"))
+
+        sim.process(feed())
+        sim.run()
+        assert not proc.is_alive
+        assert agent.ingested.value >= 8
+
+    def test_batch_size_validation(self):
+        sim, net, names, _pool, sink, _store = _world()
+        buf = DaqBuffer(sim)
+        with pytest.raises(ValueError):
+            TransferAgent(sim, net, buf, names.daq[0], sink, batch_size=0)

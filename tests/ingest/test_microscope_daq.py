@@ -1,0 +1,182 @@
+"""Tests for the microscope generator and DAQ buffer."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import DAY, HOUR, MB
+from repro.ingest import DaqBuffer, HighThroughputMicroscope, MicroscopeConfig
+
+
+class _ListSink:
+    """Captures offered frames without any buffering semantics."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.frames = []
+
+    def offer(self, frame):
+        self.frames.append(frame)
+        ev = self.sim.event()
+        ev.succeed(frame)
+        return ev
+
+
+class TestMicroscope:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MicroscopeConfig(frames_per_day=0)
+
+    def test_rate_matches_config(self):
+        sim = Simulator(seed=5)
+        config = MicroscopeConfig(frames_per_day=24_000.0, arrival_cv=0.2)
+        scope = HighThroughputMicroscope(sim, config)
+        sink = _ListSink(sim)
+        scope.run(sink, duration=1 * HOUR)
+        sim.run()
+        # 1000 frames/hour expected; allow 10% statistical slack.
+        assert len(sink.frames) == pytest.approx(1000, rel=0.1)
+
+    def test_max_frames_cap(self):
+        sim = Simulator(seed=5)
+        scope = HighThroughputMicroscope(sim, MicroscopeConfig(frames_per_day=1e6))
+        sink = _ListSink(sim)
+        proc = scope.run(sink, max_frames=50)
+        sim.run()
+        assert proc.value == 50
+        assert len(sink.frames) == 50
+
+    def test_sweep_covers_parameters(self):
+        sim = Simulator(seed=5)
+        config = MicroscopeConfig(frames_per_day=1e7, plates=2, wells_per_plate=2,
+                                  channels=2, z_planes=2)
+        scope = HighThroughputMicroscope(sim, config)
+        sink = _ListSink(sim)
+        scope.run(sink, max_frames=16)
+        sim.run()
+        frames = sink.frames
+        # Full sweep: 2 plates x 2 wells x 2 z x 2 channels = 16 frames, all
+        # distinct parameter combos, timepoint 0.
+        combos = {(f.plate, f.well, f.z_plane, f.channel) for f in frames}
+        assert len(combos) == 16
+        assert all(f.timepoint == 0 for f in frames)
+
+    def test_timepoint_increments_after_sweep(self):
+        sim = Simulator(seed=5)
+        config = MicroscopeConfig(frames_per_day=1e7, plates=1, wells_per_plate=1,
+                                  channels=1, z_planes=1)
+        scope = HighThroughputMicroscope(sim, config)
+        sink = _ListSink(sim)
+        scope.run(sink, max_frames=3)
+        sim.run()
+        assert [f.timepoint for f in sink.frames] == [0, 1, 2]
+
+    def test_frame_sizes_near_nominal(self):
+        sim = Simulator(seed=5)
+        config = MicroscopeConfig(frames_per_day=1e6, size_cv=0.05)
+        scope = HighThroughputMicroscope(sim, config)
+        sink = _ListSink(sim)
+        scope.run(sink, max_frames=200)
+        sim.run()
+        import numpy as np
+
+        sizes = np.array([f.size for f in sink.frames])
+        assert sizes.mean() == pytest.approx(4 * MB, rel=0.05)
+
+    def test_wavelength_derived_from_channel(self):
+        sim = Simulator(seed=5)
+        config = MicroscopeConfig(frames_per_day=1e6, base_wavelength=400,
+                                  wavelength_step=50)
+        scope = HighThroughputMicroscope(sim, config)
+        sink = _ListSink(sim)
+        scope.run(sink, max_frames=8)
+        sim.run()
+        for frame in sink.frames:
+            assert frame.wavelength == 400 + frame.channel * 50
+
+    def test_deterministic(self):
+        def run():
+            sim = Simulator(seed=42)
+            scope = HighThroughputMicroscope(sim, MicroscopeConfig(frames_per_day=1e5))
+            sink = _ListSink(sim)
+            scope.run(sink, max_frames=20)
+            sim.run()
+            return [(f.image_id, round(f.acquired, 9), f.size) for f in sink.frames]
+
+        assert run() == run()
+
+
+class TestDaqBuffer:
+    def _frame(self, sim, size=100):
+        from repro.ingest.microscope import ImageDescriptor
+
+        return ImageDescriptor("f", 0, "A01", 0, 400, 0, 0, size, sim.now, "m")
+
+    def test_policy_validation(self, sim):
+        with pytest.raises(ValueError):
+            DaqBuffer(sim, policy="explode")
+
+    def test_offer_take_fifo(self, sim):
+        buf = DaqBuffer(sim)
+
+        def scenario():
+            for i in range(3):
+                frame = self._frame(sim, size=i + 1)
+                yield buf.offer(frame)
+            sizes = []
+            for _ in range(3):
+                frame = yield buf.take()
+                sizes.append(frame.size)
+            return sizes
+
+        p = sim.process(scenario())
+        sim.run()
+        assert p.value == [1, 2, 3]
+        assert buf.backlog_bytes == 0
+
+    def test_block_policy_blocks_producer(self, sim):
+        buf = DaqBuffer(sim, capacity_bytes=150, policy="block")
+
+        def producer():
+            yield buf.offer(self._frame(sim, 100))
+            yield buf.offer(self._frame(sim, 100))  # blocks: 200 > 150
+            return sim.now
+
+        def consumer():
+            yield sim.timeout(10.0)
+            yield buf.take()
+
+        p = sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert p.value == 10.0
+        assert buf.dropped.value == 0
+
+    def test_drop_policy_drops(self, sim):
+        buf = DaqBuffer(sim, capacity_bytes=150, policy="drop")
+
+        def producer():
+            first = yield buf.offer(self._frame(sim, 100))
+            second = yield buf.offer(self._frame(sim, 100))
+            return first, second
+
+        p = sim.process(producer())
+        sim.run()
+        accepted, dropped = p.value
+        assert accepted is not None
+        assert dropped is None
+        assert buf.dropped.value == 1
+        assert buf.backlog_frames == 1
+
+    def test_backlog_time_weighted(self, sim):
+        buf = DaqBuffer(sim)
+
+        def scenario():
+            yield buf.offer(self._frame(sim, 100))
+            yield sim.timeout(10.0)
+            yield buf.take()
+            yield sim.timeout(10.0)
+
+        sim.process(scenario())
+        sim.run()
+        assert buf.backlog.max == 100
+        assert buf.backlog.mean(sim.now) == pytest.approx(50.0)

@@ -1,0 +1,172 @@
+"""Tests for the real in-process MapReduce executor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import LocalJob, make_splits, run_local
+from repro.mapreduce.local import stable_hash_partitioner
+
+
+def _wordcount_job(combine=True):
+    def map_fn(_key, line):
+        for word in line.split():
+            yield word, 1
+
+    def combine_fn(word, counts):
+        yield word, sum(counts)
+
+    def reduce_fn(word, counts):
+        yield sum(counts)
+
+    return LocalJob(map_fn, reduce_fn, combine_fn=combine_fn if combine else None,
+                    name="wc")
+
+
+class TestWordCount:
+    LINES = ["a b a", "b c", "a"]
+
+    def _counts(self, reducers=3, combine=True):
+        splits = make_splits(list(enumerate(self.LINES)), 2)
+        return run_local(_wordcount_job(combine), splits, reducers=reducers)
+
+    def test_counts_correct(self):
+        assert self._counts().as_dict() == {"a": 3, "b": 2, "c": 1}
+
+    def test_reducer_count_does_not_change_result(self):
+        for reducers in (1, 2, 5, 16):
+            assert self._counts(reducers=reducers).as_dict() == {"a": 3, "b": 2, "c": 1}
+
+    def test_combiner_does_not_change_result(self):
+        assert self._counts(combine=False).as_dict() == self._counts(combine=True).as_dict()
+
+    def test_combiner_shrinks_shuffle(self):
+        with_combine = self._counts(combine=True)
+        without = self._counts(combine=False)
+        assert with_combine.shuffle_records < without.shuffle_records
+
+    def test_statistics(self):
+        result = self._counts()
+        assert result.map_input_records == 3
+        assert result.map_output_records == 6
+        assert result.reduce_input_groups == 3
+        assert result.reduce_output_records == 3
+        assert result.splits == 2
+        assert result.reducers == 3
+
+
+class TestEdgeCases:
+    def test_empty_input(self):
+        result = run_local(_wordcount_job(), [], reducers=2)
+        assert result.output == []
+
+    def test_empty_splits(self):
+        result = run_local(_wordcount_job(), [[], []], reducers=2)
+        assert result.output == []
+
+    def test_invalid_reducers(self):
+        with pytest.raises(ValueError):
+            run_local(_wordcount_job(), [], reducers=0)
+
+    def test_as_dict_rejects_duplicate_keys(self):
+        job = LocalJob(
+            map_fn=lambda k, v: [("x", v)],
+            reduce_fn=lambda k, values: values,  # emits one output per value
+            name="dups",
+        )
+        result = run_local(job, [[(0, 1), (1, 2)]], reducers=1)
+        with pytest.raises(ValueError):
+            result.as_dict()
+
+    def test_make_splits_validation(self):
+        with pytest.raises(ValueError):
+            make_splits([], 0)
+
+    def test_make_splits_sizes(self):
+        splits = make_splits(list(range(7)), 3)
+        assert [len(s) for s in splits] == [3, 3, 1]
+
+    def test_mixed_key_types_sortable(self):
+        job = LocalJob(
+            map_fn=lambda k, v: [(v, 1)],
+            reduce_fn=lambda k, values: [sum(values)],
+        )
+        result = run_local(job, [[(0, "s"), (1, 3), (2, "s")]], reducers=1)
+        assert dict(result.output) == {"s": 2, 3: 1}
+
+
+class TestPartitioner:
+    def test_stable_hash_in_range(self):
+        for key in ["a", 42, ("t", 1), "long-key" * 10]:
+            assert 0 <= stable_hash_partitioner(key, 7) < 7
+
+    def test_stable_across_calls(self):
+        assert stable_hash_partitioner("k", 5) == stable_hash_partitioner("k", 5)
+
+    def test_custom_partitioner_used(self):
+        seen = []
+
+        def spy(key, n):
+            seen.append(key)
+            return 0
+
+        job = LocalJob(
+            map_fn=lambda k, v: [(v, 1)],
+            reduce_fn=lambda k, values: [sum(values)],
+            partitioner=spy,
+        )
+        run_local(job, [[(0, "x")]], reducers=3)
+        assert seen == ["x"]
+
+
+# -- property tests ---------------------------------------------------------------
+
+@given(
+    lines=st.lists(
+        st.lists(st.sampled_from("abcdefg"), min_size=0, max_size=8).map(" ".join),
+        min_size=0,
+        max_size=30,
+    ),
+    split_size=st.integers(min_value=1, max_value=10),
+    reducers=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_wordcount_matches_reference(lines, split_size, reducers):
+    """MapReduce word count equals a straightforward Counter, regardless of
+    split/partition structure."""
+    from collections import Counter
+
+    reference = Counter(w for line in lines for w in line.split())
+    splits = make_splits(list(enumerate(lines)), split_size)
+    result = run_local(_wordcount_job(), splits, reducers=reducers)
+    assert result.as_dict() == dict(reference)
+
+
+@given(
+    values=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=50),
+    reducers=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_record_conservation(values, reducers):
+    """Identity map: every record reaches exactly one reducer."""
+    job = LocalJob(
+        map_fn=lambda k, v: [(v, 1)],
+        reduce_fn=lambda k, counts: [sum(counts)],
+    )
+    result = run_local(job, [list(enumerate(values))], reducers=reducers)
+    assert sum(v for _k, v in result.output) == len(values)
+    assert result.shuffle_records == len(values)
+
+
+@given(st.lists(st.text(alphabet="xyz", max_size=4), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_output_deterministic(words):
+    """Two runs produce identical ordered output."""
+    splits = make_splits(list(enumerate(words)), 5)
+    job = LocalJob(
+        map_fn=lambda k, v: [(v, 1)],
+        reduce_fn=lambda k, counts: [sum(counts)],
+    )
+    a = run_local(job, splits, reducers=3).output
+    b = run_local(job, splits, reducers=3).output
+    assert a == b

@@ -1,0 +1,73 @@
+"""Tests for the topology builders."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import GB, gbit_per_s
+from repro.netsim import Network, build_fat_tree, build_lsdf_backbone, build_star
+
+
+class TestLsdfBackbone:
+    def test_default_shape(self):
+        topo, names = build_lsdf_backbone()
+        assert len(names.routers) == 2
+        assert len(names.storage) == 2
+        assert len(names.daq) == 4
+        assert len(names.cluster) == 60
+        for node in names.storage + names.daq + [names.login, names.heidelberg]:
+            assert topo.has_node(node)
+
+    def test_zero_cluster_nodes_allowed(self):
+        topo, names = build_lsdf_backbone(cluster_nodes=0)
+        assert names.cluster == []
+        assert topo.has_node(names.login)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            build_lsdf_backbone(daq_count=0)
+
+    def test_all_pairs_routable(self):
+        topo, names = build_lsdf_backbone(daq_count=2, cluster_nodes=4)
+        endpoints = names.daq + names.storage + [names.heidelberg, names.cluster[0]]
+        for i, a in enumerate(endpoints):
+            for b in endpoints[i + 1:]:
+                assert topo.route(a, b)
+
+    def test_router_failure_survivable(self):
+        topo, names = build_lsdf_backbone()
+        topo.fail_node("router-1")
+        assert topo.route(names.daq[0], names.storage[0])
+        topo.fail_node("router-2")
+        import repro.netsim.topology as t
+
+        with pytest.raises(t.NoRouteError):
+            topo.route(names.daq[0], names.storage[0])
+
+    def test_daq_to_storage_bandwidth(self):
+        sim = Simulator()
+        topo, names = build_lsdf_backbone(trunk_gbits=10.0)
+        net = Network(sim, topo)
+        ev = net.transfer(names.daq[0], names.storage[0], 10 * GB)
+        sim.run()
+        assert ev.value.mean_rate == pytest.approx(gbit_per_s(10.0), rel=0.01)
+
+
+class TestStar:
+    def test_star_shape(self):
+        topo = build_star("hub", ["x", "y", "z"], capacity=10.0)
+        assert len(topo.route("x", "y")) == 2
+        assert topo.has_node("hub")
+
+
+class TestFatTree:
+    def test_shape_and_racks(self):
+        topo, racks = build_fat_tree(3, 4, host_bw=1.0, rack_uplink_bw=10.0)
+        assert len(racks) == 3
+        assert all(len(r) == 4 for r in racks)
+        # same rack: 2 hops; cross rack: 4 hops
+        assert len(topo.route(racks[0][0], racks[0][1])) == 2
+        assert len(topo.route(racks[0][0], racks[1][0])) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_fat_tree(0, 4, 1.0, 10.0)

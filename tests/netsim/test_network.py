@@ -1,0 +1,217 @@
+"""Tests for the fluid flow engine."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import GB, PB, gbit_per_s
+from repro.netsim import Network, NoRouteError, Topology
+
+
+def _line(capacity=100.0) -> Topology:
+    topo = Topology()
+    topo.add_link("a", "b", capacity=capacity, latency=0.0)
+    topo.add_link("b", "c", capacity=capacity, latency=0.0)
+    return topo
+
+
+class TestSingleFlow:
+    def test_duration_is_size_over_capacity(self, sim):
+        net = Network(sim, _line(capacity=100.0))
+        ev = net.transfer("a", "c", 1000.0)
+        sim.run()
+        assert ev.value.duration == pytest.approx(10.0)
+        assert ev.value.mean_rate == pytest.approx(100.0)
+
+    def test_latency_added_once(self, sim):
+        topo = Topology()
+        topo.add_link("a", "b", capacity=100.0, latency=0.5)
+        net = Network(sim, topo)
+        ev = net.transfer("a", "b", 1000.0)
+        sim.run()
+        assert ev.value.duration == pytest.approx(10.5)
+
+    def test_zero_bytes_completes_at_latency(self, sim):
+        topo = Topology()
+        topo.add_link("a", "b", capacity=100.0, latency=0.25)
+        net = Network(sim, topo)
+        ev = net.transfer("a", "b", 0.0)
+        sim.run()
+        assert ev.value.duration == pytest.approx(0.25)
+
+    def test_local_transfer_instant(self, sim):
+        net = Network(sim, _line())
+        ev = net.transfer("a", "a", 1e9)
+        sim.run()
+        assert ev.value.duration == pytest.approx(0.0)
+
+    def test_negative_size_rejected(self, sim):
+        net = Network(sim, _line())
+        with pytest.raises(ValueError):
+            net.transfer("a", "b", -1.0)
+
+    def test_paper_claim_1pb_over_10gbs(self, sim):
+        """Slide 11: '15 days to transfer 1 PB over ideal 10Gb/s link' —
+        ideal arithmetic gives 9.26 days; the paper's 15 days corresponds
+        to ~62% link efficiency (E6 sweeps this)."""
+        topo = Topology()
+        topo.add_link("x", "y", capacity=gbit_per_s(10.0), latency=0.0)
+        net = Network(sim, topo)
+        ev = net.transfer("x", "y", 1 * PB)
+        sim.run()
+        assert ev.value.duration / 86400 == pytest.approx(9.259, rel=1e-3)
+
+    def test_efficiency_scales_duration(self):
+        sim = Simulator()
+        topo = Topology()
+        topo.add_link("x", "y", capacity=gbit_per_s(10.0))
+        net = Network(sim, topo, efficiency=0.62)
+        ev = net.transfer("x", "y", 1 * PB)
+        sim.run()
+        assert ev.value.duration / 86400 == pytest.approx(9.259 / 0.62, rel=1e-2)
+
+    def test_bad_efficiency_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Network(sim, _line(), efficiency=0.0)
+
+    def test_bad_sharing_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Network(sim, _line(), sharing="bogus")
+
+
+class TestSharing:
+    def test_two_flows_share_fairly(self, sim):
+        net = Network(sim, _line(capacity=100.0))
+        e1 = net.transfer("a", "c", 1000.0)
+        e2 = net.transfer("a", "c", 1000.0)
+        sim.run()
+        # Both at 50 B/s -> 20 s each.
+        assert e1.value.duration == pytest.approx(20.0)
+        assert e2.value.duration == pytest.approx(20.0)
+
+    def test_rate_recovers_after_completion(self, sim):
+        net = Network(sim, _line(capacity=100.0))
+        short = net.transfer("a", "c", 500.0)
+        long = net.transfer("a", "c", 1500.0)
+        sim.run()
+        # Shared at 50 B/s until short finishes at t=10; long then runs at
+        # 100 B/s for its remaining 1000 B -> total 20 s.
+        assert short.value.duration == pytest.approx(10.0)
+        assert long.value.duration == pytest.approx(20.0)
+
+    def test_weighted_flow_gets_more(self, sim):
+        net = Network(sim, _line(capacity=90.0))
+        heavy = net.transfer("a", "c", 900.0, weight=2.0)
+        light = net.transfer("a", "c", 900.0, weight=1.0)
+        sim.run()
+        assert heavy.value.duration < light.value.duration
+
+    def test_staggered_arrival(self, sim):
+        net = Network(sim, _line(capacity=100.0))
+        results = {}
+
+        def late_start():
+            yield sim.timeout(5.0)
+            ev = net.transfer("a", "c", 500.0)
+            results["late"] = (yield ev)
+
+        first = net.transfer("a", "c", 1000.0)
+        sim.process(late_start())
+        sim.run()
+        # First runs alone 0-5 (500 B done), shares 5-15 (another 500 B),
+        # finishing at 15; late flow shares 5-15 and finishes with it.
+        assert first.value.duration == pytest.approx(15.0)
+        assert results["late"].duration == pytest.approx(10.0)
+
+    def test_equal_split_model_is_slower_on_asymmetric_load(self):
+        def run(sharing):
+            sim = Simulator()
+            topo = Topology()
+            topo.add_link("a", "b", capacity=10.0, latency=0.0)
+            topo.add_link("b", "c", capacity=4.0, latency=0.0)
+            net = Network(sim, topo, sharing=sharing)
+            only_ab = net.transfer("a", "b", 100.0)
+            cross = net.transfer("a", "c", 100.0)
+            sim.run()
+            return only_ab.value.duration
+
+        # Under max-min, the a->b flow reclaims what the cross flow can't use.
+        assert run("maxmin") < run("equal")
+
+    def test_active_flow_accounting(self, sim):
+        net = Network(sim, _line())
+        net.transfer("a", "c", 1000.0)
+        assert net.flow_count == 1
+        sim.run()
+        assert net.flow_count == 0
+        assert net.bytes_delivered.value == pytest.approx(1000.0)
+
+
+class TestFailures:
+    def _redundant(self):
+        topo = Topology()
+        topo.add_link("src", "r1", capacity=100.0, latency=0.001)
+        topo.add_link("src", "r2", capacity=100.0, latency=0.002)
+        topo.add_link("r1", "dst", capacity=100.0, latency=0.001)
+        topo.add_link("r2", "dst", capacity=100.0, latency=0.002)
+        return topo
+
+    def test_failover_to_redundant_router(self, sim):
+        net = Network(sim, self._redundant())
+        ev = net.transfer("src", "dst", 2000.0)
+
+        def chaos():
+            yield sim.timeout(10.0)
+            net.fail_node("r1")
+
+        sim.process(chaos())
+        sim.run()
+        result = ev.value
+        assert result.reroutes == 1
+        # 1000 B at 100 B/s before and after failover: ~20 s total.
+        assert result.duration == pytest.approx(20.0, abs=0.1)
+
+    def test_no_route_fails_transfer_event(self, sim):
+        topo = Topology()
+        topo.add_link("a", "b", capacity=10.0)
+        net = Network(sim, topo)
+        topo.fail_link("a", "b")
+
+        def proc():
+            try:
+                yield net.transfer("a", "b", 100.0)
+            except NoRouteError:
+                return "refused"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "refused"
+        assert net.failed_flows == 1
+
+    def test_midflight_total_failure_fails_flow(self, sim):
+        topo = Topology()
+        topo.add_link("a", "b", capacity=10.0)
+        net = Network(sim, topo)
+
+        def proc():
+            try:
+                yield net.transfer("a", "b", 1000.0)
+            except NoRouteError:
+                return ("lost", sim.now)
+
+        p = sim.process(proc())
+
+        def chaos():
+            yield sim.timeout(5.0)
+            net.fail_link("a", "b")
+
+        sim.process(chaos())
+        sim.run()
+        assert p.value == ("lost", 5.0)
+
+    def test_repair_restores_capacity(self, sim):
+        net = Network(sim, self._redundant())
+        net.fail_node("r1")
+        net.repair_node("r1")
+        ev = net.transfer("src", "dst", 1000.0)
+        sim.run()
+        assert ev.value.duration == pytest.approx(10.0, abs=0.1)

@@ -1,0 +1,101 @@
+"""Tests for the background-traffic generator."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import GB, MB
+from repro.netsim import Network, TrafficConfig, TrafficGenerator, build_lsdf_backbone
+
+
+def _world(seed=5):
+    sim = Simulator(seed=seed)
+    topo, names = build_lsdf_backbone()
+    return sim, Network(sim, topo), names
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(mean_interarrival=0.0)
+        with pytest.raises(ValueError):
+            TrafficConfig(size_lo=10.0, size_hi=5.0)
+
+
+class TestGenerator:
+    def test_needs_two_endpoints(self):
+        sim, net, names = _world()
+        with pytest.raises(ValueError):
+            TrafficGenerator(sim, net, [names.daq[0]])
+
+    def test_generates_flows_at_configured_rate(self):
+        sim, net, names = _world()
+        gen = TrafficGenerator(
+            sim, net, names.daq + names.storage,
+            TrafficConfig(mean_interarrival=10.0, size_lo=10 * MB, size_hi=1 * GB),
+        )
+        proc = gen.start(duration=1000.0)
+        sim.run()
+        flows = proc.value
+        assert flows == pytest.approx(100, rel=0.35)  # Poisson(100)
+        assert gen.bytes_offered.value > 0
+        assert gen.flow_durations.count <= flows
+
+    def test_sizes_within_bounds(self):
+        sim, net, names = _world()
+        config = TrafficConfig(mean_interarrival=5.0, size_lo=50 * MB,
+                               size_hi=200 * MB)
+        gen = TrafficGenerator(sim, net, names.daq, config)
+        gen.start(duration=500.0)
+        sim.run()
+        mean_size = gen.bytes_offered.value / gen.flows_started.value
+        assert 50 * MB <= mean_size <= 200 * MB
+
+    def test_stop_halts_generation(self):
+        sim, net, names = _world()
+        gen = TrafficGenerator(sim, net, names.daq)
+
+        def stopper():
+            yield sim.timeout(30.0)
+            gen.stop()
+
+        gen.start()
+        sim.process(stopper())
+        sim.run()  # terminates because the generator observed stop
+        assert gen.flows_started.value >= 0
+
+    def test_src_dst_always_distinct(self):
+        sim, net, names = _world()
+        gen = TrafficGenerator(sim, net, names.daq[:2])
+        for _ in range(50):
+            src, dst = gen._pick_pair()
+            assert src != dst
+
+    def test_background_load_slows_foreground_flow(self):
+        """The point of the generator: a foreground transfer measurably
+        contends with background traffic."""
+        def run(with_background):
+            sim, net, names = _world(seed=8)
+            if with_background:
+                gen = TrafficGenerator(
+                    sim, net, names.daq + names.storage,
+                    TrafficConfig(mean_interarrival=2.0, size_lo=1 * GB,
+                                  size_hi=5 * GB),
+                )
+                gen.start(duration=600.0)
+            foreground = net.transfer(names.daq[0], names.storage[0], 50 * GB)
+            result = sim.run(until=foreground)
+            return result.duration
+
+        quiet = run(False)
+        loaded = run(True)
+        assert loaded > quiet
+
+    def test_deterministic(self):
+        def run():
+            sim, net, names = _world(seed=123)
+            gen = TrafficGenerator(sim, net, names.daq + names.storage)
+            proc = gen.start(duration=300.0)
+            sim.run()
+            return proc.value, gen.bytes_offered.value
+
+        assert run() == run()

@@ -1,0 +1,197 @@
+"""Tests for the iRODS-style rule engine."""
+
+import pytest
+
+from repro.adal import AdalClient, BackendRegistry, MemoryBackend
+from repro.metadata import FieldSpec, MetadataStore, Q, Schema
+from repro.simkit import Simulator
+from repro.storage import DiskArray, HsmConfig, HsmSystem, StoragePool, TapeLibrary
+from repro.rules import (
+    ArchiveAction,
+    CustomAction,
+    MigrateAction,
+    PinAction,
+    ReplicateAction,
+    Rule,
+    RuleContext,
+    RuleEngine,
+    RuleError,
+    TagAction,
+)
+
+
+@pytest.fixture
+def world(sim):
+    store = MetadataStore()
+    store.register_project(
+        "climate", Schema("cl", [FieldSpec("station", "str", required=True)],
+                          allow_extra=True)
+    )
+    array = DiskArray(sim, "disk", capacity=1e9, bandwidth=1e9, op_overhead=0.0)
+    pool = StoragePool(sim, [array])
+    tape = TapeLibrary(sim, drives=2, drive_bw=1e9, cartridge_capacity=1e9,
+                       mount_time=1.0, dismount_time=0.5)
+    hsm = HsmSystem(sim, pool, tape, HsmConfig(scan_interval=1e9), start_daemon=False)
+    registry = BackendRegistry()
+    registry.register("lsdf", MemoryBackend())
+    registry.register("mirror", MemoryBackend())
+    adal = AdalClient(registry)
+    ctx = RuleContext(store=store, hsm=hsm, adal=adal, clock=lambda: sim.now)
+    engine = RuleEngine(ctx)
+
+    def add_dataset(i, project="climate", tags=()):
+        url = f"adal://lsdf/climate/obs{i}.nc"
+        adal.put(url, b"\x07" * 100)
+        store.register_dataset(f"obs-{i}", project, url, 100, f"c{i}",
+                               {"station": f"S{i % 3}"}, created=float(i), tags=tags)
+
+        def runner():
+            yield hsm.store(f"obs-{i}", 100.0)
+
+        p = sim.process(runner())
+        sim.run()
+        assert not p.failed
+        return store.get(f"obs-{i}")
+
+    return sim, store, hsm, adal, engine, add_dataset
+
+
+class TestRuleDefinition:
+    def test_bad_trigger_rejected(self):
+        with pytest.raises(RuleError):
+            Rule("r", "sometimes", Q.all(), [TagAction("x")])
+
+    def test_no_actions_rejected(self):
+        with pytest.raises(RuleError):
+            Rule("r", "on_register", Q.all(), [])
+
+    def test_duplicate_name_rejected(self, world):
+        _sim, _store, _hsm, _adal, engine, _add = world
+        engine.register(Rule("r", "on_register", Q.all(), [TagAction("x")]))
+        with pytest.raises(RuleError):
+            engine.register(Rule("r", "periodic", Q.all(), [TagAction("y")]))
+
+    def test_tag_action_needs_tags(self):
+        with pytest.raises(RuleError):
+            TagAction()
+
+
+class TestTriggers:
+    def test_on_register_fires_matching(self, world):
+        _sim, store, _hsm, _adal, engine, add = world
+        engine.register(Rule("auto-tag", "on_register",
+                             Q.project("climate") & (Q.field("station") == "S1"),
+                             [TagAction("station-1")]))
+        add(1)  # station S1
+        add(2)  # station S2
+        engine.on_register("obs-1")
+        engine.on_register("obs-2")
+        assert "station-1" in store.get("obs-1").tags
+        assert "station-1" not in store.get("obs-2").tags
+
+    def test_on_tag_scoped_by_tag(self, world):
+        _sim, store, _hsm, _adal, engine, add = world
+        engine.register(Rule("review", "on_tag", Q.all(),
+                             [TagAction("under-review")], tag="suspect"))
+        add(1)
+        engine.on_tag("obs-1", "unrelated")
+        assert "under-review" not in store.get("obs-1").tags
+        engine.on_tag("obs-1", "suspect")
+        assert "under-review" in store.get("obs-1").tags
+
+    def test_periodic_scans_repository(self, world):
+        _sim, store, _hsm, _adal, engine, add = world
+        for i in range(6):
+            add(i)
+        engine.register(Rule("flag-old", "periodic", Q.field("created") < 3.0,
+                             [TagAction("aged")]))
+        applications = engine.run_periodic()
+        assert len(applications) == 3
+        assert all("aged" in store.get(f"obs-{i}").tags for i in range(3))
+
+    def test_once_per_dataset(self, world):
+        _sim, _store, _hsm, _adal, engine, add = world
+        hits = []
+        engine.register(Rule("count", "periodic", Q.all(),
+                             [CustomAction(lambda r, c: hits.append(r.dataset_id)
+                                           or "counted")]))
+        add(1)
+        engine.run_periodic()
+        engine.run_periodic()
+        assert hits == ["obs-1"]
+
+    def test_every_event_when_not_once(self, world):
+        _sim, _store, _hsm, _adal, engine, add = world
+        hits = []
+        engine.register(Rule("count", "on_tag", Q.all(),
+                             [CustomAction(lambda r, c: hits.append(1) or "ok")],
+                             once_per_dataset=False))
+        add(1)
+        engine.on_tag("obs-1", "a")
+        engine.on_tag("obs-1", "b")
+        assert len(hits) == 2
+
+
+class TestActions:
+    def test_archive_action_creates_tape_copy(self, world):
+        sim, _store, hsm, _adal, engine, add = world
+        engine.register(Rule("archive-all", "on_register", Q.project("climate"),
+                             [ArchiveAction()]))
+        add(1)
+        engine.on_register("obs-1")
+        sim.run()
+        assert hsm.tape.contains("obs-1")
+        # Idempotent on second application path.
+        assert ArchiveAction().apply(_store.get("obs-1"), engine.ctx) == "tape copy exists"
+
+    def test_migrate_action_moves_to_tape(self, world):
+        sim, store, hsm, _adal, engine, add = world
+        engine.register(Rule("cold", "periodic", Q.field("created") <= 1.0,
+                             [MigrateAction()]))
+        add(0)
+        add(1)
+        add(2)
+        engine.run_periodic()
+        sim.run()
+        assert hsm.tier_of("obs-0") == "tape"
+        assert hsm.tier_of("obs-2") == "disk"
+
+    def test_pin_blocks_migration(self, world):
+        sim, _store, hsm, _adal, engine, add = world
+        record = add(1)
+        PinAction(True).apply(record, engine.ctx)
+        assert MigrateAction().apply(record, engine.ctx) == "pinned (skipped)"
+        assert hsm.tier_of("obs-1") == "disk"
+
+    def test_replicate_action_copies_cross_store(self, world):
+        _sim, store, _hsm, adal, engine, add = world
+        add(1)
+        outcome = ReplicateAction("mirror").apply(store.get("obs-1"), engine.ctx)
+        assert "replicated" in outcome
+        assert adal.get("adal://mirror/climate/obs1.nc") == b"\x07" * 100
+        # Second run is a no-op.
+        assert ReplicateAction("mirror").apply(store.get("obs-1"), engine.ctx) \
+            == "replica exists"
+
+    def test_actions_fail_loudly_without_services(self, world):
+        _sim, store, _hsm, _adal, _engine, add = world
+        add(1)
+        bare = RuleContext(store=store)
+        for action in (ArchiveAction(), MigrateAction(), PinAction(),
+                       ReplicateAction("mirror")):
+            with pytest.raises(RuleError):
+                action.apply(store.get("obs-1"), bare)
+
+
+class TestAuditing:
+    def test_log_and_stats(self, world):
+        sim, _store, _hsm, _adal, engine, add = world
+        engine.register(Rule("tagger", "on_register", Q.all(), [TagAction("seen")]))
+        add(1)
+        add(2)
+        engine.on_register("obs-1")
+        engine.on_register("obs-2")
+        stats = engine.stats()
+        assert stats["applications"] == 2
+        assert stats["per_rule"] == {"tagger": 2}
+        assert engine.log[0].outcomes == ["tag(seen): tagged ['seen']"]

@@ -1,0 +1,412 @@
+"""Tests for the event loop (Simulator) and basic process semantics."""
+
+import pytest
+
+from repro.simkit import Event, Interrupt, SimkitError, Simulator, StopSimulation
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start=100.0).now == 100.0
+
+
+def test_timeout_advances_clock(sim):
+    def proc():
+        yield sim.timeout(5.0)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 5.0
+    assert sim.now == 5.0
+
+
+def test_timeout_carries_value(sim):
+    def proc():
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_time_stops_clock_exactly(sim):
+    def proc():
+        while True:
+            yield sim.timeout(3.0)
+
+    sim.process(proc())
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_time_with_no_events_advances_clock(sim):
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_run_until_past_raises(sim):
+    def proc():
+        yield sim.timeout(5.0)
+
+    sim.process(proc())
+    sim.run()
+    with pytest.raises(SimkitError):
+        sim.run(until=1.0)
+
+
+def test_run_until_event_returns_value(sim):
+    def proc():
+        yield sim.timeout(2.0)
+        return "done"
+
+    p = sim.process(proc())
+    result = sim.run(until=p)
+    assert result == "done"
+    assert sim.now == 2.0
+
+
+def test_run_until_event_never_triggered_raises(sim):
+    orphan = sim.event()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    with pytest.raises(SimkitError):
+        sim.run(until=orphan)
+
+
+def test_events_ordered_by_time_then_fifo(sim):
+    order = []
+
+    def proc(name, delay):
+        yield sim.timeout(delay)
+        order.append(name)
+
+    sim.process(proc("b", 2.0))
+    sim.process(proc("a", 1.0))
+    sim.process(proc("c", 2.0))  # same time as b: FIFO
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value_propagates_through_join(sim):
+    def inner():
+        yield sim.timeout(1.0)
+        return 42
+
+    def outer():
+        value = yield sim.process(inner())
+        return value * 2
+
+    p = sim.process(outer())
+    sim.run()
+    assert p.value == 84
+
+
+def test_yield_already_processed_event_resumes_immediately(sim):
+    done = sim.event()
+    done.succeed("early")
+
+    def late():
+        yield sim.timeout(5.0)
+        value = yield done
+        return (sim.now, value)
+
+    p = sim.process(late())
+    sim.run()
+    assert p.value == (5.0, "early")
+
+
+def test_unhandled_process_exception_surfaces():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_joined_process_failure_is_rethrown_in_parent(sim):
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "caught inner"
+
+
+def test_yielding_non_event_raises_into_process(sim):
+    def bad():
+        yield 42
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except SimkitError:
+            return "typed error"
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "typed error"
+
+
+def test_stop_simulation_halts_run(sim):
+    def stopper():
+        yield sim.timeout(3.0)
+        raise StopSimulation()
+
+    def forever():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(forever())
+    sim.process(stopper())
+    sim.run()
+    assert sim.now == 3.0
+
+
+def test_call_at_runs_function(sim):
+    hits = []
+    sim.call_at(7.5, lambda: hits.append(sim.now))
+    sim.run()
+    assert hits == [7.5]
+
+
+def test_call_at_past_raises(sim):
+    def proc():
+        yield sim.timeout(5.0)
+
+    sim.process(proc())
+    sim.run()
+    with pytest.raises(SimkitError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_event_cannot_trigger_twice(sim):
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimkitError):
+        ev.succeed(2)
+    with pytest.raises(SimkitError):
+        ev.fail(RuntimeError())
+
+
+def test_event_fail_requires_exception(sim):
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_failed_event_value_raises(sim):
+    ev = sim.event()
+    ev.fail(ValueError("x"))
+    with pytest.raises(ValueError):
+        _ = ev.value
+
+
+def test_peek_and_queue_empty(sim):
+    assert sim.queue_empty
+    assert sim.peek() == float("inf")
+    sim.timeout(3.0)
+    assert not sim.queue_empty
+    assert sim.peek() == 3.0
+
+
+def test_step_on_empty_queue_raises(sim):
+    with pytest.raises(SimkitError):
+        sim.step()
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+
+        target = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(5.0)
+            target.interrupt("reason")
+
+        sim.process(killer())
+        sim.run()
+        assert target.value == ("interrupted", "reason", 5.0)
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def quick():
+            yield sim.timeout(1.0)
+
+        target = sim.process(quick())
+
+        def late():
+            yield sim.timeout(2.0)
+            with pytest.raises(SimkitError):
+                target.interrupt()
+
+        sim.process(late())
+        sim.run()
+
+    def test_interrupted_process_can_resume_waiting(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                yield sim.timeout(3.0)  # handles and keeps going
+                return sim.now
+
+        target = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(5.0)
+            target.interrupt()
+
+        sim.process(killer())
+        sim.run()
+        assert target.value == 8.0
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def sleeper():
+            yield sim.timeout(100.0)
+
+        target = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        sim.process(killer())
+        with pytest.raises(Interrupt):
+            sim.run()
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        def worker(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        a = sim.process(worker(1.0, "a"))
+        b = sim.process(worker(4.0, "b"))
+
+        def waiter():
+            results = yield sim.all_of([a, b])
+            return (sim.now, sorted(results.values()))
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == (4.0, ["a", "b"])
+
+    def test_any_of_fires_on_first(self, sim):
+        def worker(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        a = sim.process(worker(1.0, "fast"))
+        b = sim.process(worker(9.0, "slow"))
+
+        def waiter():
+            results = yield sim.any_of([a, b])
+            return (sim.now, list(results.values()))
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == (1.0, ["fast"])
+
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+    def test_all_of_failure_propagates(self, sim):
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("part failed")
+
+        def good():
+            yield sim.timeout(5.0)
+
+        a, b = sim.process(bad()), sim.process(good())
+
+        def waiter():
+            try:
+                yield sim.all_of([a, b])
+            except RuntimeError:
+                return "caught"
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == "caught"
+
+    def test_all_of_with_already_failed_event(self, sim):
+        dead = sim.event()
+        dead.fail(ValueError("pre-failed"))
+        ok = sim.timeout(1.0)
+
+        def waiter():
+            yield sim.timeout(2.0)  # ensure `dead` is already processed
+            try:
+                yield sim.all_of([dead, ok])
+            except ValueError:
+                return "caught"
+
+        # Consume the failure so the bare event doesn't crash the loop.
+        def consumer():
+            try:
+                yield dead
+            except ValueError:
+                pass
+
+        sim.process(consumer())
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == "caught"
+
+    def test_all_of_empty_triggers_immediately(self, sim):
+        def waiter():
+            yield sim.timeout(1.0)
+            result = yield sim.all_of([])
+            return (sim.now, result)
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == (1.0, {})
+
+
+def test_determinism_same_seed_same_trace():
+    def run_once():
+        sim = Simulator(seed=99)
+        log = []
+
+        def proc(name):
+            for _ in range(5):
+                yield sim.timeout(sim.random.exponential(2.0))
+                log.append((round(sim.now, 9), name))
+
+        sim.process(proc("x"))
+        sim.process(proc("y"))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,287 @@
+"""Tests for Resource / PriorityResource / Store / Container."""
+
+import pytest
+
+from repro.simkit import Container, PriorityResource, Resource, SimkitError, Store
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        log = []
+
+        def worker(name, hold):
+            req = res.request()
+            yield req
+            log.append((sim.now, name, "in"))
+            yield sim.timeout(hold)
+            res.release(req)
+
+        for name, hold in [("a", 5.0), ("b", 5.0), ("c", 5.0)]:
+            sim.process(worker(name, hold))
+        sim.run()
+        times = {name: t for t, name, _ in log}
+        assert times["a"] == 0.0 and times["b"] == 0.0
+        assert times["c"] == 5.0
+
+    def test_fifo_order(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name):
+            req = res.request()
+            yield req
+            order.append(name)
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        for name in "abcd":
+            sim.process(worker(name))
+        sim.run()
+        assert order == list("abcd")
+
+    def test_release_unheld_raises(self, sim):
+        res = Resource(sim)
+
+        def proc():
+            req = res.request()
+            yield req
+            res.release(req)
+            with pytest.raises(SimkitError):
+                res.release(req)
+
+        sim.process(proc())
+        sim.run()
+
+    def test_cancel_pending_request(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(10.0)
+            res.release(req)
+
+        sim.process(holder())
+
+        def canceller():
+            yield sim.timeout(1.0)
+            req = res.request()
+            assert res.queue_length == 1
+            req.cancel()
+            assert res.queue_length == 0
+
+        sim.process(canceller())
+        sim.run()
+
+    def test_stats_counters(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def worker():
+            req = res.request()
+            yield req
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        for _ in range(5):
+            sim.process(worker())
+        sim.run()
+        assert res.total_grants == 5
+        assert res.peak_in_use == 2
+        assert res.in_use == 0
+
+
+class TestPriorityResource:
+    def test_priority_order(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        order = []
+
+        def worker(name, priority):
+            req = res.request(priority=priority)
+            yield req
+            order.append(name)
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        def submit():
+            # occupy, then queue three with different priorities
+            req = res.request(priority=0)
+            yield req
+            sim.process(worker("low", 5))
+            sim.process(worker("high", 1))
+            sim.process(worker("mid", 3))
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        sim.process(submit())
+        sim.run()
+        assert order == ["high", "mid", "low"]
+
+    def test_fifo_within_priority(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        order = []
+
+        def worker(name):
+            req = res.request(priority=2)
+            yield req
+            order.append(name)
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        for name in "abc":
+            sim.process(worker(name))
+        sim.run()
+        assert order == list("abc")
+
+
+class TestStore:
+    def test_put_get_fifo(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                yield sim.timeout(1.0)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_bounded_put_blocks(self, sim):
+        store = Store(sim, capacity=1)
+        timeline = []
+
+        def producer():
+            yield store.put("a")
+            timeline.append(("a", sim.now))
+            yield store.put("b")
+            timeline.append(("b", sim.now))
+
+        def consumer():
+            yield sim.timeout(5.0)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert timeline == [("a", 0.0), ("b", 5.0)]
+
+    def test_get_blocks_until_item(self, sim):
+        store = Store(sim)
+
+        def consumer():
+            item = yield store.get()
+            return (item, sim.now)
+
+        def producer():
+            yield sim.timeout(3.0)
+            yield store.put("late")
+
+        p = sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert p.value == ("late", 3.0)
+
+    def test_predicate_get(self, sim):
+        store = Store(sim)
+
+        def scenario():
+            yield store.put(1)
+            yield store.put(2)
+            yield store.put(3)
+            even = yield store.get(lambda x: x % 2 == 0)
+            rest_a = yield store.get()
+            rest_b = yield store.get()
+            return (even, rest_a, rest_b)
+
+        p = sim.process(scenario())
+        sim.run()
+        assert p.value == (2, 1, 3)
+
+    def test_size(self, sim):
+        store = Store(sim)
+
+        def scenario():
+            yield store.put("x")
+            yield store.put("y")
+            assert store.size == 2
+            yield store.get()
+            assert store.size == 1
+
+        sim.process(scenario())
+        sim.run()
+
+
+class TestContainer:
+    def test_init_validation(self, sim):
+        with pytest.raises(ValueError):
+            Container(sim, capacity=10, init=11)
+        with pytest.raises(ValueError):
+            Container(sim, capacity=10, init=-1)
+
+    def test_put_get_levels(self, sim):
+        tank = Container(sim, capacity=100, init=50)
+
+        def scenario():
+            yield tank.get(30)
+            assert tank.level == 20
+            yield tank.put(60)
+            assert tank.level == 80
+
+        sim.process(scenario())
+        sim.run()
+
+    def test_get_blocks_until_available(self, sim):
+        tank = Container(sim, capacity=100, init=0)
+
+        def getter():
+            yield tank.get(10)
+            return sim.now
+
+        def putter():
+            yield sim.timeout(4.0)
+            yield tank.put(10)
+
+        p = sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert p.value == 4.0
+
+    def test_put_blocks_when_full(self, sim):
+        tank = Container(sim, capacity=10, init=10)
+
+        def putter():
+            yield tank.put(5)
+            return sim.now
+
+        def getter():
+            yield sim.timeout(2.0)
+            yield tank.get(5)
+
+        p = sim.process(putter())
+        sim.process(getter())
+        sim.run()
+        assert p.value == 2.0
+
+    def test_get_over_capacity_rejected(self, sim):
+        tank = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            tank.get(11)
+
+    def test_negative_amounts_rejected(self, sim):
+        tank = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            tank.put(-1)
+        with pytest.raises(ValueError):
+            tank.get(-1)

@@ -1,0 +1,88 @@
+"""Tests for the processor-sharing fluid server."""
+
+import pytest
+
+from repro.storage import FluidServer
+
+
+class TestFluidServer:
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            FluidServer(sim, rate=0.0)
+        with pytest.raises(ValueError):
+            FluidServer(sim, rate=1.0, concurrency_limit=0)
+
+    def test_single_job_duration(self, sim):
+        srv = FluidServer(sim, rate=100.0)
+        ev = srv.submit(1000.0)
+        sim.run()
+        assert ev.value == pytest.approx(10.0)
+
+    def test_zero_job_immediate(self, sim):
+        srv = FluidServer(sim, rate=100.0)
+        ev = srv.submit(0.0)
+        assert ev.triggered
+
+    def test_negative_rejected(self, sim):
+        srv = FluidServer(sim, rate=100.0)
+        with pytest.raises(ValueError):
+            srv.submit(-1.0)
+
+    def test_processor_sharing_two_jobs(self, sim):
+        srv = FluidServer(sim, rate=100.0)
+        a = srv.submit(1000.0)
+        b = srv.submit(1000.0)
+        sim.run()
+        assert a.value == pytest.approx(20.0)
+        assert b.value == pytest.approx(20.0)
+
+    def test_short_job_leaves_long_job_faster(self, sim):
+        srv = FluidServer(sim, rate=100.0)
+        short = srv.submit(500.0)
+        long = srv.submit(1500.0)
+        sim.run()
+        assert short.value == pytest.approx(10.0)
+        assert long.value == pytest.approx(20.0)
+
+    def test_concurrency_limit_queues(self, sim):
+        srv = FluidServer(sim, rate=100.0, concurrency_limit=1)
+        a = srv.submit(1000.0)
+        b = srv.submit(1000.0)
+        assert srv.active_jobs == 1
+        assert srv.queued_jobs == 1
+        sim.run()
+        # Sequential service: 10 s and 20 s of *elapsed* time.
+        assert a.value == pytest.approx(10.0)
+        assert b.value == pytest.approx(20.0)
+
+    def test_per_job_rate(self, sim):
+        srv = FluidServer(sim, rate=90.0)
+        srv.submit(1000.0)
+        srv.submit(1000.0)
+        srv.submit(1000.0)
+        assert srv.current_per_job_rate() == pytest.approx(30.0)
+
+    def test_stats(self, sim):
+        srv = FluidServer(sim, rate=100.0)
+        srv.submit(100.0)
+        srv.submit(300.0)
+        sim.run()
+        assert srv.completed.value == pytest.approx(400.0)
+        assert srv.service_times.count == 2
+
+    def test_late_arrival_shares_remaining(self, sim):
+        srv = FluidServer(sim, rate=100.0)
+        first = srv.submit(1000.0)
+        second = {}
+
+        def late():
+            yield sim.timeout(5.0)
+            ev = srv.submit(250.0)
+            second["duration"] = yield ev
+
+        sim.process(late())
+        sim.run()
+        # First: 500 B alone (5 s), then shares: second needs 250 B at 50 B/s
+        # = 5 s; first finishes its last 500 B at 50 then 100 B/s.
+        assert second["duration"] == pytest.approx(5.0)
+        assert first.value == pytest.approx(12.5)

@@ -1,0 +1,112 @@
+"""Property-based tests for the storage substrate (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkit import Simulator
+from repro.storage import (
+    DiskArray,
+    HsmConfig,
+    HsmSystem,
+    PlacementPolicy,
+    StoragePool,
+    TapeLibrary,
+)
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=400.0), min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_tape_catalog_offsets_never_overlap(sizes):
+    """Archived files on a cartridge occupy disjoint [offset, offset+size)
+    ranges, and cartridge fill never exceeds capacity."""
+    sim = Simulator()
+    tape = TapeLibrary(sim, drives=2, drive_bw=1e9, cartridge_capacity=1000.0,
+                       mount_time=1.0, dismount_time=0.5)
+    for i, size in enumerate(sizes):
+        tape.archive(f"f{i}", size)
+    sim.run()
+    per_cartridge: dict[int, list[tuple[float, float]]] = {}
+    for i, size in enumerate(sizes):
+        cart, offset, stored = tape.location(f"f{i}")
+        assert stored == size
+        per_cartridge.setdefault(cart, []).append((offset, offset + size))
+    for cart_id, ranges in per_cartridge.items():
+        ranges.sort()
+        for (a_start, a_end), (b_start, _b_end) in zip(ranges, ranges[1:]):
+            assert a_end <= b_start + 1e-9, f"overlap on cartridge {cart_id}"
+        assert ranges[-1][1] <= 1000.0 + 1e-9
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=10.0, max_value=120.0), min_size=1, max_size=25),
+    policy=st.sampled_from(list(PlacementPolicy)),
+)
+@settings(max_examples=60, deadline=None)
+def test_pool_conservation_across_policies(sizes, policy):
+    """Total used bytes always equals the sum of on-disk catalog entries,
+    for every placement policy, including after deletions."""
+    sim = Simulator()
+    arrays = [
+        DiskArray(sim, "a", capacity=2000.0, bandwidth=1e9, op_overhead=0.0),
+        DiskArray(sim, "b", capacity=3000.0, bandwidth=1e9, op_overhead=0.0),
+    ]
+    pool = StoragePool(sim, arrays, policy=policy)
+    for i, size in enumerate(sizes):
+        pool.write(f"f{i}", size)
+    sim.run()
+    assert pool.used == pytest.approx(sum(sizes))
+    # Delete every other file.
+    kept = 0.0
+    for i, size in enumerate(sizes):
+        if i % 2 == 0:
+            pool.delete(f"f{i}")
+        else:
+            kept += size
+    assert pool.used == pytest.approx(kept)
+    for array in arrays:
+        assert -1e-9 <= array.used <= array.capacity + 1e-9
+
+
+@given(
+    n_files=st.integers(min_value=3, max_value=20),
+    accesses=st.lists(st.integers(min_value=0, max_value=19), max_size=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_hsm_every_file_always_somewhere(n_files, accesses):
+    """Through arbitrary store/migrate/access interleavings, every file is
+    on exactly one tier, and bytes are conserved."""
+    sim = Simulator(seed=9)
+    array = DiskArray(sim, "d", capacity=n_files * 100.0, bandwidth=1e9,
+                      op_overhead=0.0)
+    pool = StoragePool(sim, [array])
+    tape = TapeLibrary(sim, drives=2, drive_bw=1e9, cartridge_capacity=1e9,
+                       mount_time=0.5, dismount_time=0.1)
+    hsm = HsmSystem(sim, pool, tape, HsmConfig(high_water=0.6, low_water=0.3,
+                                               scan_interval=5.0),
+                    start_daemon=False)
+
+    def scenario():
+        for i in range(n_files):
+            yield hsm.store(f"f{i}", 100.0)
+            yield sim.timeout(1.0)
+        yield hsm.migrate_now()
+        for target in accesses:
+            if target < n_files:
+                yield hsm.access(f"f{target}")
+
+    p = sim.process(scenario())
+    sim.run()
+    assert not p.failed, p.exception
+    on_disk = 0
+    for i in range(n_files):
+        record = pool.lookup(f"f{i}")
+        assert record.tier in ("disk", "tape")
+        if record.tier == "disk":
+            on_disk += 1
+        else:
+            assert tape.contains(f"f{i}")
+    assert array.used == pytest.approx(on_disk * 100.0)
+    assert pool.fill_fraction <= 1.0 + 1e-9

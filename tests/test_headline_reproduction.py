@@ -1,0 +1,67 @@
+"""Regression pins for the paper's headline numbers.
+
+The benches (E1..E12) print full tables; these tests pin the three headline
+reproductions at reduced scale so that any code change that would drift the
+calibration fails the *unit* suite, not just a bench someone has to read.
+"""
+
+import pytest
+
+from repro.core import CapacityPlanner, Facility
+from repro.mapreduce import JobSpec
+from repro.netsim import Network, Topology
+from repro.simkit import Simulator, units
+from repro.workloads import viz3d_cluster_job, zebrafish_microscopes
+
+
+def test_pin_1pb_transfer_arithmetic():
+    """Slide 11: '15 days to transfer 1 PB over ideal 10Gb/s link'."""
+    sim = Simulator()
+    topo = Topology()
+    topo.add_link("a", "b", capacity=units.gbit_per_s(10.0))
+    ideal = Network(sim, topo).transfer("a", "b", 1 * units.PB)
+    sim.run()
+    assert ideal.value.duration / units.DAY == pytest.approx(9.259, abs=0.01)
+    # The paper's quoted 15 days <=> ~62% link efficiency.
+    sim2 = Simulator()
+    topo2 = Topology()
+    topo2.add_link("a", "b", capacity=units.gbit_per_s(10.0))
+    realistic = Network(sim2, topo2, efficiency=0.62).transfer("a", "b", 1 * units.PB)
+    sim2.run()
+    assert realistic.value.duration / units.DAY == pytest.approx(14.9, abs=0.15)
+
+
+def test_pin_viz3d_calibration_quarter_scale():
+    """Slide 13: '1 TB in 20 min' on 60 nodes.  Pinned at 256 GB (linear in
+    data, bench E9b): expect a quarter of ~18.3 min within +-35%."""
+    facility = Facility(seed=9)
+
+    def scenario():
+        yield facility.load_into_hdfs("/pin/viz", 256 * units.GB)
+        result = yield facility.mapreduce.submit(viz3d_cluster_job("/pin/viz"))
+        return result
+
+    proc = facility.sim.process(scenario())
+    facility.run()
+    assert not proc.failed, proc.exception
+    minutes = proc.value.duration / units.MINUTE
+    assert 3.0 <= minutes <= 7.5  # quarter of the 20-min claim, with margin
+    assert proc.value.locality_fraction > 0.9
+
+
+def test_pin_microscopy_rate_short_window():
+    """Slide 5: ~200k frames/day, sustained losslessly (30-minute window)."""
+    facility = Facility(seed=8)
+    pipeline = facility.ingest_pipeline(zebrafish_microscopes(instruments=4))
+    report = pipeline.run(duration=30 * units.MINUTE)
+    assert report.frames_per_day == pytest.approx(200_000, rel=0.08)
+    assert report.frames_dropped == 0
+    assert len(facility.metadata) == report.frames_ingested
+
+
+def test_pin_capacity_milestones():
+    """Slides 7/14: 2 PB now, 6 PB in 2012, covering community demand."""
+    planner = CapacityPlanner()
+    assert planner.installed_disk(2011) == pytest.approx(2 * units.PB)
+    assert planner.installed_disk(2012) == pytest.approx(6 * units.PB)
+    assert planner.first_shortfall(range(2010, 2015)) is None

@@ -1,0 +1,130 @@
+"""Tests for actors, ports and workflow graph wiring."""
+
+import pytest
+
+from repro.workflow import Actor, ActorError, CycleError, FunctionActor, PortError, WorkflowGraph
+
+
+class TestActor:
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(ActorError):
+            Actor("a", inputs=("x", "x"))
+        with pytest.raises(ActorError):
+            Actor("a", outputs=("y", "y"))
+
+    def test_check_fire_missing_inputs(self):
+        actor = FunctionActor("f", lambda x: x, inputs=("x",))
+        with pytest.raises(ActorError, match="missing inputs"):
+            actor._check_fire({})
+
+    def test_check_fire_missing_outputs(self):
+        actor = FunctionActor("f", lambda: {"a": 1}, outputs=("a", "b"))
+        with pytest.raises(ActorError, match="outputs not produced"):
+            actor._check_fire({})
+
+    def test_exception_wrapped_as_actor_error(self):
+        def boom():
+            raise RuntimeError("inner")
+
+        actor = FunctionActor("f", boom, outputs=("out",))
+        with pytest.raises(ActorError, match="inner"):
+            actor._check_fire({})
+
+    def test_default_cost_zero(self):
+        assert Actor("a").cost({}) == 0.0
+
+    def test_cost_model(self):
+        actor = FunctionActor("f", lambda n: n, inputs=("n",),
+                              cost_model=lambda inputs: inputs["n"] * 2.0)
+        assert actor.cost({"n": 3}) == 6.0
+
+
+class TestFunctionActor:
+    def test_bare_return_single_output(self):
+        actor = FunctionActor("double", lambda x: x * 2, inputs=("x",), outputs=("out",))
+        assert actor._check_fire({"x": 4}) == {"out": 8}
+
+    def test_mapping_return_multi_output(self):
+        actor = FunctionActor(
+            "split", lambda x: {"hi": x + 1, "lo": x - 1}, inputs=("x",),
+            outputs=("hi", "lo"),
+        )
+        assert actor._check_fire({"x": 5}) == {"hi": 6, "lo": 4}
+
+    def test_bare_return_with_multi_output_rejected(self):
+        actor = FunctionActor("bad", lambda: 1, outputs=("a", "b"))
+        with pytest.raises(ActorError):
+            actor._check_fire({})
+
+    def test_params_passed_as_kwargs(self):
+        actor = FunctionActor("scaled", lambda x, factor: x * factor, inputs=("x",),
+                              params={"factor": 10})
+        assert actor._check_fire({"x": 2}) == {"out": 20}
+
+
+class TestGraph:
+    def _linear(self):
+        g = WorkflowGraph("lin")
+        g.add(FunctionActor("a", lambda: 1, outputs=("out",)))
+        g.add(FunctionActor("b", lambda x: x + 1, inputs=("x",), outputs=("out",)))
+        g.connect("a", "out", "b", "x")
+        return g
+
+    def test_duplicate_actor_rejected(self):
+        g = self._linear()
+        with pytest.raises(ActorError):
+            g.add(FunctionActor("a", lambda: 1))
+
+    def test_connect_validates_ports(self):
+        g = self._linear()
+        with pytest.raises(PortError):
+            g.connect("a", "nope", "b", "x")
+        with pytest.raises(PortError):
+            g.connect("a", "out", "b", "nope")
+        with pytest.raises(PortError):
+            g.connect("ghost", "out", "b", "x")
+
+    def test_input_single_writer(self):
+        g = self._linear()
+        g.add(FunctionActor("c", lambda: 2, outputs=("out",)))
+        with pytest.raises(PortError, match="already connected"):
+            g.connect("c", "out", "b", "x")
+
+    def test_free_inputs(self):
+        g = WorkflowGraph()
+        g.add(FunctionActor("solo", lambda x, y: x, inputs=("x", "y"), outputs=("out",)))
+        assert set(g.free_inputs()) == {("solo", "x"), ("solo", "y")}
+
+    def test_cycle_detected(self):
+        g = WorkflowGraph()
+        g.add(FunctionActor("a", lambda x: x, inputs=("x",), outputs=("out",)))
+        g.add(FunctionActor("b", lambda x: x, inputs=("x",), outputs=("out",)))
+        g.connect("a", "out", "b", "x")
+        g.connect("b", "out", "a", "x")
+        with pytest.raises(CycleError):
+            g.validate()
+
+    def test_topo_order_respects_dependencies(self):
+        g = WorkflowGraph()
+        for name in "dcba":
+            g.add(FunctionActor(name, lambda: 1, inputs=("x",) if name != "d" else (),
+                                outputs=("out",)))
+        g.connect("d", "out", "c", "x")
+        g.connect("c", "out", "b", "x")
+        g.connect("b", "out", "a", "x")
+        assert g.topo_order() == ["d", "c", "b", "a"]
+
+    def test_waves_group_independent_actors(self):
+        g = WorkflowGraph()
+        g.add(FunctionActor("src", lambda: 1, outputs=("out",)))
+        g.add(FunctionActor("l", lambda x: x, inputs=("x",), outputs=("out",)))
+        g.add(FunctionActor("r", lambda x: x, inputs=("x",), outputs=("out",)))
+        g.add(FunctionActor("sink", lambda a, b: a + b, inputs=("a", "b"), outputs=("out",)))
+        g.connect("src", "out", "l", "x")
+        g.connect("src", "out", "r", "x")
+        g.connect("l", "out", "sink", "a")
+        g.connect("r", "out", "sink", "b")
+        assert g.waves() == [["src"], ["l", "r"], ["sink"]]
+
+    def test_len(self):
+        assert len(self._linear()) == 2

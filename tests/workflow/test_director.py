@@ -1,0 +1,131 @@
+"""Tests for the three directors."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.workflow import (
+    ActorError,
+    DataflowDirector,
+    FunctionActor,
+    SequentialDirector,
+    SimulatedDirector,
+    WorkflowGraph,
+)
+
+
+def _pipeline_graph():
+    g = WorkflowGraph("pipe")
+    g.add(FunctionActor("load", lambda path: f"data({path})", inputs=("path",),
+                        outputs=("out",)))
+    g.add(FunctionActor("clean", lambda x: x.upper(), inputs=("x",), outputs=("out",)))
+    g.add(FunctionActor("count", lambda x: len(x), inputs=("x",), outputs=("out",)))
+    g.connect("load", "out", "clean", "x")
+    g.connect("clean", "out", "count", "x")
+    return g
+
+
+def _diamond_graph(costs=None):
+    costs = costs or {}
+
+    def actor(name, fn, inputs, outputs=("out",)):
+        return FunctionActor(name, fn, inputs=inputs, outputs=outputs,
+                             cost_model=(lambda _i, c=costs.get(name, 0.0): c))
+
+    g = WorkflowGraph("diamond")
+    g.add(actor("src", lambda v: v, ("v",)))
+    g.add(actor("left", lambda x: x + 1, ("x",)))
+    g.add(actor("right", lambda x: x * 10, ("x",)))
+    g.add(actor("join", lambda a, b: (a, b), ("a", "b")))
+    g.connect("src", "out", "left", "x")
+    g.connect("src", "out", "right", "x")
+    g.connect("left", "out", "join", "a")
+    g.connect("right", "out", "join", "b")
+    return g
+
+
+class TestSequentialDirector:
+    def test_runs_pipeline(self):
+        trace = SequentialDirector().run(_pipeline_graph(), {("load", "path"): "f.tif"})
+        assert trace.status == "success"
+        assert trace.output("count", "out") == len("DATA(F.TIF)")
+        assert [f.actor for f in trace.firings] == ["load", "clean", "count"]
+
+    def test_missing_workflow_input_raises(self):
+        with pytest.raises(ActorError, match="not connected and not supplied"):
+            SequentialDirector().run(_pipeline_graph())
+
+    def test_failure_recorded_in_trace(self):
+        g = WorkflowGraph("bad")
+        g.add(FunctionActor("boom", lambda: 1 / 0, outputs=("out",)))
+        with pytest.raises(ActorError) as excinfo:
+            SequentialDirector().run(g)
+        trace = excinfo.value.trace
+        assert trace.status == "failed"
+        assert trace.firings[0].status == "failed"
+        assert "division" in trace.firings[0].error
+
+    def test_fanout_value_reused(self):
+        trace = SequentialDirector().run(_diamond_graph(), {("src", "v"): 5})
+        assert trace.output("join", "out") == (6, 50)
+
+
+class TestDataflowDirector:
+    def test_same_results_as_sequential(self):
+        inputs = {("src", "v"): 3}
+        seq = SequentialDirector().run(_diamond_graph(), inputs)
+        flow = DataflowDirector().run(_diamond_graph(), inputs)
+        assert flow.output("join", "out") == seq.output("join", "out")
+
+    def test_all_firings_recorded(self):
+        trace = DataflowDirector().run(_diamond_graph(), {("src", "v"): 1})
+        assert {f.actor for f in trace.firings} == {"src", "left", "right", "join"}
+
+
+class TestSimulatedDirector:
+    def test_costs_advance_sim_time(self):
+        sim = Simulator()
+        g = _diamond_graph(costs={"src": 1.0, "left": 5.0, "right": 3.0, "join": 2.0})
+        director = SimulatedDirector(sim)
+        ev = director.run(g, {("src", "v"): 2})
+        sim.run()
+        trace = ev.value
+        # Parallel branches overlap: 1 + max(5, 3) + 2 = 8.
+        assert trace.duration == pytest.approx(8.0)
+        assert trace.output("join", "out") == (3, 20)
+
+    def test_side_effects_happen(self):
+        sim = Simulator()
+        hits = []
+        g = WorkflowGraph("fx")
+        g.add(FunctionActor("touch", lambda: hits.append(sim.now) or 1,
+                            outputs=("out",), cost_model=lambda _i: 4.0))
+        director = SimulatedDirector(sim)
+        ev = director.run(g)
+        sim.run()
+        assert hits == [4.0]
+        assert ev.value.status == "success"
+
+    def test_failure_fails_process(self):
+        sim = Simulator()
+        g = WorkflowGraph("bad")
+        g.add(FunctionActor("boom", lambda: 1 / 0, outputs=("out",)))
+        director = SimulatedDirector(sim)
+        ev = director.run(g)
+        with pytest.raises(ActorError):
+            sim.run()
+
+    def test_parallel_workflows_interleave(self):
+        sim = Simulator()
+        director = SimulatedDirector(sim)
+
+        def graph(name, cost):
+            g = WorkflowGraph(name)
+            g.add(FunctionActor("work", lambda: name, outputs=("out",),
+                                cost_model=lambda _i: cost))
+            return g
+
+        fast = director.run(graph("fast", 1.0))
+        slow = director.run(graph("slow", 10.0))
+        sim.run()
+        assert fast.value.finished == pytest.approx(1.0)
+        assert slow.value.finished == pytest.approx(10.0)

@@ -1,0 +1,131 @@
+"""Tests for the pre-built facility actors."""
+
+import pytest
+
+from repro.adal import AdalClient, BackendRegistry, MemoryBackend
+from repro.metadata import FieldSpec, MetadataStore, Schema
+from repro.mapreduce import LocalJob
+from repro.workflow import (
+    ActorError,
+    AdalReadActor,
+    AdalWriteActor,
+    ChecksumActor,
+    DataflowDirector,
+    LocalMapReduceActor,
+    MetadataTagActor,
+    RegisterProductActor,
+    WorkflowGraph,
+)
+
+
+@pytest.fixture
+def client():
+    registry = BackendRegistry()
+    registry.register("lsdf", MemoryBackend())
+    return AdalClient(registry)
+
+
+@pytest.fixture
+def store():
+    s = MetadataStore()
+    s.register_project("zf", Schema("zf", [FieldSpec("plate", "int", required=True)],
+                                    allow_extra=True))
+    s.register_dataset("src-1", "zf", "adal://lsdf/src1", 3, "c", {"plate": 1})
+    return s
+
+
+class TestAdalActors:
+    def test_read_actor(self, client):
+        client.put("adal://lsdf/a.bin", b"abc")
+        actor = AdalReadActor(client)
+        assert actor._check_fire({"url": "adal://lsdf/a.bin"}) == {"data": b"abc"}
+
+    def test_read_actor_verify(self, client):
+        client.put("adal://lsdf/a.bin", b"abc")
+        actor = AdalReadActor(client, verify=True)
+        assert actor._check_fire({"url": "adal://lsdf/a.bin"})["data"] == b"abc"
+
+    def test_write_actor(self, client):
+        actor = AdalWriteActor(client)
+        outputs = actor._check_fire({"url": "adal://lsdf/out.bin", "data": b"xyz"})
+        assert outputs["info"].size == 3
+        assert client.get("adal://lsdf/out.bin") == b"xyz"
+
+
+class TestChecksumActor:
+    def test_match(self):
+        from repro.adal.api import checksum_bytes
+
+        actor = ChecksumActor()
+        out = actor._check_fire({"data": b"abc", "expected": checksum_bytes(b"abc")})
+        assert out["checksum"] == checksum_bytes(b"abc")
+
+    def test_mismatch_raises(self):
+        actor = ChecksumActor()
+        with pytest.raises(ActorError, match="mismatch"):
+            actor._check_fire({"data": b"abc", "expected": "0" * 64})
+
+    def test_empty_expected_skips_check(self):
+        actor = ChecksumActor()
+        out = actor._check_fire({"data": b"abc", "expected": ""})
+        assert len(out["checksum"]) == 64
+
+
+class TestMetadataActors:
+    def test_tag_actor(self, store):
+        actor = MetadataTagActor(store, tags=["qc", "raw"])
+        out = actor._check_fire({"dataset_id": "src-1"})
+        assert out["tagged"] == ["qc", "raw"]
+        assert store.get("src-1").tags == {"qc", "raw"}
+
+    def test_register_product(self, client, store):
+        info = client.put("adal://lsdf/derived.bin", b"derived")
+        actor = RegisterProductActor(
+            store, "zf", basic_fn=lambda inputs: {"plate": 1, "kind": "mask"}
+        )
+        out = actor._check_fire({"info": info, "source_id": "src-1"})
+        product = store.get(out["dataset_id"])
+        assert product.url == "adal://lsdf/derived.bin"
+        assert "derived" in product.tags
+
+
+class TestLocalMapReduceActor:
+    def test_runs_job(self):
+        job = LocalJob(
+            map_fn=lambda k, v: [(w, 1) for w in v.split()],
+            reduce_fn=lambda k, counts: [sum(counts)],
+            name="wc",
+        )
+        actor = LocalMapReduceActor(job, reducers=2)
+        out = actor._check_fire({"splits": [[(0, "a b a")]]})
+        assert dict(out["output"]) == {"a": 2, "b": 1}
+        assert out["stats"]["map_input_records"] == 1
+
+
+class TestComposedWorkflow:
+    def test_read_process_write_register_pipeline(self, client, store):
+        """The production shape: read -> analyse -> write product -> register
+        -> tag, end to end through one director run."""
+        client.put("adal://lsdf/src1", b"abc")
+        from repro.workflow import FunctionActor
+
+        g = WorkflowGraph("derive")
+        g.add(AdalReadActor(client))
+        g.add(FunctionActor("analyse", lambda data: data.upper(),
+                            inputs=("data",), outputs=("out",)))
+        g.add(FunctionActor("target", lambda: "adal://lsdf/src1.mask",
+                            outputs=("out",)))
+        g.add(AdalWriteActor(client))
+        g.add(RegisterProductActor(store, "zf", lambda inputs: {"plate": 1}))
+        g.add(FunctionActor("source", lambda: "src-1", outputs=("out",)))
+        g.connect("adal-read", "data", "analyse", "data")
+        g.connect("analyse", "out", "adal-write", "data")
+        g.connect("target", "out", "adal-write", "url")
+        g.connect("adal-write", "info", "register-product", "info")
+        g.connect("source", "out", "register-product", "source_id")
+
+        trace = DataflowDirector().run(g, {("adal-read", "url"): "adal://lsdf/src1"})
+        assert trace.status == "success"
+        product_id = trace.output("register-product", "dataset_id")
+        assert client.get("adal://lsdf/src1.mask") == b"ABC"
+        assert store.get(product_id).size == 3

@@ -1,0 +1,71 @@
+"""Tests for provenance recording into the metadata repository."""
+
+import pytest
+
+from repro.metadata import FieldSpec, MetadataStore, Schema
+from repro.workflow import (
+    DataflowDirector,
+    FunctionActor,
+    ProvenanceRecorder,
+    WorkflowGraph,
+)
+
+
+@pytest.fixture
+def store():
+    s = MetadataStore()
+    s.register_project("zf", Schema("zf", [FieldSpec("plate", "int", required=True)]))
+    s.register_dataset("img-1", "zf", "adal://lsdf/i1", 100, "c", {"plate": 1})
+    return s
+
+
+def _graph():
+    g = WorkflowGraph("analysis")
+    g.add(FunctionActor("segment", lambda url, alg: url + f".{alg}.mask",
+                        inputs=("url",), outputs=("out",), params={"alg": "otsu"}))
+    g.add(FunctionActor("count", lambda mask: 42, inputs=("mask",), outputs=("out",)))
+    g.connect("segment", "out", "count", "mask")
+    return g
+
+
+class TestProvenance:
+    def test_firings_become_chained_steps(self, store):
+        graph = _graph()
+        trace = DataflowDirector().run(graph, {("segment", "url"): "adal://lsdf/i1"})
+        steps = ProvenanceRecorder(store).record("img-1", graph, trace)
+        record = store.get("img-1")
+        assert len(record.processing) == 2
+        seg, cnt = record.processing
+        assert seg.name == "analysis/segment"
+        assert cnt.parent == seg.step_id
+        assert steps == [seg.step_id, cnt.step_id]
+        assert cnt.results["out"] == 42
+        assert seg.params["alg"] == "otsu"
+        assert seg.params["workflow"] == "analysis"
+
+    def test_success_tags_dataset(self, store):
+        graph = _graph()
+        trace = DataflowDirector().run(graph, {("segment", "url"): "x"})
+        ProvenanceRecorder(store, tag_on_success="processed").record("img-1", graph, trace)
+        assert "processed" in store.get("img-1").tags
+
+    def test_no_tag_when_disabled(self, store):
+        graph = _graph()
+        trace = DataflowDirector().run(graph, {("segment", "url"): "x"})
+        ProvenanceRecorder(store, tag_on_success=None).record("img-1", graph, trace)
+        assert "processed" not in store.get("img-1").tags
+
+    def test_non_serialisable_outputs_stringified(self, store):
+        g = WorkflowGraph("wf")
+        g.add(FunctionActor("obj", lambda: object(), outputs=("out",)))
+        trace = DataflowDirector().run(g)
+        ProvenanceRecorder(store).record("img-1", g, trace)
+        result = store.get("img-1").processing[0].results["out"]
+        assert isinstance(result, str) and "object" in result
+
+    def test_list_outputs_preserved(self, store):
+        g = WorkflowGraph("wf")
+        g.add(FunctionActor("vec", lambda: [1, 2, 3], outputs=("out",)))
+        trace = DataflowDirector().run(g)
+        ProvenanceRecorder(store).record("img-1", g, trace)
+        assert store.get("img-1").processing[0].results["out"] == [1, 2, 3]

@@ -1,0 +1,112 @@
+"""Tests for the ANKA synchrotron workload."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import GB, HOUR
+from repro.workloads.anka import (
+    AnkaBeamline,
+    AnkaConfig,
+    AnkaScan,
+    anka_basic_schema,
+    tomo_reconstruction_job,
+)
+
+
+class TestSchema:
+    def test_scan_metadata_validates(self):
+        sim = Simulator(seed=1)
+        beamline = AnkaBeamline(sim)
+        scan = beamline._make_scan(shift=0)
+        out = anka_basic_schema().validate(scan.basic_metadata())
+        assert out["beamline"] == "topo-tomo"
+        assert out["projections"] > 0
+
+
+class TestBeamline:
+    def _collect(self, shifts=2, config=None, seed=5):
+        sim = Simulator(seed=seed)
+        beamline = AnkaBeamline(sim, config)
+        scans: list[AnkaScan] = []
+        proc = beamline.run(lambda s: scans.append(s), shifts=shifts)
+        sim.run()
+        assert proc.value == len(scans)
+        return sim, scans
+
+    def test_scan_sizes_are_tomography_shaped(self):
+        _sim, scans = self._collect(shifts=1)
+        for scan in scans:
+            assert 8 * GB < scan.size < 13 * GB  # ~2000 x 5 MB
+
+    def test_scans_confined_to_shifts(self):
+        config = AnkaConfig(shift_length=8 * HOUR, shift_gap=16 * HOUR)
+        _sim, scans = self._collect(shifts=2, config=config)
+        day = 24 * HOUR
+        for scan in scans:
+            offset = scan.acquired % day
+            assert offset <= 8 * HOUR + 1e-6  # never during the gap
+        shift_indices = {scan.shift for scan in scans}
+        assert shift_indices == {0, 1}
+
+    def test_burstiness(self):
+        """Multiple scans per shift, separated by much less than the
+        off-shift gap — the bursty arrival pattern."""
+        _sim, scans = self._collect(shifts=2)
+        by_shift: dict[int, list[float]] = {}
+        for scan in scans:
+            by_shift.setdefault(scan.shift, []).append(scan.acquired)
+        assert all(len(times) >= 3 for times in by_shift.values())
+        intra = max(
+            t2 - t1
+            for times in by_shift.values()
+            for t1, t2 in zip(times, times[1:])
+        )
+        inter = min(by_shift[1]) - max(by_shift[0])
+        assert inter > 3 * intra
+
+    def test_backpressure(self):
+        sim = Simulator(seed=6)
+        beamline = AnkaBeamline(sim, AnkaConfig(shift_length=2 * HOUR))
+        stalls = []
+
+        def slow_ingest(scan):
+            stalls.append(scan.scan_id)
+            return sim.timeout(600.0)
+
+        beamline.run(slow_ingest, shifts=1)
+        sim.run()
+        assert stalls  # scans happened and waited on ingest
+
+    def test_deterministic(self):
+        _s1, a = self._collect(shifts=1, seed=9)
+        _s2, b = self._collect(shifts=1, seed=9)
+        assert [(s.scan_id, s.size) for s in a] == [(s.scan_id, s.size) for s in b]
+
+
+class TestReconstructionJob:
+    def test_cost_model_shape(self):
+        spec = tomo_reconstruction_job("/data/scan1")
+        assert spec.map_cpu_per_byte > 5e-8  # compute-bound
+        assert spec.map_output_ratio * spec.reduce_output_ratio == pytest.approx(1.0)
+
+    def test_runs_on_cluster_sim(self):
+        from repro.hdfs import HdfsCluster
+        from repro.mapreduce import MapReduceSim
+
+        sim = Simulator(seed=7)
+        cluster = HdfsCluster.build(sim, racks=2, nodes_per_rack=4,
+                                    node_capacity=1e13)
+        mr = MapReduceSim(sim, cluster, straggler_prob=0.0)
+        holder = {}
+
+        def scenario():
+            yield cluster.write_file("/scan", 10 * GB, "core")
+            holder["result"] = yield mr.submit(tomo_reconstruction_job("/scan"))
+
+        p = sim.process(scenario())
+        sim.run()
+        assert not p.failed, p.exception
+        result = holder["result"]
+        # Reconstructed volume ~= projection volume.
+        assert result.bytes_output == pytest.approx(result.bytes_input, rel=1e-6)
+        assert result.duration > 0

@@ -1,0 +1,128 @@
+"""Tests for the de Bruijn reconstruction stage (hypothesis-backed)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkit import RandomSource
+from repro.mapreduce import run_local
+from repro.workloads import generate_genome, generate_reads, kmer_count_job, reads_to_splits
+from repro.workloads.assembly import AssemblyResult, DeBruijnGraph, assemble
+
+
+def _count_kmers(sequences, k):
+    counts: dict[str, int] = {}
+    for seq in sequences:
+        for i in range(len(seq) - k + 1):
+            kmer = seq[i : i + k]
+            counts[kmer] = counts.get(kmer, 0) + 1
+    return counts
+
+
+class TestGraph:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            DeBruijnGraph(2)
+
+    def test_kmer_length_enforced(self):
+        graph = DeBruijnGraph(5)
+        with pytest.raises(ValueError):
+            graph.add_kmer("ACG")
+
+    def test_single_path_reconstructs_sequence(self):
+        sequence = "ACGTACCGGT"
+        graph = DeBruijnGraph(4)
+        for kmer, _count in _count_kmers([sequence], 4).items():
+            graph.add_kmer(kmer)
+        contigs = graph.contigs()
+        assert contigs == [sequence]
+
+    def test_branch_splits_contigs(self):
+        # Two sequences sharing a core create a branch point.
+        graph = DeBruijnGraph(4)
+        for seq in ("AAACGTTT", "CCACGTGG"):
+            for kmer in _count_kmers([seq], 4):
+                graph.add_kmer(kmer)
+        contigs = graph.contigs()
+        assert len(contigs) > 1
+        joined = "".join(contigs)
+        assert "ACGT" in joined
+
+    def test_cycle_is_walked_once(self):
+        # Circular sequence: every node is interior -> one cyclic contig.
+        sequence = "ACGTTGCA"
+        circular = sequence + sequence[:3]  # wrap for 4-mers
+        graph = DeBruijnGraph(4)
+        for kmer in _count_kmers([circular], 4):
+            graph.add_kmer(kmer)
+        contigs = graph.contigs()
+        assert len(contigs) == 1
+        assert len(contigs[0]) >= len(sequence)
+
+
+class TestAssemble:
+    def test_empty_input(self):
+        result = assemble({})
+        assert result.contigs == []
+        assert result.n50() == 0
+        assert result.longest == 0
+
+    def test_error_kmers_dropped(self):
+        counts = {"ACGT": 30, "CGTA": 30, "GTAC": 30, "TTTT": 1}
+        result = assemble(counts, min_multiplicity=3)
+        assert result.solid_kmers == 3
+        assert result.dropped_kmers == 1
+        assert all("TTTT" not in c for c in result.contigs)
+
+    def test_perfect_coverage_reconstructs_genome(self):
+        rng = RandomSource(11)
+        genome = generate_genome(600, rng)
+        counts = _count_kmers([genome], 21)
+        result = assemble(counts, min_multiplicity=1)
+        assert len(result.contigs) == 1
+        assert result.contigs[0] == genome
+
+    def test_end_to_end_reads_to_contigs(self):
+        """The full slide-13 pipeline: reads -> MapReduce k-mer spectrum ->
+        de Bruijn assembly -> the genome back (high coverage, 1% errors)."""
+        rng = RandomSource(12)
+        genome = generate_genome(800, rng)
+        reads = generate_reads(genome, n_reads=400, read_length=100,
+                               error_rate=0.01, rng=rng)
+        spectrum = run_local(kmer_count_job(21), reads_to_splits(reads, 100),
+                             reducers=4).as_dict()
+        result = assemble(spectrum, min_multiplicity=5)
+        # Coverage 50x: the dominant contig is (nearly) the genome.
+        assert result.longest >= len(genome) * 0.95
+        assert result.contigs and max(result.contigs, key=len) in genome + genome
+        assert result.dropped_kmers > 0  # error k-mers existed and were cut
+
+    def test_n50_definition(self):
+        result = AssemblyResult(contigs=["A" * 100, "C" * 50, "G" * 10])
+        assert result.n50() == 100
+        result2 = AssemblyResult(contigs=["A" * 60, "C" * 50, "G" * 40])
+        assert result2.n50() == 50
+
+
+@given(
+    length=st.integers(min_value=50, max_value=400),
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.sampled_from([15, 21, 31]),
+)
+@settings(max_examples=40, deadline=None)
+def test_lossless_spectrum_covers_genome(length, seed, k):
+    """Property: with the full error-free spectrum, the assembly's contigs
+    jointly contain every genome k-mer, and total bases >= genome length
+    whenever the genome's k-mers are unique (single contig)."""
+    genome = generate_genome(max(length, k + 1), RandomSource(seed))
+    counts = _count_kmers([genome], k)
+    result = assemble(counts, min_multiplicity=1)
+    reconstructed_kmers = set()
+    for contig in result.contigs:
+        reconstructed_kmers.update(
+            contig[i : i + k] for i in range(len(contig) - k + 1)
+        )
+    assert set(counts) <= reconstructed_kmers
+    if len(counts) == len(genome) - k + 1:  # all k-mers unique
+        assert len(result.contigs) == 1
+        assert result.contigs[0] == genome

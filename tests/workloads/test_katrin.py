@@ -1,0 +1,105 @@
+"""Tests for the KATRIN workload generator."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import MB, HOUR
+from repro.workloads import (
+    KatrinConfig,
+    KatrinDaq,
+    KatrinRun,
+    katrin_basic_schema,
+    reprocessing_campaign,
+)
+
+
+class TestSchema:
+    def test_run_metadata_validates(self):
+        sim = Simulator(seed=2)
+        daq = KatrinDaq(sim)
+        proc = daq.run(lambda run: None, n_runs=1)
+        sim.run()
+        run_obj = daq._make_run()
+        schema = katrin_basic_schema()
+        out = schema.validate(run_obj.basic_metadata())
+        assert out["run_number"] == run_obj.run_number
+
+    def test_quality_choices_enforced(self):
+        schema = katrin_basic_schema()
+        with pytest.raises(Exception):
+            schema.validate({"run_number": 1, "voltage_mv": -18_600_000,
+                             "events": 10, "duration_s": 900.0,
+                             "quality": "excellent"})
+
+
+class TestDaq:
+    def _collect(self, n_runs=25, config=None, seed=7):
+        sim = Simulator(seed=seed)
+        daq = KatrinDaq(sim, config)
+        runs: list[KatrinRun] = []
+        proc = daq.run(lambda run: runs.append(run), n_runs=n_runs)
+        sim.run()
+        assert proc.value == n_runs
+        return sim, runs
+
+    def test_run_cadence(self):
+        sim, runs = self._collect(n_runs=10)
+        # 10 runs of ~900 s each.
+        assert sim.now == pytest.approx(9000.0, rel=0.1)
+        assert [r.run_number for r in runs] == list(range(10))
+
+    def test_run_sizes_plausible(self):
+        _sim, runs = self._collect(n_runs=20)
+        for run in runs:
+            # ~25 kHz x 900 s x 30 B + 50 MB overhead ≈ 725 MB.
+            assert 400 * MB < run.size < 1200 * MB
+            assert run.events > 0
+
+    def test_voltage_sweep_cycles(self):
+        config = KatrinConfig(voltage_points_mv=(1, 2, 3))
+        _sim, runs = self._collect(n_runs=7, config=config)
+        assert [r.voltage_mv for r in runs] == [1, 2, 3, 1, 2, 3, 1]
+
+    def test_calibration_runs_interleaved(self):
+        config = KatrinConfig(calibration_every=5, bad_run_prob=0.0)
+        _sim, runs = self._collect(n_runs=15, config=config)
+        calibrations = [r.run_number for r in runs if r.quality == "calibration"]
+        assert calibrations == [4, 9, 14]
+
+    def test_duration_bound(self):
+        sim = Simulator(seed=3)
+        daq = KatrinDaq(sim)
+        proc = daq.run(lambda run: None, duration=2 * HOUR)
+        sim.run()
+        assert proc.value == pytest.approx(8, abs=1)  # 2 h / 900 s
+
+    def test_backpressure_event_respected(self):
+        sim = Simulator(seed=4)
+        daq = KatrinDaq(sim)
+        stamps = []
+
+        def slow_ingest(run):
+            stamps.append(sim.now)
+            return sim.timeout(300.0)  # ingest takes 5 min per run
+
+        daq.run(slow_ingest, n_runs=3)
+        sim.run()
+        # Runs are ~900 s apart *plus* the 300 s ingest stall.
+        assert stamps[1] - stamps[0] >= 1200.0 - 60.0
+
+    def test_deterministic(self):
+        _sim_a, runs_a = self._collect(n_runs=5, seed=11)
+        _sim_b, runs_b = self._collect(n_runs=5, seed=11)
+        assert [(r.size, r.events) for r in runs_a] == \
+            [(r.size, r.events) for r in runs_b]
+
+
+class TestReprocessing:
+    def test_campaign_order(self):
+        ids = reprocessing_campaign(3, 6)
+        assert ids == ["katrin-000003", "katrin-000004", "katrin-000005",
+                       "katrin-000006"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reprocessing_campaign(5, 4)

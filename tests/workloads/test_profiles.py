@@ -1,0 +1,81 @@
+"""Tests for the zebrafish/viz3d configs and community profiles."""
+
+import pytest
+
+from repro.simkit import units
+from repro.workloads import COMMUNITIES, CommunityProfile, viz3d_cluster_job, zebrafish_microscopes
+from repro.workloads.zebrafish import (
+    FRAMES_PER_DAY_2011,
+    zebrafish_basic_schema,
+    zebrafish_processing_schemas,
+)
+
+
+class TestZebrafish:
+    def test_frames_mode_totals(self):
+        configs = zebrafish_microscopes(instruments=4, rate="frames")
+        total = sum(c.frames_per_day for c in configs)
+        assert total == pytest.approx(FRAMES_PER_DAY_2011)
+        assert configs[0].frame_bytes == 4 * units.MB
+        volume = sum(c.bytes_per_day for c in configs)
+        assert volume == pytest.approx(0.8 * units.TB)
+
+    def test_volume_mode_hits_2tb(self):
+        configs = zebrafish_microscopes(instruments=4, rate="volume")
+        volume = sum(c.bytes_per_day for c in configs)
+        assert volume == pytest.approx(2 * units.TB)
+
+    def test_scale_multiplies(self):
+        configs = zebrafish_microscopes(instruments=2, rate="frames", scale=3.0)
+        assert sum(c.frames_per_day for c in configs) == pytest.approx(600_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zebrafish_microscopes(instruments=0)
+        with pytest.raises(ValueError):
+            zebrafish_microscopes(rate="banana")
+
+    def test_basic_schema_validates_frame_metadata(self):
+        schema = zebrafish_basic_schema()
+        out = schema.validate({"plate": 1, "well": "A01", "channel": 0,
+                               "wavelength": 440, "z_plane": 2, "timepoint": 0})
+        assert out["microscope"] == "scanR"
+
+    def test_processing_schemas_present(self):
+        schemas = zebrafish_processing_schemas()
+        assert "zf-analysis/segment" in schemas
+        assert "zf-analysis/count" in schemas
+
+
+class TestViz3d:
+    def test_job_shape(self):
+        spec = viz3d_cluster_job("/data/volume")
+        assert spec.map_output_ratio < 0.1
+        assert spec.map_cpu_per_byte > 1e-8  # compute-heavy
+
+
+class TestCommunities:
+    def test_all_paper_communities_present(self):
+        assert {"itg", "katrin", "anka", "climate", "geophysics"} <= set(COMMUNITIES)
+
+    def test_itg_matches_paper_projections(self):
+        itg = COMMUNITIES["itg"]
+        assert itg.ingest_in(2012) == pytest.approx(1.0 * units.PB)
+        assert itg.ingest_in(2014) == pytest.approx(6.0 * units.PB)
+
+    def test_cumulative_monotonic(self):
+        for community in COMMUNITIES.values():
+            values = [community.cumulative_through(y) for y in range(2009, 2016)]
+            assert values == sorted(values)
+
+    def test_ingest_zero_before_onboarding(self):
+        assert COMMUNITIES["geophysics"].ingest_in(2011) == 0.0
+
+    def test_archival_communities_full_fraction(self):
+        assert COMMUNITIES["climate"].archive_fraction == 1.0
+        assert COMMUNITIES["katrin"].archive_fraction == 1.0
+
+    def test_custom_profile(self):
+        profile = CommunityProfile("x", yearly_ingest={2020: 5.0})
+        assert profile.cumulative_through(2021) == 5.0
+        assert profile.cumulative_through(2019) == 0.0
