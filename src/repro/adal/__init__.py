@@ -31,6 +31,7 @@ from repro.adal.errors import (
     AdalError,
     AuthError,
     BackendNotFoundError,
+    BackendUnavailableError,
     ObjectExistsError,
     ObjectNotFoundError,
     PermissionDeniedError,
@@ -42,6 +43,7 @@ from repro.adal.backends.posix import PosixBackend
 from repro.adal.backends.tiered import TieredBackend
 from repro.adal.backends.hdfs import HdfsBackend
 from repro.adal.backends.object_store import ObjectStoreBackend
+from repro.adal.backends.faulty import FaultyBackend
 
 __all__ = [
     "AclAuthorizer",
@@ -52,7 +54,9 @@ __all__ = [
     "AuthError",
     "BackendNotFoundError",
     "BackendRegistry",
+    "BackendUnavailableError",
     "Credentials",
+    "FaultyBackend",
     "HdfsBackend",
     "MemoryBackend",
     "ObjectExistsError",

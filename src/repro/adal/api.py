@@ -11,15 +11,18 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.adal.auth import AuthContext, AclAuthorizer, AuthProvider, Credentials
 from repro.adal.errors import (
     AdalError,
     BackendNotFoundError,
+    BackendUnavailableError,
     ChecksumMismatchError,
     ObjectNotFoundError,
 )
+from repro.resilience.policy import RetryPolicy
+from repro.simkit.rand import RandomSource
 
 SCHEME = "adal"
 
@@ -156,6 +159,13 @@ class AdalClient:
     authorizer:
         Optional ACL set; when given, every operation is permission-checked
         against the full ADAL URL and recorded in the audit log.
+    retry_policy:
+        Optional :class:`~repro.resilience.policy.RetryPolicy`; when given,
+        transient :class:`~repro.adal.errors.BackendUnavailableError`\\ s are
+        retried (the glue layer runs in zero simulated time, so the backoff
+        is accounting-only) and only surface once the policy is exhausted.
+    retry_rng:
+        Seeded random stream for retry jitter accounting (optional).
     """
 
     def __init__(
@@ -164,6 +174,8 @@ class AdalClient:
         auth_provider: Optional[AuthProvider] = None,
         credentials: Optional[Credentials] = None,
         authorizer: Optional[AclAuthorizer] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[RandomSource] = None,
     ):
         from repro.adal.auth import AnonymousAuth  # avoid import cycle at module load
 
@@ -171,18 +183,37 @@ class AdalClient:
         principal = provider.authenticate(credentials or Credentials("anonymous"))
         self.registry = registry
         self.auth = AuthContext(principal=principal, authorizer=authorizer)
+        self.retry_policy = retry_policy
+        self._retry_rng = retry_rng
+        #: Transient-fault retries performed on behalf of callers.
+        self.retries = 0
 
     # -- helpers ------------------------------------------------------------
     def _split(self, url: str) -> tuple[StorageBackend, AdalUrl]:
         parsed = AdalUrl.parse(url)
         return self.registry.resolve(parsed.store), parsed
 
+    def _attempt(self, label: str, fn: Callable):
+        """Run one backend call under the client's retry policy (if any)."""
+        if self.retry_policy is None:
+            return fn()
+
+        def note(_attempt: int, _exc: BaseException, _backoff: float) -> None:
+            self.retries += 1
+
+        return self.retry_policy.run_sync(
+            fn, retry_on=(BackendUnavailableError,), rng=self._retry_rng,
+            on_retry=note, label=label,
+        )
+
     # -- operations -----------------------------------------------------------
     def put(self, url: str, data: bytes, overwrite: bool = False) -> ObjectInfo:
         """Store an object (write permission)."""
         backend, parsed = self._split(url)
         self.auth.check(url, "write")
-        info = backend.put(parsed.path, data, overwrite=overwrite)
+        info = self._attempt(
+            f"put {url}", lambda: backend.put(parsed.path, data, overwrite=overwrite)
+        )
         return ObjectInfo(url=str(parsed), size=info.size, checksum=info.checksum,
                           created=info.created, extra=info.extra)
 
@@ -190,9 +221,11 @@ class AdalClient:
         """Read an object (read permission); optionally verify its checksum."""
         backend, parsed = self._split(url)
         self.auth.check(url, "read")
-        data = backend.get(parsed.path)
+        data = self._attempt(f"get {url}", lambda: backend.get(parsed.path))
         if verify:
-            stored = backend.stat(parsed.path).checksum
+            stored = self._attempt(
+                f"stat {url}", lambda: backend.stat(parsed.path)
+            ).checksum
             actual = checksum_bytes(data)
             if stored != actual:
                 raise ChecksumMismatchError(
@@ -204,7 +237,7 @@ class AdalClient:
         """Object metadata (read permission)."""
         backend, parsed = self._split(url)
         self.auth.check(url, "read")
-        info = backend.stat(parsed.path)
+        info = self._attempt(f"stat {url}", lambda: backend.stat(parsed.path))
         return ObjectInfo(url=str(parsed), size=info.size, checksum=info.checksum,
                           created=info.created, extra=info.extra)
 
@@ -213,7 +246,8 @@ class AdalClient:
         backend, parsed = self._split(url)
         self.auth.check(url, "read")
         out = []
-        for info in backend.listdir(parsed.path):
+        for info in self._attempt(f"listdir {url}",
+                                  lambda: backend.listdir(parsed.path)):
             out.append(
                 ObjectInfo(
                     url=f"{SCHEME}://{parsed.store}/{info.url}",
@@ -229,13 +263,13 @@ class AdalClient:
         """Remove an object (delete permission)."""
         backend, parsed = self._split(url)
         self.auth.check(url, "delete")
-        backend.delete(parsed.path)
+        self._attempt(f"delete {url}", lambda: backend.delete(parsed.path))
 
     def exists(self, url: str) -> bool:
         """Existence check (read permission)."""
         backend, parsed = self._split(url)
         self.auth.check(url, "read")
-        return backend.exists(parsed.path)
+        return self._attempt(f"exists {url}", lambda: backend.exists(parsed.path))
 
     def copy(self, src_url: str, dst_url: str, overwrite: bool = False) -> ObjectInfo:
         """Copy between any two stores (read on src, write on dst)."""

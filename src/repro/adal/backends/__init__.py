@@ -5,9 +5,11 @@ from repro.adal.backends.posix import PosixBackend
 from repro.adal.backends.tiered import TieredBackend
 from repro.adal.backends.hdfs import HdfsBackend
 from repro.adal.backends.object_store import Bucket, ObjectStoreBackend
+from repro.adal.backends.faulty import FaultyBackend
 
 __all__ = [
     "Bucket",
+    "FaultyBackend",
     "HdfsBackend",
     "MemoryBackend",
     "ObjectStoreBackend",

@@ -1,0 +1,106 @@
+"""Fault-injecting ADAL backend wrapper.
+
+:class:`FaultyBackend` wraps any :class:`~repro.adal.api.StorageBackend`
+and makes a seeded fraction of calls raise
+:class:`~repro.adal.errors.BackendUnavailableError` — ADAL's own
+fault-injection story, mirroring what the chaos framework does to the
+simulated infrastructure.  Faults are drawn from a
+:class:`~repro.simkit.rand.RandomSource`, so a given seed produces the same
+fault sequence run after run; a ``forced_outage`` flag turns the wrapper
+into a hard outage window (used by the ``backend_flaky`` chaos incident).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.adal.api import ObjectInfo, StorageBackend
+from repro.adal.errors import BackendUnavailableError
+from repro.simkit.rand import RandomSource
+
+_ALL_OPS = ("put", "get", "stat", "listdir", "delete")
+
+
+class FaultyBackend(StorageBackend):
+    """Wraps a backend, failing a seeded fraction of calls transiently.
+
+    Parameters
+    ----------
+    inner:
+        The real backend every surviving call is delegated to.
+    failure_rate:
+        Probability in [0, 1] that an affected operation raises
+        :class:`BackendUnavailableError` before reaching ``inner``.
+    rng:
+        Seeded random stream for fault draws (default: ``RandomSource(0)``).
+    ops:
+        Operation names the injector affects (default: all of them).
+    """
+
+    kind = "faulty"
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        failure_rate: float = 0.1,
+        rng: Optional[RandomSource] = None,
+        ops: Iterable[str] = _ALL_OPS,
+    ):
+        if not (0.0 <= failure_rate <= 1.0):
+            raise ValueError("failure_rate must be in [0, 1]")
+        unknown = set(ops) - set(_ALL_OPS)
+        if unknown:
+            raise ValueError(f"unknown ops: {sorted(unknown)}")
+        self.inner = inner
+        self.failure_rate = failure_rate
+        self.rng = rng or RandomSource(0)
+        self.ops = frozenset(ops)
+        #: While True, *every* call fails (hard outage window).
+        self.forced_outage = False
+        self.calls = 0
+        self.faults = 0
+
+    def _gate(self, op: str) -> None:
+        """Count the call and possibly raise the injected fault."""
+        self.calls += 1
+        flaky = (
+            op in self.ops
+            and self.failure_rate > 0
+            and self.rng.uniform() < self.failure_rate
+        )
+        if self.forced_outage or flaky:
+            self.faults += 1
+            raise BackendUnavailableError(
+                f"injected fault on {op} (backend {self.inner.kind!r})"
+            )
+
+    # -- delegated operations ------------------------------------------------
+    def put(self, path: str, data: bytes, overwrite: bool = False) -> ObjectInfo:
+        self._gate("put")
+        return self.inner.put(path, data, overwrite=overwrite)
+
+    def get(self, path: str) -> bytes:
+        self._gate("get")
+        return self.inner.get(path)
+
+    def stat(self, path: str) -> ObjectInfo:
+        self._gate("stat")
+        return self.inner.stat(path)
+
+    def listdir(self, prefix: str = "") -> list[ObjectInfo]:
+        self._gate("listdir")
+        return self.inner.listdir(prefix)
+
+    def delete(self, path: str) -> None:
+        self._gate("delete")
+        self.inner.delete(path)
+
+    def exists(self, path: str) -> bool:
+        self._gate("stat")
+        return self.inner.exists(path)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<FaultyBackend rate={self.failure_rate} over {self.inner!r} "
+            f"faults={self.faults}/{self.calls}>"
+        )

@@ -29,3 +29,11 @@ class PermissionDeniedError(AdalError, PermissionError):
 
 class ChecksumMismatchError(AdalError):
     """Stored checksum does not match the data read back."""
+
+
+class BackendUnavailableError(AdalError):
+    """Transient backend failure (network blip, brown-out, flaky service).
+
+    Raised by :class:`~repro.adal.backends.faulty.FaultyBackend` and by real
+    backends on recoverable faults; the :class:`~repro.adal.api.AdalClient`
+    retries it when configured with a retry policy."""

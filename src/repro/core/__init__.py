@@ -16,7 +16,13 @@ from repro.core.config import ArraySpec, FacilityConfig, lsdf_2011_config
 from repro.core.capacity import LSDF_PROCUREMENT, CapacityPlanner, CapacityRow
 from repro.core.facility import Facility
 from repro.core.reporting import FacilityReport, ReportSection
-from repro.core.chaos import ChaosSchedule, Incident, router_flap, rolling_node_failures
+from repro.core.chaos import (
+    ChaosSchedule,
+    Incident,
+    resilience_drill,
+    rolling_node_failures,
+    router_flap,
+)
 
 __all__ = [
     "ArraySpec",
@@ -30,6 +36,7 @@ __all__ = [
     "LSDF_PROCUREMENT",
     "ReportSection",
     "lsdf_2011_config",
+    "resilience_drill",
     "rolling_node_failures",
     "router_flap",
 ]

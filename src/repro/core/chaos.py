@@ -3,12 +3,14 @@
 The paper's infrastructure is sold on resilience — redundant routers,
 replicated HDFS, tape backup.  :class:`ChaosSchedule` turns that into
 testable scenarios: a declarative list of timed incidents (router/link
-flaps, datanode losses, array brown-outs) that a single driver process
-injects into a running facility, with every injection and recovery logged.
+flaps, datanode losses, array brown-outs, flaky ADAL backends, metadata
+outages) that a single driver process injects into a running facility, with
+every injection and recovery logged.
 
 Used by ``examples/facility_operations.py``-style scenarios and the
 resilience tests; compose schedules programmatically or from the bundled
-generators (:func:`router_flap`, :func:`rolling_node_failures`).
+generators (:func:`router_flap`, :func:`rolling_node_failures`,
+:func:`resilience_drill`).
 """
 
 from __future__ import annotations
@@ -21,45 +23,86 @@ from repro.simkit.rand import RandomSource
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.facility import Facility
 
+#: Incident kinds the driver knows how to inject.
+INCIDENT_KINDS = (
+    "node_down",
+    "link_down",
+    "backend_flaky",
+    "array_degraded",
+    "metadata_outage",
+    "custom",
+)
+
 
 @dataclass(frozen=True)
 class Incident:
-    """One timed fault (and optional auto-repair)."""
+    """One timed fault (and optional auto-repair).
+
+    Kinds
+    -----
+    ``node_down`` / ``link_down``
+        Infrastructure failures on the topology (auto-heal reverses them).
+    ``backend_flaky``
+        Wrap the named ADAL store in a
+        :class:`~repro.adal.backends.faulty.FaultyBackend` injecting
+        transient faults at ``params["rate"]`` (default 0.25); heal
+        unwraps it.
+    ``array_degraded``
+        Brown-out: the named array is excluded from new placements; heal
+        restores it.
+    ``metadata_outage``
+        The metadata repository refuses registrations; heal restores it.
+    ``custom``
+        Run ``action(facility)``; a custom incident with ``repair_after``
+        set must also provide ``heal_action`` (enforced at schedule-build
+        time — a heal that silently no-ops is a bug factory).
+    """
 
     at: float
-    kind: str  # "node_down" | "node_up" | "link_down" | "link_up" | "custom"
-    target: tuple  # node name, or (a, b) link endpoints
+    kind: str  # one of INCIDENT_KINDS
+    target: tuple  # node name, (a, b) link endpoints, store/array name...
     #: Seconds until automatic repair (None = permanent).
     repair_after: Optional[float] = None
     #: For kind == "custom": the callable to run.
     action: Optional[Callable[["Facility"], None]] = None
-
-
-@dataclass
-class InjectionLog:
-    """What the chaos driver actually did."""
-
-    entries: list[tuple[float, str]] = field(default_factory=list)
-
-    def note(self, when: float, message: str) -> None:
-        """Record one action."""
-        self.entries.append((when, message))
-
-    def __len__(self) -> int:
-        return len(self.entries)
+    #: For kind == "custom" with repair_after: the callable that undoes it.
+    heal_action: Optional[Callable[["Facility"], None]] = None
+    #: Kind-specific knobs (e.g. {"rate": 0.3} for backend_flaky).
+    params: Optional[dict] = None
 
 
 class ChaosSchedule:
     """A sorted set of incidents plus the driver that injects them."""
 
     def __init__(self, incidents: list[Incident] | None = None):
-        self.incidents: list[Incident] = sorted(incidents or [], key=lambda i: i.at)
+        self.incidents: list[Incident] = []
         self.log = InjectionLog()
+        for incident in incidents or []:
+            self.add(incident)
+
+    @staticmethod
+    def _validate(incident: Incident) -> None:
+        """Schedule-build-time sanity checks (fail early, not mid-run)."""
+        if incident.kind == "custom":
+            if incident.action is None:
+                raise ValueError("custom incident requires an `action`")
+            if incident.repair_after is not None and incident.heal_action is None:
+                raise ValueError(
+                    "custom incident with repair_after requires a `heal_action` "
+                    "(the driver cannot invent how to undo an arbitrary action)"
+                )
 
     def add(self, incident: Incident) -> "ChaosSchedule":
         """Insert one incident (keeps the schedule sorted)."""
+        self._validate(incident)
         self.incidents.append(incident)
         self.incidents.sort(key=lambda i: i.at)
+        return self
+
+    def extend(self, other: "ChaosSchedule") -> "ChaosSchedule":
+        """Merge another schedule's incidents into this one."""
+        for incident in other.incidents:
+            self.add(incident)
         return self
 
     # -- execution ----------------------------------------------------------
@@ -85,6 +128,7 @@ class ChaosSchedule:
 
     def _inject(self, facility: "Facility", incident: Incident) -> None:
         sim = facility.sim
+        params = incident.params or {}
         if incident.kind == "node_down":
             (node,) = incident.target
             if node in facility.hdfs.namenode.nodes:
@@ -96,6 +140,28 @@ class ChaosSchedule:
             a, b = incident.target
             facility.net.fail_link(a, b)
             self.log.note(sim.now, f"DOWN link {a}<->{b}")
+        elif incident.kind == "backend_flaky":
+            from repro.adal.backends.faulty import FaultyBackend
+
+            (store,) = incident.target
+            rate = params.get("rate", 0.25)
+            inner = facility.adal_registry.resolve(store)
+            if not isinstance(inner, FaultyBackend):
+                wrapper = FaultyBackend(
+                    inner,
+                    failure_rate=rate,
+                    rng=sim.random.spawn(f"chaos.backend.{store}"),
+                )
+                facility.adal_registry.unregister(store)
+                facility.adal_registry.register(store, wrapper)
+            self.log.note(sim.now, f"FLAKY backend {store} (rate {rate:g})")
+        elif incident.kind == "array_degraded":
+            (array,) = incident.target
+            facility.pool.mark_degraded(array)
+            self.log.note(sim.now, f"DEGRADED array {array}")
+        elif incident.kind == "metadata_outage":
+            facility.metadata.set_available(False)
+            self.log.note(sim.now, "DOWN metadata repository")
         elif incident.kind == "custom":
             incident.action(facility)
             self.log.note(sim.now, f"custom action on {incident.target}")
@@ -117,6 +183,40 @@ class ChaosSchedule:
             a, b = incident.target
             facility.net.repair_link(a, b)
             self.log.note(sim.now, f"UP link {a}<->{b}")
+        elif incident.kind == "backend_flaky":
+            from repro.adal.backends.faulty import FaultyBackend
+
+            (store,) = incident.target
+            backend = facility.adal_registry.resolve(store)
+            if isinstance(backend, FaultyBackend):
+                facility.adal_registry.unregister(store)
+                facility.adal_registry.register(store, backend.inner)
+            self.log.note(sim.now, f"UP backend {store}")
+        elif incident.kind == "array_degraded":
+            (array,) = incident.target
+            facility.pool.clear_degraded(array)
+            self.log.note(sim.now, f"UP array {array}")
+        elif incident.kind == "metadata_outage":
+            facility.metadata.set_available(True)
+            self.log.note(sim.now, "UP metadata repository")
+        elif incident.kind == "custom":
+            # Validated at build time: heal_action is present.
+            incident.heal_action(facility)
+            self.log.note(sim.now, f"custom heal on {incident.target}")
+
+
+@dataclass
+class InjectionLog:
+    """What the chaos driver actually did."""
+
+    entries: list[tuple[float, str]] = field(default_factory=list)
+
+    def note(self, when: float, message: str) -> None:
+        """Record one action."""
+        self.entries.append((when, message))
+
+    def __len__(self) -> int:
+        return len(self.entries)
 
 
 # -- schedule generators -----------------------------------------------------------
@@ -159,4 +259,57 @@ def rolling_node_failures(
             Incident(at=start + i * interval, kind="node_down",
                      target=(victims[i],), repair_after=repair_after)
         )
+    return schedule
+
+
+def resilience_drill(
+    routers: list[str],
+    datanodes: list[str],
+    arrays: list[str],
+    store: str = "lsdf",
+    start: float = 300.0,
+    blackout: float = 45.0,
+    flaky_rate: float = 0.3,
+    rng: Optional[RandomSource] = None,
+) -> ChaosSchedule:
+    """The bundled resilience scenario: everything the layer must survive.
+
+    Composes (relative to ``start``):
+
+    * a flap of the first router (exercises redundant routing);
+    * a *both-routers* blackout window of ``blackout`` seconds (every
+      DAQ -> storage route disappears — the case the seed code died on);
+    * 3 rolling datanode failures (HDFS re-replication under load);
+    * a ``backend_flaky`` window on the ADAL ``store``;
+    * an ``array_degraded`` brown-out of the first array;
+    * a short ``metadata_outage``.
+    """
+    if len(routers) < 2:
+        raise ValueError("resilience_drill needs both redundant routers")
+    schedule = ChaosSchedule()
+    # Single-router flap: traffic should reroute, nothing should fail.
+    schedule.add(Incident(at=start, kind="node_down", target=(routers[0],),
+                          repair_after=60.0))
+    # Full backbone blackout: both routers down together.
+    t0 = start + 180.0
+    schedule.add(Incident(at=t0, kind="node_down", target=(routers[0],),
+                          repair_after=blackout))
+    schedule.add(Incident(at=t0, kind="node_down", target=(routers[1],),
+                          repair_after=blackout))
+    # Rolling datanode losses while ingest continues.
+    schedule.extend(rolling_node_failures(
+        datanodes, count=min(3, len(datanodes)), start=start + 60.0,
+        interval=45.0, repair_after=300.0, rng=rng,
+    ))
+    # A flaky ADAL backend window.
+    schedule.add(Incident(at=start + 120.0, kind="backend_flaky",
+                          target=(store,), repair_after=120.0,
+                          params={"rate": flaky_rate}))
+    # An array brown-out forcing placement failover.
+    if arrays:
+        schedule.add(Incident(at=start + 300.0, kind="array_degraded",
+                              target=(arrays[0],), repair_after=90.0))
+    # A metadata repository outage: frames keep landing, registration retries.
+    schedule.add(Incident(at=start + 420.0, kind="metadata_outage",
+                          target=("metadata",), repair_after=20.0))
     return schedule

@@ -68,6 +68,20 @@ class FacilityConfig:
     cloud_boot_time: float = 25.0
     cloud_image_cache: bool = True
 
+    # -- resilience layer ---------------------------------------------------------------
+    #: Master switch: when False the facility behaves exactly like the seed
+    #: code paths (no retries, no breakers, no dead-letter queue).
+    resilience_enabled: bool = True
+    retry_max_attempts: int = 5
+    retry_base_delay: float = 2.0
+    retry_multiplier: float = 2.0
+    retry_max_delay: float = 30.0
+    retry_jitter: float = 0.1
+    breaker_failure_threshold: int = 3
+    breaker_reset_timeout: float = 120.0
+    #: Optional per-batch ingest transfer deadline in seconds (None = off).
+    ingest_transfer_timeout: float | None = None
+
     @property
     def cluster_nodes(self) -> int:
         """Total analysis-cluster node count."""

@@ -38,6 +38,7 @@ from repro.rules.engine import RuleContext, RuleEngine
 from repro.ingest.microscope import MicroscopeConfig
 from repro.ingest.pipeline import IngestPipeline, IngestReport
 from repro.ingest.transfer import StorageSink
+from repro.resilience import ResilienceKit, RetryPolicy
 from repro.workloads.zebrafish import (
     ZEBRAFISH_PROJECT,
     zebrafish_basic_schema,
@@ -156,6 +157,21 @@ class Facility:
             image_cache=cfg.cloud_image_cache,
         )
 
+        # -- resilience layer ---------------------------------------------------------
+        self.resilience = ResilienceKit(
+            self.sim,
+            policy=RetryPolicy(
+                max_attempts=cfg.retry_max_attempts,
+                base_delay=cfg.retry_base_delay,
+                multiplier=cfg.retry_multiplier,
+                max_delay=cfg.retry_max_delay,
+                jitter=cfg.retry_jitter,
+            ),
+            breaker_failure_threshold=cfg.breaker_failure_threshold,
+            breaker_reset_timeout=cfg.breaker_reset_timeout,
+            enabled=cfg.resilience_enabled,
+        )
+
         # -- glue layer ---------------------------------------------------------------
         self.metadata = MetadataStore()
         self.metadata.register_project(
@@ -163,7 +179,11 @@ class Facility:
         )
         self.adal_registry = BackendRegistry()
         self.adal_registry.register("lsdf", MemoryBackend())
-        self.adal = AdalClient(self.adal_registry)
+        self.adal = AdalClient(
+            self.adal_registry,
+            retry_policy=self.resilience.policy if cfg.resilience_enabled else None,
+            retry_rng=self.resilience.rng.spawn("adal"),
+        )
         self.triggers = TriggerEngine(self.metadata)
         self.browser = DataBrowser(self.adal, self.metadata, self.triggers,
                                    home="adal://lsdf")
@@ -184,8 +204,14 @@ class Facility:
         register_metadata: bool = True,
         **kwargs,
     ) -> IngestPipeline:
-        """An ingest pipeline from a DAQ host into the storage pool."""
+        """An ingest pipeline from a DAQ host into the storage pool.
+
+        The facility's :class:`~repro.resilience.ResilienceKit` is attached
+        by default (pass ``resilience=None`` to get the bare seed behaviour,
+        or your own kit to isolate its counters)."""
         sink = StorageSink(self.pool, self.array_nodes)
+        kwargs.setdefault("resilience", self.resilience)
+        kwargs.setdefault("transfer_timeout", self.config.ingest_transfer_timeout)
         return IngestPipeline(
             self.sim,
             self.net,
@@ -242,4 +268,18 @@ class Facility:
             "metadata": self.metadata.stats(),
             "cloud_running_vms": self.cloud.running_vms.value,
             "net_bytes": self.net.bytes_delivered.value,
+            "resilience": self.resilience.stats(),
         }
+
+    def resilience_drill(self, **kwargs):
+        """The bundled chaos scenario for this facility's topology.
+
+        Convenience wrapper around
+        :func:`repro.core.chaos.resilience_drill` filling in the router,
+        datanode and array names from the built topology."""
+        from repro.core.chaos import resilience_drill
+
+        kwargs.setdefault("routers", list(self.names.routers))
+        kwargs.setdefault("datanodes", list(self.names.cluster[:6]))
+        kwargs.setdefault("arrays", [a.name for a in self.arrays])
+        return resilience_drill(**kwargs)

@@ -49,6 +49,7 @@ class FacilityReport:
             self._hdfs(),
             self._cloud(),
             self._metadata(),
+            self._resilience(),
         ]
 
     # -- sections -----------------------------------------------------------
@@ -129,6 +130,30 @@ class FacilityReport:
         section.add("processing records", f"{stats['processing_records']:,}")
         section.add("catalogued bytes", units.fmt_bytes(stats["total_bytes"]))
         section.add("tags in use", f"{stats['tags']}")
+        return section
+
+    def _resilience(self) -> ReportSection:
+        kit = self.facility.resilience
+        section = ReportSection("resilience")
+        if not kit.enabled:
+            section.add("status", "disabled")
+            return section
+        stats = kit.stats()
+        section.add("retries",
+                    f"{stats['retries']} (+{self.facility.adal.retries} adal)")
+        section.add("failovers / timeouts",
+                    f"{stats['reroutes']} / {stats['timeouts']}")
+        transitions = kit.breakers.transitions()
+        open_now = sorted(kit.breakers.open_targets())
+        section.add("breaker transitions",
+                    f"{len(transitions)} ({len(open_now)} open"
+                    + (f": {', '.join(open_now)}" if open_now else "") + ")")
+        section.add("dead-letter queue",
+                    f"{kit.dlq.depth} frames "
+                    f"({units.fmt_bytes(kit.dlq.total_bytes)})")
+        section.add("recovered vs lost",
+                    f"{units.fmt_bytes(stats['recovered_bytes'])} vs "
+                    f"{units.fmt_bytes(stats['lost_bytes'])}")
         return section
 
     # -- rendering ------------------------------------------------------------

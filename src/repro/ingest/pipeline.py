@@ -15,6 +15,7 @@ from repro.simkit.core import Simulator
 from repro.simkit import units
 from repro.netsim.network import Network
 from repro.metadata.store import MetadataStore
+from repro.resilience.kit import ResilienceKit
 from repro.ingest.daq import DaqBuffer
 from repro.ingest.microscope import HighThroughputMicroscope, MicroscopeConfig
 from repro.ingest.transfer import StorageSink, TransferAgent
@@ -34,6 +35,14 @@ class IngestReport:
     latency_max: float
     backlog_mean_bytes: float
     backlog_peak_bytes: float
+    #: Frames spilled to the dead-letter queue after retry exhaustion.
+    frames_dead_lettered: int = 0
+    #: Frames dropped by agents running the ``on_error="drop"`` ablation.
+    frames_lost: int = 0
+    #: Batch retry attempts across all agents.
+    retries: int = 0
+    #: Failovers to an alternate destination array.
+    failovers: int = 0
 
     @property
     def frames_per_day(self) -> float:
@@ -45,9 +54,18 @@ class IngestReport:
         """Achieved ingest rate, bytes/day."""
         return self.bytes_ingested / self.duration * units.DAY if self.duration else 0.0
 
+    @property
+    def frames_unaccounted(self) -> int:
+        """Acquired frames with no recorded fate (0 = zero silent loss).
+
+        Frames still sitting in the DAQ buffer at report time show up here;
+        after a full drain this must be exactly zero."""
+        return (self.frames_acquired - self.frames_ingested - self.frames_dropped
+                - self.frames_dead_lettered - self.frames_lost)
+
     def rows(self) -> list[tuple[str, str]]:
         """Human-readable summary rows (for benches)."""
-        return [
+        out = [
             ("frames/day", f"{self.frames_per_day:,.0f}"),
             ("volume/day", units.fmt_bytes(self.bytes_per_day)),
             ("ingest latency mean", units.fmt_duration(self.latency_mean)),
@@ -56,6 +74,17 @@ class IngestReport:
             ("DAQ backlog peak", units.fmt_bytes(self.backlog_peak_bytes)),
             ("frames dropped", f"{self.frames_dropped}"),
         ]
+        # Resilience rows appear only when the run actually exercised them,
+        # keeping quiet-run reports identical to the pre-resilience format.
+        if self.retries:
+            out.append(("batch retries", f"{self.retries}"))
+        if self.failovers:
+            out.append(("array failovers", f"{self.failovers}"))
+        if self.frames_dead_lettered:
+            out.append(("frames dead-lettered", f"{self.frames_dead_lettered}"))
+        if self.frames_lost:
+            out.append(("frames lost (no resilience)", f"{self.frames_lost}"))
+        return out
 
 
 class IngestPipeline:
@@ -74,8 +103,12 @@ class IngestPipeline:
         batch_size: int = 16,
         buffer_bytes: float = 500 * units.GB,
         buffer_policy: str = "block",
+        resilience: Optional[ResilienceKit] = None,
+        transfer_timeout: Optional[float] = None,
+        on_error: str = "raise",
     ):
         self.sim = sim
+        self.resilience = resilience
         self.buffer = DaqBuffer(sim, buffer_bytes, policy=buffer_policy)
         self.microscopes = [
             HighThroughputMicroscope(sim, cfg, rng=sim.random.spawn(f"scope.{cfg.name}"))
@@ -92,6 +125,9 @@ class IngestPipeline:
                 project=project,
                 batch_size=batch_size,
                 name=f"agent-{i}",
+                resilience=resilience,
+                transfer_timeout=transfer_timeout,
+                on_error=on_error,
             )
             for i in range(agents)
         ]
@@ -129,4 +165,8 @@ class IngestPipeline:
             latency_max=float(np.max(lat)),
             backlog_mean_bytes=self.buffer.backlog.mean(self.sim.now),
             backlog_peak_bytes=self.buffer.backlog.max,
+            frames_dead_lettered=int(sum(a.dead_lettered.value for a in self.agents)),
+            frames_lost=int(sum(a.lost.value for a in self.agents)),
+            retries=int(sum(a.retried.value for a in self.agents)),
+            failovers=int(sum(a.failovers.value for a in self.agents)),
         )

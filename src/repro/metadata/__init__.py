@@ -32,6 +32,7 @@ Public surface
 
 from repro.metadata.errors import (
     MetadataError,
+    MetadataUnavailableError,
     SchemaError,
     UnknownDatasetError,
     WriteOnceError,
@@ -46,6 +47,7 @@ __all__ = [
     "FieldSpec",
     "MetadataError",
     "MetadataStore",
+    "MetadataUnavailableError",
     "ProcessingRecord",
     "Q",
     "Query",

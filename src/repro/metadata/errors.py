@@ -21,3 +21,10 @@ class UnknownDatasetError(MetadataError, KeyError):
 
 class UnknownProjectError(MetadataError, KeyError):
     """Referenced project is not registered."""
+
+
+class MetadataUnavailableError(MetadataError):
+    """Transient repository outage: registrations are refused until it heals.
+
+    Injected by the chaos framework's ``metadata_outage`` incident; callers
+    on the resilient data path treat it as retryable."""

@@ -19,6 +19,7 @@ from typing import Any, Iterable, Mapping, Optional
 
 from repro.metadata.errors import (
     MetadataError,
+    MetadataUnavailableError,
     UnknownDatasetError,
     UnknownProjectError,
     WriteOnceError,
@@ -42,6 +43,7 @@ class MetadataStore:
     """In-memory metadata repository with indexes and JSONL persistence."""
 
     def __init__(self) -> None:
+        self._available = True
         self._projects: dict[str, ProjectInfo] = {}
         self._datasets: dict[str, DatasetRecord] = {}
         self._tag_index: dict[str, set[str]] = {}
@@ -50,6 +52,16 @@ class MetadataStore:
         self._field_indexes: dict[str, dict[Any, set[str]]] = {}
         self._url_index: dict[str, str] = {}
         self._step_seq = 0
+
+    # -- availability -------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """Whether the repository accepts registrations right now."""
+        return self._available
+
+    def set_available(self, available: bool) -> None:
+        """Flip the outage flag (used by the ``metadata_outage`` incident)."""
+        self._available = bool(available)
 
     # -- projects -----------------------------------------------------------
     def register_project(
@@ -91,6 +103,8 @@ class MetadataStore:
         tags: Iterable[str] = (),
     ) -> DatasetRecord:
         """Register a new dataset with validated, write-once basic metadata."""
+        if not self._available:
+            raise MetadataUnavailableError("metadata repository is down")
         if dataset_id in self._datasets:
             raise WriteOnceError(f"dataset {dataset_id!r} already registered")
         info = self.project(project)

@@ -1,0 +1,183 @@
+"""Per-target circuit breakers.
+
+A :class:`CircuitBreaker` tracks consecutive failures against one target (a
+disk array, a backend, a remote site) and cuts traffic to it once a
+threshold is crossed — the classic closed → open → half-open automaton:
+
+``closed``
+    Normal operation; consecutive failures are counted.
+``open``
+    Tripped: callers should route around the target.  After
+    ``reset_timeout`` seconds the breaker softens to half-open.
+``half_open``
+    One probe call is admitted; success closes the breaker, failure
+    re-opens it (and restarts the reset clock).
+
+Every state transition is logged with its (simulated) timestamp, which is
+what the facility report's "Resilience" section renders.  A
+:class:`BreakerBoard` manages one breaker per named target with shared
+configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker for one target.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time (pass
+        ``lambda: sim.now``); the breaker never owns a clock of its own.
+    target:
+        Name used in logs and errors.
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_timeout:
+        Seconds after opening before a half-open probe is allowed.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        target: str = "",
+        failure_threshold: int = 3,
+        reset_timeout: float = 120.0,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0")
+        self._clock = clock
+        self.target = target
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        #: ``(time, old_state, new_state)`` history of every transition.
+        self.transitions: list[tuple[float, str, str]] = []
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, softening ``open`` to ``half_open`` when due."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._transition(HALF_OPEN)
+            self._probe_in_flight = False
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures recorded since the last success."""
+        return self._failures
+
+    def _transition(self, new: str) -> None:
+        if new != self._state:
+            self.transitions.append((self._clock(), self._state, new))
+            self._state = new
+
+    # -- protocol ------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call to the target should be admitted now.
+
+        In half-open state only a single probe is admitted at a time;
+        calling ``allow()`` claims the probe slot until the probe reports
+        success or failure.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        """Report one successful call; closes a half-open breaker."""
+        self._failures = 0
+        self._probe_in_flight = False
+        if self.state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """Report one failed call; may trip the breaker open."""
+        state = self.state
+        self._probe_in_flight = False
+        if state == HALF_OPEN:
+            # Failed probe: straight back to open, restart the reset clock.
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+            return
+        self._failures += 1
+        if state == CLOSED and self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<CircuitBreaker {self.target!r} {self._state} "
+            f"failures={self._failures}/{self.failure_threshold}>"
+        )
+
+
+class BreakerBoard:
+    """One lazily-created :class:`CircuitBreaker` per named target."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        failure_threshold: int = 3,
+        reset_timeout: float = 120.0,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0")
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, target: str) -> CircuitBreaker:
+        """The breaker for ``target``, created on first use."""
+        if target not in self._breakers:
+            self._breakers[target] = CircuitBreaker(
+                self._clock,
+                target=target,
+                failure_threshold=self.failure_threshold,
+                reset_timeout=self.reset_timeout,
+            )
+        return self._breakers[target]
+
+    def open_targets(self) -> set[str]:
+        """Targets whose breaker is currently open (half-open is eligible)."""
+        return {t for t, b in self._breakers.items() if b.state == OPEN}
+
+    def transitions(self) -> list[tuple[float, str, str, str]]:
+        """All transitions across targets: ``(time, target, old, new)``."""
+        out = [
+            (when, b.target, old, new)
+            for b in self._breakers.values()
+            for when, old, new in b.transitions
+        ]
+        out.sort(key=lambda row: row[0])
+        return out
+
+    def __iter__(self) -> Iterator[CircuitBreaker]:
+        return iter(self._breakers.values())
+
+    def __len__(self) -> int:
+        return len(self._breakers)

@@ -1,0 +1,94 @@
+"""The dead-letter queue: exhausted work is captured, never dropped.
+
+When the data path gives up on a unit of work (a frame, an object, a batch)
+after retries and failover, the payload goes to a :class:`DeadLetterQueue`
+together with the final error and the full attempt history — so a chaos run
+can prove *zero silent loss*: every unit is either delivered or sits in the
+DLQ with an audit trail, ready for operator-driven replay via
+:meth:`~DeadLetterQueue.drain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class DeadLetter:
+    """One unit of work the data path gave up on."""
+
+    payload: Any
+    error: str
+    #: ``(time, message)`` for every failed attempt, in order.
+    attempts: list[tuple[float, str]] = field(default_factory=list)
+    source: str = ""
+    time: float = 0.0
+    nbytes: float = 0.0
+
+
+class DeadLetterQueue:
+    """Append-only queue of :class:`DeadLetter` records."""
+
+    def __init__(self, name: str = "dlq"):
+        self.name = name
+        self._entries: list[DeadLetter] = []
+        self._total_bytes = 0.0
+
+    def push(
+        self,
+        payload: Any,
+        error: str,
+        attempts: list[tuple[float, str]],
+        source: str = "",
+        time: float = 0.0,
+        nbytes: float = 0.0,
+    ) -> DeadLetter:
+        """Capture one exhausted unit of work."""
+        letter = DeadLetter(
+            payload=payload,
+            error=error,
+            attempts=list(attempts),
+            source=source,
+            time=time,
+            nbytes=float(nbytes),
+        )
+        self._entries.append(letter)
+        self._total_bytes += letter.nbytes
+        return letter
+
+    @property
+    def depth(self) -> int:
+        """Number of dead letters currently queued."""
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> float:
+        """Payload bytes represented by the queued dead letters."""
+        return self._total_bytes
+
+    def items(self) -> list[DeadLetter]:
+        """The queued dead letters, oldest first (non-destructive)."""
+        return list(self._entries)
+
+    def by_source(self) -> dict[str, int]:
+        """Dead-letter counts grouped by source label."""
+        counts: dict[str, int] = {}
+        for letter in self._entries:
+            counts[letter.source] = counts.get(letter.source, 0) + 1
+        return counts
+
+    def drain(self) -> list[DeadLetter]:
+        """Remove and return everything (operator replay hook)."""
+        entries, self._entries = self._entries, []
+        self._total_bytes = 0.0
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<DeadLetterQueue {self.name} depth={len(self._entries)}>"

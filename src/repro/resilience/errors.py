@@ -1,0 +1,38 @@
+"""Exception types of the resilience layer."""
+
+from __future__ import annotations
+
+
+class ResilienceError(Exception):
+    """Base class for resilience-layer errors."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """An operation ran past its :func:`~repro.resilience.with_timeout` deadline."""
+
+    def __init__(self, seconds: float, label: str = "operation"):
+        super().__init__(f"{label} exceeded its {seconds:.6g} s deadline")
+        self.seconds = seconds
+        self.label = label
+
+
+class RetriesExhaustedError(ResilienceError):
+    """All attempts of a retried operation failed.
+
+    The last underlying failure is chained as ``__cause__``; the full
+    attempt history (one ``(time-or-attempt, message)`` pair per failure)
+    rides along for dead-letter records and diagnostics.
+    """
+
+    def __init__(self, label: str, attempts: list):
+        super().__init__(f"{label}: {len(attempts)} attempt(s) exhausted")
+        self.label = label
+        self.attempts = list(attempts)
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was refused because the target's circuit breaker is open."""
+
+    def __init__(self, target: str):
+        super().__init__(f"circuit breaker for {target!r} is open")
+        self.target = target

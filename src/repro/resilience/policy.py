@@ -1,0 +1,105 @@
+"""Retry policies: capped exponential backoff with deterministic jitter.
+
+A :class:`RetryPolicy` is pure configuration — it owns no clock and no
+random state.  Jitter is drawn from a caller-supplied
+:class:`~repro.simkit.rand.RandomSource` substream, so retry timing is part
+of the same reproducible random universe as everything else in the
+simulation: the same seed yields the same backoff sequence, run after run.
+
+Simulated consumers (transfer agents) sleep the computed delay on the
+simulator clock; glue-layer consumers (the ADAL client, which is
+instantaneous from the simulator's perspective) retry via :meth:`run_sync`,
+where the delay is bookkeeping only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+from repro.resilience.errors import RetriesExhaustedError
+from repro.simkit.rand import RandomSource
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (so ``max_attempts - 1`` retries).
+    base_delay:
+        Backoff before the first retry, seconds.
+    multiplier:
+        Geometric growth factor between consecutive backoffs.
+    max_delay:
+        Hard cap on any single backoff, jitter included.
+    jitter:
+        Fractional jitter: each delay is scaled by a uniform draw from
+        ``[1 - jitter, 1 + jitter]`` when a random source is supplied.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 2.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: Optional[RandomSource] = None) -> float:
+        """Backoff (seconds) before retry number ``attempt`` (1-based).
+
+        The exponential ramp is capped at ``max_delay`` both before and
+        after jitter, so no draw can ever exceed the cap.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if rng is not None and self.jitter > 0:
+            raw *= 1.0 + self.jitter * rng.uniform(-1.0, 1.0)
+        return min(raw, self.max_delay)
+
+    def delays(self, rng: Optional[RandomSource] = None) -> list[float]:
+        """The full backoff sequence of one exhausting retry run."""
+        return [self.delay(i, rng) for i in range(1, self.max_attempts)]
+
+    def run_sync(
+        self,
+        fn: Callable,
+        retry_on: Tuple[Type[BaseException], ...],
+        rng: Optional[RandomSource] = None,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+        label: str = "call",
+    ):
+        """Call ``fn`` with immediate (clock-less) retries.
+
+        Used by glue-layer components that run in zero simulated time: the
+        backoff delay is still computed (and passed to ``on_retry`` for
+        accounting) but not slept.  Raises
+        :class:`~repro.resilience.errors.RetriesExhaustedError` chained to
+        the last failure once ``max_attempts`` is reached; exceptions not
+        in ``retry_on`` propagate immediately.
+        """
+        attempts: list[tuple[int, str]] = []
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except retry_on as exc:
+                attempts.append((attempt, f"{type(exc).__name__}: {exc}"))
+                if attempt >= self.max_attempts:
+                    raise RetriesExhaustedError(label, attempts) from exc
+                backoff = self.delay(attempt, rng)
+                if on_retry is not None:
+                    on_retry(attempt, exc, backoff)
+                attempt += 1

@@ -1,0 +1,49 @@
+"""Deadline wrapper for simulation events.
+
+:func:`with_timeout` races an event against a timer via ``sim.any_of`` and
+returns a process-event the caller can ``yield`` exactly like the original:
+it carries the event's value on success, re-raises the event's exception on
+failure, and fails with
+:class:`~repro.resilience.errors.DeadlineExceededError` when the deadline
+wins.  A timed-out event is *abandoned but defused*: if it later fails, the
+failure is acknowledged instead of escalating out of the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.resilience.errors import DeadlineExceededError
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+
+
+def _defuse(event: Event) -> None:
+    """Acknowledge a possibly-failed abandoned event."""
+    event.defused = True
+
+
+def with_timeout(
+    sim: Simulator, event: Event, seconds: float, label: Optional[str] = None
+) -> Event:
+    """Wrap ``event`` with a deadline of ``seconds`` simulated seconds.
+
+    Returns a process-event that succeeds/fails exactly as ``event`` does,
+    unless the deadline expires first — then it fails with
+    :class:`DeadlineExceededError` and the late event is defused.
+    """
+    if seconds <= 0:
+        raise ValueError("timeout must be > 0 seconds")
+    name = label or event.name or "operation"
+
+    def guard() -> Generator:
+        timer = sim.timeout(seconds)
+        # AnyOf fails fast if `event` fails, re-raising here; otherwise it
+        # succeeds as soon as either side triggers.
+        yield sim.any_of([event, timer])
+        if event.processed and event.ok:
+            return event.value
+        event.callbacks.append(_defuse)
+        raise DeadlineExceededError(seconds, name)
+
+    return sim.process(guard(), name=f"timeout:{name}")

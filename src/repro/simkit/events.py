@@ -318,7 +318,13 @@ class AllOf(_Condition):
 
 
 class AnyOf(_Condition):
-    """Triggers when *any* constituent event has triggered."""
+    """Triggers when *any* constituent event has *fired* (been processed).
+
+    Merely-scheduled events don't count: a :class:`Timeout` is born
+    triggered (it knows its fire time at creation), so testing ``ev.ok``
+    here would make any race against a timer resolve instantly at
+    construction instead of at the timer's deadline.
+    """
 
     __slots__ = ()
 
@@ -328,4 +334,7 @@ class AnyOf(_Condition):
         super().__init__(sim, events, "AnyOf")
 
     def _ready(self) -> bool:
-        return any(ev.ok for ev in self.events)
+        return any(ev.processed and ev.ok for ev in self.events)
+
+    def _collect(self) -> Any:
+        return {ev: ev._value for ev in self.events if ev.processed and ev.ok}

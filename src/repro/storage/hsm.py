@@ -117,7 +117,7 @@ class HsmSystem:
         # Re-admit to disk; may require evicting colder files first.
         if self.pool.free < record.size:
             yield self.sim.process(self._migrate_pass(target_free=record.size))
-        array = self.pool._choose_array(record.size)
+        array = self.pool.choose_array(record.size)
         record.array = array.name
         record.tier = "disk"
         record.last_access = self.sim.now

@@ -60,6 +60,7 @@ class StoragePool:
         self.policy = policy
         self._files: dict[str, StoredFile] = {}
         self._rr_index = 0
+        self._degraded: set[str] = set()
 
     # -- capacity ---------------------------------------------------------
     @property
@@ -102,34 +103,70 @@ class StoragePool:
     def __len__(self) -> int:
         return len(self._files)
 
+    # -- health --------------------------------------------------------------
+    @property
+    def degraded(self) -> set[str]:
+        """Arrays currently marked degraded (excluded from placement)."""
+        return set(self._degraded)
+
+    def mark_degraded(self, array_name: str) -> None:
+        """Exclude an array from new placements (brown-out / maintenance)."""
+        if array_name not in self.arrays:
+            raise StorageError(f"{self.name}: unknown array {array_name!r}")
+        self._degraded.add(array_name)
+
+    def clear_degraded(self, array_name: str) -> None:
+        """Return a degraded array to placement service (idempotent)."""
+        self._degraded.discard(array_name)
+
     # -- placement -----------------------------------------------------------
-    def _choose_array(self, nbytes: float) -> DiskArray:
-        candidates = [a for a in self.arrays.values() if a.free >= nbytes]
+    def choose_array(self, nbytes: float, exclude: Optional[Iterable[str]] = None) -> DiskArray:
+        """Pick the array for a new file under the pool's placement policy.
+
+        Arrays named in ``exclude`` — and any marked degraded — are skipped,
+        which is how callers fail over around tripped circuit breakers and
+        browned-out arrays.  Raises :class:`StorageError` when no eligible
+        array can hold ``nbytes``.
+        """
+        skip = set(exclude or ()) | self._degraded
+        eligible = [a for a in self.arrays.values() if a.name not in skip]
+        candidates = [a for a in eligible if a.free >= nbytes]
         if not candidates:
             raise StorageError(
-                f"{self.name}: no array can hold {nbytes:.3g} B (pool free {self.free:.3g} B)"
+                f"{self.name}: no eligible array can hold {nbytes:.3g} B "
+                f"(pool free {self.free:.3g} B, excluded {sorted(skip)})"
             )
         if self.policy is PlacementPolicy.MOST_FREE:
             return max(candidates, key=lambda a: (a.free, a.name))
         if self.policy is PlacementPolicy.LEAST_FILLED:
             return min(candidates, key=lambda a: (a.fill_fraction, a.name))
-        # ROUND_ROBIN over all arrays, skipping full ones.
+        # ROUND_ROBIN over all arrays, skipping full/ineligible ones.
         order = list(self.arrays.values())
         for i in range(len(order)):
             array = order[(self._rr_index + i) % len(order)]
-            if array.free >= nbytes:
+            if array.name not in skip and array.free >= nbytes:
                 self._rr_index = (self._rr_index + i + 1) % len(order)
                 return array
         raise StorageError("unreachable")  # pragma: no cover
 
     # -- I/O -------------------------------------------------------------------
-    def write(self, file_id: str, nbytes: float, **attrs) -> Event:
-        """Store a new file; the event fires when the write is durable."""
+    def write(
+        self,
+        file_id: str,
+        nbytes: float,
+        *,
+        exclude: Optional[Iterable[str]] = None,
+        **attrs,
+    ) -> Event:
+        """Store a new file; the event fires when the write is durable.
+
+        ``exclude`` names arrays to skip during placement (failover).
+        """
         if file_id in self._files:
             raise StorageError(f"duplicate file id {file_id!r}")
         if nbytes < 0:
             raise ValueError("size must be >= 0")
-        array = self._choose_array(nbytes)
+        array = self.choose_array(nbytes, exclude=exclude)
         record = StoredFile(
             file_id=file_id,
             size=float(nbytes),

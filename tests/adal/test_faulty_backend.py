@@ -1,0 +1,121 @@
+"""Tests for FaultyBackend fault injection and AdalClient retries."""
+
+import pytest
+
+from repro.adal import (
+    AdalClient,
+    BackendRegistry,
+    BackendUnavailableError,
+    FaultyBackend,
+    MemoryBackend,
+)
+from repro.resilience import RetriesExhaustedError, RetryPolicy
+from repro.simkit.rand import RandomSource
+
+
+def _faulty(rate=0.5, seed=42, **kwargs):
+    return FaultyBackend(MemoryBackend(), failure_rate=rate,
+                         rng=RandomSource(seed), **kwargs)
+
+
+class TestFaultyBackend:
+    def test_rate_zero_never_faults(self):
+        backend = _faulty(rate=0.0)
+        for i in range(50):
+            backend.put(f"k{i}", b"v")
+        assert backend.faults == 0
+        assert backend.calls == 50
+
+    def test_rate_one_always_faults(self):
+        backend = _faulty(rate=1.0)
+        with pytest.raises(BackendUnavailableError):
+            backend.put("k", b"v")
+        with pytest.raises(BackendUnavailableError):
+            backend.get("k")
+        assert backend.faults == 2
+
+    def test_fault_sequence_is_seed_deterministic(self):
+        def trace(backend):
+            out = []
+            for i in range(100):
+                try:
+                    backend.put(f"k{i}", b"v")
+                    out.append("ok")
+                except BackendUnavailableError:
+                    out.append("fault")
+            return out
+
+        assert trace(_faulty(seed=7)) == trace(_faulty(seed=7))
+        assert trace(_faulty(seed=7)) != trace(_faulty(seed=8))
+
+    def test_surviving_calls_reach_the_inner_backend(self):
+        backend = _faulty(rate=0.3, seed=1)
+        stored = 0
+        for i in range(40):
+            try:
+                backend.put(f"k{i}", b"v")
+                stored += 1
+            except BackendUnavailableError:
+                pass
+        assert stored == sum(1 for i in range(40) if backend.inner.exists(f"k{i}"))
+        assert 0 < backend.faults < backend.calls
+
+    def test_ops_filter_limits_injection(self):
+        backend = _faulty(rate=1.0, ops=("get",))
+        backend.put("k", b"v")  # puts unaffected
+        with pytest.raises(BackendUnavailableError):
+            backend.get("k")
+        assert backend.stat("k").size == 1
+
+    def test_forced_outage_overrides_rate(self):
+        backend = _faulty(rate=0.0)
+        backend.put("k", b"v")
+        backend.forced_outage = True
+        with pytest.raises(BackendUnavailableError):
+            backend.get("k")
+        backend.forced_outage = False
+        assert backend.get("k") == b"v"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _faulty(rate=1.5)
+        with pytest.raises(ValueError):
+            _faulty(ops=("teleport",))
+
+
+class TestClientRetries:
+    def _client(self, rate, policy, seed=3):
+        registry = BackendRegistry()
+        registry.register("flaky", _faulty(rate=rate, seed=seed))
+        return AdalClient(registry, retry_policy=policy,
+                          retry_rng=RandomSource(99))
+
+    def test_transient_faults_absorbed(self):
+        client = self._client(rate=0.4, policy=RetryPolicy(max_attempts=8))
+        for i in range(25):
+            url = f"adal://flaky/obj-{i}"
+            client.put(url, b"x" * 10)
+            assert client.get(url) == b"x" * 10
+        assert client.retries > 0
+
+    def test_exhaustion_surfaces_with_history(self):
+        client = self._client(rate=1.0, policy=RetryPolicy(max_attempts=3))
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            client.put("adal://flaky/x", b"v")
+        assert len(excinfo.value.attempts) == 3
+        assert isinstance(excinfo.value.__cause__, BackendUnavailableError)
+        assert client.retries == 2  # the two re-attempts before giving up
+
+    def test_without_policy_fault_surfaces_directly(self):
+        client = self._client(rate=1.0, policy=None)
+        with pytest.raises(BackendUnavailableError):
+            client.put("adal://flaky/x", b"v")
+        assert client.retries == 0
+
+    def test_non_transient_errors_not_retried(self):
+        from repro.adal import ObjectNotFoundError
+
+        client = self._client(rate=0.0, policy=RetryPolicy(max_attempts=5))
+        with pytest.raises(ObjectNotFoundError):
+            client.get("adal://flaky/missing")
+        assert client.retries == 0

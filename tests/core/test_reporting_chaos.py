@@ -34,7 +34,7 @@ class TestFacilityReport:
         data = report.as_dict()
         assert {"storage estate", "tape / HSM", "network (10 GE backbone)",
                 "HDFS (analysis cluster)", "cloud (OpenNebula-style)",
-                "metadata repository"} == set(data)
+                "metadata repository", "resilience"} == set(data)
 
     def test_render_contains_live_numbers(self):
         facility = _small_facility()
@@ -107,6 +107,63 @@ class TestChaosSchedule:
         schedule.run(facility)
         with pytest.raises(ValueError):
             facility.run(until=5.0)
+
+    def test_custom_incident_with_repair_requires_heal_action(self):
+        """Satellite fix: a repairable custom incident used to heal as a
+        silent no-op; now it is rejected when the schedule is built."""
+        bad = Incident(at=1.0, kind="custom", target=("x",),
+                       action=lambda f: None, repair_after=5.0)
+        with pytest.raises(ValueError, match="heal_action"):
+            ChaosSchedule([bad])
+        with pytest.raises(ValueError, match="heal_action"):
+            ChaosSchedule().add(bad)
+
+    def test_custom_incident_without_action_rejected(self):
+        with pytest.raises(ValueError, match="action"):
+            ChaosSchedule([Incident(at=1.0, kind="custom", target=("x",))])
+
+    def test_custom_heal_action_runs_at_repair_time(self):
+        facility = _small_facility()
+        hits = []
+        schedule = ChaosSchedule([
+            Incident(at=2.0, kind="custom", target=("marker",),
+                     action=lambda f: hits.append(("down", f.sim.now)),
+                     heal_action=lambda f: hits.append(("up", f.sim.now)),
+                     repair_after=3.0),
+        ])
+        schedule.run(facility)
+        facility.run(until=10.0)
+        assert hits == [("down", 2.0), ("up", 5.0)]
+        messages = " | ".join(m for _t, m in schedule.log.entries)
+        assert "custom heal" in messages
+
+    def test_backend_flaky_wraps_and_unwraps(self):
+        facility = _small_facility()
+        schedule = ChaosSchedule([
+            Incident(at=1.0, kind="backend_flaky", target=("lsdf",),
+                     repair_after=4.0, params={"rate": 1.0}),
+        ])
+        schedule.run(facility)
+        facility.run(until=2.0)
+        assert facility.adal_registry.resolve("lsdf").kind == "faulty"
+        facility.run(until=10.0)
+        assert facility.adal_registry.resolve("lsdf").kind != "faulty"
+
+    def test_array_degraded_and_metadata_outage_heal(self):
+        facility = _small_facility()
+        schedule = ChaosSchedule([
+            Incident(at=1.0, kind="array_degraded", target=("a1",),
+                     repair_after=4.0),
+            Incident(at=2.0, kind="metadata_outage", target=("metadata",),
+                     repair_after=2.0),
+        ])
+        schedule.run(facility)
+        facility.run(until=3.0)
+        assert facility.pool.degraded == {"a1"}
+        assert not facility.metadata.available
+        facility.run(until=10.0)
+        assert facility.pool.degraded == set()
+        assert facility.metadata.available
 
 
 class TestGenerators:

@@ -1,0 +1,184 @@
+"""Unit tests for the resilient transfer path (retry/failover/DLQ)."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.units import MB, MINUTE
+from repro.netsim import Network, build_lsdf_backbone
+from repro.storage import DiskArray, StoragePool
+from repro.metadata import MetadataStore
+from repro.ingest import IngestPipeline, MicroscopeConfig, StorageSink
+from repro.resilience import ResilienceKit, RetryPolicy
+from repro.workloads import zebrafish_basic_schema
+
+
+def _world(seed=3):
+    sim = Simulator(seed=seed)
+    topo, names = build_lsdf_backbone()
+    net = Network(sim, topo)
+    arrays = [
+        DiskArray(sim, "ddn", 0.5e15, 3e9),
+        DiskArray(sim, "ibm", 1.4e15, 5e9),
+    ]
+    pool = StoragePool(sim, arrays)
+    sink = StorageSink(pool, {"ddn": names.storage[0], "ibm": names.storage[1]})
+    store = MetadataStore()
+    store.register_project("zebrafish", zebrafish_basic_schema())
+    return sim, net, names, pool, sink, store
+
+
+def _kit(sim, **policy_overrides):
+    defaults = dict(max_attempts=4, base_delay=1.0, multiplier=2.0,
+                    max_delay=8.0, jitter=0.0)
+    defaults.update(policy_overrides)
+    return ResilienceKit(sim, policy=RetryPolicy(**defaults),
+                         breaker_failure_threshold=2, breaker_reset_timeout=60.0)
+
+
+def _pipeline(sim, net, names, sink, store, **kwargs):
+    configs = [MicroscopeConfig(name="s0", frames_per_day=80_000.0)]
+    return IngestPipeline(sim, net, names.daq[0], sink, configs,
+                          store=store, agents=1, batch_size=4, **kwargs)
+
+
+class TestQuietPathParity:
+    def test_resilient_run_matches_seed_run_exactly(self):
+        """With no faults the resilient path must be event-for-event
+        identical to the seed path: identical reports from identical seeds."""
+        reports = []
+        for resilient in (False, True):
+            sim, net, names, _pool, sink, store = _world(seed=5)
+            kwargs = {"resilience": _kit(sim)} if resilient else {}
+            pipeline = _pipeline(sim, net, names, sink, store, **kwargs)
+            reports.append(pipeline.run(duration=10 * MINUTE))
+        seed_report, resilient_report = reports
+        assert resilient_report == seed_report
+        assert resilient_report.retries == 0
+        assert resilient_report.frames_dead_lettered == 0
+
+
+class TestRecovery:
+    def test_outage_shorter_than_retry_budget_recovers_everything(self):
+        sim, net, names, _pool, sink, store = _world()
+        kit = _kit(sim)
+        pipeline = _pipeline(sim, net, names, sink, store, resilience=kit)
+
+        def blackout():
+            yield sim.timeout(60.0)
+            net.fail_node(names.routers[0])
+            net.fail_node(names.routers[1])
+            yield sim.timeout(3.0)  # inside the 1+2+4 s backoff envelope
+            net.repair_node(names.routers[0])
+            net.repair_node(names.routers[1])
+
+        sim.process(blackout(), name="blackout")
+        report = pipeline.run(duration=3 * MINUTE)
+        assert report.retries > 0
+        assert report.frames_dead_lettered == 0
+        assert report.frames_ingested == report.frames_acquired
+        assert kit.recovered_bytes.value > 0
+        assert kit.lost_bytes.value == 0
+
+    def test_outage_longer_than_retry_budget_dead_letters(self):
+        sim, net, names, _pool, sink, store = _world()
+        kit = _kit(sim)
+        pipeline = _pipeline(sim, net, names, sink, store, resilience=kit)
+
+        def blackout():
+            yield sim.timeout(60.0)
+            net.fail_node(names.routers[0])
+            net.fail_node(names.routers[1])
+            yield sim.timeout(60.0)  # far beyond the 7 s retry envelope
+            net.repair_node(names.routers[0])
+            net.repair_node(names.routers[1])
+
+        sim.process(blackout(), name="blackout")
+        report = pipeline.run(duration=3 * MINUTE)
+        assert report.frames_dead_lettered > 0
+        assert (report.frames_ingested + report.frames_dead_lettered
+                == report.frames_acquired)
+        assert kit.dlq.depth == report.frames_dead_lettered
+        assert kit.dlq.total_bytes == pytest.approx(kit.lost_bytes.value)
+        # Every dead letter carries its full attempt history.
+        assert all(len(letter.attempts) == kit.policy.max_attempts
+                   for letter in kit.dlq)
+
+    def test_degraded_array_fails_over_without_a_single_retry(self):
+        """A brown-out of one array is absorbed by placement alone."""
+        sim, net, names, pool, sink, store = _world()
+        kit = _kit(sim)
+        pipeline = _pipeline(sim, net, names, sink, store, resilience=kit)
+
+        def brownout():
+            yield sim.timeout(30.0)
+            pool.mark_degraded("ibm")
+
+        sim.process(brownout(), name="brownout")
+        report = pipeline.run(duration=3 * MINUTE)
+        assert report.frames_ingested == report.frames_acquired
+        late = [r for r in pool.files() if r.created > 31.0]
+        assert late and all(r.array == "ddn" for r in late)
+
+    def test_metadata_outage_retries_without_rewriting_frames(self):
+        sim, net, names, pool, sink, store = _world()
+        kit = _kit(sim)
+        pipeline = _pipeline(sim, net, names, sink, store, resilience=kit)
+
+        def outage():
+            yield sim.timeout(60.0)
+            store.set_available(False)
+            yield sim.timeout(3.0)
+            store.set_available(True)
+
+        sim.process(outage(), name="outage")
+        report = pipeline.run(duration=3 * MINUTE)
+        assert report.retries > 0
+        assert report.frames_ingested == report.frames_acquired
+        assert len(store) == report.frames_ingested
+        assert len(pool) == report.frames_ingested  # no duplicate writes
+        # A pure metadata fault must not blame the storage arrays.
+        assert len(kit.breakers) == 0 or not kit.breakers.transitions()
+
+
+class TestBreakersInPlacement:
+    def test_tripped_breaker_diverts_placement(self):
+        sim, _net, _names, _pool, sink, store = _world()
+        kit = _kit(sim)
+        # Trip ibm's breaker manually (threshold 2).
+        kit.breakers.breaker("ibm").record_failure()
+        kit.breakers.breaker("ibm").record_failure()
+        assert kit.breakers.open_targets() == {"ibm"}
+        from repro.ingest.transfer import TransferAgent
+        from repro.ingest.daq import DaqBuffer
+
+        agent = TransferAgent(sim, None, DaqBuffer(sim, 1e12), "daq-0", sink,
+                              store=store, resilience=kit)
+        array, _node, honoured, desperate = agent._choose_destination(
+            100 * MB, set(), kit)
+        assert array == "ddn"
+        assert honoured == {"ibm"}
+        assert not desperate
+
+    def test_all_breakers_open_falls_back_to_desperate_probe(self):
+        sim, _net, _names, _pool, sink, store = _world()
+        kit = _kit(sim)
+        for name in ("ddn", "ibm"):
+            kit.breakers.breaker(name).record_failure()
+            kit.breakers.breaker(name).record_failure()
+        from repro.ingest.transfer import TransferAgent
+        from repro.ingest.daq import DaqBuffer
+
+        agent = TransferAgent(sim, None, DaqBuffer(sim, 1e12), "daq-0", sink,
+                              store=store, resilience=kit)
+        array, _node, honoured, desperate = agent._choose_destination(
+            100 * MB, set(), kit)
+        assert array in ("ddn", "ibm")
+        assert honoured == set()
+        assert desperate
+
+
+class TestValidation:
+    def test_unknown_on_error_policy_rejected(self):
+        sim, net, names, _pool, sink, store = _world()
+        with pytest.raises(ValueError):
+            _pipeline(sim, net, names, sink, store, on_error="ignore")

@@ -1,0 +1,156 @@
+"""Tests for the circuit breaker automaton and the breaker board."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
+
+
+class FakeClock:
+    """A hand-cranked clock the breaker reads through a callable."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(clock, "ddn", failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never 3 *consecutive* failures
+
+    def test_half_open_after_reset_timeout_admits_single_probe(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, reset_timeout=60.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.now = 59.9
+        assert breaker.state == OPEN
+        clock.now = 60.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe slot
+        assert not breaker.allow()  # only one probe at a time
+
+    def test_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure()
+        clock.now = 15.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.failures == 0
+
+    def test_probe_failure_reopens_and_restarts_clock(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure()  # opens at t=0
+        clock.now = 12.0
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # failed probe
+        assert breaker.state == OPEN
+        clock.now = 21.9  # 9.9 s after reopening: still open
+        assert breaker.state == OPEN
+        clock.now = 22.0
+        assert breaker.state == HALF_OPEN
+
+    def test_transition_log_records_full_cycle(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=2, reset_timeout=30.0)
+        clock.now = 5.0
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now = 40.0
+        breaker.allow()
+        breaker.record_success()
+        assert [(t, old, new) for t, old, new in breaker.transitions] == [
+            (5.0, CLOSED, OPEN),
+            (40.0, OPEN, HALF_OPEN),
+            (40.0, HALF_OPEN, CLOSED),
+        ]
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, reset_timeout=0.0)
+
+    @given(
+        threshold=st.integers(min_value=1, max_value=6),
+        outcomes=st.lists(st.booleans(), max_size=60),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_never_opens_without_threshold_consecutive_failures(
+        self, threshold, outcomes
+    ):
+        """Property: with a frozen clock the breaker is open iff some run of
+        ``threshold`` consecutive failures occurred (no reset can elapse)."""
+        breaker = CircuitBreaker(FakeClock(), failure_threshold=threshold,
+                                 reset_timeout=1.0)
+        streak = 0
+        tripped = False
+        for ok in outcomes:
+            if ok:
+                breaker.record_success()
+                streak = 0
+                tripped = False
+            else:
+                breaker.record_failure()
+                streak += 1
+                if streak >= threshold:
+                    tripped = True
+        assert (breaker.state == OPEN) == tripped
+
+
+class TestBreakerBoard:
+    def test_board_rejects_bad_parameters_eagerly(self, clock):
+        # The board creates breakers lazily; bad parameters must fail at
+        # board construction, not mid-simulation on the first target.
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerBoard(clock, failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout"):
+            BreakerBoard(clock, reset_timeout=0.0)
+
+    def test_per_target_isolation_and_open_set(self, clock):
+        board = BreakerBoard(clock, failure_threshold=2, reset_timeout=50.0)
+        for _ in range(2):
+            board.breaker("ddn").record_failure()
+        board.breaker("ibm").record_failure()
+        assert board.open_targets() == {"ddn"}
+        assert len(board) == 2
+
+    def test_half_open_targets_are_eligible_again(self, clock):
+        board = BreakerBoard(clock, failure_threshold=1, reset_timeout=20.0)
+        board.breaker("ddn").record_failure()
+        assert board.open_targets() == {"ddn"}
+        clock.now = 25.0
+        assert board.open_targets() == set()  # half-open: probe allowed
+
+    def test_aggregated_transitions_sorted_by_time(self, clock):
+        board = BreakerBoard(clock, failure_threshold=1, reset_timeout=100.0)
+        clock.now = 3.0
+        board.breaker("b").record_failure()
+        clock.now = 1.0  # a second target "tripped earlier"
+        board.breaker("a").record_failure()
+        rows = board.transitions()
+        assert [(t, target) for t, target, _old, _new in rows] == [
+            (1.0, "a"), (3.0, "b"),
+        ]

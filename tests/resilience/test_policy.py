@@ -1,0 +1,114 @@
+"""Property-style tests for :class:`~repro.resilience.RetryPolicy`."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import RetriesExhaustedError, RetryPolicy
+from repro.simkit.rand import RandomSource
+
+
+class TestDelays:
+    @given(
+        base=st.floats(min_value=0.01, max_value=100.0),
+        multiplier=st.floats(min_value=1.0, max_value=8.0),
+        max_delay=st.floats(min_value=0.01, max_value=500.0),
+        jitter=st.floats(min_value=0.0, max_value=0.99),
+        attempts=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_every_delay_capped_and_nonnegative(
+        self, base, multiplier, max_delay, jitter, attempts, seed
+    ):
+        policy = RetryPolicy(max_attempts=attempts, base_delay=base,
+                             multiplier=multiplier, max_delay=max_delay,
+                             jitter=jitter)
+        for delay in policy.delays(RandomSource(seed)):
+            assert 0.0 <= delay <= max_delay
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_jitter_deterministic_under_fixed_seed(self, seed):
+        policy = RetryPolicy(max_attempts=6, jitter=0.25)
+        assert policy.delays(RandomSource(seed)) == policy.delays(RandomSource(seed))
+
+    def test_exponential_ramp_without_jitter(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=2.0, multiplier=2.0,
+                             max_delay=60.0, jitter=0.0)
+        assert policy.delays() == [2.0, 4.0, 8.0, 16.0]
+        assert policy.delay(20) == 60.0  # deep attempts saturate at the cap
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=10.0, jitter=0.1,
+                             max_delay=1e9)
+        rng = RandomSource(7)
+        for _ in range(200):
+            assert 9.0 <= policy.delay(1, rng) <= 11.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestRunSync:
+    def test_returns_first_success(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=3)
+
+        def fn():
+            calls.append(1)
+            return "ok"
+
+        assert policy.run_sync(fn, retry_on=(RuntimeError,)) == "ok"
+        assert len(calls) == 1
+
+    def test_retries_then_succeeds(self):
+        policy = RetryPolicy(max_attempts=4)
+        state = {"left": 2}
+        noted = []
+
+        def flaky():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise RuntimeError("transient")
+            return 42
+
+        result = policy.run_sync(
+            flaky, retry_on=(RuntimeError,),
+            on_retry=lambda attempt, exc, backoff: noted.append((attempt, backoff)),
+        )
+        assert result == 42
+        assert [attempt for attempt, _ in noted] == [1, 2]
+        assert all(backoff >= 0 for _, backoff in noted)
+
+    def test_exhaustion_raises_with_history_and_cause(self):
+        policy = RetryPolicy(max_attempts=3)
+
+        def always():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            policy.run_sync(always, retry_on=(RuntimeError,), label="probe")
+        assert len(excinfo.value.attempts) == 3
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_unlisted_exception_propagates_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            policy.run_sync(fatal, retry_on=(RuntimeError,))
+        assert len(calls) == 1

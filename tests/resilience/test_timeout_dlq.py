@@ -1,0 +1,122 @@
+"""Tests for the deadline wrapper, the dead-letter queue and the kit."""
+
+import pytest
+
+from repro.resilience import (
+    DeadlineExceededError,
+    DeadLetterQueue,
+    ResilienceKit,
+    with_timeout,
+)
+
+
+def _run_guarded(sim, event, seconds):
+    """Yield ``with_timeout(event)`` from a driver process, capture the outcome."""
+    out = {}
+
+    def driver():
+        try:
+            out["value"] = yield with_timeout(sim, event, seconds, label="op")
+        except BaseException as exc:  # noqa: BLE001 - recording for asserts
+            out["error"] = exc
+
+    sim.process(driver(), name="driver")
+    sim.run()
+    return out
+
+
+class TestWithTimeout:
+    def test_event_wins_returns_value(self, sim):
+        def worker():
+            yield sim.timeout(5.0)
+            return "payload"
+
+        out = _run_guarded(sim, sim.process(worker()), seconds=10.0)
+        assert out["value"] == "payload"
+        assert sim.now == pytest.approx(10.0)  # abandoned timer still runs out
+
+    def test_deadline_wins_raises(self, sim):
+        def worker():
+            yield sim.timeout(50.0)
+            return "late"
+
+        out = _run_guarded(sim, sim.process(worker()), seconds=3.0)
+        assert isinstance(out["error"], DeadlineExceededError)
+        assert out["error"].seconds == 3.0
+        assert "op" in str(out["error"])
+
+    def test_event_failure_propagates_as_itself(self, sim):
+        def worker():
+            yield sim.timeout(1.0)
+            raise RuntimeError("inner fault")
+
+        out = _run_guarded(sim, sim.process(worker()), seconds=10.0)
+        assert isinstance(out["error"], RuntimeError)
+
+    def test_late_failure_after_deadline_is_defused(self, sim):
+        """An abandoned event that fails *after* the deadline must not
+        escalate out of the kernel."""
+
+        def worker():
+            yield sim.timeout(20.0)
+            raise RuntimeError("too late to matter")
+
+        out = _run_guarded(sim, sim.process(worker()), seconds=2.0)
+        assert isinstance(out["error"], DeadlineExceededError)
+        assert sim.now == pytest.approx(20.0)  # ran to completion, no escalation
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            with_timeout(sim, sim.timeout(1.0), 0.0)
+
+
+class TestDeadLetterQueue:
+    def test_push_accumulates_depth_and_bytes(self):
+        dlq = DeadLetterQueue("test")
+        dlq.push("frame-1", error="boom", attempts=[(1.0, "boom")],
+                 source="agent-0", time=1.0, nbytes=100.0)
+        dlq.push("frame-2", error="boom", attempts=[], source="agent-1",
+                 time=2.0, nbytes=50.0)
+        assert dlq.depth == len(dlq) == 2
+        assert dlq.total_bytes == 150.0
+        assert dlq.by_source() == {"agent-0": 1, "agent-1": 1}
+
+    def test_letters_keep_order_and_history(self):
+        dlq = DeadLetterQueue()
+        dlq.push("a", error="E1", attempts=[(1.0, "x"), (2.0, "y")])
+        dlq.push("b", error="E2", attempts=[])
+        letters = dlq.items()
+        assert [letter.payload for letter in letters] == ["a", "b"]
+        assert letters[0].attempts == [(1.0, "x"), (2.0, "y")]
+        assert letters[0].error == "E1"
+
+    def test_drain_empties_for_replay(self):
+        dlq = DeadLetterQueue()
+        dlq.push("a", error="E", attempts=[], nbytes=10)
+        drained = dlq.drain()
+        assert [letter.payload for letter in drained] == ["a"]
+        assert dlq.depth == 0
+        assert dlq.total_bytes == 0.0
+
+
+class TestResilienceKit:
+    def test_stats_shape(self, sim):
+        kit = ResilienceKit(sim)
+        stats = kit.stats()
+        assert stats["enabled"] is True
+        assert stats["retries"] == 0
+        assert stats["dlq_depth"] == 0
+        assert stats["breakers_open"] == []
+
+    def test_jitter_stream_is_seed_stable(self):
+        from repro.simkit import Simulator
+
+        draws = []
+        for _ in range(2):
+            kit = ResilienceKit(Simulator(seed=77))
+            draws.append([kit.rng.uniform() for _ in range(5)])
+        assert draws[0] == draws[1]
+
+    def test_disabled_kit_reports_it(self, sim):
+        kit = ResilienceKit(sim, enabled=False)
+        assert kit.stats()["enabled"] is False

@@ -339,6 +339,37 @@ class TestConditions:
         with pytest.raises(ValueError):
             sim.any_of([])
 
+    def test_any_of_races_a_timer(self, sim):
+        """A Timeout is born triggered; the race must still resolve at the
+        earliest *fire* time, not instantly at construction."""
+
+        def worker():
+            yield sim.timeout(2.0)
+            return "worker"
+
+        def waiter():
+            timer = sim.timeout(30.0)
+            results = yield sim.any_of([sim.process(worker()), timer])
+            return (sim.now, list(results.values()))
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == (2.0, ["worker"])
+
+    def test_any_of_timer_wins(self, sim):
+        def worker():
+            yield sim.timeout(60.0)
+            return "slow"
+
+        def waiter():
+            timer = sim.timeout(1.5, value="deadline")
+            results = yield sim.any_of([sim.process(worker()), timer])
+            return (sim.now, list(results.values()))
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == (1.5, ["deadline"])
+
     def test_all_of_failure_propagates(self, sim):
         def bad():
             yield sim.timeout(1.0)

@@ -118,3 +118,55 @@ class TestIO:
         assert pool.array_of("f1") is big
         pool.lookup("f1").tier = "tape"
         assert pool.array_of("f1") is None
+
+
+class TestChooseArray:
+    def test_public_choose_matches_write_placement(self, sim):
+        pool, _s, big = _pool(sim)
+        assert pool.choose_array(10.0) is big
+        pool.write("f1", 10.0)
+        assert pool.lookup("f1").array == "big"
+
+    def test_exclude_routes_around_named_arrays(self, sim):
+        pool, small, big = _pool(sim)
+        assert pool.choose_array(10.0, exclude={"big"}) is small
+        pool.write("f1", 10.0, exclude={"big"})
+        assert pool.lookup("f1").array == "small"
+
+    def test_excluding_everything_raises(self, sim):
+        pool, _s, _b = _pool(sim)
+        with pytest.raises(StorageError):
+            pool.choose_array(10.0, exclude={"small", "big"})
+
+    def test_round_robin_honours_exclusions(self, sim):
+        pool, _s, _b = _pool(sim, PlacementPolicy.ROUND_ROBIN)
+        for i in range(4):
+            pool.write(f"f{i}", 1.0, exclude={"small"})
+        assert all(pool.lookup(f"f{i}").array == "big" for i in range(4))
+
+
+class TestDegraded:
+    def test_degraded_array_excluded_from_placement(self, sim):
+        pool, small, _b = _pool(sim)
+        pool.mark_degraded("big")
+        assert pool.degraded == {"big"}
+        assert pool.choose_array(10.0) is small
+
+    def test_clear_degraded_restores_and_is_idempotent(self, sim):
+        pool, _s, big = _pool(sim)
+        pool.mark_degraded("big")
+        pool.clear_degraded("big")
+        pool.clear_degraded("big")  # idempotent
+        assert pool.degraded == set()
+        assert pool.choose_array(10.0) is big
+
+    def test_unknown_array_rejected(self, sim):
+        pool, _s, _b = _pool(sim)
+        with pytest.raises(StorageError):
+            pool.mark_degraded("nope")
+
+    def test_degradation_composes_with_exclude(self, sim):
+        pool, _s, _b = _pool(sim)
+        pool.mark_degraded("big")
+        with pytest.raises(StorageError):
+            pool.choose_array(10.0, exclude={"small"})
