@@ -11,14 +11,21 @@ circuit breakers, failover, dead-letter queue) and once with it off (the
 ``on_error="drop"`` ablation).  With the layer on, every acquired frame is
 registered or dead-lettered; with it off, the blackout window's frames
 simply vanish.
+
+``LSDF_BENCH_TINY=1`` shrinks the acquisition horizon and frame rate for
+CI smoke runs.
 """
+
+import os
 
 from repro.core import Facility, FacilityConfig
 from repro.core.config import ArraySpec
 from repro.ingest import MicroscopeConfig
 from repro.simkit.units import TB, fmt_bytes
 
-_DURATION = 600.0
+_TINY = os.environ.get("LSDF_BENCH_TINY", "") not in ("", "0")
+_DURATION = 300.0 if _TINY else 600.0
+_FRAMES_PER_DAY = 100_000.0 if _TINY else 200_000.0
 
 
 def _run(resilient: bool):
@@ -31,7 +38,7 @@ def _run(resilient: bool):
         ),
         seed=23,
     )
-    scopes = [MicroscopeConfig(name=f"scope-{i}", frames_per_day=200_000.0)
+    scopes = [MicroscopeConfig(name=f"scope-{i}", frames_per_day=_FRAMES_PER_DAY)
               for i in range(2)]
     pipeline = facility.ingest_pipeline(
         scopes, agents=2, batch_size=8,

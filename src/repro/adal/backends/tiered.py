@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.adal.api import ObjectInfo, StorageBackend
-from repro.adal.errors import ObjectNotFoundError
+from repro.adal.errors import ObjectExistsError, ObjectNotFoundError
 
 
 class TieredBackend(StorageBackend):
@@ -72,12 +72,18 @@ class TieredBackend(StorageBackend):
     # -- StorageBackend API ---------------------------------------------------
     def put(self, path: str, data: bytes, overwrite: bool = False) -> ObjectInfo:
         if not overwrite and (self.hot.exists(path) or self.cold.exists(path)):
-            # Delegate the error to the hot tier for a consistent exception.
-            return self.hot.put(path, data, overwrite=False)
+            # Raise here: a cold-only object would not trip the hot tier's
+            # own write-once check, and delegating would store a duplicate.
+            raise ObjectExistsError(path)
         if self.cold.exists(path):
             self.cold.delete(path)
         if self.hot.exists(path):
+            # Remove the old copy before making room: left in place it can
+            # be picked as an eviction victim, demoting stale bytes to cold
+            # and double-subtracting its size from the accounting.
             self._hot_bytes -= self.hot.stat(path).size
+            self._lru.pop(path, None)
+            self.hot.delete(path)
         self._make_room(len(data))
         info = self.hot.put(path, data, overwrite=True)
         self._hot_bytes += len(data)

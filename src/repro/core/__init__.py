@@ -19,6 +19,7 @@ from repro.core.reporting import FacilityReport, ReportSection
 from repro.core.chaos import (
     ChaosSchedule,
     Incident,
+    durability_drill,
     resilience_drill,
     rolling_node_failures,
     router_flap,
@@ -35,6 +36,7 @@ __all__ = [
     "Incident",
     "LSDF_PROCUREMENT",
     "ReportSection",
+    "durability_drill",
     "lsdf_2011_config",
     "resilience_drill",
     "rolling_node_failures",

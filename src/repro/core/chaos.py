@@ -30,6 +30,8 @@ INCIDENT_KINDS = (
     "backend_flaky",
     "array_degraded",
     "metadata_outage",
+    "metadata_crash",
+    "silent_corruption",
     "custom",
 )
 
@@ -52,6 +54,16 @@ class Incident:
         restores it.
     ``metadata_outage``
         The metadata repository refuses registrations; heal restores it.
+    ``metadata_crash``
+        The repository process dies: all in-memory state is wiped
+        (``params["torn_tail_bytes"]`` additionally tears the WAL tail,
+        modelling a record that was mid-append).  Heal runs crash
+        recovery — snapshot + WAL replay.
+    ``silent_corruption``
+        Flip bytes of ``params["count"]`` (default 1) stored objects in the
+        named ADAL store *without touching any metadata* — only a content
+        re-hash (scrubber / full audit) can notice.  Never auto-heals:
+        bit-rot does not repair itself, the durability layer must.
     ``custom``
         Run ``action(facility)``; a custom incident with ``repair_after``
         set must also provide ``heal_action`` (enforced at schedule-build
@@ -91,6 +103,11 @@ class ChaosSchedule:
                     "custom incident with repair_after requires a `heal_action` "
                     "(the driver cannot invent how to undo an arbitrary action)"
                 )
+        if incident.kind == "silent_corruption" and incident.repair_after is not None:
+            raise ValueError(
+                "silent_corruption cannot auto-heal: corrupted bytes do not "
+                "repair themselves — run the scrubber or a consistency audit"
+            )
 
     def add(self, incident: Incident) -> "ChaosSchedule":
         """Insert one incident (keeps the schedule sorted)."""
@@ -162,6 +179,26 @@ class ChaosSchedule:
         elif incident.kind == "metadata_outage":
             facility.metadata.set_available(False)
             self.log.note(sim.now, "DOWN metadata repository")
+        elif incident.kind == "metadata_crash":
+            torn = params.get("torn_tail_bytes", 0)
+            facility.durability.crash_metadata(torn_tail_bytes=torn)
+            self.log.note(
+                sim.now,
+                "CRASH metadata repository"
+                + (f" (torn tail: {torn} B)" if torn else ""),
+            )
+        elif incident.kind == "silent_corruption":
+            (store,) = incident.target
+            corrupted = facility.durability.corrupt_objects(
+                store,
+                count=params.get("count", 1),
+                paths=params.get("paths"),
+            )
+            self.log.note(
+                sim.now,
+                f"CORRUPT {len(corrupted)} object(s) in {store}: "
+                + ", ".join(corrupted),
+            )
         elif incident.kind == "custom":
             incident.action(facility)
             self.log.note(sim.now, f"custom action on {incident.target}")
@@ -199,6 +236,12 @@ class ChaosSchedule:
         elif incident.kind == "metadata_outage":
             facility.metadata.set_available(True)
             self.log.note(sim.now, "UP metadata repository")
+        elif incident.kind == "metadata_crash":
+            replayed = facility.durability.recover_metadata()
+            self.log.note(
+                sim.now,
+                f"RECOVERED metadata repository ({replayed} WAL records replayed)",
+            )
         elif incident.kind == "custom":
             # Validated at build time: heal_action is present.
             incident.heal_action(facility)
@@ -312,4 +355,38 @@ def resilience_drill(
     # A metadata repository outage: frames keep landing, registration retries.
     schedule.add(Incident(at=start + 420.0, kind="metadata_outage",
                           target=("metadata",), repair_after=20.0))
+    return schedule
+
+
+def durability_drill(
+    store: str = "lsdf",
+    start: float = 300.0,
+    corrupt_count: int = 3,
+    crash_delay: float = 120.0,
+    recovery_after: float = 30.0,
+    torn_tail_bytes: int = 0,
+) -> ChaosSchedule:
+    """The bundled durability scenario: the faults that actually lose data.
+
+    Composes (relative to ``start``):
+
+    * a ``silent_corruption`` burst flipping bytes of ``corrupt_count``
+      objects in the ADAL ``store`` — metadata untouched, so only a content
+      re-hash can notice;
+    * ``crash_delay`` seconds later, a ``metadata_crash`` killing the whole
+      in-memory repository (optionally tearing ``torn_tail_bytes`` off the
+      WAL tail), recovered after ``recovery_after`` seconds via snapshot +
+      WAL replay.
+
+    The drill passes when the scrubber (or a full audit) detects and repairs
+    every corruption, recovery replays the repository to its pre-crash
+    state, and the closing audit is clean — asserted by the E2E test and
+    measured by the E14 benchmark.
+    """
+    schedule = ChaosSchedule()
+    schedule.add(Incident(at=start, kind="silent_corruption", target=(store,),
+                          params={"count": corrupt_count}))
+    schedule.add(Incident(at=start + crash_delay, kind="metadata_crash",
+                          target=("metadata",), repair_after=recovery_after,
+                          params={"torn_tail_bytes": torn_tail_bytes}))
     return schedule

@@ -82,6 +82,27 @@ class FacilityConfig:
     #: Optional per-batch ingest transfer deadline in seconds (None = off).
     ingest_transfer_timeout: float | None = None
 
+    # -- durability layer ---------------------------------------------------------------
+    #: Master switch: when False the scrubber neither archives nor repairs
+    #: (detection-only) — the E14 ablation's "off" arm.
+    durability_enabled: bool = True
+    #: Back the metadata repository with a write-ahead log (crash recovery).
+    metadata_wal: bool = True
+    #: Auto-checkpoint the WAL every N appends (None = only explicit snapshots).
+    metadata_snapshot_every: int | None = 256
+    #: Integrity-scrub budget in bytes/second of simulated time.
+    scrub_bandwidth: float = 500 * units.MB
+    #: Sleep between scrub passes when the daemon runs.
+    scrub_interval: float = 6 * units.HOUR
+    #: ADAL stores under durability management (scrubbed and audited).
+    audit_stores: tuple[str, ...] = ("lsdf",)
+
+    # -- workflow director --------------------------------------------------------------
+    #: Bounded retries for failed actor firings (0 = fire once, seed behaviour).
+    director_retry_attempts: int = 2
+    #: Base delay between firing retries, seconds (exponential backoff).
+    director_retry_base_delay: float = 5.0
+
     @property
     def cluster_nodes(self) -> int:
         """Total analysis-cluster node count."""

@@ -32,6 +32,7 @@ from repro.cloud.model import Host
 from repro.metadata.store import MetadataStore
 from repro.adal.api import AdalClient, BackendRegistry
 from repro.adal.backends.memory import MemoryBackend
+from repro.durability import DurabilityKit, DurableMetadataStore
 from repro.databrowser.browser import DataBrowser
 from repro.databrowser.triggers import TriggerEngine
 from repro.rules.engine import RuleContext, RuleEngine
@@ -60,6 +61,10 @@ class Facility:
     hsm_daemon:
         Start the periodic HSM migration daemon (off by default so
         ``sim.run()`` with no horizon terminates).
+    scrub_daemon:
+        Start the periodic integrity-scrub daemon (off by default for the
+        same reason; ``facility.durability.scrubber.scrub_once()`` runs a
+        single pass on demand).
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class Facility:
         config: Optional[FacilityConfig] = None,
         seed: int = 0,
         hsm_daemon: bool = False,
+        scrub_daemon: bool = False,
     ):
         self.config = config or lsdf_2011_config()
         cfg = self.config
@@ -173,7 +179,12 @@ class Facility:
         )
 
         # -- glue layer ---------------------------------------------------------------
-        self.metadata = MetadataStore()
+        if cfg.metadata_wal:
+            self.metadata: MetadataStore = DurableMetadataStore(
+                snapshot_every=cfg.metadata_snapshot_every
+            )
+        else:
+            self.metadata = MetadataStore()
         self.metadata.register_project(
             ZEBRAFISH_PROJECT, zebrafish_basic_schema(), zebrafish_processing_schemas()
         )
@@ -195,6 +206,22 @@ class Facility:
                 clock=lambda: self.sim.now,
             )
         )
+
+        # -- durability layer ---------------------------------------------------------
+        self.durability = DurabilityKit(
+            self.sim,
+            self.adal_registry,
+            self.metadata,
+            stores=cfg.audit_stores,
+            hdfs=self.hdfs,
+            hsm=self.hsm,
+            dlq=self.resilience.dlq,
+            scrub_bandwidth=cfg.scrub_bandwidth,
+            scrub_interval=cfg.scrub_interval,
+            enabled=cfg.durability_enabled,
+        )
+        if scrub_daemon:
+            self.durability.scrubber.start()
 
     # -- high-level operations -------------------------------------------------
     def ingest_pipeline(
@@ -269,6 +296,7 @@ class Facility:
             "cloud_running_vms": self.cloud.running_vms.value,
             "net_bytes": self.net.bytes_delivered.value,
             "resilience": self.resilience.stats(),
+            "durability": self.durability.stats(),
         }
 
     def resilience_drill(self, **kwargs):
@@ -283,3 +311,31 @@ class Facility:
         kwargs.setdefault("datanodes", list(self.names.cluster[:6]))
         kwargs.setdefault("arrays", [a.name for a in self.arrays])
         return resilience_drill(**kwargs)
+
+    def durability_drill(self, **kwargs):
+        """The bundled durable-fault scenario (silent corruption + metadata
+        crash) for this facility.
+
+        Convenience wrapper around
+        :func:`repro.core.chaos.durability_drill`; run the returned
+        schedule with ``schedule.run(facility)`` and let the scrubber /
+        auditor clean up."""
+        from repro.core.chaos import durability_drill
+
+        kwargs.setdefault("store", self.config.audit_stores[0])
+        return durability_drill(**kwargs)
+
+    def director(self, **kwargs):
+        """A workflow director wired to this facility's simulator and
+        resilience policy (bounded firing retries from the config knobs)."""
+        from repro.workflow.director import SimulatedDirector
+
+        kwargs.setdefault(
+            "retry_policy",
+            RetryPolicy(
+                max_attempts=1 + self.config.director_retry_attempts,
+                base_delay=self.config.director_retry_base_delay,
+            ),
+        )
+        kwargs.setdefault("retry_rng", self.resilience.rng.spawn("director"))
+        return SimulatedDirector(self.sim, **kwargs)

@@ -50,6 +50,7 @@ class FacilityReport:
             self._cloud(),
             self._metadata(),
             self._resilience(),
+            self._durability(),
         ]
 
     # -- sections -----------------------------------------------------------
@@ -154,6 +155,45 @@ class FacilityReport:
         section.add("recovered vs lost",
                     f"{units.fmt_bytes(stats['recovered_bytes'])} vs "
                     f"{units.fmt_bytes(stats['lost_bytes'])}")
+        return section
+
+    def _durability(self) -> ReportSection:
+        kit = self.facility.durability
+        stats = kit.stats()
+        section = ReportSection("durability")
+        if not kit.enabled:
+            section.add("status", "disabled (detection only)")
+        section.add("scrub passes",
+                    f"{stats['scrub_passes']} "
+                    f"({stats['scrub_objects']} objects, "
+                    f"{units.fmt_bytes(stats['scrub_bytes'])}, "
+                    f"coverage {stats['scrub_coverage']:.0%})")
+        mttd = stats["mean_time_to_detect"]
+        section.add("corruptions detected",
+                    f"{stats['corruptions_detected']}"
+                    f"/{stats['corruptions_injected']} injected"
+                    + (f", MTTD {units.fmt_duration(mttd)}"
+                       if mttd is not None else ""))
+        repairs = stats["repairs"]
+        section.add("repairs",
+                    ", ".join(f"{action} x{count}"
+                              for action, count in sorted(repairs.items()))
+                    if repairs else "none needed")
+        section.add("unrepairable (dead-lettered)", f"{stats['unrepairable']}")
+        if stats["last_audit"] is not None:
+            section.add("last audit",
+                        ", ".join(f"{kind}: {count}"
+                                  for kind, count in stats["last_audit"].items()))
+        else:
+            section.add("last audit", "never run")
+        meta = stats.get("metadata")
+        if meta is not None:
+            section.add("metadata WAL",
+                        f"{meta['wal_records']} records "
+                        f"({units.fmt_bytes(meta['wal_bytes'])}), "
+                        f"{meta['snapshots']} snapshots, "
+                        f"{meta['recoveries']}/{meta['crashes']} "
+                        "recoveries/crashes")
         return section
 
     # -- rendering ------------------------------------------------------------

@@ -21,7 +21,12 @@ Public surface
 """
 
 from repro.databrowser.browser import DataBrowser, Listing
-from repro.databrowser.triggers import TriggerEngine, TriggerEvent, TriggerRule
+from repro.databrowser.triggers import (
+    TriggerEngine,
+    TriggerEvent,
+    TriggerFailure,
+    TriggerRule,
+)
 from repro.databrowser.webgui import export_site, render_dataset, render_listing, render_search
 
 __all__ = [
@@ -29,6 +34,7 @@ __all__ = [
     "Listing",
     "TriggerEngine",
     "TriggerEvent",
+    "TriggerFailure",
     "TriggerRule",
     "export_site",
     "render_dataset",

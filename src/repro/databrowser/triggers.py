@@ -50,6 +50,22 @@ class TriggerEvent:
     error: Optional[str] = None
 
 
+@dataclass
+class TriggerFailure:
+    """Returned by :meth:`TriggerEngine.on_tag` for a rule whose execution
+    blew up outside the director's own error handling (bad ``inputs_fn``,
+    non-:class:`~repro.workflow.actor.ActorError` escaping an actor).
+
+    One broken rule must not starve the other rules matching the same tag —
+    the engine records the failure, keeps going, and hands the caller this
+    instead of a trace/process."""
+
+    rule: TriggerRule
+    dataset_id: str
+    tag: str
+    error: str
+
+
 class TriggerEngine:
     """Executes :class:`TriggerRule`s when tags are applied.
 
@@ -92,13 +108,29 @@ class TriggerEngine:
     def on_tag(self, dataset_id: str, tag: str) -> list:
         """Notification hook: run every matching rule.
 
-        Returns the list of :class:`ExecutionTrace` (real director) or
-        process events (simulated director).
+        Returns one entry per matching rule, in registration order: an
+        :class:`ExecutionTrace` (real director), a process event (simulated
+        director), or a :class:`TriggerFailure` when that rule's execution
+        raised — a failing rule is captured and logged, never allowed to
+        starve the remaining matching rules.
         """
+        import time
+
         record = self.store.get(dataset_id)
         results = []
         for rule in self.matching_rules(record, tag):
-            results.append(self._execute(rule, record, tag))
+            simulated = isinstance(self.director, SimulatedDirector)
+            tick = (lambda: self.director.sim.now) if simulated else time.monotonic
+            start = tick()
+            try:
+                results.append(self._execute(rule, record, tag))
+            except Exception as exc:
+                message = f"{type(exc).__name__}: {exc}"
+                self.log.append(
+                    TriggerEvent(dataset_id, tag, rule.graph.name, "failed",
+                                 start, tick(), error=message)
+                )
+                results.append(TriggerFailure(rule, dataset_id, tag, message))
         return results
 
     def _execute(self, rule: TriggerRule, record: DatasetRecord, tag: str):

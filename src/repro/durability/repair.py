@@ -1,0 +1,278 @@
+"""Automated repair of consistency findings.
+
+The :class:`RepairPlanner` turns :class:`~repro.durability.audit.Finding`\\ s
+into executed repairs, following a fixed decision tree (documented in
+``docs/durability.md``):
+
+* ``lost_data`` / ``checksum_mismatch`` — restore the bytes from the first
+  source whose content hashes to the *cataloged* checksum:
+
+  1. a healthy replica in one of the configured ``replica_stores``;
+  2. the durability archive (the verified copies the scrubber lays down),
+     preceded by a tape recall through the
+     :class:`~repro.storage.hsm.HsmSystem` when the dataset's pool record
+     sits on the tape tier — recalls cost real simulated time;
+  3. nothing — the object is *unrepairable* and is spilled to the
+     facility :class:`~repro.resilience.dlq.DeadLetterQueue` with the full
+     story, never silently dropped.
+
+* ``dark_data`` — quarantined: the payload is parked in the DLQ (audit
+  trail + operator replay) and the object removed from the namespace, so
+  quotas and listings are truthful again.
+
+* ``under_replicated`` — handed to HDFS re-replication
+  (:meth:`~repro.hdfs.cluster.HdfsCluster.rereplicate_pending`).
+
+Every repair produces a :class:`RepairOutcome`; the Durability report
+section renders the tallies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
+
+from repro.adal.api import BackendRegistry, StorageBackend, checksum_bytes
+from repro.adal.errors import AdalError, ObjectNotFoundError
+from repro.durability.audit import (
+    CHECKSUM_MISMATCH,
+    DARK_DATA,
+    LOST_DATA,
+    UNDER_REPLICATED,
+    AuditReport,
+    Finding,
+)
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+
+#: Repair actions the planner can take.
+ACTIONS = (
+    "restore_from_replica",
+    "restore_from_archive",
+    "tape_recall_restore",
+    "quarantine",
+    "rereplicate",
+    "dead_letter",
+)
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """What happened to one finding."""
+
+    finding: Finding
+    action: str  # one of ACTIONS
+    status: str  # "repaired" | "unrepairable"
+    detail: str = ""
+    finished_at: float = 0.0
+
+    @property
+    def repaired(self) -> bool:
+        """True when the repair actually restored consistency."""
+        return self.status == "repaired"
+
+
+class RepairPlanner:
+    """Executes the repair decision tree over audit/scrub findings.
+
+    Parameters
+    ----------
+    sim:
+        The facility simulator (tape recalls and HDFS copies take time).
+    registry:
+        ADAL registry holding the stores being repaired.
+    archive:
+        The durability archive backend (verified copies, keyed
+        ``<store>/<path>``).
+    replica_stores:
+        Store names searched — in order — for healthy replicas.
+    hdfs:
+        Optional :class:`~repro.hdfs.cluster.HdfsCluster` for
+        ``under_replicated`` findings.
+    hsm:
+        Optional :class:`~repro.storage.hsm.HsmSystem`; when the damaged
+        dataset's pool record is on the tape tier, the archive restore is
+        preceded by a staged recall.
+    dlq:
+        Dead-letter queue for unrepairable objects and quarantined dark
+        data.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: BackendRegistry,
+        archive: StorageBackend,
+        replica_stores: Sequence[str] = (),
+        hdfs=None,
+        hsm=None,
+        dlq=None,
+    ):
+        self.sim = sim
+        self.registry = registry
+        self.archive = archive
+        self.replica_stores = tuple(replica_stores)
+        self.hdfs = hdfs
+        self.hsm = hsm
+        self.dlq = dlq
+        self.outcomes: list[RepairOutcome] = []
+
+    # -- public API ---------------------------------------------------------
+    def execute(self, report: AuditReport) -> Event:
+        """Repair every finding of an audit report (a sim process).
+
+        The event's value is the list of :class:`RepairOutcome`\\ s, in
+        finding order.
+        """
+        return self.sim.process(self._execute(report.findings), name="durability.repair")
+
+    def repair_object(self, finding: Finding) -> Generator:
+        """Repair one object finding (generator — run as/inside a process)."""
+        outcome = yield from self._repair_one(finding)
+        return outcome
+
+    def counts(self) -> dict[str, int]:
+        """Executed repairs tallied by action."""
+        tally: dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.action] = tally.get(outcome.action, 0) + 1
+        return tally
+
+    # -- internals ------------------------------------------------------------
+    def _execute(self, findings: Sequence[Finding]) -> Generator:
+        outcomes: list[RepairOutcome] = []
+        blocks = [f for f in findings if f.kind == UNDER_REPLICATED]
+        for finding in findings:
+            if finding.kind == UNDER_REPLICATED:
+                continue  # batched below
+            outcome = yield from self._repair_one(finding)
+            outcomes.append(outcome)
+        if blocks:
+            outcomes.extend((yield from self._rereplicate(blocks)))
+        return outcomes
+
+    def _record(self, finding: Finding, action: str, status: str,
+                detail: str = "") -> RepairOutcome:
+        outcome = RepairOutcome(finding, action, status, detail,
+                                finished_at=self.sim.now)
+        self.outcomes.append(outcome)
+        return outcome
+
+    def _split(self, url: str) -> tuple[str, str]:
+        # "adal://store/path" -> (store, path)
+        rest = url.split("://", 1)[1]
+        store, _, path = rest.partition("/")
+        return store, path
+
+    def _repair_one(self, finding: Finding) -> Generator:
+        if finding.kind == DARK_DATA:
+            return self._quarantine(finding)
+        if finding.kind in (LOST_DATA, CHECKSUM_MISMATCH):
+            outcome = yield from self._restore(finding)
+            return outcome
+        return self._record(finding, "dead_letter", "unrepairable",
+                            f"no repair rule for kind {finding.kind!r}")
+
+    def _quarantine(self, finding: Finding) -> RepairOutcome:
+        store, path = self._split(finding.subject)
+        try:
+            backend = self.registry.resolve(store)
+            data = backend.get(path)
+            if self.dlq is not None:
+                self.dlq.push(
+                    payload={"url": finding.subject, "data": data},
+                    error="dark data: object had no catalog entry",
+                    attempts=[(self.sim.now, "quarantined by repair planner")],
+                    source="durability.quarantine",
+                    time=self.sim.now,
+                    nbytes=len(data),
+                )
+            backend.delete(path)
+        except ObjectNotFoundError:
+            return self._record(finding, "quarantine", "repaired",
+                                "object already gone")
+        except AdalError as exc:
+            return self._record(finding, "quarantine", "unrepairable", str(exc))
+        return self._record(finding, "quarantine", "repaired",
+                            "payload parked in DLQ, object removed")
+
+    def _find_replica(self, path: str, expected: str) -> Optional[tuple[str, bytes]]:
+        """A healthy copy at the same path in a replica store, if any."""
+        for name in self.replica_stores:
+            try:
+                backend = self.registry.resolve(name)
+                data = backend.get(path)
+            except AdalError:
+                continue
+            if checksum_bytes(data) == expected:
+                return name, data
+        return None
+
+    def _restore(self, finding: Finding) -> Generator:
+        store, path = self._split(finding.subject)
+        expected = finding.expected_checksum
+        try:
+            backend = self.registry.resolve(store)
+        except AdalError as exc:
+            return self._record(finding, "dead_letter", "unrepairable",
+                                f"store unreachable: {exc}")
+        if expected is None:
+            return (yield from self._give_up(finding, "no cataloged checksum"))
+
+        replica = self._find_replica(path, expected)
+        if replica is not None:
+            name, data = replica
+            backend.put(path, data, overwrite=True)
+            return self._record(finding, "restore_from_replica", "repaired",
+                                f"from store {name!r}")
+
+        archive_key = f"{store}/{path}"
+        if self.archive.exists(archive_key):
+            data = self.archive.get(archive_key)
+            if checksum_bytes(data) == expected:
+                action = "restore_from_archive"
+                if self._on_tape(finding.dataset_id):
+                    # The archive copy lives on tape: stage it back first.
+                    yield self.hsm.access(finding.dataset_id)
+                    action = "tape_recall_restore"
+                backend.put(path, data, overwrite=True)
+                return self._record(finding, action, "repaired",
+                                    "verified archive copy")
+
+        outcome = yield from self._give_up(finding, "no healthy replica or archive copy")
+        return outcome
+
+    def _on_tape(self, dataset_id: Optional[str]) -> bool:
+        if dataset_id is None or self.hsm is None:
+            return False
+        pool = self.hsm.pool
+        return pool.contains(dataset_id) and pool.lookup(dataset_id).tier == "tape"
+
+    def _give_up(self, finding: Finding, why: str) -> Generator:
+        if self.dlq is not None:
+            self.dlq.push(
+                payload={"url": finding.subject, "kind": finding.kind},
+                error=f"unrepairable: {why}",
+                attempts=[(self.sim.now, why)],
+                source="durability.repair",
+                time=self.sim.now,
+            )
+        return self._record(finding, "dead_letter", "unrepairable", why)
+        yield  # pragma: no cover - keeps this a generator for uniform callers
+
+    def _rereplicate(self, findings: Sequence[Finding]) -> Generator:
+        if self.hdfs is None:
+            return [self._record(f, "rereplicate", "unrepairable", "no HDFS wired")
+                    for f in findings]
+        yield self.hdfs.rereplicate_pending()
+        nn = self.hdfs.namenode
+        outcomes = []
+        for finding in findings:
+            block_id = int(finding.subject.rsplit(":", 1)[1])
+            if block_id in nn.under_replicated:
+                outcomes.append(self._record(
+                    finding, "rereplicate", "unrepairable",
+                    "still under-replicated after a re-replication pass"))
+            else:
+                outcomes.append(self._record(finding, "rereplicate", "repaired"))
+        return outcomes

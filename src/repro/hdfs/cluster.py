@@ -59,6 +59,11 @@ class HdfsCluster:
             for name in namenode.nodes
         }
         self._rerep_slots = Resource(sim, rereplication_streams, name="hdfs.rerep")
+        #: Blocks with a re-replication process in flight.  Overlapping
+        #: failures each start a full pass; without this guard two passes
+        #: can copy the same block to the same target concurrently and the
+        #: second commit would register a duplicate holder.
+        self._rerep_inflight: set[int] = set()
         self.bytes_written = Counter("hdfs.bytes_written")
         self.bytes_read = Counter("hdfs.bytes_read")
         self.read_locality = Counter("hdfs.local_reads")
@@ -208,8 +213,23 @@ class HdfsCluster:
             self.net.fail_node(name)
         return self.sim.process(self._rereplicate_all(), name=f"hdfs.rerep:{name}")
 
+    def rereplicate_pending(self) -> Event:
+        """Re-replicate every currently under-replicated block.
+
+        The public entry point for callers other than :meth:`fail_datanode`
+        — the durability layer's repair planner drives it for
+        ``under_replicated`` audit findings.  The event value is the number
+        of blocks a re-replication process was started for.
+        """
+        return self.sim.process(self._rereplicate_all(), name="hdfs.rerep:pending")
+
     def _rereplicate_all(self) -> Generator:
-        pending = [self.namenode.block(b) for b in sorted(self.namenode.under_replicated)]
+        pending = [
+            self.namenode.block(b)
+            for b in sorted(self.namenode.under_replicated)
+            if b not in self._rerep_inflight
+        ]
+        self._rerep_inflight.update(b.block_id for b in pending)
         procs = [self.sim.process(self._rereplicate_block(b)) for b in pending]
         if procs:
             yield self.sim.all_of(procs)
@@ -237,6 +257,7 @@ class HdfsCluster:
                 self.rereplicated_blocks.add(1)
             return True
         finally:
+            self._rerep_inflight.discard(block.block_id)
             self._rerep_slots.release(slot)
 
     def decommission(self, name: str) -> Event:

@@ -22,8 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, Mapping, Optional
 
+from repro.resilience.policy import RetryPolicy
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
+from repro.simkit.rand import RandomSource
 from repro.workflow.actor import ActorError
 from repro.workflow.graph import WorkflowGraph
 
@@ -35,10 +37,12 @@ class FiringRecord:
     actor: str
     started: float
     finished: float
-    status: str  # "success" | "failed"
+    status: str  # "success" | "failed" | "retried"
     inputs: dict[str, Any] = field(default_factory=dict)
     outputs: dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
+    #: 1-based firing attempt this record describes (retries increment it).
+    attempt: int = 1
 
 
 @dataclass
@@ -51,6 +55,8 @@ class ExecutionTrace:
     status: str
     firings: list[FiringRecord] = field(default_factory=list)
     outputs: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Total failed firings that were retried (simulated director only).
+    retries: int = 0
 
     @property
     def duration(self) -> float:
@@ -177,10 +183,33 @@ class SimulatedDirector(_BaseDirector):
     executes (its effects on the glue layer — metadata writes, tags — are
     real), so a simulated run leaves the same repository state as a real
     one.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to run on.
+    retry_policy:
+        Optional bounded-retry policy for failed firings: a firing that
+        raises :class:`~repro.workflow.actor.ActorError` is re-fired after
+        the policy's backoff (slept on the simulator clock, re-paying the
+        actor's cost), up to ``max_attempts`` total tries.  Each failed
+        attempt is recorded in the trace as a ``"retried"`` firing; only
+        exhaustion fails the workflow.  ``None`` keeps the fire-once seed
+        behaviour.
+    retry_rng:
+        Random substream for backoff jitter (e.g.
+        ``facility.resilience.rng.spawn("director")``).
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(
+        self,
+        sim: Simulator,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[RandomSource] = None,
+    ):
         self.sim = sim
+        self.retry_policy = retry_policy
+        self.retry_rng = retry_rng
 
     def run(
         self,
@@ -218,12 +247,31 @@ class SimulatedDirector(_BaseDirector):
         trace: ExecutionTrace,
     ) -> Generator:
         actor = graph.actors[name]
-        start = self.sim.now
-        cost = actor.cost(actor_inputs)
-        if cost > 0:
-            yield self.sim.timeout(cost)
-        outputs = actor._check_fire(actor_inputs)  # raises on failure -> process fails
-        produced[name] = outputs
-        trace.firings.append(
-            FiringRecord(name, start, self.sim.now, "success", actor_inputs, outputs)
-        )
+        max_attempts = self.retry_policy.max_attempts if self.retry_policy else 1
+        attempt = 1
+        while True:
+            start = self.sim.now
+            cost = actor.cost(actor_inputs)
+            if cost > 0:  # every attempt pays the firing cost again
+                yield self.sim.timeout(cost)
+            try:
+                outputs = actor._check_fire(actor_inputs)
+            except ActorError as exc:
+                if attempt >= max_attempts:
+                    raise  # exhausted -> process fails, as in the seed code
+                trace.firings.append(
+                    FiringRecord(name, start, self.sim.now, "retried",
+                                 actor_inputs, {}, str(exc), attempt=attempt)
+                )
+                trace.retries += 1
+                backoff = self.retry_policy.delay(attempt, self.retry_rng)
+                if backoff > 0:
+                    yield self.sim.timeout(backoff)
+                attempt += 1
+                continue
+            produced[name] = outputs
+            trace.firings.append(
+                FiringRecord(name, start, self.sim.now, "success", actor_inputs,
+                             outputs, attempt=attempt)
+            )
+            return

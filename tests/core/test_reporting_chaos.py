@@ -34,7 +34,7 @@ class TestFacilityReport:
         data = report.as_dict()
         assert {"storage estate", "tape / HSM", "network (10 GE backbone)",
                 "HDFS (analysis cluster)", "cloud (OpenNebula-style)",
-                "metadata repository", "resilience"} == set(data)
+                "metadata repository", "resilience", "durability"} == set(data)
 
     def test_render_contains_live_numbers(self):
         facility = _small_facility()

@@ -1,0 +1,101 @@
+"""Trigger-engine failure isolation (satellite of the durability PR).
+
+A rule whose execution blows up outside the director's own error handling
+— typically a buggy ``inputs_fn`` — used to abort :meth:`TriggerEngine.on_tag`
+mid-loop, silently starving every later rule registered for the same tag.
+Now the failure is captured as a :class:`TriggerFailure`, logged, and the
+remaining rules still run.
+"""
+
+import pytest
+
+from repro.adal import AdalClient, BackendRegistry, MemoryBackend
+from repro.metadata import MetadataStore, Schema
+from repro.simkit import Simulator
+from repro.workflow import FunctionActor, SimulatedDirector, WorkflowGraph
+from repro.databrowser import TriggerEngine, TriggerFailure, TriggerRule
+
+
+def _graph(name, hits):
+    g = WorkflowGraph(name)
+    g.add(FunctionActor("work", lambda url: hits.append((name, url)) or url,
+                        inputs=("url",), outputs=("out",)))
+    return g
+
+
+def _store():
+    store = MetadataStore()
+    store.register_project("zf", Schema("zf", [], allow_extra=True))
+    store.register_dataset("ds-1", "zf", "adal://lsdf/zf/a.tif", 10, "c1", {})
+    return store
+
+
+def _bad_inputs(_record):
+    raise KeyError("required metadata field missing")
+
+
+class TestFailureIsolation:
+    def test_broken_rule_does_not_starve_later_rules(self):
+        store = _store()
+        engine = TriggerEngine(store)
+        hits = []
+        engine.register(TriggerRule("analyze", _graph("broken", hits),
+                                    _bad_inputs))
+        engine.register(TriggerRule(
+            "analyze", _graph("healthy", hits),
+            lambda r: {("work", "url"): r.url}, done_tag="done"))
+
+        results = engine.on_tag("ds-1", "analyze")
+        assert len(results) == 2
+        assert isinstance(results[0], TriggerFailure)
+        assert results[0].rule.graph.name == "broken"
+        assert "KeyError" in results[0].error
+        # The healthy rule still ran to completion.
+        assert results[1].status == "success"
+        assert hits == [("healthy", "adal://lsdf/zf/a.tif")]
+        assert "done" in store.get("ds-1").tags
+
+    def test_failure_is_logged_and_counted(self):
+        store = _store()
+        engine = TriggerEngine(store)
+        engine.register(TriggerRule("analyze", _graph("broken", []),
+                                    _bad_inputs))
+        engine.on_tag("ds-1", "analyze")
+        assert engine.stats()["failed"] == 1
+        event = engine.log[-1]
+        assert event.status == "failed"
+        assert event.workflow == "broken"
+        assert "KeyError" in event.error
+
+    def test_order_of_results_matches_registration_order(self):
+        store = _store()
+        engine = TriggerEngine(store)
+        hits = []
+        ok = lambda r: {("work", "url"): r.url}
+        engine.register(TriggerRule("analyze", _graph("first", hits), ok))
+        engine.register(TriggerRule("analyze", _graph("broken", hits),
+                                    _bad_inputs))
+        engine.register(TriggerRule("analyze", _graph("last", hits), ok))
+        results = engine.on_tag("ds-1", "analyze")
+        kinds = [type(r).__name__ for r in results]
+        assert kinds == ["ExecutionTrace", "TriggerFailure", "ExecutionTrace"]
+        assert [h[0] for h in hits] == ["first", "last"]
+
+    def test_simulated_director_isolation_and_sim_clock_timestamps(self):
+        sim = Simulator(seed=3)
+        sim.run(until=50.0)  # a non-zero clock proves sim timestamps are used
+        store = _store()
+        engine = TriggerEngine(store, director=SimulatedDirector(sim))
+        hits = []
+        engine.register(TriggerRule("analyze", _graph("broken", hits),
+                                    _bad_inputs))
+        engine.register(TriggerRule(
+            "analyze", _graph("healthy", hits),
+            lambda r: {("work", "url"): r.url}))
+
+        results = engine.on_tag("ds-1", "analyze")
+        assert isinstance(results[0], TriggerFailure)
+        sim.run()
+        assert hits == [("healthy", "adal://lsdf/zf/a.tif")]
+        failed = [e for e in engine.log if e.status == "failed"]
+        assert failed[0].started == pytest.approx(50.0)  # sim time, not wall

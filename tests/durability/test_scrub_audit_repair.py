@@ -1,0 +1,364 @@
+"""Scrubber, consistency auditor and repair planner — unit level.
+
+The drill test (``test_drill.py``) exercises the same machinery through a
+full :class:`~repro.core.facility.Facility`; these tests pin down each
+component against a hand-built registry + catalog.
+"""
+
+import pytest
+
+from repro.adal.api import BackendRegistry, checksum_bytes
+from repro.adal.backends.faulty import FaultyBackend
+from repro.adal.backends.memory import MemoryBackend
+from repro.durability import (
+    CHECKSUM_MISMATCH,
+    DARK_DATA,
+    LOST_DATA,
+    UNDER_REPLICATED,
+    AuditReport,
+    ConsistencyAuditor,
+    DurabilityError,
+    DurabilityKit,
+    Finding,
+    IntegrityScrubber,
+    RepairPlanner,
+)
+from repro.hdfs import NameNode
+from repro.metadata.schema import FieldSpec, Schema
+from repro.metadata.store import MetadataStore
+from repro.resilience import DeadLetterQueue
+from repro.simkit import RandomSource
+from repro.simkit.core import Simulator
+
+
+def _fixture(n_objects=3, size=100):
+    """sim + registry("lsdf") + catalog with n registered objects."""
+    sim = Simulator(seed=7)
+    registry = BackendRegistry()
+    backend = MemoryBackend()
+    registry.register("lsdf", backend)
+    metadata = MetadataStore()
+    metadata.register_project("proj", Schema("basic", [FieldSpec("k", "str")]))
+    for i in range(n_objects):
+        data = bytes([i]) * size
+        backend.put(f"obj{i}", data)
+        metadata.register_dataset(
+            f"d{i}", "proj", f"adal://lsdf/obj{i}", len(data),
+            checksum_bytes(data), {"k": "v"},
+        )
+    return sim, registry, backend, metadata
+
+
+def _corrupt(backend, path, offset=0):
+    """Flip one byte without touching the stored ObjectInfo (silent)."""
+    data, info = backend._objects[path]
+    flipped = bytearray(data)
+    flipped[offset] ^= 0xFF
+    backend._objects[path] = (bytes(flipped), info)
+
+
+class TestScrubber:
+    def test_pass_time_is_bytes_over_bandwidth(self):
+        sim, registry, _backend, metadata = _fixture(n_objects=4, size=100)
+        scrubber = IntegrityScrubber(sim, registry, metadata=metadata,
+                                     bandwidth=100.0)
+        summary = sim.run(until=scrubber.scrub_once())
+        assert summary.objects_scanned == 4
+        assert summary.bytes_scanned == 400
+        assert sim.now == pytest.approx(4.0)  # 400 B at 100 B/s
+
+    def test_detects_silent_corruption(self):
+        sim, registry, backend, metadata = _fixture()
+        detected = []
+        scrubber = IntegrityScrubber(sim, registry, metadata=metadata,
+                                     on_detect=detected.append)
+        _corrupt(backend, "obj1")
+        assert backend.stat("obj1").checksum == metadata.get("d1").checksum
+        summary = sim.run(until=scrubber.scrub_once())
+        assert summary.corruptions_found == 1
+        assert summary.repaired == 0  # no planner attached
+        assert [f.subject for f in detected] == ["adal://lsdf/obj1"]
+        assert detected[0].kind == CHECKSUM_MISMATCH
+        assert detected[0].dataset_id == "d1"
+
+    def test_healthy_objects_are_archived_then_used_for_repair(self):
+        sim, registry, backend, metadata = _fixture()
+        archive = MemoryBackend()
+        planner = RepairPlanner(sim, registry, archive)
+        scrubber = IntegrityScrubber(sim, registry, metadata=metadata,
+                                     archive=archive, planner=planner)
+        sim.run(until=scrubber.scrub_once())
+        assert len(archive.listdir("")) == 3
+        original = metadata.get("d2").checksum
+
+        _corrupt(backend, "obj2")
+        summary = sim.run(until=scrubber.scrub_once())
+        assert summary.corruptions_found == 1
+        assert summary.repaired == 1
+        assert checksum_bytes(backend.get("obj2")) == original
+        assert planner.counts() == {"restore_from_archive": 1}
+
+    def test_unreachable_store_is_skipped_not_fatal(self):
+        sim, registry, backend, metadata = _fixture()
+        registry.unregister("lsdf")
+        registry.register("lsdf", FaultyBackend(backend, failure_rate=1.0))
+        scrubber = IntegrityScrubber(sim, registry, metadata=metadata)
+        summary = sim.run(until=scrubber.scrub_once())
+        assert summary.skipped == 1
+        assert summary.objects_scanned == 0
+
+    def test_daemon_runs_periodic_passes(self):
+        sim, registry, _backend, metadata = _fixture(n_objects=1, size=10)
+        scrubber = IntegrityScrubber(sim, registry, metadata=metadata,
+                                     bandwidth=1e9, interval=100.0)
+        scrubber.start()
+        scrubber.start()  # idempotent
+        sim.run(until=350.0)
+        assert len(scrubber.passes) == 4  # t=0, 100, 200, 300
+        assert scrubber.coverage() == 1.0
+
+    def test_parameter_validation(self):
+        sim, registry, _backend, metadata = _fixture(0)
+        with pytest.raises(ValueError):
+            IntegrityScrubber(sim, registry, metadata=metadata, bandwidth=0)
+        with pytest.raises(ValueError):
+            IntegrityScrubber(sim, registry, metadata=metadata, interval=0)
+
+
+class TestAuditor:
+    def _auditor(self, registry, metadata, namenode=None):
+        return ConsistencyAuditor(metadata, registry, stores=("lsdf",),
+                                  namenode=namenode)
+
+    def test_clean_facility_audits_clean(self):
+        _sim, registry, _backend, metadata = _fixture()
+        report = self._auditor(registry, metadata).audit()
+        assert report.clean
+        assert report.objects_checked == 3
+        assert report.records_checked == 3
+        assert report.by_kind() == {k: 0 for k in
+                                    ("lost_data", "checksum_mismatch",
+                                     "dark_data", "under_replicated")}
+
+    def test_classifies_dark_lost_and_mismatch(self):
+        _sim, registry, backend, metadata = _fixture()
+        backend.put("stray", b"uncataloged")       # dark data
+        backend.delete("obj0")                      # lost data
+        _corrupt(backend, "obj1")                   # silent mismatch
+        report = self._auditor(registry, metadata).audit()
+        kinds = report.by_kind()
+        assert kinds[DARK_DATA] == 1
+        assert kinds[LOST_DATA] == 1
+        assert kinds[CHECKSUM_MISMATCH] == 1
+        assert report.of_kind(DARK_DATA)[0].subject == "adal://lsdf/stray"
+        lost = report.of_kind(LOST_DATA)[0]
+        assert lost.dataset_id == "d0"
+        assert lost.expected_checksum == metadata.get("d0").checksum
+
+    def test_without_content_verification_misses_silent_corruption(self):
+        _sim, registry, backend, metadata = _fixture()
+        _corrupt(backend, "obj1")
+        auditor = self._auditor(registry, metadata)
+        assert auditor.audit(verify_content=False).clean
+        assert not auditor.audit(verify_content=True).clean
+
+    def test_under_replicated_blocks_reported(self):
+        _sim, registry, _backend, metadata = _fixture(0)
+        nn = NameNode(block_size=100.0, replication=3, rng=RandomSource(0))
+        for r in range(2):
+            for h in range(3):
+                nn.add_datanode(f"r{r}h{h}", f"rack{r}", 1000.0)
+        blocks = nn.create_file("/f", 150.0)
+        victim = blocks[0].replicas[0]
+        nn.mark_dead(victim)
+        report = self._auditor(registry, metadata, namenode=nn).audit()
+        found = report.of_kind(UNDER_REPLICATED)
+        assert {f.subject for f in found} == {
+            f"hdfs:block:{b}" for b in nn.under_replicated}
+
+    def test_unreachable_store_marks_report_not_clean(self):
+        _sim, registry, backend, metadata = _fixture()
+        registry.unregister("lsdf")
+        registry.register("lsdf", FaultyBackend(backend, failure_rate=1.0))
+        report = self._auditor(registry, metadata).audit()
+        assert report.skipped_stores == ["lsdf"]
+        assert not report.clean  # an unlisted store proves nothing
+
+
+class TestRepairPlanner:
+    def test_restore_from_replica_preferred_over_archive(self):
+        sim, registry, backend, metadata = _fixture()
+        replica = MemoryBackend()
+        replica.put("obj0", backend.get("obj0"))
+        registry.register("mirror", replica)
+        archive = MemoryBackend()
+        archive.put("lsdf/obj0", backend.get("obj0"))
+        planner = RepairPlanner(sim, registry, archive,
+                                replica_stores=("mirror",))
+        _corrupt(backend, "obj0")
+        finding = Finding(kind=CHECKSUM_MISMATCH, subject="adal://lsdf/obj0",
+                          expected_checksum=metadata.get("d0").checksum)
+        outcomes = sim.run(until=planner.execute(
+            AuditReport(0.0, 0.0, findings=[finding])))
+        assert [o.action for o in outcomes] == ["restore_from_replica"]
+        assert outcomes[0].repaired
+        assert checksum_bytes(backend.get("obj0")) == finding.expected_checksum
+
+    def test_lost_data_restored_from_archive(self):
+        sim, registry, backend, metadata = _fixture()
+        archive = MemoryBackend()
+        archive.put("lsdf/obj1", backend.get("obj1"))
+        planner = RepairPlanner(sim, registry, archive)
+        backend.delete("obj1")
+        finding = Finding(kind=LOST_DATA, subject="adal://lsdf/obj1",
+                          expected_checksum=metadata.get("d1").checksum,
+                          dataset_id="d1")
+        outcome = sim.run(until=sim.process(planner.repair_object(finding)))
+        assert outcome.action == "restore_from_archive"
+        assert backend.exists("obj1")
+
+    def test_tape_resident_dataset_pays_recall_latency(self):
+        sim, registry, backend, metadata = _fixture()
+        archive = MemoryBackend()
+        archive.put("lsdf/obj0", backend.get("obj0"))
+
+        class _Pool:
+            def contains(self, file_id):
+                return file_id == "d0"
+
+            def lookup(self, file_id):
+                class _Rec:
+                    tier = "tape"
+                return _Rec()
+
+        class _Hsm:
+            pool = _Pool()
+
+            def access(self, file_id):
+                return sim.timeout(42.0, value=file_id)
+
+        planner = RepairPlanner(sim, registry, archive, hsm=_Hsm())
+        backend.delete("obj0")
+        finding = Finding(kind=LOST_DATA, subject="adal://lsdf/obj0",
+                          expected_checksum=metadata.get("d0").checksum,
+                          dataset_id="d0")
+        outcome = sim.run(until=sim.process(planner.repair_object(finding)))
+        assert outcome.action == "tape_recall_restore"
+        assert sim.now == pytest.approx(42.0)
+
+    def test_unrepairable_goes_to_dead_letter_queue(self):
+        sim, registry, backend, metadata = _fixture()
+        dlq = DeadLetterQueue()
+        planner = RepairPlanner(sim, registry, MemoryBackend(), dlq=dlq)
+        backend.delete("obj2")
+        finding = Finding(kind=LOST_DATA, subject="adal://lsdf/obj2",
+                          expected_checksum=metadata.get("d2").checksum)
+        outcome = sim.run(until=sim.process(planner.repair_object(finding)))
+        assert outcome.action == "dead_letter"
+        assert not outcome.repaired
+        assert dlq.depth == 1
+        assert dlq.items()[0].source == "durability.repair"
+
+    def test_missing_checksum_cannot_be_verified_so_gives_up(self):
+        sim, registry, _backend, _metadata = _fixture()
+        dlq = DeadLetterQueue()
+        planner = RepairPlanner(sim, registry, MemoryBackend(), dlq=dlq)
+        finding = Finding(kind=CHECKSUM_MISMATCH, subject="adal://lsdf/obj0",
+                          expected_checksum=None)
+        outcome = sim.run(until=sim.process(planner.repair_object(finding)))
+        assert outcome.action == "dead_letter"
+        assert dlq.depth == 1
+
+    def test_dark_data_quarantined_payload_preserved(self):
+        sim, registry, backend, _metadata = _fixture()
+        dlq = DeadLetterQueue()
+        planner = RepairPlanner(sim, registry, MemoryBackend(), dlq=dlq)
+        backend.put("stray", b"orphan bytes")
+        finding = Finding(kind=DARK_DATA, subject="adal://lsdf/stray")
+        outcome = sim.run(until=sim.process(planner.repair_object(finding)))
+        assert outcome.action == "quarantine"
+        assert outcome.repaired
+        assert not backend.exists("stray")  # namespace truthful again
+        assert dlq.items()[0].payload["data"] == b"orphan bytes"
+
+    def test_under_replicated_without_hdfs_is_unrepairable(self):
+        sim, registry, _backend, _metadata = _fixture(0)
+        planner = RepairPlanner(sim, registry, MemoryBackend())
+        finding = Finding(kind=UNDER_REPLICATED, subject="hdfs:block:1")
+        outcomes = sim.run(until=planner.execute(
+            AuditReport(0.0, 0.0, findings=[finding])))
+        assert outcomes[0].action == "rereplicate"
+        assert not outcomes[0].repaired
+
+
+class TestDurabilityKit:
+    def _kit(self, enabled=True, **kwargs):
+        sim, registry, backend, metadata = _fixture()
+        kit = DurabilityKit(sim, registry, metadata, stores=("lsdf",),
+                            enabled=enabled, **kwargs)
+        return sim, kit, backend
+
+    def test_corrupt_objects_is_silent_and_counted(self):
+        sim, kit, backend = self._kit()
+        paths = kit.corrupt_objects("lsdf", count=2)
+        assert len(paths) == 2
+        for path in paths:
+            data, info = backend._objects[path]
+            assert checksum_bytes(data) != info.checksum  # bytes flipped
+            assert backend.stat(path).checksum == info.checksum  # stat lies
+        assert int(kit.corruptions_injected.value) == 2
+
+    def test_corrupt_objects_explicit_paths(self):
+        _sim, kit, backend = self._kit()
+        assert kit.corrupt_objects("lsdf", paths=["obj0"]) == ["obj0"]
+        assert checksum_bytes(backend.get("obj0")) != backend.stat("obj0").checksum
+
+    def test_corrupt_objects_requires_byte_level_backend(self):
+        sim, kit, _backend = self._kit()
+        class _Opaque:
+            kind = "opaque"
+        kit.registry.register("weird", _Opaque())
+        with pytest.raises(DurabilityError):
+            kit.corrupt_objects("weird")
+
+    def test_full_loop_detects_and_repairs_everything(self):
+        sim, kit, backend = self._kit()
+        sim.run(until=kit.scrubber.scrub_once())  # lay the archive
+        kit.corrupt_objects("lsdf", count=2)
+        backend.put("stray", b"dark")
+        final, outcomes = sim.run(until=kit.audit_and_repair())
+        assert final.clean
+        assert len(outcomes) == 3
+        assert all(o.repaired for o in outcomes)
+        assert int(kit.corruptions_detected.value) == 2
+        assert kit.detect_latency.count == 2
+        stats = kit.stats()
+        assert stats["unrepairable"] == 0
+        assert stats["last_audit"]["checksum_mismatch"] == 0
+
+    def test_disabled_kit_detects_but_never_repairs(self):
+        sim, kit, _backend = self._kit(enabled=False)
+        sim.run(until=kit.scrubber.scrub_once())
+        assert len(kit.archive.listdir("")) == 0  # no archiving either
+        kit.corrupt_objects("lsdf", count=1)
+        summary = sim.run(until=kit.scrubber.scrub_once())
+        assert summary.corruptions_found == 1
+        assert summary.repaired == 0
+        assert int(kit.corruptions_detected.value) == 1  # MTTD still tracked
+
+    def test_plain_metadata_store_degrades_gracefully(self):
+        sim, kit, _backend = self._kit()
+        assert not isinstance(kit.metadata, type(None))
+        kit.crash_metadata()
+        assert not kit.metadata.available
+        assert kit.recover_metadata() == 0  # plain store: nothing to replay
+        assert kit.metadata.available
+        assert "metadata" not in kit.stats()
+
+    def test_stats_shape(self):
+        sim, kit, _backend = self._kit()
+        stats = kit.stats()
+        assert stats["enabled"] is True
+        assert stats["scrub_passes"] == 0
+        assert stats["mean_time_to_detect"] is None
+        assert stats["last_audit"] is None

@@ -1,0 +1,183 @@
+"""HDFS failure bookkeeping under overlapping faults and node churn.
+
+Satellite coverage for the durability PR: the namenode's replica
+accounting (``mark_dead`` / ``mark_alive`` / ``commit_replica``) must stay
+truthful through overlapping datanode failures, nodes flapping back mid
+re-replication, and sustained churn — and placement invariants (no
+duplicate holders, rack diversity) must hold on every surviving block.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdfs import HdfsCluster, HdfsError, NameNode
+from repro.simkit import RandomSource, Simulator
+from repro.simkit.units import MiB
+
+
+def _cluster(sim, racks=3, nodes_per_rack=4):
+    return HdfsCluster.build(sim, racks=racks, nodes_per_rack=nodes_per_rack,
+                             node_capacity=1e12)
+
+
+def _write(sim, cluster, path="/f", size=320 * MiB):
+    def scenario():
+        yield cluster.write_file(path, size, "r00h00")
+
+    proc = sim.process(scenario())
+    sim.run()
+    assert not proc.failed, proc.exception
+
+
+def _assert_placement_invariants(nn):
+    for block in nn._blocks_by_id.values():
+        if not block.replicas:
+            continue
+        assert len(block.replicas) == len(set(block.replicas)), (
+            f"block {block.block_id} has a duplicate holder")
+        for holder in block.replicas:
+            assert nn.nodes[holder].alive, (
+                f"block {block.block_id} lists dead node {holder}")
+        if len(block.replicas) >= nn.replication:
+            assert block.block_id not in nn.under_replicated
+
+
+class TestOverlappingFailures:
+    def test_two_concurrent_datanode_failures_fully_recover(self):
+        sim = Simulator(seed=5)
+        cluster = _cluster(sim)
+        _write(sim, cluster)
+        nn = cluster.namenode
+        block = nn.file_blocks("/f")[0]
+        victims = block.replicas[:2]
+        cluster.fail_datanode(victims[0])
+        cluster.fail_datanode(victims[1])  # second failure before rerep ends
+        sim.run()
+        assert not nn.under_replicated
+        _assert_placement_invariants(nn)
+        for blk in nn.file_blocks("/f"):
+            assert len(blk.replicas) == nn.replication
+            assert not set(blk.replicas) & set(victims)
+
+    def test_failure_during_rereplication_of_previous_failure(self):
+        sim = Simulator(seed=6)
+        cluster = _cluster(sim)
+        _write(sim, cluster)
+        nn = cluster.namenode
+        first = nn.file_blocks("/f")[0].replicas[0]
+        cluster.fail_datanode(first)
+        sim.run(until=sim.now + 0.5)  # mid re-replication
+        survivor = nn.file_blocks("/f")[0].replicas[0]
+        cluster.fail_datanode(survivor)
+        sim.run()
+        assert not nn.under_replicated
+        _assert_placement_invariants(nn)
+
+    def test_mark_dead_is_idempotent(self):
+        sim = Simulator(seed=7)
+        cluster = _cluster(sim)
+        _write(sim, cluster)
+        nn = cluster.namenode
+        victim = nn.file_blocks("/f")[0].replicas[0]
+        lost = nn.mark_dead(victim)
+        assert lost  # it held blocks
+        assert nn.mark_dead(victim) == []  # second death is a no-op
+        assert nn.nodes[victim].used == 0.0
+
+
+class TestDeadAliveRoundTrips:
+    def test_node_returning_mid_rereplication_comes_back_empty(self):
+        sim = Simulator(seed=8)
+        cluster = _cluster(sim)
+        _write(sim, cluster)
+        nn = cluster.namenode
+        victim = nn.file_blocks("/f")[0].replicas[0]
+        cluster.fail_datanode(victim)
+        sim.run(until=sim.now + 0.5)  # re-replication in flight
+        nn.mark_alive(victim)  # flap: the node returns, but wiped
+        sim.run()
+        assert nn.nodes[victim].alive
+        assert not nn.under_replicated
+        _assert_placement_invariants(nn)
+        # The returned node may receive *new* replicas but never retains
+        # pre-death ones: its used space must equal what was committed since.
+        committed = sum(
+            b.size for b in nn._blocks_by_id.values() if victim in b.replicas)
+        assert nn.nodes[victim].used == pytest.approx(committed)
+
+    def test_round_trip_then_refail_keeps_books_consistent(self):
+        sim = Simulator(seed=9)
+        cluster = _cluster(sim)
+        _write(sim, cluster)
+        nn = cluster.namenode
+        victim = nn.file_blocks("/f")[0].replicas[0]
+        cluster.fail_datanode(victim)
+        sim.run()
+        nn.mark_alive(victim)
+        cluster.fail_datanode(victim)  # dies again while holding nothing
+        sim.run()
+        assert not nn.under_replicated
+        _assert_placement_invariants(nn)
+
+    def test_commit_replica_rejects_duplicate_holder(self):
+        nn = NameNode(block_size=100.0, replication=3, rng=RandomSource(0))
+        for r in range(2):
+            for h in range(3):
+                nn.add_datanode(f"r{r}h{h}", f"rack{r}", 1000.0)
+        block = nn.create_file("/f", 100.0)[0]
+        with pytest.raises(HdfsError):
+            nn.commit_replica(block, block.replicas[0])
+
+
+class TestChurnInvariants:
+    @given(
+        churn=st.lists(st.tuples(st.integers(0, 11), st.booleans()),
+                       min_size=1, max_size=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_placement_invariants_hold_under_arbitrary_churn(self, churn):
+        """Kill/revive nodes in any order (pure bookkeeping, no DES); the
+        block map must never list a dead or duplicate holder, and
+        ``under_replicated`` must exactly match the block map."""
+        nn = NameNode(block_size=100.0, replication=3, placement="rack_aware",
+                      rng=RandomSource(3))
+        names = []
+        for r in range(3):
+            for h in range(4):
+                name = f"r{r}h{h}"
+                names.append(name)
+                nn.add_datanode(name, f"rack{r}", 1000.0)
+        for i in range(4):
+            nn.create_file(f"/f{i}", 250.0)
+
+        for index, make_dead in churn:
+            node = names[index]
+            if make_dead:
+                nn.mark_dead(node)
+            else:
+                nn.mark_alive(node)
+
+        live = {n.name for n in nn.live_nodes()}
+        for block in nn._blocks_by_id.values():
+            assert set(block.replicas) <= live
+            assert len(block.replicas) == len(set(block.replicas))
+            if len(block.replicas) < nn.replication and block.size > 0:
+                assert block.block_id in nn.under_replicated
+
+    def test_rolling_churn_with_rereplication_restores_rack_diversity(self):
+        sim = Simulator(seed=10)
+        cluster = _cluster(sim, racks=3, nodes_per_rack=4)
+        _write(sim, cluster, size=640 * MiB)
+        nn = cluster.namenode
+        for _round in range(3):
+            victim = next(iter(
+                {r for b in nn.file_blocks("/f") for r in b.replicas}))
+            cluster.fail_datanode(victim)
+            sim.run()
+            nn.mark_alive(victim)
+        assert not nn.under_replicated
+        _assert_placement_invariants(nn)
+        for block in nn.file_blocks("/f"):
+            racks = {nn.nodes[r].rack for r in block.replicas}
+            assert len(racks) >= 2  # rack-aware placement survived churn

@@ -1,0 +1,127 @@
+"""Retry semantics of the SimulatedDirector (satellite of the durability PR).
+
+A flaky actor — one that fails a few firings before succeeding — used to
+fail the whole simulated workflow on the first
+:class:`~repro.workflow.actor.ActorError`.  With a
+:class:`~repro.resilience.policy.RetryPolicy` wired in, the director
+re-fires after backoff slept on the *simulated* clock and records every
+failed attempt in the trace.
+"""
+
+import pytest
+
+from repro.resilience import RetryPolicy
+from repro.simkit import RandomSource, Simulator
+from repro.workflow import FunctionActor, SimulatedDirector, WorkflowGraph
+
+
+class _Flaky:
+    """Callable failing the first ``failures`` invocations."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, x):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"transient glitch #{self.calls}")
+        return x * 2
+
+
+def _graph(flaky, cost=10.0):
+    g = WorkflowGraph("flaky-wf")
+    g.add(FunctionActor("work", flaky, inputs=("x",), outputs=("out",),
+                        cost_model=lambda _i: cost))
+    return g
+
+
+def _policy(max_attempts=3, base_delay=5.0):
+    # jitter=0 keeps backoff exactly base * multiplier**k for time asserts.
+    return RetryPolicy(max_attempts=max_attempts, base_delay=base_delay,
+                       multiplier=2.0, jitter=0.0)
+
+
+class TestSimulatedRetry:
+    def test_transient_failure_retried_to_success(self):
+        sim = Simulator(seed=1)
+        flaky = _Flaky(failures=2)
+        director = SimulatedDirector(sim, retry_policy=_policy(),
+                                     retry_rng=RandomSource(7))
+        ev = director.run(_graph(flaky), {("work", "x"): 21})
+        trace = sim.run(until=ev)
+        assert trace.status == "success"
+        assert trace.output("work", "out") == 42
+        assert flaky.calls == 3
+        assert trace.retries == 2
+        statuses = [(f.status, f.attempt) for f in trace.firings]
+        assert statuses == [("retried", 1), ("retried", 2), ("success", 3)]
+
+    def test_each_attempt_pays_cost_plus_backoff(self):
+        sim = Simulator(seed=1)
+        director = SimulatedDirector(sim, retry_policy=_policy(base_delay=5.0),
+                                     retry_rng=RandomSource(7))
+        ev = director.run(_graph(_Flaky(2), cost=10.0), {("work", "x"): 1})
+        sim.run(until=ev)
+        # 3 firings x 10s cost + backoffs 5s (after attempt 1) + 10s (after 2)
+        assert sim.now == pytest.approx(45.0)
+
+    def test_exhaustion_fails_the_workflow(self):
+        sim = Simulator(seed=1)
+        flaky = _Flaky(failures=99)
+        director = SimulatedDirector(sim, retry_policy=_policy(max_attempts=3),
+                                     retry_rng=RandomSource(7))
+        ev = director.run(_graph(flaky), {("work", "x"): 1})
+        from repro.workflow import ActorError
+        with pytest.raises(ActorError, match="glitch #3"):
+            sim.run()
+        assert ev.failed
+        assert flaky.calls == 3  # bounded: no infinite retry loop
+
+    def test_no_policy_keeps_fire_once_seed_behaviour(self):
+        sim = Simulator(seed=1)
+        flaky = _Flaky(failures=1)
+        director = SimulatedDirector(sim)
+        ev = director.run(_graph(flaky), {("work", "x"): 1})
+        from repro.workflow import ActorError
+        with pytest.raises(ActorError):
+            sim.run()
+        assert ev.failed
+        assert flaky.calls == 1
+
+    def test_retries_recorded_in_provenance_trace(self):
+        sim = Simulator(seed=1)
+        director = SimulatedDirector(sim, retry_policy=_policy(),
+                                     retry_rng=RandomSource(7))
+        ev = director.run(_graph(_Flaky(1)), {("work", "x"): 3})
+        trace = sim.run(until=ev)
+        retried = [f for f in trace.firings if f.status == "retried"]
+        assert len(retried) == 1
+        assert "transient glitch" in retried[0].error
+        assert retried[0].outputs == {}
+
+
+class TestFacilityDirectorFactory:
+    def test_facility_builds_retrying_director(self):
+        from repro.core import Facility, FacilityConfig
+        from repro.core.config import ArraySpec
+        from repro.simkit.units import TB
+
+        facility = Facility(
+            FacilityConfig(
+                arrays=[ArraySpec("a1", 1 * TB, 1e9)],
+                cluster_racks=2, nodes_per_rack=2,
+                director_retry_attempts=2, director_retry_base_delay=3.0,
+            ),
+            seed=2,
+        )
+        director = facility.director()
+        assert director.sim is facility.sim
+        assert director.retry_policy.max_attempts == 3  # first try + 2 retries
+        assert director.retry_policy.base_delay == 3.0
+
+        flaky = _Flaky(failures=2)
+        ev = director.run(_graph(flaky, cost=1.0), {("work", "x"): 5})
+        trace = facility.sim.run(until=ev)
+        assert trace.status == "success"
+        assert trace.retries == 2
