@@ -1,0 +1,45 @@
+"""Facility static analysis and runtime sanitizers.
+
+The LSDF reproduction's headline claim — every simulation is bit-for-bit
+deterministic given a seed, and ingested data is write-once — rests on
+conventions (seeded RNG discipline, total event ordering, no wall-clock
+leakage, no swallowed failures).  This package turns those conventions into
+enforced invariants:
+
+* :mod:`repro.analysis.lint` — an AST-based lint engine with facility
+  domain rules, ``# lint: disable=<rule>`` pragmas and a committed
+  baseline (``python -m repro.analysis.lint src/repro``);
+* :mod:`repro.analysis.sanitize` — runtime sanitizers: a double-run
+  determinism checker that diffs full event traces, a same-timestamp
+  race detector driven by a randomized tie-shuffle, and an unseeded-RNG
+  tripwire (``python -m repro.analysis.sanitize``).
+"""
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.engine import Linter, SourceModule
+from repro.analysis.rules import Rule, all_rules, get_rule, register
+from repro.analysis.baseline import Baseline
+from repro.analysis.trace import TraceEntry, TraceRecorder
+from repro.analysis.tripwire import UnseededRandomnessError, rng_tripwire
+
+# The runtime sanitizer entry points (check_determinism, check_races,
+# DeterminismReport, RaceReport) live in repro.analysis.sanitize and are
+# imported from there directly: importing them here would pull the whole
+# facility stack into ``import repro.analysis`` and break
+# ``python -m repro.analysis.sanitize`` with a runpy double-import warning.
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Linter",
+    "Rule",
+    "Severity",
+    "SourceModule",
+    "TraceEntry",
+    "TraceRecorder",
+    "UnseededRandomnessError",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rng_tripwire",
+]

@@ -1,0 +1,93 @@
+"""Lint baselines: accepted legacy findings, fingerprinted line-number-free.
+
+A baseline lets the lint gate turn red only on *new* debt: every finding
+whose fingerprint appears in the committed baseline file is reported as
+``baselined`` and does not affect the exit code.  Fingerprints hash the
+path, rule and normalised source line (plus an occurrence index for
+repeated identical lines) — not the line *number* — so unrelated edits
+above a baselined finding don't resurrect it.
+
+The facility convention (enforced by CI) is an **empty** baseline: new
+findings are fixed or pragma-annotated, and ``--write-baseline`` exists
+for bootstrapping a newly-adopted rule, not for parking debt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.analysis.findings import Finding
+
+_FORMAT = 1
+
+
+def fingerprint(finding: Finding, occurrence: int = 0) -> str:
+    """Stable identity of a finding, independent of line number."""
+    normalised = " ".join(finding.snippet.split())
+    payload = f"{finding.path}\x1f{finding.rule_id}\x1f{normalised}\x1f{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def _fingerprints(findings: Iterable[Finding]) -> list[tuple[Finding, str]]:
+    seen: Counter[tuple[str, str, str]] = Counter()
+    out = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = (finding.path, finding.rule_id, " ".join(finding.snippet.split()))
+        out.append((finding, fingerprint(finding, seen[key])))
+        seen[key] += 1
+    return out
+
+
+class Baseline:
+    """The committed set of accepted finding fingerprints."""
+
+    def __init__(self, entries: Optional[Iterable[dict]] = None):
+        self.entries: list[dict] = list(entries or [])
+        self._index = {entry["fingerprint"] for entry in self.entries}
+
+    # -- persistence --------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("format") != _FORMAT:
+            raise ValueError(f"unsupported baseline format in {path}")
+        return cls(data.get("findings", []))
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Build a baseline accepting exactly the given findings."""
+        return cls(
+            {
+                "fingerprint": fp,
+                "rule": f.rule,
+                "rule_id": f.rule_id,
+                "path": f.path,
+                "snippet": f.snippet,
+            }
+            for f, fp in _fingerprints(findings)
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline file (pretty-printed, trailing newline)."""
+        payload = {"format": _FORMAT, "findings": self.entries}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # -- application --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def apply(self, findings: Iterable[Finding]) -> list[Finding]:
+        """Mark findings present in the baseline (returns all findings,
+        with matched ones flagged ``baselined``)."""
+        out = []
+        for finding, fp in _fingerprints(findings):
+            out.append(finding.with_baselined() if fp in self._index else finding)
+        return out

@@ -1,0 +1,151 @@
+"""The lint engine: source loading, pragma handling, rule dispatch.
+
+Pragmas
+-------
+A finding is suppressed when its line — or a comment-only line directly
+above it — carries::
+
+    # lint: disable=<rule>[,<rule>...]  -- optional one-line justification
+
+Rules may be named by id (``REP001``) or name (``wall-clock``); the token
+``all`` silences every rule for that line.  Justifications after ``--``
+are free text (and encouraged: the burn-down convention is one line of
+*why* per pragma).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import ImportMap, Rule, all_rules
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_\-,\s]+)")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+class SourceModule:
+    """One parsed source file plus the per-module context rules need."""
+
+    def __init__(self, text: str, relpath: str, path: Optional[Path] = None):
+        self.text = text
+        self.relpath = relpath.replace("\\", "/")
+        self.path = path
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=self.relpath)
+        self.imports = ImportMap(self.tree)
+        #: line number -> set of disabled rule tokens
+        self.pragmas: dict[int, set[str]] = self._collect_pragmas()
+
+    def _collect_pragmas(self) -> dict[int, set[str]]:
+        pragmas: dict[int, set[str]] = {}
+        for index, line in enumerate(self.lines, start=1):
+            match = _PRAGMA_RE.search(line)
+            if not match:
+                continue
+            # Everything after "--" is the free-text justification.
+            spec = match.group(1).split("--")[0]
+            tokens = {tok.strip() for tok in spec.split(",") if tok.strip()}
+            if not tokens:
+                continue
+            pragmas.setdefault(index, set()).update(tokens)
+            # A comment-only pragma covers the next line of code — skipping
+            # the rest of its own comment block (justification lines).
+            if _COMMENT_ONLY_RE.match(line):
+                target = index + 1
+                while (target <= len(self.lines)
+                       and _COMMENT_ONLY_RE.match(self.lines[target - 1])):
+                    target += 1
+                pragmas.setdefault(target, set()).update(tokens)
+        return pragmas
+
+    def line_text(self, line: int) -> str:
+        """Stripped source text of a 1-indexed line ("" out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True when a pragma on the finding's line disables its rule."""
+        tokens = self.pragmas.get(finding.line, ())
+        return bool(tokens) and (
+            "all" in tokens or finding.rule in tokens or finding.rule_id in tokens
+        )
+
+
+class Linter:
+    """Runs the rule catalogue over files, directories or raw source."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self.rules = list(rules) if rules is not None else all_rules()
+
+    # -- entry points -------------------------------------------------------
+    def lint_source(self, text: str, relpath: str = "<memory>") -> list[Finding]:
+        """Lint a source string (rule unit tests use this)."""
+        return self._lint_module(self._load(text, relpath))
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Lint files and/or directories (recursively, ``*.py``)."""
+        findings: list[Finding] = []
+        for path in self._iter_files(paths):
+            relpath = self._relpath(path)
+            try:
+                module = self._load(path.read_text(encoding="utf-8"), relpath, path)
+            except SyntaxError as exc:
+                findings.append(Finding(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="parse-error",
+                    rule_id="REP000",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                ))
+                continue
+            findings.extend(self._lint_module(module))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    # -- internals ----------------------------------------------------------
+    @staticmethod
+    def _iter_files(paths: Iterable[str | Path]) -> list[Path]:
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        return files
+
+    @staticmethod
+    def _relpath(path: Path) -> str:
+        """Path string rules match exemptions against.
+
+        Normalised to start at the innermost ``repro`` package component
+        when present (so ``src/repro/simkit/rand.py`` and an absolute
+        path both become ``repro/simkit/rand.py``), else the path as
+        given.
+        """
+        parts = path.as_posix().split("/")
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                return "/".join(parts[index:])
+        return path.as_posix()
+
+    def _load(self, text: str, relpath: str, path: Optional[Path] = None) -> SourceModule:
+        return SourceModule(text, relpath, path)
+
+    def _lint_module(self, module: SourceModule) -> list[Finding]:
+        found: list[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                if not module.suppressed(finding):
+                    found.append(finding)
+        found.sort(key=Finding.sort_key)
+        return found

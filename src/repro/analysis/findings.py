@@ -1,0 +1,66 @@
+"""Lint findings: the unit of output every rule produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+class Severity:
+    """Finding severities.  ``ERROR`` fails the lint run; ``WARNING`` is
+    reported but only fails under ``--strict``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    ORDER = {ERROR: 0, WARNING: 1}
+
+    @classmethod
+    def validate(cls, value: str) -> str:
+        """Return ``value`` if it is a known severity, else raise."""
+        if value not in cls.ORDER:
+            raise ValueError(f"unknown severity: {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str      # rule name, e.g. "wall-clock"
+    rule_id: str   # stable id, e.g. "REP001"
+    severity: str  # Severity.ERROR | Severity.WARNING
+    message: str
+    snippet: str = ""
+    #: Set by the engine when the finding matched the committed baseline.
+    baselined: bool = field(default=False, compare=False)
+
+    def with_baselined(self) -> "Finding":
+        """Copy of this finding flagged as matching the baseline."""
+        return replace(self, baselined=True)
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` — the conventional editor-clickable form."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (used by the ``--format json`` reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+            "baselined": self.baselined,
+        }
+
+    def sort_key(self) -> tuple:
+        """Stable report ordering: by path, then position, then rule."""
+        return (self.path, self.line, self.col, self.rule_id)

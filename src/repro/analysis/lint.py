@@ -1,0 +1,86 @@
+"""The facility lint CLI: ``python -m repro.analysis.lint src/repro``.
+
+Exit codes: 0 clean (baselined findings allowed), 1 active error findings
+(or warnings under ``--strict``), 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import Linter
+from repro.analysis.findings import Severity
+from repro.analysis.report import render_json, render_text, summarise
+from repro.analysis.rules import catalogue
+
+DEFAULT_BASELINE = ".lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the lint CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="AST lint for LSDF facility invariants (determinism, "
+                    "write-once, guarded I/O).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files/directories to lint (default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline file (default: {DEFAULT_BASELINE}; "
+                             "a missing file is an empty baseline)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the baseline "
+                             "file and exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="warnings also fail the run")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (0/1/2)."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for row in catalogue():
+            scope = f"  [scope: {', '.join(row['scope'])}]" if row["scope"] else ""
+            exempt = f"  [exempt: {', '.join(row['exempt'])}]" if row["exempt"] else ""
+            print(f"{row['id']}  {row['name']:<24} {row['severity']:<8}"
+                  f"{row['description']}{scope}{exempt}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    linter = Linter()
+    findings = linter.lint_paths(args.paths)
+    files_scanned = len(linter._iter_files(args.paths))
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"baseline written: {len(findings)} finding(s) -> {args.baseline}")
+        return 0
+
+    if not args.no_baseline:
+        findings = Baseline.load(args.baseline).apply(findings)
+
+    print(render_json(findings, files_scanned) if args.format == "json"
+          else render_text(findings, files_scanned))
+
+    stats = summarise(findings)
+    failing = stats["errors"] + (stats["warnings"] if args.strict else 0)
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Lint reporters: terminal text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.analysis.findings import Finding, Severity
+
+
+def summarise(findings: list[Finding]) -> dict:
+    """Headline counts the CLI exit code is derived from."""
+    active = [f for f in findings if not f.baselined]
+    return {
+        "total": len(findings),
+        "active": len(active),
+        "baselined": sum(1 for f in findings if f.baselined),
+        "errors": sum(1 for f in active if f.severity == Severity.ERROR),
+        "warnings": sum(1 for f in active if f.severity == Severity.WARNING),
+        "by_rule": _by_rule(active),
+    }
+
+
+def _by_rule(findings: Iterable[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(findings: list[Finding], files_scanned: Optional[int] = None) -> str:
+    """Human-readable report, one finding per block."""
+    out: list[str] = []
+    for finding in findings:
+        tag = " [baselined]" if finding.baselined else ""
+        out.append(
+            f"{finding.location}: {finding.severity}"
+            f" [{finding.rule_id}/{finding.rule}]{tag} {finding.message}"
+        )
+        if finding.snippet:
+            out.append(f"    {finding.snippet}")
+    stats = summarise(findings)
+    scanned = f" across {files_scanned} files" if files_scanned is not None else ""
+    if stats["active"]:
+        per_rule = ", ".join(f"{rule}: {n}" for rule, n in stats["by_rule"].items())
+        out.append(
+            f"{stats['active']} finding(s){scanned} "
+            f"({stats['errors']} error(s), {stats['warnings']} warning(s)"
+            + (f", {stats['baselined']} baselined" if stats["baselined"] else "")
+            + f") — {per_rule}"
+        )
+    else:
+        suffix = (f" ({stats['baselined']} baselined)" if stats["baselined"] else "")
+        out.append(f"clean{scanned}{suffix}")
+    return "\n".join(out)
+
+
+def render_json(findings: list[Finding], files_scanned: Optional[int] = None) -> str:
+    """JSON report for tooling/CI annotation."""
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "summary": summarise(findings),
+    }
+    if files_scanned is not None:
+        payload["summary"]["files_scanned"] = files_scanned
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,401 @@
+"""Runtime determinism and race sanitizers.
+
+``python -m repro.analysis.sanitize --scenario tiny`` runs three checks:
+
+**Determinism (double run).**  The scenario runs twice with the same
+seed; the full event traces must be byte-identical.  A divergence is
+reported as the first differing event — the component that scheduled it
+is where wall-clock time, unseeded randomness or iteration-order
+dependence leaked in.
+
+**Race detection (tie-shuffle run).**  Events that share ``(time,
+priority)`` are normally ordered by insertion sequence — an accident of
+code layout, not a designed ordering.  The scenario is re-run with a
+randomized tie-break among simultaneous events
+(:meth:`Simulator.enable_tie_shuffle`); any same-timestamp group whose
+*event multiset* changes, or a changed final state digest, means some
+behaviour depends on insertion order alone.  Benign reorderings (same
+events, different order, same outcome) are counted but pass.
+
+**Unseeded-RNG tripwire.**  All runs execute under
+:func:`~repro.analysis.tripwire.rng_tripwire`, so a stray
+``random.random()`` / ``np.random.default_rng()`` anywhere in the stack
+fails loudly instead of surfacing later as an unexplainable divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.scenarios import SCENARIOS, Scenario, get_scenario
+from repro.analysis.trace import TraceRecorder, first_divergence
+from repro.analysis.tripwire import rng_tripwire
+from repro.simkit.rand import RandomSource
+
+#: A runnable unit: ``run_fn(seed, tie_seed) -> (trace, final_state)``.
+#: ``tie_seed=None`` means strict insertion-order tie-breaking.
+RunFn = Callable[[int, Optional[int]], tuple[TraceRecorder, dict]]
+
+
+def state_digest(state: dict) -> str:
+    """Canonical sha256 of a scenario's final state snapshot."""
+    payload = json.dumps(state, sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def facility_run(scenario: Scenario) -> RunFn:
+    """Adapt a registry :class:`Scenario` into a traceable run function."""
+    from repro.core.facility import Facility
+
+    def run(seed: int, tie_seed: Optional[int]) -> tuple[TraceRecorder, dict]:
+        facility = scenario.build(seed)
+        recorder = TraceRecorder().install(facility.sim)
+        if tie_seed is not None:
+            # Independent stream: must not perturb component draws.
+            facility.sim.enable_tie_shuffle(
+                RandomSource(tie_seed).spawn("tie-shuffle")
+            )
+        state = scenario.execute(facility)
+        return recorder, state
+
+    return run
+
+
+def _capture(run_fn: RunFn, seed: int, tie_seed: Optional[int],
+             tripwire: bool) -> tuple[TraceRecorder, dict, str]:
+    if tripwire:
+        with rng_tripwire():
+            trace, state = run_fn(seed, tie_seed)
+    else:
+        trace, state = run_fn(seed, tie_seed)
+    return trace, state, state_digest(state)
+
+
+# ---------------------------------------------------------------------------
+# determinism (double run)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DeterminismReport:
+    """Outcome of the same-seed double-run check."""
+
+    seed: int
+    runs: int
+    events: int
+    identical: bool
+    trace_digest: str
+    state_digest: str
+    #: Index of the first differing trace entry (None when identical).
+    divergence_index: Optional[int] = None
+    #: Human description of the diverging entries, run A vs run B.
+    divergence: Optional[tuple[str, str]] = None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for the ``--json`` reporter."""
+        return {
+            "seed": self.seed,
+            "runs": self.runs,
+            "events": self.events,
+            "identical": self.identical,
+            "trace_digest": self.trace_digest,
+            "state_digest": self.state_digest,
+            "divergence_index": self.divergence_index,
+            "divergence": list(self.divergence) if self.divergence else None,
+        }
+
+    def describe(self) -> str:
+        """One-paragraph human summary (OK line or first divergence)."""
+        if self.identical:
+            return (f"determinism: OK — {self.runs} runs, {self.events} events, "
+                    f"identical traces (digest {self.trace_digest[:12]}…)")
+        a, b = self.divergence or ("<missing>", "<missing>")
+        return ("determinism: FAIL — traces diverge at event "
+                f"#{self.divergence_index}:\n  run A: {a}\n  run B: {b}")
+
+
+def check_determinism(run_fn: RunFn, seed: int = 0, runs: int = 2,
+                      tripwire: bool = True) -> DeterminismReport:
+    """Run a scenario ``runs`` times with one seed and diff the traces."""
+    if runs < 2:
+        raise ValueError("determinism check needs at least 2 runs")
+    first_trace, _state, first_digest = _capture(run_fn, seed, None, tripwire)
+    for _ in range(runs - 1):
+        trace, _state, digest = _capture(run_fn, seed, None, tripwire)
+        index = first_divergence(first_trace, trace)
+        if index is not None or digest != first_digest:
+            if index is None:
+                index = min(len(first_trace.entries), len(trace.entries))
+            entry_a = (first_trace.entries[index].describe()
+                       if index < len(first_trace.entries) else "<trace ended>")
+            entry_b = (trace.entries[index].describe()
+                       if index < len(trace.entries) else "<trace ended>")
+            return DeterminismReport(
+                seed=seed, runs=runs, events=len(first_trace),
+                identical=False,
+                trace_digest=first_trace.digest(),
+                state_digest=first_digest,
+                divergence_index=index,
+                divergence=(entry_a, entry_b),
+            )
+    return DeterminismReport(
+        seed=seed, runs=runs, events=len(first_trace), identical=True,
+        trace_digest=first_trace.digest(), state_digest=first_digest,
+    )
+
+
+# ---------------------------------------------------------------------------
+# races (tie-shuffle run)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RaceGroup:
+    """One same-``(time, priority)`` group that changed under tie-shuffle."""
+
+    time: float
+    priority: int
+    #: Events only seen in the ordered run / only in the shuffled run
+    #: (symmetric difference of the two multisets, as "Kind(name)" labels).
+    only_ordered: list[str]
+    only_shuffled: list[str]
+    #: Same events, different processing order — the likely root cause when
+    #: it is the *first* divergent group of an outcome-changing run.
+    permuted: Optional[tuple[tuple[str, ...], tuple[str, ...]]] = None
+    allowed: bool = False
+
+    def labels(self) -> list[str]:
+        """Distinct event labels involved in this group."""
+        if self.permuted is not None:
+            return sorted(set(self.permuted[0]))
+        return sorted(set(self.only_ordered) | set(self.only_shuffled))
+
+    def describe(self) -> str:
+        """One-line human rendering of the group's diff."""
+        status = " (allowed)" if self.allowed else ""
+        if self.permuted is not None:
+            a, b = self.permuted
+            return (f"t={self.time:.9g} prio={self.priority}{status}: "
+                    f"permuted {list(a)} -> {list(b)}")
+        return (f"t={self.time:.9g} prio={self.priority}{status}: "
+                f"ordered-only={self.only_ordered} shuffled-only={self.only_shuffled}")
+
+
+@dataclass
+class RaceReport:
+    """Outcome of the tie-shuffle race check.
+
+    The ground truth is the **final state digest**: if the shuffled run
+    ends in the same facility state, every same-timestamp reordering the
+    shuffle exercised was benign (the scenario is reorder-tolerant) and
+    there are zero order-dependent event pairs.  If the digest differs,
+    some behaviour was decided by insertion order alone; the first
+    divergent groups name the culprit events.
+    """
+
+    seed: int
+    tie_seed: int
+    events: int
+    #: Final state digests of the ordered vs shuffled run match.
+    outcome_matches: bool
+    #: Same-timestamp groups the shuffle reordered (diagnostic: how much
+    #: simultaneity the scenario actually exercised).
+    reordered_groups: int
+    #: With a changed outcome: the first divergent groups — event pairs
+    #: whose relative order changed the run's result.
+    order_dependent: list[RaceGroup] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def violations(self) -> list[RaceGroup]:
+        """Order-dependent groups not covered by a races_allowed pattern."""
+        return [g for g in self.order_dependent if not g.allowed]
+
+    @property
+    def ok(self) -> bool:
+        """Pass: identical outcome, or every dependent group is allowed."""
+        return self.outcome_matches or (
+            bool(self.order_dependent) and not self.violations
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for the ``--json`` reporter."""
+        return {
+            "seed": self.seed,
+            "tie_seed": self.tie_seed,
+            "events": self.events,
+            "outcome_matches": self.outcome_matches,
+            "reordered_groups": self.reordered_groups,
+            "order_dependent": [g.describe() for g in self.order_dependent],
+            "violations": len(self.violations),
+            "truncated": self.truncated,
+            "ok": self.ok,
+        }
+
+    def describe(self) -> str:
+        """Multi-line human summary (OK line or the divergent groups)."""
+        if self.ok:
+            allowed = sum(1 for g in self.order_dependent if g.allowed)
+            note = (f"{self.reordered_groups} reordered group(s) exercised, "
+                    "outcome identical")
+            if allowed:
+                note += f"; {allowed} allowed race group(s)"
+            return (f"races: OK — {self.events} events, 0 order-dependent "
+                    f"event pairs ({note})")
+        lines = [
+            f"races: FAIL — outcome changed under tie-shuffle; "
+            f"{len(self.violations)} order-dependent group(s):"
+        ]
+        lines += [f"  {g.describe()}" for g in self.order_dependent[:10]]
+        if self.truncated:
+            lines.append("  … (cascade truncated after first divergent groups)")
+        return "\n".join(lines)
+
+
+def _grouped(trace: TraceRecorder) -> list[tuple[tuple[float, int], list[str]]]:
+    """Trace entries grouped by (time, priority), labels in processed order."""
+    groups: list[tuple[tuple[float, int], list[str]]] = []
+    for entry in trace.entries:
+        key = (entry.time, entry.priority)
+        label = f"{entry.kind}({entry.name})" if entry.name else entry.kind
+        if groups and groups[-1][0] == key:
+            groups[-1][1].append(label)
+        else:
+            groups.append((key, [label]))
+    return groups
+
+
+def check_races(run_fn: RunFn, seed: int = 0, tie_seed: int = 20110509,
+                allowed: Sequence[str] = (), tripwire: bool = True,
+                max_groups: int = 10) -> RaceReport:
+    """Compare an insertion-ordered run against a tie-shuffled run."""
+    ordered, _sa, digest_ordered = _capture(run_fn, seed, None, tripwire)
+    shuffled, _sb, digest_shuffled = _capture(run_fn, seed, tie_seed, tripwire)
+
+    groups_a = {key: labels for key, labels in _grouped(ordered)}
+    groups_b = {key: labels for key, labels in _grouped(shuffled)}
+
+    reordered = 0
+    dependent: list[RaceGroup] = []
+    truncated = False
+    outcome_matches = digest_ordered == digest_shuffled
+    for key in sorted(set(groups_a) | set(groups_b)):
+        a = groups_a.get(key, [])
+        b = groups_b.get(key, [])
+        if a == b:
+            continue
+        reordered += 1
+        if outcome_matches:
+            # The cascade converged back to the same final state:
+            # reorder-tolerant, not an order dependency.
+            continue
+        if sorted(a) == sorted(b):
+            group = RaceGroup(
+                time=key[0], priority=key[1],
+                only_ordered=[], only_shuffled=[],
+                permuted=(tuple(a), tuple(b)),
+            )
+        else:
+            group = RaceGroup(
+                time=key[0], priority=key[1],
+                only_ordered=_multiset_diff(a, b),
+                only_shuffled=_multiset_diff(b, a),
+            )
+        group.allowed = bool(group.labels()) and all(
+            any(fnmatch(label, pattern) for pattern in allowed)
+            for label in group.labels()
+        )
+        dependent.append(group)
+        if len(dependent) >= max_groups:
+            truncated = True
+            break
+
+    return RaceReport(
+        seed=seed, tie_seed=tie_seed, events=len(ordered),
+        outcome_matches=outcome_matches,
+        reordered_groups=reordered,
+        order_dependent=dependent,
+        truncated=truncated,
+    )
+
+
+def _multiset_diff(a: list[str], b: list[str]) -> list[str]:
+    """Elements of ``a`` not matched one-for-one in ``b``."""
+    remainder = list(b)
+    out = []
+    for item in a:
+        if item in remainder:
+            remainder.remove(item)
+        else:
+            out.append(item)
+    return sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the sanitizer CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.sanitize",
+        description="Runtime determinism / race sanitizers for facility scenarios.",
+    )
+    parser.add_argument("--scenario", default="tiny",
+                        choices=sorted(SCENARIOS),
+                        help="which scenario to sanitize (default: tiny)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--runs", type=int, default=2,
+                        help="same-seed runs for the determinism diff")
+    parser.add_argument("--tie-seed", type=int, default=20110509,
+                        help="seed of the randomized tie-shuffle stream")
+    parser.add_argument("--skip-determinism", action="store_true")
+    parser.add_argument("--skip-races", action="store_true")
+    parser.add_argument("--no-tripwire", action="store_true",
+                        help="do not patch global RNGs during runs")
+    parser.add_argument("--json", action="store_true")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (0 pass, 1 fail)."""
+    args = build_parser().parse_args(argv)
+    scenario = get_scenario(args.scenario)
+    run_fn = facility_run(scenario)
+    tripwire = not args.no_tripwire
+
+    payload: dict = {"scenario": scenario.name}
+    ok = True
+    det: Optional[DeterminismReport] = None
+    races: Optional[RaceReport] = None
+
+    if not args.skip_determinism:
+        det = check_determinism(run_fn, seed=args.seed, runs=args.runs,
+                                tripwire=tripwire)
+        payload["determinism"] = det.to_dict()
+        ok = ok and det.identical
+    if not args.skip_races:
+        races = check_races(run_fn, seed=args.seed, tie_seed=args.tie_seed,
+                            allowed=scenario.races_allowed, tripwire=tripwire)
+        payload["races"] = races.to_dict()
+        ok = ok and races.ok
+    payload["ok"] = ok
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"scenario: {scenario.name} — {scenario.description}")
+        if det is not None:
+            print(det.describe())
+        if races is not None:
+            print(races.describe())
+        print("sanitize: PASS" if ok else "sanitize: FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""Sanitizer scenarios: small, bounded facility runs with a known shape.
+
+A scenario is a named callable that builds a :class:`Facility` for a
+seed, drives a representative slice of the workload (ingest, HDFS
+staging, a MapReduce job), and finishes with a drained or bounded event
+queue.  The sanitizer runs scenarios repeatedly — same seed twice for
+the determinism check, and once under a randomized tie-shuffle for the
+race check — so they must be cheap (seconds, not minutes).
+
+``tiny`` honours the same spirit as the benchmarks' ``LSDF_BENCH_TINY``
+knob: the smallest run that still pushes events through every subsystem
+layer the invariant claims cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.config import FacilityConfig, lsdf_2011_config
+from repro.core.facility import Facility
+from repro.simkit import units
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named sanitizer scenario."""
+
+    name: str
+    description: str
+    #: Drives the facility; returns the final state snapshot (a dict) whose
+    #: canonical serialisation is the run's outcome digest.
+    run: Callable[[Facility], dict]
+    #: Facility config factory (None = the canonical 2011 deployment).
+    config: Optional[Callable[[], FacilityConfig]] = None
+    #: Event-name glob patterns whose same-timestamp reorderings are known
+    #: benign and accepted (the runtime analogue of a lint pragma; each
+    #: entry should be justified in docs/static_analysis.md).
+    races_allowed: tuple[str, ...] = field(default=())
+
+    def build(self, seed: int) -> Facility:
+        """Construct the facility this scenario drives, for one seed."""
+        cfg = self.config() if self.config is not None else None
+        return Facility(config=cfg, seed=seed)
+
+    def execute(self, facility: Facility) -> dict:
+        """Drive the scenario and return its invariant snapshot."""
+        return self.run(facility)
+
+
+def _no_speculation_config() -> FacilityConfig:
+    """The canonical facility minus MapReduce speculative execution.
+
+    Speculation is an *intentional* race — idle slots re-run straggling
+    attempts and the first finisher wins — so a marginal speculation
+    decision legitimately flips under epsilon timing shifts; E7 studies
+    it on purpose.  The race sanitizer ablates it to keep the check
+    meaningful for everything else.
+    """
+    cfg = lsdf_2011_config()
+    cfg.mr_speculation = False
+    return cfg
+
+
+def _invariants(stats: dict) -> dict:
+    """Project a full :meth:`Facility.stats` snapshot onto conservation
+    invariants: frame/byte/block accounting, replication health, and
+    resilience/durability counters.
+
+    Micro-timing aggregates (wall-clock ``time``, time-integrated
+    ``net_bytes``/``cloud_running_vms``, job durations) are deliberately
+    excluded: an accepted same-timestamp reordering of symmetric
+    consumers changes batch composition, which legitimately shifts those
+    by epsilon without any data-path consequence.  Every real race the
+    sanitizer has caught so far moved one of the retained counters
+    (extra block reads, lost locality, changed task stats).
+    """
+    hdfs = stats.get("hdfs", {})
+    metadata = stats.get("metadata", {})
+    resilience = stats.get("resilience", {})
+    durability = stats.get("durability", {})
+    return {
+        "pool_used": stats.get("pool_used"),
+        "tape_cartridges": stats.get("tape_cartridges"),
+        "hdfs_files": hdfs.get("files"),
+        "hdfs_bytes_written": hdfs.get("bytes_written"),
+        "hdfs_bytes_read": hdfs.get("bytes_read"),
+        "hdfs_node_local_read_fraction": hdfs.get("node_local_read_fraction"),
+        "hdfs_under_replicated": hdfs.get("under_replicated"),
+        "metadata_datasets": metadata.get("datasets"),
+        "metadata_processing_records": metadata.get("processing_records"),
+        "metadata_bytes": metadata.get("total_bytes"),
+        "resilience_retries": resilience.get("retries"),
+        "resilience_timeouts": resilience.get("timeouts"),
+        "resilience_dlq_depth": resilience.get("dlq_depth"),
+        "resilience_lost_bytes": resilience.get("lost_bytes"),
+        "durability_corruptions_detected": durability.get("corruptions_detected"),
+        "durability_unrepairable": durability.get("unrepairable"),
+        "wal_records": durability.get("metadata", {}).get("wal_records"),
+    }
+
+
+def _run_tiny(facility: Facility) -> dict:
+    """Two simulated minutes of zebrafish ingest (all four microscopes,
+    metadata registration on) — the smallest end-to-end data path."""
+    report = facility.simulate_microscopy_day(duration=120.0)
+    snapshot = _invariants(facility.stats())
+    snapshot["ingest_frames"] = report.frames_ingested
+    snapshot["ingest_unaccounted"] = report.frames_unaccounted
+    return snapshot
+
+
+def _run_standard(facility: Facility) -> dict:
+    """Ingest plus the analysis side: a 10-minute screen, a dataset staged
+    into HDFS, and one locality-scheduled MapReduce pass over it."""
+    from repro.mapreduce.sim import JobSpec
+
+    report = facility.simulate_microscopy_day(duration=600.0)
+    staged = facility.load_into_hdfs("/screens/day0", 2 * units.GiB)
+    facility.run()
+    assert staged.ok
+    job = facility.mapreduce.submit(JobSpec(
+        name="segment", input_path="/screens/day0", reduces=4,
+    ))
+    facility.run()
+    result = job.value
+    snapshot = _invariants(facility.stats())
+    snapshot["ingest_frames"] = report.frames_ingested
+    snapshot["ingest_unaccounted"] = report.frames_unaccounted
+    snapshot["job_completed"] = result is not None
+    snapshot["job_locality"] = dict(result.locality_counts)
+    snapshot["job_locality_fallbacks"] = result.locality_fallbacks
+    snapshot["job_attempts"] = result.attempts
+    return snapshot
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="tiny",
+            description="2 sim-minutes of zebrafish ingest (CI smoke)",
+            run=_run_tiny,
+        ),
+        Scenario(
+            name="standard",
+            description="10-minute ingest + HDFS staging + one MapReduce job "
+                        "(speculation ablated: it races by design)",
+            run=_run_standard,
+            config=_no_speculation_config,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name (KeyError lists the alternatives)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        ) from None

@@ -1,0 +1,88 @@
+"""Event-trace capture for the determinism sanitizer.
+
+A :class:`TraceRecorder` taps :attr:`Simulator.trace_hooks` and records
+one :class:`TraceEntry` per processed event — the full totally-ordered
+history of a run.  Two same-seed runs of a deterministic scenario must
+produce *identical* traces; the first differing entry pinpoints where a
+run diverged (and therefore which component leaked wall-clock time,
+unseeded randomness, or iteration-order dependence into the simulation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.core import Simulator
+    from repro.simkit.events import Event
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One processed event, as the loop saw it."""
+
+    index: int
+    time: float
+    priority: int
+    seq: int
+    kind: str   # event class name
+    name: str   # event label ("" when unnamed)
+
+    def key(self, with_seq: bool = True) -> tuple:
+        """Comparison key.  ``with_seq=False`` drops the insertion sequence
+        number — required when comparing against a tie-shuffled run, whose
+        scheduling order (and therefore seq numbering) legitimately differs."""
+        if with_seq:
+            return (self.time, self.priority, self.seq, self.kind, self.name)
+        return (self.time, self.priority, self.kind, self.name)
+
+    def describe(self) -> str:
+        """One-line human-readable rendering for divergence reports."""
+        label = self.name or self.kind
+        return (f"#{self.index} t={self.time:.9g} prio={self.priority} "
+                f"seq={self.seq} {self.kind}({label})")
+
+
+class TraceRecorder:
+    """Collects the event trace of one simulation run."""
+
+    def __init__(self) -> None:
+        self.entries: list[TraceEntry] = []
+
+    def install(self, sim: "Simulator") -> "TraceRecorder":
+        """Attach to a simulator's trace hooks; returns ``self`` for chaining."""
+        sim.trace_hooks.append(self._record)
+        return self
+
+    def _record(self, when: float, priority: int, seq: int, event: "Event") -> None:
+        self.entries.append(TraceEntry(
+            index=len(self.entries),
+            time=when,
+            priority=priority,
+            seq=seq,
+            kind=type(event).__name__,
+            name=event.name or "",
+        ))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def digest(self, with_seq: bool = True) -> str:
+        """sha256 over the serialised trace — the run's identity."""
+        h = hashlib.sha256()
+        for entry in self.entries:
+            h.update(repr(entry.key(with_seq)).encode("utf-8"))
+        return h.hexdigest()
+
+
+def first_divergence(a: "TraceRecorder", b: "TraceRecorder") -> Optional[int]:
+    """Index of the first entry where two traces differ, or ``None`` when
+    identical (including equal length)."""
+    for index, (ea, eb) in enumerate(zip(a.entries, b.entries)):
+        if ea.key() != eb.key():
+            return index
+    if len(a.entries) != len(b.entries):
+        return min(len(a.entries), len(b.entries))
+    return None

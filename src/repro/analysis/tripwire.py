@@ -1,0 +1,67 @@
+"""The unseeded-RNG tripwire.
+
+While a sanitized simulation runs, every facility draw must come from a
+seeded :class:`~repro.simkit.rand.RandomSource`.  This module patches the
+process-global entropy sources — the stdlib ``random`` module functions
+and numpy's legacy global RNG + ``default_rng`` — so that any stray call
+raises :class:`UnseededRandomnessError` naming the offender, instead of
+silently injecting run-to-run nondeterminism that only shows up later as
+an unexplainable trace divergence.
+"""
+
+from __future__ import annotations
+
+import random as _stdlib_random
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as _np
+
+_STDLIB_FUNCS = (
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "seed", "getrandbits",
+)
+_NUMPY_FUNCS = (
+    "default_rng", "seed", "random", "rand", "randn", "randint",
+    "random_sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "exponential", "poisson", "binomial",
+)
+
+
+class UnseededRandomnessError(RuntimeError):
+    """A process-global RNG was used during a sanitized simulation run."""
+
+
+def _tripper(origin: str):
+    def trip(*_args, **_kwargs):
+        raise UnseededRandomnessError(
+            f"{origin}() called during a sanitized simulation run — all "
+            "facility randomness must flow through Simulator.random / "
+            "RandomSource.spawn so it is seeded and replayable"
+        )
+    return trip
+
+
+@contextmanager
+def rng_tripwire() -> Iterator[None]:
+    """Patch stdlib/numpy global RNG entry points for the enclosed block."""
+    saved_stdlib = {
+        name: getattr(_stdlib_random, name)
+        for name in _STDLIB_FUNCS if hasattr(_stdlib_random, name)
+    }
+    saved_numpy = {
+        name: getattr(_np.random, name)
+        for name in _NUMPY_FUNCS if hasattr(_np.random, name)
+    }
+    try:
+        for name in saved_stdlib:
+            setattr(_stdlib_random, name, _tripper(f"random.{name}"))
+        for name in saved_numpy:
+            setattr(_np.random, name, _tripper(f"numpy.random.{name}"))
+        yield
+    finally:
+        for name, fn in saved_stdlib.items():
+            setattr(_stdlib_random, name, fn)
+        for name, fn in saved_numpy.items():
+            setattr(_np.random, name, fn)

@@ -147,6 +147,8 @@ class TriggerEngine:
     def _real_run(self, rule, record, tag, inputs) -> ExecutionTrace:
         import time
 
+        # lint: disable=wall-clock -- real-director path: measures actual
+        # external workflow runtime, never runs inside a simulation.
         start = time.monotonic()
         try:
             trace = self.director.run(rule.graph, inputs)
@@ -154,6 +156,7 @@ class TriggerEngine:
             trace = getattr(exc, "trace", None)
             self.log.append(
                 TriggerEvent(record.dataset_id, tag, rule.graph.name, "failed",
+                             # lint: disable=wall-clock -- real-director path.
                              start, time.monotonic(), error=str(exc))
             )
             if trace is not None:

@@ -222,6 +222,8 @@ class RepairPlanner:
         replica = self._find_replica(path, expected)
         if replica is not None:
             name, data = replica
+            # lint: disable=write-once-overwrite -- repair restores the
+            # canonical bytes over a detected-corrupt object, by design.
             backend.put(path, data, overwrite=True)
             return self._record(finding, "restore_from_replica", "repaired",
                                 f"from store {name!r}")
@@ -235,6 +237,8 @@ class RepairPlanner:
                     # The archive copy lives on tape: stage it back first.
                     yield self.hsm.access(finding.dataset_id)
                     action = "tape_recall_restore"
+                # lint: disable=write-once-overwrite -- repair restores the
+                # canonical bytes over a detected-corrupt object, by design.
                 backend.put(path, data, overwrite=True)
                 return self._record(finding, action, "repaired",
                                     "verified archive copy")

@@ -180,6 +180,9 @@ class IntegrityScrubber:
                 actual = checksum_bytes(data)
                 if actual == expected:
                     if self.archive is not None:
+                        # lint: disable=write-once-overwrite -- idempotent
+                        # refresh of the scrubber's own archive copy, keyed by
+                        # the object's canonical URL (verified-good bytes).
                         self.archive.put(f"{store}/{info.url}", data, overwrite=True)
                     continue
                 summary.corruptions_found += 1

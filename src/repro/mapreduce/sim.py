@@ -28,6 +28,7 @@ from repro.simkit.core import Simulator
 from repro.simkit.events import Event
 from repro.hdfs.blocks import Block
 from repro.hdfs.cluster import LOCALITY_NODE, LOCALITY_OFF, LOCALITY_RACK, HdfsCluster
+from repro.hdfs.namenode import HdfsError
 
 _WAIT_SLICE = 0.5  # how long an idle slot naps before re-checking the queue
 
@@ -93,6 +94,9 @@ class JobResult:
     attempts: int
     speculative_launched: int
     speculative_wins: int
+    #: Times the scheduler had to fall back to off-rack placement because a
+    #: block had no live replica at scheduling time (data-loss window).
+    locality_fallbacks: int = 0
     task_stats: list[TaskStats] = field(default_factory=list)
 
     @property
@@ -138,6 +142,7 @@ class _JobState:
         self.attempts = 0
         self.spec_launched = 0
         self.spec_wins = 0
+        self.locality_fallbacks = 0
         self.task_stats: list[TaskStats] = []
         self.delay_start: dict[str, float] = {}  # node -> first miss time
         #: Fires once `slowstart` of the maps are done (reduces may shuffle).
@@ -235,9 +240,11 @@ class MapReduceSim:
     def _ensure_workers(self) -> None:
         for info in self.hdfs.namenode.live_nodes():
             missing = self.map_slots_per_node - self._workers_alive.get(info.name, 0)
-            for _ in range(missing):
+            for slot in range(missing):
                 self._workers_alive[info.name] = self._workers_alive.get(info.name, 0) + 1
-                self.sim.process(self._node_worker(info.name), name=f"mrslot:{info.name}")
+                self.sim.process(
+                    self._node_worker(info.name, slot), name=f"mrslot:{info.name}"
+                )
 
     def _job_order(self) -> list["_JobState"]:
         candidates = [s for s in self._active_states if not s.map_phase_over]
@@ -318,14 +325,20 @@ class MapReduceSim:
             attempts=state.attempts,
             speculative_launched=state.spec_launched,
             speculative_wins=state.spec_wins,
+            locality_fallbacks=state.locality_fallbacks,
             task_stats=state.task_stats,
         )
 
     # -- map scheduling -------------------------------------------------------
-    def _locality(self, task: _MapTask, node: str) -> str:
+    def _locality(self, state: _JobState, task: _MapTask, node: str) -> str:
         try:
             _replica, locality = self.hdfs.best_replica(task.block, node)
-        except Exception:
+        except HdfsError:
+            # Every replica is dead at scheduling time (failure window
+            # before re-replication lands): schedule off-rack and count it,
+            # so the fallback is visible in the job result instead of
+            # masquerading as ordinary remote-locality scheduling.
+            state.locality_fallbacks += 1
             locality = LOCALITY_OFF
         return locality
 
@@ -340,7 +353,7 @@ class MapReduceSim:
             return None
         # 1. node-local pending work.
         for i, task in enumerate(state.pending):
-            if self._locality(task, node) == LOCALITY_NODE:
+            if self._locality(state, task, node) == LOCALITY_NODE:
                 state.delay_start.pop(node, None)
                 return state.pending.pop(i), LOCALITY_NODE, False
         if state.pending:
@@ -353,7 +366,7 @@ class MapReduceSim:
             best_i, best_rank = 0, 3
             for i, task in enumerate(state.pending):
                 rank = {LOCALITY_NODE: 0, LOCALITY_RACK: 1, LOCALITY_OFF: 2}[
-                    self._locality(task, node)
+                    self._locality(state, task, node)
                 ]
                 if rank < best_rank:
                     best_i, best_rank = i, rank
@@ -376,17 +389,25 @@ class MapReduceSim:
             if candidates:
                 task = min(candidates, key=lambda t: t.first_start)
                 state.speculated.add(task.task_id)
-                return task, self._locality(task, node), True
+                return task, self._locality(state, task, node), True
         if state.running:
             return _WAIT_SLICE  # wait for the tail to drain (or speculate later)
         return None
 
-    def _node_worker(self, node: str) -> Generator:
+    def _node_worker(self, node: str, slot: int = 0) -> Generator:
         """One task slot: repeatedly serve whichever job the policy picks.
 
         Exits when the node dies or no job has map work left; a later
         submit respawns workers via :meth:`_ensure_workers`.
         """
+        # Stagger this worker's first poll by a sub-millisecond seeded
+        # offset (the JobTracker's heartbeat skew): all slots otherwise
+        # boot and nap at exactly the same instants, so which node claims
+        # a contended task would be decided by event insertion order —
+        # flagged by the tie-shuffle race sanitizer.
+        yield self.sim.timeout(
+            self.rng.spawn(f"worker.{node}.{slot}").uniform(0.0, 1e-3)
+        )
         try:
             while True:
                 if not self.hdfs.namenode.nodes[node].alive:
@@ -415,16 +436,27 @@ class MapReduceSim:
         finally:
             self._workers_alive[node] -= 1
 
-    def _attempt_factor(self, node: str) -> float:
+    def _attempt_factor(self, node: str, task_id: str, attempt: int) -> float:
         factor = self.node_speed[node]
-        if self.straggler_prob > 0 and self.rng.uniform() < self.straggler_prob:
-            factor *= self.straggler_factor
+        if self.straggler_prob > 0:
+            # Draw from a per-(task, attempt) substream, not the shared job
+            # stream: slot workers reach this line in scheduling order, and
+            # a shared draw sequence would make task durations depend on
+            # same-timestamp wake-up ordering (found by the tie-shuffle race
+            # sanitizer).  Keying by attempt index rather than node keeps the
+            # straggler pattern invariant under placement shifts, so
+            # speculation on/off comparisons stay paired.
+            draw = self.rng.spawn(f"straggler.{task_id}#a{attempt}").uniform()
+            if draw < self.straggler_prob:
+                factor *= self.straggler_factor
         return factor
 
     def _run_map_attempt(
         self, state: _JobState, task: _MapTask, node: str, locality: str, speculative: bool
     ) -> Generator:
         start = self.sim.now
+        attempt_index = task.attempts
+        task.attempts += 1
         state.attempts += 1
         state.active_attempts += 1
         if speculative:
@@ -435,7 +467,9 @@ class MapReduceSim:
         # 1. read the input block (locality decides disk-only vs network).
         yield self.sim.process(self.hdfs.read_block(task.block, node))
         # 2. compute.
-        cpu = task.block.size * state.spec.map_cpu_per_byte * self._attempt_factor(node)
+        cpu = task.block.size * state.spec.map_cpu_per_byte * self._attempt_factor(
+            node, task.task_id, attempt_index
+        )
         if cpu > 0:
             yield self.sim.timeout(cpu)
         # 3. spill intermediate output to the local disk.
@@ -531,7 +565,9 @@ class MapReduceSim:
         if shuffled > 0:
             yield self.sim.timeout(shuffled / self.sort_rate)
         # 3. reduce compute.
-        cpu = shuffled * spec.reduce_cpu_per_byte * self._attempt_factor(node)
+        cpu = shuffled * spec.reduce_cpu_per_byte * self._attempt_factor(
+            node, f"{spec.name}.r{index:04d}", 0
+        )
         if cpu > 0:
             yield self.sim.timeout(cpu)
         # 4. write output to HDFS.

@@ -44,12 +44,33 @@ class Simulator:
 
     def __init__(self, seed: Optional[int] = 0, start: float = 0.0):
         self._now = float(start)
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.random = RandomSource(seed)
         #: Arbitrary per-simulation scratch space for components to share.
         self.context: dict[str, Any] = {}
+        #: Observers called as ``hook(when, priority, seq, event)`` for every
+        #: event the loop processes (the determinism sanitizer's tap).
+        self.trace_hooks: list[Callable[[float, int, int, Event], None]] = []
+        # Optional race-detector mode: a seeded stream that randomises the
+        # tie-break among same-(time, priority) events (see
+        # ``enable_tie_shuffle``); ``None`` means strict insertion order.
+        self._tie_rng: Optional[RandomSource] = None
+
+    def enable_tie_shuffle(self, rng: RandomSource) -> None:
+        """Randomise ordering among same-``(time, priority)`` events.
+
+        Normally simultaneous events process in insertion order (the
+        sequence number), which makes accidental order dependencies
+        invisible.  With a tie-shuffle stream installed, each scheduled
+        event gets a random tie-break drawn from ``rng`` *between*
+        priority and sequence number — any behaviour that survives only
+        because of insertion order now diverges, which is exactly what
+        :mod:`repro.analysis.sanitize` looks for.  The stream must be
+        independent of ``self.random`` so component draws are unaffected.
+        """
+        self._tie_rng = rng
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -97,7 +118,8 @@ class Simulator:
         if delay < 0:
             raise SimkitError(f"cannot schedule event in the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        tie = int(self._tie_rng.generator.integers(0, 2**31)) if self._tie_rng else 0
+        heapq.heappush(self._heap, (self._now + delay, priority, tie, self._seq, event))
 
     # -- execution ---------------------------------------------------------------
     @property
@@ -119,8 +141,10 @@ class Simulator:
         """
         if not self._heap:
             raise SimkitError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, prio, _tie, seq, event = heapq.heappop(self._heap)
         self._now = when
+        for hook in self.trace_hooks:
+            hook(when, prio, seq, event)
         event._process()
         if event.failed and not event.defused:
             raise event._exception  # type: ignore[misc]

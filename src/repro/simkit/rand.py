@@ -10,6 +10,7 @@ run-to-run comparability of benchmark configurations.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Sequence
 
 import numpy as np
@@ -31,11 +32,16 @@ class RandomSource:
         """
         if name not in self._children:
             # Derive the child from (parent entropy, stable hash of name) so
-            # that creation order does not matter.
-            digest = np.frombuffer(name.encode("utf-8").ljust(8, b"\0")[:8], dtype=np.uint64)
+            # that creation order does not matter.  The hash must cover the
+            # FULL name: truncating to a prefix collapses every name sharing
+            # its first bytes (e.g. "straggler.m0001@a" / "straggler.m0002@b")
+            # onto one substream, silently correlating draws that the model
+            # treats as independent.
+            digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
             child_seq = np.random.SeedSequence(
                 entropy=self.seed_sequence.entropy,
-                spawn_key=self.seed_sequence.spawn_key + (int(digest[0]) % (2**63),),
+                spawn_key=self.seed_sequence.spawn_key
+                + (int.from_bytes(digest, "big") % (2**63),),
             )
             self._children[name] = RandomSource(_seq=child_seq)
         return self._children[name]

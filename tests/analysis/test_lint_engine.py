@@ -1,0 +1,176 @@
+"""Engine behaviour: pragmas, baselines, path handling, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, Linter
+from repro.analysis.baseline import fingerprint
+from repro.analysis.lint import main as lint_main
+
+VIOLATION = "import time\nstart = time.time()\n"
+
+
+def _findings(source, relpath="repro/example.py"):
+    return Linter().lint_source(source, relpath)
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self):
+        src = "import time\nstart = time.time()  # lint: disable=wall-clock\n"
+        assert _findings(src) == []
+
+    def test_pragma_by_rule_id(self):
+        src = "import time\nstart = time.time()  # lint: disable=REP001\n"
+        assert _findings(src) == []
+
+    def test_pragma_all_token(self):
+        src = "import time\nstart = time.time()  # lint: disable=all\n"
+        assert _findings(src) == []
+
+    def test_comment_line_above_covers_next_line(self):
+        src = (
+            "import time\n"
+            "# lint: disable=wall-clock\n"
+            "start = time.time()\n"
+        )
+        assert _findings(src) == []
+
+    def test_justification_after_dashes_ignored(self):
+        src = (
+            "import time\n"
+            "# lint: disable=wall-clock -- real-director path, never simulated\n"
+            "start = time.time()\n"
+        )
+        assert _findings(src) == []
+
+    def test_block_comment_pragma_skips_its_own_comment_lines(self):
+        src = (
+            "import time\n"
+            "# lint: disable=wall-clock -- measures actual external\n"
+            "# workflow runtime on the real-director path.\n"
+            "start = time.time()\n"
+        )
+        assert _findings(src) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        src = "import time\nstart = time.time()  # lint: disable=set-iteration\n"
+        assert [f.rule for f in _findings(src)] == ["wall-clock"]
+
+    def test_multiple_rules_one_pragma(self):
+        src = (
+            "import time\n"
+            "import numpy as np\n"
+            "# lint: disable=wall-clock, raw-numpy-rng\n"
+            "x = np.random.default_rng(int(time.time()))\n"
+        )
+        assert _findings(src) == []
+
+    def test_pragma_does_not_leak_to_other_lines(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # lint: disable=wall-clock\n"
+            "b = time.time()\n"
+        )
+        found = _findings(src)
+        assert [f.line for f in found] == [3]
+
+
+class TestBaseline:
+    def test_fingerprint_is_line_number_free(self):
+        (before,) = _findings(VIOLATION)
+        (after,) = _findings("import time\n\n\n\nstart = time.time()\n")
+        assert before.line != after.line
+        assert fingerprint(before) == fingerprint(after)
+
+    def test_apply_marks_baselined(self):
+        findings = _findings(VIOLATION)
+        baseline = Baseline.from_findings(findings)
+        applied = baseline.apply(findings)
+        assert all(f.baselined for f in applied)
+
+    def test_new_finding_not_baselined(self):
+        baseline = Baseline.from_findings(_findings(VIOLATION))
+        src = VIOLATION + "import random\n"
+        applied = baseline.apply(_findings(src))
+        by_rule = {f.rule: f.baselined for f in applied}
+        assert by_rule == {"wall-clock": True, "stdlib-random": False}
+
+    def test_repeated_identical_lines_tracked_by_occurrence(self):
+        src = "import time\na = time.time()\nb = time.time()\n"
+        two = _findings(src)
+        baseline = Baseline.from_findings(two[:1])
+        applied = baseline.apply(two)
+        assert [f.baselined for f in applied] == [True, False]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(_findings(VIOLATION)).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert all(f.baselined for f in loaded.apply(_findings(VIOLATION)))
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        loaded = Baseline.load(tmp_path / "nope.json")
+        assert len(loaded) == 0
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"format": 99, "findings": []}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestPaths:
+    def test_relpath_normalised_to_repro_package(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "sub"
+        target.mkdir(parents=True)
+        (target / "mod.py").write_text(VIOLATION)
+        (finding,) = Linter().lint_paths([tmp_path])
+        assert finding.path == "repro/sub/mod.py"
+
+    def test_syntax_error_reported_as_parse_error(self, tmp_path):
+        bad = tmp_path / "repro"
+        bad.mkdir()
+        (bad / "broken.py").write_text("def broken(:\n")
+        (finding,) = Linter().lint_paths([bad])
+        assert finding.rule_id == "REP000"
+        assert finding.severity == "error"
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "ok.py").write_text("'''Fine.'''\nVALUE = 1\n")
+        assert lint_main([str(pkg), "--no-baseline"]) == 0
+
+    def test_violation_exits_one_and_names_rule(self, tmp_path, capsys):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(VIOLATION)
+        assert lint_main([str(pkg), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out and "REP001" in out
+
+    def test_baselined_findings_exit_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(VIOLATION)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            [str(pkg), "--write-baseline", "--baseline", str(baseline)]
+        ) == 0
+        assert lint_main([str(pkg), "--baseline", str(baseline)]) == 0
+
+    def test_json_format_is_parseable(self, tmp_path, capsys):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(VIOLATION)
+        lint_main([str(pkg), "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+        assert payload["findings"][0]["rule_id"] == "REP001"
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "absent")]) == 2

@@ -1,0 +1,204 @@
+"""Per-rule lint tests: one violating and one clean snippet per rule."""
+
+import pytest
+
+from repro.analysis import Linter
+
+
+def _findings(source, relpath="repro/example.py"):
+    return Linter().lint_source(source, relpath)
+
+
+def _rules(source, relpath="repro/example.py"):
+    return sorted({f.rule for f in _findings(source, relpath)})
+
+
+class TestWallClock:
+    def test_flags_time_time(self):
+        src = "import time\nstart = time.time()\n"
+        assert _rules(src) == ["wall-clock"]
+
+    def test_flags_aliased_import(self):
+        src = "import time as t\nstart = t.monotonic()\n"
+        assert _rules(src) == ["wall-clock"]
+
+    def test_flags_from_import(self):
+        src = "from time import perf_counter\nstart = perf_counter()\n"
+        assert _rules(src) == ["wall-clock"]
+
+    def test_flags_datetime_now(self):
+        src = "from datetime import datetime\nstamp = datetime.now()\n"
+        assert _rules(src) == ["wall-clock"]
+
+    def test_clean_sim_clock(self):
+        src = "def proc(sim):\n    now = sim.now\n    yield sim.timeout(1.0)\n"
+        assert _rules(src) == []
+
+    def test_unrelated_time_method_clean(self):
+        # A .time() method on an arbitrary object is not the stdlib clock.
+        src = "elapsed = stopwatch.time()\n"
+        assert _rules(src) == []
+
+
+class TestStdlibRandom:
+    def test_flags_import(self):
+        assert _rules("import random\n") == ["stdlib-random"]
+
+    def test_flags_from_import(self):
+        assert _rules("from random import choice\n") == ["stdlib-random"]
+
+    def test_exempt_in_tripwire(self):
+        assert _rules("import random\n", "repro/analysis/tripwire.py") == []
+
+    def test_clean_other_module(self):
+        assert _rules("import numpy as np\n") == []
+
+
+class TestRawNumpyRng:
+    def test_flags_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert _rules(src) == ["raw-numpy-rng"]
+
+    def test_flags_global_seed(self):
+        src = "import numpy\nnumpy.random.seed(0)\n"
+        assert _rules(src) == ["raw-numpy-rng"]
+
+    def test_flags_from_import(self):
+        src = "from numpy.random import default_rng\n"
+        assert _rules(src) == ["raw-numpy-rng"]
+
+    def test_exempt_in_simkit_rand(self):
+        src = "import numpy as np\ngen = np.random.Generator(np.random.PCG64(seq))\n"
+        assert _rules(src, "repro/simkit/rand.py") == []
+
+    def test_clean_spawned_substream(self):
+        src = "draw = sim.random.spawn('component').uniform()\n"
+        assert _rules(src) == []
+
+
+class TestSwallowedException:
+    def test_flags_blind_fallback(self):
+        src = (
+            "try:\n    risky()\nexcept Exception:\n    mode = 'off'\n"
+        )
+        assert _rules(src) == ["swallowed-exception"]
+
+    def test_flags_bare_except_pass(self):
+        src = "try:\n    risky()\nexcept:\n    pass\n"
+        assert _rules(src) == ["swallowed-exception"]
+
+    def test_clean_narrow_type(self):
+        src = "try:\n    risky()\nexcept ValueError:\n    mode = 'off'\n"
+        assert _rules(src) == []
+
+    def test_clean_when_recorded(self):
+        src = (
+            "try:\n    risky()\nexcept Exception:\n    log.count('fallback')\n"
+            "    mode = 'off'\n"
+        )
+        assert _rules(src) == []
+
+    def test_clean_when_reraised(self):
+        src = "try:\n    risky()\nexcept Exception:\n    raise\n"
+        assert _rules(src) == []
+
+
+class TestWriteOnce:
+    def test_flags_overwrite_true(self):
+        src = "backend.put(path, data, overwrite=True)\n"
+        assert _rules(src) == ["write-once-overwrite"]
+
+    def test_clean_plain_put(self):
+        src = "backend.put(path, data)\n"
+        assert _rules(src) == []
+
+    def test_clean_overwrite_false(self):
+        src = "backend.put(path, data, overwrite=False)\n"
+        assert _rules(src) == []
+
+    def test_exempt_in_tiering_backends(self):
+        src = "self.put(path, data, overwrite=True)\n"
+        assert _rules(src, "repro/adal/backends/tiered.py") == []
+
+
+class TestUnguardedBackendIo:
+    def test_flags_direct_call_on_hot_path(self):
+        src = "data = self.backend.get(path)\n"
+        assert _rules(src, "repro/ingest/transfer.py") == ["unguarded-backend-io"]
+
+    def test_clean_inside_retry_thunk(self):
+        src = "data = policy.call(lambda: self.backend.get(path))\n"
+        assert _rules(src, "repro/ingest/transfer.py") == []
+
+    def test_out_of_scope_module_clean(self):
+        src = "data = self.backend.get(path)\n"
+        assert _rules(src, "repro/durability/scrubber.py") == []
+
+    def test_non_backend_receiver_clean(self):
+        src = "item = self.queue.get()\n"
+        assert _rules(src, "repro/ingest/transfer.py") == []
+
+
+class TestYieldRawValue:
+    def test_flags_numeric_yield(self):
+        src = "def proc(sim):\n    yield 3.5\n"
+        assert _rules(src) == ["yield-raw-value"]
+
+    def test_flags_negative_constant(self):
+        src = "def proc(sim):\n    yield -1\n"
+        assert _rules(src) == ["yield-raw-value"]
+
+    def test_clean_event_yield(self):
+        src = "def proc(sim):\n    yield sim.timeout(3.5)\n"
+        assert _rules(src) == []
+
+    def test_clean_generator_of_numbers(self):
+        # Yielding a variable is fine — only literal numbers are the classic
+        # `yield delay-instead-of-timeout` typo the rule targets.
+        src = "def gen(values):\n    for v in values:\n        yield v\n"
+        assert _rules(src) == []
+
+
+class TestSetIteration:
+    def test_flags_for_over_set_literal(self):
+        src = "for node in {'a', 'b'}:\n    visit(node)\n"
+        assert _rules(src) == ["set-iteration"]
+
+    def test_flags_list_of_set_call(self):
+        src = "order = list(set(names))\n"
+        assert _rules(src) == ["set-iteration"]
+
+    def test_flags_comprehension_over_setcomp(self):
+        src = "out = [f(x) for x in {g(y) for y in ys}]\n"
+        assert _rules(src) == ["set-iteration"]
+
+    def test_clean_sorted_set(self):
+        src = "for node in sorted({'a', 'b'}):\n    visit(node)\n"
+        assert _rules(src) == []
+
+    def test_membership_test_clean(self):
+        src = "ok = name in {'a', 'b'}\n"
+        assert _rules(src) == []
+
+
+class TestRegistry:
+    def test_all_rules_have_unique_ids(self):
+        from repro.analysis import all_rules
+
+        rules = all_rules()
+        assert len(rules) >= 8
+        assert len({r.id for r in rules}) == len(rules)
+        assert len({r.name for r in rules}) == len(rules)
+
+    def test_get_rule_by_name_and_id(self):
+        from repro.analysis import get_rule
+
+        assert get_rule("wall-clock") is get_rule("REP001")
+        assert get_rule("no-such-rule") is None
+
+    def test_findings_carry_location_and_snippet(self):
+        src = "import time\nstart = time.time()\n"
+        (finding,) = _findings(src)
+        assert finding.line == 2
+        assert finding.location == "repro/example.py:2:8"
+        assert "time.time()" in finding.snippet

@@ -1,0 +1,185 @@
+"""Runtime sanitizer tests: trace diffing, planted bugs, tie-shuffle races.
+
+These drive the checkers with small hand-built simulations (fast), not
+full facility scenarios — CI runs the real ``tiny`` scenario end-to-end.
+"""
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import check_determinism, check_races
+from repro.analysis.scenarios import SCENARIOS, get_scenario
+from repro.analysis.trace import TraceRecorder, first_divergence
+from repro.analysis.tripwire import UnseededRandomnessError, rng_tripwire
+from repro.simkit.core import Simulator
+from repro.simkit.rand import RandomSource
+
+
+def _sim_with_trace(seed, tie_seed):
+    sim = Simulator(seed=seed)
+    recorder = TraceRecorder().install(sim)
+    if tie_seed is not None:
+        sim.enable_tie_shuffle(RandomSource(tie_seed).spawn("tie-shuffle"))
+    return sim, recorder
+
+
+def _clean_run(seed, tie_seed):
+    """A well-behaved scenario: seeded draws only, reorder-tolerant state."""
+    sim, recorder = _sim_with_trace(seed, tie_seed)
+    done = []
+
+    def worker(name):
+        for _ in range(3):
+            yield sim.timeout(sim.random.spawn(f"svc.{name}").exponential(1.0))
+        done.append(name)
+
+    for name in ("a", "b", "c"):
+        sim.process(worker(name), name=f"worker:{name}")
+    sim.run()
+    return recorder, {"done": sorted(done)}
+
+
+def _wall_clock_run(seed, tie_seed):
+    """Planted bug: a delay derived from the host clock."""
+    sim, recorder = _sim_with_trace(seed, tie_seed)
+
+    def proc():
+        yield sim.timeout(0.1 + (time.perf_counter() * 1e6) % 1.0)
+
+    sim.process(proc(), name="drifting")
+    sim.run()
+    return recorder, {"t": sim.now}
+
+
+def _unseeded_rng_run(seed, tie_seed):
+    """Planted bug: draws from numpy's process-global RNG."""
+    sim, recorder = _sim_with_trace(seed, tie_seed)
+
+    def proc():
+        yield sim.timeout(np.random.default_rng().uniform(0.1, 1.0))
+
+    sim.process(proc(), name="unseeded")
+    sim.run()
+    return recorder, {"t": sim.now}
+
+
+def _racy_run(seed, tie_seed, tolerant=False):
+    """Planted race: all workers wake at t=1.0 and the arrival order is
+    the outcome — unless ``tolerant``, which sorts before reporting."""
+    sim, recorder = _sim_with_trace(seed, tie_seed)
+    order = []
+
+    def claim(name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        sim.process(claim(name), name=f"claim:{name}")
+    sim.run()
+    state = {"order": sorted(order) if tolerant else list(order)}
+    return recorder, state
+
+
+TIE_SEED = 13  # verified to actually permute the t=1.0 group
+
+
+class TestDeterminism:
+    def test_clean_run_passes(self):
+        report = check_determinism(_clean_run, seed=3)
+        assert report.identical
+        assert report.events > 0
+        assert report.divergence_index is None
+
+    def test_traces_byte_identical_across_seeded_runs(self):
+        trace_a, _ = _clean_run(3, None)
+        trace_b, _ = _clean_run(3, None)
+        assert trace_a.digest() == trace_b.digest()
+        assert first_divergence(trace_a, trace_b) is None
+
+    def test_planted_wall_clock_bug_caught(self):
+        report = check_determinism(_wall_clock_run, seed=3, tripwire=False)
+        assert not report.identical
+        assert report.divergence_index is not None
+        assert report.divergence is not None
+
+    def test_planted_unseeded_rng_trips(self):
+        with pytest.raises(UnseededRandomnessError, match="default_rng"):
+            check_determinism(_unseeded_rng_run, seed=3)
+
+    def test_tripwire_can_be_disabled(self):
+        # Without the tripwire the unseeded draw runs — and the double-run
+        # diff still catches the nondeterminism it injects.
+        report = check_determinism(_unseeded_rng_run, seed=3, tripwire=False)
+        assert not report.identical
+
+
+class TestTripwire:
+    def test_blocks_stdlib_random(self):
+        with rng_tripwire():
+            with pytest.raises(UnseededRandomnessError, match="random.random"):
+                random.random()
+
+    def test_blocks_numpy_global(self):
+        with rng_tripwire():
+            with pytest.raises(UnseededRandomnessError):
+                np.random.uniform()
+
+    def test_restores_on_exit(self):
+        before = random.random
+        with rng_tripwire():
+            pass
+        assert random.random is before
+        assert 0.0 <= random.random() < 1.0
+
+    def test_seeded_sources_unaffected(self):
+        with rng_tripwire():
+            value = RandomSource(5).spawn("component").uniform()
+        assert 0.0 <= value < 1.0
+
+
+class TestRaces:
+    def test_reorder_tolerant_scenario_passes(self):
+        report = check_races(
+            lambda s, t: _racy_run(s, t, tolerant=True),
+            seed=3, tie_seed=TIE_SEED,
+        )
+        assert report.ok
+        assert report.outcome_matches
+        assert report.reordered_groups > 0
+        assert report.order_dependent == []
+
+    def test_planted_order_dependence_caught(self):
+        report = check_races(_racy_run, seed=3, tie_seed=TIE_SEED)
+        assert not report.ok
+        assert not report.outcome_matches
+        assert report.violations
+
+    def test_allowed_patterns_accept_known_races(self):
+        report = check_races(
+            _racy_run, seed=3, tie_seed=TIE_SEED,
+            allowed=("*claim:*", "Timeout*"),
+        )
+        assert report.ok
+        assert report.order_dependent  # still reported, just accepted
+        assert not report.violations
+
+    def test_clean_run_unaffected_by_shuffle(self):
+        report = check_races(_clean_run, seed=3, tie_seed=TIE_SEED)
+        assert report.ok
+        assert report.outcome_matches
+
+
+class TestScenarios:
+    def test_registry_has_tiny_and_standard(self):
+        assert {"tiny", "standard"} <= set(SCENARIOS)
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(KeyError, match="tiny"):
+            get_scenario("nope")
+
+    def test_tiny_scenario_builds_a_facility(self):
+        facility = get_scenario("tiny").build(seed=0)
+        assert facility.sim.now == 0.0

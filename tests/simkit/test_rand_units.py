@@ -34,6 +34,23 @@ class TestRandomSource:
         root = RandomSource(0)
         assert root.spawn("a").uniform() != root.spawn("b").uniform()
 
+    def test_spawn_prefix_sharing_names_not_correlated(self):
+        # Regression: the substream key once hashed only the first 8 bytes
+        # of the name, collapsing every "straggler.*" (etc.) substream onto
+        # one stream and silently correlating draws the model treats as
+        # independent.
+        root = RandomSource(7)
+        draws = {
+            root.spawn(f"straggler.m{i:04d}@node-{i % 3}").uniform()
+            for i in range(16)
+        }
+        assert len(draws) == 16
+
+    def test_spawn_depends_on_parent_seed(self):
+        a = RandomSource(5).spawn("component.substream")
+        b = RandomSource(11).spawn("component.substream")
+        assert a.uniform() != b.uniform()
+
     def test_exponential_mean(self):
         rng = RandomSource(3)
         samples = [rng.exponential(10.0) for _ in range(4000)]
