@@ -1,0 +1,107 @@
+"""E15 — the telemetry spine is (nearly) free.
+
+PR 4 re-routes every subsystem's counters through the facility-wide
+:class:`~repro.telemetry.MetricsRegistry` and event bus.  E15 proves the
+refactor did not tax the hot path: the E1 microscopy ingest runs twice —
+telemetry enabled (the default) and disabled (``telemetry_enabled=False``,
+all recording no-ops) — and the enabled run must cost **under 5 %** extra.
+
+Wall-clock on shared CI machines is far noisier than a 5 % bound (load
+swings of +/-20 % are routine), so the asserted overhead metric is the
+*interpreter work* ratio — total function calls executed, measured with
+:mod:`cProfile` — which is deterministic for the seeded simulation.
+Wall-clock is still measured and reported, with only a loose sanity bound.
+The two runs must also produce byte-identical simulated outcomes: the
+spine observes the simulation, it never perturbs it.
+
+``LSDF_BENCH_TINY=1`` shrinks the horizon for CI smoke runs.
+"""
+
+import cProfile
+import dataclasses
+import os
+import pstats
+import time
+
+from repro.core import Facility
+from repro.core.config import lsdf_2011_config
+from repro.simkit.units import HOUR, fmt_duration
+from repro.workloads import zebrafish_microscopes
+
+_TINY = os.environ.get("LSDF_BENCH_TINY", "") not in ("", "0")
+_SIM_HOURS = 0.5 if _TINY else 2.0
+_INSTRUMENTS = 2 if _TINY else 4
+_MAX_OVERHEAD = 0.05
+#: Wall-clock sanity backstop only — see the module docstring.
+_MAX_WALL_OVERHEAD = 0.50
+
+
+def _run(enabled: bool, profiler: cProfile.Profile = None):
+    cfg = dataclasses.replace(lsdf_2011_config(), telemetry_enabled=enabled)
+    facility = Facility(cfg, seed=11)
+    pipeline = facility.ingest_pipeline(
+        zebrafish_microscopes(instruments=_INSTRUMENTS))
+    started = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
+    rep = pipeline.run(duration=_SIM_HOURS * HOUR)
+    if profiler is not None:
+        profiler.disable()
+    return time.perf_counter() - started, facility, rep
+
+
+def _calls(profiler: cProfile.Profile) -> int:
+    return sum(v[0] for v in pstats.Stats(profiler).stats.values())
+
+
+def _measure():
+    # Warm-up pass (flushes lazy imports out of the profiled region) doubles
+    # as the wall-clock sample and supplies the facilities for assertions.
+    wall_on, fac_on, rep_on = _run(True)
+    wall_off, fac_off, rep_off = _run(False)
+    prof_on, prof_off = cProfile.Profile(), cProfile.Profile()
+    _run(True, prof_on)
+    _run(False, prof_off)
+    return (wall_on, fac_on, rep_on), (wall_off, fac_off, rep_off), \
+        _calls(prof_on), _calls(prof_off)
+
+
+def test_e15_telemetry_overhead_under_5_percent(benchmark, report):
+    ((wall_on, fac_on, rep_on), (wall_off, fac_off, rep_off),
+     calls_on, calls_off) = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    overhead = calls_on / calls_off - 1.0
+    wall_overhead = wall_on / wall_off - 1.0
+    frames_metric = fac_on.telemetry.registry.total("ingest.frames_total")
+    report(
+        "E15", "telemetry spine overhead on the E1 ingest path (on vs off)",
+        [
+            ("frames acquired", "identical runs",
+             f"{rep_on.frames_acquired:,} vs {rep_off.frames_acquired:,}"),
+            ("interpreter calls", "-",
+             f"{calls_on:,} vs {calls_off:,}"),
+            ("work overhead (calls)", f"< {_MAX_OVERHEAD:.0%}",
+             f"{overhead:+.2%}"),
+            ("wall-clock", "informational",
+             f"{fmt_duration(wall_on)} vs {fmt_duration(wall_off)} "
+             f"({wall_overhead:+.1%})"),
+            ("metrics registered", "> 0 only when on",
+             f"{len(fac_on.telemetry.registry.names())} vs "
+             f"{len(fac_off.telemetry.registry.names())}"),
+        ],
+    )
+    # The spine observes, it never perturbs: identical simulated outcomes.
+    # (Registry-derived report fields read 0 in the off arm by design, so
+    # compare live facility state, not recorded stats.)
+    assert rep_on.frames_acquired == rep_off.frames_acquired
+    assert len(fac_on.metadata) == len(fac_off.metadata)
+    assert fac_on.pool.used == fac_off.pool.used
+    assert fac_on.sim.now == fac_off.sim.now
+    # The enabled run actually recorded the workload...
+    assert frames_metric == rep_on.frames_ingested == rep_on.frames_acquired
+    # ...the disabled run recorded nothing (instruments exist, stay zero).
+    assert fac_off.telemetry.registry.total("ingest.frames_total") == 0.0
+    assert fac_off.telemetry.bus.published == 0
+    # And the whole spine costs under 5 % of the hot path's work.
+    assert overhead < _MAX_OVERHEAD, (
+        f"telemetry work overhead {overhead:+.2%} exceeds {_MAX_OVERHEAD:.0%}")
+    assert wall_overhead < _MAX_WALL_OVERHEAD

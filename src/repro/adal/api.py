@@ -166,6 +166,10 @@ class AdalClient:
         is accounting-only) and only surface once the policy is exhausted.
     retry_rng:
         Seeded random stream for retry jitter accounting (optional).
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryHub` to publish counters
+        on (the facility passes its own); standalone clients fall back to a
+        private unclocked hub so the API works without a simulator.
     """
 
     def __init__(
@@ -176,6 +180,7 @@ class AdalClient:
         authorizer: Optional[AclAuthorizer] = None,
         retry_policy: Optional[RetryPolicy] = None,
         retry_rng: Optional[RandomSource] = None,
+        telemetry=None,
     ):
         from repro.adal.auth import AnonymousAuth  # avoid import cycle at module load
 
@@ -185,8 +190,19 @@ class AdalClient:
         self.auth = AuthContext(principal=principal, authorizer=authorizer)
         self.retry_policy = retry_policy
         self._retry_rng = retry_rng
-        #: Transient-fault retries performed on behalf of callers.
-        self.retries = 0
+        if telemetry is None:
+            from repro.telemetry.hub import TelemetryHub
+
+            telemetry = TelemetryHub()
+        self.telemetry = telemetry
+        self._retries = telemetry.registry.counter(
+            "adal.retries_total",
+            "Transient-fault retries performed on behalf of callers")
+
+    @property
+    def retries(self) -> int:
+        """Transient-fault retries performed on behalf of callers."""
+        return int(self._retries.value)
 
     # -- helpers ------------------------------------------------------------
     def _split(self, url: str) -> tuple[StorageBackend, AdalUrl]:
@@ -199,7 +215,7 @@ class AdalClient:
             return fn()
 
         def note(_attempt: int, _exc: BaseException, _backoff: float) -> None:
-            self.retries += 1
+            self._retries.add(1)
 
         return self.retry_policy.run_sync(
             fn, retry_on=(BackendUnavailableError,), rng=self._retry_rng,

@@ -18,6 +18,7 @@ with ``@register``.  See :doc:`docs/static_analysis.md` for the workflow.
 from __future__ import annotations
 
 import ast
+import re
 from fnmatch import fnmatch
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
@@ -491,6 +492,88 @@ class SetIterationRule(Rule):
                         "iteration over a set expression has hash-dependent "
                         "order — wrap in sorted(...)",
                     )
+
+
+# ---------------------------------------------------------------------------
+# REP009 — ad-hoc-counter
+# ---------------------------------------------------------------------------
+
+_MONITOR_INSTRUMENTS = {
+    "repro.simkit.monitor.Counter",
+    "repro.simkit.monitor.Tally",
+}
+
+_COUNTERISH_NAME = re.compile(r"(stats|counts?|counters?|metrics|totals?)($|_)")
+
+
+@register
+class AdHocCounterRule(Rule):
+    """Every subsystem statistic belongs on the telemetry spine
+    (:mod:`repro.telemetry`) under a stable metric name — not in a private
+    mutable dict, a ``collections.Counter`` field, or a raw
+    ``simkit.monitor`` instrument that reports and CLI views cannot
+    discover.  Time-weighted series (``TimeWeighted``) stay monitor
+    primitives by design (the registry has no time-weighted kind) and are
+    deliberately not flagged."""
+
+    id = "REP009"
+    name = "ad-hoc-counter"
+    description = ("no ad-hoc stats fields (mutable counter dicts, "
+                   "collections.Counter, raw monitor Counter/Tally) outside "
+                   "repro.telemetry — register on the MetricsRegistry")
+    exempt = (
+        # The spine itself and the primitives it wraps.
+        "repro/telemetry/*",
+        "repro/simkit/*",
+        # Per-spindle queueing internals of the fluid disk model: local to
+        # one device process, never read by reports.
+        "repro/storage/ps.py",
+    )
+
+    def _attr_name(self, target: ast.AST) -> Optional[str]:
+        """The attribute name of a ``self.<name>`` assignment target."""
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return target.attr
+        return None
+
+    def check(self, module: "SourceModule") -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            names = [n for n in map(self._attr_name, targets) if n is not None]
+            if not names:
+                continue
+            label = ", ".join(f"self.{n}" for n in names)
+            if isinstance(value, ast.Call):
+                resolved = module.imports.resolve(value.func) or ""
+                if resolved in ("collections.Counter", "collections.defaultdict"):
+                    yield self.finding(
+                        module, node,
+                        f"{label} is a {resolved.split('.')[-1]} stats field — "
+                        "register a labelled counter on the MetricsRegistry "
+                        "instead",
+                    )
+                elif resolved in _MONITOR_INSTRUMENTS:
+                    yield self.finding(
+                        module, node,
+                        f"{label} instantiates a raw monitor "
+                        f"{resolved.rsplit('.', 1)[-1]} — migrate to "
+                        "registry.counter()/summary() so reports and the CLI "
+                        "can discover it",
+                    )
+            if (isinstance(value, ast.Dict)
+                    and any(_COUNTERISH_NAME.search(n) for n in names)):
+                yield self.finding(
+                    module, node,
+                    f"{label} looks like a mutable counter dict — register "
+                    "labelled instruments on the MetricsRegistry instead",
+                )
 
 
 def catalogue() -> list[dict]:

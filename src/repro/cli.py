@@ -137,6 +137,60 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_facility(args: argparse.Namespace):
+    """A facility after the standard observable scenario: optional zebrafish
+    ingest plus (``--drill``) one of the bundled chaos drills."""
+    from repro.core import Facility
+    from repro.workloads import zebrafish_microscopes
+
+    facility = Facility(seed=args.seed)
+    drill = getattr(args, "drill", "none")
+    if drill == "resilience":
+        facility.resilience_drill().run(facility)
+    elif drill == "durability":
+        facility.durability_drill().run(facility)
+        facility.durability.scrubber.start()
+    if args.hours > 0:
+        pipeline = facility.ingest_pipeline(zebrafish_microscopes(instruments=4))
+        pipeline.run(duration=args.hours * units.HOUR)
+    return facility
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import to_json, to_prometheus
+
+    facility = _scenario_facility(args)
+    hub = facility.telemetry
+    if args.format == "json":
+        print(json.dumps(to_json(hub), indent=2, sort_keys=True))
+    else:
+        print(to_prometheus(hub.registry))
+    missing = [name for name in args.require if not hub.registry.has(name)]
+    if missing:
+        print(f"missing required metrics: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    facility = _scenario_facility(args)
+    bus = facility.telemetry.bus
+    for event in bus.tail(args.tail, kind=args.kind):
+        detail = " ".join(f"{k}={v}" for k, v in sorted(event.data.items())
+                          if v is not None)
+        print(f"t={event.time:>10.1f}  {event.severity:<7s} "
+              f"{event.kind:<26s} {event.subject}"
+              + (f"  {detail}" if detail else ""))
+    counts = bus.counts()
+    summary = ", ".join(f"{kind} x{count}" for kind, count in counts.items())
+    print(f"-- {bus.published} event(s) published"
+          + (f": {summary}" if summary else ""))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -183,6 +237,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated hours of zebrafish ingest first")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("metrics", help="dump the telemetry registry "
+                                       "(Prometheus text or JSON)")
+    p.add_argument("--hours", type=float, default=0.25,
+                   help="simulated hours of zebrafish ingest first")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--drill", choices=("none", "resilience", "durability"),
+                   default="none", help="run a bundled chaos drill first")
+    p.add_argument("--require", action="append", default=[],
+                   metavar="METRIC",
+                   help="exit non-zero unless this metric name is registered "
+                        "(repeatable; used by the CI smoke step)")
+    p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser("events", help="tail the facility event bus")
+    p.add_argument("--hours", type=float, default=0.25,
+                   help="simulated hours of zebrafish ingest first")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tail", type=int, default=20,
+                   help="show at most this many trailing events")
+    p.add_argument("--kind", default=None,
+                   help="glob filter on the event kind, e.g. 'breaker.*'")
+    p.add_argument("--drill", choices=("none", "resilience", "durability"),
+                   default="none", help="run a bundled chaos drill first")
+    p.set_defaults(fn=_cmd_events)
 
     return parser
 

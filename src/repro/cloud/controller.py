@@ -17,7 +17,8 @@ from typing import Generator, Optional, Sequence
 
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
-from repro.simkit.monitor import Counter, Tally, TimeWeighted
+from repro.simkit.monitor import TimeWeighted
+from repro.telemetry.hub import TelemetryHub
 from repro.netsim.network import Network
 from repro.cloud.model import Host, VirtualMachine, VMState, VMTemplate
 from repro.cloud.scheduler import SCHEDULERS, Scheduler
@@ -75,11 +76,27 @@ class CloudController:
         self._vms: dict[int, VirtualMachine] = {}
         self._next_id = 0
         self._pending: list[tuple[VirtualMachine, Event]] = []
-        self.deploy_latency = Tally("cloud.deploy_latency")
-        self.queue_latency = Tally("cloud.queue_latency")
-        self.prolog_transfers = Counter("cloud.prolog_bytes")
-        self.cache_hits = Counter("cloud.cache_hits")
+        reg = TelemetryHub.for_sim(sim).registry
+        self.deploy_latency = reg.summary(
+            "cloud.deploy_latency_seconds", "Submit -> RUNNING latency",
+            unit="seconds")
+        self.queue_latency = reg.summary(
+            "cloud.queue_latency_seconds", "Submit -> placement latency",
+            unit="seconds")
+        self.prolog_transfers = reg.counter(
+            "cloud.prolog_bytes_total", "Image bytes staged to hosts",
+            unit="bytes")
+        self.cache_hits = reg.counter(
+            "cloud.cache_hits_total", "Prologs skipped via the image cache")
         self.running_vms = TimeWeighted(sim.now, 0, name="cloud.running_vms")
+        reg.gauge_fn("cloud.vms_running",
+                     lambda: float(self.running_vms.value),
+                     "VMs currently in RUNNING state")
+        reg.gauge_fn("cloud.vms_pending", lambda: float(len(self._pending)),
+                     "VMs waiting for placement")
+        reg.gauge_fn("cloud.cpu_allocated_fraction",
+                     self.pool_cpu_utilization,
+                     "Allocated CPU fraction across the host pool")
 
     # -- queries -----------------------------------------------------------
     def vm(self, vm_id: int) -> VirtualMachine:

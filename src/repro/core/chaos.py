@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.simkit.rand import RandomSource
+from repro.telemetry.events import INFO, WARNING
+from repro.telemetry.hub import TelemetryHub
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.facility import Facility
@@ -204,6 +206,7 @@ class ChaosSchedule:
             self.log.note(sim.now, f"custom action on {incident.target}")
         else:
             raise ValueError(f"cannot inject kind {incident.kind!r} directly")
+        self._publish(facility, "chaos.incident", incident, severity=WARNING)
 
     def _heal(self, facility: "Facility", incident: Incident) -> None:
         sim = facility.sim
@@ -246,6 +249,18 @@ class ChaosSchedule:
             # Validated at build time: heal_action is present.
             incident.heal_action(facility)
             self.log.note(sim.now, f"custom heal on {incident.target}")
+        self._publish(facility, "chaos.heal", incident, severity=INFO)
+
+    def _publish(self, facility: "Facility", kind: str, incident: Incident,
+                 severity: str) -> None:
+        """Mirror the freshly logged injection/heal onto the event bus."""
+        TelemetryHub.for_sim(facility.sim).bus.publish(
+            kind,
+            subject=incident.kind,
+            severity=severity,
+            target="/".join(str(t) for t in incident.target),
+            detail=self.log.entries[-1][1] if self.log.entries else "",
+        )
 
 
 @dataclass

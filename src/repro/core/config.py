@@ -97,6 +97,12 @@ class FacilityConfig:
     #: ADAL stores under durability management (scrubbed and audited).
     audit_stores: tuple[str, ...] = ("lsdf",)
 
+    # -- telemetry spine ----------------------------------------------------------------
+    #: Master switch: when False the metrics registry and event bus become
+    #: no-ops (instruments still exist, recording is skipped) — the E15
+    #: overhead benchmark's "off" arm.
+    telemetry_enabled: bool = True
+
     # -- workflow director --------------------------------------------------------------
     #: Bounded retries for failed actor firings (0 = fire once, seed behaviour).
     director_retry_attempts: int = 2

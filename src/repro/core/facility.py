@@ -40,6 +40,7 @@ from repro.ingest.microscope import MicroscopeConfig
 from repro.ingest.pipeline import IngestPipeline, IngestReport
 from repro.ingest.transfer import StorageSink
 from repro.resilience import ResilienceKit, RetryPolicy
+from repro.telemetry.hub import TelemetryHub
 from repro.workloads.zebrafish import (
     ZEBRAFISH_PROJECT,
     zebrafish_basic_schema,
@@ -77,6 +78,11 @@ class Facility:
         self.config = config or lsdf_2011_config()
         cfg = self.config
         self.sim = Simulator(seed=seed)
+        # The telemetry spine must exist before any subsystem registers an
+        # instrument: `enabled` only takes effect at hub-creation time.
+        self.telemetry = TelemetryHub.for_sim(
+            self.sim, enabled=cfg.telemetry_enabled
+        )
 
         # -- network: backbone + grafted cluster racks -----------------------
         topo, names = build_lsdf_backbone(
@@ -194,8 +200,9 @@ class Facility:
             self.adal_registry,
             retry_policy=self.resilience.policy if cfg.resilience_enabled else None,
             retry_rng=self.resilience.rng.spawn("adal"),
+            telemetry=self.telemetry,
         )
-        self.triggers = TriggerEngine(self.metadata)
+        self.triggers = TriggerEngine(self.metadata, telemetry=self.telemetry)
         self.browser = DataBrowser(self.adal, self.metadata, self.triggers,
                                    home="adal://lsdf")
         self.rules = RuleEngine(
@@ -222,6 +229,48 @@ class Facility:
         )
         if scrub_daemon:
             self.durability.scrubber.start()
+
+        # -- facility-level gauges ------------------------------------------------
+        # The glue-layer objects (metadata repository, topology) have no
+        # simulator of their own, so the composition root exposes their
+        # state on the shared registry.
+        reg = self.telemetry.registry
+        reg.gauge_fn("metadata.projects",
+                     lambda: float(self.metadata.stats()["projects"]),
+                     "Projects registered in the catalog")
+        reg.gauge_fn("metadata.datasets",
+                     lambda: float(self.metadata.stats()["datasets"]),
+                     "Dataset records in the catalog")
+        reg.gauge_fn("metadata.processing_records",
+                     lambda: float(self.metadata.stats()["processing_records"]),
+                     "Processing records in the catalog")
+        reg.gauge_fn("metadata.tags",
+                     lambda: float(self.metadata.stats()["tags"]),
+                     "Distinct tags in use")
+        reg.gauge_fn("metadata.bytes_catalogued",
+                     lambda: float(self.metadata.stats()["total_bytes"]),
+                     "Total bytes described by catalog records", unit="bytes")
+        reg.gauge_fn(
+            "net.routers_healthy",
+            lambda: float(sum(1 for r in self.names.routers
+                              if self.net.topology.node_is_up(r))),
+            "Backbone routers currently up")
+        reg.gauge_fn("net.routers_total",
+                     lambda: float(len(self.names.routers)),
+                     "Backbone routers in the topology")
+        if isinstance(self.metadata, DurableMetadataStore):
+            durable = self.metadata
+            for key, help_text in (
+                ("wal_records", "Records in the metadata WAL"),
+                ("wal_bytes", "Bytes in the metadata WAL"),
+                ("snapshots", "Metadata snapshots taken"),
+                ("crashes", "Metadata repository crashes injected"),
+                ("recoveries", "Metadata crash recoveries completed"),
+            ):
+                reg.gauge_fn(
+                    f"metadata.{key}",
+                    lambda k=key: float(durable.durability_stats()[k]),
+                    help_text)
 
     # -- high-level operations -------------------------------------------------
     def ingest_pipeline(

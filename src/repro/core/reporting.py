@@ -2,9 +2,14 @@
 
 Renders the operator's view of the facility — the numbers the LSDF team
 showed on slide 7 and would watch on a dashboard: storage fill per array,
-tape usage, network volume, HDFS health, cluster/cloud occupancy, metadata
-growth, ingest rates.  Pure formatting over live objects; used by the CLI
-(``python -m repro.cli report``) and the examples.
+tape usage, network volume, HDFS health, cloud/cluster occupancy, metadata
+growth, ingest rates.  Since the telemetry spine landed, every number here
+is a **registry view**: sections read the facility's
+:class:`~repro.telemetry.MetricsRegistry` under stable metric names rather
+than reaching into subsystem internals — the report is exactly what a
+Prometheus scrape of ``repro.cli metrics`` would show, formatted for a
+terminal.  Used by the CLI (``python -m repro.cli report``) and the
+examples.
 """
 
 from __future__ import annotations
@@ -38,161 +43,191 @@ class ReportSection:
 
 
 class FacilityReport:
-    """Snapshot report of a :class:`~repro.core.facility.Facility`."""
+    """Snapshot report of a :class:`~repro.core.facility.Facility`.
+
+    Section order is defined once, explicitly, by the sort keys below and
+    enforced with a stable sort at build time — never by the incidental
+    order of method calls, so two reports of the same facility state are
+    byte-identical.
+    """
+
+    #: ``(sort_key, builder)`` — the single source of section ordering.
+    SECTION_ORDER: tuple[tuple[int, str], ...] = (
+        (10, "_storage"),
+        (20, "_tape"),
+        (30, "_network"),
+        (40, "_hdfs"),
+        (50, "_cloud"),
+        (60, "_metadata"),
+        (70, "_resilience"),
+        (80, "_durability"),
+    )
 
     def __init__(self, facility: "Facility"):
         self.facility = facility
-        self.sections = [
-            self._storage(),
-            self._tape(),
-            self._network(),
-            self._hdfs(),
-            self._cloud(),
-            self._metadata(),
-            self._resilience(),
-            self._durability(),
-        ]
+        self.registry = facility.telemetry.registry
+        built = [(key, getattr(self, name)()) for key, name in self.SECTION_ORDER]
+        built.sort(key=lambda pair: (pair[0], pair[1].title))
+        self.sections = [section for _key, section in built]
 
     # -- sections -----------------------------------------------------------
     def _storage(self) -> ReportSection:
-        facility = self.facility
+        reg = self.registry
         section = ReportSection("storage estate")
-        for array in facility.arrays:
+        for array in self.facility.arrays:
+            used = reg.value("storage.array_used_bytes", array=array.name)
+            capacity = reg.value("storage.array_capacity_bytes", array=array.name)
+            fill = used / capacity if capacity else 0.0
             section.add(
-                f"{array.name} ({units.fmt_bytes(array.capacity)})",
-                f"{units.fmt_bytes(array.used)} used ({array.fill_fraction:.1%}), "
-                f"r/w {units.fmt_bytes(array.bytes_read.value)}/"
-                f"{units.fmt_bytes(array.bytes_written.value)}",
+                f"{array.name} ({units.fmt_bytes(capacity)})",
+                f"{units.fmt_bytes(used)} used ({fill:.1%}), "
+                f"r/w {units.fmt_bytes(reg.value('storage.array_bytes_read_total', array=array.name))}/"
+                f"{units.fmt_bytes(reg.value('storage.array_bytes_written_total', array=array.name))}",
             )
+        pool_used = reg.total("storage.pool_used_bytes")
+        pool_capacity = reg.total("storage.pool_capacity_bytes")
+        pool_fill = pool_used / pool_capacity if pool_capacity else 0.0
         section.add("pool total",
-                    f"{units.fmt_bytes(facility.pool.used)} / "
-                    f"{units.fmt_bytes(facility.pool.capacity)} "
-                    f"({facility.pool.fill_fraction:.1%}), "
-                    f"{len(facility.pool)} files")
+                    f"{units.fmt_bytes(pool_used)} / "
+                    f"{units.fmt_bytes(pool_capacity)} "
+                    f"({pool_fill:.1%}), "
+                    f"{int(reg.total('storage.pool_files'))} files")
         return section
 
     def _tape(self) -> ReportSection:
-        tape = self.facility.tape
-        hsm = self.facility.hsm
+        reg = self.registry
         section = ReportSection("tape / HSM")
-        section.add("cartridges", str(tape.cartridge_count))
+        section.add("cartridges", str(int(reg.total("tape.cartridges"))))
         section.add("archived",
-                    f"{units.fmt_bytes(tape.bytes_archived.value)} "
-                    f"({int(hsm.migrations.value)} migrations)")
+                    f"{units.fmt_bytes(reg.total('tape.bytes_archived_total'))} "
+                    f"({int(reg.value('hsm.migrations_total', direction='to_tape'))} migrations)")
         section.add("recalled",
-                    f"{units.fmt_bytes(tape.bytes_recalled.value)} "
-                    f"({int(hsm.recalls.value)} recalls)")
-        section.add("mounts", f"{int(tape.mounts.value)}")
+                    f"{units.fmt_bytes(reg.total('tape.bytes_recalled_total'))} "
+                    f"({int(reg.value('hsm.migrations_total', direction='to_disk'))} recalls)")
+        section.add("mounts", f"{int(reg.total('tape.mounts_total'))}")
         return section
 
     def _network(self) -> ReportSection:
-        net = self.facility.net
+        reg = self.registry
         section = ReportSection("network (10 GE backbone)")
-        section.add("delivered", units.fmt_bytes(net.bytes_delivered.value))
-        section.add("flows completed", f"{net.flow_durations.count}")
-        section.add("flows in flight", f"{net.flow_count}")
-        section.add("flows failed", f"{net.failed_flows}")
-        healthy = sum(1 for r in self.facility.names.routers
-                      if net.topology.node_is_up(r))
-        section.add("routers healthy", f"{healthy}/{len(self.facility.names.routers)}")
+        section.add("delivered",
+                    units.fmt_bytes(reg.value("net.bytes_delivered_total")))
+        section.add("flows completed",
+                    f"{reg.count('net.flow_duration_seconds')}")
+        section.add("flows in flight", f"{int(reg.value('net.flows_inflight'))}")
+        section.add("flows failed", f"{int(reg.value('net.flows_failed_total'))}")
+        section.add("routers healthy",
+                    f"{int(reg.value('net.routers_healthy'))}"
+                    f"/{int(reg.value('net.routers_total'))}")
         return section
 
     def _hdfs(self) -> ReportSection:
-        stats = self.facility.hdfs.stats()
-        nn = self.facility.hdfs.namenode
+        reg = self.registry
         section = ReportSection("HDFS (analysis cluster)")
-        alive = sum(1 for n in nn.nodes.values() if n.alive)
-        section.add("datanodes", f"{alive}/{len(nn.nodes)} alive")
-        section.add("files", f"{stats['files']}")
+        section.add("datanodes",
+                    f"{int(reg.value('hdfs.datanodes_alive'))}"
+                    f"/{int(reg.value('hdfs.datanodes_total'))} alive")
+        section.add("files", f"{int(reg.value('hdfs.files'))}")
         section.add("raw used",
-                    f"{units.fmt_bytes(nn.total_used)} / "
-                    f"{units.fmt_bytes(nn.total_capacity)}")
-        section.add("under-replicated blocks", f"{stats['under_replicated']}")
-        section.add("utilisation spread", f"{stats['utilization_spread']:.1%}")
+                    f"{units.fmt_bytes(reg.value('hdfs.used_bytes'))} / "
+                    f"{units.fmt_bytes(reg.value('hdfs.capacity_bytes'))}")
+        section.add("under-replicated blocks",
+                    f"{int(reg.value('hdfs.under_replicated'))}")
+        section.add("utilisation spread",
+                    f"{reg.value('hdfs.utilization_spread'):.1%}")
         return section
 
     def _cloud(self) -> ReportSection:
-        cloud = self.facility.cloud
+        reg = self.registry
         section = ReportSection("cloud (OpenNebula-style)")
-        section.add("VMs running", f"{int(cloud.running_vms.value)}")
-        section.add("VMs pending", f"{cloud.pending_count}")
-        section.add("pool CPU allocated", f"{cloud.pool_cpu_utilization():.1%}")
-        if cloud.deploy_latency.count:
+        section.add("VMs running", f"{int(reg.value('cloud.vms_running'))}")
+        section.add("VMs pending", f"{int(reg.value('cloud.vms_pending'))}")
+        section.add("pool CPU allocated",
+                    f"{reg.value('cloud.cpu_allocated_fraction'):.1%}")
+        deploy = reg.series("cloud.deploy_latency_seconds")
+        if deploy is not None and deploy.count:
             section.add("deploy latency mean",
-                        units.fmt_duration(cloud.deploy_latency.mean))
-        section.add("image-cache hits", f"{int(cloud.cache_hits.value)}")
+                        units.fmt_duration(deploy.mean))
+        section.add("image-cache hits",
+                    f"{int(reg.value('cloud.cache_hits_total'))}")
         return section
 
     def _metadata(self) -> ReportSection:
-        stats = self.facility.metadata.stats()
+        reg = self.registry
         section = ReportSection("metadata repository")
-        section.add("projects", f"{stats['projects']}")
-        section.add("datasets", f"{stats['datasets']:,}")
-        section.add("processing records", f"{stats['processing_records']:,}")
-        section.add("catalogued bytes", units.fmt_bytes(stats["total_bytes"]))
-        section.add("tags in use", f"{stats['tags']}")
+        section.add("projects", f"{int(reg.value('metadata.projects'))}")
+        section.add("datasets", f"{int(reg.value('metadata.datasets')):,}")
+        section.add("processing records",
+                    f"{int(reg.value('metadata.processing_records')):,}")
+        section.add("catalogued bytes",
+                    units.fmt_bytes(reg.value("metadata.bytes_catalogued")))
+        section.add("tags in use", f"{int(reg.value('metadata.tags'))}")
         return section
 
     def _resilience(self) -> ReportSection:
+        reg = self.registry
         kit = self.facility.resilience
         section = ReportSection("resilience")
         if not kit.enabled:
             section.add("status", "disabled")
             return section
-        stats = kit.stats()
         section.add("retries",
-                    f"{stats['retries']} (+{self.facility.adal.retries} adal)")
+                    f"{int(reg.value('resilience.retries_total'))} "
+                    f"(+{int(reg.value('adal.retries_total'))} adal)")
         section.add("failovers / timeouts",
-                    f"{stats['reroutes']} / {stats['timeouts']}")
-        transitions = kit.breakers.transitions()
+                    f"{int(reg.value('resilience.reroutes_total'))} / "
+                    f"{int(reg.value('resilience.timeouts_total'))}")
         open_now = sorted(kit.breakers.open_targets())
         section.add("breaker transitions",
-                    f"{len(transitions)} ({len(open_now)} open"
+                    f"{int(reg.value('resilience.breaker_transitions_total'))} "
+                    f"({len(open_now)} open"
                     + (f": {', '.join(open_now)}" if open_now else "") + ")")
         section.add("dead-letter queue",
-                    f"{kit.dlq.depth} frames "
-                    f"({units.fmt_bytes(kit.dlq.total_bytes)})")
+                    f"{int(reg.value('resilience.dlq_depth'))} frames "
+                    f"({units.fmt_bytes(reg.value('resilience.dlq_bytes'))})")
         section.add("recovered vs lost",
-                    f"{units.fmt_bytes(stats['recovered_bytes'])} vs "
-                    f"{units.fmt_bytes(stats['lost_bytes'])}")
+                    f"{units.fmt_bytes(reg.value('resilience.recovered_bytes_total'))} vs "
+                    f"{units.fmt_bytes(reg.value('resilience.lost_bytes_total'))}")
         return section
 
     def _durability(self) -> ReportSection:
+        reg = self.registry
         kit = self.facility.durability
-        stats = kit.stats()
         section = ReportSection("durability")
         if not kit.enabled:
             section.add("status", "disabled (detection only)")
         section.add("scrub passes",
-                    f"{stats['scrub_passes']} "
-                    f"({stats['scrub_objects']} objects, "
-                    f"{units.fmt_bytes(stats['scrub_bytes'])}, "
-                    f"coverage {stats['scrub_coverage']:.0%})")
-        mttd = stats["mean_time_to_detect"]
+                    f"{int(reg.value('scrub.passes_total'))} "
+                    f"({int(reg.value('scrub.objects_total'))} objects, "
+                    f"{units.fmt_bytes(reg.value('scrub.bytes_total'))}, "
+                    f"coverage {reg.value('scrub.coverage_ratio'):.0%})")
+        mttd = reg.series("durability.detect_latency_seconds")
         section.add("corruptions detected",
-                    f"{stats['corruptions_detected']}"
-                    f"/{stats['corruptions_injected']} injected"
-                    + (f", MTTD {units.fmt_duration(mttd)}"
-                       if mttd is not None else ""))
-        repairs = stats["repairs"]
+                    f"{int(reg.value('durability.corruptions_detected_total'))}"
+                    f"/{int(reg.value('durability.corruptions_injected_total'))} injected"
+                    + (f", MTTD {units.fmt_duration(mttd.mean)}"
+                       if mttd is not None and mttd.count else ""))
+        repairs = kit.planner.counts()
         section.add("repairs",
                     ", ".join(f"{action} x{count}"
                               for action, count in sorted(repairs.items()))
                     if repairs else "none needed")
-        section.add("unrepairable (dead-lettered)", f"{stats['unrepairable']}")
-        if stats["last_audit"] is not None:
+        section.add("unrepairable (dead-lettered)",
+                    f"{int(reg.value('durability.unrepairable_total'))}")
+        last_audit = kit.auditor.last_report
+        if last_audit is not None:
             section.add("last audit",
                         ", ".join(f"{kind}: {count}"
-                                  for kind, count in stats["last_audit"].items()))
+                                  for kind, count in last_audit.by_kind().items()))
         else:
             section.add("last audit", "never run")
-        meta = stats.get("metadata")
-        if meta is not None:
+        if reg.has("metadata.wal_records"):
             section.add("metadata WAL",
-                        f"{meta['wal_records']} records "
-                        f"({units.fmt_bytes(meta['wal_bytes'])}), "
-                        f"{meta['snapshots']} snapshots, "
-                        f"{meta['recoveries']}/{meta['crashes']} "
+                        f"{int(reg.value('metadata.wal_records'))} records "
+                        f"({units.fmt_bytes(reg.value('metadata.wal_bytes'))}), "
+                        f"{int(reg.value('metadata.snapshots'))} snapshots, "
+                        f"{int(reg.value('metadata.recoveries'))}"
+                        f"/{int(reg.value('metadata.crashes'))} "
                         "recoveries/crashes")
         return section
 

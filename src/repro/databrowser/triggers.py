@@ -76,12 +76,18 @@ class TriggerEngine:
     director:
         A real director (default :class:`DataflowDirector`) or a
         :class:`SimulatedDirector` for DES runs.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryHub`; firings are
+        counted per status and published as ``trigger.fired`` /
+        ``trigger.failed`` events.  Standalone engines get a private
+        unclocked hub.
     """
 
     def __init__(
         self,
         store: MetadataStore,
         director: Optional[DataflowDirector | SimulatedDirector] = None,
+        telemetry=None,
     ):
         self.store = store
         self.director = director or DataflowDirector()
@@ -90,6 +96,26 @@ class TriggerEngine:
         self.log: list[TriggerEvent] = []
         #: In-flight DES processes (simulated mode only).
         self.inflight: list = []
+        if telemetry is None:
+            from repro.telemetry.hub import TelemetryHub
+
+            telemetry = TelemetryHub()
+        self.telemetry = telemetry
+        telemetry.registry.gauge_fn(
+            "triggers.rules", lambda: float(len(self.rules)),
+            "Trigger rules installed")
+
+    def _record(self, event: TriggerEvent) -> None:
+        """Log one execution and mirror it onto the telemetry spine."""
+        self.log.append(event)
+        self.telemetry.registry.counter(
+            "triggers.executions_total", "Trigger-rule executions by status",
+            status=event.status).add(1)
+        ok = event.status == "success"
+        self.telemetry.bus.publish(
+            "trigger.fired" if ok else "trigger.failed",
+            subject=event.dataset_id, severity="info" if ok else "warning",
+            tag=event.tag, workflow=event.workflow, error=event.error)
 
     def register(self, rule: TriggerRule) -> None:
         """Install a trigger rule."""
@@ -126,7 +152,7 @@ class TriggerEngine:
                 results.append(self._execute(rule, record, tag))
             except Exception as exc:
                 message = f"{type(exc).__name__}: {exc}"
-                self.log.append(
+                self._record(
                     TriggerEvent(dataset_id, tag, rule.graph.name, "failed",
                                  start, tick(), error=message)
                 )
@@ -154,7 +180,7 @@ class TriggerEngine:
             trace = self.director.run(rule.graph, inputs)
         except ActorError as exc:
             trace = getattr(exc, "trace", None)
-            self.log.append(
+            self._record(
                 TriggerEvent(record.dataset_id, tag, rule.graph.name, "failed",
                              # lint: disable=wall-clock -- real-director path.
                              start, time.monotonic(), error=str(exc))
@@ -177,7 +203,7 @@ class TriggerEngine:
             # Direct store tag: done_tags do not re-enter the trigger engine
             # (prevents accidental rule loops).
             self.store.tag(record.dataset_id, rule.done_tag)
-        self.log.append(
+        self._record(
             TriggerEvent(record.dataset_id, tag, rule.graph.name, trace.status,
                          trace.started, trace.finished)
         )

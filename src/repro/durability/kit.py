@@ -24,8 +24,9 @@ from repro.durability.scrubber import IntegrityScrubber
 from repro.metadata.store import MetadataStore
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
-from repro.simkit.monitor import Counter, Tally
 from repro.simkit.rand import RandomSource
+from repro.telemetry.events import ERROR
+from repro.telemetry.hub import TelemetryHub
 
 
 class DurabilityError(Exception):
@@ -97,9 +98,30 @@ class DurabilityKit:
         )
         # -- chaos / MTTD bookkeeping ------------------------------------------
         self._corrupted_at: dict[str, float] = {}
-        self.corruptions_injected = Counter("durability.corruptions_injected")
-        self.corruptions_detected = Counter("durability.corruptions_detected")
-        self.detect_latency = Tally("durability.mttd")
+        self._hub = TelemetryHub.for_sim(sim)
+        reg = self._hub.registry
+        self.corruptions_injected = reg.counter(
+            "durability.corruptions_injected_total",
+            "Silent corruptions injected by chaos")
+        self.corruptions_detected = reg.counter(
+            "durability.corruptions_detected_total",
+            "Checksum mismatches caught by scrub/audit")
+        self.detect_latency = reg.summary(
+            "durability.detect_latency_seconds",
+            "Injection -> detection latency (MTTD)", unit="seconds")
+        reg.gauge_fn("durability.enabled",
+                     lambda: 1.0 if self.enabled else 0.0,
+                     "Whether the durability layer is active")
+        reg.gauge_fn("durability.audits_total",
+                     lambda: float(self.auditor.audits_run),
+                     "Consistency audits run")
+        reg.gauge_fn("durability.unrepairable_total",
+                     lambda: float(sum(1 for o in self.planner.outcomes
+                                       if not o.repaired)),
+                     "Findings no repair action could fix")
+        reg.gauge_fn("durability.archive_objects",
+                     lambda: float(len(self.archive.listdir(""))),
+                     "Verified copies held by the durability archive")
 
     # -- chaos hooks ----------------------------------------------------------
     def corrupt_objects(
@@ -159,6 +181,11 @@ class DurabilityKit:
         self.corruptions_detected.add(1)
         if injected is not None:
             self.detect_latency.record(finding.detected_at - injected)
+        self._hub.bus.publish(
+            "durability.corruption_found", subject=finding.subject,
+            severity=ERROR, detail=finding.detail,
+            detect_latency=(finding.detected_at - injected
+                            if injected is not None else None))
 
     # -- crash / recovery -------------------------------------------------------
     def crash_metadata(self, torn_tail_bytes: int = 0) -> None:

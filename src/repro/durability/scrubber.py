@@ -29,7 +29,7 @@ from repro.durability.repair import RepairPlanner
 from repro.metadata.store import MetadataStore
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
-from repro.simkit.monitor import Counter, Tally
+from repro.telemetry.hub import TelemetryHub
 
 
 @dataclass
@@ -101,11 +101,24 @@ class IntegrityScrubber:
         self.planner = planner
         self.on_detect = on_detect
         self.passes: list[ScrubPass] = []
-        self.objects_scanned = Counter("scrub.objects")
-        self.bytes_scanned = Counter("scrub.bytes")
-        self.corruptions_found = Counter("scrub.corruptions")
-        self.repairs = Counter("scrub.repairs")
-        self.pass_duration = Tally("scrub.pass_duration")
+        reg = TelemetryHub.for_sim(sim).registry
+        self.objects_scanned = reg.counter(
+            "scrub.objects_total", "Objects re-hashed by the scrubber")
+        self.bytes_scanned = reg.counter(
+            "scrub.bytes_total", "Bytes re-hashed by the scrubber",
+            unit="bytes")
+        self.corruptions_found = reg.counter(
+            "scrub.corruptions_found_total",
+            "Checksum mismatches found while scrubbing")
+        self.repairs = reg.counter(
+            "scrub.repairs_total", "Mismatches repaired inline by the planner")
+        self.pass_duration = reg.summary(
+            "scrub.pass_duration_seconds", "Duration of one full scrub pass",
+            unit="seconds")
+        reg.gauge_fn("scrub.passes_total", lambda: float(len(self.passes)),
+                     "Completed scrub passes")
+        reg.gauge_fn("scrub.coverage_ratio", self.coverage,
+                     "Fraction of stored objects covered by the last pass")
         self._daemon_running = False
 
     # -- public API ---------------------------------------------------------

@@ -19,8 +19,8 @@ from typing import Generator, Optional
 
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
-from repro.simkit.monitor import Counter, Tally
 from repro.simkit.rand import RandomSource
+from repro.telemetry.hub import TelemetryHub
 from repro.simkit.resources import Resource
 from repro.netsim.builders import build_fat_tree
 from repro.netsim.network import Network
@@ -64,13 +64,50 @@ class HdfsCluster:
         #: can copy the same block to the same target concurrently and the
         #: second commit would register a duplicate holder.
         self._rerep_inflight: set[int] = set()
-        self.bytes_written = Counter("hdfs.bytes_written")
-        self.bytes_read = Counter("hdfs.bytes_read")
-        self.read_locality = Counter("hdfs.local_reads")
-        self.reads_total = Counter("hdfs.reads_total")
-        self.rereplicated_blocks = Counter("hdfs.rereplicated")
-        self.write_latency = Tally("hdfs.write_latency")
-        self.read_latency = Tally("hdfs.read_latency")
+        reg = TelemetryHub.for_sim(sim).registry
+        self.bytes_written = reg.counter(
+            "hdfs.bytes_written_total", "Bytes written into HDFS files",
+            unit="bytes")
+        self.bytes_read = reg.counter(
+            "hdfs.bytes_read_total", "Bytes read from HDFS blocks",
+            unit="bytes")
+        self.read_locality = reg.counter(
+            "hdfs.local_reads_total", "Block reads served node-locally")
+        self.reads_total = reg.counter(
+            "hdfs.reads_total", "Block reads served")
+        self.rereplicated_blocks = reg.counter(
+            "hdfs.rereplicated_blocks_total",
+            "Blocks restored to full replication")
+        self.write_latency = reg.summary(
+            "hdfs.write_latency_seconds", "Whole-file write latency",
+            unit="seconds")
+        self.read_latency = reg.summary(
+            "hdfs.read_latency_seconds", "Whole-file read latency",
+            unit="seconds")
+        reg.gauge_fn("hdfs.files", lambda: float(len(self.namenode.files())),
+                     "Files in the namespace")
+        reg.gauge_fn("hdfs.under_replicated",
+                     lambda: float(len(self.namenode.under_replicated)),
+                     "Blocks currently below their replication target")
+        reg.gauge_fn("hdfs.rerep_inflight",
+                     lambda: float(len(self._rerep_inflight)),
+                     "Blocks with a re-replication process in flight")
+        reg.gauge_fn("hdfs.datanodes_alive",
+                     lambda: float(sum(1 for n in self.namenode.nodes.values()
+                                       if n.alive)),
+                     "Datanodes currently alive")
+        reg.gauge_fn("hdfs.datanodes_total",
+                     lambda: float(len(self.namenode.nodes)),
+                     "Datanodes registered with the namenode")
+        reg.gauge_fn("hdfs.used_bytes",
+                     lambda: float(self.namenode.total_used),
+                     "Raw bytes used across datanodes", unit="bytes")
+        reg.gauge_fn("hdfs.capacity_bytes",
+                     lambda: float(self.namenode.total_capacity),
+                     "Raw capacity across datanodes", unit="bytes")
+        reg.gauge_fn("hdfs.utilization_spread",
+                     lambda: self.namenode.utilization_spread(),
+                     "Max-min utilisation gap across live datanodes")
 
     # -- construction -----------------------------------------------------
     @classmethod

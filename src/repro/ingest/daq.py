@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
-from repro.simkit.monitor import Counter, TimeWeighted
+from repro.simkit.monitor import TimeWeighted
 from repro.simkit.resources import Store
+from repro.telemetry.hub import TelemetryHub
 from repro.ingest.microscope import ImageDescriptor
 
 
@@ -40,9 +41,21 @@ class DaqBuffer:
         self.name = name
         self._store = Store(sim, name=f"{name}.frames")
         self._bytes = 0.0
+        # Time-weighted backlog stays a monitor primitive (the registry has
+        # no time-weighted instrument); the live level is also exposed as a
+        # callback gauge so dashboards see it without touching the buffer.
         self.backlog = TimeWeighted(sim.now, 0.0, name=f"{name}.backlog_bytes")
-        self.offered = Counter(f"{name}.offered")
-        self.dropped = Counter(f"{name}.dropped")
+        reg = TelemetryHub.for_sim(sim).registry
+        self.offered = reg.counter(
+            "ingest.frames_offered_total", "Frames offered to the DAQ buffer",
+            buffer=name)
+        self.dropped = reg.counter(
+            "ingest.frames_dropped_total",
+            "Frames dropped by a full DAQ buffer (drop policy)", buffer=name)
+        reg.gauge_fn("ingest.buffer_backlog_bytes",
+                     lambda: self._bytes,
+                     "Bytes currently staged in the DAQ buffer",
+                     unit="bytes", buffer=name)
         self._space_waiters: list[tuple[Event, float]] = []
 
     @property

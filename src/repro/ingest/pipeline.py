@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 from repro.simkit.core import Simulator
 from repro.simkit import units
+from repro.telemetry.hub import TelemetryHub
 from repro.netsim.network import Network
 from repro.metadata.store import MetadataStore
 from repro.resilience.kit import ResilienceKit
@@ -109,7 +110,11 @@ class IngestPipeline:
     ):
         self.sim = sim
         self.resilience = resilience
-        self.buffer = DaqBuffer(sim, buffer_bytes, policy=buffer_policy)
+        # A per-pipeline prefix keeps agent/buffer label values unique when
+        # several pipelines share one facility (and hence one registry).
+        prefix = TelemetryHub.for_sim(sim).unique_name("pipeline")
+        self.buffer = DaqBuffer(sim, buffer_bytes, policy=buffer_policy,
+                                name=f"{prefix}.daq")
         self.microscopes = [
             HighThroughputMicroscope(sim, cfg, rng=sim.random.spawn(f"scope.{cfg.name}"))
             for cfg in microscope_configs
@@ -124,7 +129,7 @@ class IngestPipeline:
                 store=store,
                 project=project,
                 batch_size=batch_size,
-                name=f"agent-{i}",
+                name=f"{prefix}.agent-{i}",
                 resilience=resilience,
                 transfer_timeout=transfer_timeout,
                 on_error=on_error,

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Generator, Iterable, Optional
 
 from repro.simkit.core import Simulator
-from repro.simkit.monitor import Counter, Tally
+from repro.telemetry.hub import TelemetryHub
 from repro.netsim.network import Network
 from repro.netsim.topology import NoRouteError
 from repro.storage.devices import StorageError
@@ -132,13 +132,29 @@ class TransferAgent:
         self.resilience = resilience
         self.transfer_timeout = transfer_timeout
         self.on_error = on_error
-        self.ingested = Counter(f"{name}.frames")
-        self.bytes_moved = Counter(f"{name}.bytes")
-        self.latency = Tally(f"{name}.latency")  # acquire -> registered
-        self.retried = Counter(f"{name}.retries")
-        self.failovers = Counter(f"{name}.failovers")
-        self.dead_lettered = Counter(f"{name}.dead_lettered")
-        self.lost = Counter(f"{name}.lost")  # "drop" ablation only
+        # Per-agent series on the facility telemetry spine; the attribute
+        # names are the stable subsystem API (reports and tests read them).
+        reg = TelemetryHub.for_sim(sim).registry
+        self.ingested = reg.counter(
+            "ingest.frames_total", "Frames registered by transfer agents",
+            agent=name)
+        self.bytes_moved = reg.counter(
+            "ingest.bytes_total", "Bytes ingested into the facility",
+            unit="bytes", agent=name)
+        self.latency = reg.summary(
+            "ingest.latency_seconds", "Acquire -> registered latency",
+            unit="seconds", agent=name)
+        self.retried = reg.counter(
+            "ingest.retries_total", "Batch retry attempts", agent=name)
+        self.failovers = reg.counter(
+            "ingest.failovers_total", "Failovers to an alternate array",
+            agent=name)
+        self.dead_lettered = reg.counter(
+            "ingest.dead_lettered_total",
+            "Frames spilled to the DLQ after retry exhaustion", agent=name)
+        self.lost = reg.counter(
+            "ingest.frames_lost_total",
+            'Frames dropped by the on_error="drop" ablation', agent=name)
         self._stop = False
 
     def start(self):

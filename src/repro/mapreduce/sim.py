@@ -138,6 +138,9 @@ class _JobState:
         self.completed: list[_MapTask] = []
         self.total = len(tasks)
         self.maps_done = sim.event(name=f"{spec.name}.maps_done")
+        # lint: disable=ad-hoc-counter -- per-job run state folded into the
+        # JobResult at completion; the facility-wide totals live on the
+        # registry (mapreduce.* counters in MapReduceSim).
         self.locality_counts = {LOCALITY_NODE: 0, LOCALITY_RACK: 0, LOCALITY_OFF: 0}
         self.attempts = 0
         self.spec_launched = 0
@@ -236,6 +239,33 @@ class MapReduceSim:
         # motivated delay scheduling).
         self._active_states: list[_JobState] = []
         self._workers_alive: dict[str, int] = {}
+        # Facility-level telemetry: per-job numbers live in JobResult; the
+        # registry carries the cluster-wide aggregates reports read.
+        from repro.telemetry.hub import TelemetryHub
+
+        reg = TelemetryHub.for_sim(sim).registry
+        self.jobs_completed = reg.counter(
+            "mapreduce.jobs_total", "MapReduce jobs run to completion")
+        self.bytes_input_total = reg.counter(
+            "mapreduce.bytes_input_total", "Bytes read by map phases",
+            unit="bytes")
+        self.bytes_shuffled_total = reg.counter(
+            "mapreduce.bytes_shuffled_total", "Bytes moved by shuffles",
+            unit="bytes")
+        self.map_attempts_total = reg.counter(
+            "mapreduce.map_attempts_total", "Map attempts launched")
+        self.speculative_launched_total = reg.counter(
+            "mapreduce.speculative_launched_total",
+            "Speculative map attempts launched")
+        self.speculative_wins_total = reg.counter(
+            "mapreduce.speculative_wins_total",
+            "Speculative attempts that beat the original")
+        self.locality_fallbacks_total = reg.counter(
+            "mapreduce.locality_fallbacks_total",
+            "Tasks scheduled off-rack because no live replica existed")
+        reg.gauge_fn("mapreduce.jobs_running",
+                     lambda: float(len(self._active_states)),
+                     "Jobs currently in their map phase")
 
     def _ensure_workers(self) -> None:
         for info in self.hdfs.namenode.live_nodes():
@@ -311,6 +341,13 @@ class MapReduceSim:
                 bytes_shuffled += value[0]
                 bytes_output += value[1]
 
+        self.jobs_completed.add(1)
+        self.bytes_input_total.add(bytes_input)
+        self.bytes_shuffled_total.add(bytes_shuffled)
+        self.map_attempts_total.add(state.attempts)
+        self.speculative_launched_total.add(state.spec_launched)
+        self.speculative_wins_total.add(state.spec_wins)
+        self.locality_fallbacks_total.add(state.locality_fallbacks)
         return JobResult(
             name=spec.name,
             submitted=submitted,

@@ -19,7 +19,8 @@ from typing import Callable, Optional
 
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
-from repro.simkit.monitor import Counter, Tally, TimeWeighted
+from repro.simkit.monitor import TimeWeighted
+from repro.telemetry.hub import TelemetryHub
 from repro.netsim.fairshare import equal_split_rates, maxmin_rates
 from repro.netsim.topology import Link, NoRouteError, Topology
 
@@ -123,11 +124,20 @@ class Network:
         self._last_progress_t = sim.now
         self._timer_gen = 0
         self._seen_epoch = topology.epoch
-        # -- statistics
-        self.bytes_delivered = Counter("net.bytes_delivered")
-        self.flow_durations = Tally("net.flow_duration")
+        # -- statistics (the time-weighted series stays a monitor
+        # primitive; the registry exposes the live level as a gauge)
+        reg = TelemetryHub.for_sim(sim).registry
+        self.bytes_delivered = reg.counter(
+            "net.bytes_delivered_total", "Payload bytes delivered end-to-end",
+            unit="bytes")
+        self.flow_durations = reg.summary(
+            "net.flow_duration_seconds", "Flow start -> completion duration",
+            unit="seconds")
         self.active_flows = TimeWeighted(sim.now, 0, name="net.active_flows")
-        self.failed_flows = 0
+        self._failed_flows = reg.counter(
+            "net.flows_failed_total", "Flows that lost every route")
+        reg.gauge_fn("net.flows_inflight", lambda: float(len(self._flows)),
+                     "Flows currently in flight")
 
     # -- public API --------------------------------------------------------
     def transfer(
@@ -165,7 +175,7 @@ class Network:
         try:
             flow.links = list(self.topology.route(src, dst))
         except NoRouteError as exc:
-            self.failed_flows += 1
+            self._failed_flows.add(1)
             done.fail(exc)
             return done
         if nbytes == 0 or not flow.links:
@@ -213,6 +223,11 @@ class Network:
         """Number of in-flight flows."""
         return len(self._flows)
 
+    @property
+    def failed_flows(self) -> int:
+        """Flows that failed with no surviving route."""
+        return int(self._failed_flows.value)
+
     def current_rate(self, fid: int) -> float:
         """Instantaneous rate of an in-flight flow (bytes/s)."""
         return self._flows[fid].rate
@@ -241,7 +256,7 @@ class Network:
                 flow.tags["error"] = exc
         for flow in dead:
             del self._flows[flow.fid]
-            self.failed_flows += 1
+            self._failed_flows.add(1)
             flow.done.fail(NoRouteError(f"flow {flow.src}->{flow.dst} lost its route"))
         if dead:
             self.active_flows.set(self.sim.now, len(self._flows))

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from typing import Generator, Optional, Sequence
 
 from repro.simkit.core import Simulator
-from repro.simkit.monitor import Counter, Tally
 from repro.simkit.rand import RandomSource
+from repro.telemetry.hub import TelemetryHub
 from repro.netsim.network import Network
 from repro.netsim.topology import NoRouteError
 
@@ -58,9 +58,15 @@ class TrafficGenerator:
         self.config = config or TrafficConfig()
         self.rng = rng or sim.random.spawn(name)
         self.name = name
-        self.flows_started = Counter(f"{name}.flows")
-        self.bytes_offered = Counter(f"{name}.bytes")
-        self.flow_durations = Tally(f"{name}.durations")
+        reg = TelemetryHub.for_sim(sim).registry
+        self.flows_started = reg.counter(
+            "traffic.flows_total", "Background flows launched", source=name)
+        self.bytes_offered = reg.counter(
+            "traffic.bytes_offered_total", "Background bytes offered",
+            unit="bytes", source=name)
+        self.flow_durations = reg.summary(
+            "traffic.flow_duration_seconds",
+            "Background flow completion times", unit="seconds", source=name)
         self._stop = False
 
     def start(self, duration: Optional[float] = None):

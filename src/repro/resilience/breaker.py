@@ -50,6 +50,8 @@ class CircuitBreaker:
         target: str = "",
         failure_threshold: int = 3,
         reset_timeout: float = 120.0,
+        on_transition: Optional[
+            Callable[["CircuitBreaker", float, str, str], None]] = None,
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -59,6 +61,9 @@ class CircuitBreaker:
         self.target = target
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
+        #: Observer called as ``(breaker, when, old, new)`` after every
+        #: state change (how trips reach the facility event bus).
+        self.on_transition = on_transition
         self._state = CLOSED
         self._failures = 0
         self._opened_at: Optional[float] = None
@@ -84,8 +89,12 @@ class CircuitBreaker:
 
     def _transition(self, new: str) -> None:
         if new != self._state:
-            self.transitions.append((self._clock(), self._state, new))
+            when = self._clock()
+            old = self._state
+            self.transitions.append((when, old, new))
             self._state = new
+            if self.on_transition is not None:
+                self.on_transition(self, when, old, new)
 
     # -- protocol ------------------------------------------------------------
     def allow(self) -> bool:
@@ -141,6 +150,8 @@ class BreakerBoard:
         clock: Callable[[], float],
         failure_threshold: int = 3,
         reset_timeout: float = 120.0,
+        on_transition: Optional[
+            Callable[[CircuitBreaker, float, str, str], None]] = None,
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -149,6 +160,7 @@ class BreakerBoard:
         self._clock = clock
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
+        self.on_transition = on_transition
         self._breakers: dict[str, CircuitBreaker] = {}
 
     def breaker(self, target: str) -> CircuitBreaker:
@@ -159,6 +171,7 @@ class BreakerBoard:
                 target=target,
                 failure_threshold=self.failure_threshold,
                 reset_timeout=self.reset_timeout,
+                on_transition=self.on_transition,
             )
         return self._breakers[target]
 

@@ -11,7 +11,9 @@ DLQ with an audit trail, ready for operator-driven replay via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
+
+from repro.telemetry.events import WARNING, EventBus
 
 
 @dataclass
@@ -30,8 +32,11 @@ class DeadLetter:
 class DeadLetterQueue:
     """Append-only queue of :class:`DeadLetter` records."""
 
-    def __init__(self, name: str = "dlq"):
+    def __init__(self, name: str = "dlq", bus: Optional[EventBus] = None):
         self.name = name
+        #: Optional facility event bus: every push publishes a
+        #: ``dlq.spill`` event so chaos runs can watch loss as it happens.
+        self.bus = bus
         self._entries: list[DeadLetter] = []
         self._total_bytes = 0.0
 
@@ -55,6 +60,10 @@ class DeadLetterQueue:
         )
         self._entries.append(letter)
         self._total_bytes += letter.nbytes
+        if self.bus is not None:
+            self.bus.publish(
+                "dlq.spill", subject=source or self.name, severity=WARNING,
+                error=error, nbytes=letter.nbytes, depth=len(self._entries))
         return letter
 
     @property

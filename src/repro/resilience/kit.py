@@ -13,11 +13,19 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.resilience.breaker import BreakerBoard
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
 from repro.resilience.dlq import DeadLetterQueue
 from repro.resilience.policy import RetryPolicy
 from repro.simkit.core import Simulator
-from repro.simkit.monitor import Counter
+from repro.telemetry.events import INFO, WARNING
+from repro.telemetry.hub import TelemetryHub
+
+#: Breaker state encoded for the ``resilience.breaker_state`` gauge.
+_STATE_CODE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+#: Event kind published for each breaker transition, by new state.
+_TRANSITION_KIND = {OPEN: "breaker.trip", HALF_OPEN: "breaker.probe",
+                    CLOSED: "breaker.close"}
 
 
 class ResilienceKit:
@@ -48,19 +56,56 @@ class ResilienceKit:
         self.enabled = enabled
         self.policy = policy or RetryPolicy()
         self.rng = sim.random.spawn("resilience")
+        self._hub = TelemetryHub.for_sim(sim)
         self.breakers = BreakerBoard(
             clock=lambda: sim.now,
             failure_threshold=breaker_failure_threshold,
             reset_timeout=breaker_reset_timeout,
+            on_transition=self._on_breaker_transition,
         )
-        self.dlq = DeadLetterQueue(name="facility-dlq")
-        self.retries = Counter("resilience.retries")
-        self.reroutes = Counter("resilience.reroutes")
-        self.timeouts = Counter("resilience.timeouts")
+        self.dlq = DeadLetterQueue(name="facility-dlq", bus=self._hub.bus)
+        reg = self._hub.registry
+        self.retries = reg.counter(
+            "resilience.retries_total", "Retry attempts across consumers")
+        self.reroutes = reg.counter(
+            "resilience.reroutes_total", "Failovers to an alternate target")
+        self.timeouts = reg.counter(
+            "resilience.timeouts_total", "Operations cut off by a deadline")
         #: Bytes that landed successfully after at least one retry.
-        self.recovered_bytes = Counter("resilience.recovered_bytes")
+        self.recovered_bytes = reg.counter(
+            "resilience.recovered_bytes_total",
+            "Bytes delivered after at least one retry", unit="bytes")
         #: Bytes that ended in the dead-letter queue.
-        self.lost_bytes = Counter("resilience.lost_bytes")
+        self.lost_bytes = reg.counter(
+            "resilience.lost_bytes_total", "Bytes spilled to the DLQ",
+            unit="bytes")
+        self.breaker_transitions = reg.counter(
+            "resilience.breaker_transitions_total",
+            "Circuit-breaker state changes")
+        reg.gauge_fn("resilience.dlq_depth", lambda: float(self.dlq.depth),
+                     "Dead letters currently queued")
+        reg.gauge_fn("resilience.dlq_bytes", lambda: self.dlq.total_bytes,
+                     "Payload bytes held by the DLQ", unit="bytes")
+        reg.gauge_fn("resilience.enabled",
+                     lambda: 1.0 if self.enabled else 0.0,
+                     "Whether the resilience layer is active")
+
+    def _on_breaker_transition(self, breaker: CircuitBreaker, when: float,
+                               old: str, new: str) -> None:
+        """Mirror a breaker state change onto the telemetry spine."""
+        self.breaker_transitions.add(1)
+        # Read the raw state in the gauge: the `state` property can itself
+        # transition (open -> half-open), and collection must stay
+        # side-effect free.
+        self._hub.registry.gauge_fn(
+            "resilience.breaker_state",
+            lambda b=breaker: _STATE_CODE[b._state],
+            "Breaker state (0=closed, 1=half-open, 2=open)",
+            target=breaker.target)
+        self._hub.bus.publish(
+            _TRANSITION_KIND[new], subject=breaker.target,
+            severity=WARNING if new == OPEN else INFO,
+            old=old, new=new, failures=breaker.failures)
 
     def stats(self) -> dict:
         """Headline resilience numbers (machine-readable)."""

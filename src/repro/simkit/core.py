@@ -48,6 +48,10 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.random = RandomSource(seed)
+        #: The telemetry hub for this simulation, attached lazily by
+        #: :meth:`repro.telemetry.TelemetryHub.for_sim` (simkit itself
+        #: never imports it — one-way layering).
+        self.telemetry = None
         #: Arbitrary per-simulation scratch space for components to share.
         self.context: dict[str, Any] = {}
         #: Observers called as ``hook(when, priority, seq, event)`` for every

@@ -18,7 +18,8 @@ from typing import Generator, Optional
 
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
-from repro.simkit.monitor import Counter, Tally
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.metrics import Counter
 from repro.storage.ps import FluidServer
 
 
@@ -68,9 +69,22 @@ class DiskArray:
             sim, bandwidth, concurrency_limit=concurrency_limit, name=f"{name}.io"
         )
         self._used = 0.0
-        self.bytes_read = Counter(f"{name}.bytes_read")
-        self.bytes_written = Counter(f"{name}.bytes_written")
-        self.op_latency = Tally(f"{name}.op_latency")
+        reg = TelemetryHub.for_sim(sim).registry
+        self.bytes_read = reg.counter(
+            "storage.array_bytes_read_total", "Bytes read from a disk array",
+            unit="bytes", array=name)
+        self.bytes_written = reg.counter(
+            "storage.array_bytes_written_total", "Bytes written to a disk array",
+            unit="bytes", array=name)
+        self.op_latency = reg.summary(
+            "storage.array_op_latency_seconds", "Per-operation disk latency",
+            unit="seconds", array=name)
+        reg.gauge_fn("storage.array_used_bytes", lambda: self._used,
+                     "Bytes currently allocated on the array",
+                     unit="bytes", array=name)
+        reg.gauge_fn("storage.array_capacity_bytes", lambda: self.capacity,
+                     "Usable capacity of the array",
+                     unit="bytes", array=name)
 
     # -- capacity ------------------------------------------------------------
     @property

@@ -23,7 +23,7 @@ from typing import Generator, Optional
 
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
-from repro.simkit.monitor import Counter, Tally
+from repro.telemetry.hub import TelemetryHub
 from repro.storage.devices import StorageError
 from repro.storage.pool import StoragePool, StoredFile
 from repro.storage.tape import TapeLibrary
@@ -66,10 +66,19 @@ class HsmSystem:
         self.pool = pool
         self.tape = tape
         self.config = config or HsmConfig()
-        self.migrations = Counter("hsm.migrations")
-        self.recalls = Counter("hsm.recalls")
-        self.stage_latency = Tally("hsm.stage_latency")
-        self.archive_copies = Counter("hsm.archive_copies")
+        # One labelled family for both lifecycle directions; the attribute
+        # names (`migrations`, `recalls`) remain the subsystem API.
+        reg = TelemetryHub.for_sim(sim).registry
+        self.migrations = reg.counter(
+            "hsm.migrations_total", "File moves between tiers",
+            direction="to_tape")
+        self.recalls = reg.counter("hsm.migrations_total", direction="to_disk")
+        self.stage_latency = reg.summary(
+            "hsm.stage_latency_seconds", "Tape -> disk stage-in latency",
+            unit="seconds")
+        self.archive_copies = reg.counter(
+            "hsm.archive_copies_total",
+            "Write-through archive copies laid at ingest")
         self._migrating = False
         if start_daemon:
             self.sim.process(self._daemon(), name="hsm.daemon")

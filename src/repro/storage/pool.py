@@ -14,6 +14,7 @@ from typing import Iterable, Optional
 
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
+from repro.telemetry.hub import TelemetryHub
 from repro.storage.devices import DiskArray, StorageError
 
 
@@ -61,6 +62,14 @@ class StoragePool:
         self._files: dict[str, StoredFile] = {}
         self._rr_index = 0
         self._degraded: set[str] = set()
+        reg = TelemetryHub.for_sim(sim).registry
+        reg.gauge_fn("storage.pool_used_bytes", lambda: self.used,
+                     "Allocated bytes across the pool's arrays",
+                     unit="bytes", pool=name)
+        reg.gauge_fn("storage.pool_capacity_bytes", lambda: self.capacity,
+                     "Total pool capacity", unit="bytes", pool=name)
+        reg.gauge_fn("storage.pool_files", lambda: float(len(self._files)),
+                     "Files in the pool catalog", pool=name)
 
     # -- capacity ---------------------------------------------------------
     @property

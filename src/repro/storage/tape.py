@@ -20,8 +20,9 @@ from typing import Generator, Optional
 
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
-from repro.simkit.monitor import Counter, Tally
 from repro.simkit.resources import Resource, Store
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.metrics import Counter, Summary
 from repro.storage.devices import StorageError
 
 
@@ -102,12 +103,25 @@ class TapeLibrary:
         self._cartridges: list[TapeCartridge] = []
         self._catalog: dict[str, TapeCartridge] = {}
         self._fill: Optional[TapeCartridge] = None
-        # -- statistics
-        self.mounts = Counter(f"{name}.mounts")
-        self.bytes_archived = Counter(f"{name}.bytes_archived")
-        self.bytes_recalled = Counter(f"{name}.bytes_recalled")
-        self.recall_latency = Tally(f"{name}.recall_latency")
-        self.archive_latency = Tally(f"{name}.archive_latency")
+        # -- statistics (facility telemetry spine, labelled by library)
+        reg = TelemetryHub.for_sim(sim).registry
+        self.mounts = reg.counter(
+            "tape.mounts_total", "Cartridge mounts performed by the robot",
+            library=name)
+        self.bytes_archived = reg.counter(
+            "tape.bytes_archived_total", "Bytes written to tape",
+            unit="bytes", library=name)
+        self.bytes_recalled = reg.counter(
+            "tape.bytes_recalled_total", "Bytes read back from tape",
+            unit="bytes", library=name)
+        self.recall_latency = reg.summary(
+            "tape.recall_latency_seconds", "Recall request -> data latency",
+            unit="seconds", library=name)
+        self.archive_latency = reg.summary(
+            "tape.archive_latency_seconds", "Archive request -> durable latency",
+            unit="seconds", library=name)
+        reg.gauge_fn("tape.cartridges", lambda: len(self._cartridges),
+                     "Cartridges allocated so far", library=name)
 
     # -- catalog -----------------------------------------------------------
     def contains(self, file_id: str) -> bool:
@@ -176,7 +190,7 @@ class TapeLibrary:
         offset: float,
         nbytes: float,
         counter: Counter,
-        tally: Tally,
+        tally: Summary,
     ) -> Generator:
         start = self.sim.now
         drive: TapeDrive = yield self._acquire_drive(cart)

@@ -1,0 +1,93 @@
+"""Sim-clock time-series sampling of registry metrics.
+
+The registry answers "what is the value *now*"; experiments also want
+"how did it evolve" (queue depths, pool fill, DLQ growth under chaos).
+The :class:`MonitorBridge` closes the loop back to
+:mod:`repro.simkit.monitor`: :meth:`MonitorBridge.track` spawns a
+simulation process that samples one registry series every ``interval``
+simulated seconds into a :class:`~repro.simkit.monitor.TimeSeries`.
+
+Tracking is bounded by construction — a ``horizon`` (sim time to stop
+at) or an explicit :meth:`TrackHandle.stop` — so an idle facility's
+``sim.run()`` still terminates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.simkit.monitor import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.hub import TelemetryHub
+
+
+class TrackHandle:
+    """Control handle for one running sampling loop."""
+
+    def __init__(self, series: TimeSeries):
+        self.series = series
+        self._stopped = False
+
+    def stop(self) -> None:
+        """Ask the sampling loop to exit after the current tick."""
+        self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has been called."""
+        return self._stopped
+
+
+class MonitorBridge:
+    """Samples registry series into :class:`TimeSeries` on the sim clock."""
+
+    def __init__(self, hub: "TelemetryHub"):
+        self.hub = hub
+        #: (metric name, sorted label items) -> recorded series.
+        self.series: dict[tuple, TimeSeries] = {}
+
+    def track(
+        self,
+        sim,
+        name: str,
+        interval: float,
+        horizon: Optional[float] = None,
+        **labels: str,
+    ) -> TrackHandle:
+        """Sample ``name``/``labels`` every ``interval`` sim-seconds.
+
+        Sampling starts immediately and runs until ``horizon`` (absolute
+        sim time) or :meth:`TrackHandle.stop`.  One of the two bounds is
+        required unless the caller owns run-loop termination some other
+        way — an unbounded tracker keeps the event queue non-empty.
+        Returns the handle; the recorded series is ``handle.series``.
+        """
+        if interval <= 0:
+            raise ValueError("track interval must be > 0")
+        key = (name, tuple(sorted(labels.items())))
+        series = self.series.get(key)
+        if series is None:
+            label = name if not labels else (
+                name + "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            )
+            series = TimeSeries(name=label)
+            self.series[key] = series
+        handle = TrackHandle(series)
+        if self.hub.enabled:
+            sim.process(self._sample_loop(sim, handle, name, labels, interval, horizon),
+                        name=f"telemetry.track:{name}")
+        return handle
+
+    def series_for(self, name: str, **labels: str) -> Optional[TimeSeries]:
+        """The recorded series for one tracked metric (None if untracked)."""
+        return self.series.get((name, tuple(sorted(labels.items()))))
+
+    def _sample_loop(self, sim, handle: TrackHandle, name: str,
+                     labels: dict[str, str], interval: float,
+                     horizon: Optional[float]) -> Generator:
+        while not handle.stopped:
+            handle.series.record(sim.now, self.hub.registry.value(name, **labels))
+            if horizon is not None and sim.now + interval > horizon:
+                return
+            yield sim.timeout(interval)

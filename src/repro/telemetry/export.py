@@ -1,0 +1,99 @@
+"""Telemetry exports: Prometheus-style text and JSON.
+
+``to_prometheus`` renders a :class:`~repro.telemetry.metrics.MetricsRegistry`
+in the Prometheus exposition text format (dotted metric names are mangled
+to underscores, label values escaped, histogram buckets cumulative with a
+``+Inf`` bound, summaries as quantile series).  ``to_json`` bundles the
+registry snapshot with the event bus's per-kind totals and recent tail —
+the machine-readable dashboard feed behind
+``python -m repro.cli metrics --format json``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.telemetry.metrics import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    MetricsRegistry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.hub import TelemetryHub
+
+
+def _mangle(name: str) -> str:
+    """Dotted metric name -> Prometheus-legal name."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _escape(value: str) -> str:
+    """Escape a label value for the exposition format."""
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _labels(labels: dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _num(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.10g}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus exposition text format."""
+    lines: list[str] = []
+    for family in registry.families():
+        name = _mangle(family.name)
+        if family.help:
+            lines.append(f"# HELP {name} {family.help}")
+        # Exposition kinds: exact-sample summaries render as "summary".
+        lines.append(f"# TYPE {name} {family.kind}")
+        for labels, child in family.samples():
+            if family.kind in (COUNTER, GAUGE):
+                lines.append(f"{name}{_labels(labels)} {_num(child.value)}")  # type: ignore[union-attr]
+            elif family.kind == HISTOGRAM:
+                for upper, cumulative in child.cumulative():  # type: ignore[union-attr]
+                    le = "+Inf" if math.isinf(upper) else _num(upper)
+                    le_label = 'le="%s"' % le
+                    lines.append(
+                        f"{name}_bucket{_labels(labels, le_label)} {cumulative}"
+                    )
+                lines.append(f"{name}_sum{_labels(labels)} {_num(child.sum)}")  # type: ignore[union-attr]
+                lines.append(f"{name}_count{_labels(labels)} {child.count}")  # type: ignore[union-attr]
+            else:  # summary
+                if child.count:  # type: ignore[union-attr]
+                    for q in (0.5, 0.95, 0.99):
+                        value = child.percentile(q * 100)  # type: ignore[union-attr]
+                        q_label = 'quantile="%g"' % q
+                        lines.append(
+                            f"{name}{_labels(labels, q_label)} {_num(value)}"
+                        )
+                lines.append(f"{name}_sum{_labels(labels)} {_num(child.total)}")  # type: ignore[union-attr]
+                lines.append(f"{name}_count{_labels(labels)} {child.count}")  # type: ignore[union-attr]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(hub: "TelemetryHub", events_tail: int = 50) -> dict:
+    """JSON-able bundle: registry snapshot + event counts + recent events."""
+    return {
+        "time": hub.clock(),
+        "enabled": hub.enabled,
+        "metrics": hub.registry.snapshot(),
+        "events": {
+            "published": hub.bus.published,
+            "retained": len(hub.bus),
+            "counts": hub.bus.counts(),
+            "recent": [event.as_dict() for event in hub.bus.tail(events_tail)],
+        },
+    }

@@ -1,0 +1,108 @@
+"""Unit tests for the structured event bus."""
+
+import pytest
+
+from repro.telemetry import EventBus
+
+
+class TestPublish:
+    def test_stamps_clock_and_payload(self):
+        now = {"t": 10.0}
+        bus = EventBus(clock=lambda: now["t"])
+        e = bus.publish("breaker.trip", subject="ddn", severity="warning",
+                        failures=3)
+        assert e.time == 10.0
+        assert e.kind == "breaker.trip"
+        assert e.subject == "ddn"
+        assert e.data == {"failures": 3}
+        now["t"] = 20.0
+        assert bus.publish("breaker.close", subject="ddn").time == 20.0
+
+    def test_unknown_severity_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.publish("x", severity="fatal")
+
+    def test_as_dict_roundtrips(self):
+        bus = EventBus()
+        e = bus.publish("chaos.incident", subject="router-1", detail="DOWN")
+        d = e.as_dict()
+        assert d["kind"] == "chaos.incident"
+        assert d["data"] == {"detail": "DOWN"}
+
+
+class TestRetention:
+    def test_ring_evicts_but_counts_survive(self):
+        bus = EventBus(capacity=3)
+        for i in range(10):
+            bus.publish("tick", subject=str(i))
+        assert len(bus) == 3
+        assert bus.published == 10
+        assert bus.counts() == {"tick": 10}
+        assert [e.subject for e in bus.events()] == ["7", "8", "9"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)
+
+
+class TestQueries:
+    def _bus(self):
+        now = {"t": 0.0}
+        bus = EventBus(clock=lambda: now["t"])
+        for t, kind, subject in ((1.0, "breaker.trip", "ddn"),
+                                 (2.0, "dlq.spill", "agent-0"),
+                                 (3.0, "breaker.close", "ddn")):
+            now["t"] = t
+            bus.publish(kind, subject=subject)
+        return bus
+
+    def test_kind_glob_filter(self):
+        bus = self._bus()
+        assert [e.kind for e in bus.events(kind="breaker.*")] == [
+            "breaker.trip", "breaker.close"]
+
+    def test_subject_and_since_filters(self):
+        bus = self._bus()
+        assert len(bus.events(subject="ddn")) == 2
+        assert [e.kind for e in bus.events(since=2.0)] == [
+            "dlq.spill", "breaker.close"]
+
+    def test_tail(self):
+        bus = self._bus()
+        assert [e.kind for e in bus.tail(2)] == ["dlq.spill", "breaker.close"]
+        assert [e.kind for e in bus.tail(2, kind="breaker.*")] == [
+            "breaker.trip", "breaker.close"]
+
+
+class TestSubscriptions:
+    def test_glob_subscription_delivery_and_cancel(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe(seen.append, kinds=["breaker.*"])
+        bus.publish("breaker.trip", subject="a")
+        bus.publish("dlq.spill", subject="b")
+        assert [e.kind for e in seen] == ["breaker.trip"]
+        assert sub.delivered == 1
+        sub.cancel()
+        bus.publish("breaker.close", subject="a")
+        assert len(seen) == 1
+
+    def test_unfiltered_subscription_sees_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish("a.b")
+        bus.publish("c.d")
+        assert len(seen) == 2
+
+
+class TestDisabled:
+    def test_publish_is_noop(self):
+        bus = EventBus(enabled=False)
+        seen = []
+        bus.subscribe(seen.append)
+        assert bus.publish("x.y") is None
+        assert bus.published == 0
+        assert len(bus) == 0
+        assert seen == []

@@ -1,0 +1,72 @@
+"""Unit tests for the Prometheus / JSON exporters."""
+
+import json
+
+from repro.telemetry import TelemetryHub, to_json, to_prometheus
+
+
+def _hub():
+    now = {"t": 5.0}
+    hub = TelemetryHub(clock=lambda: now["t"])
+    return hub
+
+
+class TestPrometheus:
+    def test_counter_and_labels(self):
+        hub = _hub()
+        hub.registry.counter("ingest.frames_total", "Frames ingested",
+                             agent="a-0").add(3)
+        text = to_prometheus(hub.registry)
+        assert "# HELP ingest_frames_total Frames ingested" in text
+        assert "# TYPE ingest_frames_total counter" in text
+        assert 'ingest_frames_total{agent="a-0"} 3' in text
+
+    def test_histogram_has_cumulative_buckets_and_inf(self):
+        hub = _hub()
+        h = hub.registry.histogram("op.seconds", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = to_prometheus(hub.registry)
+        assert 'op_seconds_bucket{le="1"} 1' in text
+        assert 'op_seconds_bucket{le="10"} 2' in text
+        assert 'op_seconds_bucket{le="+Inf"} 2' in text
+        assert "op_seconds_sum 5.5" in text
+        assert "op_seconds_count 2" in text
+
+    def test_summary_quantiles(self):
+        hub = _hub()
+        s = hub.registry.summary("lat.seconds")
+        for v in range(1, 101):
+            s.record(float(v))
+        text = to_prometheus(hub.registry)
+        assert 'lat_seconds{quantile="0.5"}' in text
+        assert 'lat_seconds{quantile="0.99"}' in text
+        assert "lat_seconds_count 100" in text
+
+    def test_label_value_escaping(self):
+        hub = _hub()
+        hub.registry.counter("x.count", target='a"b\\c').add(1)
+        text = to_prometheus(hub.registry)
+        assert 'target="a\\"b\\\\c"' in text
+
+    def test_gauge_callback_collected(self):
+        hub = _hub()
+        hub.registry.gauge_fn("pool.depth", lambda: 7.0, "Depth")
+        assert "pool_depth 7" in to_prometheus(hub.registry)
+
+
+class TestJson:
+    def test_shape_and_events_tail(self):
+        hub = _hub()
+        hub.registry.counter("x.count").add(2)
+        hub.bus.publish("breaker.trip", subject="ddn", failures=3)
+        doc = to_json(hub)
+        json.dumps(doc)  # fully serialisable
+        assert doc["enabled"] is True
+        assert doc["time"] == 5.0
+        names = [f["name"] for f in doc["metrics"]]
+        assert "x.count" in names
+        assert doc["events"]["published"] == 1
+        assert doc["events"]["counts"] == {"breaker.trip": 1}
+        assert doc["events"]["recent"][0]["kind"] == "breaker.trip"
+        assert doc["events"]["recent"][0]["time"] == 5.0

@@ -1,0 +1,80 @@
+"""Unit tests for the per-simulator hub and the monitor bridge."""
+
+from repro.simkit import Simulator
+from repro.telemetry import TelemetryHub
+
+
+class TestHub:
+    def test_for_sim_caches_on_the_simulator(self):
+        sim = Simulator(seed=1)
+        hub = TelemetryHub.for_sim(sim)
+        assert TelemetryHub.for_sim(sim) is hub
+        assert sim.telemetry is hub
+
+    def test_enabled_only_applies_at_creation(self):
+        sim = Simulator(seed=1)
+        hub = TelemetryHub.for_sim(sim, enabled=False)
+        assert not hub.enabled
+        # A later caller cannot flip the switch back on.
+        assert TelemetryHub.for_sim(sim, enabled=True) is hub
+        assert not hub.enabled
+
+    def test_clock_follows_sim_time(self):
+        sim = Simulator(seed=1)
+        hub = TelemetryHub.for_sim(sim)
+
+        def wait():
+            yield sim.timeout(12.5)
+            hub.bus.publish("tick")
+
+        sim.process(wait())
+        sim.run()
+        assert hub.bus.events()[0].time == 12.5
+
+    def test_unique_name_sequences(self):
+        hub = TelemetryHub()
+        assert hub.unique_name("pipeline") == "pipeline-0"
+        assert hub.unique_name("pipeline") == "pipeline-1"
+        assert hub.unique_name("agent") == "agent-0"
+
+    def test_standalone_hub_is_unclocked(self):
+        hub = TelemetryHub()
+        assert hub.bus.publish("x").time == 0.0
+
+
+class TestBridge:
+    def test_track_samples_on_the_sim_clock(self):
+        sim = Simulator(seed=1)
+        hub = TelemetryHub.for_sim(sim)
+        c = hub.registry.counter("x.count")
+
+        def produce():
+            for _ in range(4):
+                yield sim.timeout(10.0)
+                c.add(1)
+
+        handle = hub.bridge.track(sim, "x.count", interval=10.0, horizon=40.0)
+        sim.process(produce())
+        sim.run()
+        series = handle.series
+        assert series.times[0] == 0.0
+        assert series.values[0] == 0.0
+        assert series.values[-1] >= 3.0
+        assert hub.bridge.series_for("x.count") is series
+
+    def test_stop_ends_sampling(self):
+        sim = Simulator(seed=1)
+        hub = TelemetryHub.for_sim(sim)
+        hub.registry.counter("x.count")
+        handle = hub.bridge.track(sim, "x.count", interval=5.0)
+        handle.stop()
+        sim.run(until=100.0)  # terminates: the loop exits on its next tick
+        assert handle.stopped
+
+    def test_disabled_hub_records_nothing(self):
+        sim = Simulator(seed=1)
+        hub = TelemetryHub.for_sim(sim, enabled=False)
+        hub.registry.counter("x.count")
+        handle = hub.bridge.track(sim, "x.count", interval=5.0, horizon=20.0)
+        sim.run()
+        assert len(handle.series.times) == 0

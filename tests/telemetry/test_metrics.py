@@ -1,0 +1,186 @@
+"""Unit tests for the metrics registry and its instrument kinds."""
+
+import math
+
+import pytest
+
+from repro.telemetry import MetricError, MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_accumulates_value_and_events(self, reg):
+        c = reg.counter("ingest.frames_total", "Frames")
+        c.add(3)
+        c.add(2.5)
+        assert c.value == 5.5
+        assert c.events == 2
+
+    def test_rejects_negative_increment(self, reg):
+        c = reg.counter("x.count")
+        with pytest.raises(MetricError):
+            c.add(-1)
+
+    def test_rate(self, reg):
+        c = reg.counter("x.count")
+        c.add(10)
+        assert c.rate(5.0) == 2.0
+        assert math.isnan(c.rate(0.0))
+
+    def test_get_or_create_returns_same_child(self, reg):
+        a = reg.counter("x.count", agent="a-0")
+        b = reg.counter("x.count", agent="a-0")
+        other = reg.counter("x.count", agent="a-1")
+        assert a is b
+        assert a is not other
+
+
+class TestGauge:
+    def test_set_and_add(self, reg):
+        g = reg.gauge("pool.depth")
+        g.set(4.0)
+        g.add(-1.0)
+        assert g.value == 3.0
+
+    def test_callback_gauge_reads_live_state(self, reg):
+        state = {"n": 1}
+        g = reg.gauge_fn("pool.depth", lambda: float(state["n"]))
+        assert g.value == 1.0
+        state["n"] = 7
+        assert g.value == 7.0
+
+    def test_callback_gauge_rejects_set(self, reg):
+        g = reg.gauge_fn("pool.depth", lambda: 0.0)
+        with pytest.raises(MetricError):
+            g.set(1.0)
+        with pytest.raises(MetricError):
+            g.add(1.0)
+
+
+class TestHistogram:
+    def test_buckets_and_cumulative(self, reg):
+        h = reg.histogram("lat.seconds", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(106.2)
+        cum = h.cumulative()
+        assert cum == [(1.0, 2), (10.0, 3), (math.inf, 4)]
+        assert h.min == 0.5 and h.max == 100.0
+
+    def test_empty_stats_are_nan(self, reg):
+        h = reg.histogram("lat.seconds")
+        assert math.isnan(h.mean)
+
+
+class TestSummary:
+    def test_tally_statistics(self, reg):
+        s = reg.summary("lat.seconds")
+        for v in (1.0, 2.0, 3.0):
+            s.record(v)
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.total == pytest.approx(6.0)
+        assert s.percentile(50) == pytest.approx(2.0)
+
+
+class TestFamilies:
+    def test_kind_clash_rejected(self, reg):
+        reg.counter("x.thing")
+        with pytest.raises(MetricError):
+            reg.gauge("x.thing")
+
+    def test_label_set_must_be_consistent(self, reg):
+        reg.counter("x.thing", agent="a")
+        with pytest.raises(MetricError):
+            reg.counter("x.thing", other="b")
+
+    def test_bad_names_rejected(self, reg):
+        for bad in ("Caps.name", "1leading", "trailing.", "spa ce"):
+            with pytest.raises(MetricError):
+                reg.counter(bad)
+
+    def test_bad_label_names_rejected(self, reg):
+        with pytest.raises(MetricError):
+            reg.counter("x.thing", **{"Bad": "v"})
+
+
+class TestQueries:
+    def test_value_and_default(self, reg):
+        reg.counter("x.count", agent="a").add(2)
+        assert reg.value("x.count", agent="a") == 2.0
+        assert reg.value("x.count", agent="missing", default=-1.0) == -1.0
+        assert reg.value("absent.metric") == 0.0
+
+    def test_series_lookup(self, reg):
+        c = reg.counter("x.count", agent="a")
+        assert reg.series("x.count", agent="a") is c
+        assert reg.series("x.count", agent="b") is None
+        assert reg.series("absent.metric") is None
+
+    def test_total_sums_matching_label_subsets(self, reg):
+        reg.counter("x.count", agent="a", kind="k").add(1)
+        reg.counter("x.count", agent="b", kind="k").add(2)
+        reg.counter("x.count", agent="b", kind="j").add(4)
+        assert reg.total("x.count") == 7.0
+        assert reg.total("x.count", agent="b") == 6.0
+        assert reg.total("x.count", kind="k") == 3.0
+        assert reg.total("x.count", agent="zzz", default=-1.0) == -1.0
+
+    def test_total_uses_summary_sample_sum(self, reg):
+        s = reg.summary("lat.seconds", agent="a")
+        s.record(1.5)
+        s.record(2.5)
+        assert reg.total("lat.seconds") == pytest.approx(4.0)
+
+    def test_count_per_kind(self, reg):
+        reg.summary("lat.seconds").record(1.0)
+        reg.counter("x.count").add(5)
+        reg.gauge("g.level").set(9)
+        assert reg.count("lat.seconds") == 1
+        assert reg.count("x.count") == 1  # one increment event
+        assert reg.count("g.level") == 0
+        assert reg.count("absent.metric") == 0
+
+    def test_names_sorted(self, reg):
+        reg.counter("b.count")
+        reg.counter("a.count")
+        assert reg.names() == ["a.count", "b.count"]
+
+    def test_snapshot_is_jsonable(self, reg):
+        import json
+
+        reg.counter("x.count", agent="a").add(1)
+        reg.histogram("h.seconds", buckets=(1.0,)).observe(0.5)
+        reg.summary("s.seconds").record(2.0)
+        snap = reg.snapshot()
+        text = json.dumps(snap)  # must not choke on +Inf
+        assert '"+Inf"' in text
+        by_name = {f["name"]: f for f in snap}
+        assert by_name["x.count"]["samples"][0]["value"] == 1.0
+
+
+class TestDisabledRegistry:
+    def test_mutations_are_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x.count")
+        c.add(5)
+        assert c.value == 0.0
+        s = reg.summary("s.seconds")
+        s.record(1.0)
+        assert s.count == 0
+        h = reg.histogram("h.seconds")
+        h.observe(1.0)
+        assert h.count == 0
+        g = reg.gauge("g.level")
+        g.set(3.0)
+        assert g.value == 0.0
+
+    def test_callback_gauges_still_live(self):
+        reg = MetricsRegistry(enabled=False)
+        g = reg.gauge_fn("g.level", lambda: 42.0)
+        assert g.value == 42.0
