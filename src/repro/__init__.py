@@ -20,6 +20,8 @@ The package rebuilds the LSDF as two interlocking layers:
 :mod:`repro.workloads` and :mod:`repro.ingest` generate the paper's driving
 workloads (zebrafish high-throughput microscopy, DNA sequencing, 3D
 visualisation, KATRIN/ANKA/climate community profiles).
+:mod:`repro.bench` holds the E16 hot-path benchmark scenario and the
+``--jobs N`` multi-seed sweep runner (``python -m repro.bench``).
 """
 
 __version__ = "1.0.0"

@@ -3,8 +3,20 @@
 A :class:`Network` turns ``transfer(src, dst, nbytes)`` calls into
 :class:`Flow` objects that share link bandwidth according to the configured
 sharing model (max-min fair by default).  Whenever the flow set or the
-topology changes, all rates are recomputed and the next flow completion is
+topology changes, rates are recomputed and the next flow completion is
 rescheduled — the classic event-driven fluid simulation.
+
+The default ``incremental`` engine keeps the solver inputs — the
+``flow -> link keys`` map, the ``link -> capacity`` map and the per-flow
+weights — as persistent structures maintained as flows arrive and leave,
+instead of rebuilding them on every event.  Rate solves triggered by
+same-instant arrivals are additionally *batched*: N transfers starting at
+one simulation time trigger one deferred solve, not N, and a solve is
+skipped entirely when nothing about the flow set changed (e.g. a topology
+epoch bump whose reroute produced identical paths).  The ``reference``
+engine retains the seed repo's naive rebuild-everything-per-event path and
+is used by the differential tests to prove the incremental engine produces
+identical completion times (``tests/netsim/test_differential.py``).
 
 Failures: when a router/link on a flow's path fails, the flow is rerouted
 over the surviving topology (this is how the paper's redundant routers are
@@ -14,14 +26,20 @@ exercised); if no route remains, the flow's completion event *fails* with
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.simkit.core import Simulator
-from repro.simkit.events import Event
+from repro.simkit.events import LOW, Event
 from repro.simkit.monitor import TimeWeighted
 from repro.telemetry.hub import TelemetryHub
-from repro.netsim.fairshare import equal_split_rates, maxmin_rates
+from repro.netsim.fairshare import (
+    _reference_equal_split_rates,
+    _reference_maxmin_rates,
+    equal_split_rates,
+    maxmin_rates,
+)
 from repro.netsim.topology import Link, NoRouteError, Topology
 
 _COMPLETE_EPS_BYTES = 1e-3
@@ -30,6 +48,14 @@ SHARING_MODELS: dict[str, Callable] = {
     "maxmin": maxmin_rates,
     "equal": equal_split_rates,
 }
+
+#: Naive twins of :data:`SHARING_MODELS`, used by the ``reference`` engine.
+_REFERENCE_SHARING_MODELS: dict[str, Callable] = {
+    "maxmin": _reference_maxmin_rates,
+    "equal": _reference_equal_split_rates,
+}
+
+ENGINES = ("incremental", "reference")
 
 
 class NetworkError(Exception):
@@ -101,6 +127,11 @@ class Network:
         (protocol overhead, TCP dynamics).  The paper's "15 days for 1 PB
         over an *ideal* 10 Gb/s link" corresponds to ``efficiency < 1``;
         E6 sweeps this.
+    engine:
+        ``"incremental"`` (default) maintains solver inputs persistently,
+        batches same-instant solves and skips no-op solves;
+        ``"reference"`` is the retained naive rebuild-per-event path used
+        as the differential-testing oracle.
     """
 
     def __init__(
@@ -109,21 +140,40 @@ class Network:
         topology: Topology,
         sharing: str = "maxmin",
         efficiency: float = 1.0,
+        engine: str = "incremental",
     ):
         if sharing not in SHARING_MODELS:
             raise ValueError(f"unknown sharing model {sharing!r}")
         if not (0.0 < efficiency <= 1.0):
             raise ValueError("efficiency must be in (0, 1]")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (want one of {ENGINES})")
         self.sim = sim
         self.topology = topology
         self.sharing = sharing
         self.efficiency = efficiency
-        self._share_fn = SHARING_MODELS[sharing]
+        self.engine = engine
+        if engine == "reference":
+            self._share_fn = _REFERENCE_SHARING_MODELS[sharing]
+        else:
+            self._share_fn = SHARING_MODELS[sharing]
         self._flows: dict[int, Flow] = {}
         self._next_fid = 0
         self._last_progress_t = sim.now
         self._timer_gen = 0
         self._seen_epoch = topology.epoch
+        # -- persistent solver inputs (incremental engine) ------------------
+        # Maintained in lockstep with self._flows so a solve never rebuilds
+        # them; the reference engine rebuilds equivalents per event instead.
+        self._flow_links: dict[int, tuple] = {}
+        self._weights: dict[int, float] = {}
+        self._caps: dict[tuple, float] = {}
+        self._link_refs: dict[tuple, int] = {}
+        #: Solve needed: the flow set / routes / weights changed since the
+        #: last solve.  A clean rebalance reuses the previous rates.
+        self._dirty = False
+        #: A same-instant batched solve is already scheduled.
+        self._solve_pending = False
         # -- statistics (the time-weighted series stays a monitor
         # primitive; the registry exposes the live level as a gauge)
         reg = TelemetryHub.for_sim(sim).registry
@@ -136,8 +186,21 @@ class Network:
         self.active_flows = TimeWeighted(sim.now, 0, name="net.active_flows")
         self._failed_flows = reg.counter(
             "net.flows_failed_total", "Flows that lost every route")
+        self.rebalances = reg.counter(
+            "net.rebalances_total", "Rebalance passes (solved or skipped)")
+        self.solves = reg.counter(
+            "net.solves_total", "Fair-share solves actually executed")
+        self.solves_skipped = reg.counter(
+            "net.solves_skipped_total",
+            "Rebalances that reused the previous rates (clean flow set)")
         reg.gauge_fn("net.flows_inflight", lambda: float(len(self._flows)),
                      "Flows currently in flight")
+        reg.gauge_fn("net.route_cache_hits",
+                     lambda: float(topology.route_cache_hits),
+                     "Topology route-cache hits")
+        reg.gauge_fn("net.route_cache_misses",
+                     lambda: float(topology.route_cache_misses),
+                     "Topology route-cache misses (pathfinding runs)")
 
     # -- public API --------------------------------------------------------
     def transfer(
@@ -186,10 +249,14 @@ class Network:
             self.bytes_delivered.add(nbytes)
             self.flow_durations.record(latency)
             return done
-        self._advance_progress()
         self._flows[flow.fid] = flow
         self.active_flows.set(self.sim.now, len(self._flows))
-        self._rebalance()
+        if self.engine == "reference":
+            self._advance_progress()
+            self._rebalance()
+        else:
+            self._track_flow(flow)
+            self._request_rebalance()
         return done
 
     def notify_topology_changed(self) -> None:
@@ -214,7 +281,7 @@ class Network:
         self.notify_topology_changed()
 
     def repair_link(self, a: str, b: str) -> None:
-        """Repair a link and rebalance."""
+        """Bring a failed link back and rebalance."""
         self.topology.repair_link(a, b)
         self.notify_topology_changed()
 
@@ -229,7 +296,12 @@ class Network:
         return int(self._failed_flows.value)
 
     def current_rate(self, fid: int) -> float:
-        """Instantaneous rate of an in-flight flow (bytes/s)."""
+        """Instantaneous rate of an in-flight flow (bytes/s).
+
+        With the incremental engine a flow that arrived at the *current*
+        instant may still be awaiting the batched solve; its rate reads 0
+        until the same-instant solve event runs.
+        """
         return self._flows[fid].rate
 
     # -- engine internals ------------------------------------------------------
@@ -239,9 +311,73 @@ class Network:
         dt = now - self._last_progress_t
         if dt > 0:
             for flow in self._flows.values():
-                if flow.rate > 0:
-                    flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+                rate = flow.rate
+                if rate > 0:
+                    left = flow.remaining - rate * dt
+                    flow.remaining = left if left > 0.0 else 0.0
         self._last_progress_t = now
+
+    def _track_flow(self, flow: Flow) -> None:
+        """Fold one arriving flow into the persistent solver inputs."""
+        keys = []
+        refs = self._link_refs
+        caps = self._caps
+        efficiency = self.efficiency
+        for link in flow.links:
+            key = link.key
+            keys.append(key)
+            count = refs.get(key, 0)
+            if count == 0:
+                caps[key] = link.capacity * efficiency
+            refs[key] = count + 1
+        self._flow_links[flow.fid] = tuple(keys)
+        self._weights[flow.fid] = flow.weight
+        self._dirty = True
+
+    def _untrack_flow(self, flow: Flow) -> None:
+        """Remove one departing flow from the persistent solver inputs."""
+        keys = self._flow_links.pop(flow.fid, ())
+        del self._weights[flow.fid]
+        refs = self._link_refs
+        for key in keys:
+            count = refs[key] - 1
+            if count:
+                refs[key] = count
+            else:
+                del refs[key]
+                del self._caps[key]
+        self._dirty = True
+
+    def _rebuild_tracking(self) -> None:
+        """Rebuild the solver inputs from scratch (after a reroute).
+
+        If the rebuilt inputs equal the previous ones — every surviving
+        flow kept its exact path — the flow set is *not* marked dirty, so
+        the next rebalance skips the fair-share solve entirely (the
+        "bottleneck set unchanged" fast path for no-op topology events).
+        """
+        flow_links: dict[int, tuple] = {}
+        refs: dict[tuple, int] = {}
+        caps: dict[tuple, float] = {}
+        efficiency = self.efficiency
+        for flow in self._flows.values():
+            keys = []
+            for link in flow.links:
+                key = link.key
+                keys.append(key)
+                count = refs.get(key, 0)
+                if count == 0:
+                    caps[key] = link.capacity * efficiency
+                refs[key] = count + 1
+            flow_links[flow.fid] = tuple(keys)
+        weights = {f.fid: f.weight for f in self._flows.values()}
+        if (flow_links != self._flow_links or caps != self._caps
+                or weights != self._weights):
+            self._dirty = True
+        self._flow_links = flow_links
+        self._link_refs = refs
+        self._caps = caps
+        self._weights = weights
 
     def _reroute_all(self) -> None:
         """Re-resolve the path of every flow after a topology change."""
@@ -258,30 +394,74 @@ class Network:
             del self._flows[flow.fid]
             self._failed_flows.add(1)
             flow.done.fail(NoRouteError(f"flow {flow.src}->{flow.dst} lost its route"))
+        if self.engine != "reference":
+            self._rebuild_tracking()
         if dead:
             self.active_flows.set(self.sim.now, len(self._flows))
 
+    def _request_rebalance(self) -> None:
+        """Schedule one batched solve at the current instant.
+
+        Same-instant arrivals coalesce: the first request schedules a
+        low-priority event at ``now`` (so all other work at this timestamp
+        lands first) and subsequent requests are no-ops.  Rates only matter
+        once time advances, so deferring the solve within the timestamp is
+        invisible to completion times — N simultaneous arrivals cost one
+        solve instead of N.
+        """
+        if self._solve_pending:
+            return
+        self._solve_pending = True
+        self.sim.call_at(self.sim.now, self._run_pending_solve, priority=LOW)
+
+    def _run_pending_solve(self) -> None:
+        self._solve_pending = False
+        self._advance_progress()
+        self._rebalance()
+
     def _rebalance(self) -> None:
-        """Recompute all rates and schedule the next completion."""
+        """Recompute rates (if needed) and schedule the next completion."""
         if self.topology.epoch != self._seen_epoch:
             self._reroute_all()
         self._complete_finished()
         if not self._flows:
             self._timer_gen += 1  # cancel any outstanding timer
             return
-        flow_links = {f.fid: [lk.key for lk in f.links] for f in self._flows.values()}
-        capacities = {}
+        self.rebalances.add(1)
+        if self.engine == "reference":
+            flow_links = {f.fid: [lk.key for lk in f.links] for f in self._flows.values()}
+            capacities = {}
+            for flow in self._flows.values():
+                for link in flow.links:
+                    capacities[link.key] = link.capacity * self.efficiency
+            weights = {f.fid: f.weight for f in self._flows.values()}
+            rates = self._share_fn(flow_links, capacities, weights)
+            self.solves.add(1)
+            for flow in self._flows.values():
+                flow.rate = rates[flow.fid]
+        elif self._dirty:
+            rates = self._share_fn(self._flow_links, self._caps, self._weights)
+            self._dirty = False
+            self.solves.add(1)
+            for flow in self._flows.values():
+                flow.rate = rates[flow.fid]
+        else:
+            # Nothing about the flow set changed: the previous solution is
+            # still the fair-share solution.  Only the timer needs care.
+            self.solves_skipped.add(1)
+        horizon = math.inf
         for flow in self._flows.values():
-            for link in flow.links:
-                capacities[link.key] = link.capacity * self.efficiency
-        weights = {f.fid: f.weight for f in self._flows.values()}
-        rates = self._share_fn(flow_links, capacities, weights)
-        horizon = float("inf")
-        for flow in self._flows.values():
-            flow.rate = rates[flow.fid]
-            if flow.rate > 0:
-                horizon = min(horizon, flow.remaining / flow.rate)
-        if horizon is float("inf"):  # pragma: no cover - defensive
+            rate = flow.rate
+            if rate > 0:
+                eta = flow.remaining / rate
+                if eta < horizon:
+                    horizon = eta
+        if math.isinf(horizon):
+            # No flow is making progress (all rates zero — only possible
+            # with a degenerate sharing model).  Cancel the outstanding
+            # timer instead of scheduling one at t=inf; the flows stall
+            # until the next arrival/topology event re-solves.
+            self._timer_gen += 1
             return
         self._timer_gen += 1
         gen = self._timer_gen
@@ -297,14 +477,19 @@ class Network:
         # A flow is done when its residual is below an absolute byte epsilon
         # OR below a microsecond of service at its current rate — the latter
         # guards against float-precision livelock (a timer scheduled at
-        # now + sub-ulp delay would never advance the clock).
+        # now + sub-ulp delay would never advance the clock).  All flows
+        # reaching the horizon together complete in this one pass: one
+        # recompute for N simultaneous completions.
         finished = [
             f
             for f in self._flows.values()
             if f.remaining <= _COMPLETE_EPS_BYTES or f.remaining <= f.rate * 1e-6
         ]
+        incremental = self.engine != "reference"
         for flow in finished:
             del self._flows[flow.fid]
+            if incremental:
+                self._untrack_flow(flow)
             latency = self.topology.path_latency(flow.links)
             result = TransferResult(
                 flow.src,

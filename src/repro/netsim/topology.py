@@ -76,6 +76,14 @@ class Topology:
         self._node_attrs: dict[str, dict] = {}
         self._route_cache: dict[tuple[str, str], list[Link]] = {}
         self._epoch = 0  # bumped on any failure/repair/structure change
+        # Healthy-subgraph view, rebuilt at most once per epoch (a cache
+        # miss on any route would otherwise rebuild the whole nx.Graph).
+        self._healthy: Optional[nx.Graph] = None
+        #: Route-cache hit/miss tallies (plain ints: the network layer
+        #: exposes them as telemetry gauges; keeping them raw here avoids a
+        #: registry dependency in the pure-graph layer).
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
 
     # -- construction -----------------------------------------------------
     def add_node(self, name: str, **attrs: Any) -> None:
@@ -159,31 +167,55 @@ class Topology:
 
     def _invalidate(self) -> None:
         self._route_cache.clear()
+        self._healthy = None
         self._epoch += 1
 
     # -- routing -------------------------------------------------------------
     def _healthy_subgraph(self) -> nx.Graph:
-        g = nx.Graph()
-        for node, up in self._node_up.items():
-            if up:
-                g.add_node(node)
-        for link in self._links.values():
-            if link.up and self._node_up[link.a] and self._node_up[link.b]:
-                g.add_edge(link.a, link.b, weight=link.latency + 1e-9)
+        """The healthy-elements-only graph, cached until the next epoch bump."""
+        g = self._healthy
+        if g is None:
+            g = nx.Graph()
+            for node, up in self._node_up.items():
+                if up:
+                    g.add_node(node)
+            for link in self._links.values():
+                if link.up and self._node_up[link.a] and self._node_up[link.b]:
+                    g.add_edge(link.a, link.b, weight=link.latency + 1e-9)
+            self._healthy = g
         return g
 
     def route(self, src: str, dst: str) -> list[Link]:
         """Links on the healthy min-latency path from ``src`` to ``dst``.
 
         Returns an empty list when ``src == dst``.  Raises
-        :class:`NoRouteError` when no healthy path exists.
+        :class:`NoRouteError` when no healthy path exists.  Results are
+        cached per ``(src, dst)`` pair until the next epoch bump, so an
+        unchanged topology never re-runs pathfinding;
+        :meth:`_reference_route` is the uncached oracle the differential
+        tests compare against.
         """
         if src == dst:
             return []
         key = (src, dst) if src < dst else (dst, src)
         cached = self._route_cache.get(key)
         if cached is not None:
+            self.route_cache_hits += 1
             return cached
+        self.route_cache_misses += 1
+        links = self._reference_route(src, dst)
+        self._route_cache[key] = links
+        return links
+
+    def _reference_route(self, src: str, dst: str) -> list[Link]:
+        """Uncached pathfinding over the healthy subgraph (oracle).
+
+        This is the actual shortest-path computation :meth:`route`
+        memoizes.  ``tests/netsim/test_differential.py`` calls it directly
+        to prove cached answers never go stale across epoch bumps.
+        """
+        if src == dst:
+            return []
         if not self._node_up.get(src, False) or not self._node_up.get(dst, False):
             raise NoRouteError(f"endpoint down: {src if not self._node_up.get(src) else dst}")
         g = self._healthy_subgraph()
@@ -191,9 +223,7 @@ class Topology:
             path = nx.shortest_path(g, src, dst, weight="weight")
         except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
             raise NoRouteError(f"no healthy route {src} -> {dst}") from exc
-        links = [self.link_between(u, v) for u, v in zip(path, path[1:])]
-        self._route_cache[key] = links
-        return links
+        return [self.link_between(u, v) for u, v in zip(path, path[1:])]
 
     def path_latency(self, links: Iterable[Link]) -> float:
         """Sum of one-way latencies along a route."""

@@ -12,7 +12,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.simkit.errors import SimkitError, StopSimulation
-from repro.simkit.events import NORMAL, AllOf, AnyOf, Event, Process, Timeout
+from repro.simkit.events import NORMAL, AllOf, AnyOf, Callback, Event, Process, Timeout
 from repro.simkit.rand import RandomSource
 
 _INFINITY = float("inf")
@@ -108,28 +108,38 @@ class Simulator:
         """Event that triggers once any of ``events`` has triggered."""
         return AnyOf(self, events)
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
-        """Run ``fn()`` at absolute simulation time ``when``."""
+    def call_at(self, when: float, fn: Callable[[], None], priority: int = NORMAL) -> Event:
+        """Run ``fn()`` at absolute simulation time ``when``.
+
+        ``priority`` orders the callback among same-time events (e.g.
+        :data:`~repro.simkit.events.LOW` runs it after all normal work at
+        that instant — how netsim batches same-instant rate solves).
+        """
         if when < self._now:
             raise SimkitError(f"call_at({when}) is in the past (now={self._now})")
-        ev = self.event(name=f"call_at({when:.6g})")
-        ev.callbacks.append(lambda _ev: fn())
-        ev.succeed(delay=when - self._now)
-        return ev
+        return Callback(self, when, fn, priority=priority)
 
     # -- scheduling (kernel internal) -----------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         if delay < 0:
             raise SimkitError(f"cannot schedule event in the past (delay={delay})")
         self._seq += 1
-        tie = int(self._tie_rng.generator.integers(0, 2**31)) if self._tie_rng else 0
-        heapq.heappush(self._heap, (self._now + delay, priority, tie, self._seq, event))
+        if self._tie_rng is None:
+            heapq.heappush(self._heap, (self._now + delay, priority, 0, self._seq, event))
+        else:
+            tie = int(self._tie_rng.generator.integers(0, 2**31))
+            heapq.heappush(self._heap, (self._now + delay, priority, tie, self._seq, event))
 
     # -- execution ---------------------------------------------------------------
     @property
     def queue_empty(self) -> bool:
         """True when no future events remain."""
         return not self._heap
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the monotonic sequence counter)."""
+        return self._seq
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -176,14 +186,28 @@ class Simulator:
             if stop_time < self._now:
                 raise SimkitError(f"run(until={stop_time}) is in the past (now={self._now})")
 
+        # The loop body inlines step()/peek() for the common case (no trace
+        # hooks installed): one heappop, one _process, one failure check per
+        # event, with no method-call or property overhead.  When hooks are
+        # present (the sanitizer's tap) it falls back to step() so traced
+        # and untraced runs execute identical event logic.
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                if stop_event is not None and stop_event.processed:
-                    return stop_event._value if stop_event.ok else None
-                if self.peek() > stop_time:
+            while heap:
+                if stop_event is not None and stop_event._state == Event.PROCESSED:
+                    return stop_event._value if stop_event._exception is None else None
+                if heap[0][0] > stop_time:
                     self._now = stop_time
                     return None
-                self.step()
+                if self.trace_hooks:
+                    self.step()
+                    continue
+                when, _prio, _tie, _seq, event = heappop(heap)
+                self._now = when
+                event._process()
+                if event._exception is not None and not event.defused:
+                    raise event._exception
         except StopSimulation:
             return None
         if stop_event is not None:

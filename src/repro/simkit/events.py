@@ -43,7 +43,7 @@ class Event:
         Optional label used in ``repr`` and traces.
     """
 
-    __slots__ = ("sim", "name", "callbacks", "_value", "_exception", "_state", "defused")
+    __slots__ = ("sim", "_name", "callbacks", "_value", "_exception", "_state", "defused")
 
     PENDING = 0
     TRIGGERED = 1
@@ -51,7 +51,7 @@ class Event:
 
     def __init__(self, sim: "Simulator", name: Optional[str] = None):
         self.sim = sim
-        self.name = name
+        self._name = name
         self.callbacks: list[Callable[["Event"], None]] = []
         self._value: Any = None
         self._exception: Optional[BaseException] = None
@@ -61,6 +61,20 @@ class Event:
         self.defused = False
 
     # -- state inspection -------------------------------------------------
+    @property
+    def name(self) -> Optional[str]:
+        """Label used in ``repr`` and traces.
+
+        A property (rather than a plain slot) so hot subclasses such as
+        :class:`Timeout` can render their label *lazily* — formatting an
+        f-string per event is pure overhead when nobody reads it.
+        """
+        return self._name
+
+    @name.setter
+    def name(self, value: Optional[str]) -> None:
+        self._name = value
+
     @property
     def triggered(self) -> bool:
         """True once ``succeed``/``fail`` has been called."""
@@ -129,18 +143,68 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` sim-seconds after creation."""
+    """An event that fires ``delay`` sim-seconds after creation.
+
+    The hottest event type in the facility (every service time is one), so
+    construction is inlined — slots are assigned directly rather than
+    through :meth:`Event.__init__`, and the ``Timeout(...)`` label is
+    rendered lazily by the :attr:`name` property.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None, priority: int = NORMAL):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"Timeout({delay:.6g})")
-        self.delay = delay
+        self.sim = sim
+        self._name = None
+        self.callbacks = []
         self._value = value
+        self._exception = None
         self._state = Event.TRIGGERED
+        self.defused = False
+        self.delay = delay
         sim._schedule(self, delay=delay, priority=priority)
+
+    @property
+    def name(self) -> str:
+        """Lazily formatted ``Timeout(<delay>)`` label."""
+        return f"Timeout({self.delay:.6g})"
+
+
+class Callback(Event):
+    """Internal event type behind :meth:`Simulator.call_at`.
+
+    Runs a bare thunk when processed; the ``call_at(<when>)`` label is
+    rendered lazily and construction bypasses :meth:`Event.__init__`
+    (timer rescheduling in netsim creates one of these per rebalance).
+    """
+
+    __slots__ = ("fn", "when")
+
+    def __init__(self, sim: "Simulator", when: float, fn: Callable[[], None], priority: int = NORMAL):
+        self.sim = sim
+        self._name = None
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._state = Event.TRIGGERED
+        self.defused = False
+        self.fn = fn
+        self.when = when
+        sim._schedule(self, delay=when - sim.now, priority=priority)
+
+    @property
+    def name(self) -> str:
+        """Lazily formatted ``call_at(<when>)`` label."""
+        return f"call_at({self.when:.6g})"
+
+    def _process(self) -> None:
+        self._state = Event.PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        self.fn()
+        for callback in callbacks:
+            callback(self)
 
 
 class Process(Event):
@@ -209,12 +273,12 @@ class Process(Event):
         try:
             while True:
                 try:
-                    if event.failed and not event.defused:
-                        # Not a deliberate interrupt: mark handled and raise.
+                    exc = event._exception
+                    if exc is not None:
+                        # Mark handled (a deliberate interrupt already is)
+                        # and raise inside the generator.
                         event.defused = True
-                        next_event = self._gen.throw(event._exception)
-                    elif event.failed:
-                        next_event = self._gen.throw(event._exception)
+                        next_event = self._gen.throw(exc)
                     else:
                         next_event = self._gen.send(event._value)
                 except StopIteration as stop:
@@ -243,7 +307,7 @@ class Process(Event):
                         self.fail(exc2, priority=URGENT)
                         return
                     continue
-                if next_event.processed:
+                if next_event._state == Event.PROCESSED:
                     # Already happened: resume immediately with its outcome.
                     event = next_event
                     continue
@@ -290,11 +354,12 @@ class _Condition(Event):
 
     def _check(self, event: Event) -> None:
         self._pending -= 1
-        if self.triggered:
-            if event.failed:
+        failed = event._exception is not None
+        if self._state >= Event.TRIGGERED:
+            if failed:
                 event.defused = True
             return
-        if event.failed:
+        if failed:
             event.defused = True
             self.fail(event._exception, priority=URGENT)
         elif self._ready():

@@ -121,10 +121,13 @@ class EventBus:
         self._ring.append(event)
         self._counts[kind] = self._counts.get(kind, 0) + 1
         self._published += 1
-        for subscription in list(self._subscriptions):
-            if subscription.matches(kind):
-                subscription.delivered += 1
-                subscription.callback(event)
+        if self._subscriptions:
+            # Snapshot so a callback that (un)subscribes mid-delivery
+            # doesn't perturb this fan-out; skipped when nobody listens.
+            for subscription in list(self._subscriptions):
+                if subscription.matches(kind):
+                    subscription.delivered += 1
+                    subscription.callback(event)
         return event
 
     # -- subscriptions ------------------------------------------------------

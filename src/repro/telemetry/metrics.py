@@ -89,13 +89,19 @@ class Counter(Instrument):
         self.events = 0
 
     def add(self, amount: float = 1.0) -> None:
-        """Increment by ``amount`` (must be >= 0)."""
-        if amount < 0:
+        """Increment by ``amount`` (must be >= 0).
+
+        The disabled check comes first so a disabled registry pays a single
+        attribute test per call; negative increments still raise whether or
+        not the registry is enabled.
+        """
+        if self._on:
+            if amount < 0:
+                raise MetricError(f"{self.name}: counter increments must be >= 0")
+            self.value += amount
+            self.events += 1
+        elif amount < 0:
             raise MetricError(f"{self.name}: counter increments must be >= 0")
-        if not self._on:
-            return
-        self.value += amount
-        self.events += 1
 
     def rate(self, elapsed: float) -> float:
         """Average accumulation rate over ``elapsed`` seconds."""
@@ -279,7 +285,26 @@ class MetricFamily:
         self._children: dict[tuple[tuple[str, str], ...], Instrument] = {}
 
     def child(self, labels: dict[str, str]) -> Instrument:
-        """Get-or-create the instrument for one label set."""
+        """Get-or-create the instrument for one label set.
+
+        Call sites should resolve their children once (at construction)
+        and keep the handle.  Repeat lookups against an already-registered
+        label-name set take a fast path with no per-call sorting or regex
+        validation — the names were validated when the set was first seen,
+        so only the values need keying.
+        """
+        names = self._label_names
+        if names is not None and len(labels) == len(names):
+            try:
+                key = tuple((name, str(labels[name])) for name in names)
+            except KeyError:
+                pass  # different label names: full validation below
+            else:
+                child = self._children.get(key)
+                if child is None:
+                    child = _INSTRUMENTS[self.kind](self, dict(key))
+                    self._children[key] = child
+                return child
         names = tuple(sorted(labels))
         for label in names:
             if not _LABEL_RE.match(label):

@@ -215,3 +215,81 @@ class TestFailures:
         ev = net.transfer("src", "dst", 1000.0)
         sim.run()
         assert ev.value.duration == pytest.approx(10.0, abs=0.1)
+
+
+class TestIncrementalEngine:
+    """PR 5: batched solves, solve skipping and the isinf horizon fix."""
+
+    def test_same_instant_arrivals_batch_into_one_solve(self, sim):
+        net = Network(sim, _line(capacity=100.0))
+        events = [net.transfer("a", "c", 1000.0) for _ in range(4)]
+        sim.run(until=0.0)  # processes the one deferred solve at t=0
+        assert int(net.solves.value) == 1
+        assert int(net.rebalances.value) == 1
+        sim.run()
+        # All four shared 25 B/s throughout.
+        for ev in events:
+            assert ev.value.duration == pytest.approx(40.0)
+
+    def test_noop_topology_event_skips_the_solve(self, sim):
+        topo = _line(capacity=100.0)
+        # A spare link no route uses: failing it changes nothing.
+        topo.add_link("b", "d", capacity=100.0, latency=0.0)
+        net = Network(sim, topo)
+        ev = net.transfer("a", "c", 1000.0)
+
+        def chaos():
+            yield sim.timeout(5.0)
+            net.fail_link("b", "d")
+
+        sim.process(chaos())
+        sim.run()
+        assert int(net.solves_skipped.value) == 1
+        # The skipped solve still rescheduled the completion timer.
+        assert ev.value.duration == pytest.approx(10.0)
+
+    def test_all_zero_rates_cancel_timer_instead_of_t_inf(self, sim, monkeypatch):
+        # Regression for the `horizon is float("inf")` identity bug: an
+        # all-zero-rate solution must cancel the timer (flows stall until
+        # the next event), not schedule one at t=inf and spin forever.
+        from repro.netsim import network as network_module
+
+        def stalled(flow_links, capacities, weights=None):
+            return {fid: 0.0 for fid in flow_links}
+
+        monkeypatch.setitem(network_module.SHARING_MODELS, "stall", stalled)
+        net = Network(sim, _line(), sharing="stall")
+        net.transfer("a", "c", 1000.0)
+        sim.run()  # must drain: no timer at t=inf
+        assert net.flow_count == 1  # stalled in flight, not completed
+        assert sim.now < float("inf")
+
+    def test_rate_visible_after_batched_solve(self, sim):
+        net = Network(sim, _line(capacity=100.0))
+        ev = net.transfer("a", "c", 1000.0)
+        fid = next(iter(net._flows))
+        sim.run(until=0.0)
+        assert net.current_rate(fid) == pytest.approx(100.0)
+        sim.run()
+        assert ev.value.duration == pytest.approx(10.0)
+
+    def test_failover_reroute_solves_once(self, sim):
+        topo = Topology()
+        topo.add_link("src", "r1", capacity=100.0, latency=0.001)
+        topo.add_link("src", "r2", capacity=100.0, latency=0.002)
+        topo.add_link("r1", "dst", capacity=100.0, latency=0.001)
+        topo.add_link("r2", "dst", capacity=100.0, latency=0.002)
+        net = Network(sim, topo)
+        ev = net.transfer("src", "dst", 2000.0)
+
+        def chaos():
+            yield sim.timeout(10.0)
+            net.fail_node("r1")
+
+        sim.process(chaos())
+        sim.run()
+        assert ev.value.reroutes == 1
+        # Arrival solve + failover solve + completion pass; the failover
+        # changed the path so nothing was skipped.
+        assert int(net.solves_skipped.value) == 0
+        assert int(net.solves.value) >= 2

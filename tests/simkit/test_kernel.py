@@ -441,3 +441,83 @@ def test_determinism_same_seed_same_trace():
         return log
 
     assert run_once() == run_once()
+
+
+class TestHotPathKernel:
+    """PR 5 kernel optimizations: lazy names, Callback events, fast run loop."""
+
+    def test_timeout_name_is_lazy_and_stable(self, sim):
+        timeout = sim.timeout(3.5)
+        assert timeout.name == "Timeout(3.5)"
+        assert timeout.name == "Timeout(3.5)"
+
+    def test_event_name_remains_settable(self, sim):
+        ev = sim.event(name="before")
+        assert ev.name == "before"
+        ev.name = "after"
+        assert ev.name == "after"
+        assert "after" in repr(ev)
+
+    def test_call_at_name_formats_lazily(self, sim):
+        ev = sim.call_at(2.0, lambda: None)
+        assert ev.name == "call_at(2)"
+        sim.run()
+        assert ev.processed and ev.ok
+
+    def test_call_at_priority_orders_same_instant_work(self, sim):
+        from repro.simkit.events import LOW
+
+        order = []
+        sim.call_at(1.0, lambda: order.append("low"), priority=LOW)
+        sim.call_at(1.0, lambda: order.append("normal"))
+        sim.call_at(2.0, lambda: order.append("later"))
+        sim.run()
+        assert order == ["normal", "low", "later"]
+
+    def test_call_at_event_still_supports_callbacks(self, sim):
+        hits = []
+        ev = sim.call_at(1.0, lambda: hits.append("fn"))
+        ev.callbacks.append(lambda _e: hits.append("cb"))
+        sim.run()
+        # fn runs first (the Callback's own action), then appended callbacks.
+        assert hits == ["fn", "cb"]
+
+    def test_traced_run_matches_untraced_fast_path(self):
+        def run(with_hook):
+            sim = Simulator(seed=3)
+            trace = []
+            if with_hook:
+                sim.trace_hooks.append(
+                    lambda when, prio, seq, ev: trace.append((when, ev.name or ""))
+                )
+            out = []
+
+            def proc():
+                for i in range(5):
+                    yield sim.timeout(0.5 + i)
+                    out.append(sim.now)
+                return "done"
+
+            p = sim.process(proc())
+            sim.run()
+            return out, p.value, trace
+
+        traced_out, traced_val, trace = run(True)
+        fast_out, fast_val, _ = run(False)
+        # The inlined no-hook loop and the step()-based traced loop must
+        # execute identical event logic.
+        assert traced_out == fast_out
+        assert traced_val == fast_val == "done"
+        assert trace  # the hook actually observed events
+
+    def test_events_scheduled_counter(self, sim):
+        before = sim.events_scheduled
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        assert sim.events_scheduled == before + 2
+
+    def test_failed_event_still_surfaces_in_fast_loop(self, sim):
+        ev = sim.event(name="boom")
+        ev.fail(RuntimeError("kaput"))
+        with pytest.raises(RuntimeError, match="kaput"):
+            sim.run()
