@@ -137,6 +137,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _seed_policy_objects(facility, count: int = 8) -> None:
+    """Real, content-hashed objects in the primary store with catalog
+    entries under the default-rule communities (zebrafish + dna) — the
+    minimum population for a meaningful placement-policy demo."""
+    from repro.adal.api import checksum_bytes
+    from repro.metadata.schema import FieldSpec, Schema
+
+    facility.metadata.register_project(
+        "dna", Schema("dna-basic", [FieldSpec("sample", "str")]))
+    backend = facility.adal_registry.resolve("lsdf")
+    for i in range(count):
+        data = bytes([65 + (i % 26)]) * 4096
+        if i % 4 == 3:
+            project, basic = "dna", {"sample": f"run{i}"}
+        else:
+            project, basic = "zebrafish", {"plate": i, "well": "A01"}
+        path = f"policy/obj{i}"
+        backend.put(path, data)
+        facility.metadata.register_dataset(
+            f"policy-{i}", project, f"adal://lsdf/{path}", len(data),
+            checksum_bytes(data), basic)
+
+
 def _scenario_facility(args: argparse.Namespace):
     """A facility after the standard observable scenario: optional zebrafish
     ingest plus (``--drill``) one of the bundled chaos drills."""
@@ -150,10 +173,58 @@ def _scenario_facility(args: argparse.Namespace):
     elif drill == "durability":
         facility.durability_drill().run(facility)
         facility.durability.scrubber.start()
+    elif drill == "policy":
+        _seed_policy_objects(facility, count=6)
+        facility.sim.run(until=facility.convergence.converge_once())
+        facility.policy_drill(start=facility.sim.now + 300.0).run(facility)
+        facility.run(until=facility.sim.now + 700.0)
+        facility.sim.run(until=facility.convergence.converge_once())
     if args.hours > 0:
         pipeline = facility.ingest_pipeline(zebrafish_microscopes(instruments=4))
         pipeline.run(duration=args.hours * units.HOUR)
     return facility
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    from repro.core import Facility
+    from repro.core.config import lsdf_2011_config
+
+    cfg = lsdf_2011_config()
+    if args.quota_mb is not None:
+        cfg.policy_quota_bytes = args.quota_mb * units.MB
+    facility = Facility(cfg, seed=args.seed)
+    _seed_policy_objects(facility, count=args.objects)
+    if args.drill:
+        # Establish the declared state first, then let chaos break it —
+        # the reported pass is the *re*-convergence that heals the damage.
+        facility.sim.run(until=facility.convergence.converge_once())
+        facility.policy_drill(start=facility.sim.now + 300.0).run(facility)
+        facility.run(until=facility.sim.now + 700.0)
+    report = facility.sim.run(until=facility.convergence.converge_once())
+    remaining = facility.drift.detect(publish=False)
+    audit = facility.durability.auditor.audit(verify_content=True)
+    stats = facility.policy.stats()
+    print(f"placement policy over {stats['managed_datasets']} managed "
+          f"dataset(s), {stats['rules']} rule(s)"
+          + (" after the chaos drill" if args.drill else "") + ":")
+    print(f"  pass                  "
+          f"{'converged' if report.converged else 'DIVERGED'}"
+          + (" (degraded)" if report.degraded else "")
+          + f" in {report.rounds} round(s), "
+            f"{fmt_duration(report.finished - report.started)}")
+    for label, n in sorted(report.actions.items()):
+        print(f"  {label:22s} x{n}")
+    if report.quota_skipped or report.failed or report.abandoned:
+        print(f"  blocked               quota={report.quota_skipped} "
+              f"failed={report.failed} abandoned={report.abandoned}")
+    print(f"  residual drift        {len(remaining)}")
+    print(f"  consistency audit     "
+          f"{'clean' if audit.clean else 'VIOLATIONS'}")
+    ok = report.converged and not remaining and audit.clean
+    if args.check and not ok:
+        print("policy convergence check FAILED", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -238,13 +309,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_report)
 
+    p = sub.add_parser("policy", help="placement rules: seed objects, "
+                                      "converge, report declared-state drift")
+    p.add_argument("--objects", type=int, default=8,
+                   help="demo objects to seed in the primary store")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quota-mb", type=float, default=None,
+                   help="per-community replica quota in MB "
+                        "(demonstrates graceful degradation)")
+    p.add_argument("--drill", action="store_true",
+                   help="run the bundled policy chaos drill before converging")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero unless the pass converges with zero "
+                        "residual drift and a clean audit (CI gate)")
+    p.set_defaults(fn=_cmd_policy)
+
     p = sub.add_parser("metrics", help="dump the telemetry registry "
                                        "(Prometheus text or JSON)")
     p.add_argument("--hours", type=float, default=0.25,
                    help="simulated hours of zebrafish ingest first")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--format", choices=("text", "json"), default="text")
-    p.add_argument("--drill", choices=("none", "resilience", "durability"),
+    p.add_argument("--drill",
+                   choices=("none", "resilience", "durability", "policy"),
                    default="none", help="run a bundled chaos drill first")
     p.add_argument("--require", action="append", default=[],
                    metavar="METRIC",
@@ -260,7 +347,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="show at most this many trailing events")
     p.add_argument("--kind", default=None,
                    help="glob filter on the event kind, e.g. 'breaker.*'")
-    p.add_argument("--drill", choices=("none", "resilience", "durability"),
+    p.add_argument("--drill",
+                   choices=("none", "resilience", "durability", "policy"),
                    default="none", help="run a bundled chaos drill first")
     p.set_defaults(fn=_cmd_events)
 

@@ -20,6 +20,7 @@ from repro.core.chaos import (
     ChaosSchedule,
     Incident,
     durability_drill,
+    policy_drill,
     resilience_drill,
     rolling_node_failures,
     router_flap,
@@ -38,6 +39,7 @@ __all__ = [
     "ReportSection",
     "durability_drill",
     "lsdf_2011_config",
+    "policy_drill",
     "resilience_drill",
     "rolling_node_failures",
     "router_flap",

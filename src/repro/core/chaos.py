@@ -405,3 +405,47 @@ def durability_drill(
                           target=("metadata",), repair_after=recovery_after,
                           params={"torn_tail_bytes": torn_tail_bytes}))
     return schedule
+
+
+def policy_drill(
+    store: str = "lsdf",
+    arrays: Optional[list[str]] = None,
+    datanodes: Optional[list[str]] = None,
+    start: float = 300.0,
+    corrupt_count: int = 2,
+    degrade_duration: float = 120.0,
+    node_outage: float = 180.0,
+) -> ChaosSchedule:
+    """The bundled placement-policy scenario: the faults the convergence
+    loop must heal without violating declared state.
+
+    Composes (relative to ``start``):
+
+    * a ``silent_corruption`` burst flipping bytes of ``corrupt_count``
+      primary objects in the ADAL ``store`` — the drift detector must
+      classify the damage and the daemon must restore the canonical
+      bytes through the repair planner (replica stores are the source);
+    * an ``array_degraded`` brown-out of the first array for
+      ``degrade_duration`` seconds — convergence keeps running while
+      placement is constrained;
+    * one ``node_down`` datanode loss for ``node_outage`` seconds —
+      HDFS-local declarations survive a cluster fault.
+
+    The drill passes when a convergence pass after the incidents reports
+    ``converged`` with every declared replica count restored and the
+    consistency auditor finds zero violations at quiescence — asserted
+    by the E2E test, measured by the E17 benchmark, gated in CI's tiny
+    arm.
+    """
+    schedule = ChaosSchedule()
+    schedule.add(Incident(at=start, kind="silent_corruption", target=(store,),
+                          params={"count": corrupt_count}))
+    if arrays:
+        schedule.add(Incident(at=start + 60.0, kind="array_degraded",
+                              target=(arrays[0],),
+                              repair_after=degrade_duration))
+    if datanodes:
+        schedule.add(Incident(at=start + 120.0, kind="node_down",
+                              target=(datanodes[0],),
+                              repair_after=node_outage))
+    return schedule

@@ -97,6 +97,27 @@ class FacilityConfig:
     #: ADAL stores under durability management (scrubbed and audited).
     audit_stores: tuple[str, ...] = ("lsdf",)
 
+    # -- placement policy ---------------------------------------------------------------
+    #: Master switch: when False the convergence daemon detects drift but
+    #: executes nothing (detection-only ablation arm).
+    policy_enabled: bool = True
+    #: Off-system replica stores, in declaration order (registered as ADAL
+    #: backends and used as repair-planner restore sources).
+    policy_replica_stores: tuple[str, ...] = ("replica-a",)
+    #: Install the paper's per-community default placement rules.
+    policy_default_rules: bool = True
+    #: Convergence budget in bytes/second of simulated time.
+    policy_bandwidth: float = 500 * units.MB
+    #: Sleep between convergence passes when the daemon runs.
+    policy_interval: float = 6 * units.HOUR
+    #: Strikes before a persistently failing drift is abandoned (dead-
+    #: lettered with a ``policy.gave_up`` event).
+    policy_max_retries: int = 3
+    #: Re-detection rounds per convergence pass.
+    policy_max_rounds: int = 8
+    #: Per-community replica byte budget (None = unlimited).
+    policy_quota_bytes: float | None = None
+
     # -- telemetry spine ----------------------------------------------------------------
     #: Master switch: when False the metrics registry and event bus become
     #: no-ops (instruments still exist, recording is skipped) — the E15

@@ -33,6 +33,14 @@ from repro.metadata.store import MetadataStore
 from repro.adal.api import AdalClient, BackendRegistry
 from repro.adal.backends.memory import MemoryBackend
 from repro.durability import DurabilityKit, DurableMetadataStore
+from repro.policy import (
+    ConvergenceDaemon,
+    DriftDetector,
+    PolicyEngine,
+    QuotaBook,
+    community_defaults,
+    hdfs_path,
+)
 from repro.databrowser.browser import DataBrowser
 from repro.databrowser.triggers import TriggerEngine
 from repro.rules.engine import RuleContext, RuleEngine
@@ -66,6 +74,10 @@ class Facility:
         Start the periodic integrity-scrub daemon (off by default for the
         same reason; ``facility.durability.scrubber.scrub_once()`` runs a
         single pass on demand).
+    policy_daemon:
+        Start the periodic placement-convergence daemon (off by default
+        for the same reason; ``facility.convergence.converge_once()``
+        runs a single pass on demand).
     """
 
     def __init__(
@@ -74,6 +86,7 @@ class Facility:
         seed: int = 0,
         hsm_daemon: bool = False,
         scrub_daemon: bool = False,
+        policy_daemon: bool = False,
     ):
         self.config = config or lsdf_2011_config()
         cfg = self.config
@@ -196,6 +209,11 @@ class Facility:
         )
         self.adal_registry = BackendRegistry()
         self.adal_registry.register("lsdf", MemoryBackend())
+        # Replica stores are real backends but are *not* audited: policy
+        # replica copies carry no catalog entries of their own and would
+        # read as dark data to the consistency auditor.
+        for replica_store in cfg.policy_replica_stores:
+            self.adal_registry.register(replica_store, MemoryBackend())
         self.adal = AdalClient(
             self.adal_registry,
             retry_policy=self.resilience.policy if cfg.resilience_enabled else None,
@@ -223,12 +241,49 @@ class Facility:
             hdfs=self.hdfs,
             hsm=self.hsm,
             dlq=self.resilience.dlq,
+            replica_stores=cfg.policy_replica_stores,
             scrub_bandwidth=cfg.scrub_bandwidth,
             scrub_interval=cfg.scrub_interval,
             enabled=cfg.durability_enabled,
         )
         if scrub_daemon:
             self.durability.scrubber.start()
+
+        # -- placement policy ---------------------------------------------------------
+        self.policy = PolicyEngine(
+            self.metadata,
+            self.adal_registry,
+            primary_store=cfg.audit_stores[0] if cfg.audit_stores else "lsdf",
+            replica_stores=cfg.policy_replica_stores,
+            quotas=QuotaBook(default_limit=cfg.policy_quota_bytes),
+        )
+        if cfg.policy_default_rules:
+            self.policy.register_defaults(
+                community_defaults(len(cfg.policy_replica_stores)))
+        self.drift = DriftDetector(
+            self.policy,
+            tape=self.tape,
+            namenode=self.hdfs.namenode,
+            clock=lambda: self.sim.now,
+            hub=self.telemetry,
+        )
+        self.convergence = ConvergenceDaemon(
+            self.sim,
+            self.policy,
+            self.drift,
+            planner=self.durability.planner,
+            resilience=self.resilience,
+            tape=self.tape,
+            stager=lambda record: self.load_into_hdfs(
+                hdfs_path(record), max(1.0, float(record.size))),
+            bandwidth=cfg.policy_bandwidth,
+            interval=cfg.policy_interval,
+            max_retries=cfg.policy_max_retries,
+            max_rounds=cfg.policy_max_rounds,
+            enabled=cfg.policy_enabled,
+        )
+        if policy_daemon:
+            self.convergence.start()
 
         # -- facility-level gauges ------------------------------------------------
         # The glue-layer objects (metadata repository, topology) have no
@@ -346,6 +401,7 @@ class Facility:
             "net_bytes": self.net.bytes_delivered.value,
             "resilience": self.resilience.stats(),
             "durability": self.durability.stats(),
+            "policy": {**self.policy.stats(), **self.convergence.stats()},
         }
 
     def resilience_drill(self, **kwargs):
@@ -373,6 +429,22 @@ class Facility:
 
         kwargs.setdefault("store", self.config.audit_stores[0])
         return durability_drill(**kwargs)
+
+    def policy_drill(self, **kwargs):
+        """The bundled placement-policy scenario (silent corruption + array
+        brown-out + node loss) for this facility.
+
+        Convenience wrapper around
+        :func:`repro.core.chaos.policy_drill`; run the returned schedule
+        with ``schedule.run(facility)``, then let the convergence daemon
+        (or ``facility.convergence.converge_once()``) restore every
+        declared replica count — the closing audit must be clean."""
+        from repro.core.chaos import policy_drill
+
+        kwargs.setdefault("store", self.config.audit_stores[0])
+        kwargs.setdefault("arrays", [a.name for a in self.arrays])
+        kwargs.setdefault("datanodes", list(self.names.cluster[:2]))
+        return policy_drill(**kwargs)
 
     def director(self, **kwargs):
         """A workflow director wired to this facility's simulator and

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.policy import DRIFT_KINDS
 from repro.simkit import units
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,6 +62,7 @@ class FacilityReport:
         (60, "_metadata"),
         (70, "_resilience"),
         (80, "_durability"),
+        (90, "_policy"),
     )
 
     def __init__(self, facility: "Facility"):
@@ -229,6 +231,56 @@ class FacilityReport:
                         f"{int(reg.value('metadata.recoveries'))}"
                         f"/{int(reg.value('metadata.crashes'))} "
                         "recoveries/crashes")
+        return section
+
+    def _policy(self) -> ReportSection:
+        reg = self.registry
+        daemon = self.facility.convergence
+        engine = self.facility.policy
+        section = ReportSection("placement policy")
+        if not daemon.enabled:
+            section.add("status", "disabled (detection only)")
+        section.add("rules",
+                    f"{int(reg.value('policy.rules'))} "
+                    f"({int(reg.value('policy.managed_datasets'))} datasets "
+                    "managed)")
+        section.add("convergence passes",
+                    f"{int(reg.value('policy.converge_passes_total'))} "
+                    f"({int(reg.value('policy.converge_rounds_total'))} "
+                    "rounds)")
+        from repro.policy import DRIFT_KINDS
+
+        drift_rows = [
+            f"{kind}: {int(reg.value('policy.drift_detected_total', kind=kind))}"
+            for kind in DRIFT_KINDS
+            if reg.value("policy.drift_detected_total", kind=kind)
+        ]
+        section.add("drift detected",
+                    ", ".join(drift_rows) if drift_rows else "none")
+        tally = daemon.stats()["actions"]
+        section.add("actions",
+                    ", ".join(f"{label} x{count}"
+                              for label, count in sorted(tally.items()))
+                    if tally else "none needed")
+        section.add("quota skips / abandoned",
+                    f"{int(reg.value('policy.quota_skips_total'))} / "
+                    f"{int(reg.value('policy.abandoned_keys'))}")
+        quotas = engine.quotas.snapshot()
+        charged = [name for name in sorted(quotas) if quotas[name]["used"]]
+        if charged:
+            section.add(
+                "replica quota",
+                ", ".join(
+                    f"{name} {units.fmt_bytes(quotas[name]['used'])}"
+                    + (f"/{units.fmt_bytes(quotas[name]['limit'])}"
+                       if quotas[name]["limit"] is not None else "")
+                    for name in charged))
+        last = daemon.reports[-1] if daemon.reports else None
+        if last is not None:
+            section.add("last pass",
+                        ("converged" if last.converged else "diverged")
+                        + (" (degraded)" if last.degraded else "")
+                        + f", {last.repaired} repaired / {last.failed} failed")
         return section
 
     # -- rendering ------------------------------------------------------------

@@ -1,0 +1,436 @@
+"""The self-healing convergence daemon.
+
+A background simkit process (bandwidth-budgeted like the integrity
+scrubber) that repeatedly diffs declared vs. actual placement state and
+executes the difference until the facility is quiescent:
+
+* ``corrupt_primary`` drifts are handed — as real auditor findings — to
+  the :class:`~repro.durability.repair.RepairPlanner`, subsuming its
+  object-restore decision tree behind the rules;
+* ``missing_replica`` copies move bytes at the configured bandwidth
+  budget through the resilience layer (retries on transient backend
+  faults, dead-lettering when exhausted) under per-community quotas;
+* ``missing_tape`` archives through the tape library (mount/write time
+  is simulated), ``missing_hdfs`` stages through the analysis cluster;
+* ``expired`` datasets are tagged, which shrinks their declaration so
+  the next round reclaims their surplus replicas.
+
+Re-convergence is **bounded**: a drift that keeps failing accrues
+strikes and is abandoned after ``max_retries`` (dead-lettered, with a
+``policy.gave_up`` event), and quota/capacity exhaustion degrades
+gracefully — the copy is skipped and reported, the pass still
+terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.adal.api import AdalUrl, checksum_bytes
+from repro.adal.errors import BackendUnavailableError
+from repro.durability.repair import RepairPlanner
+from repro.policy.drift import (
+    CORRUPT_PRIMARY,
+    EXPIRED,
+    MISSING_HDFS,
+    MISSING_REPLICA,
+    MISSING_TAPE,
+    SURPLUS_REPLICA,
+    Drift,
+    DriftDetector,
+)
+from repro.policy.engine import PolicyEngine
+from repro.policy.model import EXPIRED_TAG, QuotaExceededError
+from repro.simkit.core import Simulator
+from repro.simkit.events import Event
+from repro.telemetry.events import ERROR, INFO, WARNING
+from repro.telemetry.hub import TelemetryHub
+
+#: Human-readable action label per drift kind (metrics/report rows).
+ACTION_BY_KIND = {
+    CORRUPT_PRIMARY: "repair_primary",
+    EXPIRED: "expire",
+    SURPLUS_REPLICA: "reclaim_replica",
+    MISSING_REPLICA: "copy_replica",
+    MISSING_TAPE: "archive_tape",
+    MISSING_HDFS: "stage_hdfs",
+}
+
+
+class _ActionFailed(Exception):
+    """Internal: one convergence action could not complete this round."""
+
+
+@dataclass
+class ConvergenceReport:
+    """Outcome of one full convergence pass."""
+
+    started: float
+    finished: float
+    rounds: int = 0
+    drifts_seen: int = 0
+    #: Successful actions tallied by label (``copy_replica`` …).
+    actions: dict[str, int] = field(default_factory=dict)
+    repaired: int = 0
+    failed: int = 0
+    quota_skipped: int = 0
+    abandoned: int = 0
+    #: True when no actionable drift remained at the end of the pass.
+    converged: bool = False
+    #: True when the pass ended with abandoned or quota-blocked work —
+    #: quiescent only in the degraded sense.
+    degraded: bool = False
+
+    def note_action(self, label: str) -> None:
+        """Record one successful action."""
+        self.actions[label] = self.actions.get(label, 0) + 1
+        self.repaired += 1
+
+
+class ConvergenceDaemon:
+    """Plans and executes the declared-vs-actual placement difference.
+
+    Parameters
+    ----------
+    sim:
+        The facility simulator.
+    engine, detector:
+        The policy engine and its drift detector.
+    planner:
+        The facility :class:`~repro.durability.repair.RepairPlanner`;
+        ``corrupt_primary`` drifts are repaired through it.
+    resilience:
+        Optional :class:`~repro.resilience.kit.ResilienceKit`: replica
+        reads/writes retry on transient backend faults through its
+        policy and abandoned work spills to its dead-letter queue.
+    tape:
+        Optional tape library for ``missing_tape`` repairs.
+    stager:
+        Optional callable ``(record) -> Event`` staging a dataset into
+        HDFS (the facility wires ``load_into_hdfs``).
+    bandwidth:
+        Convergence budget in bytes/second of simulated time; every
+        byte-moving action costs ``size / bandwidth`` before it lands
+        (convergence competes with production I/O, like scrubbing).
+    interval:
+        Daemon sleep between passes once :meth:`start`\\ ed.
+    max_retries:
+        Strikes before a persistently failing drift is abandoned
+        (dead-lettered + ``policy.gave_up``).
+    max_rounds:
+        Re-detection rounds per pass (a terminating bound even when
+        every round makes progress).
+    enabled:
+        Master switch: when ``False`` passes only detect and report —
+        no actions are executed (the ablation arm).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        engine: PolicyEngine,
+        detector: DriftDetector,
+        planner: Optional[RepairPlanner] = None,
+        resilience=None,
+        tape=None,
+        stager: Optional[Callable[..., Event]] = None,
+        bandwidth: float = 500e6,
+        interval: float = 6 * 3600.0,
+        max_retries: int = 3,
+        max_rounds: int = 8,
+        enabled: bool = True,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("convergence bandwidth must be > 0")
+        if interval <= 0:
+            raise ValueError("convergence interval must be > 0")
+        if max_retries < 1 or max_rounds < 1:
+            raise ValueError("max_retries and max_rounds must be >= 1")
+        self.sim = sim
+        self.engine = engine
+        self.detector = detector
+        self.planner = planner
+        self.resilience = resilience
+        self.tape = tape
+        self.stager = stager
+        self.bandwidth = float(bandwidth)
+        self.interval = float(interval)
+        self.max_retries = int(max_retries)
+        self.max_rounds = int(max_rounds)
+        self.enabled = enabled
+        self.reports: list[ConvergenceReport] = []
+        self._strikes: dict[tuple, int] = {}
+        self._abandoned: set[tuple] = set()
+        self._rng = sim.random.spawn("policy.converge")
+        self._daemon_running = False
+        self._hub = TelemetryHub.for_sim(sim)
+        reg = self._hub.registry
+        self.passes_meter = reg.counter(
+            "policy.converge_passes_total", "Convergence passes completed")
+        self.rounds_meter = reg.counter(
+            "policy.converge_rounds_total", "Action rounds executed")
+        self.quota_skip_meter = reg.counter(
+            "policy.quota_skips_total",
+            "Replica copies skipped on exhausted community quota")
+        self.gave_up_meter = reg.counter(
+            "policy.gave_up_total",
+            "Drifts abandoned after bounded re-convergence retries")
+        self.pass_duration = reg.summary(
+            "policy.converge_duration_seconds",
+            "Duration of one convergence pass", unit="seconds")
+        reg.gauge_fn("policy.enabled",
+                     lambda: 1.0 if self.enabled else 0.0,
+                     "Whether the placement-policy layer is active")
+        reg.gauge_fn("policy.rules", lambda: float(len(self.engine.rules)),
+                     "Placement rules installed")
+        reg.gauge_fn("policy.managed_datasets",
+                     lambda: float(self.engine.last_managed),
+                     "Datasets governed by placement rules (last evaluation)")
+        reg.gauge_fn("policy.abandoned_keys",
+                     lambda: float(len(self._abandoned)),
+                     "Drifts abandoned after bounded retries")
+
+    # -- public API ---------------------------------------------------------
+    def start(self) -> None:
+        """Start the periodic convergence daemon (idempotent).
+
+        Like the HSM and scrub daemons this keeps the event queue
+        non-empty forever — run the simulation with a horizon.
+        """
+        if not self._daemon_running:
+            self._daemon_running = True
+            self.sim.process(self._daemon(), name="policy.converge")
+
+    def converge_once(self) -> Event:
+        """Run one full convergence pass now; the event's value is the
+        :class:`ConvergenceReport`."""
+        return self.sim.process(self._pass(), name="policy.converge_pass")
+
+    def forgive(self) -> int:
+        """Clear abandoned drifts and strike counts (operator override);
+        returns how many abandoned keys were forgiven."""
+        forgiven = len(self._abandoned)
+        self._abandoned.clear()
+        self._strikes.clear()
+        return forgiven
+
+    @property
+    def abandoned(self) -> list[tuple]:
+        """Abandoned drift keys, sorted (kind, dataset, store)."""
+        return sorted(self._abandoned)
+
+    # -- the convergence loop -----------------------------------------------
+    def _daemon(self) -> Generator:
+        while True:
+            yield self.converge_once()
+            yield self.sim.timeout(self.interval)
+
+    def _pass(self) -> Generator:
+        report = ConvergenceReport(started=self.sim.now, finished=self.sim.now)
+        for round_index in range(self.max_rounds):
+            drifts = [d for d in self.detector.detect(publish=round_index == 0)
+                      if d.key not in self._abandoned]
+            if not drifts:
+                report.converged = True
+                break
+            report.rounds += 1
+            self.rounds_meter.add(1)
+            report.drifts_seen += len(drifts)
+            if not self.enabled:
+                break  # detection-only arm: report the drift, touch nothing
+            progress = 0
+            for drift in drifts:
+                status = yield from self._execute(drift, report)
+                if status == "repaired":
+                    progress += 1
+            if progress == 0:
+                break  # every remaining drift is blocked; do not spin
+        if not report.converged:
+            remaining = [d for d in self.detector.detect(publish=False)
+                         if d.key not in self._abandoned]
+            report.converged = not remaining
+        report.abandoned = len(self._abandoned)
+        report.degraded = bool(self._abandoned) or report.quota_skipped > 0
+        report.finished = self.sim.now
+        self.reports.append(report)
+        self.passes_meter.add(1)
+        self.pass_duration.record(report.finished - report.started)
+        self._hub.bus.publish(
+            "policy.converged" if report.converged else "policy.diverged",
+            subject=f"pass-{len(self.reports)}",
+            severity=INFO if report.converged else WARNING,
+            rounds=report.rounds, repaired=report.repaired,
+            failed=report.failed, quota_skipped=report.quota_skipped,
+            abandoned=report.abandoned, degraded=report.degraded)
+        return report
+
+    # -- action execution ---------------------------------------------------
+    def _execute(self, drift: Drift, report: ConvergenceReport) -> Generator:
+        label = ACTION_BY_KIND[drift.kind]
+        reg = self._hub.registry
+        try:
+            yield from self._dispatch(drift)
+        except QuotaExceededError as exc:
+            report.quota_skipped += 1
+            self.quota_skip_meter.add(1)
+            reg.counter("policy.actions_total",
+                        "Convergence actions by label and status",
+                        action=label, status="quota_skipped").add(1)
+            self._hub.bus.publish(
+                "policy.quota_exhausted", subject=drift.project,
+                severity=WARNING, dataset=drift.dataset_id,
+                store=drift.store, detail=str(exc))
+            return "quota_skipped"
+        except Exception as exc:
+            # Failure isolation: one stuck drift must not wedge the pass.
+            report.failed += 1
+            reg.counter("policy.actions_total",
+                        "Convergence actions by label and status",
+                        action=label, status="failed").add(1)
+            self._strike(drift, exc)
+            return "failed"
+        self._strikes.pop(drift.key, None)
+        report.note_action(label)
+        reg.counter("policy.actions_total",
+                    "Convergence actions by label and status",
+                    action=label, status="repaired").add(1)
+        return "repaired"
+
+    def _strike(self, drift: Drift, exc: BaseException) -> None:
+        strikes = self._strikes.get(drift.key, 0) + 1
+        self._strikes[drift.key] = strikes
+        if strikes < self.max_retries:
+            return
+        self._abandoned.add(drift.key)
+        self.gave_up_meter.add(1)
+        detail = f"{type(exc).__name__}: {exc}"
+        if self.resilience is not None:
+            self.resilience.dlq.push(
+                payload={"drift": drift.kind, "dataset": drift.dataset_id,
+                         "store": drift.store, "rule": drift.rule},
+                error=f"convergence abandoned after {strikes} attempts: "
+                      f"{detail}",
+                attempts=[(self.sim.now, detail)],
+                source="policy.converge",
+                time=self.sim.now,
+                nbytes=drift.size,
+            )
+        self._hub.bus.publish(
+            "policy.gave_up", subject=drift.dataset_id, severity=ERROR,
+            drift_kind=drift.kind, store=drift.store, attempts=strikes,
+            detail=detail)
+
+    def _retry(self, fn: Callable, label: str):
+        """Run a backend call through the resilience retry policy."""
+        if self.resilience is None or not self.resilience.enabled:
+            return fn()
+        return self.resilience.policy.run_sync(
+            fn, retry_on=(BackendUnavailableError,), rng=self._rng,
+            label=label)
+
+    def _dispatch(self, drift: Drift) -> Generator:
+        if drift.kind == CORRUPT_PRIMARY:
+            yield from self._repair_primary(drift)
+        elif drift.kind == EXPIRED:
+            self._expire(drift)
+        elif drift.kind == SURPLUS_REPLICA:
+            self._reclaim_replica(drift)
+        elif drift.kind == MISSING_REPLICA:
+            yield from self._copy_replica(drift)
+        elif drift.kind == MISSING_TAPE:
+            yield from self._archive_tape(drift)
+        elif drift.kind == MISSING_HDFS:
+            yield from self._stage_hdfs(drift)
+        else:
+            raise _ActionFailed(f"no executor for drift kind {drift.kind!r}")
+
+    def _repair_primary(self, drift: Drift) -> Generator:
+        if self.planner is None:
+            raise _ActionFailed("no repair planner wired")
+        if drift.size > 0:
+            yield self.sim.timeout(drift.size / self.bandwidth)
+        outcome = yield from self.planner.repair_object(drift.finding)
+        if not outcome.repaired:
+            raise _ActionFailed(
+                f"planner could not repair: {outcome.detail or outcome.action}")
+
+    def _expire(self, drift: Drift) -> None:
+        self.engine.store.tag(drift.dataset_id, EXPIRED_TAG)
+        self._hub.bus.publish(
+            "policy.expired", subject=drift.dataset_id, severity=INFO,
+            rule=drift.rule, detail=drift.detail)
+
+    def _reclaim_replica(self, drift: Drift) -> None:
+        record = self.engine.store.get(drift.dataset_id)
+        path = AdalUrl.parse(record.url).path
+        backend = self.engine.registry.resolve(drift.store)
+        if backend.exists(path):
+            backend.delete(path)
+            self.engine.quotas.release(record.project, record.size)
+
+    def _copy_replica(self, drift: Drift) -> Generator:
+        record = self.engine.store.get(drift.dataset_id)
+        url = AdalUrl.parse(record.url)
+        primary = self.engine.registry.resolve(self.engine.primary_store)
+        data = self._retry(lambda: primary.get(url.path),
+                           label=f"policy.read:{drift.dataset_id}")
+        if checksum_bytes(data) != record.checksum:
+            raise _ActionFailed(
+                "primary bytes no longer match the catalog checksum "
+                "(repair the primary first)")
+        target = self.engine.registry.resolve(drift.store)
+        replacing = target.exists(url.path)
+        if not replacing:
+            # Charge before moving bytes — cheaper to refuse now than
+            # after the simulated transfer.  Replacing a stale copy is
+            # quota-neutral (its bytes were charged when first written).
+            self.engine.quotas.charge(record.project, len(data))
+        if len(data) > 0:
+            yield self.sim.timeout(len(data) / self.bandwidth)
+        try:
+            if replacing:
+                target.delete(url.path)
+            self._retry(lambda: target.put(url.path, data),
+                        label=f"policy.write:{drift.dataset_id}")
+        except Exception:
+            if not replacing:
+                self.engine.quotas.release(record.project, len(data))
+            raise
+
+    def _archive_tape(self, drift: Drift) -> Generator:
+        if self.tape is None:
+            raise _ActionFailed("no tape library wired")
+        if self.tape.contains(drift.dataset_id):
+            return  # raced with another archival path: already satisfied
+        yield self.tape.archive(drift.dataset_id, drift.size)
+
+    def _stage_hdfs(self, drift: Drift) -> Generator:
+        if self.stager is None:
+            raise _ActionFailed("no HDFS stager wired")
+        record = self.engine.store.get(drift.dataset_id)
+        yield self.stager(record)
+
+    # -- reporting ----------------------------------------------------------
+    def stats(self) -> dict:
+        """Headline convergence numbers (machine-readable)."""
+        tally: dict[str, int] = {}
+        for report in self.reports:
+            for label, count in report.actions.items():
+                tally[label] = tally.get(label, 0) + count
+        last = self.reports[-1] if self.reports else None
+        return {
+            "enabled": self.enabled,
+            "passes": len(self.reports),
+            "actions": tally,
+            "quota_skipped": sum(r.quota_skipped for r in self.reports),
+            "failed": sum(r.failed for r in self.reports),
+            "abandoned": len(self._abandoned),
+            "last_converged": last.converged if last else None,
+            "last_degraded": last.degraded if last else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ConvergenceDaemon enabled={self.enabled} "
+                f"passes={len(self.reports)} "
+                f"abandoned={len(self._abandoned)}>")

@@ -1,0 +1,235 @@
+"""Drift detection: declared placement state vs. facility reality.
+
+The :class:`DriftDetector` walks every policy-managed dataset (via the
+:class:`~repro.policy.engine.PolicyEngine` assignment pass), re-derives
+the declared state and diffs it against what the stores, tape library and
+HDFS namespace actually hold.  Every divergence becomes one typed
+:class:`Drift` and a ``policy.drift`` event on the telemetry spine.
+
+Primary-copy damage reuses the
+:class:`~repro.durability.audit.ConsistencyAuditor` classifications: the
+detector re-hashes the primary object and emits a real
+:class:`~repro.durability.audit.Finding` (``lost_data`` /
+``checksum_mismatch``) inside the drift, which the convergence daemon
+hands straight to the :class:`~repro.durability.repair.RepairPlanner` —
+the policy loop *subsumes* the planner's object-restore paths instead of
+duplicating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.adal.api import AdalUrl, checksum_bytes
+from repro.adal.errors import AdalError, ObjectNotFoundError
+from repro.durability.audit import CHECKSUM_MISMATCH, LOST_DATA, Finding
+from repro.metadata.records import DatasetRecord
+from repro.policy.engine import PolicyEngine
+from repro.policy.model import EXPIRED_TAG, PlacementRule
+from repro.telemetry.events import WARNING
+from repro.telemetry.hub import TelemetryHub
+
+#: Drift taxonomy, in repair-priority order: heal the primary before
+#: fanning copies out from it, reclaim space (surplus/expiry) before
+#: charging quota for new copies.
+DRIFT_KINDS = (
+    "corrupt_primary",
+    "expired",
+    "surplus_replica",
+    "missing_replica",
+    "missing_tape",
+    "missing_hdfs",
+)
+
+CORRUPT_PRIMARY = "corrupt_primary"
+EXPIRED = "expired"
+SURPLUS_REPLICA = "surplus_replica"
+MISSING_REPLICA = "missing_replica"
+MISSING_TAPE = "missing_tape"
+MISSING_HDFS = "missing_hdfs"
+
+_KIND_ORDER = {kind: index for index, kind in enumerate(DRIFT_KINDS)}
+
+
+def hdfs_path(record: DatasetRecord) -> str:
+    """The canonical HDFS staging path for a policy-managed dataset."""
+    return f"/policy/{record.dataset_id}"
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One divergence between declared and actual placement state."""
+
+    kind: str  # one of DRIFT_KINDS
+    dataset_id: str
+    rule: str
+    detected_at: float
+    #: The replica store involved (missing/surplus replica kinds).
+    store: str = ""
+    detail: str = ""
+    #: Bytes the repair will move (bandwidth budgeting / quota charge).
+    size: float = 0.0
+    project: str = ""
+    #: For ``corrupt_primary``: the auditor-classified finding to hand to
+    #: the repair planner.
+    finding: Optional[Finding] = None
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Stable identity for retry bookkeeping across detection passes."""
+        return (self.kind, self.dataset_id, self.store)
+
+
+class DriftDetector:
+    """Diffs declared placement state against stores, tape and HDFS.
+
+    Parameters
+    ----------
+    engine:
+        The policy engine (assignments, declared state, store registry).
+    tape:
+        Optional :class:`~repro.storage.tape.TapeLibrary`; without one,
+        tape declarations are not checked.
+    namenode:
+        Optional HDFS namenode; without one, HDFS declarations are not
+        checked.
+    clock:
+        Timestamp source for drift records (``lambda: sim.now``).
+    hub:
+        Optional telemetry hub for ``policy.drift`` events and the
+        per-kind detection counters.
+    """
+
+    def __init__(
+        self,
+        engine: PolicyEngine,
+        tape=None,
+        namenode=None,
+        clock: Optional[Callable[[], float]] = None,
+        hub: Optional[TelemetryHub] = None,
+    ):
+        self.engine = engine
+        self.tape = tape
+        self.namenode = namenode
+        self.clock = clock or (lambda: 0.0)
+        self.hub = hub
+        #: Records whose primary store was unreachable in the last pass.
+        self.unreachable = 0
+        self.passes = 0
+
+    # -- detection ----------------------------------------------------------
+    def detect(self, publish: bool = True) -> list[Drift]:
+        """One full declared-vs-actual diff; returns drifts in repair order.
+
+        ``publish`` mirrors every drift onto the event bus (the daemon
+        silences it for its inner re-check rounds so one incident does
+        not flood the ring buffer).
+        """
+        drifts: list[Drift] = []
+        self.unreachable = 0
+        for record, rule in self.engine.assignments():
+            drifts.extend(self._diff_one(record, rule))
+        drifts.sort(key=lambda d: (_KIND_ORDER[d.kind], d.dataset_id, d.store))
+        self.passes += 1
+        if publish and self.hub is not None:
+            for drift in drifts:
+                self.hub.bus.publish(
+                    "policy.drift", subject=drift.dataset_id,
+                    severity=WARNING, drift_kind=drift.kind, rule=drift.rule,
+                    store=drift.store or None, detail=drift.detail)
+        if self.hub is not None:
+            for drift in drifts:
+                self.hub.registry.counter(
+                    "policy.drift_detected_total",
+                    "Placement drifts detected, by kind",
+                    kind=drift.kind).add(1)
+        return drifts
+
+    # -- internals ----------------------------------------------------------
+    def _diff_one(self, record: DatasetRecord,
+                  rule: PlacementRule) -> list[Drift]:
+        now = self.clock()
+        url = AdalUrl.parse(record.url)
+        declared = self.engine.declared(record, rule)
+        base = dict(dataset_id=record.dataset_id, rule=rule.name,
+                    detected_at=now, size=float(record.size),
+                    project=record.project)
+
+        # Retention first: an expiring dataset shrinks its declaration
+        # next pass, so nothing else is worth diffing this round.
+        if (rule.lifetime is not None and EXPIRED_TAG not in record.tags
+                and now - record.created >= rule.lifetime):
+            return [Drift(EXPIRED, detail=(
+                f"lifetime {rule.lifetime:g}s elapsed "
+                f"(created {record.created:g})"), **base)]
+
+        # Primary health, classified exactly as the consistency auditor
+        # would (lost_data / checksum_mismatch findings).
+        finding = self._primary_finding(record, url, now)
+        if finding is not None:
+            if finding.kind == "unreachable":
+                self.unreachable += 1
+                return []  # cannot assess this pass; do not guess
+            # A damaged primary blocks replica fan-out (copying corrupt
+            # bytes would propagate the damage) — repair it first.
+            return [Drift(CORRUPT_PRIMARY, detail=finding.detail,
+                          finding=finding, **base)]
+
+        drifts: list[Drift] = []
+        for store in declared.replica_stores:
+            status = self._replica_status(store, url.path, record.checksum)
+            if status != "healthy":
+                drifts.append(Drift(MISSING_REPLICA, store=store,
+                                    detail=f"replica {status}", **base))
+        for store in sorted(set(self.engine.replica_stores)
+                            - set(declared.replica_stores)):
+            if self._replica_status(store, url.path, None) != "missing":
+                drifts.append(Drift(SURPLUS_REPLICA, store=store,
+                                    detail="copy beyond declared count",
+                                    **base))
+        if declared.tape and self.tape is not None \
+                and not self.tape.contains(record.dataset_id):
+            drifts.append(Drift(MISSING_TAPE, detail="no tape copy", **base))
+        if declared.hdfs and self.namenode is not None \
+                and not self.namenode.exists(hdfs_path(record)):
+            drifts.append(Drift(MISSING_HDFS,
+                                detail=f"not staged at {hdfs_path(record)}",
+                                **base))
+        return drifts
+
+    def _primary_finding(self, record: DatasetRecord, url: AdalUrl,
+                         now: float) -> Optional[Finding]:
+        try:
+            backend = self.engine.registry.resolve(url.store)
+            data = backend.get(url.path)
+        except ObjectNotFoundError:
+            return Finding(
+                kind=LOST_DATA, subject=record.url, detected_at=now,
+                expected_checksum=record.checksum,
+                dataset_id=record.dataset_id,
+                detail="catalog entry with no bytes on storage")
+        except AdalError as exc:
+            return Finding(kind="unreachable", subject=record.url,
+                           detected_at=now, detail=str(exc))
+        actual = checksum_bytes(data)
+        if actual != record.checksum:
+            return Finding(
+                kind=CHECKSUM_MISMATCH, subject=record.url, detected_at=now,
+                expected_checksum=record.checksum,
+                dataset_id=record.dataset_id,
+                detail=(f"catalog {record.checksum[:12]}… != "
+                        f"stored {actual[:12]}…"))
+        return None
+
+    def _replica_status(self, store: str, path: str,
+                        expected: Optional[str]) -> str:
+        """``healthy`` / ``stale`` (wrong bytes) / ``missing`` for one copy."""
+        try:
+            backend = self.engine.registry.resolve(store)
+            data = backend.get(path)
+        except AdalError:
+            return "missing"
+        if expected is None or checksum_bytes(data) == expected:
+            return "healthy"
+        return "stale"

@@ -1,0 +1,185 @@
+"""The policy engine: rule registry, assignment, quota bookkeeping.
+
+The :class:`PolicyEngine` holds the facility's :class:`PlacementRule`\\ s
+and answers two questions deterministically:
+
+* *which rule governs this dataset?* — the highest-priority rule whose
+  metadata query matches (:meth:`PolicyEngine.assign`), evaluated through
+  the store's index-assisted query planner;
+* *what is the declared state?* — the concrete replica-store / tape /
+  HDFS targets one dataset must satisfy
+  (:meth:`PolicyEngine.declared`), including the shrunken declaration of
+  an expired dataset.
+
+Only *real* objects are managed: records whose URL points into the
+primary store with a path and whose checksum is a content hash
+(:func:`is_real_object`).  Ingest registers simulated-only placements
+(``checksum="sim-…"``, no bytes behind the URL) in the same catalog;
+declaring replicas for those would flood the drift detector with
+unreparable lost-primary findings.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Iterable, Optional
+
+from repro.adal.api import AdalUrl, BackendRegistry
+from repro.adal.errors import AdalError
+from repro.metadata.records import DatasetRecord
+from repro.metadata.store import MetadataStore
+from repro.policy.model import (
+    EXPIRED_TAG,
+    DeclaredState,
+    PlacementRule,
+    PolicyError,
+    QuotaBook,
+)
+
+_HEX_DIGITS = frozenset(string.hexdigits.lower())
+
+
+def is_real_object(record: DatasetRecord) -> bool:
+    """Whether a catalog record describes real, content-hashed bytes.
+
+    The facility-wide checksum is sha256 hex (64 lowercase hex digits);
+    simulated-only ingest placements use ``sim-…`` markers instead and
+    are out of policy scope.
+    """
+    checksum = record.checksum or ""
+    return len(checksum) == 64 and set(checksum) <= _HEX_DIGITS
+
+
+class PolicyEngine:
+    """Evaluates placement rules over the metadata catalog.
+
+    Parameters
+    ----------
+    store:
+        The metadata repository (rule scopes compile against its query
+        planner).
+    registry:
+        ADAL backend registry holding the primary and replica stores.
+    primary_store:
+        Store name of the canonical copies (catalog URLs must point here
+        for a dataset to be policy-managed).
+    replica_stores:
+        Replica-store names, in declaration order: a rule requiring
+        ``disk_replicas=N`` claims the first ``N - 1`` of them.
+    quotas:
+        Per-community replica byte budgets (default: unlimited).
+    """
+
+    def __init__(
+        self,
+        store: MetadataStore,
+        registry: BackendRegistry,
+        primary_store: str = "lsdf",
+        replica_stores: Iterable[str] = (),
+        quotas: Optional[QuotaBook] = None,
+    ):
+        self.store = store
+        self.registry = registry
+        self.primary_store = primary_store
+        self.replica_stores = tuple(replica_stores)
+        self.quotas = quotas or QuotaBook()
+        self.rules: list[PlacementRule] = []
+        #: Datasets matched by the last :meth:`assignments` evaluation.
+        self.last_managed = 0
+
+    # -- rule registry ------------------------------------------------------
+    def register(self, rule: PlacementRule) -> None:
+        """Install one placement rule (duplicate names are rejected)."""
+        if any(r.name == rule.name for r in self.rules):
+            raise PolicyError(f"duplicate placement rule name {rule.name!r}")
+        if rule.disk_replicas - 1 > len(self.replica_stores):
+            raise PolicyError(
+                f"rule {rule.name!r} declares {rule.disk_replicas} disk "
+                f"copies but only {len(self.replica_stores)} replica "
+                "store(s) are configured")
+        self.rules.append(rule)
+
+    def register_defaults(self, rules: Iterable[PlacementRule]) -> int:
+        """Install a default rule set, skipping names already present."""
+        installed = 0
+        for rule in rules:
+            if any(r.name == rule.name for r in self.rules):
+                continue
+            self.register(rule)
+            installed += 1
+        return installed
+
+    # -- assignment ---------------------------------------------------------
+    def manages(self, record: DatasetRecord) -> bool:
+        """Whether this record is in policy scope (a real primary object)."""
+        if not is_real_object(record):
+            return False
+        try:
+            url = AdalUrl.parse(record.url)
+        except AdalError:
+            return False
+        return url.store == self.primary_store and bool(url.path)
+
+    def assign(self, record: DatasetRecord) -> Optional[PlacementRule]:
+        """The governing rule for one dataset, or None when unmanaged.
+
+        Highest priority wins; ties break on rule name so the assignment
+        is deterministic across runs.
+        """
+        if not self.manages(record):
+            return None
+        matching = [rule for rule in self.rules if rule.scope.matches(record)]
+        if not matching:
+            return None
+        return min(matching, key=lambda r: (-r.priority, r.name))
+
+    def assignments(self) -> list[tuple[DatasetRecord, PlacementRule]]:
+        """Every managed dataset with its governing rule, sorted by id.
+
+        Each rule's scope runs through the metadata query planner
+        (index-assisted); a dataset matched by several rules appears once
+        under the winning one.
+        """
+        best: dict[str, tuple[DatasetRecord, PlacementRule]] = {}
+        for rule in self.rules:
+            for record in self.store.query(rule.scope):
+                if not self.manages(record):
+                    continue
+                current = best.get(record.dataset_id)
+                if current is None or (
+                    (-rule.priority, rule.name)
+                    < (-current[1].priority, current[1].name)
+                ):
+                    best[record.dataset_id] = (record, rule)
+        self.last_managed = len(best)
+        return [best[dataset_id] for dataset_id in sorted(best)]
+
+    def declared(self, record: DatasetRecord,
+                 rule: PlacementRule) -> DeclaredState:
+        """The concrete targets ``record`` must satisfy under ``rule``.
+
+        An expired dataset declares no extra disk replicas, no new tape
+        copy and no HDFS staging — the primary (write-once) and any
+        existing tape copy are retained, everything else is reclaimable.
+        """
+        if EXPIRED_TAG in record.tags:
+            return DeclaredState()
+        return DeclaredState(
+            replica_stores=self.replica_stores[: rule.disk_replicas - 1],
+            tape=rule.tape_copies > 0,
+            hdfs=rule.hdfs_stage,
+        )
+
+    # -- reporting ----------------------------------------------------------
+    def stats(self) -> dict:
+        """Headline policy-engine numbers (machine-readable)."""
+        return {
+            "rules": len(self.rules),
+            "replica_stores": list(self.replica_stores),
+            "managed_datasets": self.last_managed,
+            "quotas": self.quotas.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<PolicyEngine rules={len(self.rules)} "
+                f"replica_stores={self.replica_stores}>")

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro.adal.api import AdalUrl
+from repro.adal.errors import AdalError
 from repro.metadata.query import Query
 from repro.metadata.records import DatasetRecord
 from repro.metadata.store import MetadataStore
@@ -125,8 +127,13 @@ class ReplicateAction(Action):
         if ctx.adal is None:
             raise RuleError("ReplicateAction requires an ADAL client in the context")
         src = record.url
-        path = src.split("://", 1)[1].split("/", 1)[1]
-        dst = f"adal://{self.target_store}/{path}"
+        try:
+            parsed = AdalUrl.parse(src)
+        except AdalError:
+            return f"unparseable source URL {src!r} (skipped)"
+        if not parsed.path:
+            return "source URL has no path component (skipped)"
+        dst = f"adal://{self.target_store}/{parsed.path}"
         if ctx.adal.exists(dst):
             return "replica exists"
         ctx.adal.copy(src, dst)
@@ -175,6 +182,14 @@ class RuleApplication:
     dataset_id: str
     when: float
     outcomes: list[str]
+    #: How many of this application's actions raised (their outcome lines
+    #: start with ``failed:``); 0 for a fully clean application.
+    failures: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when every action of this application succeeded."""
+        return self.failures == 0
 
 
 class RuleEngine:
@@ -230,12 +245,23 @@ class RuleEngine:
             return []
         if check_condition and not rule.condition.matches(record):
             return []
-        outcomes = [
-            f"{action.name}: {action.apply(record, self.ctx)}" for action in rule.actions
-        ]
+        # Actions are failure-isolated (mirroring the trigger engine): one
+        # raising action records a `failed:` outcome and the remaining
+        # actions still run, so a partial application is audited instead of
+        # aborting mid-way and re-firing the earlier actions next trigger.
+        outcomes: list[str] = []
+        failures = 0
+        for action in rule.actions:
+            try:
+                outcomes.append(f"{action.name}: {action.apply(record, self.ctx)}")
+            except Exception as exc:
+                failures += 1
+                outcomes.append(
+                    f"{action.name}: failed: {type(exc).__name__}: {exc}")
         self._applied.add(key)
         application = RuleApplication(rule.name, record.dataset_id,
-                                      self.ctx.clock(), outcomes)
+                                      self.ctx.clock(), outcomes,
+                                      failures=failures)
         self.log.append(application)
         return [application]
 
@@ -246,4 +272,5 @@ class RuleEngine:
         for application in self.log:
             per_rule[application.rule] = per_rule.get(application.rule, 0) + 1
         return {"rules": len(self.rules), "applications": len(self.log),
+                "action_failures": sum(a.failures for a in self.log),
                 "per_rule": per_rule}

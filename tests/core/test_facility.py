@@ -37,7 +37,7 @@ class TestConfig:
         assert len(facility.arrays) == 2
         assert len(facility.hdfs.namenode.nodes) == 60
         assert facility.metadata.projects == ["zebrafish"]
-        assert facility.adal_registry.stores == ["lsdf"]
+        assert facility.adal_registry.stores == ["lsdf", "replica-a"]
 
     def test_cluster_nodes_routable_to_storage(self, facility):
         topo = facility.net.topology

@@ -1,0 +1,175 @@
+"""Unit tests for the convergence daemon's repair loop."""
+
+import pytest
+
+from repro.adal import BackendRegistry, MemoryBackend
+from repro.adal.api import checksum_bytes
+from repro.adal.errors import BackendUnavailableError
+from repro.metadata import FieldSpec, MetadataStore, Q, Schema
+from repro.policy import (
+    EXPIRED_TAG,
+    MISSING_REPLICA,
+    ConvergenceDaemon,
+    DriftDetector,
+    PlacementRule,
+    PolicyEngine,
+    QuotaBook,
+)
+from repro.resilience import ResilienceKit
+from repro.storage import TapeLibrary
+from repro.telemetry import TelemetryHub
+
+
+class _DownBackend:
+    """A replica store whose writes always fail (transient-fault stand-in)."""
+
+    def get(self, path):
+        raise BackendUnavailableError("replica store down")
+
+    def put(self, path, data, overwrite=False):
+        raise BackendUnavailableError("replica store down")
+
+    def delete(self, path):
+        raise BackendUnavailableError("replica store down")
+
+    def exists(self, path):
+        return False
+
+    def listdir(self, prefix):
+        return []
+
+
+def _world(sim, replica_backend=None, quotas=None, resilience=None, **kwargs):
+    store = MetadataStore()
+    store.register_project(
+        "zebrafish", Schema("zb", [FieldSpec("sample", "str")]))
+    registry = BackendRegistry()
+    registry.register("lsdf", MemoryBackend())
+    registry.register("ra", replica_backend or MemoryBackend())
+    engine = PolicyEngine(store, registry, primary_store="lsdf",
+                          replica_stores=("ra",), quotas=quotas)
+    tape = TapeLibrary(sim, drives=1, drive_bw=1e9, cartridge_capacity=1e9,
+                       mount_time=1.0, dismount_time=0.5)
+    detector = DriftDetector(engine, tape=tape, clock=lambda: sim.now,
+                             hub=TelemetryHub.for_sim(sim))
+    daemon = ConvergenceDaemon(sim, engine, detector, tape=tape,
+                               resilience=resilience, bandwidth=1e6, **kwargs)
+    return store, registry, engine, daemon
+
+
+def _add(store, registry, i, created=0.0):
+    data = bytes([65 + i]) * 256
+    registry.resolve("lsdf").put(f"pol/obj{i}", data)
+    return store.register_dataset(
+        f"pol-{i}", "zebrafish", f"adal://lsdf/pol/obj{i}", len(data),
+        checksum_bytes(data), {"sample": f"s{i}"}, created=created)
+
+
+class TestConvergence:
+    def test_converges_then_is_idempotent(self, sim):
+        store, registry, engine, daemon = _world(sim)
+        _add(store, registry, 0)
+        _add(store, registry, 1)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2,
+                                      tape_copies=1))
+        report = sim.run(until=daemon.converge_once())
+        assert report.converged and not report.degraded
+        assert report.actions == {"copy_replica": 2, "archive_tape": 2}
+        replica = registry.resolve("ra")
+        for i in range(2):
+            assert replica.get(f"pol/obj{i}") == \
+                registry.resolve("lsdf").get(f"pol/obj{i}")
+            assert daemon.tape.contains(f"pol-{i}")
+        assert engine.quotas.used("zebrafish") == 512.0
+        # Idempotence: a converged facility re-evaluated performs nothing.
+        second = sim.run(until=daemon.converge_once())
+        assert second.converged
+        assert second.rounds == 0 and second.repaired == 0
+        assert second.actions == {}
+
+    def test_byte_moves_cost_simulated_time(self, sim):
+        store, registry, engine, daemon = _world(sim)
+        _add(store, registry, 0)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2))
+        started = sim.now
+        sim.run(until=daemon.converge_once())
+        # 256 bytes over the 1 MB/s convergence budget.
+        assert sim.now - started >= 256 / 1e6
+
+    def test_quota_exhaustion_degrades_gracefully(self, sim):
+        store, registry, engine, daemon = _world(
+            sim, quotas=QuotaBook(limits={"zebrafish": 300.0}))
+        _add(store, registry, 0)
+        _add(store, registry, 1)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2))
+        report = sim.run(until=daemon.converge_once())
+        assert report.quota_skipped >= 1
+        assert report.degraded and not report.converged
+        # One copy landed inside the budget, nothing crashed.
+        assert report.actions == {"copy_replica": 1}
+        assert engine.quotas.used("zebrafish") == 256.0
+        hub = TelemetryHub.for_sim(sim)
+        assert hub.bus.tail(5, kind="policy.quota_exhausted")
+
+    def test_bounded_retries_then_abandon_and_dead_letter(self, sim):
+        resilience = ResilienceKit(sim)
+        store, registry, engine, daemon = _world(
+            sim, replica_backend=_DownBackend(), resilience=resilience,
+            max_retries=2, max_rounds=2)
+        _add(store, registry, 0)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2))
+        first = sim.run(until=daemon.converge_once())
+        assert not first.converged and first.failed == 1
+        assert daemon.abandoned == []
+        second = sim.run(until=daemon.converge_once())
+        assert daemon.abandoned == [(MISSING_REPLICA, "pol-0", "ra")]
+        assert len(resilience.dlq) == 1
+        (entry,) = list(resilience.dlq)
+        assert entry.source == "policy.converge"
+        hub = TelemetryHub.for_sim(sim)
+        assert hub.bus.tail(5, kind="policy.gave_up")
+        # Quiescent-but-degraded: the abandoned drift no longer blocks.
+        third = sim.run(until=daemon.converge_once())
+        assert third.converged and third.degraded
+        assert daemon.forgive() == 1
+        assert daemon.abandoned == []
+
+    def test_disabled_daemon_detects_but_never_acts(self, sim):
+        store, registry, engine, daemon = _world(sim, enabled=False)
+        _add(store, registry, 0)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2))
+        report = sim.run(until=daemon.converge_once())
+        assert not report.converged
+        assert report.drifts_seen == 1 and report.repaired == 0
+        assert not registry.resolve("ra").exists("pol/obj0")
+
+    def test_expiry_reclaims_replica_space(self, sim):
+        store, registry, engine, daemon = _world(sim)
+        _add(store, registry, 0, created=-500.0)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2,
+                                      lifetime=100.0))
+        registry.resolve("ra").put(
+            "pol/obj0", registry.resolve("lsdf").get("pol/obj0"))
+        engine.quotas.charge("zebrafish", 256.0)
+        report = sim.run(until=daemon.converge_once())
+        assert report.converged
+        assert report.actions == {"expire": 1, "reclaim_replica": 1}
+        assert EXPIRED_TAG in store.get("pol-0").tags
+        assert not registry.resolve("ra").exists("pol/obj0")
+        assert engine.quotas.used("zebrafish") == 0.0
+        # The write-once primary survives expiry.
+        assert registry.resolve("lsdf").exists("pol/obj0")
+
+    def test_daemon_start_is_idempotent_and_periodic(self, sim):
+        store, registry, engine, daemon = _world(sim, interval=50.0)
+        _add(store, registry, 0)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2))
+        daemon.start()
+        daemon.start()
+        sim.run(until=10.0)
+        assert registry.resolve("ra").exists("pol/obj0")
+        # Break the replica; the next periodic pass heals it.
+        registry.resolve("ra").delete("pol/obj0")
+        sim.run(until=200.0)
+        assert registry.resolve("ra").exists("pol/obj0")
+        assert len(daemon.reports) >= 2

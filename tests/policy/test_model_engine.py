@@ -1,0 +1,215 @@
+"""Unit tests for the placement model, policy engine and drift detector."""
+
+import pytest
+
+from repro.adal import BackendRegistry, MemoryBackend
+from repro.adal.api import checksum_bytes
+from repro.adal.errors import BackendUnavailableError
+from repro.metadata import FieldSpec, MetadataStore, Q, Schema
+from repro.policy import (
+    CORRUPT_PRIMARY,
+    EXPIRED,
+    EXPIRED_TAG,
+    MISSING_HDFS,
+    MISSING_REPLICA,
+    MISSING_TAPE,
+    SURPLUS_REPLICA,
+    DriftDetector,
+    PlacementRule,
+    PolicyEngine,
+    PolicyError,
+    QuotaBook,
+    QuotaExceededError,
+    community_defaults,
+    hdfs_path,
+    is_real_object,
+)
+from repro.storage import TapeLibrary
+
+
+def _world(replica_stores=("ra", "rb"), quotas=None):
+    store = MetadataStore()
+    store.register_project(
+        "zebrafish", Schema("zb", [FieldSpec("sample", "str")]))
+    registry = BackendRegistry()
+    registry.register("lsdf", MemoryBackend())
+    for name in replica_stores:
+        registry.register(name, MemoryBackend())
+    engine = PolicyEngine(store, registry, primary_store="lsdf",
+                          replica_stores=replica_stores, quotas=quotas)
+    return store, registry, engine
+
+
+def _add(store, registry, i, project="zebrafish", created=0.0, size=256):
+    data = bytes([65 + i]) * size
+    registry.resolve("lsdf").put(f"pol/obj{i}", data)
+    return store.register_dataset(
+        f"pol-{i}", project, f"adal://lsdf/pol/obj{i}", len(data),
+        checksum_bytes(data), {"sample": f"s{i}"}, created=created)
+
+
+class TestPlacementRule:
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            PlacementRule("", Q.all())
+        with pytest.raises(PolicyError):
+            PlacementRule("r", Q.all(), disk_replicas=0)
+        with pytest.raises(PolicyError):
+            PlacementRule("r", Q.all(), tape_copies=2)
+        with pytest.raises(PolicyError):
+            PlacementRule("r", Q.all(), lifetime=0.0)
+
+    def test_community_defaults_scale_to_configured_stores(self):
+        by_name = {r.name: r for r in community_defaults(0)}
+        assert by_name["microscopy-default"].disk_replicas == 1
+        by_name = {r.name: r for r in community_defaults(3)}
+        assert by_name["microscopy-default"].disk_replicas == 2
+        assert by_name["dna-default"].hdfs_stage
+
+
+class TestQuotaBook:
+    def test_charge_release_headroom(self):
+        book = QuotaBook(limits={"zebrafish": 1000.0})
+        book.charge("zebrafish", 600.0)
+        assert book.used("zebrafish") == 600.0
+        assert book.headroom("zebrafish") == 400.0
+        with pytest.raises(QuotaExceededError):
+            book.charge("zebrafish", 500.0)
+        # A refused charge must not account anything.
+        assert book.used("zebrafish") == 600.0
+        book.release("zebrafish", 600.0)
+        assert book.headroom("zebrafish") == 1000.0
+
+    def test_default_limit_and_unlimited(self):
+        book = QuotaBook(default_limit=100.0)
+        with pytest.raises(QuotaExceededError):
+            book.charge("anyone", 101.0)
+        unlimited = QuotaBook()
+        unlimited.charge("anyone", 1e18)
+        assert unlimited.headroom("anyone") is None
+
+
+class TestPolicyEngine:
+    def test_scope_excludes_simulated_and_foreign_records(self):
+        store, registry, engine = _world()
+        real = _add(store, registry, 0)
+        sim_only = store.register_dataset(
+            "sim-1", "zebrafish", "adal://lsdf/sim/f1", 10, "sim-0001",
+            {"sample": "x"})
+        foreign = store.register_dataset(
+            "far-1", "zebrafish", "adal://elsewhere/f", 10, "a" * 64,
+            {"sample": "y"})
+        assert is_real_object(real) and engine.manages(real)
+        assert not engine.manages(sim_only)
+        assert not engine.manages(foreign)
+
+    def test_register_rejects_duplicates_and_impossible_replicas(self):
+        _store, _registry, engine = _world(replica_stores=("ra",))
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2))
+        with pytest.raises(PolicyError):
+            engine.register(PlacementRule("r", Q.all()))
+        with pytest.raises(PolicyError):
+            engine.register(PlacementRule("big", Q.all(), disk_replicas=3))
+
+    def test_highest_priority_wins_with_name_tiebreak(self):
+        store, registry, engine = _world()
+        record = _add(store, registry, 0)
+        engine.register(PlacementRule("b-low", Q.all(), priority=1))
+        engine.register(PlacementRule("z-high", Q.all(), priority=5))
+        engine.register(PlacementRule("a-high", Q.all(), priority=5))
+        assert engine.assign(record).name == "a-high"
+        ((rec, rule),) = engine.assignments()
+        assert (rec.dataset_id, rule.name) == ("pol-0", "a-high")
+
+    def test_declared_state_shrinks_on_expiry(self):
+        store, registry, engine = _world()
+        record = _add(store, registry, 0)
+        rule = PlacementRule("r", Q.all(), disk_replicas=2, tape_copies=1,
+                             hdfs_stage=True)
+        declared = engine.declared(record, rule)
+        assert declared.replica_stores == ("ra",)
+        assert declared.tape and declared.hdfs
+        store.tag("pol-0", EXPIRED_TAG)
+        shrunk = engine.declared(store.get("pol-0"), rule)
+        assert shrunk.replica_stores == ()
+        assert not shrunk.tape and not shrunk.hdfs
+
+
+class TestDriftDetector:
+    def test_missing_replica_and_tape(self, sim):
+        store, registry, engine = _world()
+        _add(store, registry, 0)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2,
+                                      tape_copies=1))
+        tape = TapeLibrary(sim, drives=1, drive_bw=1e9,
+                           cartridge_capacity=1e9, mount_time=1.0,
+                           dismount_time=0.5)
+        detector = DriftDetector(engine, tape=tape)
+        kinds = [d.kind for d in detector.detect(publish=False)]
+        assert kinds == [MISSING_REPLICA, MISSING_TAPE]
+
+    def test_corrupt_primary_blocks_fanout_and_reuses_auditor_kinds(self):
+        store, registry, engine = _world()
+        _add(store, registry, 0)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2))
+        backend = registry.resolve("lsdf")
+        backend.delete("pol/obj0")
+        backend.put("pol/obj0", b"flipped bits")
+        (drift,) = DriftDetector(engine).detect(publish=False)
+        assert drift.kind == CORRUPT_PRIMARY
+        assert drift.finding.kind == "checksum_mismatch"
+        backend.delete("pol/obj0")
+        (drift,) = DriftDetector(engine).detect(publish=False)
+        assert drift.finding.kind == "lost_data"
+
+    def test_stale_replica_reads_as_missing_replica(self):
+        store, registry, engine = _world()
+        _add(store, registry, 0)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2))
+        registry.resolve("ra").put("pol/obj0", b"old bytes")
+        (drift,) = DriftDetector(engine).detect(publish=False)
+        assert drift.kind == MISSING_REPLICA
+        assert "stale" in drift.detail
+
+    def test_expiry_then_surplus_reclaim(self):
+        store, registry, engine = _world()
+        record = _add(store, registry, 0, created=0.0)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2,
+                                      lifetime=100.0))
+        registry.resolve("ra").put(
+            "pol/obj0", registry.resolve("lsdf").get("pol/obj0"))
+        detector = DriftDetector(engine, clock=lambda: 200.0)
+        (drift,) = detector.detect(publish=False)
+        assert drift.kind == EXPIRED
+        store.tag("pol-0", EXPIRED_TAG)
+        (drift,) = detector.detect(publish=False)
+        assert drift.kind == SURPLUS_REPLICA and drift.store == "ra"
+
+    def test_missing_hdfs_uses_canonical_staging_path(self):
+        store, registry, engine = _world()
+        record = _add(store, registry, 0)
+        engine.register(PlacementRule("r", Q.all(), hdfs_stage=True))
+
+        class FakeNameNode:
+            def exists(self, path):
+                return False
+
+        (drift,) = DriftDetector(engine,
+                                 namenode=FakeNameNode()).detect(publish=False)
+        assert drift.kind == MISSING_HDFS
+        assert hdfs_path(record) in drift.detail
+
+    def test_unreachable_primary_is_skipped_not_guessed(self):
+        store, registry, engine = _world()
+        _add(store, registry, 0)
+        engine.register(PlacementRule("r", Q.all(), disk_replicas=2))
+
+        class DownBackend:
+            def get(self, path):
+                raise BackendUnavailableError("store down")
+
+        registry.unregister("lsdf")
+        registry.register("lsdf", DownBackend())
+        detector = DriftDetector(engine)
+        assert detector.detect(publish=False) == []
+        assert detector.unreachable == 1

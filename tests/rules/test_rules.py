@@ -131,6 +131,20 @@ class TestTriggers:
         engine.on_tag("obs-1", "b")
         assert len(hits) == 2
 
+    def test_run_periodic_refires_when_not_once(self, world):
+        _sim, _store, _hsm, _adal, engine, add = world
+        hits = []
+        engine.register(Rule("sweep", "periodic", Q.all(),
+                             [CustomAction(lambda r, c:
+                                           hits.append(r.dataset_id) or "ok")],
+                             once_per_dataset=False))
+        add(1)
+        add(2)
+        first = engine.run_periodic()
+        second = engine.run_periodic()
+        assert len(first) == len(second) == 2
+        assert sorted(hits) == ["obs-1", "obs-1", "obs-2", "obs-2"]
+
 
 class TestActions:
     def test_archive_action_creates_tape_copy(self, world):
@@ -181,6 +195,52 @@ class TestActions:
                        ReplicateAction("mirror")):
             with pytest.raises(RuleError):
                 action.apply(store.get("obs-1"), bare)
+
+
+class TestFailureIsolation:
+    def _boom(self, record, ctx):
+        raise ValueError("simulated action fault")
+
+    def test_failing_action_does_not_abort_the_rest(self, world):
+        _sim, store, _hsm, _adal, engine, add = world
+        engine.register(Rule("mixed", "on_register", Q.all(),
+                             [CustomAction(self._boom, name="boom"),
+                              TagAction("survived")]))
+        add(1)
+        (application,) = engine.on_register("obs-1")
+        assert application.failures == 1
+        assert not application.clean
+        assert application.outcomes[0] == \
+            "boom: failed: ValueError: simulated action fault"
+        # The action after the failing one still ran.
+        assert "survived" in store.get("obs-1").tags
+        assert engine.stats()["action_failures"] == 1
+
+    def test_failed_application_still_counts_as_applied(self, world):
+        _sim, _store, _hsm, _adal, engine, add = world
+        engine.register(Rule("flaky", "on_tag", Q.all(),
+                             [CustomAction(self._boom, name="boom")]))
+        add(1)
+        assert len(engine.on_tag("obs-1", "x")) == 1
+        # once_per_dataset: the partial application is audited, not re-fired.
+        assert engine.on_tag("obs-1", "y") == []
+        assert engine.stats()["applications"] == 1
+
+    def test_replicate_skips_url_without_path(self, world):
+        _sim, store, _hsm, adal, engine, _add = world
+        store.register_dataset("bare", "climate", "adal://lsdf", 0, "c0",
+                               {"station": "S0"})
+        outcome = ReplicateAction("mirror").apply(store.get("bare"), engine.ctx)
+        assert outcome == "source URL has no path component (skipped)"
+        assert adal.registry.resolve("mirror").listdir("") == []
+
+    def test_replicate_skips_unparseable_url(self, world):
+        _sim, store, _hsm, _adal, engine, _add = world
+        store.register_dataset("odd", "climate", "file:///tmp/x", 0, "c1",
+                               {"station": "S0"})
+        outcome = ReplicateAction("mirror").apply(store.get("odd"), engine.ctx)
+        assert "unparseable source URL" in outcome
+        assert "skipped" in outcome
 
 
 class TestAuditing:
