@@ -227,6 +227,43 @@ def _cmd_policy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontdoor(args: argparse.Namespace) -> int:
+    from repro.frontdoor import run_overload_drill
+
+    facility, result = run_overload_drill(
+        seed=args.seed,
+        scale=args.scale,
+        duration_scale=args.duration_scale,
+        enabled=not args.naive,
+        storm=args.storm,
+    )
+    arm = "naive (defences off)" if args.naive else (
+        "storm (impatient clients)" if args.storm else "admission-controlled")
+    print(f"overload drill, {arm} arm, scale {args.scale:g}:")
+    for phase in result.phases:
+        print(f"  {phase.name:10s} {phase.submitted:7,} submitted  "
+              f"{phase.admitted:7,} admitted  {phase.served:7,} served  "
+              f"goodput {phase.goodput:7.2f}/s")
+    terminal = result.accounting["terminal"]
+    outcomes = ", ".join(f"{outcome} x{count:,}"
+                         for outcome, count in terminal.items() if count)
+    print(f"  outcomes   {outcomes}")
+    print(f"  queue      peak {result.peak_queue_depth} "
+          f"(bound {result.queue_bound}), {result.flushed} flushed")
+    print(f"  retries    {result.client_retries:,} client resubmissions, "
+          f"{result.admitted_retries:,} admitted")
+    print(f"  accounting silent loss {result.accounting['silent_loss']}")
+    if result.failures:
+        for failure in result.failures:
+            print(f"  GATE FAILED: {failure}")
+    else:
+        print("  gates      all passed")
+    if args.check and not result.passed:
+        print("overload drill check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
@@ -323,6 +360,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero unless the pass converges with zero "
                         "residual drift and a clean audit (CI gate)")
     p.set_defaults(fn=_cmd_policy)
+
+    p = sub.add_parser("frontdoor", help="run the front-door overload drill "
+                                         "and report its gates")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="client / rate-limit / worker scale (CI uses 0.2)")
+    p.add_argument("--duration-scale", type=float, default=1.0,
+                   help="phase-duration multiplier (CI uses 0.5)")
+    p.add_argument("--naive", action="store_true",
+                   help="run the ablation arm with every defence disabled")
+    p.add_argument("--storm", action="store_true",
+                   help="impatient clients: resubmit failed requests")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero unless every drill gate passes "
+                        "(CI gate)")
+    p.set_defaults(fn=_cmd_frontdoor)
 
     p = sub.add_parser("metrics", help="dump the telemetry registry "
                                        "(Prometheus text or JSON)")

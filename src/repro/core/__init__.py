@@ -20,6 +20,7 @@ from repro.core.chaos import (
     ChaosSchedule,
     Incident,
     durability_drill,
+    overload_drill,
     policy_drill,
     resilience_drill,
     rolling_node_failures,
@@ -39,6 +40,7 @@ __all__ = [
     "ReportSection",
     "durability_drill",
     "lsdf_2011_config",
+    "overload_drill",
     "policy_drill",
     "resilience_drill",
     "rolling_node_failures",

@@ -407,6 +407,67 @@ def durability_drill(
     return schedule
 
 
+def overload_drill(
+    loadgen,
+    store: str = "lsdf",
+    arrays: Optional[list[str]] = None,
+    start: float = 120.0,
+    step: float = 45.0,
+    surge: float = 90.0,
+    flaky_rate: float = 0.2,
+    ramp: tuple = (2.0, 3.5, 5.0),
+) -> ChaosSchedule:
+    """The bundled overload scenario: an offered-load ramp plus backend
+    faults, driven through the front door's load generator.
+
+    Composes (relative to ``start``):
+
+    * ``custom`` load-factor steps walking ``ramp`` (default x2, x3.5)
+      every ``step`` seconds, then the saturation factor (default x5)
+      held for ``surge`` seconds — the overload plateau the drill gates
+      goodput against;
+    * a ``backend_flaky`` window on the ADAL ``store`` during the surge
+      (transient faults while saturated: retries must stay inside each
+      request's budget);
+    * an ``array_degraded`` brown-out of the first array inside the same
+      window;
+    * a final ``custom`` step restoring load factor 1.0 (recovery phase).
+
+    The pass condition lives in
+    :func:`repro.frontdoor.drill.run_overload_drill`: goodput plateaus
+    within 20% of the pre-overload baseline, queue depths stay bounded,
+    and every request is terminally accounted (zero silent loss).
+    """
+    if len(ramp) < 1:
+        raise ValueError("ramp needs at least the saturation factor")
+
+    def set_factor(factor: float) -> Callable:
+        def action(_facility) -> None:
+            loadgen.set_load_factor(factor)
+        return action
+
+    schedule = ChaosSchedule()
+    t = start
+    for factor in ramp[:-1]:
+        schedule.add(Incident(at=t, kind="custom", target=("loadgen",),
+                              action=set_factor(factor)))
+        t += step
+    surge_start = t
+    schedule.add(Incident(at=surge_start, kind="custom", target=("loadgen",),
+                          action=set_factor(ramp[-1])))
+    # Transient backend faults while saturated.
+    schedule.add(Incident(at=surge_start + 0.1 * surge, kind="backend_flaky",
+                          target=(store,), repair_after=0.4 * surge,
+                          params={"rate": flaky_rate}))
+    if arrays:
+        schedule.add(Incident(at=surge_start + 0.5 * surge,
+                              kind="array_degraded", target=(arrays[0],),
+                              repair_after=0.3 * surge))
+    schedule.add(Incident(at=surge_start + surge, kind="custom",
+                          target=("loadgen",), action=set_factor(1.0)))
+    return schedule
+
+
 def policy_drill(
     store: str = "lsdf",
     arrays: Optional[list[str]] = None,

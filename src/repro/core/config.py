@@ -79,6 +79,13 @@ class FacilityConfig:
     retry_jitter: float = 0.1
     breaker_failure_threshold: int = 3
     breaker_reset_timeout: float = 120.0
+    #: Half-open probe lease in seconds: a probe slot that produced no
+    #: verdict for this long is reclaimed by the next caller (None = the
+    #: reset timeout, which preserves pre-lease behaviour bounds).
+    breaker_probe_timeout: float | None = None
+    #: Bound of the shared dead-letter queue (None = unbounded, the
+    #: historical behaviour; bounded queues evict oldest-first).
+    dlq_capacity: int | None = None
     #: Optional per-batch ingest transfer deadline in seconds (None = off).
     ingest_transfer_timeout: float | None = None
 
@@ -117,6 +124,34 @@ class FacilityConfig:
     policy_max_rounds: int = 8
     #: Per-community replica byte budget (None = unlimited).
     policy_quota_bytes: float | None = None
+
+    # -- overload-safe front door -------------------------------------------------------
+    #: Master switch: when False the door still serves but with every
+    #: overload defence off (no rate limits, shedding, brownout or
+    #: deadline fail-fast) — the E18 ablation's naive arm.
+    frontdoor_enabled: bool = True
+    #: Worker processes draining the admission queue.
+    frontdoor_workers: int = 4
+    #: Bound of each tenant's admission queue.
+    frontdoor_queue_capacity: int = 256
+    #: Multiplier on tenant client counts *and* rate limits (tiny CI arms).
+    frontdoor_scale: float = 1.0
+    #: CoDel-style shed controller: sojourn target and escalation interval.
+    frontdoor_codel_target: float = 0.5
+    frontdoor_codel_interval: float = 2.0
+    #: Queue-delay level (seconds) the brownout signal is normalised to.
+    frontdoor_brownout_target: float = 1.0
+    #: Service-time model: overhead + nbytes / bandwidth per attempt.
+    frontdoor_service_overhead: float = 0.05
+    frontdoor_service_bandwidth: float = 50 * units.MB
+    #: Deadline budgets (seconds) by priority class (interactive, batch, bulk).
+    frontdoor_deadlines: tuple[float, float, float] = (4.0, 15.0, 60.0)
+    #: Bound of the door's private dead-letter queue.
+    frontdoor_dlq_capacity: int | None = 512
+    #: The door's own breaker board (gentler than the facility board).
+    frontdoor_breaker_threshold: int = 6
+    frontdoor_breaker_reset: float = 20.0
+    frontdoor_breaker_probe_timeout: float = 10.0
 
     # -- telemetry spine ----------------------------------------------------------------
     #: Master switch: when False the metrics registry and event bus become

@@ -48,6 +48,7 @@ from repro.ingest.microscope import MicroscopeConfig
 from repro.ingest.pipeline import IngestPipeline, IngestReport
 from repro.ingest.transfer import StorageSink
 from repro.resilience import ResilienceKit, RetryPolicy
+from repro.frontdoor import FrontDoor, scaled_tenants
 from repro.telemetry.hub import TelemetryHub
 from repro.workloads.zebrafish import (
     ZEBRAFISH_PROJECT,
@@ -194,6 +195,8 @@ class Facility:
             ),
             breaker_failure_threshold=cfg.breaker_failure_threshold,
             breaker_reset_timeout=cfg.breaker_reset_timeout,
+            breaker_probe_timeout=cfg.breaker_probe_timeout,
+            dlq_capacity=cfg.dlq_capacity,
             enabled=cfg.resilience_enabled,
         )
 
@@ -284,6 +287,31 @@ class Facility:
         )
         if policy_daemon:
             self.convergence.start()
+
+        # -- overload-safe front door -------------------------------------------------
+        # The door gets its own ADAL client *without* a retry policy: the
+        # door owns the end-to-end retry/deadline budget, and stacked
+        # client-side retries would multiply attempts under overload.
+        self.frontdoor_client = AdalClient(
+            self.adal_registry, telemetry=self.telemetry)
+        self.frontdoor = FrontDoor(
+            self.sim,
+            self.frontdoor_client,
+            tenants=scaled_tenants(cfg.frontdoor_scale),
+            enabled=cfg.frontdoor_enabled,
+            workers=cfg.frontdoor_workers,
+            queue_capacity=cfg.frontdoor_queue_capacity,
+            codel_target=cfg.frontdoor_codel_target,
+            codel_interval=cfg.frontdoor_codel_interval,
+            brownout_target=cfg.frontdoor_brownout_target,
+            service_overhead=cfg.frontdoor_service_overhead,
+            service_bandwidth=cfg.frontdoor_service_bandwidth,
+            deadlines=cfg.frontdoor_deadlines,
+            dlq_capacity=cfg.frontdoor_dlq_capacity,
+            breaker_threshold=cfg.frontdoor_breaker_threshold,
+            breaker_reset=cfg.frontdoor_breaker_reset,
+            breaker_probe_timeout=cfg.frontdoor_breaker_probe_timeout,
+        )
 
         # -- facility-level gauges ------------------------------------------------
         # The glue-layer objects (metadata repository, topology) have no
@@ -402,6 +430,7 @@ class Facility:
             "resilience": self.resilience.stats(),
             "durability": self.durability.stats(),
             "policy": {**self.policy.stats(), **self.convergence.stats()},
+            "frontdoor": self.frontdoor.stats(),
         }
 
     def resilience_drill(self, **kwargs):
@@ -445,6 +474,19 @@ class Facility:
         kwargs.setdefault("arrays", [a.name for a in self.arrays])
         kwargs.setdefault("datanodes", list(self.names.cluster[:2]))
         return policy_drill(**kwargs)
+
+    def overload_drill(self, loadgen, **kwargs):
+        """The bundled overload scenario (load ramp + backend faults at
+        saturation) for this facility's front door.
+
+        Convenience wrapper around
+        :func:`repro.core.chaos.overload_drill`; run the returned schedule
+        with ``schedule.run(facility)`` while the load generator drives
+        the door."""
+        from repro.core.chaos import overload_drill
+
+        kwargs.setdefault("arrays", [a.name for a in self.arrays])
+        return overload_drill(loadgen, **kwargs)
 
     def director(self, **kwargs):
         """A workflow director wired to this facility's simulator and

@@ -61,6 +61,7 @@ class FacilityReport:
         (50, "_cloud"),
         (60, "_metadata"),
         (70, "_resilience"),
+        (75, "_frontdoor"),
         (80, "_durability"),
         (90, "_policy"),
     )
@@ -190,6 +191,48 @@ class FacilityReport:
         section.add("recovered vs lost",
                     f"{units.fmt_bytes(reg.value('resilience.recovered_bytes_total'))} vs "
                     f"{units.fmt_bytes(reg.value('resilience.lost_bytes_total'))}")
+        return section
+
+    def _frontdoor(self) -> ReportSection:
+        reg = self.registry
+        door = self.facility.frontdoor
+        section = ReportSection("front door")
+        if not door.enabled:
+            section.add("status", "defences disabled (naive arm)")
+        submitted = int(reg.total("frontdoor.requests_total"))
+        admitted = int(reg.total("frontdoor.admitted_total"))
+        section.add("requests",
+                    f"{submitted:,} submitted, {admitted:,} admitted")
+        acct = door.accounting()
+        terminal = acct["terminal"]
+        outcome_rows = [f"{outcome}: {count:,}"
+                        for outcome, count in terminal.items() if count]
+        section.add("outcomes",
+                    ", ".join(outcome_rows) if outcome_rows else "none yet")
+        section.add("silent loss", str(acct["silent_loss"]))
+        section.add("queue",
+                    f"{door.queue.depth} now, peak {door.queue.peak_depth}, "
+                    f"{int(reg.value('frontdoor.in_flight'))} in flight")
+        latency = reg.series("frontdoor.latency_seconds")
+        if latency is not None and latency.count:
+            section.add("latency p50/p99",
+                        f"{units.fmt_duration(latency.percentile(0.5))} / "
+                        f"{units.fmt_duration(latency.percentile(0.99))}")
+        section.add("degradation",
+                    f"tier {door.brownout.tier_name}, "
+                    f"shed floor {door.shed.shed_floor}, "
+                    f"load signal {door.brownout.signal:.2f}s")
+        section.add("goodput",
+                    units.fmt_bytes(
+                        reg.total("frontdoor.goodput_bytes_total")))
+        section.add("retries",
+                    f"{int(reg.value('frontdoor.backend_retries_total'))} "
+                    "backend, "
+                    f"{int(reg.value('frontdoor.admitted_retries_total'))} "
+                    "client resubmissions admitted")
+        section.add("dead letters",
+                    f"{door.dlq.depth} held, "
+                    f"{door.dlq.evicted_count} evicted")
         return section
 
     def _durability(self) -> ReportSection:

@@ -1,0 +1,101 @@
+"""Brownout degradation: shed *quality* before shedding requests.
+
+The :class:`BrownoutController` tracks a smoothed load signal — an EWMA of
+queue-delay samples — and maps it onto degradation tiers:
+
+* tier 0 (``normal``): everything served in full;
+* tier 1 (``no_writes``): writes are rejected at the door, reads still
+  served — writes are deferrable, reads are what users are waiting on;
+* tier 2 (``metadata_only``): reads are answered from metadata alone
+  (a ``stat`` instead of the byte payload), writes still rejected.
+
+Tier entry happens at ``target x enter_factor``; exit requires the signal
+to fall below ``exit_ratio`` of the entry threshold (hysteresis, so the
+controller does not flap around a boundary).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+#: Tier index -> stable label (events, reports).
+TIER_NAMES = ("normal", "no_writes", "metadata_only")
+
+
+class BrownoutController:
+    """EWMA-driven degradation tiers with hysteresis.
+
+    Parameters
+    ----------
+    target:
+        The healthy queue-delay target (seconds) the signal is compared to.
+    enter_factors:
+        Signal multiples of ``target`` at which tier 1 and tier 2 engage.
+    exit_ratio:
+        A tier disengages once the signal drops below
+        ``enter_threshold * exit_ratio``.
+    alpha:
+        EWMA smoothing weight of each new sample.
+    on_change:
+        Observer called as ``(old_tier, new_tier, signal)`` after every
+        tier transition (how transitions reach the event bus).
+    """
+
+    def __init__(
+        self,
+        target: float,
+        enter_factors: tuple[float, float] = (2.0, 4.0),
+        exit_ratio: float = 0.7,
+        alpha: float = 0.2,
+        on_change: Optional[Callable[[int, int, float], None]] = None,
+    ):
+        if target <= 0:
+            raise ValueError("target must be > 0")
+        if not (0 < alpha <= 1):
+            raise ValueError("alpha must be in (0, 1]")
+        if not (0 < exit_ratio < 1):
+            raise ValueError("exit_ratio must be in (0, 1)")
+        if not (0 < enter_factors[0] < enter_factors[1]):
+            raise ValueError("enter_factors must be increasing and > 0")
+        self.target = target
+        self.enter_factors = enter_factors
+        self.exit_ratio = exit_ratio
+        self.alpha = alpha
+        self.on_change = on_change
+        self.tier = 0
+        self._signal = 0.0
+
+    @property
+    def signal(self) -> float:
+        """The smoothed load signal (EWMA of queue-delay samples)."""
+        return self._signal
+
+    @property
+    def tier_name(self) -> str:
+        """Stable label of the current tier."""
+        return TIER_NAMES[self.tier]
+
+    def observe(self, delay: float) -> int:
+        """Feed one queue-delay sample; returns the (possibly new) tier."""
+        self._signal = (1.0 - self.alpha) * self._signal + self.alpha * delay
+        thresholds = [f * self.target for f in self.enter_factors]
+        new = self.tier
+        # Escalate through every tier whose entry threshold is crossed.
+        while new < 2 and self._signal >= thresholds[new]:
+            new += 1
+        # De-escalate with hysteresis: exit only well below the entry bar.
+        while new > 0 and self._signal < thresholds[new - 1] * self.exit_ratio:
+            new -= 1
+        if new != self.tier:
+            old, self.tier = self.tier, new
+            if self.on_change is not None:
+                self.on_change(old, new, self._signal)
+        return self.tier
+
+    def rejects_writes(self) -> bool:
+        """Whether the current tier refuses write operations."""
+        return self.tier >= 1
+
+    def metadata_only(self) -> bool:
+        """Whether the current tier degrades reads to metadata responses."""
+        return self.tier >= 2

@@ -1,0 +1,201 @@
+"""Open-loop load generation: thousands of clients standing in for millions.
+
+Each tenant gets an independent open-loop Poisson arrival process whose
+rate is ``clients / request_interval``, modulated by a diurnal sinusoid and
+a global ``load_factor`` (the overload drill's ramp handle).  Object
+popularity is Zipfian over a pre-populated per-tenant catalog — the classic
+hot-object skew — and the operation/priority mix follows each
+:class:`~repro.frontdoor.request.TenantSpec`.
+
+Open-loop matters: real user populations do not slow down because the
+service is struggling, so offered load is independent of service state.
+The optional *client-retry* mode (``client_retries > 0``) closes the
+metastable feedback loop on purpose: shed/timed-out/rejected requests are
+resubmitted after a short delay, which is the retry-storm arm the drill
+uses to show admission control bounding admitted-retry volume.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Generator, Optional, Sequence
+
+from repro.frontdoor.request import BATCH, BULK, INTERACTIVE, Request, TenantSpec
+from repro.frontdoor.service import FrontDoor
+from repro.simkit.core import Simulator
+
+
+class LoadGenerator:
+    """Per-tenant open-loop arrival processes driving a :class:`FrontDoor`.
+
+    Parameters
+    ----------
+    sim, frontdoor:
+        The simulator and the door to offer requests to.
+    tenants:
+        Communities to generate for (default: the door's tenants).
+    store:
+        ADAL store name object URLs point at.
+    catalog_size:
+        Objects per tenant in the popularity catalog.
+    zipf_s:
+        Zipf exponent of object popularity (higher = more skew).
+    diurnal_amplitude, diurnal_period:
+        Sinusoidal arrival-rate modulation (amplitude 0 disables it).
+    client_retries:
+        Maximum client-side resubmissions of a failed request
+        (0 = patient clients; > 0 = the retry-storm arm).
+    retry_delay:
+        Seconds an impatient client waits before resubmitting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        frontdoor: FrontDoor,
+        tenants: Optional[Sequence[TenantSpec]] = None,
+        store: str = "lsdf",
+        catalog_size: int = 64,
+        zipf_s: float = 1.1,
+        diurnal_amplitude: float = 0.0,
+        diurnal_period: float = 86400.0,
+        client_retries: int = 0,
+        retry_delay: float = 1.0,
+        name: str = "loadgen",
+    ):
+        if catalog_size < 1:
+            raise ValueError("catalog_size must be >= 1")
+        if not (0.0 <= diurnal_amplitude < 1.0):
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        self.sim = sim
+        self.frontdoor = frontdoor
+        self.tenants = tuple(tenants) if tenants is not None else tuple(
+            frontdoor.tenants[t] for t in sorted(frontdoor.tenants))
+        self.store = store
+        self.catalog_size = catalog_size
+        self.diurnal_amplitude = diurnal_amplitude
+        self.diurnal_period = diurnal_period
+        self.client_retries = client_retries
+        self.retry_delay = retry_delay
+        self.name = name
+        self.load_factor = 1.0
+        self._until: Optional[float] = None
+        self._put_seq = 0
+        self._rng = sim.random.spawn(name)
+        # Zipf CDF over catalog ranks, sampled by inverse transform.
+        weights = [1.0 / (rank + 1) ** zipf_s for rank in range(catalog_size)]
+        total = sum(weights)
+        cdf: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        self._zipf_cdf = cdf
+        reg = frontdoor._hub.registry
+        self._m_client_retries = reg.counter(
+            "frontdoor.client_retries_total",
+            "Client-side resubmissions offered to the door")
+        if client_retries > 0:
+            # The storm arm needs to see every terminal outcome.
+            frontdoor.on_terminal = self._on_terminal
+
+    # -- catalog -------------------------------------------------------------
+    def _object_url(self, tenant: str, rank: int) -> str:
+        return f"adal://{self.store}/frontdoor/{tenant}/obj{rank:05d}"
+
+    def populate(self) -> int:
+        """Pre-put every catalog object (small token payloads); returns count."""
+        count = 0
+        for spec in self.tenants:
+            payload = b"\x17" * max(1, min(int(spec.object_bytes), 1024))
+            for rank in range(self.catalog_size):
+                url = self._object_url(spec.name, rank)
+                if not self.frontdoor.client.exists(url):
+                    self.frontdoor.client.put(url, payload)
+                    count += 1
+        return count
+
+    # -- control -------------------------------------------------------------
+    def set_load_factor(self, factor: float) -> None:
+        """Set the global offered-load multiplier (the drill's ramp handle)."""
+        if factor <= 0:
+            raise ValueError("load factor must be > 0")
+        self.load_factor = factor
+
+    def start(self, duration: float) -> None:
+        """Launch one arrival process per tenant for ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        self._until = self.sim.now + duration
+        for spec in self.tenants:
+            self.sim.process(
+                self._arrivals(spec), name=f"{self.name}.{spec.name}")
+
+    def _diurnal(self, now: float) -> float:
+        if self.diurnal_amplitude == 0.0:
+            return 1.0
+        phase = 2.0 * math.pi * ((now % self.diurnal_period)
+                                 / self.diurnal_period)
+        return 1.0 + self.diurnal_amplitude * math.sin(phase)
+
+    def _arrivals(self, spec: TenantSpec) -> Generator:
+        rng = self._rng.spawn(f"arrivals.{spec.name}")
+        while self.sim.now < self._until:
+            rate = (spec.arrival_rate() * self._diurnal(self.sim.now)
+                    * self.load_factor)
+            yield self.sim.timeout(rng.exponential(1.0 / rate))
+            if self.sim.now >= self._until:
+                return
+            self._submit_one(spec, rng)
+
+    # -- request synthesis ---------------------------------------------------
+    def _pick_priority(self, spec: TenantSpec, draw: float) -> int:
+        if draw < spec.interactive_fraction:
+            return INTERACTIVE
+        if draw < spec.interactive_fraction + spec.bulk_fraction:
+            return BULK
+        return BATCH
+
+    def _submit_one(self, spec: TenantSpec, rng) -> None:
+        priority = self._pick_priority(spec, rng.uniform())
+        nbytes = rng.lognormal_mean(spec.object_bytes, cv=0.5)
+        if rng.uniform() < spec.write_fraction:
+            self._put_seq += 1
+            url = (f"adal://{self.store}/frontdoor/{spec.name}"
+                   f"/in/{self._put_seq:07d}")
+            op = "put"
+        else:
+            rank = bisect.bisect_left(self._zipf_cdf, rng.uniform())
+            url = self._object_url(spec.name, min(rank, self.catalog_size - 1))
+            op = "get"
+        self.frontdoor.submit(self.frontdoor.make_request(
+            spec.name, op, url, nbytes=nbytes, priority=priority))
+
+    # -- client retries (the storm arm) --------------------------------------
+    def _on_terminal(self, request: Request, outcome: str) -> None:
+        """Impatient-client hook: resubmit failed requests after a delay."""
+        if outcome not in ("shed", "timed_out", "rejected"):
+            return
+        if request.retries >= self.client_retries:
+            return
+        resubmit_at = self.sim.now + self.retry_delay
+        if self._until is None or resubmit_at >= self._until:
+            return
+        spec = self.frontdoor.tenants[request.tenant]
+
+        def resubmit(spec=spec, request=request) -> None:
+            self._m_client_retries.add(1)
+            self.frontdoor.submit(self.frontdoor.make_request(
+                spec.name, request.op, request.url, nbytes=request.nbytes,
+                priority=request.priority, retries=request.retries + 1))
+
+        self.sim.call_at(resubmit_at, resubmit)
+
+    def stats(self) -> dict:
+        """Headline load-generator numbers."""
+        return {
+            "tenants": [spec.name for spec in self.tenants],
+            "load_factor": self.load_factor,
+            "client_retries": int(self._m_client_retries.value),
+        }

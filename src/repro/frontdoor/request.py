@@ -1,0 +1,161 @@
+"""Front-door request model: tenants, priorities, deadlines, outcomes.
+
+A :class:`Request` is one client operation offered to the
+:class:`~repro.frontdoor.service.FrontDoor`.  It carries the community
+(tenant) it belongs to, a priority class, and a :class:`Deadline` — the
+end-to-end time budget that every downstream timeout and retry backoff is
+derived from, so no piece of work ever outlives the client waiting for it.
+
+Every submitted request reaches exactly one terminal :data:`OUTCOMES`
+entry; the overload drill's *zero silent loss* gate is the assertion that
+submissions and terminal outcomes balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+#: Priority classes, lowest value = most latency-sensitive.
+INTERACTIVE = 0
+BATCH = 1
+BULK = 2
+
+#: Class value -> stable label used on metrics.
+PRIORITY_NAMES = {INTERACTIVE: "interactive", BATCH: "batch", BULK: "bulk"}
+
+#: Terminal states a submitted request can reach (exactly one each).
+OUTCOMES = (
+    "served",          # full response delivered in budget
+    "served_degraded",  # brownout tier served a metadata-only response
+    "rejected",        # refused at the door (rate limit, full queue, brownout)
+    "shed",            # admitted, then dropped by the shed controller
+    "timed_out",       # budget exhausted before a response
+    "dead_lettered",   # backend retries exhausted; captured in the DLQ
+)
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute end-to-end budget: ``start + budget`` is the drop-dead time."""
+
+    start: float
+    budget: float
+
+    def remaining(self, now: float) -> float:
+        """Seconds of budget left at ``now`` (negative once expired)."""
+        return self.start + self.budget - now
+
+    def expired(self, now: float) -> bool:
+        """Whether the budget is exhausted at ``now``."""
+        return self.remaining(now) <= 0.0
+
+
+@dataclass
+class Request:
+    """One client operation flowing through the front door."""
+
+    tenant: str
+    op: str  # "get" | "put" | "stat"
+    url: str
+    nbytes: float
+    priority: int
+    deadline: Deadline
+    submitted: float
+    seq: int
+    #: Client-side resubmission generation (0 = first try); the retry-storm
+    #: arm of the overload drill submits clones with this incremented.
+    retries: int = 0
+    #: Set when the request enters an admission queue (sojourn baseline).
+    enqueued: float = 0.0
+    #: Terminal outcome, set exactly once by the front door.
+    outcome: Optional[str] = None
+
+    @property
+    def priority_name(self) -> str:
+        """Stable label of the priority class (metrics/events)."""
+        return PRIORITY_NAMES.get(self.priority, str(self.priority))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One community's front-door contract plus its synthetic-load shape.
+
+    The admission-side fields (``weight``, ``rate_limit``, ``burst``) are
+    read by the :class:`~repro.frontdoor.service.FrontDoor`; the load-shape
+    fields by the :class:`~repro.frontdoor.loadgen.LoadGenerator`.  Keeping
+    them in one spec means a drill describes each community exactly once.
+    """
+
+    name: str
+    #: Fair-share weight across tenants (>= 1).
+    weight: float = 1.0
+    #: Token-bucket refill in requests/second (None = unlimited).
+    rate_limit: Optional[float] = None
+    #: Token-bucket burst size in requests (defaults to 2 s of refill).
+    burst: Optional[float] = None
+    #: Concurrent clients this community stands in for.
+    clients: int = 100
+    #: Mean seconds between requests per client (open-loop Poisson).
+    request_interval: float = 60.0
+    #: Fraction of operations that are writes (puts).
+    write_fraction: float = 0.2
+    #: Fraction of operations in the interactive class.
+    interactive_fraction: float = 0.3
+    #: Fraction of operations in the bulk class (the rest are batch).
+    bulk_fraction: float = 0.2
+    #: Mean object size in bytes (service-time model; payloads are tokens).
+    object_bytes: float = 256 * 1024.0
+
+    def arrival_rate(self) -> float:
+        """Offered requests/second at load factor 1.0."""
+        return self.clients / self.request_interval
+
+
+def default_tenants(client_scale: float = 1.0) -> tuple[TenantSpec, ...]:
+    """The paper's communities as front-door tenants.
+
+    Microscopy is the dominant, interactive-heavy community; DNA sequencing
+    is batch-heavy; KATRIN streams steadily; ANKA is bursty bulk.  Weights
+    follow their share of the facility's traffic.  ``client_scale``
+    multiplies every client count (drills use it to shrink CI arms).
+    """
+    def scaled(n: int) -> int:
+        return max(1, int(round(n * client_scale)))
+
+    return (
+        TenantSpec("microscopy", weight=4.0, rate_limit=40.0, clients=scaled(240),
+                   request_interval=12.0, write_fraction=0.30,
+                   interactive_fraction=0.45, bulk_fraction=0.10),
+        TenantSpec("dna", weight=2.0, rate_limit=20.0, clients=scaled(120),
+                   request_interval=12.0, write_fraction=0.25,
+                   interactive_fraction=0.20, bulk_fraction=0.30),
+        TenantSpec("katrin", weight=1.0, rate_limit=10.0, clients=scaled(60),
+                   request_interval=12.0, write_fraction=0.40,
+                   interactive_fraction=0.20, bulk_fraction=0.20),
+        TenantSpec("anka", weight=1.0, rate_limit=10.0, clients=scaled(60),
+                   request_interval=12.0, write_fraction=0.20,
+                   interactive_fraction=0.15, bulk_fraction=0.50),
+    )
+
+
+def scaled_tenants(scale: float,
+                   base: Optional[Sequence[TenantSpec]] = None
+                   ) -> tuple[TenantSpec, ...]:
+    """The tenant set with client counts *and* rate limits scaled together.
+
+    Scaling both keeps the offered-load : capacity ratio invariant, so a
+    tiny CI arm exercises the same overload regime as the full drill.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    specs = tuple(base) if base is not None else default_tenants()
+    out = []
+    for spec in specs:
+        out.append(replace(
+            spec,
+            clients=max(1, int(round(spec.clients * scale))),
+            rate_limit=(spec.rate_limit * scale
+                        if spec.rate_limit is not None else None),
+        ))
+    return tuple(out)

@@ -42,6 +42,13 @@ class CircuitBreaker:
         Consecutive failures that trip the breaker open.
     reset_timeout:
         Seconds after opening before a half-open probe is allowed.
+    probe_timeout:
+        Seconds a claimed half-open probe slot may stay unreported
+        before it is reclaimed.  A probe owner can die without calling
+        :meth:`record_success` / :meth:`record_failure` (e.g. its
+        deadline fires first); without a timeout the slot would be held
+        forever and the breaker could never close again.  Defaults to
+        ``reset_timeout``.
     """
 
     def __init__(
@@ -50,6 +57,7 @@ class CircuitBreaker:
         target: str = "",
         failure_threshold: int = 3,
         reset_timeout: float = 120.0,
+        probe_timeout: Optional[float] = None,
         on_transition: Optional[
             Callable[["CircuitBreaker", float, str, str], None]] = None,
     ):
@@ -57,10 +65,14 @@ class CircuitBreaker:
             raise ValueError("failure_threshold must be >= 1")
         if reset_timeout <= 0:
             raise ValueError("reset_timeout must be > 0")
+        if probe_timeout is not None and probe_timeout <= 0:
+            raise ValueError("probe_timeout must be > 0 (or None)")
         self._clock = clock
         self.target = target
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
+        self.probe_timeout = (
+            probe_timeout if probe_timeout is not None else reset_timeout)
         #: Observer called as ``(breaker, when, old, new)`` after every
         #: state change (how trips reach the facility event bus).
         self.on_transition = on_transition
@@ -68,6 +80,9 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at: Optional[float] = None
         self._probe_in_flight = False
+        self._probe_claimed_at: Optional[float] = None
+        #: Probe slots reclaimed because the claimant never reported back.
+        self.probe_reclaims = 0
         #: ``(time, old_state, new_state)`` history of every transition.
         self.transitions: list[tuple[float, str, str]] = []
 
@@ -102,7 +117,8 @@ class CircuitBreaker:
 
         In half-open state only a single probe is admitted at a time;
         calling ``allow()`` claims the probe slot until the probe reports
-        success or failure.
+        success or failure — or until ``probe_timeout`` elapses without a
+        report, after which the slot is reclaimed for the next caller.
         """
         state = self.state
         if state == CLOSED:
@@ -110,14 +126,22 @@ class CircuitBreaker:
         if state == OPEN:
             return False
         if self._probe_in_flight:
-            return False
+            claimed = self._probe_claimed_at
+            if (claimed is None
+                    or self._clock() - claimed < self.probe_timeout):
+                return False
+            # The claimant died without reporting: reclaim the slot so the
+            # breaker cannot be starved in half-open forever.
+            self.probe_reclaims += 1
         self._probe_in_flight = True
+        self._probe_claimed_at = self._clock()
         return True
 
     def record_success(self) -> None:
         """Report one successful call; closes a half-open breaker."""
         self._failures = 0
         self._probe_in_flight = False
+        self._probe_claimed_at = None
         if self.state != CLOSED:
             self._transition(CLOSED)
 
@@ -125,6 +149,7 @@ class CircuitBreaker:
         """Report one failed call; may trip the breaker open."""
         state = self.state
         self._probe_in_flight = False
+        self._probe_claimed_at = None
         if state == HALF_OPEN:
             # Failed probe: straight back to open, restart the reset clock.
             self._opened_at = self._clock()
@@ -150,6 +175,7 @@ class BreakerBoard:
         clock: Callable[[], float],
         failure_threshold: int = 3,
         reset_timeout: float = 120.0,
+        probe_timeout: Optional[float] = None,
         on_transition: Optional[
             Callable[[CircuitBreaker, float, str, str], None]] = None,
     ):
@@ -157,9 +183,12 @@ class BreakerBoard:
             raise ValueError("failure_threshold must be >= 1")
         if reset_timeout <= 0:
             raise ValueError("reset_timeout must be > 0")
+        if probe_timeout is not None and probe_timeout <= 0:
+            raise ValueError("probe_timeout must be > 0 (or None)")
         self._clock = clock
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
+        self.probe_timeout = probe_timeout
         self.on_transition = on_transition
         self._breakers: dict[str, CircuitBreaker] = {}
 
@@ -171,6 +200,7 @@ class BreakerBoard:
                 target=target,
                 failure_threshold=self.failure_threshold,
                 reset_timeout=self.reset_timeout,
+                probe_timeout=self.probe_timeout,
                 on_transition=self.on_transition,
             )
         return self._breakers[target]

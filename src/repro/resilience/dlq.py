@@ -30,15 +30,35 @@ class DeadLetter:
 
 
 class DeadLetterQueue:
-    """Append-only queue of :class:`DeadLetter` records."""
+    """Append-only queue of :class:`DeadLetter` records.
 
-    def __init__(self, name: str = "dlq", bus: Optional[EventBus] = None):
+    When ``capacity`` is set, the queue is bounded: pushing past capacity
+    evicts the *oldest* entry into a persistent ``evicted_count`` /
+    ``evicted_bytes`` tally (and a ``dlq.evict`` event), so a sustained
+    overload cannot grow memory without bound while zero-silent-loss
+    accounting still balances — ``pushed_total`` always equals
+    ``depth + evicted_count + drained``.  Default is unbounded.
+    """
+
+    def __init__(
+        self,
+        name: str = "dlq",
+        bus: Optional[EventBus] = None,
+        capacity: Optional[int] = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self.name = name
         #: Optional facility event bus: every push publishes a
         #: ``dlq.spill`` event so chaos runs can watch loss as it happens.
         self.bus = bus
+        #: Maximum queued entries before oldest-first eviction (None = ∞).
+        self.capacity = capacity
         self._entries: list[DeadLetter] = []
         self._total_bytes = 0.0
+        self._pushed_total = 0
+        self._evicted_count = 0
+        self._evicted_bytes = 0.0
 
     def push(
         self,
@@ -60,6 +80,17 @@ class DeadLetterQueue:
         )
         self._entries.append(letter)
         self._total_bytes += letter.nbytes
+        self._pushed_total += 1
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            evicted = self._entries.pop(0)
+            self._total_bytes -= evicted.nbytes
+            self._evicted_count += 1
+            self._evicted_bytes += evicted.nbytes
+            if self.bus is not None:
+                self.bus.publish(
+                    "dlq.evict", subject=evicted.source or self.name,
+                    severity=WARNING, error=evicted.error,
+                    nbytes=evicted.nbytes, evicted_total=self._evicted_count)
         if self.bus is not None:
             self.bus.publish(
                 "dlq.spill", subject=source or self.name, severity=WARNING,
@@ -75,6 +106,21 @@ class DeadLetterQueue:
     def total_bytes(self) -> float:
         """Payload bytes represented by the queued dead letters."""
         return self._total_bytes
+
+    @property
+    def pushed_total(self) -> int:
+        """Every push ever made, whether still queued, evicted or drained."""
+        return self._pushed_total
+
+    @property
+    def evicted_count(self) -> int:
+        """Entries evicted (oldest first) to honour ``capacity``."""
+        return self._evicted_count
+
+    @property
+    def evicted_bytes(self) -> float:
+        """Payload bytes represented by evicted entries."""
+        return self._evicted_bytes
 
     def items(self) -> list[DeadLetter]:
         """The queued dead letters, oldest first (non-destructive)."""

@@ -39,6 +39,12 @@ class ResilienceKit:
         Retry policy applied by consumers (default: :class:`RetryPolicy`).
     breaker_failure_threshold, breaker_reset_timeout:
         Shared circuit-breaker configuration.
+    breaker_probe_timeout:
+        Half-open probe lease (seconds): an unresolved probe older than
+        this is reclaimed by the next caller instead of starving recovery
+        (None = the reset timeout).
+    dlq_capacity:
+        Bound of the shared dead-letter queue (None = unbounded).
     enabled:
         When ``False`` consumers fall back to their pre-resilience
         behaviour — the ablation arm of the E13 benchmark.
@@ -50,6 +56,8 @@ class ResilienceKit:
         policy: Optional[RetryPolicy] = None,
         breaker_failure_threshold: int = 3,
         breaker_reset_timeout: float = 120.0,
+        breaker_probe_timeout: Optional[float] = None,
+        dlq_capacity: Optional[int] = None,
         enabled: bool = True,
     ):
         self.sim = sim
@@ -61,9 +69,11 @@ class ResilienceKit:
             clock=lambda: sim.now,
             failure_threshold=breaker_failure_threshold,
             reset_timeout=breaker_reset_timeout,
+            probe_timeout=breaker_probe_timeout,
             on_transition=self._on_breaker_transition,
         )
-        self.dlq = DeadLetterQueue(name="facility-dlq", bus=self._hub.bus)
+        self.dlq = DeadLetterQueue(name="facility-dlq", bus=self._hub.bus,
+                                   capacity=dlq_capacity)
         reg = self._hub.registry
         self.retries = reg.counter(
             "resilience.retries_total", "Retry attempts across consumers")
@@ -86,6 +96,13 @@ class ResilienceKit:
                      "Dead letters currently queued")
         reg.gauge_fn("resilience.dlq_bytes", lambda: self.dlq.total_bytes,
                      "Payload bytes held by the DLQ", unit="bytes")
+        reg.gauge_fn("resilience.dlq_evicted",
+                     lambda: float(self.dlq.evicted_count),
+                     "Dead letters evicted by the capacity bound")
+        reg.gauge_fn("resilience.dlq_evicted_bytes",
+                     lambda: self.dlq.evicted_bytes,
+                     "Payload bytes evicted by the capacity bound",
+                     unit="bytes")
         reg.gauge_fn("resilience.enabled",
                      lambda: 1.0 if self.enabled else 0.0,
                      "Whether the resilience layer is active")
@@ -117,6 +134,7 @@ class ResilienceKit:
             "breaker_transitions": len(self.breakers.transitions()),
             "breakers_open": sorted(self.breakers.open_targets()),
             "dlq_depth": self.dlq.depth,
+            "dlq_evicted": self.dlq.evicted_count,
             "recovered_bytes": self.recovered_bytes.value,
             "lost_bytes": self.lost_bytes.value,
         }

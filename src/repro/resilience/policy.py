@@ -38,6 +38,12 @@ class RetryPolicy:
     jitter:
         Fractional jitter: each delay is scaled by a uniform draw from
         ``[1 - jitter, 1 + jitter]`` when a random source is supplied.
+    max_elapsed:
+        Optional total-time budget (seconds) over the whole retry
+        sequence: no backoff is ever *scheduled* at or past this budget,
+        measured from the first attempt — so a retried operation can
+        never outlive a caller's deadline, however many attempts remain.
+        ``None`` (the default) keeps the attempt count as the only bound.
     """
 
     max_attempts: int = 4
@@ -45,6 +51,7 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 60.0
     jitter: float = 0.1
+    max_elapsed: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -55,6 +62,8 @@ class RetryPolicy:
             raise ValueError("multiplier must be >= 1")
         if not (0.0 <= self.jitter < 1.0):
             raise ValueError("jitter must be in [0, 1)")
+        if self.max_elapsed is not None and self.max_elapsed <= 0:
+            raise ValueError("max_elapsed must be > 0 (or None)")
 
     def delay(self, attempt: int, rng: Optional[RandomSource] = None) -> float:
         """Backoff (seconds) before retry number ``attempt`` (1-based).
@@ -73,6 +82,26 @@ class RetryPolicy:
         """The full backoff sequence of one exhausting retry run."""
         return [self.delay(i, rng) for i in range(1, self.max_attempts)]
 
+    def delay_within(
+        self,
+        attempt: int,
+        elapsed: float,
+        rng: Optional[RandomSource] = None,
+    ) -> Optional[float]:
+        """Backoff before retry ``attempt``, honouring the elapsed budget.
+
+        ``elapsed`` is the time already spent since the first attempt.
+        Returns ``None`` when the policy's ``max_elapsed`` budget (if any)
+        is already spent or would be reached before the backoff completes —
+        the caller must then stop retrying.  The jitter draw is consumed
+        either way, so budget checks never shift the random stream of
+        later consumers.
+        """
+        backoff = self.delay(attempt, rng)
+        if self.max_elapsed is not None and elapsed + backoff >= self.max_elapsed:
+            return None
+        return backoff
+
     def run_sync(
         self,
         fn: Callable,
@@ -85,13 +114,16 @@ class RetryPolicy:
 
         Used by glue-layer components that run in zero simulated time: the
         backoff delay is still computed (and passed to ``on_retry`` for
-        accounting) but not slept.  Raises
+        accounting) but not slept.  When ``max_elapsed`` is set, the
+        accumulated (virtual) backoff counts against it and the sequence
+        ends early once the budget is spent.  Raises
         :class:`~repro.resilience.errors.RetriesExhaustedError` chained to
-        the last failure once ``max_attempts`` is reached; exceptions not
-        in ``retry_on`` propagate immediately.
+        the last failure once ``max_attempts`` is reached or the budget
+        runs out; exceptions not in ``retry_on`` propagate immediately.
         """
         attempts: list[tuple[int, str]] = []
         attempt = 1
+        elapsed = 0.0
         while True:
             try:
                 return fn()
@@ -99,7 +131,10 @@ class RetryPolicy:
                 attempts.append((attempt, f"{type(exc).__name__}: {exc}"))
                 if attempt >= self.max_attempts:
                     raise RetriesExhaustedError(label, attempts) from exc
-                backoff = self.delay(attempt, rng)
+                backoff = self.delay_within(attempt, elapsed, rng)
+                if backoff is None:
+                    raise RetriesExhaustedError(label, attempts) from exc
                 if on_retry is not None:
                     on_retry(attempt, exc, backoff)
+                elapsed += backoff
                 attempt += 1

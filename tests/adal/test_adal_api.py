@@ -64,3 +64,31 @@ class TestChecksum:
 
     def test_sha256_hex_length(self):
         assert len(checksum_bytes(b"")) == 64
+
+
+class TestAdalUrlEdgeCases:
+    def test_trailing_slash_means_empty_path(self):
+        url = AdalUrl.parse("adal://store/")
+        assert url.store == "store"
+        assert url.path == ""
+
+    def test_store_only_round_trips_with_slash(self):
+        assert str(AdalUrl.parse("adal://store")) == "adal://store/"
+
+    def test_interior_repeated_slashes_preserved(self):
+        # Only *leading* slashes are normalised away; interior structure
+        # is the backend's business.
+        assert AdalUrl.parse("adal://s/a//b").path == "a//b"
+        assert AdalUrl.parse("adal://s///a//b").path == "a//b"
+
+    def test_bare_scheme_rejected(self):
+        with pytest.raises(AdalError):
+            AdalUrl.parse("adal://")
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(AdalError):
+            AdalUrl.parse("")
+
+    def test_scheme_is_case_sensitive(self):
+        with pytest.raises(AdalError):
+            AdalUrl.parse("ADAL://store/x")

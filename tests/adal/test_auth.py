@@ -109,3 +109,58 @@ class TestAcl:
         acl = self._acl()
         with pytest.raises(PermissionDeniedError):
             acl.check(Principal("nobody"), "adal://lsdf/zf/x", "read")
+
+
+class TestRevokeMidSession:
+    """Revocation semantics: a bound session keeps its principal; new
+    sessions are refused."""
+
+    def _registry(self):
+        from repro.adal import BackendRegistry, MemoryBackend
+
+        registry = BackendRegistry()
+        registry.register("lsdf", MemoryBackend())
+        return registry
+
+    def test_existing_client_session_survives_revoke(self):
+        from repro.adal import AdalClient
+
+        auth = TokenAuth()
+        auth.register("alice", "s3cret", groups=["zf"])
+        client = AdalClient(self._registry(), auth_provider=auth,
+                            credentials=Credentials("alice", "s3cret"))
+        client.put("adal://lsdf/a", b"payload")
+        auth.revoke("alice")
+        # The principal was bound at authentication time; the live session
+        # keeps working (real deployments bound token lifetime separately).
+        assert client.get("adal://lsdf/a") == b"payload"
+        client.put("adal://lsdf/b", b"more")
+        assert client.exists("adal://lsdf/b")
+
+    def test_new_session_after_revoke_is_refused(self):
+        from repro.adal import AdalClient
+
+        auth = TokenAuth()
+        auth.register("alice", "s3cret")
+        registry = self._registry()
+        AdalClient(registry, auth_provider=auth,
+                   credentials=Credentials("alice", "s3cret"))
+        auth.revoke("alice")
+        with pytest.raises(AuthError):
+            AdalClient(registry, auth_provider=auth,
+                       credentials=Credentials("alice", "s3cret"))
+
+    def test_revoke_then_reregister_allows_new_token_only(self):
+        from repro.adal import AdalClient
+
+        auth = TokenAuth()
+        auth.register("alice", "old-token")
+        auth.revoke("alice")
+        auth.register("alice", "new-token")
+        registry = self._registry()
+        with pytest.raises(AuthError):
+            AdalClient(registry, auth_provider=auth,
+                       credentials=Credentials("alice", "old-token"))
+        client = AdalClient(registry, auth_provider=auth,
+                            credentials=Credentials("alice", "new-token"))
+        assert client.auth.principal.name == "alice"

@@ -34,8 +34,8 @@ class TestFacilityReport:
         data = report.as_dict()
         assert {"storage estate", "tape / HSM", "network (10 GE backbone)",
                 "HDFS (analysis cluster)", "cloud (OpenNebula-style)",
-                "metadata repository", "resilience", "durability",
-                "placement policy"} == set(data)
+                "metadata repository", "resilience", "front door",
+                "durability", "placement policy"} == set(data)
 
     def test_render_contains_live_numbers(self):
         facility = _small_facility()

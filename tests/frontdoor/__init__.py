@@ -1,0 +1,1 @@
+"""Tests for the overload-safe ADAL front door."""

@@ -1,0 +1,87 @@
+"""Tests for the brownout degradation controller."""
+
+import pytest
+
+from repro.frontdoor import BrownoutController
+from repro.frontdoor.brownout import TIER_NAMES
+
+
+class TestValidation:
+    def test_target_must_be_positive(self):
+        with pytest.raises(ValueError, match="target"):
+            BrownoutController(target=0.0)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError, match="alpha"):
+            BrownoutController(target=1.0, alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            BrownoutController(target=1.0, alpha=1.5)
+
+    def test_exit_ratio_bounds(self):
+        with pytest.raises(ValueError, match="exit_ratio"):
+            BrownoutController(target=1.0, exit_ratio=1.0)
+
+    def test_enter_factors_must_increase(self):
+        with pytest.raises(ValueError, match="enter_factors"):
+            BrownoutController(target=1.0, enter_factors=(4.0, 2.0))
+
+
+class TestTiers:
+    def _hot(self, ctrl, delay, n=60):
+        for _ in range(n):
+            ctrl.observe(delay)
+
+    def test_idle_controller_stays_normal(self):
+        ctrl = BrownoutController(target=1.0)
+        for _ in range(100):
+            assert ctrl.observe(0.5) == 0
+        assert ctrl.tier_name == "normal"
+        assert not ctrl.rejects_writes()
+        assert not ctrl.metadata_only()
+
+    def test_escalates_through_both_tiers(self):
+        ctrl = BrownoutController(target=1.0, enter_factors=(2.0, 4.0))
+        self._hot(ctrl, 3.0)          # EWMA converges to 3 >= 2x target
+        assert ctrl.tier == 1
+        assert ctrl.rejects_writes() and not ctrl.metadata_only()
+        self._hot(ctrl, 10.0)         # converges to 10 >= 4x target
+        assert ctrl.tier == 2
+        assert ctrl.rejects_writes() and ctrl.metadata_only()
+        assert ctrl.tier_name == TIER_NAMES[2]
+
+    def test_exit_requires_hysteresis_margin(self):
+        ctrl = BrownoutController(target=1.0, enter_factors=(2.0, 4.0),
+                                  exit_ratio=0.7)
+        self._hot(ctrl, 3.0)
+        assert ctrl.tier == 1
+        # Signal just under the entry bar but above 0.7x: no exit (no flap).
+        self._hot(ctrl, 1.8)
+        assert ctrl.tier == 1
+        # Well below the exit bar: tier disengages.
+        self._hot(ctrl, 0.2)
+        assert ctrl.tier == 0
+
+    def test_single_spike_does_not_flip_the_tier(self):
+        """The EWMA absorbs one outlier; brownout needs sustained load."""
+        ctrl = BrownoutController(target=1.0, alpha=0.2)
+        ctrl.observe(8.0)
+        assert ctrl.tier == 0       # signal only 1.6 after one sample
+
+    def test_on_change_reports_every_transition(self):
+        seen = []
+        ctrl = BrownoutController(
+            target=1.0, on_change=lambda old, new, sig: seen.append((old, new)))
+        self._hot(ctrl, 10.0)
+        self._hot(ctrl, 0.01)
+        assert seen[0][1] >= 1            # escalation(s) first
+        assert seen[-1] == (1, 0) or seen[-1][1] == 0
+        # Transitions chain: each old tier is the previous new tier.
+        for (prev, cur) in zip(seen, seen[1:]):
+            assert cur[0] == prev[1]
+
+    def test_signal_property_tracks_ewma(self):
+        ctrl = BrownoutController(target=1.0, alpha=0.5)
+        ctrl.observe(2.0)
+        assert ctrl.signal == pytest.approx(1.0)
+        ctrl.observe(2.0)
+        assert ctrl.signal == pytest.approx(1.5)

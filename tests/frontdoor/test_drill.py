@@ -1,0 +1,67 @@
+"""End-to-end tests for the overload drill (tiny CI-scale arms)."""
+
+from repro.frontdoor import run_overload_drill
+
+#: The CI arm: 1/5th of the clients and rate limits, half the duration.
+TINY = dict(scale=0.2, duration_scale=0.5)
+
+
+class TestOverloadDrill:
+    def test_enabled_arm_passes_every_gate(self):
+        facility, result = run_overload_drill(seed=7, **TINY)
+        assert result.enabled
+        assert result.passed, result.failures
+        assert result.accounting["silent_loss"] == 0
+        assert result.accounting["queued"] == 0
+        assert result.accounting["in_flight"] == 0
+        assert result.peak_queue_depth <= result.queue_bound
+        # Goodput holds up through the 5x surge (the tentpole claim).
+        assert result.surge_goodput >= 0.8 * result.baseline_goodput
+        # The report renders the front-door section off this facility.
+        assert facility.frontdoor.stats()["submitted"] > 0
+
+    def test_twin_runs_are_bit_identical(self):
+        _f1, first = run_overload_drill(seed=11, **TINY)
+        _f2, second = run_overload_drill(seed=11, **TINY)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_seed_actually_matters(self):
+        _f1, first = run_overload_drill(seed=1, **TINY)
+        _f2, second = run_overload_drill(seed=2, **TINY)
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_naive_arm_loses_no_requests_silently(self):
+        """The ablation arm collapses (that is its job) but still accounts
+        for every submission — silent loss stays zero even without defences."""
+        facility, result = run_overload_drill(seed=7, enabled=False, **TINY)
+        assert not result.enabled
+        assert result.accounting["silent_loss"] == 0
+        assert result.accounting["queued"] == 0
+        assert result.accounting["in_flight"] == 0
+        # No rate limits or brownout — only physically full queues reject.
+        reg = facility.telemetry.registry
+        by_reason = {}
+        for labels, counter in reg.samples("frontdoor.rejected_total"):
+            by_reason[labels["reason"]] = (
+                by_reason.get(labels["reason"], 0) + int(counter.value))
+        assert by_reason.get("rate_limited", 0) == 0
+        assert by_reason.get("brownout", 0) == 0
+        # Expired backlog ground through by workers shows up as timeouts.
+        assert result.accounting["terminal"]["timed_out"] > 0
+
+    def test_storm_arm_contains_client_retries(self):
+        _facility, result = run_overload_drill(seed=7, storm=True, **TINY)
+        assert result.passed, result.failures
+        assert result.client_retries > 0
+        # Resubmissions reach the door but admission holds the line: the
+        # admitted surge rate stays within the sum of the rate limits.
+        assert result.admitted_retries < result.client_retries
+
+    def test_phase_stats_cover_the_timeline(self):
+        _facility, result = run_overload_drill(seed=7, **TINY)
+        assert [p.name for p in result.phases] == [
+            "baseline", "ramp", "surge", "recovery"]
+        for phase in result.phases:
+            assert phase.end > phase.start
+            assert phase.submitted >= phase.admitted >= 0
+        assert result.phase("surge").admitted_rate > 0

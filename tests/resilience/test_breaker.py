@@ -154,3 +154,58 @@ class TestBreakerBoard:
         assert [(t, target) for t, target, _old, _new in rows] == [
             (1.0, "a"), (3.0, "b"),
         ]
+
+
+class TestProbeTimeout:
+    def test_probe_timeout_must_be_positive(self, clock):
+        with pytest.raises(ValueError, match="probe_timeout"):
+            CircuitBreaker(clock, probe_timeout=0.0)
+        with pytest.raises(ValueError, match="probe_timeout"):
+            BreakerBoard(clock, probe_timeout=-1.0)
+
+    def test_defaults_to_reset_timeout(self, clock):
+        breaker = CircuitBreaker(clock, reset_timeout=45.0)
+        assert breaker.probe_timeout == 45.0
+
+    def test_dead_probe_owner_cannot_starve_half_open(self, clock):
+        """Regression: a probe claimant that never reports back (e.g. its
+        deadline fired first) used to hold the slot forever, leaving the
+        breaker permanently half-open with every caller refused."""
+        breaker = CircuitBreaker(clock, failure_threshold=1,
+                                 reset_timeout=60.0, probe_timeout=10.0)
+        breaker.record_failure()
+        clock.now = 60.0
+        assert breaker.allow()          # probe claimed ... and abandoned
+        clock.now = 65.0
+        assert not breaker.allow()      # lease still live
+        clock.now = 70.0
+        assert breaker.allow()          # lease expired: slot reclaimed
+        assert breaker.probe_reclaims == 1
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_reporting_probe_releases_slot_without_reclaim(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1,
+                                 reset_timeout=60.0, probe_timeout=10.0)
+        breaker.record_failure()
+        clock.now = 60.0
+        assert breaker.allow()
+        breaker.record_failure()        # probe reported: back to open
+        assert breaker.state == OPEN
+        assert breaker.probe_reclaims == 0
+        clock.now = 120.0
+        assert breaker.allow()          # a fresh half-open probe
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.probe_reclaims == 0
+
+    def test_board_passes_probe_timeout_through(self, clock):
+        board = BreakerBoard(clock, failure_threshold=1, reset_timeout=30.0,
+                             probe_timeout=5.0)
+        breaker = board.breaker("ddn")
+        breaker.record_failure()
+        clock.now = 30.0
+        assert breaker.allow()
+        clock.now = 36.0
+        assert breaker.allow()
+        assert breaker.probe_reclaims == 1

@@ -112,3 +112,72 @@ class TestRunSync:
         with pytest.raises(KeyError):
             policy.run_sync(fatal, retry_on=(RuntimeError,))
         assert len(calls) == 1
+
+
+class TestMaxElapsed:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_elapsed"):
+            RetryPolicy(max_elapsed=0.0)
+
+    def test_none_budget_changes_nothing(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.0)
+        for attempt in range(1, 5):
+            assert (policy.delay_within(attempt, elapsed=1e9)
+                    == policy.delay(attempt))
+
+    def test_backoff_past_budget_is_refused(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=4.0, multiplier=1.0,
+                             jitter=0.0, max_elapsed=10.0)
+        assert policy.delay_within(1, elapsed=0.0) == 4.0
+        assert policy.delay_within(2, elapsed=4.0) == 4.0  # lands at 8 < 10
+        assert policy.delay_within(3, elapsed=6.0) is None  # 6 + 4 >= 10
+        assert policy.delay_within(3, elapsed=8.0) is None  # 8 + 4 > 10
+
+    def test_budget_check_consumes_the_jitter_draw(self):
+        """Refused backoffs must not shift later consumers' random streams."""
+        policy = RetryPolicy(max_attempts=4, jitter=0.5, max_elapsed=1e-9)
+        a, b = RandomSource(9), RandomSource(9)
+        assert policy.delay_within(1, elapsed=0.0, rng=a) is None
+        policy.delay(1, b)
+        assert a.uniform() == b.uniform()
+
+    @given(
+        base=st.floats(min_value=0.01, max_value=50.0),
+        multiplier=st.floats(min_value=1.0, max_value=4.0),
+        max_delay=st.floats(min_value=0.01, max_value=100.0),
+        jitter=st.floats(min_value=0.0, max_value=0.99),
+        budget=st.floats(min_value=0.1, max_value=200.0),
+        attempts=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_no_backoff_ever_scheduled_past_the_budget(
+        self, base, multiplier, max_delay, jitter, budget, attempts, seed
+    ):
+        """Regression: backoff + jitter never schedules a retry at or past
+        ``max_elapsed``, whatever the policy shape."""
+        policy = RetryPolicy(max_attempts=attempts, base_delay=base,
+                             multiplier=multiplier, max_delay=max_delay,
+                             jitter=jitter, max_elapsed=budget)
+        rng = RandomSource(seed)
+        elapsed = 0.0
+        for attempt in range(1, attempts + 1):
+            backoff = policy.delay_within(attempt, elapsed, rng)
+            if backoff is None:
+                break
+            elapsed += backoff
+            assert elapsed < budget
+
+    def test_run_sync_stops_when_budget_spent(self):
+        policy = RetryPolicy(max_attempts=50, base_delay=3.0, multiplier=1.0,
+                             jitter=0.0, max_elapsed=10.0)
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise RuntimeError("transient")
+
+        with pytest.raises(RetriesExhaustedError):
+            policy.run_sync(always, retry_on=(RuntimeError,))
+        # 3s backoffs fit twice under a 10s budget: attempts at 0, 3, 6.
+        assert len(calls) == 4

@@ -120,3 +120,59 @@ class TestResilienceKit:
     def test_disabled_kit_reports_it(self, sim):
         kit = ResilienceKit(sim, enabled=False)
         assert kit.stats()["enabled"] is False
+
+
+class TestDlqCapacity:
+    def test_default_is_unbounded(self):
+        dlq = DeadLetterQueue()
+        for i in range(1000):
+            dlq.push(i, error="E", attempts=[])
+        assert dlq.depth == 1000
+        assert dlq.evicted_count == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            DeadLetterQueue(capacity=0)
+
+    def test_oldest_entry_evicted_at_capacity(self):
+        dlq = DeadLetterQueue(capacity=3)
+        for i in range(5):
+            dlq.push(f"p{i}", error="E", attempts=[], nbytes=10.0)
+        assert dlq.depth == 3
+        assert [letter.payload for letter in dlq.items()] == ["p2", "p3", "p4"]
+        assert dlq.evicted_count == 2
+        assert dlq.evicted_bytes == 20.0
+        assert dlq.total_bytes == 30.0
+
+    def test_accounting_balances_across_evictions_and_drain(self):
+        dlq = DeadLetterQueue(capacity=4)
+        for i in range(11):
+            dlq.push(i, error="E", attempts=[])
+        drained = len(dlq.drain())
+        dlq.push("late", error="E", attempts=[])
+        assert dlq.pushed_total == 12
+        assert dlq.pushed_total == dlq.depth + dlq.evicted_count + drained
+
+    def test_evict_event_published_before_spill(self):
+        from repro.telemetry.events import EventBus
+
+        bus = EventBus()
+        dlq = DeadLetterQueue(bus=bus, capacity=1)
+        dlq.push("first", error="E1", attempts=[], source="src-a", nbytes=7.0)
+        dlq.push("second", error="E2", attempts=[], source="src-b")
+        kinds = [event.kind for event in bus.tail(4)]
+        assert kinds == ["dlq.spill", "dlq.evict", "dlq.spill"]
+        evict = next(e for e in bus.tail(4) if e.kind == "dlq.evict")
+        assert evict.subject == "src-a"
+        assert evict.data["nbytes"] == 7.0
+        assert evict.data["evicted_total"] == 1
+        # The spill after the eviction reports the post-eviction depth.
+        assert bus.tail(1)[0].data["depth"] == 1
+
+    def test_evicted_tallies_persist_after_drain(self):
+        dlq = DeadLetterQueue(capacity=2)
+        for i in range(5):
+            dlq.push(i, error="E", attempts=[], nbytes=1.0)
+        dlq.drain()
+        assert dlq.evicted_count == 3
+        assert dlq.evicted_bytes == 3.0
