@@ -9,13 +9,21 @@ enforced invariants:
 * :mod:`repro.analysis.lint` — an AST-based lint engine with facility
   domain rules, ``# lint: disable=<rule>`` pragmas and a committed
   baseline (``python -m repro.analysis.lint src/repro``);
+* :mod:`repro.analysis.graphs` / :mod:`repro.analysis.whole_program` —
+  the whole-program layer: project loader, import/call graphs, CFG
+  (:mod:`repro.analysis.cfg`), simkit protocol rules
+  (:mod:`repro.analysis.protocol`), interprocedural clock/RNG taint
+  (:mod:`repro.analysis.taint`) and the telemetry schema cross-check
+  (:mod:`repro.analysis.telemetry_check`); run via
+  ``python -m repro.analysis.lint src/repro --wpa`` and query the graphs
+  with ``python -m repro.analysis.graph``;
 * :mod:`repro.analysis.sanitize` — runtime sanitizers: a double-run
   determinism checker that diffs full event traces, a same-timestamp
   race detector driven by a randomized tie-shuffle, and an unseeded-RNG
   tripwire (``python -m repro.analysis.sanitize``).
 """
 
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.findings import Finding, Severity, TraceHop
 from repro.analysis.engine import Linter, SourceModule
 from repro.analysis.rules import Rule, all_rules, get_rule, register
 from repro.analysis.baseline import Baseline
@@ -35,6 +43,7 @@ __all__ = [
     "Rule",
     "Severity",
     "SourceModule",
+    "TraceHop",
     "TraceEntry",
     "TraceRecorder",
     "UnseededRandomnessError",

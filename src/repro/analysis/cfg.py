@@ -1,0 +1,239 @@
+"""A statement-level control-flow graph for protocol checking.
+
+The simkit protocol rules need path questions a syntax walk cannot
+answer: *is there an execution path from this ``request()`` to function
+exit that never passes a ``release()``*; *can these two ``yield`` sites
+run back-to-back without the event being rebound*.  This module builds a
+small, conservative CFG per function:
+
+* nodes are statements (plus synthetic ``ENTRY``/``EXIT``);
+* ``if``/loops/``try`` produce the usual branch edges;
+* every statement inside a ``try`` body may also jump to each enclosing
+  handler entry (any statement can raise);
+* ``return``/``raise``/``break``/``continue`` route *through* the
+  innermost enclosing ``finally`` block before leaving — which is
+  exactly why wrapping a grant in ``try/finally: release()`` satisfies
+  the leak rule.
+
+The graph over-approximates feasibility (no condition evaluation), so
+path queries err toward *finding* a path: a "leaks on some path" report
+may name an infeasible path, but "released on all paths" is trustworthy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+ENTRY = -1
+EXIT = -2
+
+_TRY_STAR = (ast.TryStar,) if hasattr(ast, "TryStar") else ()
+
+
+class Cfg:
+    """Control-flow graph of one function body.
+
+    Nodes are ids: ``ENTRY``, ``EXIT``, or ``id(stmt)`` for each
+    statement; ``stmts`` maps ids back to AST statements.
+    """
+
+    def __init__(self, func: ast.AST):
+        self.func = func
+        self.stmts: dict[int, ast.stmt] = {}
+        self.succ: dict[int, set[int]] = {ENTRY: set(), EXIT: set()}
+        _Builder(self).build(getattr(func, "body", []))
+
+    # -- construction --------------------------------------------------------
+    def add(self, stmt: ast.stmt) -> int:
+        """Register a statement as a node; returns its id."""
+        node = id(stmt)
+        self.stmts[node] = stmt
+        self.succ.setdefault(node, set())
+        return node
+
+    def edge(self, src: int, dst: int) -> None:
+        """Add a control-flow edge."""
+        self.succ.setdefault(src, set()).add(dst)
+
+    # -- queries -------------------------------------------------------------
+    def successors(self, node: int) -> set[int]:
+        """Direct successors of a node."""
+        return self.succ.get(node, set())
+
+    def nodes_for(self, stmts: Iterable[ast.stmt]) -> set[int]:
+        """Node ids for AST statements that appear in this graph."""
+        return {id(s) for s in stmts if id(s) in self.stmts}
+
+    def path_avoiding(self, start: Iterable[int], goal: int,
+                      avoid: set[int]) -> Optional[list[int]]:
+        """A path from any ``start`` node to ``goal`` that never enters a
+        node in ``avoid`` — or ``None`` when every such path is covered.
+
+        BFS, so the returned witness is a shortest path.
+        """
+        parents: dict[int, Optional[int]] = {}
+        frontier: list[int] = []
+        for node in start:
+            if node in avoid or node in parents:
+                continue
+            parents[node] = None
+            frontier.append(node)
+        while frontier:
+            nxt: list[int] = []
+            for node in frontier:
+                if node == goal:
+                    path: list[int] = []
+                    cur: Optional[int] = node
+                    while cur is not None:
+                        path.append(cur)
+                        cur = parents[cur]
+                    path.reverse()
+                    return path
+                for succ in self.succ.get(node, ()):
+                    if succ in avoid or succ in parents:
+                        continue
+                    parents[succ] = node
+                    nxt.append(succ)
+            frontier = nxt
+        return None
+
+    def reachable_between(self, src: int, dst: int, avoid: set[int]) -> bool:
+        """Whether ``dst`` can execute after ``src`` without any ``avoid``
+        node in between (the double-yield question)."""
+        return self.path_avoiding(self.succ.get(src, ()), dst, avoid) is not None
+
+
+class _Frame:
+    """Loop / finally context threaded through nested blocks."""
+
+    __slots__ = ("kind", "head", "breaks", "finally_entry")
+
+    def __init__(self, kind: str, head: Optional[int] = None,
+                 breaks: Optional[list] = None,
+                 finally_entry: Optional[int] = None):
+        self.kind = kind              # "loop" | "finally"
+        self.head = head              # loop header (continue target)
+        self.breaks = breaks          # collected break nodes
+        self.finally_entry = finally_entry
+
+
+class _Builder:
+    """Builds edges block by block.
+
+    ``build_block`` returns the *dangling exits* of a block: nodes whose
+    next edge goes to whatever statement follows the block.
+    """
+
+    def __init__(self, cfg: Cfg):
+        self.cfg = cfg
+        self.stack: list[_Frame] = []
+        # Entries of handlers for every enclosing try body we are inside;
+        # any statement may raise into any of them.
+        self.handler_stack: list[list[int]] = []
+
+    def build(self, body: list[ast.stmt]) -> None:
+        for node in self.build_block(body, [ENTRY]):
+            self.cfg.edge(node, EXIT)
+
+    def build_block(self, body: list[ast.stmt], entry: list[int]) -> list[int]:
+        current = list(entry)
+        for stmt in body:
+            node = self.cfg.add(stmt)
+            for src in current:
+                self.cfg.edge(src, node)
+            current = self.build_tail(stmt, node)
+        return current
+
+    def build_tail(self, stmt: ast.stmt, node: int) -> list[int]:
+        """Edges out of an already-added statement node."""
+        for handlers in self.handler_stack:
+            for handler_entry in handlers:
+                self.cfg.edge(node, handler_entry)
+
+        if isinstance(stmt, ast.If):
+            then_exits = self.build_block(stmt.body, [node])
+            else_exits = (self.build_block(stmt.orelse, [node])
+                          if stmt.orelse else [node])
+            return then_exits + else_exits
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: list[int] = []
+            self.stack.append(_Frame("loop", head=node, breaks=breaks))
+            for src in self.build_block(stmt.body, [node]):
+                self.cfg.edge(src, node)  # back edge
+            self.stack.pop()
+            else_exits = (self.build_block(stmt.orelse, [node])
+                          if stmt.orelse else [node])
+            return else_exits + breaks
+
+        if isinstance(stmt, (ast.Try, *_TRY_STAR)):
+            return self._build_try(stmt, node)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.build_block(stmt.body, [node])
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._route_exit(node)
+            return []
+
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            self._route_loop(node, is_break=isinstance(stmt, ast.Break))
+            return []
+
+        return [node]
+
+    # -- try / finally -------------------------------------------------------
+    def _build_try(self, stmt: ast.stmt, node: int) -> list[int]:
+        finally_entry: Optional[int] = None
+        if stmt.finalbody:
+            finally_entry = self.cfg.add(stmt.finalbody[0])
+            self.stack.append(_Frame("finally", finally_entry=finally_entry))
+
+        handler_entries = [self.cfg.add(h.body[0])
+                           for h in stmt.handlers if h.body]
+
+        self.handler_stack.append(handler_entries)
+        body_exits = self.build_block(stmt.body, [node])
+        self.handler_stack.pop()
+
+        handler_exits: list[int] = []
+        for handler, h_entry in zip(
+                [h for h in stmt.handlers if h.body], handler_entries):
+            tail = self.build_tail(handler.body[0], h_entry)
+            handler_exits.extend(self.build_block(handler.body[1:], tail))
+
+        else_exits = (self.build_block(stmt.orelse, body_exits)
+                      if stmt.orelse else body_exits)
+
+        if finally_entry is None:
+            return else_exits + handler_exits
+
+        self.stack.pop()
+        for src in else_exits + handler_exits:
+            self.cfg.edge(src, finally_entry)
+        fin_tail = self.build_tail(stmt.finalbody[0], finally_entry)
+        return self.build_block(stmt.finalbody[1:], fin_tail)
+
+    # -- abrupt-exit routing -------------------------------------------------
+    def _route_exit(self, node: int) -> None:
+        """return/raise: run the innermost enclosing finally, else leave."""
+        for frame in reversed(self.stack):
+            if frame.kind == "finally" and frame.finally_entry is not None:
+                self.cfg.edge(node, frame.finally_entry)
+                return
+        self.cfg.edge(node, EXIT)
+
+    def _route_loop(self, node: int, is_break: bool) -> None:
+        """break/continue: through an intervening finally to the loop."""
+        for frame in reversed(self.stack):
+            if frame.kind == "finally" and frame.finally_entry is not None:
+                self.cfg.edge(node, frame.finally_entry)
+                return
+            if frame.kind == "loop":
+                if is_break:
+                    frame.breaks.append(node)
+                else:
+                    self.cfg.edge(node, frame.head)
+                return
+        self.cfg.edge(node, EXIT)  # malformed source: break outside loop

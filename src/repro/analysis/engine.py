@@ -80,7 +80,10 @@ class Linter:
     """Runs the rule catalogue over files, directories or raw source."""
 
     def __init__(self, rules: Optional[Sequence[Rule]] = None):
-        self.rules = list(rules) if rules is not None else all_rules()
+        # Whole-program rules need the project graph; they run in
+        # repro.analysis.whole_program, never per-file.
+        self.rules = [r for r in (rules if rules is not None else all_rules())
+                      if not r.whole_program]
 
     # -- entry points -------------------------------------------------------
     def lint_source(self, text: str, relpath: str = "<memory>") -> list[Finding]:

@@ -24,6 +24,44 @@ class Severity:
 
 
 @dataclass(frozen=True)
+class TraceHop:
+    """One hop of an interprocedural source→sink trace.
+
+    Whole-program findings (taint flows, unguarded call chains) attach a
+    tuple of hops — source first, sink last — so the reporter can render
+    the caller→…→sink chain with a clickable ``file:line`` per hop.
+    """
+
+    path: str
+    line: int
+    func: str = ""
+    note: str = ""
+
+    @property
+    def location(self) -> str:
+        """``path:line`` — editor-clickable."""
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "func": self.func,
+            "note": self.note,
+        }
+
+    def describe(self) -> str:
+        """One-line rendering: ``path:line in func — note``."""
+        out = self.location
+        if self.func:
+            out += f" in {self.func}"
+        if self.note:
+            out += f" — {self.note}"
+        return out
+
+
+@dataclass(frozen=True)
 class Finding:
     """One rule violation at one source location."""
 
@@ -35,6 +73,10 @@ class Finding:
     severity: str  # Severity.ERROR | Severity.WARNING
     message: str
     snippet: str = ""
+    #: Interprocedural source→sink trace (source hop first, sink last);
+    #: empty for single-site findings.  Not part of finding identity: the
+    #: same defect keeps its fingerprint when an unrelated hop moves.
+    trace: tuple[TraceHop, ...] = field(default=(), compare=False)
     #: Set by the engine when the finding matched the committed baseline.
     baselined: bool = field(default=False, compare=False)
 
@@ -58,6 +100,7 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
             "snippet": self.snippet,
+            "trace": [hop.to_dict() for hop in self.trace],
             "baselined": self.baselined,
         }
 

@@ -1,0 +1,143 @@
+"""``python -m repro.analysis.graph`` — dump and query the project graphs.
+
+Queries::
+
+    stats                 headline counts (modules/functions/edges/...)
+    dump                  every call edge, caller -> callee @ file:line
+    callers  QUALNAME     call sites into a function (suffix match ok)
+    callees  QUALNAME     call sites out of a function (suffix match ok)
+    imports  MODULE       project modules a module imports, and importers
+
+``--cache FILE`` writes (and reuses, content-hash validated) the graph
+cache the lint CLI's ``--graph-cache`` shares — CI builds the graph once
+and both the whole-program lint and the telemetry cross-check reuse it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.analysis.graphs import CallGraph, ImportGraph, Project
+
+
+def _resolve(project: Project, query: str) -> list[str]:
+    """Functions matching an exact qualname or a dotted-suffix query."""
+    if query in project.functions:
+        return [query]
+    return sorted(
+        qual for qual in project.functions
+        if qual.endswith("." + query) or qual.rsplit(".", 1)[-1] == query)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (0 ok, 2 bad query)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.graph",
+        description="Dump and query the whole-program import/call graphs.")
+    parser.add_argument("command",
+                        choices=("stats", "dump", "callers", "callees",
+                                 "imports"),
+                        help="what to show")
+    parser.add_argument("query", nargs="?", default=None,
+                        help="function qualname (callers/callees) or module "
+                             "name (imports); suffix match accepted")
+    parser.add_argument("--root", default="src/repro",
+                        help="project root to parse (default: src/repro)")
+    parser.add_argument("--cache", default=None, metavar="FILE",
+                        help="graph cache file to reuse/refresh")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON instead of text")
+    args = parser.parse_args(argv)
+
+    project = Project.load([args.root])
+    if args.cache:
+        graph = CallGraph.load_cached(project, args.cache)
+    else:
+        graph = CallGraph(project)
+
+    if args.command == "stats":
+        stats = graph.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            width = max(len(k) for k in stats)
+            for key, value in stats.items():
+                print(f"{key:<{width}}  {value}")
+        return 0
+
+    if args.command == "dump":
+        rows = [s for sites in graph.edges.values() for s in sites]
+        rows.sort(key=lambda s: (s.caller, s.line))
+        if args.json:
+            print(json.dumps([
+                {"caller": s.caller, "callee": s.callee,
+                 "path": s.path, "line": s.line} for s in rows], indent=2))
+        else:
+            for site in rows:
+                print(f"{site.caller} -> {site.callee}"
+                      f"  @ {site.path}:{site.line}")
+        return 0
+
+    if args.command == "imports":
+        if not args.query:
+            parser.error("imports needs a module name")
+        imports = ImportGraph(project)
+        matches = [name for name in imports.imports
+                   if name == args.query or name.endswith("." + args.query)]
+        if not matches:
+            print(f"no project module matches {args.query!r}",
+                  file=sys.stderr)
+            return 2
+        payload = {name: {"imports": imports.imports[name],
+                          "imported_by": imports.importers_of(name)}
+                   for name in matches}
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            for name, row in payload.items():
+                print(f"{name}")
+                for dep in row["imports"]:
+                    print(f"  -> {dep}")
+                for src in row["imported_by"]:
+                    print(f"  <- {src}")
+        return 0
+
+    # callers / callees
+    if not args.query:
+        parser.error(f"{args.command} needs a function qualname")
+    matches = _resolve(project, args.query)
+    if not matches:
+        print(f"no function matches {args.query!r}", file=sys.stderr)
+        return 2
+    payload = {}
+    for qual in matches:
+        sites = (graph.callers(qual) if args.command == "callers"
+                 else graph.callees(qual))
+        payload[qual] = [
+            {"caller": s.caller, "callee": s.callee,
+             "path": s.path, "line": s.line} for s in sites]
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for qual, rows in payload.items():
+            print(qual)
+            for row in rows:
+                other = (row["caller"] if args.command == "callers"
+                         else row["callee"])
+                arrow = "<-" if args.command == "callers" else "->"
+                print(f"  {arrow} {other}  @ {row['path']}:{row['line']}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

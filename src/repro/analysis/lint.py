@@ -1,5 +1,20 @@
 """The facility lint CLI: ``python -m repro.analysis.lint src/repro``.
 
+Modes
+-----
+* default — per-file AST rules over the given paths;
+* ``--wpa`` — additionally run the whole-program rules (call-graph
+  protocol checks, interprocedural taint, telemetry cross-check) over
+  the same paths; ``--graph-cache FILE`` shares the call-graph build
+  between CI steps;
+* ``--rules REP016,REP017`` — run only the named rules (either engine);
+* ``--changed [REF]`` — only report findings in files changed vs a git
+  ref (default ``HEAD``); the whole-program pass still analyses the full
+  project so cross-file findings stay sound, but only changed files are
+  reported;
+* ``--prune-baseline`` — rewrite the baseline file keeping only entries
+  that still match a current finding, and report what was dropped.
+
 Exit codes: 0 clean (baselined findings allowed), 1 active error findings
 (or warnings under ``--strict``), 2 bad invocation.
 """
@@ -7,15 +22,17 @@ Exit codes: 0 clean (baselined findings allowed), 1 active error findings
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.analysis.baseline import Baseline
+from repro.analysis.baseline import Baseline, _fingerprints
 from repro.analysis.engine import Linter
-from repro.analysis.findings import Severity
+from repro.analysis.findings import Finding
 from repro.analysis.report import render_json, render_text, summarise
-from repro.analysis.rules import catalogue
+from repro.analysis.rules import catalogue, get_rule
+from repro.analysis.whole_program import run_whole_program, whole_program_rules
 
 DEFAULT_BASELINE = ".lint-baseline.json"
 
@@ -38,11 +55,69 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", action="store_true",
                         help="accept all current findings into the baseline "
                              "file and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="drop baseline entries no current finding "
+                             "matches, rewrite the file, and exit 0")
     parser.add_argument("--strict", action="store_true",
                         help="warnings also fail the run")
+    parser.add_argument("--wpa", action="store_true",
+                        help="also run whole-program rules (call graph, "
+                             "protocol, taint, telemetry cross-check)")
+    parser.add_argument("--graph-cache", default=None, metavar="FILE",
+                        help="call-graph cache file for --wpa (reused when "
+                             "file hashes match, refreshed otherwise)")
+    parser.add_argument("--rules", default=None, metavar="IDS",
+                        help="comma-separated rule ids/names to run "
+                             "exclusively (e.g. REP016,REP017,REP018)")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="REF",
+                        help="only report findings in files changed vs a git "
+                             "ref (default ref: HEAD)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
+
+
+def _changed_files(ref: str, paths: Sequence[str]) -> Optional[list[Path]]:
+    """Python files changed vs ``ref`` that live under ``paths``.
+
+    Returns None when git fails (not a repo, bad ref).
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    roots = [Path(p).resolve() for p in paths]
+    changed: list[Path] = []
+    for line in proc.stdout.splitlines():
+        name = line.strip()
+        if not name.endswith(".py"):
+            continue
+        path = Path(name).resolve()
+        if not path.exists():
+            continue  # deleted file
+        for root in roots:
+            if path == root or root in path.parents:
+                changed.append(path)
+                break
+    return changed
+
+
+def _select_rules(spec: str) -> Optional[list]:
+    """Resolve a ``--rules`` spec to rule objects (None on unknown token)."""
+    selected = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        rule = get_rule(token)
+        if rule is None:
+            print(f"error: unknown rule {token!r}", file=sys.stderr)
+            return None
+        selected.append(rule)
+    return selected
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -53,8 +128,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for row in catalogue():
             scope = f"  [scope: {', '.join(row['scope'])}]" if row["scope"] else ""
             exempt = f"  [exempt: {', '.join(row['exempt'])}]" if row["exempt"] else ""
+            wpa = "  [whole-program]" if row["whole_program"] else ""
             print(f"{row['id']}  {row['name']:<24} {row['severity']:<8}"
-                  f"{row['description']}{scope}{exempt}")
+                  f"{row['description']}{scope}{exempt}{wpa}")
         return 0
 
     missing = [p for p in args.paths if not Path(p).exists()]
@@ -62,13 +138,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    linter = Linter()
-    findings = linter.lint_paths(args.paths)
-    files_scanned = len(linter._iter_files(args.paths))
+    selected = None
+    if args.rules is not None:
+        selected = _select_rules(args.rules)
+        if selected is None:
+            return 2
+    run_wpa = args.wpa or (
+        selected is not None and any(r.whole_program for r in selected))
+
+    changed_relpaths: Optional[set[str]] = None
+    lint_targets: Sequence[str | Path] = args.paths
+    if args.changed is not None:
+        changed = _changed_files(args.changed, args.paths)
+        if changed is None:
+            print(f"error: git diff vs {args.changed!r} failed",
+                  file=sys.stderr)
+            return 2
+        lint_targets = changed
+        changed_relpaths = {Linter._relpath(p) for p in changed}
+
+    # Per-file pass.  An explicit --rules list naming only whole-program
+    # rules skips it entirely.
+    per_file_rules = (None if selected is None
+                      else [r for r in selected if not r.whole_program])
+    findings: list[Finding] = []
+    files_scanned = 0
+    if per_file_rules is None or per_file_rules:
+        linter = Linter(rules=per_file_rules)
+        findings.extend(linter.lint_paths(lint_targets))
+        files_scanned = len(linter._iter_files(lint_targets))
+
+    # Whole-program pass: always over the *full* paths so cross-file
+    # resolution stays sound; --changed filters the report, not the graph.
+    if run_wpa:
+        wpa_rules = (whole_program_rules() if selected is None
+                     else [r for r in selected if r.whole_program])
+        wpa_findings = run_whole_program(
+            args.paths, rules=wpa_rules, graph_cache=args.graph_cache)
+        if changed_relpaths is not None:
+            wpa_findings = [f for f in wpa_findings
+                            if f.path in changed_relpaths]
+        findings.extend(wpa_findings)
+    findings.sort(key=Finding.sort_key)
 
     if args.write_baseline:
         Baseline.from_findings(findings).save(args.baseline)
         print(f"baseline written: {len(findings)} finding(s) -> {args.baseline}")
+        return 0
+
+    if args.prune_baseline:
+        baseline = Baseline.load(args.baseline)
+        current = {fp for _, fp in _fingerprints(findings)}
+        kept = [e for e in baseline.entries if e["fingerprint"] in current]
+        pruned = len(baseline.entries) - len(kept)
+        Baseline(kept).save(args.baseline)
+        print(f"baseline pruned: {pruned} stale entr"
+              f"{'y' if pruned == 1 else 'ies'} dropped, "
+              f"{len(kept)} kept -> {args.baseline}")
         return 0
 
     if not args.no_baseline:

@@ -1,0 +1,468 @@
+"""Simkit protocol rules: resource-grant leaks, event misuse, and
+unguarded backend reachability.
+
+These rules encode the discipline the simulation kernel expects of its
+generator processes but cannot enforce at runtime without a failure:
+
+* **REP010 leaked-request** — a ``resource.request()`` grant must be
+  released (or cancelled) on *every* path out of the acquiring function.
+  The CFG (with its finally-routing) answers the all-paths question, so
+  ``try/finally: release(req)`` is recognised as exhaustive.
+* **REP011 double-yield** — yielding the same event object twice without
+  rebinding it in between re-arms a consumed event; the kernel silently
+  never wakes the process the second time.
+* **REP012 stale-loop-yield** — a loop that yields the same variable on
+  every iteration without ever rebinding it inside the loop is the loop
+  form of the same bug (one wake, then a permanently parked process).
+* **REP013 unguarded-backend-reach** — the whole-program replacement for
+  the retired per-file REP006: a backend/store call is flagged when it
+  is reachable over the call graph from a simkit process root with no
+  ``with_timeout`` / retry-policy / breaker guard anywhere on the chain.
+  The finding carries the root→sink trace.
+
+REP010–REP012 are per-function CFG checks but registered as
+whole-program rules: they share the project walk (and therefore run in
+the ``--wpa`` pass, not the per-file lint).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.cfg import EXIT, Cfg
+from repro.analysis.findings import Finding, Severity, TraceHop
+from repro.analysis.graphs import CallGraph, FunctionInfo, Project
+from repro.analysis.rules import (
+    _BACKEND_OPS,
+    WholeProgramRule,
+    dotted,
+    register,
+)
+
+# Functions containing any of these are treated as guard-providing: the
+# call chain below them is presumed wrapped in timeout/retry/breaker
+# handling, so REP013 stops traversing there.
+_GUARD_CALL_NAMES = {"with_timeout", "run_sync"}
+_GUARD_METHODS = {
+    "allow": ("breaker", "circuit"),
+    "delay": ("policy", "retry"),
+    "call": ("policy", "retry"),
+}
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Expression trees evaluated *by this statement itself*, excluding
+    nested statement bodies (those are their own CFG nodes)."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.target
+        yield stmt.iter
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+            if item.optional_vars is not None:
+                yield item.optional_vars
+    elif isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)):
+        return
+    else:
+        yield stmt
+
+
+def _calls_in(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Call nodes executed by a statement (its own expressions only)."""
+    for expr in _own_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+def _binds(stmt: ast.stmt, name: str) -> bool:
+    """Whether executing this statement rebinds local ``name``."""
+    targets: list[ast.AST] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        targets = [i.optional_vars for i in stmt.items
+                   if i.optional_vars is not None]
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name) and node.id == name:
+                return True
+    # Walrus anywhere in the statement's own expressions.
+    for expr in _own_exprs(stmt):
+        for node in ast.walk(expr):
+            if (isinstance(node, ast.NamedExpr)
+                    and isinstance(node.target, ast.Name)
+                    and node.target.id == name):
+                return True
+    return False
+
+
+def _finding(info: FunctionInfo, line: int, col: int, rule: "WholeProgramRule",
+             message: str, trace: tuple = ()) -> Finding:
+    return Finding(
+        path=info.path, line=line, col=col,
+        rule=rule.name, rule_id=rule.id, severity=rule.severity,
+        message=message, snippet=info.module.line_text(line), trace=trace)
+
+
+# ---------------------------------------------------------------------------
+# REP010 — leaked resource grants
+# ---------------------------------------------------------------------------
+
+@register
+class LeakedRequestRule(WholeProgramRule):
+    """A ``request()`` grant with a path to function exit that never
+    releases or cancels it."""
+
+    id = "REP010"
+    name = "leaked-request"
+    severity = Severity.ERROR
+    description = (
+        "resource.request() grant not released on every path; "
+        "wrap the post-grant section in try/finally: release(req)"
+    )
+    exempt = ("repro/simkit/*",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for info in project.functions.values():
+            if self.path_exempt(info.path):
+                continue
+            yield from self._check_function(info)
+
+    def _check_function(self, info: FunctionInfo) -> Iterator[Finding]:
+        acquires = []  # (stmt, var name)
+        for child in ast.walk(info.node):
+            if not isinstance(child, ast.Assign) or len(child.targets) != 1:
+                continue
+            target = child.targets[0]
+            value = child.value
+            if (isinstance(target, ast.Name)
+                    and isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "request"):
+                acquires.append((child, target.id))
+        if not acquires:
+            return
+
+        cfg = Cfg(info.node)
+        for acquire_stmt, var in acquires:
+            if id(acquire_stmt) not in cfg.stmts:
+                continue  # nested function body; attributed elsewhere
+            release_nodes = set()
+            escaped = False
+            for node_id, stmt in cfg.stmts.items():
+                for call in _calls_in(stmt):
+                    kind = self._classify(call, var)
+                    if kind == "release":
+                        release_nodes.add(node_id)
+                    elif kind == "escape":
+                        escaped = True
+            if escaped:
+                continue  # ownership transferred; can't track statically
+            if not release_nodes:
+                yield _finding(
+                    info, acquire_stmt.lineno, acquire_stmt.col_offset, self,
+                    f"request grant '{var}' is never released or cancelled "
+                    f"in {info.qualname}")
+                continue
+            path = cfg.path_avoiding(
+                cfg.successors(id(acquire_stmt)), EXIT, release_nodes)
+            if path is not None:
+                hops = tuple(
+                    TraceHop(path=info.path, line=cfg.stmts[n].lineno,
+                             func=info.qualname)
+                    for n in path if n in cfg.stmts)[:4]
+                yield _finding(
+                    info, acquire_stmt.lineno, acquire_stmt.col_offset, self,
+                    f"request grant '{var}' leaks on some paths out of "
+                    f"{info.qualname}; release it in a finally block",
+                    trace=(TraceHop(
+                        path=info.path, line=acquire_stmt.lineno,
+                        func=info.qualname, note=f"'{var}' acquired here"),
+                        *hops))
+
+    @staticmethod
+    def _classify(call: ast.Call, var: str) -> Optional[str]:
+        """'release' when the call disposes of ``var``; 'escape' when it
+        passes ``var`` somewhere we cannot track; None otherwise."""
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            # req.cancel() / req.succeed(...) dispose of the grant.
+            if (isinstance(func.value, ast.Name) and func.value.id == var
+                    and func.attr in {"cancel", "succeed"}):
+                return "release"
+            if func.attr == "release" and any(
+                    isinstance(a, ast.Name) and a.id == var
+                    for a in call.args):
+                return "release"
+        for arg in (*call.args, *(kw.value for kw in call.keywords)):
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name) and node.id == var:
+                    return "escape"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# REP011 — the same event yielded twice
+# ---------------------------------------------------------------------------
+
+@register
+class DoubleYieldRule(WholeProgramRule):
+    """Two yields of the same event variable with no rebinding between."""
+
+    id = "REP011"
+    name = "double-yield"
+    severity = Severity.ERROR
+    description = (
+        "the same event object is yielded twice without being rebound; "
+        "a consumed event never fires again, parking the process"
+    )
+    exempt = ("repro/simkit/*",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for info in project.functions.values():
+            if not info.is_generator or self.path_exempt(info.path):
+                continue
+            yield from self._check_function(info)
+
+    def _check_function(self, info: FunctionInfo) -> Iterator[Finding]:
+        cfg = Cfg(info.node)
+        yields: dict[str, list[int]] = {}
+        for node_id, stmt in cfg.stmts.items():
+            if (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Yield)
+                    and isinstance(stmt.value.value, ast.Name)):
+                yields.setdefault(stmt.value.value.id, []).append(node_id)
+        for var, sites in yields.items():
+            if len(sites) < 2:
+                continue
+            rebinds = {n for n, stmt in cfg.stmts.items()
+                       if _binds(stmt, var)}
+            for first in sites:
+                for second in sites:
+                    if first == second:
+                        continue
+                    if cfg.reachable_between(first, second, rebinds):
+                        first_stmt = cfg.stmts[first]
+                        second_stmt = cfg.stmts[second]
+                        yield _finding(
+                            info, second_stmt.lineno, second_stmt.col_offset,
+                            self,
+                            f"event '{var}' yielded again without rebinding "
+                            f"(first yield at line {first_stmt.lineno}) in "
+                            f"{info.qualname}",
+                            trace=(
+                                TraceHop(path=info.path,
+                                         line=first_stmt.lineno,
+                                         func=info.qualname,
+                                         note=f"'{var}' first yielded"),
+                                TraceHop(path=info.path,
+                                         line=second_stmt.lineno,
+                                         func=info.qualname,
+                                         note="yielded again, already consumed"),
+                            ))
+                        break
+                else:
+                    continue
+                break
+
+
+# ---------------------------------------------------------------------------
+# REP012 — loops that re-yield a never-rebound event
+# ---------------------------------------------------------------------------
+
+@register
+class StaleLoopYieldRule(WholeProgramRule):
+    """A loop yielding a variable it never rebinds."""
+
+    id = "REP012"
+    name = "stale-loop-yield"
+    severity = Severity.ERROR
+    description = (
+        "loop yields the same event variable every iteration without "
+        "rebinding it inside the loop; after the first wake the process "
+        "waits on a consumed event forever"
+    )
+    exempt = ("repro/simkit/*",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for info in project.functions.values():
+            if not info.is_generator or self.path_exempt(info.path):
+                continue
+            for loop in ast.walk(info.node):
+                if not isinstance(loop, (ast.While, ast.For)):
+                    continue
+                loop_vars = self._loop_bound_names(loop)
+                for stmt in self._loop_stmts(loop):
+                    if (isinstance(stmt, ast.Expr)
+                            and isinstance(stmt.value, ast.Yield)
+                            and isinstance(stmt.value.value, ast.Name)):
+                        var = stmt.value.value.id
+                        if var not in loop_vars:
+                            yield _finding(
+                                info, stmt.lineno, stmt.col_offset, self,
+                                f"loop yields '{var}' every iteration but "
+                                f"never rebinds it in {info.qualname}")
+
+    @staticmethod
+    def _loop_stmts(loop: ast.stmt) -> Iterator[ast.stmt]:
+        """Statements in the loop body, excluding nested loops (those are
+        checked against their own bound-name set) and nested functions."""
+        stack = list(loop.body)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor,
+                                 ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield stmt
+            for field in ("body", "orelse", "finalbody"):
+                stack.extend(getattr(stmt, field, ()))
+            for handler in getattr(stmt, "handlers", ()):
+                stack.extend(handler.body)
+
+    @classmethod
+    def _loop_bound_names(cls, loop: ast.stmt) -> set[str]:
+        names: set[str] = set()
+        if isinstance(loop, (ast.For, ast.AsyncFor)):
+            for node in ast.walk(loop.target):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+        for stmt in cls._loop_stmts(loop):
+            for child in ast.walk(stmt):
+                if isinstance(child, ast.Name) and isinstance(
+                        child.ctx, ast.Store):
+                    names.add(child.id)
+                elif isinstance(child, ast.NamedExpr) and isinstance(
+                        child.target, ast.Name):
+                    names.add(child.target.id)
+        return names
+
+
+# ---------------------------------------------------------------------------
+# REP013 — backend calls reachable from a process with no guard on the chain
+# ---------------------------------------------------------------------------
+
+@register
+class UnguardedBackendReachRule(WholeProgramRule):
+    """Backend/store I/O reachable from a simkit process root without an
+    interprocedural timeout/retry/breaker guard (successor of REP006)."""
+
+    id = "REP013"
+    name = "unguarded-backend-reach"
+    severity = Severity.WARNING
+    description = (
+        "backend call reachable from a simkit process with no "
+        "with_timeout/RetryPolicy/breaker guard anywhere on the call chain"
+    )
+    exempt = (
+        "repro/simkit/*",
+        "repro/analysis/*",
+        "repro/resilience/*",   # the guard implementations themselves
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = getattr(project, "call_graph", None) or CallGraph(project)
+        roots = self._process_roots(project, graph)
+        if not roots:
+            return
+        guarded = {qual for qual, info in project.functions.items()
+                   if self._provides_guard(info)}
+        parents = graph.reachable(roots, stop=guarded)
+        seen: set[tuple] = set()
+        for qual in parents:
+            if qual in guarded:
+                continue
+            info = project.functions.get(qual)
+            if info is None or self.path_exempt(info.path):
+                continue
+            for call in self._backend_calls(info):
+                key = (info.path, call.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                spelled = dotted(call.func) or "<backend call>"
+                chain = graph.chain(parents, qual)
+                hops = [TraceHop(path=site.path, line=site.line,
+                                 func=site.caller,
+                                 note=f"calls {site.callee.rsplit('.', 1)[-1]}")
+                        for site in chain]
+                hops.append(TraceHop(
+                    path=info.path, line=call.lineno, func=qual,
+                    note=f"unguarded {spelled}"))
+                yield _finding(
+                    info, call.lineno, call.col_offset, self,
+                    f"'{spelled}' reachable from simkit process with no "
+                    f"timeout/retry/breaker guard on the chain",
+                    trace=tuple(hops))
+
+    # -- roots ---------------------------------------------------------------
+    @staticmethod
+    def _process_roots(project: Project, graph: CallGraph) -> set[str]:
+        """Generator functions handed to ``*.process(...)`` anywhere."""
+        roots: set[str] = set()
+        for info in project.functions.values():
+            for call in ast.walk(info.node):
+                if (not isinstance(call, ast.Call)
+                        or not isinstance(call.func, ast.Attribute)
+                        or call.func.attr != "process"):
+                    continue
+                for arg in call.args:
+                    if not isinstance(arg, ast.Call):
+                        continue
+                    target = graph.resolve_call(arg, info)
+                    if target and project.functions.get(
+                            target, None) is not None:
+                        if project.functions[target].is_generator:
+                            roots.add(target)
+        return roots
+
+    # -- guards --------------------------------------------------------------
+    @staticmethod
+    def _provides_guard(info: FunctionInfo) -> bool:
+        for call in ast.walk(info.node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if isinstance(func, ast.Name) and func.id in _GUARD_CALL_NAMES:
+                return True
+            if isinstance(func, ast.Attribute):
+                if func.attr in _GUARD_CALL_NAMES:
+                    return True
+                receivers = _GUARD_METHODS.get(func.attr)
+                if receivers:
+                    spelled = (dotted(func.value) or "").lower()
+                    if any(token in spelled for token in receivers):
+                        return True
+        return False
+
+    # -- sinks ---------------------------------------------------------------
+    @staticmethod
+    def _backend_calls(info: FunctionInfo) -> Iterator[ast.Call]:
+        """Backend-ish I/O calls in a function body, skipping lambda
+        bodies (retry thunks defer execution into the guard)."""
+        lambda_nodes: set[int] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Lambda):
+                for sub in ast.walk(node):
+                    lambda_nodes.add(id(sub))
+        for node in ast.walk(info.node):
+            if id(node) in lambda_nodes or not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _BACKEND_OPS:
+                continue
+            spelled = (dotted(func.value) or "").lower()
+            if "backend" in spelled:
+                yield node

@@ -39,6 +39,11 @@ def render_text(findings: list[Finding], files_scanned: Optional[int] = None) ->
         )
         if finding.snippet:
             out.append(f"    {finding.snippet}")
+        for index, hop in enumerate(finding.trace):
+            marker = ("source" if index == 0
+                      else "sink" if index == len(finding.trace) - 1
+                      else f"via #{index}")
+            out.append(f"    {marker:>8s}: {hop.describe()}")
     stats = summarise(findings)
     scanned = f" across {files_scanned} files" if files_scanned is not None else ""
     if stats["active"]:

@@ -115,6 +115,11 @@ class Rule:
     #: When non-empty, the rule only runs on modules matching one of these
     #: patterns (hot-path-only rules).
     scope: tuple[str, ...] = ()
+    #: Whole-program rules need the project graph, not one module: the
+    #: per-file :class:`~repro.analysis.engine.Linter` skips them and the
+    #: whole-program engine (``repro.analysis.whole_program``) runs their
+    #: :meth:`WholeProgramRule.check_project` instead.
+    whole_program: bool = False
 
     def applies_to(self, module: "SourceModule") -> bool:
         """True when the module is in scope and not exempt for this rule."""
@@ -141,6 +146,33 @@ class Rule:
             message=message,
             snippet=module.line_text(line),
         )
+
+
+class WholeProgramRule(Rule):
+    """Base class for rules that analyse the whole project at once.
+
+    Subclasses implement :meth:`check_project` over a
+    :class:`~repro.analysis.graphs.Project` (which carries every parsed
+    module plus the import/call graphs).  ``applies_to``/``exempt`` still
+    work — the whole-program engine filters each finding by its *path* —
+    and per-line pragmas suppress findings exactly as for per-file rules.
+    """
+
+    whole_program = True
+
+    def check(self, module: "SourceModule") -> Iterator[Finding]:
+        """Whole-program rules produce nothing per-module."""
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings over the whole :class:`Project`."""
+        raise NotImplementedError
+
+    def path_exempt(self, path: str) -> bool:
+        """True when findings at ``path`` are exempt for this rule."""
+        if self.scope and not any(_match(path, pat) for pat in self.scope):
+            return True
+        return any(_match(path, pat) for pat in self.exempt)
 
 
 def _match(path: str, pattern: str) -> bool:
@@ -377,44 +409,17 @@ class WriteOnceRule(Rule):
 
 
 # ---------------------------------------------------------------------------
-# REP006 — unguarded-backend-io
+# REP006 — unguarded-backend-io (retired)
 # ---------------------------------------------------------------------------
+# REP006's per-file heuristic (raw ``*backend*.get/put/...`` calls on the
+# ingest/ADAL modules only) is subsumed by REP013 ``unguarded-backend-reach``
+# in :mod:`repro.analysis.protocol`, which walks the project call graph from
+# every simkit process entry point — so a backend leg hidden one call hop
+# away (or in a module REP006 never scoped) is now caught, and call chains
+# that pass through a retry/timeout/breaker guard are not.  The id REP006
+# stays reserved.
 
 _BACKEND_OPS = {"put", "get", "stat", "listdir", "delete", "exists"}
-
-
-@register
-class UnguardedBackendIoRule(Rule):
-    """On the ingest/ADAL hot paths, every raw backend call must run under
-    the retry policy / circuit breaker (in this codebase: passed as a
-    thunk to the retrying wrapper) so transient faults are absorbed
-    instead of killing the stream."""
-
-    id = "REP006"
-    name = "unguarded-backend-io"
-    description = ("ingest/ADAL hot-path backend I/O must go through "
-                   "RetryPolicy/breaker (wrap the call in the retry thunk)")
-    scope = ("repro/ingest/*", "repro/adal/api.py")
-
-    def check(self, module: "SourceModule") -> Iterator[Finding]:
-        yield from self._visit(module, module.tree, in_lambda=False)
-
-    def _visit(self, module, node, in_lambda) -> Iterator[Finding]:
-        for child in ast.iter_child_nodes(node):
-            child_in_lambda = in_lambda or isinstance(child, ast.Lambda)
-            if (not child_in_lambda
-                    and isinstance(child, ast.Call)
-                    and isinstance(child.func, ast.Attribute)
-                    and child.func.attr in _BACKEND_OPS):
-                receiver = dotted(child.func.value) or ""
-                if "backend" in receiver.lower():
-                    yield self.finding(
-                        module, child,
-                        f"unguarded backend call {receiver}.{child.func.attr}() "
-                        "on a hot path — run it under the retry policy "
-                        "(wrap in the retrying thunk)",
-                    )
-            yield from self._visit(module, child, child_in_lambda)
 
 
 # ---------------------------------------------------------------------------
@@ -586,6 +591,7 @@ def catalogue() -> list[dict]:
             "description": r.description,
             "scope": list(r.scope),
             "exempt": list(r.exempt),
+            "whole_program": r.whole_program,
         }
         for r in all_rules()
     ]

@@ -50,18 +50,27 @@ def state_digest(state: dict) -> str:
 
 
 def facility_run(scenario: Scenario) -> RunFn:
-    """Adapt a registry :class:`Scenario` into a traceable run function."""
-    from repro.core.facility import Facility
+    """Adapt a registry :class:`Scenario` into a traceable run function.
+
+    Two-phase scenarios (``scenario.prepare``) get the recorder and
+    tie-shuffle installed between construction and execution, so events
+    the construction phase schedules are still traced when they fire.
+    """
 
     def run(seed: int, tie_seed: Optional[int]) -> tuple[TraceRecorder, dict]:
-        facility = scenario.build(seed)
+        if scenario.prepare is not None:
+            facility, finish = scenario.prepare(seed)
+            execute = finish
+        else:
+            facility = scenario.build(seed)
+            execute = lambda: scenario.execute(facility)  # noqa: E731
         recorder = TraceRecorder().install(facility.sim)
         if tie_seed is not None:
             # Independent stream: must not perturb component draws.
             facility.sim.enable_tie_shuffle(
                 RandomSource(tie_seed).spawn("tie-shuffle")
             )
-        state = scenario.execute(facility)
+        state = execute()
         return recorder, state
 
     return run

@@ -24,15 +24,28 @@ from repro.simkit import units
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named sanitizer scenario."""
+    """A named sanitizer scenario.
+
+    Most scenarios are one-phase: :attr:`run` drives a freshly built
+    facility and returns the snapshot.  Scenarios whose *construction*
+    already schedules work (the frontdoor drill populates its load
+    generator and chaos schedule before the first sim step) use the
+    two-phase :attr:`prepare` instead, so the sanitizer can install its
+    trace recorder between construction and execution.
+    """
 
     name: str
     description: str
     #: Drives the facility; returns the final state snapshot (a dict) whose
     #: canonical serialisation is the run's outcome digest.
-    run: Callable[[Facility], dict]
+    run: Optional[Callable[[Facility], dict]] = None
     #: Facility config factory (None = the canonical 2011 deployment).
     config: Optional[Callable[[], FacilityConfig]] = None
+    #: Two-phase driver: ``prepare(seed) -> (facility, finish)`` where
+    #: ``finish()`` advances the clock to quiescence and returns the
+    #: snapshot.  When set, :attr:`run` and :attr:`config` are unused.
+    prepare: Optional[
+        Callable[[int], tuple[Facility, Callable[[], dict]]]] = None
     #: Event-name glob patterns whose same-timestamp reorderings are known
     #: benign and accepted (the runtime analogue of a lint pragma; each
     #: entry should be justified in docs/static_analysis.md).
@@ -40,11 +53,17 @@ class Scenario:
 
     def build(self, seed: int) -> Facility:
         """Construct the facility this scenario drives, for one seed."""
+        if self.prepare is not None:
+            raise TypeError(
+                f"scenario {self.name!r} is two-phase; use prepare(seed)")
         cfg = self.config() if self.config is not None else None
         return Facility(config=cfg, seed=seed)
 
     def execute(self, facility: Facility) -> dict:
         """Drive the scenario and return its invariant snapshot."""
+        if self.run is None:
+            raise TypeError(
+                f"scenario {self.name!r} is two-phase; use prepare(seed)")
         return self.run(facility)
 
 
@@ -134,6 +153,37 @@ def _run_standard(facility: Facility) -> dict:
     return snapshot
 
 
+def _prepare_frontdoor(seed: int):
+    """A shrunken overload drill (20% scale and duration): admission
+    control, fair queueing, deadline propagation and chaos injection all
+    exercised on the front-door path, with the drill's own accounting
+    gates folded into the snapshot."""
+    from repro.frontdoor.drill import prepare_overload_drill
+
+    facility, finish = prepare_overload_drill(
+        seed=seed, scale=0.2, duration_scale=0.2)
+
+    def snapshot() -> dict:
+        result = finish()
+        return {
+            "phases": [
+                (p.name, p.submitted, p.admitted, p.served)
+                for p in result.phases
+            ],
+            "terminal": dict(sorted(
+                result.accounting.get("terminal", {}).items())),
+            "submitted": result.accounting.get("submitted"),
+            "peak_queue_depth": result.peak_queue_depth,
+            "flushed": result.flushed,
+            "client_retries": result.client_retries,
+            "admitted_retries": result.admitted_retries,
+            "silent_loss": result.accounting.get("silent_loss"),
+            "failures": list(result.failures),
+        }
+
+    return facility, snapshot
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -148,6 +198,12 @@ SCENARIOS: dict[str, Scenario] = {
                         "(speculation ablated: it races by design)",
             run=_run_standard,
             config=_no_speculation_config,
+        ),
+        Scenario(
+            name="frontdoor",
+            description="shrunken overload drill: admission control + fair "
+                        "queueing + deadlines under backend chaos",
+            prepare=_prepare_frontdoor,
         ),
     )
 }

@@ -1,0 +1,278 @@
+"""Interprocedural wall-clock / unseeded-RNG taint into sim-time state.
+
+The per-file rules (REP001/REP002/REP003) flag a wall-clock or global-RNG
+*call site*.  What they cannot see is laundering: a helper reads
+``time.time()``, returns it, and three calls later the value lands in
+``sim.timeout(...)`` — every individual line looks innocent (or carries a
+pragma justifying "real time is fine *here*").  This pass follows the
+value:
+
+* **sources** — calls resolving to the wall-clock/datetime set (REP014)
+  or to ``random.*`` / ``numpy.random.*`` global streams (REP015).
+  Pragma-suppressed source *sites* still taint: the pragma argues the
+  read is acceptable locally, not that the value may steer sim time.
+* **propagation** — a flow-insensitive local-taint environment per
+  function plus a return-taint summary, iterated to fixpoint so taint
+  crosses call chains in either definition order.
+* **sinks** — delay/schedule arguments on simulator-ish receivers:
+  ``*.timeout(x)``, ``*.call_at(x)``, ``*.run(until=x)``.
+
+A source lexically *inside* the sink argument (``sim.timeout(time.time())``)
+is already REP001's finding and is skipped here; this pass exists for the
+flows with at least one assignment or call hop in between.  Findings
+carry the source→…→sink witness trace.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding, Severity, TraceHop
+from repro.analysis.graphs import CallGraph, FunctionInfo, Project
+from repro.analysis.rules import (
+    _DATETIME,
+    _WALL_CLOCK,
+    WholeProgramRule,
+    register,
+)
+
+_SINK_METHODS = {"timeout", "call_at"}
+_RNG_PREFIXES = ("random.", "numpy.random.")
+# RNG calls that *configure* rather than draw; not value sources.
+_RNG_NON_DRAWS = {"random.seed", "numpy.random.seed", "numpy.random.default_rng"}
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One tainted value: its kind and the witness chain back to the
+    source call (source hop first)."""
+
+    kind: str                      # "clock" | "rng"
+    witness: tuple[TraceHop, ...]  # source → ... → latest hop
+
+
+def _source_kind(target: Optional[str]) -> Optional[str]:
+    """Classify a resolved call target as a taint source."""
+    if target is None:
+        return None
+    if target in _WALL_CLOCK or target in _DATETIME:
+        return "clock"
+    if target in _RNG_NON_DRAWS:
+        return None
+    if target.startswith(_RNG_PREFIXES):
+        return "rng"
+    return None
+
+
+class _FunctionTaint:
+    """Taint state of one function: tainted locals + return summary."""
+
+    def __init__(self, info: FunctionInfo):
+        self.info = info
+        self.locals: dict[str, Taint] = {}
+        self.returns: Optional[Taint] = None
+
+    def update(self, analysis: "_Analysis") -> bool:
+        """One propagation pass; True when anything changed."""
+        changed = False
+        for stmt in ast.walk(self.info.node):
+            if isinstance(stmt, ast.Assign):
+                taint = analysis.expr_taint(stmt.value, self)
+                if taint is None:
+                    continue
+                for target in stmt.targets:
+                    for node in ast.walk(target):
+                        if (isinstance(node, ast.Name)
+                                and node.id not in self.locals):
+                            self.locals[node.id] = taint
+                            changed = True
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                if stmt.value is None:
+                    continue
+                taint = analysis.expr_taint(stmt.value, self)
+                if (taint is not None
+                        and isinstance(stmt.target, ast.Name)
+                        and stmt.target.id not in self.locals):
+                    self.locals[stmt.target.id] = taint
+                    changed = True
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                taint = analysis.expr_taint(stmt.value, self)
+                if taint is not None and self.returns is None:
+                    self.returns = Taint(
+                        kind=taint.kind,
+                        witness=(*taint.witness, TraceHop(
+                            path=self.info.path, line=stmt.lineno,
+                            func=self.info.qualname,
+                            note="tainted value returned")))
+                    changed = True
+        return changed
+
+
+class _Analysis:
+    """Project-wide fixpoint over per-function taint states."""
+
+    def __init__(self, project: Project, graph: CallGraph):
+        self.project = project
+        self.graph = graph
+        self.states = {qual: _FunctionTaint(info)
+                       for qual, info in project.functions.items()}
+        self._run_fixpoint()
+
+    def _run_fixpoint(self) -> None:
+        # Chain depth is bounded by the longest call path; cap defensively.
+        for _ in range(12):
+            changed = False
+            for state in self.states.values():
+                if state.update(self):
+                    changed = True
+            if not changed:
+                return
+
+    # -- expression evaluation ----------------------------------------------
+    def expr_taint(self, expr: ast.AST,
+                   state: _FunctionTaint) -> Optional[Taint]:
+        """Taint of an expression under a function's local environment."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in state.locals:
+                return state.locals[node.id]
+            if isinstance(node, ast.Call):
+                taint = self.call_taint(node, state)
+                if taint is not None:
+                    return taint
+        return None
+
+    def call_taint(self, call: ast.Call,
+                   state: _FunctionTaint) -> Optional[Taint]:
+        """Taint produced by a call: a raw source, or a project function
+        whose return summary is tainted."""
+        info = state.info
+        target = info.module.imports.resolve(call.func)
+        kind = _source_kind(target)
+        if kind is not None:
+            label = ("wall-clock read" if kind == "clock"
+                     else "unseeded global RNG draw")
+            return Taint(kind=kind, witness=(TraceHop(
+                path=info.path, line=call.lineno, func=info.qualname,
+                note=f"{label}: {target}()"),))
+        callee = self.graph.resolve_call(call, info)
+        if callee is None:
+            return None
+        summary = self.states.get(callee)
+        if summary is None or summary.returns is None:
+            return None
+        return Taint(
+            kind=summary.returns.kind,
+            witness=(*summary.returns.witness, TraceHop(
+                path=info.path, line=call.lineno, func=info.qualname,
+                note=f"via call to {callee.rsplit('.', 1)[-1]}()")))
+
+
+class _TaintRuleBase(WholeProgramRule):
+    """Shared sink scan for the clock and RNG taint rules."""
+
+    kind = ""  # "clock" | "rng"
+
+    exempt = (
+        "repro/simkit/rand.py",   # the sanctioned RNG wrapper
+        "repro/analysis/*",
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = getattr(project, "call_graph", None) or CallGraph(project)
+        analysis = _analysis_for(project, graph)
+        for qual, state in analysis.states.items():
+            info = state.info
+            if self.path_exempt(info.path):
+                continue
+            yield from self._check_sinks(state, analysis)
+
+    def _check_sinks(self, state: _FunctionTaint,
+                     analysis: _Analysis) -> Iterator[Finding]:
+        info = state.info
+        for call in ast.walk(info.node):
+            if not isinstance(call, ast.Call):
+                continue
+            if not isinstance(call.func, ast.Attribute):
+                continue
+            args: list[ast.AST] = []
+            if call.func.attr in _SINK_METHODS and call.args:
+                args = [call.args[0]]
+            elif call.func.attr == "run":
+                args = [kw.value for kw in call.keywords
+                        if kw.arg == "until"]
+            for arg in args:
+                taint = analysis.expr_taint(arg, state)
+                if taint is None or taint.kind != self.kind:
+                    continue
+                # Source lexically inside the sink arg is the per-file
+                # rule's finding; this pass wants the laundered flows.
+                if self._source_is_local(arg, taint):
+                    continue
+                source = taint.witness[0]
+                yield Finding(
+                    path=info.path, line=call.lineno, col=call.col_offset,
+                    rule=self.name, rule_id=self.id, severity=self.severity,
+                    message=(
+                        f"sim-time argument to .{call.func.attr}() is "
+                        f"derived from {source.note or 'a tainted source'} "
+                        f"({source.location})"),
+                    snippet=info.module.line_text(call.lineno),
+                    trace=(*taint.witness, TraceHop(
+                        path=info.path, line=call.lineno,
+                        func=info.qualname,
+                        note=f"flows into .{call.func.attr}()")),
+                )
+                break  # one finding per sink call
+
+    @staticmethod
+    def _source_is_local(arg: ast.AST, taint: Taint) -> bool:
+        source = taint.witness[0]
+        if len(taint.witness) > 1:
+            return False
+        return any(isinstance(node, ast.Call)
+                   and getattr(node, "lineno", -1) == source.line
+                   for node in ast.walk(arg))
+
+
+# One shared fixpoint per (project, graph) pair — both rules reuse it.
+_ANALYSIS_CACHE: dict[int, _Analysis] = {}
+
+
+def _analysis_for(project: Project, graph: CallGraph) -> _Analysis:
+    key = id(project)
+    analysis = _ANALYSIS_CACHE.get(key)
+    if analysis is None or analysis.graph is not graph:
+        analysis = _Analysis(project, graph)
+        _ANALYSIS_CACHE.clear()   # one live project at a time
+        _ANALYSIS_CACHE[key] = analysis
+    return analysis
+
+
+@register
+class ClockTaintRule(_TaintRuleBase):
+    """Wall-clock values steering simulated time (REP014)."""
+
+    id = "REP014"
+    name = "clock-taint"
+    severity = Severity.ERROR
+    kind = "clock"
+    description = (
+        "a wall-clock reading flows (possibly through helper returns) "
+        "into sim.timeout/call_at/run — sim time must derive from sim state"
+    )
+
+
+@register
+class RngTaintRule(_TaintRuleBase):
+    """Unseeded global RNG draws steering simulated time (REP015)."""
+
+    id = "REP015"
+    name = "rng-taint"
+    severity = Severity.ERROR
+    kind = "rng"
+    description = (
+        "an unseeded random/numpy.random draw flows into sim-time "
+        "scheduling — delays must come from seeded RandomSource streams"
+    )

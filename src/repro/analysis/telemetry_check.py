@@ -1,0 +1,468 @@
+"""Telemetry schema cross-check: publishers vs subscribers vs catalogs.
+
+The event bus and metrics registry are stringly typed by design — a
+``publish(kind="frontdoor.shed")`` and a subscriber glob
+``frontdoor.*`` only meet at runtime, and a typo on either side fails
+*silently* (the subscriber just never fires; the dashboard reads zero
+forever).  This pass builds the project-wide schema from the code itself
+and checks every consumer against it:
+
+* **publishers** — every ``publish(kind=<const>)`` site, plus one hop of
+  kind-parameter forwarding (``self._publish(facility, "chaos.incident",
+  ...)`` through a wrapper whose kind argument is a plain parameter);
+  conditional kinds with constant arms (``"trigger.fired" if ok else
+  "trigger.failed"``) record both branches, and a subscript on a
+  module-level dict literal (``_TRANSITION_KIND[new]``) records every
+  constant string value of the dict;
+* **metric families** — every ``counter/gauge/gauge_fn/histogram/summary``
+  registration with a constant name;
+* **consumers** — subscriber ``kinds=`` globs, ``events(kind=...)`` /
+  ``tail(kind=...)`` filters, registry reads
+  (``total/value/count/samples/series/has`` with a constant name);
+* **external catalogs** — ``--require <name>`` metric gates in the CI
+  workflows and the kind table in ``docs/observability.md``.
+
+Rules:
+
+* **REP016 dead-event-glob** — a kind filter in code that matches no
+  published kind (typo'd or stale subscriber);
+* **REP017 unknown-event-kind** — a kind listed in a catalog (docs
+  table) that no code path publishes (doc rot or a misspelled publisher);
+* **REP018 unknown-metric** — a metric name read in code or required by
+  CI that no registry ever registers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding, Severity, TraceHop
+from repro.analysis.graphs import CallGraph, FunctionInfo, Project
+from repro.analysis.rules import WholeProgramRule, register
+
+_METRIC_REGISTER = {"counter", "gauge", "gauge_fn", "histogram", "summary"}
+_METRIC_READ = {"total", "value", "count", "samples", "series", "has"}
+
+_REQUIRE_RE = re.compile(r"--require\s+([A-Za-z0-9_.\-]+)")
+_DOC_KIND_RE = re.compile(r"^\|\s*`([a-z0-9_.]+)`")
+_KINDS_HEADING = "kinds currently published"
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class Site:
+    """One code location something was declared or consumed at."""
+
+    __slots__ = ("value", "path", "line", "col", "func")
+
+    def __init__(self, value: str, path: str, line: int, col: int,
+                 func: str = ""):
+        self.value = value
+        self.path = path
+        self.line = line
+        self.col = col
+        self.func = func
+
+    def hop(self, note: str = "") -> TraceHop:
+        """This site as a finding trace hop."""
+        return TraceHop(path=self.path, line=self.line, func=self.func,
+                        note=note)
+
+
+class TelemetrySchema:
+    """Everything published, registered, and consumed, with locations."""
+
+    def __init__(self, project: Project, graph: CallGraph):
+        self.project = project
+        #: kind -> publish sites
+        self.published: dict[str, list[Site]] = {}
+        #: metric family name -> registration sites
+        self.metric_families: dict[str, list[Site]] = {}
+        #: constant prefixes of dynamically-registered families
+        #: (``reg.gauge_fn(f"metadata.{key}", ...)`` contributes "metadata.")
+        self.metric_prefixes: list[Site] = []
+        #: kind globs consumed in code
+        self.kind_filters: list[Site] = []
+        #: metric names read in code
+        self.metric_reads: list[Site] = []
+        #: metric names demanded by CI --require gates
+        self.required_metrics: list[Site] = []
+        #: kinds listed in the docs table
+        self.documented_kinds: list[Site] = []
+        self._collect_code(graph)
+        self._collect_catalogs(project.repo_root)
+
+    # -- code ---------------------------------------------------------------
+    def _collect_code(self, graph: CallGraph) -> None:
+        # (callee qualname -> def-parameter name) for publish forwarders.
+        forwarders: dict[str, str] = {}
+        for qual, info in self.project.functions.items():
+            for call in ast.walk(info.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                if (isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "publish"):
+                    kind_arg = self._kind_arg(call)
+                    consts = (self._kind_constants(kind_arg, info)
+                              if kind_arg is not None else [])
+                    if consts:
+                        for const in consts:
+                            self._record_publish(const, call, info)
+                    elif (isinstance(kind_arg, ast.Name)
+                          and kind_arg.id in self._param_names(info)):
+                        forwarders[qual] = kind_arg.id
+                self._collect_consumer(call, info)
+        if forwarders:
+            self._collect_forwarded(graph, forwarders)
+
+    def _collect_forwarded(self, graph: CallGraph,
+                           forwarders: dict[str, str]) -> None:
+        """One hop of kind forwarding: constant kinds passed to wrappers
+        like ``chaos._publish(facility, kind, ...)``."""
+        for qual, info in self.project.functions.items():
+            for call in ast.walk(info.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                callee = graph.resolve_call(call, info)
+                param = forwarders.get(callee or "")
+                if param is None:
+                    continue
+                const = self._forwarded_kind(call, callee, param)
+                if const is not None:
+                    self._record_publish(const, call, info)
+
+    def _forwarded_kind(self, call: ast.Call, callee: str,
+                        param: str) -> Optional[str]:
+        for kw in call.keywords:
+            if kw.arg == param:
+                return _const_str(kw.value)
+        callee_info = self.project.functions[callee]
+        params = self._param_names(callee_info)
+        if param not in params:
+            return None
+        index = params.index(param)
+        # Method calls spelled obj.meth(...) drop the self slot.
+        if callee_info.cls is not None and params and params[0] == "self":
+            index -= 1
+        if 0 <= index < len(call.args):
+            return _const_str(call.args[index])
+        return None
+
+    @staticmethod
+    def _param_names(info: FunctionInfo) -> list[str]:
+        args = info.node.args
+        return [a.arg for a in (*args.posonlyargs, *args.args)]
+
+    @staticmethod
+    def _kind_arg(call: ast.Call) -> Optional[ast.AST]:
+        for kw in call.keywords:
+            if kw.arg == "kind":
+                return kw.value
+        return call.args[0] if call.args else None
+
+    def _kind_constants(self, node: ast.AST,
+                        info: FunctionInfo) -> list[str]:
+        """Every constant kind a publish argument can evaluate to.
+
+        Beyond plain string constants this resolves two publish idioms
+        the codebase actually uses: conditional expressions whose arms
+        are constants (``"trigger.fired" if ok else "trigger.failed"``)
+        and subscripts on a module-level dict literal with constant
+        string values (``_TRANSITION_KIND[new]``)."""
+        const = _const_str(node)
+        if const is not None:
+            return [const]
+        if isinstance(node, ast.IfExp):
+            return (self._kind_constants(node.body, info)
+                    + self._kind_constants(node.orelse, info))
+        if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+            return self._module_dict_values(node.value.id, info)
+        return []
+
+    def _module_dict_values(self, name: str,
+                            info: FunctionInfo) -> list[str]:
+        """Constant string values of a module-level ``name = {...}``."""
+        module = self.project.modules.get(info.path)
+        if module is None:
+            return []
+        for stmt in module.tree.body:
+            if (isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Dict)
+                    and any(isinstance(t, ast.Name) and t.id == name
+                            for t in stmt.targets)):
+                values = (_const_str(v) for v in stmt.value.values)
+                return [v for v in values if v is not None]
+        return []
+
+    def _record_publish(self, kind: str, call: ast.Call,
+                        info: FunctionInfo) -> None:
+        self.published.setdefault(kind, []).append(Site(
+            kind, info.path, call.lineno, call.col_offset, info.qualname))
+
+    def _collect_consumer(self, call: ast.Call, info: FunctionInfo) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+
+        def site(value: str, node: ast.AST) -> Site:
+            return Site(value, info.path,
+                        getattr(node, "lineno", call.lineno),
+                        getattr(node, "col_offset", call.col_offset),
+                        info.qualname)
+
+        if attr == "subscribe":
+            kinds = self._keyword(call, "kinds")
+            if kinds is None and len(call.args) >= 2:
+                kinds = call.args[1]
+            if isinstance(kinds, (ast.Tuple, ast.List)):
+                for element in kinds.elts:
+                    const = _const_str(element)
+                    if const is not None:
+                        self.kind_filters.append(site(const, element))
+        elif attr == "events":
+            kind = self._keyword(call, "kind")
+            if kind is None and call.args:
+                kind = call.args[0]
+            const = _const_str(kind) if kind is not None else None
+            if const is not None:
+                self.kind_filters.append(site(const, kind))
+        elif attr == "tail":
+            kind = self._keyword(call, "kind")
+            if kind is None and len(call.args) >= 2:
+                kind = call.args[1]
+            const = _const_str(kind) if kind is not None else None
+            if const is not None:
+                self.kind_filters.append(site(const, kind))
+        elif attr in _METRIC_REGISTER and call.args:
+            const = _const_str(call.args[0])
+            if const is not None:
+                self.metric_families.setdefault(const, []).append(
+                    site(const, call))
+            else:
+                prefix = self._fstring_prefix(call.args[0])
+                if prefix:
+                    self.metric_prefixes.append(site(prefix, call))
+        elif attr in _METRIC_READ and call.args:
+            const = _const_str(call.args[0])
+            if const is not None:
+                self.metric_reads.append(site(const, call))
+
+    @staticmethod
+    def _fstring_prefix(node: ast.AST) -> Optional[str]:
+        """Leading constant of an f-string name, if any.
+
+        A registration like ``reg.gauge_fn(f"metadata.{key}", ...)``
+        creates names the checker cannot enumerate; the constant prefix
+        makes the unknown-metric rule conservative for that namespace.
+        """
+        if (isinstance(node, ast.JoinedStr) and node.values
+                and isinstance(node.values[0], ast.Constant)
+                and isinstance(node.values[0].value, str)):
+            return node.values[0].value
+        return None
+
+    @staticmethod
+    def _keyword(call: ast.Call, name: str) -> Optional[ast.AST]:
+        for kw in call.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    # -- external catalogs ---------------------------------------------------
+    def _collect_catalogs(self, repo_root: Path) -> None:
+        workflows = repo_root / ".github" / "workflows"
+        if workflows.is_dir():
+            for path in sorted(workflows.glob("*.yml")):
+                self._scan_workflow(path, repo_root)
+        docs = repo_root / "docs" / "observability.md"
+        if docs.is_file():
+            self._scan_docs(docs, repo_root)
+
+    def _scan_workflow(self, path: Path, repo_root: Path) -> None:
+        rel = path.relative_to(repo_root).as_posix()
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return
+        for lineno, line in enumerate(lines, start=1):
+            for match in _REQUIRE_RE.finditer(line):
+                self.required_metrics.append(Site(
+                    match.group(1), rel, lineno, match.start()))
+
+    def _scan_docs(self, path: Path, repo_root: Path) -> None:
+        rel = path.relative_to(repo_root).as_posix()
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return
+        in_section = False
+        for lineno, line in enumerate(lines, start=1):
+            lowered = line.strip().lower()
+            if lowered.startswith("#") and _KINDS_HEADING in lowered:
+                in_section = True
+                continue
+            if in_section and lowered.startswith("#"):
+                break
+            if not in_section:
+                continue
+            match = _DOC_KIND_RE.match(line.strip())
+            if match:
+                self.documented_kinds.append(Site(
+                    match.group(1), rel, lineno, 0))
+
+    # -- queries -------------------------------------------------------------
+    def glob_matches(self, glob: str) -> list[str]:
+        """Published kinds a filter glob matches."""
+        return sorted(k for k in self.published if fnmatchcase(k, glob))
+
+
+# One schema per live project — the three rules share the collection walk.
+_SCHEMA_CACHE: dict[int, TelemetrySchema] = {}
+
+
+def schema_for(project: Project,
+               graph: Optional[CallGraph] = None) -> TelemetrySchema:
+    """The (cached) telemetry schema of a project — the three cross-check
+    rules share one collection walk."""
+    key = id(project)
+    schema = _SCHEMA_CACHE.get(key)
+    if schema is None:
+        schema = TelemetrySchema(
+            project,
+            graph or getattr(project, "call_graph", None) or CallGraph(project))
+        _SCHEMA_CACHE.clear()
+        _SCHEMA_CACHE[key] = schema
+    return schema
+
+
+def _nearest(value: str, candidates: Iterator[str] | list[str]) -> str:
+    """A 'did you mean' hint: the candidate sharing the longest prefix."""
+    best, best_len = "", 0
+    for cand in candidates:
+        common = 0
+        for a, b in zip(value, cand):
+            if a != b:
+                break
+            common += 1
+        if common > best_len:
+            best, best_len = cand, common
+    return best if best_len >= 4 else ""
+
+
+@register
+class DeadEventGlobRule(WholeProgramRule):
+    """Kind filters in code that match no published kind (REP016)."""
+
+    id = "REP016"
+    name = "dead-event-glob"
+    severity = Severity.WARNING
+    description = (
+        "event-kind filter matches nothing any code path publishes — "
+        "a typo'd or stale subscriber silently receives no events"
+    )
+    exempt = ("repro/telemetry/*", "repro/analysis/*")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        schema = schema_for(project)
+        for site in schema.kind_filters:
+            if self.path_exempt(site.path):
+                continue
+            if schema.glob_matches(site.value):
+                continue
+            hint = _nearest(site.value, list(schema.published))
+            suffix = f" (did you mean '{hint}'?)" if hint else ""
+            yield Finding(
+                path=site.path, line=site.line, col=site.col,
+                rule=self.name, rule_id=self.id, severity=self.severity,
+                message=(f"kind filter '{site.value}' matches no published "
+                         f"event kind{suffix}"),
+                snippet=self._snippet(project, site),
+            )
+
+    @staticmethod
+    def _snippet(project: Project, site: Site) -> str:
+        module = project.modules.get(site.path)
+        return module.line_text(site.line) if module else ""
+
+
+@register
+class UnknownEventKindRule(WholeProgramRule):
+    """Catalogued kinds no code path publishes (REP017)."""
+
+    id = "REP017"
+    name = "unknown-event-kind"
+    severity = Severity.WARNING
+    description = (
+        "event kind listed in a catalog (docs table) is never published "
+        "by any code path — doc rot or a misspelled publisher"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        schema = schema_for(project)
+        for site in schema.documented_kinds:
+            if site.value in schema.published:
+                continue
+            hint = _nearest(site.value, list(schema.published))
+            suffix = f" (closest published kind: '{hint}')" if hint else ""
+            yield Finding(
+                path=site.path, line=site.line, col=site.col,
+                rule=self.name, rule_id=self.id, severity=self.severity,
+                message=(f"documented event kind '{site.value}' is never "
+                         f"published{suffix}"),
+            )
+
+
+@register
+class UnknownMetricRule(WholeProgramRule):
+    """Metric names read or required but never registered (REP018)."""
+
+    id = "REP018"
+    name = "unknown-metric"
+    severity = Severity.WARNING
+    description = (
+        "metric name read in code or required by CI is never registered "
+        "with any MetricsRegistry — the gate/dashboard reads zero forever"
+    )
+    exempt = ("repro/telemetry/*", "repro/analysis/*")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        schema = schema_for(project)
+        known = set(schema.metric_families)
+        prefixes = tuple(s.value for s in schema.metric_prefixes)
+
+        def is_known(name: str) -> bool:
+            return name in known or (bool(prefixes)
+                                     and name.startswith(prefixes))
+
+        for site in schema.metric_reads:
+            if self.path_exempt(site.path):
+                continue
+            if is_known(site.value):
+                continue
+            yield self._finding(project, site, known, "read")
+        for site in schema.required_metrics:
+            if is_known(site.value):
+                continue
+            yield self._finding(project, site, known, "required by CI")
+
+    def _finding(self, project: Project, site: Site, known: set[str],
+                 how: str) -> Finding:
+        hint = _nearest(site.value, list(known))
+        suffix = f" (did you mean '{hint}'?)" if hint else ""
+        module = project.modules.get(site.path)
+        return Finding(
+            path=site.path, line=site.line, col=site.col,
+            rule=self.name, rule_id=self.id, severity=self.severity,
+            message=(f"metric '{site.value}' {how} but never "
+                     f"registered{suffix}"),
+            snippet=module.line_text(site.line) if module else "",
+        )

@@ -1,0 +1,72 @@
+"""The whole-program pass: project load, graph build, rule dispatch.
+
+The per-file :class:`~repro.analysis.engine.Linter` deliberately skips
+rules marked ``whole_program`` — they need every module parsed plus the
+call graph.  This module is their engine: it loads the
+:class:`~repro.analysis.graphs.Project`, builds (or loads from cache)
+the :class:`~repro.analysis.graphs.CallGraph`, runs every registered
+:class:`~repro.analysis.rules.WholeProgramRule`, and applies the same
+per-line pragma suppression the per-file engine uses — a
+``# lint: disable=REP013 -- why`` on the flagged line silences a
+whole-program finding exactly like a per-file one.
+
+Findings anchored outside the project (catalog rows in workflow files or
+docs) have no module to carry pragmas; they are suppressed via the
+fingerprint baseline instead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+# Importing these modules registers the whole-program rules.
+from repro.analysis import protocol as _protocol          # noqa: F401
+from repro.analysis import taint as _taint                # noqa: F401
+from repro.analysis import telemetry_check as _telemetry  # noqa: F401
+from repro.analysis.findings import Finding
+from repro.analysis.graphs import CallGraph, Project
+from repro.analysis.rules import Rule, all_rules
+
+
+def whole_program_rules() -> list[Rule]:
+    """Registered whole-program rules, sorted by id."""
+    return [r for r in all_rules() if r.whole_program]
+
+
+def build_project(paths: Iterable[str | Path],
+                  graph_cache: Optional[str | Path] = None) -> Project:
+    """Load the project and attach its call graph (cached when asked)."""
+    project = Project.load(paths)
+    if graph_cache is not None:
+        graph = CallGraph.load_cached(project, graph_cache)
+    else:
+        graph = CallGraph(project)
+    project.call_graph = graph
+    return project
+
+
+def run_whole_program(
+        paths: Iterable[str | Path],
+        rules: Optional[Sequence[Rule]] = None,
+        graph_cache: Optional[str | Path] = None,
+        project: Optional[Project] = None) -> list[Finding]:
+    """Run whole-program rules over ``paths``; pragma-filtered, sorted.
+
+    Pass ``project`` to reuse an already-built project/graph (the CLI
+    builds once and shares it across rule subsets).
+    """
+    if project is None:
+        project = build_project(paths, graph_cache=graph_cache)
+    selected = rules if rules is not None else whole_program_rules()
+    findings: list[Finding] = []
+    for rule in selected:
+        if not rule.whole_program:
+            continue
+        for finding in rule.check_project(project):
+            module = project.modules.get(finding.path)
+            if module is not None and module.suppressed(finding):
+                continue
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -22,6 +22,7 @@ from repro.durability.durable import DurableMetadataStore
 from repro.durability.repair import RepairOutcome, RepairPlanner
 from repro.durability.scrubber import IntegrityScrubber
 from repro.metadata.store import MetadataStore
+from repro.resilience.policy import RetryPolicy
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
 from repro.simkit.rand import RandomSource
@@ -80,9 +81,15 @@ class DurabilityKit:
         self.rng = sim.random.spawn("durability")
         #: Verified copies the scrubber lays down; the repair restore source.
         self.archive = MemoryBackend()
+        # Scrub/repair run during exactly the incidents that make backends
+        # flaky — every backend touch goes through a retry guard with its
+        # own seeded jitter substream.
+        self.retry_policy = RetryPolicy(max_attempts=3, base_delay=1.0)
         self.planner = RepairPlanner(
             sim, registry, self.archive, replica_stores=replica_stores,
             hdfs=hdfs, hsm=hsm, dlq=dlq,
+            retry_policy=self.retry_policy,
+            retry_rng=self.rng.spawn("repair-retry"),
         )
         self.auditor = ConsistencyAuditor(
             metadata, registry, stores=self.stores,
@@ -95,6 +102,8 @@ class DurabilityKit:
             archive=self.archive if enabled else None,
             planner=self.planner if enabled else None,
             on_detect=self._note_detection,
+            retry_policy=self.retry_policy,
+            retry_rng=self.rng.spawn("scrub-retry"),
         )
         # -- chaos / MTTD bookkeeping ------------------------------------------
         self._corrupted_at: dict[str, float] = {}

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional, Sequence
 
 from repro.adal.api import BackendRegistry, StorageBackend, checksum_bytes
-from repro.adal.errors import AdalError, ObjectNotFoundError
+from repro.adal.errors import AdalError, BackendUnavailableError, ObjectNotFoundError
 from repro.durability.audit import (
     CHECKSUM_MISMATCH,
     DARK_DATA,
@@ -42,8 +42,11 @@ from repro.durability.audit import (
     AuditReport,
     Finding,
 )
+from repro.resilience.errors import RetriesExhaustedError
+from repro.resilience.policy import RetryPolicy
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
+from repro.simkit.rand import RandomSource
 
 #: Repair actions the planner can take.
 ACTIONS = (
@@ -96,6 +99,15 @@ class RepairPlanner:
     dlq:
         Dead-letter queue for unrepairable objects and quarantined dark
         data.
+    retry_policy:
+        :class:`~repro.resilience.policy.RetryPolicy` guarding every
+        backend touch against transient
+        :class:`~repro.adal.errors.BackendUnavailableError` blips (the
+        repair path runs during exactly the incidents that make backends
+        flaky).  ``None`` disables retries.
+    retry_rng:
+        Seeded :class:`~repro.simkit.rand.RandomSource` substream for the
+        retry jitter draws.
     """
 
     def __init__(
@@ -107,6 +119,8 @@ class RepairPlanner:
         hdfs=None,
         hsm=None,
         dlq=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[RandomSource] = None,
     ):
         self.sim = sim
         self.registry = registry
@@ -115,7 +129,17 @@ class RepairPlanner:
         self.hdfs = hdfs
         self.hsm = hsm
         self.dlq = dlq
+        self.retry_policy = retry_policy
+        self.retry_rng = retry_rng
         self.outcomes: list[RepairOutcome] = []
+
+    def _guarded(self, fn, label: str):
+        """One backend touch through the retry guard (direct when none)."""
+        if self.retry_policy is None:
+            return fn()
+        return self.retry_policy.run_sync(
+            fn, retry_on=(BackendUnavailableError,), rng=self.retry_rng,
+            label=label)
 
     # -- public API ---------------------------------------------------------
     def execute(self, report: AuditReport) -> Event:
@@ -177,7 +201,8 @@ class RepairPlanner:
         store, path = self._split(finding.subject)
         try:
             backend = self.registry.resolve(store)
-            data = backend.get(path)
+            data = self._guarded(lambda: backend.get(path),
+                                 label=f"repair.quarantine_read:{path}")
             if self.dlq is not None:
                 self.dlq.push(
                     payload={"url": finding.subject, "data": data},
@@ -187,11 +212,12 @@ class RepairPlanner:
                     time=self.sim.now,
                     nbytes=len(data),
                 )
-            backend.delete(path)
+            self._guarded(lambda: backend.delete(path),
+                          label=f"repair.quarantine_delete:{path}")
         except ObjectNotFoundError:
             return self._record(finding, "quarantine", "repaired",
                                 "object already gone")
-        except AdalError as exc:
+        except (AdalError, RetriesExhaustedError) as exc:
             return self._record(finding, "quarantine", "unrepairable", str(exc))
         return self._record(finding, "quarantine", "repaired",
                             "payload parked in DLQ, object removed")
@@ -201,8 +227,9 @@ class RepairPlanner:
         for name in self.replica_stores:
             try:
                 backend = self.registry.resolve(name)
-                data = backend.get(path)
-            except AdalError:
+                data = self._guarded(lambda: backend.get(path),
+                                     label=f"repair.replica_read:{name}")
+            except (AdalError, RetriesExhaustedError):
                 continue
             if checksum_bytes(data) == expected:
                 return name, data
@@ -224,7 +251,8 @@ class RepairPlanner:
             name, data = replica
             # lint: disable=write-once-overwrite -- repair restores the
             # canonical bytes over a detected-corrupt object, by design.
-            backend.put(path, data, overwrite=True)
+            self._guarded(lambda: backend.put(path, data, overwrite=True),
+                          label=f"repair.restore_write:{path}")
             return self._record(finding, "restore_from_replica", "repaired",
                                 f"from store {name!r}")
 
@@ -239,7 +267,8 @@ class RepairPlanner:
                     action = "tape_recall_restore"
                 # lint: disable=write-once-overwrite -- repair restores the
                 # canonical bytes over a detected-corrupt object, by design.
-                backend.put(path, data, overwrite=True)
+                self._guarded(lambda: backend.put(path, data, overwrite=True),
+                              label=f"repair.archive_restore:{path}")
                 return self._record(finding, action, "repaired",
                                     "verified archive copy")
 

@@ -23,12 +23,15 @@ from dataclasses import dataclass
 from typing import Callable, Generator, Optional, Sequence
 
 from repro.adal.api import BackendRegistry, StorageBackend, checksum_bytes
-from repro.adal.errors import AdalError, ObjectNotFoundError
+from repro.adal.errors import AdalError, BackendUnavailableError, ObjectNotFoundError
 from repro.durability.audit import CHECKSUM_MISMATCH, Finding
 from repro.durability.repair import RepairPlanner
 from repro.metadata.store import MetadataStore
+from repro.resilience.errors import RetriesExhaustedError
+from repro.resilience.policy import RetryPolicy
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
+from repro.simkit.rand import RandomSource
 from repro.telemetry.hub import TelemetryHub
 
 
@@ -73,6 +76,14 @@ class IntegrityScrubber:
     on_detect:
         Optional callback ``(finding)`` — the kit uses it for
         mean-time-to-detect accounting.
+    retry_policy:
+        :class:`~repro.resilience.policy.RetryPolicy` guarding the
+        per-object reads against transient backend blips, so a brown-out
+        mid-pass degrades to retries instead of skipped objects.
+        ``None`` disables retries (blips skip the object, as before).
+    retry_rng:
+        Seeded :class:`~repro.simkit.rand.RandomSource` substream for
+        retry jitter.
     """
 
     def __init__(
@@ -86,6 +97,8 @@ class IntegrityScrubber:
         archive: Optional[StorageBackend] = None,
         planner: Optional[RepairPlanner] = None,
         on_detect: Optional[Callable[[Finding], None]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[RandomSource] = None,
     ):
         if bandwidth <= 0:
             raise ValueError("scrub bandwidth must be > 0")
@@ -100,6 +113,8 @@ class IntegrityScrubber:
         self.archive = archive
         self.planner = planner
         self.on_detect = on_detect
+        self.retry_policy = retry_policy
+        self.retry_rng = retry_rng
         self.passes: list[ScrubPass] = []
         reg = TelemetryHub.for_sim(sim).registry
         self.objects_scanned = reg.counter(
@@ -152,6 +167,14 @@ class IntegrityScrubber:
         return min(1.0, last.objects_scanned / current)
 
     # -- internals ------------------------------------------------------------
+    def _guarded(self, fn, label: str):
+        """One backend touch through the retry guard (direct when none)."""
+        if self.retry_policy is None:
+            return fn()
+        return self.retry_policy.run_sync(
+            fn, retry_on=(BackendUnavailableError,), rng=self.retry_rng,
+            label=label)
+
     def _daemon(self) -> Generator:
         while True:
             yield self.sim.process(self._pass())
@@ -170,18 +193,21 @@ class IntegrityScrubber:
         for store in self.stores:
             try:
                 backend = self.registry.resolve(store)
-                infos = backend.listdir("")
-            except AdalError:
+                infos = self._guarded(lambda: backend.listdir(""),
+                                      label=f"scrub.listdir:{store}")
+            except (AdalError, RetriesExhaustedError):
                 summary.skipped += 1
                 continue
             for info in infos:
                 if info.size > 0:
                     yield self.sim.timeout(info.size / self.bandwidth)
                 try:
-                    data = backend.get(info.url)
+                    data = self._guarded(
+                        lambda url=info.url: backend.get(url),
+                        label=f"scrub.read:{store}")
                 except ObjectNotFoundError:
                     continue  # deleted since listdir
-                except AdalError:
+                except (AdalError, RetriesExhaustedError):
                     summary.skipped += 1
                     continue
                 summary.objects_scanned += 1

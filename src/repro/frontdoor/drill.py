@@ -117,7 +117,7 @@ def _served_total(reg) -> int:
     return total
 
 
-def run_overload_drill(
+def prepare_overload_drill(
     seed: int = 0,
     scale: float = 1.0,
     duration_scale: float = 1.0,
@@ -132,14 +132,16 @@ def run_overload_drill(
     goodput_floor: float = 0.8,
     storm_admit_factor: float = 1.15,
 ):
-    """Run the full overload drill; returns ``(facility, DrillResult)``.
+    """Build the drill without advancing the clock; returns
+    ``(facility, finish)``.
 
-    ``scale`` shrinks clients, rate limits and workers together (the tiny
-    CI arm); ``duration_scale`` shrinks every phase.  ``enabled=False``
-    runs the naive ablation arm (the plateau and storm gates are skipped
-    for it — it exists to show the collapse; accounting must still
-    balance).  ``storm`` makes clients impatient: failed requests are
-    resubmitted up to ``client_retries`` times.
+    Everything up to the first simulation step happens here — facility
+    construction, load-generator population, the chaos schedule, the
+    phase-boundary snapshots.  Calling ``finish()`` runs the facility to
+    quiescence, assembles the :class:`DrillResult` and evaluates the
+    gates.  The split exists for the runtime sanitizers, which install a
+    trace recorder (and optionally a randomized tie-shuffle) on
+    ``facility.sim`` between construction and execution.
     """
     from repro.core.config import ArraySpec, FacilityConfig
     from repro.core.facility import Facility
@@ -203,69 +205,106 @@ def run_overload_drill(
     for label, when in boundaries:
         facility.sim.call_at(when, snap(label))
 
-    facility.run()  # to quiescence: arrivals ended, workers idle
+    def finish() -> DrillResult:
+        facility.run()  # to quiescence: arrivals ended, workers idle
 
-    result = DrillResult(enabled=enabled, storm=storm)
-    result.peak_queue_depth = facility.frontdoor.queue.peak_depth
-    result.flushed = facility.frontdoor.flush_queue()
+        result = DrillResult(enabled=enabled, storm=storm)
+        result.peak_queue_depth = facility.frontdoor.queue.peak_depth
+        result.flushed = facility.frontdoor.flush_queue()
 
-    def phase_stat(name: str, lo: str, lo_t: float, hi: str,
-                   hi_t: float) -> PhaseStat:
-        a, z = marks[lo], marks[hi]
-        return PhaseStat(
-            name=name, start=lo_t, end=hi_t,
-            submitted=z["submitted"] - a["submitted"],
-            admitted=z["admitted"] - a["admitted"],
-            served=z["served"] - a["served"])
+        def phase_stat(name: str, lo: str, lo_t: float, hi: str,
+                       hi_t: float) -> PhaseStat:
+            a, z = marks[lo], marks[hi]
+            return PhaseStat(
+                name=name, start=lo_t, end=hi_t,
+                submitted=z["submitted"] - a["submitted"],
+                admitted=z["admitted"] - a["admitted"],
+                served=z["served"] - a["served"])
 
-    result.phases = [
-        phase_stat("baseline", "warmup_end", b / 2.0, "baseline_end", b),
-        phase_stat("ramp", "baseline_end", b, "surge_start", surge_start),
-        phase_stat("surge", "surge_start", surge_start,
-                   "surge_end", surge_end),
-        phase_stat("recovery", "surge_end", surge_end, "end", end),
-    ]
-    result.accounting = facility.frontdoor.accounting()
-    result.queue_bound = (queue_capacity
-                          * len(facility.frontdoor.tenants))
-    result.client_retries = int(
-        reg.value("frontdoor.client_retries_total"))
-    result.admitted_retries = int(
-        reg.value("frontdoor.admitted_retries_total"))
+        result.phases = [
+            phase_stat("baseline", "warmup_end", b / 2.0, "baseline_end", b),
+            phase_stat("ramp", "baseline_end", b, "surge_start", surge_start),
+            phase_stat("surge", "surge_start", surge_start,
+                       "surge_end", surge_end),
+            phase_stat("recovery", "surge_end", surge_end, "end", end),
+        ]
+        result.accounting = facility.frontdoor.accounting()
+        result.queue_bound = (queue_capacity
+                              * len(facility.frontdoor.tenants))
+        result.client_retries = int(
+            reg.value("frontdoor.client_retries_total"))
+        result.admitted_retries = int(
+            reg.value("frontdoor.admitted_retries_total"))
 
-    # -- gates ---------------------------------------------------------------
-    acct = result.accounting
-    if acct["silent_loss"] != 0:
-        result.failures.append(
-            f"silent loss: {acct['silent_loss']} requests unaccounted")
-    if acct["queued"] != 0 or acct["in_flight"] != 0:
-        result.failures.append(
-            f"not quiescent: {acct['queued']} queued, "
-            f"{acct['in_flight']} in flight")
-    if result.peak_queue_depth > result.queue_bound:
-        result.failures.append(
-            f"queue bound violated: peak {result.peak_queue_depth} "
-            f"> {result.queue_bound}")
-    if enabled:
-        floor = goodput_floor * result.baseline_goodput
-        if result.surge_goodput < floor:
+        # -- gates -----------------------------------------------------------
+        acct = result.accounting
+        if acct["silent_loss"] != 0:
             result.failures.append(
-                f"goodput collapsed: surge {result.surge_goodput:.2f}/s "
-                f"< {goodput_floor:.0%} of baseline "
-                f"{result.baseline_goodput:.2f}/s")
-    if enabled and storm:
-        # Admission control's promise under a retry storm: admitted volume
-        # stays bounded by the aggregate token-bucket rate no matter how
-        # hard impatient clients resubmit (the naive arm admits the storm
-        # wholesale).  The factor absorbs bucket-burst slack.
-        limits = [spec.rate_limit
-                  for spec in facility.frontdoor.tenants.values()]
-        if all(limit is not None for limit in limits):
-            cap = storm_admit_factor * sum(limits)
-            if result.phase("surge").admitted_rate > cap:
+                f"silent loss: {acct['silent_loss']} requests unaccounted")
+        if acct["queued"] != 0 or acct["in_flight"] != 0:
+            result.failures.append(
+                f"not quiescent: {acct['queued']} queued, "
+                f"{acct['in_flight']} in flight")
+        if result.peak_queue_depth > result.queue_bound:
+            result.failures.append(
+                f"queue bound violated: peak {result.peak_queue_depth} "
+                f"> {result.queue_bound}")
+        if enabled:
+            floor = goodput_floor * result.baseline_goodput
+            if result.surge_goodput < floor:
                 result.failures.append(
-                    "retry storm not contained: surge admitted "
-                    f"{result.phase('surge').admitted_rate:.2f}/s > "
-                    f"{cap:.2f}/s (aggregate rate limit "
-                    f"x {storm_admit_factor:g})")
-    return facility, result
+                    f"goodput collapsed: surge {result.surge_goodput:.2f}/s "
+                    f"< {goodput_floor:.0%} of baseline "
+                    f"{result.baseline_goodput:.2f}/s")
+        if enabled and storm:
+            # Admission control's promise under a retry storm: admitted
+            # volume stays bounded by the aggregate token-bucket rate no
+            # matter how hard impatient clients resubmit (the naive arm
+            # admits the storm wholesale).  The factor absorbs
+            # bucket-burst slack.
+            limits = [spec.rate_limit
+                      for spec in facility.frontdoor.tenants.values()]
+            if all(limit is not None for limit in limits):
+                cap = storm_admit_factor * sum(limits)
+                if result.phase("surge").admitted_rate > cap:
+                    result.failures.append(
+                        "retry storm not contained: surge admitted "
+                        f"{result.phase('surge').admitted_rate:.2f}/s > "
+                        f"{cap:.2f}/s (aggregate rate limit "
+                        f"x {storm_admit_factor:g})")
+        return result
+
+    return facility, finish
+
+
+def run_overload_drill(
+    seed: int = 0,
+    scale: float = 1.0,
+    duration_scale: float = 1.0,
+    enabled: bool = True,
+    storm: bool = False,
+    flaky_rate: float = 0.2,
+    client_retries: int = 3,
+    baseline: float = 120.0,
+    step: float = 45.0,
+    surge: float = 90.0,
+    recovery: float = 90.0,
+    goodput_floor: float = 0.8,
+    storm_admit_factor: float = 1.15,
+):
+    """Run the full overload drill; returns ``(facility, DrillResult)``.
+
+    ``scale`` shrinks clients, rate limits and workers together (the tiny
+    CI arm); ``duration_scale`` shrinks every phase.  ``enabled=False``
+    runs the naive ablation arm (the plateau and storm gates are skipped
+    for it — it exists to show the collapse; accounting must still
+    balance).  ``storm`` makes clients impatient: failed requests are
+    resubmitted up to ``client_retries`` times.
+    """
+    facility, finish = prepare_overload_drill(
+        seed=seed, scale=scale, duration_scale=duration_scale,
+        enabled=enabled, storm=storm, flaky_rate=flaky_rate,
+        client_retries=client_retries, baseline=baseline, step=step,
+        surge=surge, recovery=recovery, goodput_floor=goodput_floor,
+        storm_admit_factor=storm_admit_factor)
+    return facility, finish()

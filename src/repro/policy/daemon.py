@@ -365,8 +365,10 @@ class ConvergenceDaemon:
         record = self.engine.store.get(drift.dataset_id)
         path = AdalUrl.parse(record.url).path
         backend = self.engine.registry.resolve(drift.store)
-        if backend.exists(path):
-            backend.delete(path)
+        if self._retry(lambda: backend.exists(path),
+                       label=f"policy.reclaim_check:{drift.dataset_id}"):
+            self._retry(lambda: backend.delete(path),
+                        label=f"policy.reclaim_delete:{drift.dataset_id}")
             self.engine.quotas.release(record.project, record.size)
 
     def _copy_replica(self, drift: Drift) -> Generator:

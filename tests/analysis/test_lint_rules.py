@@ -121,22 +121,29 @@ class TestWriteOnce:
         assert _rules(src, "repro/adal/backends/tiered.py") == []
 
 
-class TestUnguardedBackendIo:
-    def test_flags_direct_call_on_hot_path(self):
-        src = "data = self.backend.get(path)\n"
-        assert _rules(src, "repro/ingest/transfer.py") == ["unguarded-backend-io"]
+class TestUnguardedBackendIoRetired:
+    """REP006 is retired: the per-file heuristic is subsumed by the
+    whole-program REP013 (see tests/analysis/test_whole_program.py)."""
 
-    def test_clean_inside_retry_thunk(self):
-        src = "data = policy.call(lambda: self.backend.get(path))\n"
+    def test_per_file_engine_no_longer_flags_backend_calls(self):
+        src = "data = self.backend.get(path)\n"
         assert _rules(src, "repro/ingest/transfer.py") == []
 
-    def test_out_of_scope_module_clean(self):
-        src = "data = self.backend.get(path)\n"
-        assert _rules(src, "repro/durability/scrubber.py") == []
+    def test_rep006_id_is_not_reused(self):
+        from repro.analysis import all_rules
+        from repro.analysis.whole_program import whole_program_rules  # registers
 
-    def test_non_backend_receiver_clean(self):
-        src = "item = self.queue.get()\n"
-        assert _rules(src, "repro/ingest/transfer.py") == []
+        assert whole_program_rules()  # force registration
+        assert all(r.id != "REP006" for r in all_rules())
+
+    def test_rep013_is_whole_program(self):
+        from repro.analysis import get_rule
+        import repro.analysis.whole_program  # noqa: F401 — registers rules
+
+        rule = get_rule("REP013")
+        assert rule is not None
+        assert rule.whole_program
+        assert rule.name == "unguarded-backend-reach"
 
 
 class TestYieldRawValue:

@@ -10,7 +10,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.analysis.sanitize import check_determinism, check_races
+from repro.analysis.sanitize import check_determinism, check_races, facility_run
 from repro.analysis.scenarios import SCENARIOS, get_scenario
 from repro.analysis.trace import TraceRecorder, first_divergence
 from repro.analysis.tripwire import UnseededRandomnessError, rng_tripwire
@@ -174,7 +174,7 @@ class TestRaces:
 
 class TestScenarios:
     def test_registry_has_tiny_and_standard(self):
-        assert {"tiny", "standard"} <= set(SCENARIOS)
+        assert {"tiny", "standard", "frontdoor"} <= set(SCENARIOS)
 
     def test_get_scenario_unknown_name(self):
         with pytest.raises(KeyError, match="tiny"):
@@ -183,3 +183,56 @@ class TestScenarios:
     def test_tiny_scenario_builds_a_facility(self):
         facility = get_scenario("tiny").build(seed=0)
         assert facility.sim.now == 0.0
+
+
+class TestFrontdoorScenario:
+    """Satellite: the sanitizers cover the front-door path end to end."""
+
+    def test_two_phase_scenario_rejects_one_phase_api(self):
+        scenario = get_scenario("frontdoor")
+        with pytest.raises(TypeError, match="two-phase"):
+            scenario.build(seed=0)
+        with pytest.raises(TypeError, match="two-phase"):
+            scenario.execute(object())
+
+    def test_prepare_leaves_clock_at_zero(self):
+        # The whole point of the split: construction (loadgen populate,
+        # chaos schedule, snapshot callbacks) must not advance sim time,
+        # so a recorder installed afterwards still sees every event.
+        facility, finish = get_scenario("frontdoor").prepare(0)
+        assert facility.sim.now == 0.0
+        assert callable(finish)
+
+    def test_same_seed_trace_diff_passes(self):
+        report = check_determinism(
+            facility_run(get_scenario("frontdoor")), seed=7)
+        assert report.identical, report.describe()
+        assert report.events > 100  # the drill actually ran
+
+    def test_tie_shuffle_race_detector_passes(self):
+        scenario = get_scenario("frontdoor")
+        report = check_races(
+            facility_run(scenario), seed=7,
+            allowed=scenario.races_allowed)
+        assert report.ok, report.describe()
+        assert report.outcome_matches
+
+    def test_snapshot_carries_drill_gates(self):
+        _facility, finish = get_scenario("frontdoor").prepare(0)
+        snapshot = finish()
+        assert snapshot["failures"] == []
+        assert snapshot["silent_loss"] == 0
+        assert snapshot["submitted"] > 0
+        assert [name for name, *_ in snapshot["phases"]] == [
+            "baseline", "ramp", "surge", "recovery"]
+
+    def test_prepare_finish_matches_run_overload_drill(self):
+        from repro.frontdoor.drill import (
+            prepare_overload_drill, run_overload_drill)
+
+        _f1, result_direct = run_overload_drill(
+            seed=3, scale=0.2, duration_scale=0.2)
+        _f2, finish = prepare_overload_drill(
+            seed=3, scale=0.2, duration_scale=0.2)
+        result_split = finish()
+        assert result_split.fingerprint() == result_direct.fingerprint()
