@@ -15,6 +15,11 @@ at least a 2x reduction against them.  The run must stay bit-for-bit
 deterministic: two same-seed runs must agree on every seed-determined
 measurement.
 
+The **fluid arm** runs the same scenario with rate-interval ingest (bulk
+buffer/storage operations on a zero-jitter workload) over the
+calendar-queue scheduler and gates on a >= 10x calls/frame reduction
+against the same merge-base baseline, with its own determinism twin.
+
 ``LSDF_BENCH_TINY=1`` shrinks the horizon for CI smoke runs.
 """
 
@@ -33,14 +38,15 @@ _INSTRUMENTS = 2 if _TINY else 6
 # 29,121,138 calls.
 _BASELINE_CALLS_PER_FRAME = 3148.0 if _TINY else 3499.3
 _MIN_SPEEDUP = 2.0
+_MIN_FLUID_SPEEDUP = 10.0
 
 
-def _measure():
+def _measure(fluid: bool = False):
     # Warm-up run (flushes lazy imports out of the profiled region) doubles
     # as the determinism twin; the profiled run supplies the gate metric.
-    warm = run_hotpath(hours=_SIM_HOURS, instruments=_INSTRUMENTS)
+    warm = run_hotpath(hours=_SIM_HOURS, instruments=_INSTRUMENTS, fluid=fluid)
     profiled = run_hotpath(
-        hours=_SIM_HOURS, instruments=_INSTRUMENTS, profile=True
+        hours=_SIM_HOURS, instruments=_INSTRUMENTS, profile=True, fluid=fluid
     )
     return warm, profiled
 
@@ -88,4 +94,41 @@ def test_e16_hotpath_speedup(benchmark, report):
         f"calls/frame {profiled.calls_per_frame:,.1f} is only "
         f"{speedup:.2f}x better than the {_BASELINE_CALLS_PER_FRAME:,.1f} "
         f"baseline (need >= {_MIN_SPEEDUP:.1f}x)"
+    )
+
+
+def test_e16_fluid_arm_speedup(benchmark, report):
+    warm, profiled = benchmark.pedantic(
+        _measure, args=(True,), rounds=1, iterations=1)
+    speedup = _BASELINE_CALLS_PER_FRAME / profiled.calls_per_frame
+    report(
+        "E16-fluid", "fluid-event kernel: rate-interval ingest + "
+        "calendar-queue scheduler",
+        [
+            ("frames acquired", "-", f"{profiled.frames:,}"),
+            ("background flows", "-", f"{profiled.background_flows:,}"),
+            ("events scheduled", "vs per-frame arm's O(frames)",
+             f"{profiled.events_scheduled:,}"),
+            ("events/sec (wall)", "informational",
+             f"{warm.events_per_second:,.0f}"),
+            ("interpreter calls/frame", f"{_BASELINE_CALLS_PER_FRAME:,.1f} "
+             "at merge base", f"{profiled.calls_per_frame:,.1f}"),
+            ("calls/frame reduction", f">= {_MIN_FLUID_SPEEDUP:.1f}x",
+             f"{speedup:.2f}x"),
+            ("fair-share solves (skipped)", "-",
+             f"{profiled.solves:,} ({profiled.solves_skipped:,} skipped)"),
+            ("wall-clock (unprofiled)", "informational",
+             fmt_duration(warm.wall_seconds)),
+        ],
+    )
+    # Determinism twin: the fluid arm must be exactly as reproducible as
+    # the per-frame arm (profiling observes, never perturbs).
+    assert warm.deterministic() == profiled.deterministic()
+    assert profiled.frames > 0 and profiled.background_flows > 0
+    # The tentpole gate: rate-interval ingest cuts interpreter work per
+    # frame at least 10x against the PR 5 merge-base baseline.
+    assert speedup >= _MIN_FLUID_SPEEDUP, (
+        f"fluid calls/frame {profiled.calls_per_frame:,.1f} is only "
+        f"{speedup:.2f}x better than the {_BASELINE_CALLS_PER_FRAME:,.1f} "
+        f"baseline (need >= {_MIN_FLUID_SPEEDUP:.1f}x)"
     )

@@ -153,6 +153,35 @@ def _run_standard(facility: Facility) -> dict:
     return snapshot
 
 
+def _fluid_config() -> FacilityConfig:
+    """The canonical facility in fluid-event mode: rate-interval ingest
+    over the calendar-queue scheduler (the full fluid kernel stack)."""
+    cfg = lsdf_2011_config()
+    cfg.fluid_ingest = True
+    cfg.scheduler = "calendar"
+    return cfg
+
+
+def _run_fluid(facility: Facility) -> dict:
+    """Three sim-minutes of fluid-mode (zero-jitter, bulk-batched) ingest
+    with an array brown-out in the middle: rate intervals must break at
+    the incident boundary, placement must fail over, and conservation
+    must still close exactly."""
+    from repro.core.chaos import ChaosSchedule, Incident
+
+    schedule = ChaosSchedule([
+        Incident(at=60.0, kind="array_degraded",
+                 target=(facility.arrays[0].name,), repair_after=60.0),
+    ])
+    schedule.run(facility)
+    report = facility.simulate_microscopy_day(duration=180.0)
+    snapshot = _invariants(facility.stats())
+    snapshot["ingest_frames"] = report.frames_ingested
+    snapshot["ingest_frames_acquired"] = report.frames_acquired
+    snapshot["ingest_unaccounted"] = report.frames_unaccounted
+    return snapshot
+
+
 def _prepare_frontdoor(seed: int):
     """A shrunken overload drill (20% scale and duration): admission
     control, fair queueing, deadline propagation and chaos injection all
@@ -198,6 +227,13 @@ SCENARIOS: dict[str, Scenario] = {
                         "(speculation ablated: it races by design)",
             run=_run_standard,
             config=_no_speculation_config,
+        ),
+        Scenario(
+            name="fluid",
+            description="3-minute fluid-mode ingest (rate intervals + "
+                        "calendar queue) with an array brown-out",
+            run=_run_fluid,
+            config=_fluid_config,
         ),
         Scenario(
             name="frontdoor",

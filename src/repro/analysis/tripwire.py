@@ -15,7 +15,10 @@ import random as _stdlib_random
 from contextlib import contextmanager
 from typing import Iterator
 
-import numpy as _np
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
 
 _STDLIB_FUNCS = (
     "random", "uniform", "randint", "randrange", "choice", "choices",
@@ -50,7 +53,7 @@ def rng_tripwire() -> Iterator[None]:
         name: getattr(_stdlib_random, name)
         for name in _STDLIB_FUNCS if hasattr(_stdlib_random, name)
     }
-    saved_numpy = {
+    saved_numpy = {} if _np is None else {
         name: getattr(_np.random, name)
         for name in _NUMPY_FUNCS if hasattr(_np.random, name)
     }

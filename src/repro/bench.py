@@ -105,6 +105,8 @@ def run_hotpath(
     instruments: int = 6,
     agents: int = 4,
     profile: bool = False,
+    fluid: bool = False,
+    scheduler: str = "heap",
 ) -> HotpathResult:
     """Run the E16 high-concurrency ingest+backbone scenario once.
 
@@ -116,13 +118,26 @@ def run_hotpath(
     rebalance pressure, which is exactly what the incremental engine
     optimises.
 
+    ``fluid=True`` runs the fluid-event arm: deterministic (zero-jitter)
+    microscopes coalesced into rate intervals, bulk buffer/storage
+    operations, and the calendar-queue scheduler unless ``scheduler``
+    overrides it.  The deterministic workload is an arm *parameter* — the
+    fluid-off and fluid-on arms are only comparable to each other within
+    the same workload shape, which is why the bench runs both arms itself.
+
     With ``profile=True`` the simulation runs under :mod:`cProfile` and
     :attr:`HotpathResult.interpreter_calls` carries the deterministic
     total-call count (the perf-gate metric; wall-clock is informational).
     """
-    fac = Facility(seed=seed)
+    from repro.core.config import lsdf_2011_config
+
+    cfg = lsdf_2011_config()
+    cfg.scheduler = "calendar" if fluid and scheduler == "heap" else scheduler
+    cfg.fluid_ingest = fluid
+    fac = Facility(config=cfg, seed=seed)
     pipeline = fac.ingest_pipeline(
-        zebrafish_microscopes(instruments=instruments), agents=agents
+        zebrafish_microscopes(instruments=instruments, deterministic=fluid),
+        agents=agents,
     )
     endpoints = (
         fac.names.daq
@@ -226,6 +241,13 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
                         help="microscopes feeding ingest (default: 6)")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and report calls/frame")
+    parser.add_argument("--fluid", action="store_true",
+                        help="run the fluid-event arm (rate-interval "
+                             "ingest over the calendar-queue scheduler)")
+    parser.add_argument("--scheduler", default="heap",
+                        choices=("heap", "calendar"),
+                        help="event-queue backend (default: heap; "
+                             "--fluid implies calendar unless set)")
     args = parser.parse_args(list(argv) if argv is not None else None)
 
     worker = functools.partial(
@@ -233,6 +255,8 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         hours=args.hours,
         instruments=args.instruments,
         profile=args.profile,
+        fluid=args.fluid,
+        scheduler=args.scheduler,
     )
     results = run_sweep(worker, args.seeds, jobs=args.jobs)
 

@@ -91,7 +91,7 @@ class Facility:
     ):
         self.config = config or lsdf_2011_config()
         cfg = self.config
-        self.sim = Simulator(seed=seed)
+        self.sim = Simulator(seed=seed, scheduler=cfg.scheduler)
         # The telemetry spine must exist before any subsystem registers an
         # instrument: `enabled` only takes effect at hub-creation time.
         self.telemetry = TelemetryHub.for_sim(
@@ -124,7 +124,8 @@ class Facility:
             rack_hosts.append(hosts)
         names.cluster = [h for hosts in rack_hosts for h in hosts]
         self.net = Network(
-            self.sim, topo, sharing=cfg.sharing, efficiency=cfg.network_efficiency
+            self.sim, topo, sharing=cfg.sharing, efficiency=cfg.network_efficiency,
+            vector_threshold=cfg.fluid_solver_threshold,
         )
 
         # -- storage estate ------------------------------------------------------
@@ -371,6 +372,8 @@ class Facility:
         sink = StorageSink(self.pool, self.array_nodes)
         kwargs.setdefault("resilience", self.resilience)
         kwargs.setdefault("transfer_timeout", self.config.ingest_transfer_timeout)
+        kwargs.setdefault("fluid", self.config.fluid_ingest)
+        kwargs.setdefault("fluid_chunk", self.config.fluid_chunk_frames)
         return IngestPipeline(
             self.sim,
             self.net,
@@ -383,10 +386,18 @@ class Facility:
         )
 
     def simulate_microscopy_day(
-        self, duration: float = units.DAY, rate: str = "frames", **kwargs
+        self, duration: float = units.DAY, rate: str = "frames",
+        deterministic: Optional[bool] = None, **kwargs
     ) -> IngestReport:
-        """Run the zebrafish screens for ``duration`` at the paper's rate."""
-        pipeline = self.ingest_pipeline(zebrafish_microscopes(rate=rate), **kwargs)
+        """Run the zebrafish screens for ``duration`` at the paper's rate.
+
+        ``deterministic`` zeroes the arrival/size jitter; it defaults to
+        the fluid-ingest setting, since fluid mode requires it."""
+        if deterministic is None:
+            deterministic = kwargs.get("fluid", self.config.fluid_ingest)
+        pipeline = self.ingest_pipeline(
+            zebrafish_microscopes(rate=rate, deterministic=deterministic),
+            **kwargs)
         return pipeline.run(duration)
 
     def load_into_hdfs(self, hdfs_path: str, size: float,

@@ -10,6 +10,8 @@ time-averaged backlog and any drops.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.simkit.core import Simulator
 from repro.simkit.events import Event
 from repro.simkit.monitor import TimeWeighted
@@ -57,6 +59,21 @@ class DaqBuffer:
                      "Bytes currently staged in the DAQ buffer",
                      unit="bytes", buffer=name)
         self._space_waiters: list[tuple[Event, float]] = []
+        # Fluid-mode batch lane: frames arriving via offer_bulk() live in a
+        # plain deque (no per-frame Store events) and are drained by
+        # take_bulk().  A buffer is either per-frame or bulk for its whole
+        # life — mixing the lanes would let frames overtake each other.
+        self._bulk: deque[ImageDescriptor] = deque()
+        self._bulk_waiters: list[Event] = []
+        self._lane: str | None = None
+
+    def _enter_lane(self, lane: str) -> None:
+        if self._lane is None:
+            self._lane = lane
+        elif self._lane != lane:
+            raise RuntimeError(
+                f"DaqBuffer {self.name!r} is in {self._lane!r} mode; "
+                f"per-frame and bulk APIs cannot be mixed on one buffer")
 
     @property
     def backlog_bytes(self) -> float:
@@ -66,7 +83,7 @@ class DaqBuffer:
     @property
     def backlog_frames(self) -> int:
         """Frames currently buffered."""
-        return self._store.size
+        return self._store.size + len(self._bulk)
 
     # -- producer side --------------------------------------------------------
     def offer(self, frame: ImageDescriptor) -> Event:
@@ -75,6 +92,7 @@ class DaqBuffer:
         Returns an event that fires when the frame is accepted (or, under
         the drop policy, immediately — with value ``None`` for a drop).
         """
+        self._enter_lane("frame")
         self.offered.add(1)
         if self._bytes + frame.size > self.capacity_bytes:
             if self.policy == "drop":
@@ -100,15 +118,87 @@ class DaqBuffer:
         self.backlog.set(self.sim.now, self._bytes)
         self._store.put(frame)
 
+    # -- bulk (fluid-mode) producer side -----------------------------------------
+    def offer_bulk(self, frames) -> Event:
+        """Submit a batch of frames in one call (fluid-mode fast path).
+
+        Counters, backlog accounting and the block/drop policy behave
+        exactly as if each frame had been offered individually, but the
+        buffer spends O(1) events per *batch* instead of per frame.
+        Returns an event carrying the list of accepted frames (drops are
+        excluded under the drop policy).
+        """
+        self._enter_lane("bulk")
+        frames = list(frames)
+        self.offered.add(len(frames))
+        if self.policy == "drop":
+            accepted = []
+            for frame in frames:
+                if self._bytes + frame.size > self.capacity_bytes:
+                    self.dropped.add(1)
+                else:
+                    self._accept_bulk(frame)
+                    accepted.append(frame)
+            done = self.sim.event(name=f"{self.name}.bulk_accepted")
+            done.succeed(accepted)
+            return done
+        return self.sim.process(self._blocking_offer_bulk(frames))
+
+    def _blocking_offer_bulk(self, frames):
+        for frame in frames:
+            while self._bytes + frame.size > self.capacity_bytes:
+                waiter = self.sim.event(name=f"{self.name}.space")
+                self._space_waiters.append((waiter, float(frame.size)))
+                yield waiter
+            self._accept_bulk(frame)
+        return frames
+
+    def _accept_bulk(self, frame: ImageDescriptor) -> None:
+        self._bytes += frame.size
+        self.backlog.set(self.sim.now, self._bytes)
+        self._bulk.append(frame)
+        if self._bulk_waiters:
+            self._bulk_waiters.pop(0).succeed()
+
     # -- consumer side -----------------------------------------------------------
     def take(self) -> Event:
         """Remove the oldest buffered frame (blocks while empty)."""
+        self._enter_lane("frame")
         return self.sim.process(self._take())
 
     def _take(self):
         frame: ImageDescriptor = yield self._store.get()
         self._bytes -= frame.size
         self.backlog.set(self.sim.now, self._bytes)
+        self._wake_producers()
+        return frame
+
+    def take_bulk(self, max_frames: int) -> Event:
+        """Remove up to ``max_frames`` buffered frames (blocks while empty).
+
+        The returned event carries a non-empty list of frames in arrival
+        order.  Pairs with :meth:`offer_bulk`.
+        """
+        self._enter_lane("bulk")
+        if max_frames < 1:
+            raise ValueError("take_bulk needs max_frames >= 1")
+        return self.sim.process(self._take_bulk(int(max_frames)))
+
+    def _take_bulk(self, max_frames: int):
+        while not self._bulk:
+            waiter = self.sim.event(name=f"{self.name}.bulk_available")
+            self._bulk_waiters.append(waiter)
+            yield waiter
+        batch: list[ImageDescriptor] = []
+        while self._bulk and len(batch) < max_frames:
+            frame = self._bulk.popleft()
+            self._bytes -= frame.size
+            batch.append(frame)
+        self.backlog.set(self.sim.now, self._bytes)
+        self._wake_producers()
+        return batch
+
+    def _wake_producers(self) -> None:
         # Wake blocked producers whose frames now fit, FIFO.
         while self._space_waiters:
             waiter, size = self._space_waiters[0]
@@ -116,4 +206,3 @@ class DaqBuffer:
                 break
             self._space_waiters.pop(0)
             waiter.succeed()
-        return frame

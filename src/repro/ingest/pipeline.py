@@ -8,16 +8,24 @@ against the paper (frames/day, TB/day, latency, backlog, drops).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+
 from repro.simkit.core import Simulator
 from repro.simkit import units
+from repro.simkit.monitor import _percentile
 from repro.telemetry.hub import TelemetryHub
 from repro.netsim.network import Network
 from repro.metadata.store import MetadataStore
 from repro.resilience.kit import ResilienceKit
 from repro.ingest.daq import DaqBuffer
+from repro.ingest.fluid import FluidAcquisition
 from repro.ingest.microscope import HighThroughputMicroscope, MicroscopeConfig
 from repro.ingest.transfer import StorageSink, TransferAgent
 
@@ -107,18 +115,30 @@ class IngestPipeline:
         resilience: Optional[ResilienceKit] = None,
         transfer_timeout: Optional[float] = None,
         on_error: str = "raise",
+        fluid: bool = False,
+        fluid_chunk: int = 64,
     ):
         self.sim = sim
         self.resilience = resilience
+        self.fluid = bool(fluid)
         # A per-pipeline prefix keeps agent/buffer label values unique when
         # several pipelines share one facility (and hence one registry).
         prefix = TelemetryHub.for_sim(sim).unique_name("pipeline")
         self.buffer = DaqBuffer(sim, buffer_bytes, policy=buffer_policy,
                                 name=f"{prefix}.daq")
-        self.microscopes = [
-            HighThroughputMicroscope(sim, cfg, rng=sim.random.spawn(f"scope.{cfg.name}"))
-            for cfg in microscope_configs
-        ]
+        if self.fluid:
+            # FluidAcquisition refuses stochastic configs at construction,
+            # so a mis-configured fluid run fails loudly here, not subtly.
+            self.microscopes = [
+                FluidAcquisition(sim, cfg, rng=sim.random.spawn(f"scope.{cfg.name}"),
+                                 chunk_frames=fluid_chunk)
+                for cfg in microscope_configs
+            ]
+        else:
+            self.microscopes = [
+                HighThroughputMicroscope(sim, cfg, rng=sim.random.spawn(f"scope.{cfg.name}"))
+                for cfg in microscope_configs
+            ]
         self.agents = [
             TransferAgent(
                 sim,
@@ -143,7 +163,10 @@ class IngestPipeline:
         for scope in self.microscopes:
             scope.run(self.buffer, duration=duration)
         for agent in self.agents:
-            agent.start()
+            if self.fluid:
+                agent.start_fluid()
+            else:
+                agent.start()
         self.sim.run(until=self.sim.now + duration)
         # Acquisition over: give agents time to drain, then stop them.
         self.sim.run(until=self.sim.now + drain_grace)
@@ -156,18 +179,26 @@ class IngestPipeline:
         frames_acquired = sum(m.frames_emitted for m in self.microscopes)
         frames_ingested = int(sum(a.ingested.value for a in self.agents))
         all_latency = [v for a in self.agents for v in a.latency.values()]
-        import numpy as np
-
-        lat = np.asarray(all_latency) if all_latency else np.asarray([float("nan")])
+        if np is not None:
+            lat = np.asarray(all_latency) if all_latency else np.asarray([float("nan")])
+            latency_mean = float(np.mean(lat))
+            latency_p95 = float(np.percentile(lat, 95))
+            latency_max = float(np.max(lat))
+        elif all_latency:
+            latency_mean = math.fsum(all_latency) / len(all_latency)
+            latency_p95 = _percentile(all_latency, 95)
+            latency_max = max(all_latency)
+        else:
+            latency_mean = latency_p95 = latency_max = float("nan")
         return IngestReport(
             duration=duration,
             frames_acquired=frames_acquired,
             frames_ingested=frames_ingested,
             frames_dropped=int(self.buffer.dropped.value),
             bytes_ingested=sum(a.bytes_moved.value for a in self.agents),
-            latency_mean=float(np.mean(lat)),
-            latency_p95=float(np.percentile(lat, 95)),
-            latency_max=float(np.max(lat)),
+            latency_mean=latency_mean,
+            latency_p95=latency_p95,
+            latency_max=latency_max,
             backlog_mean_bytes=self.buffer.backlog.mean(self.sim.now),
             backlog_peak_bytes=self.buffer.backlog.max,
             frames_dead_lettered=int(sum(a.dead_lettered.value for a in self.agents)),

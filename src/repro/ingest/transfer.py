@@ -156,10 +156,21 @@ class TransferAgent:
             "ingest.frames_lost_total",
             'Frames dropped by the on_error="drop" ablation', agent=name)
         self._stop = False
+        self._bulk_writes = False
 
     def start(self):
         """Launch the agent's drain loop (runs until :meth:`stop`)."""
         return self.sim.process(self._run(), name=f"ingest:{self.name}")
+
+    def start_fluid(self):
+        """Launch the bulk drain loop (fluid-mode counterpart of
+        :meth:`start`): batches come out of the buffer through
+        :meth:`~repro.ingest.daq.DaqBuffer.take_bulk` and land on storage
+        through one aggregate :meth:`~repro.storage.pool.StoragePool.write_bulk`
+        per batch, with the same per-frame registration, accounting and
+        resilience machinery as the per-frame loop."""
+        self._bulk_writes = True
+        return self.sim.process(self._run_fluid(), name=f"ingest:{self.name}")
 
     def stop(self) -> None:
         """Ask the loop to exit after the current batch."""
@@ -176,6 +187,24 @@ class TransferAgent:
                 batch.append((yield self.buffer.take()))
             yield self.sim.process(self._ingest_batch(batch))
         return self.ingested.value
+
+    def _run_fluid(self) -> Generator:
+        while not self._stop:
+            batch = yield self.buffer.take_bulk(self.batch_size)
+            yield self.sim.process(self._ingest_batch(batch))
+        return self.ingested.value
+
+    def _write_frames(self, frames: list[ImageDescriptor],
+                      exclude=None) -> list:
+        """Storage-write events for a batch: one per frame on the
+        per-frame path, a single aggregate write on the fluid path."""
+        if self._bulk_writes and len(frames) > 1:
+            items = [(f.image_id, f.size, {"plate": f.plate, "well": f.well})
+                     for f in frames]
+            return [self.sink.pool.write_bulk(items, exclude=exclude)]
+        return [self.sink.pool.write(f.image_id, f.size, exclude=exclude,
+                                     plate=f.plate, well=f.well)
+                for f in frames]
 
     def _ingest_batch(self, batch: list[ImageDescriptor]) -> Generator:
         kit = self.resilience
@@ -198,10 +227,7 @@ class TransferAgent:
         yield self.net.transfer(self.src_node, dst_node, total, name=f"{self.name}.batch")
         # Storage writes + checksum per frame (writes share the array's
         # bandwidth; checksums are CPU at the intake and overlap them).
-        writes = []
-        for frame in batch:
-            writes.append(self.sink.pool.write(frame.image_id, frame.size,
-                                               plate=frame.plate, well=frame.well))
+        writes = self._write_frames(batch)
         checksum_time = total / self.checksum_rate
         if checksum_time > 0:
             writes.append(self.sim.timeout(checksum_time))
@@ -242,11 +268,7 @@ class TransferAgent:
                         xfer = with_timeout(self.sim, xfer, self.transfer_timeout,
                                             label=f"{self.name}.batch")
                     yield xfer
-                    writes = []
-                    for frame in to_move:
-                        writes.append(self.sink.pool.write(
-                            frame.image_id, frame.size, exclude=effective,
-                            plate=frame.plate, well=frame.well))
+                    writes = self._write_frames(to_move, exclude=effective)
                     checksum_time = nbytes / self.checksum_rate
                     if checksum_time > 0:
                         writes.append(self.sim.timeout(checksum_time))

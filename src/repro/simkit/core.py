@@ -1,19 +1,22 @@
 """The simulation event loop.
 
-:class:`Simulator` owns the clock and the event heap.  Events are totally
+:class:`Simulator` owns the clock and the event queue.  Events are totally
 ordered by ``(time, priority, sequence-number)`` which — together with seeded
 random streams — makes every simulation in this repository bit-for-bit
-reproducible.
+reproducible.  The queue itself is a pluggable backend (see
+:mod:`repro.simkit.sched`): the default binary heap, or a calendar queue for
+timer-heavy regimes; both produce the identical pop order, so the scheduler
+choice never changes a trace.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.simkit.errors import SimkitError, StopSimulation
 from repro.simkit.events import NORMAL, AllOf, AnyOf, Callback, Event, Process, Timeout
 from repro.simkit.rand import RandomSource
+from repro.simkit.sched import make_scheduler
 
 _INFINITY = float("inf")
 
@@ -29,6 +32,10 @@ class Simulator:
         so adding a new consumer never perturbs existing ones.
     start:
         Initial simulation time (seconds).
+    scheduler:
+        Event-queue backend: ``"heap"`` (default), ``"calendar"``, or a
+        pre-built :mod:`repro.simkit.sched` instance.  Backends are
+        pop-order identical; the knob only trades constant factors.
 
     Example
     -------
@@ -42,9 +49,10 @@ class Simulator:
     3.5
     """
 
-    def __init__(self, seed: Optional[int] = 0, start: float = 0.0):
+    def __init__(self, seed: Optional[int] = 0, start: float = 0.0,
+                 scheduler: Any = "heap"):
         self._now = float(start)
-        self._heap: list[tuple[float, int, int, int, Event]] = []
+        self._sched = make_scheduler(scheduler)
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.random = RandomSource(seed)
@@ -87,6 +95,11 @@ class Simulator:
         """The process currently being resumed, if any."""
         return self._active_process
 
+    @property
+    def scheduler(self):
+        """The event-queue backend instance (see :mod:`repro.simkit.sched`)."""
+        return self._sched
+
     # -- event creation --------------------------------------------------------
     def event(self, name: Optional[str] = None) -> Event:
         """Create a pending :class:`Event` owned by this simulator."""
@@ -125,16 +138,16 @@ class Simulator:
             raise SimkitError(f"cannot schedule event in the past (delay={delay})")
         self._seq += 1
         if self._tie_rng is None:
-            heapq.heappush(self._heap, (self._now + delay, priority, 0, self._seq, event))
+            self._sched.push((self._now + delay, priority, 0, self._seq, event))
         else:
             tie = int(self._tie_rng.generator.integers(0, 2**31))
-            heapq.heappush(self._heap, (self._now + delay, priority, tie, self._seq, event))
+            self._sched.push((self._now + delay, priority, tie, self._seq, event))
 
     # -- execution ---------------------------------------------------------------
     @property
     def queue_empty(self) -> bool:
         """True when no future events remain."""
-        return not self._heap
+        return not self._sched
 
     @property
     def events_scheduled(self) -> int:
@@ -143,7 +156,22 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else _INFINITY
+        return self._sched.peek_time()
+
+    def _dispatch(self, when: float, prio: int, seq: int, event: Event) -> None:
+        """Process one popped event: advance the clock, tap the trace
+        hooks, run the event, escalate undefused failures.
+
+        This is the *single* event-execution path — :meth:`step` and
+        :meth:`run` both land here, so the stepping path and the run loop
+        cannot drift apart.
+        """
+        self._now = when
+        for hook in self.trace_hooks:
+            hook(when, prio, seq, event)
+        event._process()
+        if event._exception is not None and not event.defused:
+            raise event._exception
 
     def step(self) -> None:
         """Pop and process the single next event.
@@ -153,15 +181,10 @@ class Simulator:
         programming errors inside processes surface instead of being
         silently dropped.
         """
-        if not self._heap:
+        if not self._sched:
             raise SimkitError("step() on an empty event queue")
-        when, prio, _tie, seq, event = heapq.heappop(self._heap)
-        self._now = when
-        for hook in self.trace_hooks:
-            hook(when, prio, seq, event)
-        event._process()
-        if event.failed and not event.defused:
-            raise event._exception  # type: ignore[misc]
+        when, prio, _tie, seq, event = self._sched.pop()
+        self._dispatch(when, prio, seq, event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the event loop.
@@ -186,28 +209,22 @@ class Simulator:
             if stop_time < self._now:
                 raise SimkitError(f"run(until={stop_time}) is in the past (now={self._now})")
 
-        # The loop body inlines step()/peek() for the common case (no trace
-        # hooks installed): one heappop, one _process, one failure check per
-        # event, with no method-call or property overhead.  When hooks are
-        # present (the sanitizer's tap) it falls back to step() so traced
-        # and untraced runs execute identical event logic.
-        heap = self._heap
-        heappop = heapq.heappop
+        # The loop binds the scheduler's methods once; every pop funnels
+        # through _dispatch (shared with step()) so traced and untraced
+        # runs execute identical event logic.
+        sched = self._sched
+        pop = sched.pop
+        peek = sched.peek_time
+        dispatch = self._dispatch
         try:
-            while heap:
+            while sched:
                 if stop_event is not None and stop_event._state == Event.PROCESSED:
                     return stop_event._value if stop_event._exception is None else None
-                if heap[0][0] > stop_time:
+                if peek() > stop_time:
                     self._now = stop_time
                     return None
-                if self.trace_hooks:
-                    self.step()
-                    continue
-                when, _prio, _tie, _seq, event = heappop(heap)
-                self._now = when
-                event._process()
-                if event._exception is not None and not event.defused:
-                    raise event._exception
+                when, prio, _tie, seq, event = pop()
+                dispatch(when, prio, seq, event)
         except StopSimulation:
             return None
         if stop_event is not None:
@@ -219,4 +236,4 @@ class Simulator:
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self._now:.6g} queued={len(self._heap)}>"
+        return f"<Simulator t={self._now:.6g} queued={len(self._sched)}>"

@@ -15,10 +15,27 @@ Four collectors cover the reporting needs of the whole reproduction:
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Optional, Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Pure-python linear-interpolation percentile (numpy's default
+    method), used when numpy is not installed."""
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] + (data[hi] - data[lo]) * frac
 
 
 class Tally:
@@ -40,35 +57,58 @@ class Tally:
     @property
     def mean(self) -> float:
         """Sample mean (NaN when empty)."""
-        return float(np.mean(self._samples)) if self._samples else math.nan
+        if not self._samples:
+            return math.nan
+        if np is not None:
+            return float(np.mean(self._samples))
+        return math.fsum(self._samples) / len(self._samples)
 
     @property
     def std(self) -> float:
         """Sample standard deviation (ddof=0; NaN when empty)."""
-        return float(np.std(self._samples)) if self._samples else math.nan
+        if not self._samples:
+            return math.nan
+        if np is not None:
+            return float(np.std(self._samples))
+        mean = self.mean
+        return math.sqrt(
+            math.fsum((v - mean) ** 2 for v in self._samples)
+            / len(self._samples))
 
     @property
     def min(self) -> float:
         """Smallest sample (NaN when empty)."""
-        return float(np.min(self._samples)) if self._samples else math.nan
+        if not self._samples:
+            return math.nan
+        return float(np.min(self._samples)) if np is not None else min(self._samples)
 
     @property
     def max(self) -> float:
         """Largest sample (NaN when empty)."""
-        return float(np.max(self._samples)) if self._samples else math.nan
+        if not self._samples:
+            return math.nan
+        return float(np.max(self._samples)) if np is not None else max(self._samples)
 
     @property
     def total(self) -> float:
         """Sum of all samples."""
-        return float(np.sum(self._samples)) if self._samples else 0.0
+        if not self._samples:
+            return 0.0
+        return float(np.sum(self._samples)) if np is not None else math.fsum(self._samples)
 
     def percentile(self, q: float) -> float:
         """The q-th percentile (0..100) of the samples (NaN when empty)."""
-        return float(np.percentile(self._samples, q)) if self._samples else math.nan
+        if not self._samples:
+            return math.nan
+        if np is not None:
+            return float(np.percentile(self._samples, q))
+        return _percentile(self._samples, q)
 
-    def values(self) -> np.ndarray:
-        """All samples as an array (copy)."""
-        return np.asarray(self._samples, dtype=float)
+    def values(self):
+        """All samples as an array (copy; a plain list without numpy)."""
+        if np is not None:
+            return np.asarray(self._samples, dtype=float)
+        return [float(v) for v in self._samples]
 
     def summary(self) -> dict:
         """Dict of the headline statistics."""
@@ -129,18 +169,28 @@ class TimeSeries:
     def __len__(self) -> int:
         return len(self.times)
 
-    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """``(times, values)`` as numpy arrays (copies)."""
-        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+    def as_arrays(self):
+        """``(times, values)`` as numpy arrays (copies; lists without numpy)."""
+        if np is not None:
+            return (np.asarray(self.times, dtype=float),
+                    np.asarray(self.values, dtype=float))
+        return list(self.times), list(self.values)
 
-    def resample(self, times: Sequence[float]) -> np.ndarray:
+    def resample(self, times: Sequence[float]):
         """Zero-order-hold resample at the requested times."""
         if not self.times:
             raise ValueError("resample of empty TimeSeries")
-        src_t, src_v = self.as_arrays()
-        idx = np.searchsorted(src_t, np.asarray(times, dtype=float), side="right") - 1
-        idx = np.clip(idx, 0, len(src_v) - 1)
-        return src_v[idx]
+        if np is not None:
+            src_t, src_v = self.as_arrays()
+            idx = np.searchsorted(src_t, np.asarray(times, dtype=float),
+                                  side="right") - 1
+            idx = np.clip(idx, 0, len(src_v) - 1)
+            return src_v[idx]
+        out = []
+        for t in times:
+            i = bisect.bisect_right(self.times, float(t)) - 1
+            out.append(self.values[max(0, min(i, len(self.values) - 1))])
+        return out
 
 
 class TimeWeighted:

@@ -6,22 +6,102 @@ Every stochastic component in the reproduction draws from a
 spawning, so each component owns an independent stream and adding a new
 consumer never perturbs the draws seen by existing ones — a prerequisite for
 run-to-run comparability of benchmark configurations.
+
+numpy is an *optional* extra (``pip install repro[fast]``): without it,
+:class:`RandomSource` falls back to a pure-python generator backed by
+:mod:`random` with the same method surface and the same spawn-independence
+guarantee.  The fallback draws come from a different bit stream than
+PCG64 — same-seed results are reproducible *within* a mode but not across
+the numpy/no-numpy boundary (every simulation is still single-mode, so
+bit-for-bit determinism holds wherever it held before).
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
+import random as _pyrandom  # lint: disable=stdlib-random -- fallback
+# generator backend for no-numpy installs: every instance is an explicitly
+# seeded random.Random(seed64), never the process-global functions.
 from typing import Optional, Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+
+#: numpy's scalar transcendentals when available (bit-compatibility with
+#: the historical draws), :mod:`math` otherwise.
+_log = math.log if np is None else np.log
+_sqrt = math.sqrt if np is None else np.sqrt
+
+
+class _FallbackSeedSequence:
+    """A minimal ``SeedSequence`` stand-in: entropy + spawn-key tuple."""
+
+    __slots__ = ("entropy", "spawn_key")
+
+    def __init__(self, entropy: Optional[int] = None, spawn_key: tuple = ()):
+        self.entropy = 0 if entropy is None else int(entropy)
+        self.spawn_key = tuple(spawn_key)
+
+    def _seed64(self) -> int:
+        material = repr((self.entropy, self.spawn_key)).encode("utf-8")
+        digest = hashlib.blake2b(material, digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+
+class _FallbackGenerator:
+    """``numpy.random.Generator`` method surface over :mod:`random`.
+
+    Scalar draws only — vectorised calls (``size=...``) require numpy and
+    raise :class:`TypeError` here, pointing at the ``[fast]`` extra.
+    """
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, seed64: int):
+        self._rng = _pyrandom.Random(seed64)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return low + (high - low) * self._rng.random()
+
+    def exponential(self, scale: float = 1.0) -> float:
+        return -scale * math.log(1.0 - self._rng.random())
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0) -> float:
+        return self._rng.gauss(loc, scale)
+
+    def lognormal(self, mean: float = 0.0, sigma: float = 1.0) -> float:
+        return math.exp(self._rng.gauss(mean, sigma))
+
+    def integers(self, low: int, high: Optional[int] = None, size=None) -> int:
+        if size is not None:
+            raise TypeError(
+                "vectorised integers(size=...) needs numpy "
+                "(pip install repro[fast])")
+        if high is None:
+            low, high = 0, low
+        return self._rng.randrange(low, high)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
 
 
 class RandomSource:
-    """A wrapper around ``numpy.random.Generator`` with named substreams."""
+    """A wrapper around ``numpy.random.Generator`` with named substreams
+    (pure-python fallback when numpy is not installed)."""
 
-    def __init__(self, seed: Optional[int] = 0, _seq: Optional[np.random.SeedSequence] = None):
-        self.seed_sequence = _seq if _seq is not None else np.random.SeedSequence(seed)
-        self.generator = np.random.Generator(np.random.PCG64(self.seed_sequence))
+    def __init__(self, seed: Optional[int] = 0, _seq=None):
+        if np is not None:
+            self.seed_sequence = (
+                _seq if _seq is not None else np.random.SeedSequence(seed))
+            self.generator = np.random.Generator(
+                np.random.PCG64(self.seed_sequence))
+        else:
+            self.seed_sequence = (
+                _seq if _seq is not None else _FallbackSeedSequence(seed))
+            self.generator = _FallbackGenerator(self.seed_sequence._seed64())
         self._children: dict[str, RandomSource] = {}
 
     def spawn(self, name: str) -> "RandomSource":
@@ -38,11 +118,14 @@ class RandomSource:
             # onto one substream, silently correlating draws that the model
             # treats as independent.
             digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
-            child_seq = np.random.SeedSequence(
-                entropy=self.seed_sequence.entropy,
-                spawn_key=self.seed_sequence.spawn_key
-                + (int.from_bytes(digest, "big") % (2**63),),
-            )
+            spawn_key = self.seed_sequence.spawn_key + (
+                int.from_bytes(digest, "big") % (2**63),)
+            if np is not None:
+                child_seq = np.random.SeedSequence(
+                    entropy=self.seed_sequence.entropy, spawn_key=spawn_key)
+            else:
+                child_seq = _FallbackSeedSequence(
+                    entropy=self.seed_sequence.entropy, spawn_key=spawn_key)
             self._children[name] = RandomSource(_seq=child_seq)
         return self._children[name]
 
@@ -64,9 +147,9 @@ class RandomSource:
         variation ``cv = std/mean`` (handy for service-time jitter)."""
         if mean <= 0:
             raise ValueError("lognormal mean must be positive")
-        sigma2 = np.log(1.0 + cv * cv)
-        mu = np.log(mean) - sigma2 / 2.0
-        return float(self.generator.lognormal(mu, np.sqrt(sigma2)))
+        sigma2 = _log(1.0 + cv * cv)
+        mu = _log(mean) - sigma2 / 2.0
+        return float(self.generator.lognormal(mu, _sqrt(sigma2)))
 
     def integers(self, low: int, high: int) -> int:
         """One integer draw in ``[low, high)``."""

@@ -1,0 +1,249 @@
+"""Pluggable event-queue backends for the simulation kernel.
+
+The kernel orders events by the 5-tuple ``(time, priority, tie, seq,
+event)`` and only ever needs three queue operations: ``push`` an entry,
+``pop`` the minimum, and ``peek_time`` at the minimum's timestamp.  This
+module factors that contract out of :class:`~repro.simkit.core.Simulator`
+so the backing structure is a construction-time choice:
+
+:class:`HeapScheduler`
+    The classic binary heap (``heapq``) — O(log n) per operation, minimal
+    constant factors, the default and the reference ordering oracle.
+
+:class:`CalendarQueueScheduler`
+    A calendar queue (Brown 1988): entries hash into time buckets of a
+    fixed width and the pop scan walks the current "day" forward, giving
+    O(1) amortised push/pop for the timer-heavy regimes fluid-mode runs
+    produce.  Each bucket is itself a small heap over the *full* 5-tuple,
+    and same-timestamp entries always land in the same bucket (the bucket
+    index is a pure function of the timestamp) — so the pop order is
+    **identical** to the heap's, tie-breaks included.  The differential
+    property tests (``tests/simkit/test_scheduler.py``) assert exact
+    pop-sequence equality between the two backends, which is what makes
+    the calendar queue trustworthy: same seed, same scheduler-independent
+    trace, byte for byte.
+
+Entries must be pushed with non-decreasing *pop* progress in mind — the
+kernel never schedules into the past — but the calendar queue tolerates
+out-of-order pushes anyway (an earlier push rewinds the scan cursor), so
+it is safe under ``call_at`` rewinds and priority games.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Any
+
+_INFINITY = float("inf")
+
+#: Entry tuples are ``(time, priority, tie, seq, event)`` — the kernel's
+#: total order.  Schedulers treat them opaquely beyond ``entry[0]``.
+Entry = tuple  # (float, int, int, int, Any)
+
+
+class HeapScheduler:
+    """The default binary-heap event queue (and the ordering oracle)."""
+
+    kind = "heap"
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[Entry] = []
+
+    def push(self, entry: Entry) -> None:
+        """Insert one entry."""
+        heappush(self._heap, entry)
+
+    def pop(self) -> Entry:
+        """Remove and return the minimum entry (IndexError when empty)."""
+        return heappop(self._heap)
+
+    def peek_time(self) -> float:
+        """Timestamp of the minimum entry, or ``inf`` when empty."""
+        heap = self._heap
+        return heap[0][0] if heap else _INFINITY
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HeapScheduler queued={len(self._heap)}>"
+
+
+class CalendarQueueScheduler:
+    """A calendar queue preserving the exact heap pop order.
+
+    Parameters
+    ----------
+    bucket_width:
+        Initial seconds per bucket (self-tunes at every resize).
+    nbuckets:
+        Initial bucket count (grows/shrinks by doubling/halving between
+        ``min_buckets`` and ``max_buckets`` as the population changes).
+
+    Ordering guarantee
+    ------------------
+    The bucket index of an entry depends only on its timestamp, so any
+    two entries with the same timestamp share a bucket, and each bucket
+    is a heap over the full ``(time, priority, tie, seq, event)`` tuple.
+    The scan pops a bucket's top only while it falls inside the current
+    day's window, then moves to the next day — which visits timestamps in
+    globally non-decreasing order.  Together that reproduces the binary
+    heap's total order exactly (the property tests compare the two pop
+    sequences element-wise).
+    """
+
+    kind = "calendar"
+
+    __slots__ = ("_buckets", "_nb", "_width", "_day", "_n", "_far",
+                 "_min_buckets", "_max_buckets", "_min_width")
+
+    def __init__(self, bucket_width: float = 1.0, nbuckets: int = 64,
+                 min_buckets: int = 16, max_buckets: int = 1 << 16) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be > 0")
+        if nbuckets < 1 or min_buckets < 1 or max_buckets < min_buckets:
+            raise ValueError("bad bucket-count bounds")
+        self._width = float(bucket_width)
+        self._min_width = 1e-9
+        self._nb = int(nbuckets)
+        self._min_buckets = int(min_buckets)
+        self._max_buckets = int(max_buckets)
+        self._buckets: list[list[Entry]] = [[] for _ in range(self._nb)]
+        #: Current scan day: the window ``[day*width, (day+1)*width)``.
+        self._day = 0
+        self._n = 0
+        #: Non-finite timestamps (``timeout(inf)``) cannot be bucketed;
+        #: they wait in a plain heap and sort after every finite entry.
+        self._far: list[Entry] = []
+
+    def push(self, entry: Entry) -> None:
+        """Insert one entry, rewinding the scan if it lands earlier."""
+        when = entry[0]
+        if not math.isfinite(when):
+            heappush(self._far, entry)
+            self._n += 1
+            return
+        day = int(when // self._width)
+        heappush(self._buckets[day % self._nb], entry)
+        self._n += 1
+        if day < self._day:
+            self._day = day
+        if (self._n - len(self._far) > (self._nb << 1)
+                and self._nb < self._max_buckets):
+            self._resize(self._nb << 1)
+
+    def pop(self) -> Entry:
+        """Remove and return the minimum entry (IndexError when empty)."""
+        if self._n == 0:
+            raise IndexError("pop from an empty CalendarQueueScheduler")
+        bucket = self._locate()
+        self._n -= 1
+        entry = heappop(bucket)
+        if (self._n - len(self._far) < (self._nb >> 2)
+                and self._nb > self._min_buckets):
+            self._resize(self._nb >> 1)
+        return entry
+
+    def peek_time(self) -> float:
+        """Timestamp of the minimum entry, or ``inf`` when empty.
+
+        Advances the scan cursor past empty days as a side effect (safe:
+        no entry precedes the committed cursor), so a peek immediately
+        followed by the pop costs one scan, not two.
+        """
+        if self._n == 0:
+            return _INFINITY
+        return self._locate()[0][0]
+
+    def _locate(self) -> list[Entry]:
+        """The bucket whose top is the global minimum (cursor committed).
+
+        Invariant on entry and exit: no finite entry's day precedes
+        ``self._day`` (pushes rewind the cursor).  The scan therefore
+        visits each bucket at most once per call; if a full lap finds
+        nothing in-window the region is sparse and we jump straight to
+        the earliest bucket top (never looping, even under floating-point
+        ``//`` edge cases — the jump returns its bucket directly).
+        """
+        buckets, nb, width = self._buckets, self._nb, self._width
+        if self._n == len(self._far):
+            return self._far
+        day = self._day
+        for _ in range(nb):
+            bucket = buckets[day % nb]
+            # The day of the bucket top is recomputed with the *same*
+            # floor division push used — a multiplied window bound
+            # ((day+1)*width) can disagree with ``//`` by one ulp and
+            # skip a bucket forever.
+            if bucket and int(bucket[0][0] // width) == day:
+                self._day = day
+                return bucket
+            day += 1
+        best_bucket: list[Entry] | None = None
+        best: Entry | None = None
+        for bucket in buckets:
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+                best_bucket = bucket
+        assert best_bucket is not None and best is not None
+        self._day = int(best[0] // width)
+        return best_bucket
+
+    def _resize(self, new_nb: int) -> None:
+        """Re-bucket everything into ``new_nb`` buckets, re-tuning width.
+
+        The new width targets ~2 entries per bucket over the queue's
+        current leading edge: twice the mean gap between the first (up
+        to) 256 distinct timestamps.  Deterministic — a pure function of
+        the queue contents — so same-seed runs resize identically.
+        """
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        times = sorted(entry[0] for entry in entries)
+        lead = times[:256]
+        gaps_total, gaps_n = 0.0, 0
+        for i in range(1, len(lead)):
+            gap = lead[i] - lead[i - 1]
+            if gap > 0.0:
+                gaps_total += gap
+                gaps_n += 1
+        if gaps_n:
+            self._width = max(2.0 * (gaps_total / gaps_n), self._min_width)
+        self._nb = new_nb
+        self._buckets = [[] for _ in range(new_nb)]
+        width = self._width
+        for entry in entries:
+            heappush(self._buckets[int(entry[0] // width) % new_nb], entry)
+        self._day = int(times[0] // width) if times else 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CalendarQueueScheduler queued={self._n} "
+                f"buckets={self._nb} width={self._width:.3g}>")
+
+
+#: Registry of scheduler backends selectable by name (the
+#: ``Simulator(scheduler=...)`` / ``FacilityConfig.scheduler`` knob).
+SCHEDULERS: dict[str, type] = {
+    HeapScheduler.kind: HeapScheduler,
+    CalendarQueueScheduler.kind: CalendarQueueScheduler,
+}
+
+
+def make_scheduler(spec: Any = "heap"):
+    """Resolve a scheduler spec: a registry name, ``None`` (default), or
+    an already-constructed backend instance (duck-typed)."""
+    if spec is None:
+        return HeapScheduler()
+    if isinstance(spec, str):
+        try:
+            return SCHEDULERS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {spec!r} (want one of "
+                f"{sorted(SCHEDULERS)})") from None
+    return spec

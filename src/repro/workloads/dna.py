@@ -15,17 +15,27 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from repro.simkit.rand import RandomSource
 from repro.mapreduce.local import LocalJob
 from repro.mapreduce.sim import JobSpec
 
-_BASES = np.frombuffer(b"ACGT", dtype=np.uint8)
+_BASES = None if np is None else np.frombuffer(b"ACGT", dtype=np.uint8)
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise RuntimeError(
+            "the DNA read generator needs numpy — install the [fast] extra")
 
 
 def generate_genome(length: int, rng: Optional[RandomSource] = None) -> str:
     """A uniform-random genome string of the given length."""
+    _require_numpy()
     if length < 1:
         raise ValueError("genome length must be >= 1")
     rng = rng or RandomSource(0)
@@ -41,6 +51,7 @@ def generate_reads(
     rng: Optional[RandomSource] = None,
 ) -> list[str]:
     """Shotgun reads: uniform start positions, optional substitution errors."""
+    _require_numpy()
     if read_length > len(genome):
         raise ValueError("read_length exceeds genome length")
     rng = rng or RandomSource(1)

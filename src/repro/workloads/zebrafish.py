@@ -61,6 +61,7 @@ def zebrafish_microscopes(
     instruments: int = 4,
     rate: str = "frames",
     scale: float = 1.0,
+    deterministic: bool = False,
 ) -> list[MicroscopeConfig]:
     """Instrument configs reproducing the paper's aggregate rate.
 
@@ -74,6 +75,10 @@ def zebrafish_microscopes(
     scale:
         Multiplier on the aggregate rate (projections: the 2012 estimate of
         1 PB/year is ``scale ≈ 3.4`` on the volume parameterisation).
+    deterministic:
+        Zero the arrival/size jitter (``arrival_cv = size_cv = 0``): the
+        exact-rate workload required by fluid-mode ingest and used by the
+        fluid/discrete differential tests.
     """
     if instruments < 1:
         raise ValueError("instruments must be >= 1")
@@ -85,11 +90,13 @@ def zebrafish_microscopes(
         frame_bytes = BYTES_PER_DAY_2011 / FRAMES_PER_DAY_2011  # 10 MB
     else:
         raise ValueError(f"unknown rate mode {rate!r}")
+    jitter = {} if not deterministic else {"arrival_cv": 0.0, "size_cv": 0.0}
     return [
         MicroscopeConfig(
             name=f"scope-{i}",
             frame_bytes=frame_bytes,
             frames_per_day=per_day / instruments,
+            **jitter,
         )
         for i in range(instruments)
     ]

@@ -1,0 +1,251 @@
+"""Differential tests: fluid (rate-interval) ingest vs the per-frame path.
+
+The fluid-aggregation layer claims *exactness* for deterministic arrival
+processes, not approximation: same frames, same ids, same bit-identical
+arrival timestamps, same telemetry totals.  These tests hold it to that —
+frame-stream equality on randomized configs, facility-level total
+equality on an E1-shaped scenario with a chaos incident, same-seed trace
+fingerprint determinism within each mode, and conservation (no silent
+loss) under backpressure in both buffer policies.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.trace import TraceRecorder
+from repro.core.chaos import ChaosSchedule, Incident
+from repro.core.facility import Facility
+from repro.ingest.daq import DaqBuffer
+from repro.ingest.fluid import FluidAcquisition
+from repro.ingest.microscope import HighThroughputMicroscope, MicroscopeConfig
+from repro.simkit import Simulator
+from repro.simkit.units import MB
+
+
+class _ListSink:
+    """A sink recording every offered frame (accepts instantly)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.frames = []
+
+    def offer(self, frame):
+        self.frames.append(frame)
+        done = self.sim.event()
+        done.succeed(frame)
+        return done
+
+    def offer_bulk(self, frames):
+        frames = list(frames)
+        self.frames.extend(frames)
+        done = self.sim.event()
+        done.succeed(frames)
+        return done
+
+
+def _frame_key(frame):
+    return (frame.image_id, frame.acquired, frame.size, frame.plate,
+            frame.well, frame.channel, frame.wavelength, frame.z_plane,
+            frame.timepoint, frame.microscope)
+
+
+def _emit(source_cls, cfg, duration, **kwargs):
+    sim = Simulator(seed=11)
+    sink = _ListSink(sim)
+    scope = source_cls(sim, cfg, **kwargs)
+    scope.run(sink, duration=duration)
+    sim.run()
+    return scope, sink.frames
+
+
+# -- exact frame-stream equivalence ----------------------------------------
+
+@given(
+    frames_per_day=st.floats(min_value=50.0, max_value=1e5),
+    duration=st.floats(min_value=10.0, max_value=3000.0),
+    chunk=st.integers(min_value=1, max_value=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_fluid_frames_bit_identical_to_discrete(frames_per_day, duration, chunk):
+    """Every frame — id, sweep parameters, size and the floating-point
+    arrival timestamp — is identical between the per-frame loop and the
+    rate-interval source, for any chunk size."""
+    def cfg():
+        return MicroscopeConfig(name="scope-x", frames_per_day=frames_per_day,
+                                arrival_cv=0.0, size_cv=0.0)
+
+    discrete_scope, discrete = _emit(HighThroughputMicroscope, cfg(), duration)
+    fluid_scope, fluid = _emit(FluidAcquisition, cfg(), duration,
+                               chunk_frames=chunk)
+    assert [_frame_key(f) for f in fluid] == [_frame_key(f) for f in discrete]
+    assert fluid_scope.frames_emitted == discrete_scope.frames_emitted
+
+
+def test_fluid_honours_max_frames():
+    cfg = MicroscopeConfig(name="scope-m", frames_per_day=86_400.0,
+                           arrival_cv=0.0, size_cv=0.0)
+    sim = Simulator()
+    sink = _ListSink(sim)
+    FluidAcquisition(sim, cfg, chunk_frames=7).run(sink, max_frames=25)
+    sim.run()
+    assert len(sink.frames) == 25
+
+
+def test_fluid_rejects_stochastic_config():
+    with pytest.raises(ValueError, match="deterministic"):
+        FluidAcquisition(Simulator(), MicroscopeConfig(name="jittery"))
+    with pytest.raises(ValueError, match="chunk_frames"):
+        FluidAcquisition(
+            Simulator(),
+            MicroscopeConfig(name="ok", arrival_cv=0.0, size_cv=0.0),
+            chunk_frames=0)
+
+
+# -- facility-level differential (E1-shaped scenario + chaos) ---------------
+
+def _run_facility(fluid: bool, seed: int = 7, trace: bool = False):
+    fac = Facility(seed=seed)
+    recorder = TraceRecorder().install(fac.sim) if trace else None
+    ChaosSchedule([
+        Incident(at=60.0, kind="array_degraded",
+                 target=(fac.arrays[0].name,), repair_after=60.0),
+    ]).run(fac)
+    report = fac.simulate_microscopy_day(
+        duration=180.0, deterministic=True, fluid=fluid)
+    return report, recorder
+
+
+def test_fluid_matches_discrete_totals_under_chaos():
+    discrete, _ = _run_facility(fluid=False)
+    fluid, _ = _run_facility(fluid=True)
+    assert fluid.frames_acquired == discrete.frames_acquired
+    assert fluid.frames_ingested == discrete.frames_ingested
+    assert fluid.frames_dropped == discrete.frames_dropped == 0
+    assert fluid.bytes_ingested == discrete.bytes_ingested
+    assert fluid.frames_unaccounted == discrete.frames_unaccounted == 0
+
+
+@pytest.mark.parametrize("fluid", [False, True])
+def test_same_seed_fingerprints_identical_within_mode(fluid):
+    _, first = _run_facility(fluid=fluid, trace=True)
+    _, second = _run_facility(fluid=fluid, trace=True)
+    assert len(first) > 0
+    assert first.digest() == second.digest()
+
+
+def test_fluid_chunk_size_does_not_change_totals():
+    fac_small = Facility(seed=9)
+    small = fac_small.simulate_microscopy_day(
+        duration=180.0, fluid=True, fluid_chunk=3)
+    fac_large = Facility(seed=9)
+    large = fac_large.simulate_microscopy_day(
+        duration=180.0, fluid=True, fluid_chunk=96)
+    assert small.frames_acquired == large.frames_acquired
+    assert small.frames_ingested == large.frames_ingested
+    assert small.bytes_ingested == large.bytes_ingested
+    assert small.frames_unaccounted == large.frames_unaccounted == 0
+
+
+@pytest.mark.parametrize("fluid", [False, True])
+def test_blackout_drill_conserves_frames(fluid):
+    """A blackout interrupting in-flight transfers: retry outcomes track
+    batch composition (so the two modes may dead-letter different frame
+    counts, exactly as different batch_size values would), but the
+    conservation law must close exactly and twin runs must agree."""
+    def run():
+        fac = Facility(seed=11)
+        fac.resilience_drill(start=60.0, blackout=45.0).run(fac)
+        return fac.simulate_microscopy_day(
+            duration=180.0, deterministic=True, fluid=fluid)
+
+    first, second = run(), run()
+    assert first.frames_acquired > 0
+    assert first.frames_unaccounted == 0
+    assert first == second
+
+
+@pytest.mark.parametrize("policy", ["block", "drop"])
+def test_fluid_backpressure_conserves_frames(policy):
+    """A DAQ buffer an order of magnitude too small: blocking must lose
+    nothing; dropping must account for every loss."""
+    fac = Facility(seed=5)
+    report = fac.simulate_microscopy_day(
+        duration=180.0, fluid=True,
+        buffer_bytes=40 * MB, buffer_policy=policy)
+    assert report.frames_acquired > 0
+    assert report.frames_unaccounted == 0
+    if policy == "block":
+        assert report.frames_dropped == 0
+        assert report.frames_ingested == report.frames_acquired
+
+
+# -- DaqBuffer bulk lane ----------------------------------------------------
+
+def test_offer_bulk_drop_policy_accounts_per_frame():
+    sim = Simulator()
+    buf = DaqBuffer(sim, capacity_bytes=10 * MB, policy="drop", name="d0")
+    cfg = MicroscopeConfig(name="s", frame_bytes=4 * MB,
+                           arrival_cv=0.0, size_cv=0.0)
+    scope = FluidAcquisition(sim, cfg, chunk_frames=5)
+    frames = []
+    sweep = scope._sweep()
+    for i in range(5):
+        plate, well, channel, z, tp = next(sweep)
+        from repro.ingest.microscope import ImageDescriptor
+        frames.append(ImageDescriptor(
+            image_id=f"s-{i:08d}", plate=plate, well=well, channel=channel,
+            wavelength=400, z_plane=z, timepoint=tp, size=int(4 * MB),
+            acquired=0.0, microscope="s"))
+    done = buf.offer_bulk(frames)
+    sim.run()
+    assert len(done.value) == 2  # only two 4 MB frames fit in 10 MB
+    assert buf.offered.value == 5
+    assert buf.dropped.value == 3
+    assert buf.backlog_frames == 2
+
+
+def test_take_bulk_blocks_then_caps_batch():
+    sim = Simulator()
+    buf = DaqBuffer(sim, name="d1")
+    got = []
+
+    def consumer():
+        got.append((yield buf.take_bulk(3)))
+        got.append((yield buf.take_bulk(3)))
+
+    def producer():
+        yield sim.timeout(1.0)
+        frames = [_mini_frame(i) for i in range(5)]
+        yield buf.offer_bulk(frames)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert [f.image_id for f in got[0]] == [f"m-{i}" for i in range(3)]
+    assert [f.image_id for f in got[1]] == [f"m-{i}" for i in range(3, 5)]
+    assert buf.backlog_frames == 0
+
+
+def _mini_frame(i, size=1024):
+    from repro.ingest.microscope import ImageDescriptor
+    return ImageDescriptor(
+        image_id=f"m-{i}", plate=0, well="A01", channel=0, wavelength=400,
+        z_plane=0, timepoint=0, size=size, acquired=0.0, microscope="m")
+
+
+def test_buffer_refuses_mixed_lanes():
+    sim = Simulator()
+    buf = DaqBuffer(sim, name="d2")
+    buf.offer_bulk([_mini_frame(0)])
+    with pytest.raises(RuntimeError, match="bulk"):
+        buf.offer(_mini_frame(1))
+    buf2 = DaqBuffer(sim, name="d3")
+    buf2.offer(_mini_frame(0))
+    with pytest.raises(RuntimeError, match="frame"):
+        buf2.take_bulk(4)
+
+
+def test_take_bulk_validates_max_frames():
+    with pytest.raises(ValueError):
+        DaqBuffer(Simulator(), name="d4").take_bulk(0)
