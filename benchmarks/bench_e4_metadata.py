@@ -71,6 +71,46 @@ def test_e4_registration_and_query_scale(benchmark, report):
     assert len(scan_hits) == N_RECORDS // 40 // 3
 
 
+def test_e4_range_query_pruning(benchmark, report):
+    """Ordered-index range predicates: bisect pruning vs the full scan.
+
+    ``timepoint >= cutoff`` selects the newest ~7% of a campaign — the
+    shape of every reprocessing selection — and must return the exact
+    full-scan answer while touching only the matching tail of the
+    ordered index.
+    """
+    store = benchmark.pedantic(_populate, rounds=1, iterations=1)
+    # timepoint = i // 4000 spans 0..7; >= 7 selects the last 2,000 records.
+    query = Q.project("zebrafish") & (Q.field("timepoint") >= 7)
+
+    t0 = time.perf_counter()
+    scan_hits = store.query(query)
+    scan_time = time.perf_counter() - t0
+
+    store.index_field("timepoint")
+    t0 = time.perf_counter()
+    pruned_hits = store.query(query)
+    pruned_time = time.perf_counter() - t0
+
+    candidates = (Q.field("timepoint") >= 7).candidates(store)
+    report(
+        "E4e", f"range-query pruning at {N_RECORDS:,} datasets",
+        [
+            ("range query (full scan)", "-",
+             f"{scan_time * 1e3:.1f} ms -> {len(scan_hits)} hits"),
+            ("range query (ordered index)", "faster",
+             f"{pruned_time * 1e3:.1f} ms "
+             f"({scan_time / pruned_time:.0f}x speedup)"),
+            ("candidate set vs corpus", "tail only",
+             f"{len(candidates)} of {N_RECORDS:,} records considered"),
+        ],
+    )
+    assert pruned_hits == scan_hits
+    assert pruned_time < scan_time
+    assert len(candidates) == 2_000
+    assert len(scan_hits) == 2_000
+
+
 def test_e4_findability_with_vs_without_metadata(benchmark, report):
     """'Invisible (not-found, no-metadata) data is lost data': how much of a
     content-criteria cohort can be found with only paths vs with metadata?"""

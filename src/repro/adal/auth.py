@@ -10,8 +10,10 @@ its own tree).
 
 from __future__ import annotations
 
+import secrets
+import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.adal.errors import AuthError, PermissionDeniedError
 
@@ -62,32 +64,121 @@ class AnonymousAuth(AuthProvider):
         return Principal(credentials.subject or "anonymous")
 
 
+@dataclass(frozen=True)
+class Session:
+    """A short-lived bearer session issued against static credentials.
+
+    ``expires`` is an absolute reading of the issuing provider's clock;
+    with the default (constant-zero) clock sessions never expire, which
+    keeps the provider usable inside deterministic simulations.
+    """
+
+    token: str
+    subject: str
+    issued: float
+    expires: float
+
+
 class TokenAuth(AuthProvider):
-    """Static token table: subject -> (token, groups)."""
+    """Static token table: subject -> (token, groups), plus sessions.
+
+    Long-lived subject tokens are registered out of band; callers (the
+    wire service's ``auth`` op) exchange them for short-lived bearer
+    :class:`Session` tokens via :meth:`issue_session`.  All table and
+    session state is guarded by one lock: the wire layer authenticates
+    from multiple asyncio tasks and, in tests, from multiple threads.
+
+    ``clock`` is any zero-argument time callable — the wire server passes
+    its wall clock, simulations their sim clock; the default stamps 0.0
+    (sessions never expire).
+    """
 
     name = "token"
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._lock = threading.Lock()
         self._table: dict[str, tuple[str, frozenset[str]]] = {}
+        self._sessions: dict[str, Session] = {}
+        self._session_seq = 0
 
     def register(self, subject: str, token: str, groups: Iterable[str] = ()) -> None:
         """Install a subject's token and group memberships."""
         if not token:
             raise ValueError("empty tokens are not allowed")
-        self._table[subject] = (token, frozenset(groups))
+        with self._lock:
+            self._table[subject] = (token, frozenset(groups))
 
     def revoke(self, subject: str) -> None:
-        """Remove a subject (idempotent)."""
-        self._table.pop(subject, None)
+        """Remove a subject and every session issued to it (idempotent)."""
+        with self._lock:
+            self._table.pop(subject, None)
+            stale = [t for t, s in self._sessions.items()
+                     if s.subject == subject]
+            for token in stale:
+                del self._sessions[token]
 
     def authenticate(self, credentials: Credentials) -> Principal:
-        entry = self._table.get(credentials.subject)
+        """Check a subject token against the static table."""
+        with self._lock:
+            entry = self._table.get(credentials.subject)
         if entry is None:
             raise AuthError(f"unknown subject {credentials.subject!r}")
         token, groups = entry
         if credentials.token != token:
             raise AuthError(f"bad token for subject {credentials.subject!r}")
         return Principal(credentials.subject, groups)
+
+    # -- sessions -----------------------------------------------------------
+    def issue_session(self, credentials: Credentials,
+                      ttl: float = 3600.0) -> Session:
+        """Exchange static credentials for a fresh bearer session."""
+        if ttl <= 0:
+            raise ValueError("session ttl must be > 0")
+        principal = self.authenticate(credentials)
+        with self._lock:
+            self._session_seq += 1
+            token = f"sess-{self._session_seq:08d}-{secrets.token_hex(8)}"
+            now = self._clock()
+            session = Session(token=token, subject=principal.name,
+                              issued=now, expires=now + ttl)
+            self._sessions[token] = session
+        return session
+
+    def authenticate_session(self, token: str) -> Principal:
+        """Resolve a live session token to its principal.
+
+        Raises :class:`~repro.adal.errors.AuthError` for unknown, expired
+        or revoked sessions (expired ones are reaped on sight).  Group
+        membership is read live from the table, so a ``register`` with new
+        groups takes effect on in-flight sessions immediately.
+        """
+        with self._lock:
+            session = self._sessions.get(token)
+            if session is None:
+                raise AuthError("unknown session token")
+            if self._clock() >= session.expires:
+                del self._sessions[token]
+                raise AuthError(
+                    f"session for {session.subject!r} has expired")
+            entry = self._table.get(session.subject)
+            if entry is None:
+                del self._sessions[token]
+                raise AuthError(
+                    f"subject {session.subject!r} has been revoked")
+            return Principal(session.subject, entry[1])
+
+    def revoke_session(self, token: str) -> None:
+        """Invalidate one session token (idempotent)."""
+        with self._lock:
+            self._sessions.pop(token, None)
+
+    @property
+    def active_sessions(self) -> int:
+        """Number of unexpired, unrevoked sessions currently held."""
+        with self._lock:
+            now = self._clock()
+            return sum(1 for s in self._sessions.values() if s.expires > now)
 
 
 @dataclass

@@ -1,0 +1,64 @@
+"""``repro.adal.wire`` — the facility's real front door over TCP.
+
+The paper's ADAL is a *served* API: experiment DAQs and remote clients
+reach it over the network, not in-process.  This package is that wire
+half: an asyncio service (:class:`~repro.adal.wire.server.WireServer`)
+speaking a length-prefixed JSON protocol, reusing the
+:mod:`repro.frontdoor` admission machinery on the wall clock, and a
+pooled, pipelining, auto-batching client
+(:class:`~repro.adal.wire.client.WireClient`).
+
+Determinism boundary: this package (alone, with its bench) runs on the
+wall clock and real sockets; everything it fronts — metadata store, WAL,
+ADAL backends — is the same synchronous code the deterministic simulated
+facility uses.  Nothing here leaks host time back into simkit.
+"""
+
+from repro.adal.wire.bench import build_bench_store, run_wire_bench
+from repro.adal.wire.client import BATCHABLE_OPS, WireClient
+from repro.adal.wire.errors import (
+    PoolExhaustedError,
+    RequestRejectedError,
+    WireClosedError,
+    WireError,
+    WireProtocolError,
+)
+from repro.adal.wire.protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    encode_frame,
+    error_envelope,
+    error_from,
+    error_kind,
+    query_from_wire,
+    query_to_wire,
+    raise_for_error,
+    read_frame,
+    write_frame,
+)
+from repro.adal.wire.server import WireRequest, WireServer
+
+__all__ = [
+    "BATCHABLE_OPS",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PoolExhaustedError",
+    "RequestRejectedError",
+    "WireClient",
+    "WireClosedError",
+    "WireError",
+    "WireProtocolError",
+    "WireRequest",
+    "WireServer",
+    "build_bench_store",
+    "encode_frame",
+    "error_envelope",
+    "error_from",
+    "error_kind",
+    "query_from_wire",
+    "query_to_wire",
+    "raise_for_error",
+    "read_frame",
+    "run_wire_bench",
+    "write_frame",
+]

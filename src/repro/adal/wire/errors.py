@@ -1,0 +1,55 @@
+"""Exception types of the wire ADAL service and its pooled client.
+
+The wire layer re-uses the ADAL exception hierarchy wherever a wire
+failure has the same meaning as an in-process one (an object miss is an
+:class:`~repro.adal.errors.ObjectNotFoundError` whether it travelled over
+a socket or not).  The types below cover the failure modes only a real
+network service has: protocol violations, admission rejections, and an
+exhausted client connection pool.
+
+:class:`PoolExhaustedError` deliberately subclasses
+:class:`~repro.adal.errors.BackendUnavailableError`: an
+:class:`~repro.adal.api.AdalClient` configured with a retry policy treats
+a momentarily-full pool exactly like any other transient backend fault
+and retries with backoff (covered by ``tests/adal/test_wire_client.py``).
+"""
+
+from __future__ import annotations
+
+from repro.adal.errors import AdalError, BackendUnavailableError
+
+
+class WireError(AdalError):
+    """Base class for wire-service errors."""
+
+
+class WireProtocolError(WireError):
+    """Malformed frame or message (bad length prefix, non-JSON payload,
+    missing required fields, oversized frame)."""
+
+
+class WireClosedError(WireError):
+    """The connection or client was closed while a request was in flight."""
+
+
+class RequestRejectedError(WireError):
+    """The service refused the request at admission.
+
+    ``reason`` is one of the server's reject reasons (``rate_limited``,
+    ``queue_full``, ``shed``, ``brownout``) — the caller must not retry
+    blindly; that is the retry-storm failure mode the front door contains.
+    """
+
+    def __init__(self, message: str, reason: str = "rejected"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class PoolExhaustedError(BackendUnavailableError, WireError):
+    """Every pooled connection is at its in-flight bound and the acquire
+    timeout elapsed before capacity freed up.
+
+    Transient by construction (in-flight requests complete and release
+    capacity), hence a :class:`BackendUnavailableError` subclass: retry
+    policies treat it like any other recoverable backend fault.
+    """

@@ -237,6 +237,10 @@ class WallClockRule(Rule):
     name = "wall-clock"
     description = ("no time.time/monotonic/sleep or datetime.now inside "
                    "src/repro — use sim.now / sim.timeout")
+    #: The wire layer IS the wall-clock boundary: a real asyncio TCP
+    #: service in front of the deterministic facility.  Host time is its
+    #: job; nothing it fronts reads the clock through it.
+    exempt = ("repro/adal/wire/*",)
 
     def check(self, module: "SourceModule") -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -579,6 +583,89 @@ class AdHocCounterRule(Rule):
                     f"{label} looks like a mutable counter dict — register "
                     "labelled instruments on the MetricsRegistry instead",
                 )
+
+
+# ---------------------------------------------------------------------------
+# REP019 — blocking-call-in-async
+# ---------------------------------------------------------------------------
+
+#: Calls that block the running thread — poison inside an event loop.
+_ASYNC_BLOCKING = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "os.fsync": "run it in a thread (asyncio.to_thread) or outside the loop",
+    "socket.socket": "use asyncio.open_connection / start_server streams",
+    "socket.create_connection": "use asyncio.open_connection",
+    "subprocess.run": "use asyncio.create_subprocess_exec",
+    "subprocess.call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_output": "use asyncio.create_subprocess_exec",
+    "subprocess.Popen": "use asyncio.create_subprocess_exec",
+    "urllib.request.urlopen": "blocking HTTP stalls the event loop",
+    "requests.get": "blocking HTTP stalls the event loop",
+    "requests.post": "blocking HTTP stalls the event loop",
+    "requests.request": "blocking HTTP stalls the event loop",
+    "open": "blocking file IO stalls the event loop — stage it off-loop",
+}
+
+#: Sim-only suspension APIs: yield-based, meaningless under asyncio.
+_SIM_ONLY_SUFFIXES = ("sim.timeout", "sim.call_at", "sim.run")
+
+
+@register
+class AsyncBlockingRule(Rule):
+    """An ``async def`` body that calls ``time.sleep``, blocking socket /
+    file / subprocess IO, or a sim-only suspension API stalls the whole
+    event loop (or yields an object asyncio cannot await) — every
+    connection served by that loop stops, which defeats the wire layer's
+    concurrency and its backpressure story."""
+
+    id = "REP019"
+    name = "blocking-call-in-async"
+    description = ("no time.sleep / blocking socket, file or subprocess IO / "
+                   "sim-only APIs inside `async def` bodies — use the "
+                   "asyncio equivalents")
+
+    def _own_statements(self, func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Nodes of the async function, excluding nested function bodies.
+
+        A nested ``def`` is not executed by awaiting the outer coroutine
+        (it may legitimately be handed to a thread pool); nested ``async
+        def``\\ s are visited in their own right by the module walk.
+        """
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def check(self, module: "SourceModule") -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in self._own_statements(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = module.imports.resolve(node.func)
+                if target is None:
+                    continue
+                hint = _ASYNC_BLOCKING.get(target)
+                if hint is not None:
+                    yield self.finding(
+                        module, node,
+                        f"blocking call {target}() inside async def "
+                        f"{func.name!r} stalls the event loop — {hint}",
+                    )
+                elif any(target == s or target.endswith("." + s)
+                         for s in _SIM_ONLY_SUFFIXES):
+                    yield self.finding(
+                        module, node,
+                        f"sim-only API {target}() inside async def "
+                        f"{func.name!r} — simulation suspension primitives "
+                        "cannot be awaited by the asyncio loop",
+                    )
 
 
 def catalogue() -> list[dict]:

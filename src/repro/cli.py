@@ -264,6 +264,62 @@ def _cmd_frontdoor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_wire(args: argparse.Namespace) -> int:
+    from repro.adal.wire import run_wire_bench
+
+    arms = {}
+    for batching in ((True, False) if args.compare else (args.batching,)):
+        arms[batching] = run_wire_bench(
+            clients=args.clients,
+            ops_per_client=args.ops,
+            batching=batching,
+            pool_size=args.pool_size,
+            workers=args.workers,
+            budget=args.budget,
+        )
+    print(f"wire ADAL bench, {args.clients} clients x {args.ops} ops:")
+    for batching, result in arms.items():
+        arm = "batched  " if batching else "unbatched"
+        extra = (f", {result['mean_batch_size']:.1f} ops/envelope"
+                 if batching and result["client_batches"] else "")
+        print(f"  {arm}  {result['throughput_rps']:9,.0f} rps  "
+              f"p50 {result['latency_p50_s'] * 1e3:6.2f} ms  "
+              f"p99 {result['latency_p99_s'] * 1e3:6.2f} ms  "
+              f"{result['ops_ok']:,}/{result['ops_total']:,} ok{extra}")
+    failures = []
+    for batching, result in arms.items():
+        arm = "batched" if batching else "unbatched"
+        if result["errors"]:
+            failures.append(f"{arm}: errors {result['errors']}")
+        if result["server_accounting"]["silent_loss"]:
+            failures.append(f"{arm}: server silent loss "
+                            f"{result['server_accounting']['silent_loss']}")
+        if result["client_accounting"]["outstanding"]:
+            failures.append(f"{arm}: client outstanding "
+                            f"{result['client_accounting']['outstanding']}")
+        if result["leaked_tasks"] or result["open_connections_after_close"]:
+            failures.append(
+                f"{arm}: leaked {result['leaked_tasks']} task(s), "
+                f"{result['open_connections_after_close']} connection(s)")
+        if result["goodput_rps"] < args.goodput_floor:
+            failures.append(f"{arm}: goodput {result['goodput_rps']:,.0f}/s "
+                            f"under floor {args.goodput_floor:,.0f}/s")
+    if args.compare:
+        speedup = (arms[True]["throughput_rps"]
+                   / arms[False]["throughput_rps"]
+                   if arms[False]["throughput_rps"] else 0.0)
+        print(f"  batching speedup {speedup:.1f}x")
+    if failures:
+        for failure in failures:
+            print(f"  GATE FAILED: {failure}")
+    else:
+        print("  gates      all passed")
+    if args.check and failures:
+        print("wire bench check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
@@ -376,6 +432,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero unless every drill gate passes "
                         "(CI gate)")
     p.set_defaults(fn=_cmd_frontdoor)
+
+    p = sub.add_parser("wire", help="drive the asyncio wire ADAL server "
+                                    "over localhost TCP and report rps/p99")
+    p.add_argument("--clients", type=int, default=32,
+                   help="logical closed-loop clients sharing one pool")
+    p.add_argument("--ops", type=int, default=50,
+                   help="operations per logical client")
+    p.add_argument("--pool-size", type=int, default=8,
+                   help="client connection-pool bound")
+    p.add_argument("--workers", type=int, default=4,
+                   help="server-side worker tasks")
+    p.add_argument("--budget", type=float, default=5.0,
+                   help="per-request deadline budget in seconds")
+    p.add_argument("--no-batching", dest="batching", action="store_false",
+                   help="disable client-side request coalescing")
+    p.add_argument("--compare", action="store_true",
+                   help="run both the batched and unbatched arms")
+    p.add_argument("--goodput-floor", type=float, default=0.0,
+                   metavar="RPS",
+                   help="exit gate: minimum ok-responses/s per arm "
+                        "(used with --check by the CI wire-smoke job)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero on any gate failure: errors, silent "
+                        "loss, leaked tasks/connections, goodput floor")
+    p.set_defaults(fn=_cmd_wire)
 
     p = sub.add_parser("metrics", help="dump the telemetry registry "
                                        "(Prometheus text or JSON)")

@@ -22,7 +22,11 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable, Mapping, Optional
 
-from repro.metadata.errors import MetadataError, MetadataUnavailableError
+from repro.metadata.errors import (
+    MetadataError,
+    MetadataUnavailableError,
+    WriteOnceError,
+)
 from repro.metadata.records import DatasetRecord, ProcessingRecord
 from repro.metadata.schema import Schema
 from repro.metadata.store import MetadataStore, ProjectInfo
@@ -141,6 +145,67 @@ class DurableMetadataStore(MetadataStore):
         )
         self._maybe_snapshot()
         return record
+
+    def register_batch(
+        self, items: list[Mapping[str, Any]]
+    ) -> list[DatasetRecord]:
+        """Register N datasets with ONE WAL flush (group commit).
+
+        All-or-nothing: every item is validated — write-once, project
+        existence, schema — *before* anything is logged or applied, so a
+        bad item fails the whole batch with the store untouched (the wire
+        service then retries items individually for per-op outcomes).
+
+        The WAL receives ``len(items)`` ordinary ``register_dataset``
+        records in one :meth:`~repro.durability.wal.WriteAheadLog.append_batch`
+        flush; recovery replay is byte-for-byte identical to sequential
+        registration, which the crash-replay equivalence test asserts.
+
+        Each item is a kwargs mapping for :meth:`register_dataset`
+        (``dataset_id``, ``project``, ``url``, ``size``, ``checksum``,
+        ``basic``, optional ``created`` and ``tags``).
+        """
+        if not self._available:
+            raise MetadataUnavailableError("metadata repository is down")
+        seen: set[str] = set()
+        for item in items:
+            dataset_id = item["dataset_id"]
+            if dataset_id in self._datasets or dataset_id in seen:
+                raise WriteOnceError(
+                    f"dataset {dataset_id!r} already registered")
+            seen.add(dataset_id)
+            info = self.project(item["project"])
+            info.basic_schema.validate(item["basic"])
+        if not self._replaying:
+            self.wal.append_batch([
+                (
+                    "register_dataset",
+                    {
+                        "dataset_id": item["dataset_id"],
+                        "project": item["project"],
+                        "url": item["url"],
+                        "size": int(item["size"]),
+                        "checksum": item["checksum"],
+                        "basic": dict(item["basic"]),
+                        "created": float(item.get("created", 0.0)),
+                        "tags": sorted(item.get("tags", ())),
+                    },
+                )
+                for item in items
+            ])
+            self._appends_since_snapshot += len(items)
+        records = [
+            MetadataStore.register_dataset(
+                self,
+                item["dataset_id"], item["project"], item["url"],
+                item["size"], item["checksum"], item["basic"],
+                created=item.get("created", 0.0),
+                tags=item.get("tags", ()),
+            )
+            for item in items
+        ]
+        self._maybe_snapshot()
+        return records
 
     def add_processing(
         self,
@@ -262,6 +327,7 @@ class DurableMetadataStore(MetadataStore):
         self._tag_index = {}
         self._project_index = {}
         self._field_indexes = {}
+        self._ordered_indexes = {}
         self._url_index = {}
         self._step_seq = 0
 

@@ -142,6 +142,10 @@ class FieldCmp(Query):
     def candidates(self, store: "MetadataStore") -> Optional[set[str]]:
         if self.op == "==":
             return store._index_lookup(self.name, self.value)
+        if self.op in ("<", "<=", ">", ">="):
+            # Ordered-index pruning: may return a superset (the store
+            # re-filters every candidate through matches()).
+            return store._range_lookup(self.name, self.op, self.value)
         return None
 
     def __repr__(self) -> str:  # pragma: no cover

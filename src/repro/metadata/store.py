@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import os
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional
 
@@ -27,6 +28,58 @@ from repro.metadata.errors import (
 from repro.metadata.query import Query
 from repro.metadata.records import DatasetRecord, ProcessingRecord
 from repro.metadata.schema import Schema
+
+#: Range operators the ordered index can answer.
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+class _OrderedIndex:
+    """Sorted parallel (key, dataset_id) lists answering range predicates.
+
+    Keys must be mutually comparable; the first mixed-type insert or probe
+    *disables* the index (``None`` answers thereafter), falling back to the
+    full scan whose ``matches()`` semantics already treat incomparable
+    values as non-matching.  Ties on equal keys keep ids in insertion
+    order, which bisect slicing never depends on.
+    """
+
+    __slots__ = ("keys", "ids", "disabled")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.ids: list[str] = []
+        self.disabled = False
+
+    def insert(self, key: Any, dataset_id: str) -> None:
+        """Add one entry, disabling the index on a type mismatch."""
+        if self.disabled:
+            return
+        try:
+            pos = bisect_right(self.keys, key)
+        except TypeError:
+            self.disabled = True
+            self.keys = []
+            self.ids = []
+            return
+        self.keys.insert(pos, key)
+        self.ids.insert(pos, dataset_id)
+
+    def range(self, op: str, value: Any) -> Optional[set[str]]:
+        """Ids satisfying ``key <op> value``, or None when unanswerable."""
+        if self.disabled or op not in _RANGE_OPS:
+            return None
+        try:
+            if op == ">=":
+                return set(self.ids[bisect_left(self.keys, value):])
+            if op == ">":
+                return set(self.ids[bisect_right(self.keys, value):])
+            if op == "<":
+                return set(self.ids[:bisect_left(self.keys, value)])
+            return set(self.ids[:bisect_right(self.keys, value)])
+        except TypeError:
+            # Probe value incomparable with the stored keys: no record can
+            # match it either way, but let the scan decide.
+            return None
 
 
 @dataclass
@@ -50,6 +103,8 @@ class MetadataStore:
         self._project_index: dict[str, set[str]] = {}
         # field name -> value -> set of dataset ids
         self._field_indexes: dict[str, dict[Any, set[str]]] = {}
+        # field name -> sorted (key, id) lists for range predicates
+        self._ordered_indexes: dict[str, _OrderedIndex] = {}
         self._url_index: dict[str, str] = {}
         self._step_seq = 0
 
@@ -129,6 +184,7 @@ class MetadataStore:
             value = record.basic.get(name)
             if value is not None:
                 index.setdefault(value, set()).add(dataset_id)
+                self._ordered_indexes[name].insert(value, dataset_id)
         return record
 
     def get(self, dataset_id: str) -> DatasetRecord:
@@ -211,21 +267,45 @@ class MetadataStore:
 
     # -- indexes ---------------------------------------------------------------
     def index_field(self, name: str) -> None:
-        """Build (and maintain) an equality index over a basic-metadata field."""
+        """Build (and maintain) secondary indexes over a basic-metadata field.
+
+        Two structures are kept per indexed field: a value -> id-set hash
+        for equality terms, and an ordered (sorted-list) index answering
+        range terms (``>=``, ``>``, ``<``, ``<=``) by bisect slicing.  The
+        ordered index self-disables on the first mixed-type key, leaving
+        range terms to the full scan (equality pruning is unaffected).
+        """
         if name in self._field_indexes:
             return
         index: dict[Any, set[str]] = {}
+        ordered = _OrderedIndex()
         for record in self._datasets.values():
             value = record.basic.get(name)
             if value is not None:
                 index.setdefault(value, set()).add(record.dataset_id)
+                ordered.insert(value, record.dataset_id)
         self._field_indexes[name] = index
+        self._ordered_indexes[name] = ordered
 
     def _index_lookup(self, name: str, value: Any) -> Optional[set[str]]:
         index = self._field_indexes.get(name)
         if index is None:
             return None
         return set(index.get(value, ()))
+
+    def _range_lookup(self, name: str, op: str, value: Any) -> Optional[set[str]]:
+        """Candidate ids for ``field <op> value`` from the ordered index.
+
+        ``None`` means the query layer must fall back to a full scan: the
+        field is unindexed, the ordered index was disabled by mixed-type
+        keys, or the probe value is incomparable with the stored keys.
+        The returned set may be a superset of the true matches — callers
+        re-filter with ``matches()``.
+        """
+        ordered = self._ordered_indexes.get(name)
+        if ordered is None:
+            return None
+        return ordered.range(op, value)
 
     # -- querying -----------------------------------------------------------------
     def query(self, q: Query) -> list[DatasetRecord]:

@@ -1,0 +1,320 @@
+"""Wire client tests: pooling, pipelining, coalescing, pool exhaustion.
+
+Includes the retry-integration check the issue calls for: a saturated
+pool raises :class:`~repro.adal.wire.errors.PoolExhaustedError`, which
+subclasses :class:`~repro.adal.errors.BackendUnavailableError` — so the
+:class:`~repro.adal.api.AdalClient` retry policy (and any
+``retry_on=(BackendUnavailableError,)`` consumer) treats it as the
+transient fault it is and recovers once capacity frees up.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.adal import AdalClient, BackendRegistry, MemoryBackend
+from repro.adal.errors import BackendUnavailableError
+from repro.adal.wire import (
+    PoolExhaustedError,
+    WireClient,
+    WireClosedError,
+    WireServer,
+)
+from repro.metadata.schema import FieldSpec, Schema
+from repro.metadata.store import MetadataStore
+from repro.resilience.errors import RetriesExhaustedError
+from repro.resilience.policy import RetryPolicy
+
+
+def _store():
+    store = MetadataStore()
+    store.register_project("zf", Schema("zf", [
+        FieldSpec("plate", "int", required=True)]))
+    for i in range(4):
+        store.register_dataset(
+            f"d{i}", "zf", f"adal://disk/zf/d{i}", 100 + i, f"c{i}",
+            basic={"plate": i})
+    return store
+
+
+def _serve(scenario, client_kwargs=None, **server_kwargs):
+    """Run ``scenario(server, client)`` against a live server."""
+    async def go():
+        server = WireServer(_store(), **server_kwargs)
+        await server.start()
+        client = WireClient("127.0.0.1", server.port,
+                            **(client_kwargs or {}))
+        try:
+            return await scenario(server, client)
+        finally:
+            await client.close()
+            await server.stop()
+    return asyncio.run(go())
+
+
+class TestPooling:
+    def test_connections_open_lazily_and_are_reused(self):
+        async def scenario(server, client):
+            for _ in range(10):
+                await client.ping()
+            reg = client.telemetry.registry
+            return (client.open_connections,
+                    int(reg.total("wire.pool_opens_total")),
+                    int(reg.total("wire.pool_reuse_total")))
+        open_conns, opens, reuse = _serve(
+            scenario, client_kwargs={"pool_size": 4})
+        # Sequential pings never need a second connection.
+        assert open_conns == 1 and opens == 1
+        assert reuse >= 9
+
+    def test_pool_grows_under_concurrency(self):
+        async def scenario(server, client):
+            await asyncio.gather(*[
+                client.call("stall", {"seconds": 0.05}, batch=False)
+                for _ in range(6)
+            ])
+            return int(client.telemetry.registry.total(
+                "wire.pool_opens_total"))
+        opens = _serve(
+            scenario, debug_ops=True, workers=8,
+            client_kwargs={"pool_size": 3, "max_in_flight": 2})
+        # 6 concurrent 2-frame-bound calls need all 3 connections.
+        assert opens == 3
+
+    def test_pool_exhausted_raises_transient_error(self):
+        async def scenario(server, client):
+            blockers = [
+                asyncio.ensure_future(
+                    client.call("stall", {"seconds": 0.5}, batch=False))
+                for _ in range(2)
+            ]
+            await asyncio.sleep(0.05)  # both frames are now in flight
+            with pytest.raises(PoolExhaustedError):
+                await client.ping(batch=False)
+            exhausted = int(client.telemetry.registry.total(
+                "wire.pool_exhausted_total"))
+            await asyncio.gather(*blockers)
+            return exhausted
+        exhausted = _serve(
+            scenario, debug_ops=True, workers=4,
+            client_kwargs={"pool_size": 1, "max_in_flight": 2,
+                           "acquire_timeout": 0.05})
+        assert exhausted == 1
+
+    def test_pool_exhausted_is_backend_unavailable(self):
+        assert issubclass(PoolExhaustedError, BackendUnavailableError)
+
+    def test_acquire_recovers_when_capacity_frees(self):
+        async def scenario(server, client):
+            blocker = asyncio.ensure_future(
+                client.call("stall", {"seconds": 0.15}, batch=False))
+            await asyncio.sleep(0.02)
+            # Waits for the stall to finish, then succeeds — no error.
+            pong = await client.ping(batch=False)
+            await blocker
+            return pong
+        pong = _serve(
+            scenario, debug_ops=True,
+            client_kwargs={"pool_size": 1, "max_in_flight": 1,
+                           "acquire_timeout": 2.0})
+        assert pong["pong"] is True
+
+
+class TestPipelining:
+    def test_concurrent_calls_share_one_connection(self):
+        async def scenario(server, client):
+            results = await asyncio.gather(*[
+                client.get(f"d{i % 4}", batch=False) for i in range(16)])
+            return results, client.open_connections
+        results, conns = _serve(
+            scenario, client_kwargs={"pool_size": 1, "max_in_flight": 32})
+        assert len(results) == 16
+        assert conns == 1  # every frame pipelined on the single connection
+
+    def test_out_of_order_completion_resolves_by_id(self):
+        async def scenario(server, client):
+            slow = asyncio.ensure_future(
+                client.call("stall", {"seconds": 0.1}, batch=False))
+            fast = await client.ping(batch=False)  # overtakes the stall
+            assert not slow.done()
+            stalled = await slow
+            return fast, stalled
+        fast, stalled = _serve(
+            scenario, debug_ops=True, workers=2,
+            client_kwargs={"pool_size": 1, "max_in_flight": 8})
+        assert fast["pong"] is True and stalled["stalled"] is True
+
+
+class TestAutoBatching:
+    def test_concurrent_calls_coalesce(self):
+        async def scenario(server, client):
+            await asyncio.gather(*[client.get(f"d{i % 4}")
+                                   for i in range(32)])
+            reg = client.telemetry.registry
+            return (int(reg.total("wire.client_batches_total")),
+                    reg.series("wire.client_batch_size").mean,
+                    server.stats())
+        batches, mean, stats = _serve(scenario)
+        assert batches >= 1
+        assert mean > 1.0  # genuine coalescing happened
+        assert stats["batches"] == batches
+        assert stats["silent_loss"] == 0
+
+    def test_lone_call_goes_out_unbatched(self):
+        async def scenario(server, client):
+            await client.ping()
+            return int(client.telemetry.registry.total(
+                "wire.client_batches_total"))
+        assert _serve(scenario) == 0
+
+    def test_batching_disabled_sends_plain_frames(self):
+        async def scenario(server, client):
+            await asyncio.gather(*[client.get(f"d{i % 4}")
+                                   for i in range(16)])
+            return (int(client.telemetry.registry.total(
+                        "wire.client_batches_total")),
+                    server.stats())
+        batches, stats = _serve(scenario, client_kwargs={"batching": False})
+        assert batches == 0
+        assert stats["batches"] == 0 and stats["silent_loss"] == 0
+
+    def test_max_batch_bounds_envelope_size(self):
+        async def scenario(server, client):
+            await asyncio.gather(*[client.get(f"d{i % 4}")
+                                   for i in range(40)])
+            series = client.telemetry.registry.series(
+                "wire.client_batch_size")
+            return series.max
+        biggest = _serve(scenario, client_kwargs={"max_batch": 8})
+        assert biggest <= 8
+
+    def test_mixed_keys_never_share_an_envelope(self):
+        async def scenario(server, client):
+            # Two budget classes: coalescing must keep them apart so each
+            # envelope's admission metadata stays exact.
+            await asyncio.gather(*[
+                client.get(f"d{i % 4}", budget=(1.0 if i % 2 else 2.0))
+                for i in range(16)])
+            return server.stats()
+        stats = _serve(scenario)
+        assert stats["silent_loss"] == 0
+
+    def test_per_op_errors_fan_out_of_batches(self):
+        async def scenario(server, client):
+            results = await asyncio.gather(*[
+                client.get("d0" if i % 2 else "ghost")
+                for i in range(8)], return_exceptions=True)
+            return results
+        results = _serve(scenario)
+        from repro.metadata.errors import UnknownDatasetError
+        oks = [r for r in results if isinstance(r, dict)]
+        errors = [r for r in results if isinstance(r, UnknownDatasetError)]
+        assert len(oks) == 4 and len(errors) == 4
+
+
+class TestAccountingAndClose:
+    def test_client_balance_closes(self):
+        async def scenario(server, client):
+            await asyncio.gather(*[client.get(f"d{i % 4}")
+                                   for i in range(24)])
+            return client.accounting()
+        acct = _serve(scenario)
+        assert acct["submitted"] == 24
+        assert acct["outstanding"] == 0
+
+    def test_balance_closes_through_errors(self):
+        async def scenario(server, client):
+            await asyncio.gather(*[client.get("ghost") for _ in range(6)],
+                                 return_exceptions=True)
+            return client.accounting()
+        acct = _serve(scenario)
+        assert acct["submitted"] == 6 and acct["outstanding"] == 0
+
+    def test_close_fails_pending_and_refuses_new_calls(self):
+        async def go():
+            server = WireServer(_store(), debug_ops=True)
+            await server.start()
+            client = WireClient("127.0.0.1", server.port)
+            pending = asyncio.ensure_future(
+                client.call("stall", {"seconds": 5.0}, batch=False))
+            await asyncio.sleep(0.05)
+            await client.close()
+            outcome = await asyncio.gather(pending, return_exceptions=True)
+            with pytest.raises(WireClosedError):
+                await client.ping()
+            await server.stop()
+            return outcome[0], client.accounting(), client.open_connections
+        outcome, acct, conns = asyncio.run(go())
+        assert isinstance(outcome, WireClosedError)
+        assert acct["outstanding"] == 0
+        assert conns == 0
+
+    def test_no_leaked_tasks_after_close(self):
+        async def go():
+            baseline = set(asyncio.all_tasks())
+            server = WireServer(_store())
+            await server.start()
+            client = WireClient("127.0.0.1", server.port)
+            await asyncio.gather(*[client.get(f"d{i % 4}")
+                                   for i in range(12)])
+            await client.close()
+            await server.stop()
+            await asyncio.sleep(0)
+            return [t for t in asyncio.all_tasks()
+                    if t not in baseline and not t.done()]
+        assert asyncio.run(go()) == []
+
+
+class TestRetryIntegration:
+    """Pool exhaustion is transient: retry policies recover from it."""
+
+    def test_retry_policy_recovers_from_pool_exhaustion(self):
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise PoolExhaustedError("pool saturated")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+        result = policy.run_sync(
+            flaky, retry_on=(BackendUnavailableError,), label="wire-call")
+        assert result == "ok" and attempts["n"] == 3
+
+    def test_retry_policy_exhausts_on_persistent_saturation(self):
+        def saturated():
+            raise PoolExhaustedError("pool saturated")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetriesExhaustedError) as info:
+            policy.run_sync(saturated,
+                            retry_on=(BackendUnavailableError,),
+                            label="wire-call")
+        assert len(info.value.attempts) == 3
+
+    def test_adal_client_retries_through_pool_exhaustion(self):
+        class SaturatedOnceBackend(MemoryBackend):
+            """First get() hits a saturated pool; the retry succeeds."""
+
+            def __init__(self):
+                super().__init__()
+                self.calls = 0
+
+            def get(self, path):
+                self.calls += 1
+                if self.calls == 1:
+                    raise PoolExhaustedError("pool saturated")
+                return super().get(path)
+
+        backend = SaturatedOnceBackend()
+        registry = BackendRegistry()
+        registry.register("wirepool", backend)
+        client = AdalClient(
+            registry,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0,
+                                     jitter=0.0))
+        client.put("adal://wirepool/obj", b"payload")
+        backend.calls = 0
+        assert client.get("adal://wirepool/obj") == b"payload"
+        assert backend.calls == 2  # one saturated attempt + one retry

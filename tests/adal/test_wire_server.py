@@ -1,0 +1,323 @@
+"""Wire server tests: ops, admission, auth, batching, zero silent loss.
+
+No pytest-asyncio in the toolchain: each test drives its own event loop
+with ``asyncio.run`` around an async scenario that starts a real
+:class:`~repro.adal.wire.server.WireServer` on an ephemeral localhost
+port and talks to it through a :class:`~repro.adal.wire.client.WireClient`.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.adal import (
+    AdalClient,
+    AuthError,
+    BackendRegistry,
+    MemoryBackend,
+    TokenAuth,
+)
+from repro.adal.errors import BackendUnavailableError, ObjectNotFoundError
+from repro.adal.wire import (
+    RequestRejectedError,
+    WireClient,
+    WireProtocolError,
+    WireServer,
+)
+from repro.frontdoor.request import TenantSpec
+from repro.metadata.errors import UnknownDatasetError, WriteOnceError
+from repro.metadata.query import Q
+from repro.metadata.schema import FieldSpec, Schema
+from repro.metadata.store import MetadataStore
+
+
+def _store():
+    store = MetadataStore()
+    store.register_project("zf", Schema("zf", [
+        FieldSpec("plate", "int", required=True)]))
+    store.index_field("plate")
+    for i in range(8):
+        store.register_dataset(
+            f"d{i}", "zf", f"adal://disk/zf/d{i}", 100 + i, f"c{i}",
+            basic={"plate": i}, tags=("raw",) if i % 2 == 0 else ())
+    return store
+
+
+def _run(scenario, **server_kwargs):
+    """Start a server, run ``scenario(server, client)``, tear down."""
+    async def go():
+        server = WireServer(_store(), **server_kwargs)
+        await server.start()
+        client = WireClient("127.0.0.1", server.port)
+        try:
+            return await scenario(server, client)
+        finally:
+            await client.close()
+            await server.stop()
+    return asyncio.run(go())
+
+
+class TestOperations:
+    def test_ping(self):
+        async def scenario(server, client):
+            return await client.ping()
+        assert _run(scenario)["pong"] is True
+
+    def test_register_get_query_tag(self):
+        async def scenario(server, client):
+            await client.register("new1", "zf", "adal://disk/zf/new1",
+                                  2048, "crc", {"plate": 99})
+            record = await client.get("new1")
+            hits = await client.query(Q.field("plate") == 99, ids_only=True)
+            await client.tag("new1", "qc-passed")
+            tagged = await client.get("new1")
+            return record, hits, tagged
+        record, hits, tagged = _run(scenario)
+        assert record["dataset_id"] == "new1"
+        assert hits["ids"] == ["new1"]
+        assert "qc-passed" in tagged["tags"]
+
+    def test_add_processing(self):
+        async def scenario(server, client):
+            step = await client.add_processing(
+                "d0", "align", {"p": 1}, {"ok": True}, 0.0, 2.0)
+            record = await client.get("d0")
+            return step, record
+        step, record = _run(scenario)
+        assert step["step_id"]
+        assert record["processing"][0]["name"] == "align"
+
+    def test_typed_errors_cross_the_wire(self):
+        async def scenario(server, client):
+            with pytest.raises(UnknownDatasetError):
+                await client.get("ghost")
+            with pytest.raises(WriteOnceError):
+                await client.register("d0", "zf", "u", 1, "c", {"plate": 1})
+            with pytest.raises(BackendUnavailableError):
+                await client.stat("adal://disk/zf/d0")  # no ADAL behind it
+        _run(scenario)
+
+    def test_unknown_op_is_protocol_error(self):
+        async def scenario(server, client):
+            with pytest.raises(WireProtocolError):
+                await client.call("vaporise", {}, batch=False)
+        _run(scenario)
+
+    def test_stall_op_gated_behind_debug(self):
+        async def scenario(server, client):
+            with pytest.raises(WireProtocolError):
+                await client.call("stall", {"seconds": 0.001}, batch=False)
+        _run(scenario)
+
+    def test_adal_ops_with_backend(self):
+        async def scenario(server, client):
+            assert await client.exists("adal://disk/obj") is True
+            assert await client.exists("adal://disk/ghost") is False
+            info = await client.stat("adal://disk/obj")
+            return info
+        async def go():
+            registry = BackendRegistry()
+            registry.register("disk", MemoryBackend())
+            adal = AdalClient(registry)
+            adal.put("adal://disk/obj", b"payload")
+            server = WireServer(_store(), adal=adal)
+            await server.start()
+            client = WireClient("127.0.0.1", server.port)
+            try:
+                return await scenario(server, client)
+            finally:
+                await client.close()
+                await server.stop()
+        info = asyncio.run(go())
+        assert info["size"] == len(b"payload")
+
+
+class TestBatching:
+    def test_batch_envelope_served_in_one_pass(self):
+        async def scenario(server, client):
+            results = await client.call("batch", {"ops": [
+                {"op": "get", "args": {"dataset_id": "d0"}},
+                {"op": "get", "args": {"dataset_id": "ghost"}},
+                {"op": "ping", "args": {}},
+            ]}, batch=False)
+            return results, server.stats()
+        results, stats = _run(scenario)
+        assert len(results) == 3
+        assert results[0]["ok"] and results[0]["result"]["dataset_id"] == "d0"
+        assert not results[1]["ok"] and results[1]["kind"] == "unknown_dataset"
+        assert results[2]["ok"]
+        assert stats["batches"] == 1
+
+    def test_batch_size_histogram_observed(self):
+        async def scenario(server, client):
+            await client.call("batch", {"ops": [
+                {"op": "ping", "args": {}} for _ in range(5)]}, batch=False)
+            series = server.telemetry.registry.series("wire.batch_size")
+            return series.count, series.mean
+        count, mean = _run(scenario)
+        assert count == 1 and mean == 5.0
+
+    def test_malformed_batch_rejected(self):
+        async def scenario(server, client):
+            with pytest.raises(WireProtocolError):
+                await client.call("batch", {"ops": "nope"}, batch=False)
+            results = await client.call(
+                "batch", {"ops": ["garbage"]}, batch=False)
+            return results
+        results = _run(scenario)
+        assert not results[0]["ok"] and results[0]["kind"] == "bad_request"
+
+
+class TestAdmission:
+    def test_rate_limited_tenant_rejected(self):
+        async def scenario(server, client):
+            outcomes = {"ok": 0, "rejected": 0}
+            for _ in range(12):
+                try:
+                    await client.ping(batch=False)
+                    outcomes["ok"] += 1
+                except RequestRejectedError as exc:
+                    assert exc.reason == "rate_limited"
+                    outcomes["rejected"] += 1
+            return outcomes, server.stats()
+        outcomes, stats = _run(
+            scenario,
+            tenants=[TenantSpec("public", weight=1.0, rate_limit=0.001,
+                                burst=4.0)])
+        # The bucket starts with 4 tokens and refills ~nothing during the test.
+        assert outcomes["ok"] >= 1
+        assert outcomes["rejected"] >= 1
+        assert stats["silent_loss"] == 0
+
+    def test_disabled_server_admits_everything(self):
+        async def scenario(server, client):
+            for _ in range(12):
+                await client.ping(batch=False)
+            return server.stats()
+        stats = _run(
+            scenario, enabled=False,
+            tenants=[TenantSpec("public", weight=1.0, rate_limit=0.001,
+                                burst=1.0)])
+        assert stats["responded"] >= 12
+        assert stats["silent_loss"] == 0
+
+    def test_accounting_closes_after_mixed_outcomes(self):
+        async def scenario(server, client):
+            for i in range(6):
+                try:
+                    if i % 2:
+                        await client.get("ghost")
+                    else:
+                        await client.ping()
+                except UnknownDatasetError:
+                    pass
+            acct = server.accounting()
+            return acct
+        acct = _run(scenario)
+        assert acct["silent_loss"] == 0
+        assert acct["received"] == acct["responded"]
+
+    def test_queued_work_answered_on_stop(self):
+        async def go():
+            server = WireServer(_store(), debug_ops=True, workers=1)
+            await server.start()
+            client = WireClient("127.0.0.1", server.port)
+            # One slow op occupies the single worker; more pile up queued.
+            futures = [
+                asyncio.ensure_future(
+                    client.call("stall", {"seconds": 0.2}, batch=False))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.05)  # let them reach the queue
+            await server.stop()
+            outcomes = await asyncio.gather(*futures, return_exceptions=True)
+            acct = server.accounting()
+            await client.close()
+            return outcomes, acct
+        outcomes, acct = asyncio.run(go())
+        # Every request got SOME terminal answer (result or typed error).
+        assert all(not isinstance(o, asyncio.InvalidStateError)
+                   for o in outcomes)
+        assert acct["silent_loss"] == 0
+
+
+class TestAuth:
+    def _auth(self):
+        auth = TokenAuth()
+        auth.register("alice", "s3cret", groups=["zf"])
+        return auth
+
+    def _serve(self, scenario, **kwargs):
+        async def go():
+            server = WireServer(_store(), auth=self._auth(), **kwargs)
+            await server.start()
+            client = WireClient("127.0.0.1", server.port)
+            try:
+                return await scenario(server, client)
+            finally:
+                await client.close()
+                await server.stop()
+        return asyncio.run(go())
+
+    def test_auth_op_issues_session(self):
+        async def scenario(server, client):
+            session = await client.auth("alice", "s3cret")
+            pong = await client.ping()  # stamped with the session now
+            return session, pong, server.auth.active_sessions
+        session, pong, active = self._serve(scenario)
+        assert session.startswith("sess-")
+        assert pong["pong"] is True
+        assert active == 1
+
+    def test_bad_credentials_refused(self):
+        async def scenario(server, client):
+            with pytest.raises(AuthError):
+                await client.auth("alice", "wrong")
+        self._serve(scenario)
+
+    def test_require_auth_blocks_anonymous_ops(self):
+        async def scenario(server, client):
+            with pytest.raises(WireProtocolError):
+                await client.get("d0", batch=False)
+            await client.auth("alice", "s3cret")
+            record = await client.get("d0", batch=False)
+            return record
+        record = self._serve(scenario, require_auth=True)
+        assert record["dataset_id"] == "d0"
+
+    def test_stale_session_refused(self):
+        async def scenario(server, client):
+            await client.auth("alice", "s3cret")
+            server.auth.revoke("alice")
+            with pytest.raises(AuthError):
+                await client.get("d0", batch=False)
+        self._serve(scenario, require_auth=True)
+
+
+class TestLifecycle:
+    def test_double_start_refused_and_stop_idempotent(self):
+        async def go():
+            server = WireServer(_store())
+            await server.start()
+            with pytest.raises(RuntimeError):
+                await server.start()
+            await server.stop()
+            await server.stop()  # idempotent
+        asyncio.run(go())
+
+    def test_listening_event_published(self):
+        async def go():
+            server = WireServer(_store())
+            await server.start()
+            events = server.telemetry.bus.events(kind="wire.listening")
+            await server.stop()
+            return events
+        events = asyncio.run(go())
+        assert len(events) == 1
+        assert events[0].data["port"] > 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            WireServer(_store(), workers=0)
+        with pytest.raises(ValueError):
+            WireServer(_store(), high_water=10, low_water=10)

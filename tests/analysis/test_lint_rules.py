@@ -209,3 +209,78 @@ class TestRegistry:
         assert finding.line == 2
         assert finding.location == "repro/example.py:2:8"
         assert "time.time()" in finding.snippet
+
+
+class TestAsyncBlocking:
+    """REP019: blocking or sim-only calls inside async def bodies."""
+
+    def test_flags_time_sleep(self):
+        src = ("import time\n"
+               "async def serve():\n"
+               "    time.sleep(1.0)\n")
+        assert "blocking-call-in-async" in _rules(src)
+
+    def test_flags_aliased_time_sleep(self):
+        src = ("import time as t\n"
+               "async def serve():\n"
+               "    t.sleep(0.5)\n")
+        assert "blocking-call-in-async" in _rules(src)
+
+    def test_flags_blocking_open(self):
+        src = ("async def load(path):\n"
+               "    with open(path) as fh:\n"
+               "        return fh.read()\n")
+        assert _rules(src) == ["blocking-call-in-async"]
+
+    def test_flags_blocking_socket_and_subprocess(self):
+        src = ("import socket\n"
+               "import subprocess\n"
+               "async def bad():\n"
+               "    sock = socket.create_connection(('h', 1))\n"
+               "    subprocess.run(['ls'])\n")
+        findings = _findings(src)
+        assert [f.rule for f in findings] == ["blocking-call-in-async"] * 2
+
+    def test_flags_sim_only_api(self):
+        src = ("async def hybrid(sim):\n"
+               "    yield sim.timeout(1.0)\n")
+        assert _rules(src) == ["blocking-call-in-async"]
+
+    def test_flags_self_sim_attribute(self):
+        src = ("class S:\n"
+               "    async def go(self):\n"
+               "        self.sim.call_at(1.0, self.tick)\n")
+        assert _rules(src) == ["blocking-call-in-async"]
+
+    def test_async_sleep_clean(self):
+        src = ("import asyncio\n"
+               "async def serve():\n"
+               "    await asyncio.sleep(1.0)\n")
+        assert _rules(src) == []
+
+    def test_sync_def_not_flagged(self):
+        src = ("import time\n"
+               "def slow():\n"
+               "    time.sleep(1.0)\n")
+        # Only the wall-clock rule cares about sync time.sleep usage here.
+        assert "blocking-call-in-async" not in _rules(src)
+
+    def test_nested_sync_def_not_flagged(self):
+        src = ("async def outer():\n"
+               "    def for_thread(path):\n"
+               "        with open(path) as fh:\n"
+               "            return fh.read()\n"
+               "    return for_thread\n")
+        assert _rules(src) == []
+
+    def test_nested_async_def_flagged_in_its_own_right(self):
+        src = ("async def outer():\n"
+               "    async def inner(path):\n"
+               "        return open(path)\n"
+               "    return inner\n")
+        assert _rules(src) == ["blocking-call-in-async"]
+
+    def test_method_named_sleep_on_other_object_clean(self):
+        src = ("async def serve(worker):\n"
+               "    worker.sleep(1.0)\n")
+        assert _rules(src) == []

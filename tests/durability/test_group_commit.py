@@ -1,0 +1,198 @@
+"""Group-commit fast path: batched WAL appends, crash-replay equivalence.
+
+The core claim: ``register_batch`` puts byte-for-byte the same records on
+the medium as N sequential ``register_dataset`` calls — one flush instead
+of N — so recovery replay, torn-tail semantics and crash equivalence are
+all unchanged.
+"""
+
+import pytest
+
+from repro.durability import (
+    DurableMetadataStore,
+    MemoryWalStorage,
+    WriteAheadLog,
+)
+from repro.metadata.errors import (
+    MetadataUnavailableError,
+    UnknownProjectError,
+    WriteOnceError,
+)
+from repro.metadata.query import Q
+from repro.metadata.schema import FieldSpec, Schema
+
+
+def _schema():
+    return Schema("basic", [FieldSpec("sample", "str"), FieldSpec("n", "int")])
+
+
+def _items(n, prefix="d"):
+    return [
+        {
+            "dataset_id": f"{prefix}{i}",
+            "project": "zebra",
+            "url": f"adal://lsdf/{prefix}{i}",
+            "size": 100 + i,
+            "checksum": f"sum{i}",
+            "basic": {"sample": f"s{i}", "n": i},
+            "created": float(i),
+            "tags": ("raw",) if i % 2 == 0 else (),
+        }
+        for i in range(n)
+    ]
+
+
+def _fresh(snapshot_every=None):
+    store = DurableMetadataStore(snapshot_every=snapshot_every)
+    store.register_project("zebra", _schema())
+    return store
+
+
+class TestWalAppendBatch:
+    def test_bytes_identical_to_sequential_appends(self):
+        ops = [("register_dataset", {"dataset_id": f"d{i}", "n": i})
+               for i in range(5)]
+        sequential = WriteAheadLog(MemoryWalStorage())
+        for op, args in ops:
+            sequential.append(op, args)
+        batched = WriteAheadLog(MemoryWalStorage())
+        batched.append_batch(ops)
+        assert batched.storage.read() == sequential.storage.read()
+
+    def test_one_storage_flush_for_the_whole_batch(self):
+        class CountingStorage(MemoryWalStorage):
+            """Counts append (flush) calls."""
+
+            def __init__(self):
+                super().__init__()
+                self.flushes = 0
+
+            def append(self, data):
+                self.flushes += 1
+                super().append(data)
+
+        storage = CountingStorage()
+        wal = WriteAheadLog(storage)
+        wal.append_batch([("op", {"i": i}) for i in range(10)])
+        assert storage.flushes == 1
+        assert wal.appended == 10
+        assert wal.group_commits == 1
+
+    def test_empty_batch_is_a_no_op(self):
+        wal = WriteAheadLog(MemoryWalStorage())
+        assert wal.append_batch([]) == []
+        assert wal.group_commits == 0
+        assert wal.size_bytes == 0
+
+    def test_replay_decodes_batched_records_in_order(self):
+        wal = WriteAheadLog(MemoryWalStorage())
+        wal.append("solo", {"a": 1})
+        wal.append_batch([("b1", {"i": 1}), ("b2", {"i": 2})])
+        wal.append("tail", {"z": 9})
+        result = wal.replay()
+        assert [r.op for r in result.records] == ["solo", "b1", "b2", "tail"]
+        assert [r.seq for r in result.records] == [1, 2, 3, 4]
+        assert not result.torn
+
+    def test_torn_tail_inside_a_batch_drops_only_the_tear(self):
+        wal = WriteAheadLog(MemoryWalStorage())
+        wal.append_batch([("op", {"i": i}) for i in range(4)])
+        wal.torn_tail(3)  # rip into the last record
+        result = wal.replay()
+        assert len(result.records) == 3
+        assert result.torn
+
+
+class TestRegisterBatch:
+    def test_registers_all_items(self):
+        store = _fresh()
+        records = store.register_batch(_items(6))
+        assert [r.dataset_id for r in records] == [f"d{i}" for i in range(6)]
+        assert store.get("d3").basic["n"] == 3
+        assert store.wal.group_commits == 1
+
+    def test_wal_bytes_equal_sequential_registration(self):
+        batched = _fresh()
+        batched.register_batch(_items(5))
+        sequential = _fresh()
+        for item in _items(5):
+            sequential.register_dataset(**item)
+        assert (batched.wal.storage.read()
+                == sequential.wal.storage.read())
+
+    def test_crash_replay_equivalence(self):
+        batched = _fresh()
+        batched.register_batch(_items(5))
+        expected = batched.state_bytes()
+        batched.crash()
+        batched.recover()
+        assert batched.state_bytes() == expected
+        # ... and equal to the purely sequential store's state.
+        sequential = _fresh()
+        for item in _items(5):
+            sequential.register_dataset(**item)
+        assert batched.state_bytes() == sequential.state_bytes()
+
+    def test_all_or_nothing_on_duplicate_in_store(self):
+        store = _fresh()
+        store.register_dataset(**_items(1)[0])  # d0 taken
+        size_before = store.wal.size_bytes
+        with pytest.raises(WriteOnceError):
+            store.register_batch(_items(3))
+        assert store.wal.size_bytes == size_before  # nothing logged
+        assert not store.exists("d1") and not store.exists("d2")
+
+    def test_all_or_nothing_on_duplicate_within_batch(self):
+        store = _fresh()
+        items = _items(3)
+        items[2]["dataset_id"] = items[0]["dataset_id"]
+        with pytest.raises(WriteOnceError):
+            store.register_batch(items)
+        assert not store.exists("d0")
+
+    def test_all_or_nothing_on_unknown_project(self):
+        store = _fresh()
+        items = _items(3)
+        items[1]["project"] = "ghost"
+        with pytest.raises(UnknownProjectError):
+            store.register_batch(items)
+        assert not store.exists("d0")
+
+    def test_refused_while_down(self):
+        store = _fresh()
+        store.crash()
+        with pytest.raises(MetadataUnavailableError):
+            store.register_batch(_items(2))
+
+    def test_snapshot_roll_counts_batch_appends(self):
+        store = DurableMetadataStore(snapshot_every=4)
+        store.register_project("zebra", _schema())
+        store.register_batch(_items(8))
+        # 1 project append + 8 batched appends crossed the threshold.
+        assert store.wal.snapshot is not None
+        store.crash()
+        store.recover()
+        assert store.exists("d7")
+
+    def test_ordered_index_consistent_after_batch_and_recovery(self):
+        store = _fresh()
+        store.index_field("n")
+        store.register_batch(_items(8))
+        before = {r.dataset_id for r in store.query(Q.field("n") >= 5)}
+        assert before == {"d5", "d6", "d7"}
+        store.crash()
+        store.recover()
+        after = {r.dataset_id for r in store.query(Q.field("n") >= 5)}
+        assert after == before
+
+    def test_batch_interleaves_with_other_ops(self):
+        store = _fresh()
+        store.register_batch(_items(3))
+        store.tag("d0", "qc")
+        store.register_batch(_items(3, prefix="e"))
+        store.add_processing("e1", "align", {}, {"ok": True}, 0.0, 1.0)
+        expected = store.state_bytes()
+        store.crash()
+        store.recover()
+        assert store.state_bytes() == expected
+        assert store.wal.group_commits >= 0  # counter survives as monitoring
